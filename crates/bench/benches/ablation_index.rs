@@ -1,0 +1,61 @@
+//! §3.4 ablation: `IndexedLogicalGraph` (per-label datasets) vs plain
+//! `LogicalGraph` scans as the query's graph source.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gradoop_bench::harness::{dataset, graph_on};
+use gradoop_core::{CypherEngine, MatchingConfig};
+use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
+use gradoop_ldbc::{BenchmarkQuery, LdbcConfig};
+
+fn ablation_index(c: &mut Criterion) {
+    let config = LdbcConfig::with_persons(600);
+    let ds = dataset(&config);
+    let text = BenchmarkQuery::Q1.text(Some(&ds.names.low));
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+    let graph = graph_on(&env, &ds.data);
+    let indexed = graph.to_indexed();
+    let engine = CypherEngine::with_statistics(ds.statistics.clone());
+    let params = HashMap::new();
+
+    let mut group = c.benchmark_group("ablation_label_index_q1");
+    group.sample_size(10);
+    group.bench_function("scan_logical_graph", |b| {
+        b.iter(|| {
+            engine
+                .execute(&graph, &text, &params, MatchingConfig::cypher_default())
+                .unwrap()
+                .count()
+        })
+    });
+    group.bench_function("indexed_logical_graph", |b| {
+        b.iter(|| {
+            engine
+                .execute(&indexed, &text, &params, MatchingConfig::cypher_default())
+                .unwrap()
+                .count()
+        })
+    });
+    group.finish();
+
+    // Simulated-cost comparison (what the paper's motivation is about).
+    env.reset_metrics();
+    let _ = engine
+        .execute(&graph, &text, &params, MatchingConfig::cypher_default())
+        .unwrap()
+        .count();
+    let scan_seconds = env.simulated_seconds();
+    env.reset_metrics();
+    let _ = engine
+        .execute(&indexed, &text, &params, MatchingConfig::cypher_default())
+        .unwrap()
+        .count();
+    let indexed_seconds = env.simulated_seconds();
+    println!(
+        "ablation_index: scan {scan_seconds:.3} simulated s vs indexed {indexed_seconds:.3} simulated s"
+    );
+}
+
+criterion_group!(benches, ablation_index);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §3.2 ablation: the greedy planner with graph statistics vs the same
+//! planner with no label/selectivity information (modelling Flink's
+//! missing statistics-based operator reordering).
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_bench::harness::{dataset, graph_on, uniform_statistics};
+use gradoop_core::{CypherEngine, MatchingConfig};
+use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
+use gradoop_ldbc::{BenchmarkQuery, LdbcConfig};
+
+fn ablation_planner(c: &mut Criterion) {
+    let config = LdbcConfig::with_persons(300);
+    let ds = dataset(&config);
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+    let graph = graph_on(&env, &ds.data);
+    let informed = CypherEngine::with_statistics(ds.statistics.clone());
+    let blind = CypherEngine::with_statistics(uniform_statistics(&ds.statistics));
+    let params = HashMap::new();
+
+    let mut group = c.benchmark_group("ablation_planner");
+    group.sample_size(10);
+    for query in [BenchmarkQuery::Q3, BenchmarkQuery::Q6] {
+        let text = query.text(Some(&ds.names.low));
+        // Same matches either way — only the operator order differs.
+        let with = informed
+            .execute(&graph, &text, &params, MatchingConfig::cypher_default())
+            .unwrap()
+            .count();
+        let without = blind
+            .execute(&graph, &text, &params, MatchingConfig::cypher_default())
+            .unwrap()
+            .count();
+        assert_eq!(with, without);
+        group.bench_with_input(
+            BenchmarkId::new("greedy_with_statistics", query.to_string()),
+            &text,
+            |b, text| {
+                b.iter(|| {
+                    informed
+                        .execute(&graph, text, &params, MatchingConfig::cypher_default())
+                        .unwrap()
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_statistics", query.to_string()),
+            &text,
+            |b, text| {
+                b.iter(|| {
+                    blind
+                        .execute(&graph, text, &params, MatchingConfig::cypher_default())
+                        .unwrap()
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_planner);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 3 (speedup over workers) as a Criterion bench.
+//!
+//! Criterion measures wall time per execution; the *simulated* cluster
+//! seconds per worker count — the quantity Figure 3 plots — are printed
+//! once before the measurements. `cargo run -p gradoop-bench --bin repro
+//! -- --fig3` prints the full figure data on the paper-sized datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_bench::harness::{dataset, run_query};
+use gradoop_ldbc::{BenchmarkQuery, LdbcConfig};
+
+fn fig3_speedup(c: &mut Criterion) {
+    let config = LdbcConfig::with_persons(300);
+    let names = dataset(&config).names.clone();
+    let text = BenchmarkQuery::Q1.text(Some(&names.low));
+
+    let mut group = c.benchmark_group("fig3_speedup_q1_low");
+    group.sample_size(10);
+    for workers in [1usize, 4, 16] {
+        let m = run_query(&config, workers, &text);
+        println!(
+            "fig3: Q1 low, {workers:2} workers -> {:.2} simulated s, {} matches",
+            m.simulated_seconds, m.matches
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| run_query(&config, workers, &text).matches),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_speedup);
+criterion_main!(benches);

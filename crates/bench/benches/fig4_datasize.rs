@@ -1,0 +1,33 @@
+//! Figure 4 (runtime vs data size at 16 workers) as a Criterion bench:
+//! one operational (Q1) and one analytical (Q5) query on two dataset sizes
+//! with a 10× ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_bench::harness::{dataset, run_query};
+use gradoop_ldbc::{BenchmarkQuery, LdbcConfig};
+
+fn fig4_datasize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_datasize_16_workers");
+    group.sample_size(10);
+    for (label, persons) in [("small", 150usize), ("10x", 1500usize)] {
+        let config = LdbcConfig::with_persons(persons);
+        let names = dataset(&config).names.clone();
+        for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q5] {
+            let text = query.text(Some(&names.low));
+            let m = run_query(&config, 16, &text);
+            println!(
+                "fig4: {query} on {label} ({persons} persons) -> {:.2} simulated s, {} matches",
+                m.simulated_seconds, m.matches
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{}", query.number()), label),
+                &text,
+                |b, text| b.iter(|| run_query(&config, 16, text).matches),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_datasize);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 (runtime vs predicate selectivity at 4 workers) as a Criterion
+//! bench: Queries 1–3 with high/medium/low-frequency first names.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_bench::harness::{dataset, run_query};
+use gradoop_ldbc::{BenchmarkQuery, LdbcConfig, Selectivity};
+
+fn fig5_selectivity(c: &mut Criterion) {
+    let config = LdbcConfig::with_persons(300);
+    let names = dataset(&config).names.clone();
+
+    let mut group = c.benchmark_group("fig5_selectivity_4_workers");
+    group.sample_size(10);
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        for selectivity in Selectivity::all() {
+            let text = query.text(Some(names.name(selectivity)));
+            let m = run_query(&config, 4, &text);
+            println!(
+                "fig5: {query} {selectivity} -> {:.2} simulated s, {} matches",
+                m.simulated_seconds, m.matches
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{}", query.number()), selectivity.to_string()),
+                &text,
+                |b, text| b.iter(|| run_query(&config, 4, text).matches),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_selectivity);
+criterion_main!(benches);

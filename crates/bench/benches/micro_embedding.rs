@@ -1,0 +1,119 @@
+//! §3.3 ablation: the compact byte-array embedding vs a naive boxed row
+//! (`Vec` of enum entries + `Vec` of property values) — construction,
+//! join-merge, column access and serialized size.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gradoop_core::Embedding;
+use gradoop_dataflow::Data;
+use gradoop_epgm::PropertyValue;
+
+/// The straightforward alternative the paper's layout is measured against.
+#[derive(Clone, Default)]
+struct BoxedRow {
+    entries: Vec<BoxedEntry>,
+    properties: Vec<PropertyValue>,
+}
+
+#[derive(Clone)]
+enum BoxedEntry {
+    Id(u64),
+    Path(Vec<u64>),
+}
+
+impl BoxedRow {
+    fn push_id(&mut self, id: u64) {
+        self.entries.push(BoxedEntry::Id(id));
+    }
+    fn push_path(&mut self, ids: &[u64]) {
+        self.entries.push(BoxedEntry::Path(ids.to_vec()));
+    }
+    fn push_property(&mut self, value: &PropertyValue) {
+        self.properties.push(value.clone());
+    }
+    fn id(&self, column: usize) -> u64 {
+        match &self.entries[column] {
+            BoxedEntry::Id(id) => *id,
+            BoxedEntry::Path(_) => panic!("path"),
+        }
+    }
+    fn path(&self, column: usize) -> Vec<u64> {
+        match &self.entries[column] {
+            BoxedEntry::Path(ids) => ids.clone(),
+            BoxedEntry::Id(_) => panic!("id"),
+        }
+    }
+    fn merge(&self, other: &BoxedRow, skip: &[usize]) -> BoxedRow {
+        let mut merged = self.clone();
+        for (index, entry) in other.entries.iter().enumerate() {
+            if !skip.contains(&index) {
+                merged.entries.push(entry.clone());
+            }
+        }
+        merged.properties.extend(other.properties.iter().cloned());
+        merged
+    }
+}
+
+fn build_embedding() -> Embedding {
+    let mut e = Embedding::new();
+    e.push_id(10);
+    e.push_path(&[5, 20, 7]);
+    e.push_id(30);
+    e.push_property(&PropertyValue::String("Alice".into()));
+    e.push_property(&PropertyValue::String("Bob".into()));
+    e
+}
+
+fn build_boxed() -> BoxedRow {
+    let mut e = BoxedRow::default();
+    e.push_id(10);
+    e.push_path(&[5, 20, 7]);
+    e.push_id(30);
+    e.push_property(&PropertyValue::String("Alice".into()));
+    e.push_property(&PropertyValue::String("Bob".into()));
+    e
+}
+
+fn micro_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_embedding");
+
+    group.bench_function("build/byte_array", |b| b.iter(build_embedding));
+    group.bench_function("build/boxed_row", |b| b.iter(build_boxed));
+
+    let left = build_embedding();
+    let right = build_embedding();
+    group.bench_function("merge/byte_array", |b| {
+        b.iter(|| black_box(&left).merge(black_box(&right), &[0]))
+    });
+    let boxed_left = build_boxed();
+    let boxed_right = build_boxed();
+    group.bench_function("merge/boxed_row", |b| {
+        b.iter(|| black_box(&boxed_left).merge(black_box(&boxed_right), &[0]))
+    });
+
+    group.bench_function("read_id/byte_array", |b| {
+        b.iter(|| black_box(&left).id(black_box(2)))
+    });
+    group.bench_function("read_id/boxed_row", |b| {
+        b.iter(|| black_box(&boxed_left).id(black_box(2)))
+    });
+
+    group.bench_function("read_path/byte_array", |b| {
+        b.iter(|| black_box(&left).path(black_box(1)))
+    });
+    group.bench_function("read_path/boxed_row", |b| {
+        b.iter(|| black_box(&boxed_left).path(black_box(1)))
+    });
+
+    group.bench_function("read_property/byte_array", |b| {
+        b.iter(|| black_box(&left).property(black_box(1)))
+    });
+
+    group.bench_function("serialized_size/byte_array", |b| {
+        b.iter(|| black_box(&left).byte_size())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro_embedding);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Join-strategy microbenchmarks: repartition-hash vs broadcast vs
+//! sort-merge on skewed and uniform key distributions (the shipping/local
+//! strategy choice Flink's optimizer makes, Section 3.2).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment, JoinStrategy};
+
+fn env(workers: usize) -> ExecutionEnvironment {
+    ExecutionEnvironment::new(ExecutionConfig::with_workers(workers).cost_model(CostModel::free()))
+}
+
+fn micro_join(c: &mut Criterion) {
+    let env = env(4);
+    let n = 20_000u64;
+    let left = env.from_collection(0..n);
+    // Uniform keys: every key matches exactly once.
+    let right_uniform = env.from_collection((0..n).map(|i| (i, i)).collect::<Vec<_>>());
+    // Skewed keys: everything hashes to few keys (hot partitions).
+    let right_skewed = env.from_collection((0..n).map(|i| (i % 16, i)).collect::<Vec<_>>());
+    // A small build side for broadcasting.
+    let right_small = env.from_collection((0..64u64).map(|i| (i, i)).collect::<Vec<_>>());
+
+    let mut group = c.benchmark_group("micro_join");
+    group.sample_size(10);
+    for strategy in [
+        JoinStrategy::RepartitionHash,
+        JoinStrategy::RepartitionSortMerge,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    left.join(
+                        black_box(&right_uniform),
+                        |l| *l,
+                        |(k, _)| *k,
+                        strategy,
+                        |l, _| Some(*l),
+                    )
+                    .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("skewed", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    left.join(
+                        black_box(&right_skewed),
+                        |l| *l,
+                        |(k, _)| *k,
+                        strategy,
+                        |l, _| Some(*l),
+                    )
+                    .count()
+                })
+            },
+        );
+    }
+    for strategy in [JoinStrategy::RepartitionHash, JoinStrategy::BroadcastHashSecond] {
+        group.bench_with_input(
+            BenchmarkId::new("small_build_side", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    left.join(
+                        black_box(&right_small),
+                        |l| *l,
+                        |(k, _)| *k,
+                        strategy,
+                        |l, _| Some(*l),
+                    )
+                    .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_join);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Front-end microbenchmarks: lexing + parsing the six benchmark queries,
+//! query-graph construction and CNF normalization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_cypher::{parse, QueryGraph};
+use gradoop_ldbc::BenchmarkQuery;
+
+fn micro_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_parser");
+    for query in BenchmarkQuery::all() {
+        let text = query.text(Some("Jan"));
+        group.bench_with_input(
+            BenchmarkId::new("parse", query.to_string()),
+            &text,
+            |b, text| b.iter(|| parse(black_box(text)).unwrap()),
+        );
+        let ast = parse(&text).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("query_graph", query.to_string()),
+            &ast,
+            |b, ast| b.iter(|| QueryGraph::from_query(black_box(ast)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_parser);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 3 (intermediate result sizes) as a Criterion bench: the four
+//! incremental patterns, measured with the low-selectivity first name.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gradoop_bench::harness::{dataset, run_query};
+use gradoop_ldbc::{table3_patterns, LdbcConfig};
+
+fn table3_intermediate(c: &mut Criterion) {
+    let config = LdbcConfig::with_persons(300);
+    let names = dataset(&config).names.clone();
+
+    let mut group = c.benchmark_group("table3_patterns_low_selectivity");
+    group.sample_size(10);
+    for (index, (pattern, text)) in table3_patterns(&names.low).into_iter().enumerate() {
+        let m = run_query(&config, 4, &text);
+        println!("table3: {pattern} -> {} rows", m.matches);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("pattern{}", index + 1)),
+            &text,
+            |b, text| b.iter(|| run_query(&config, 4, text).matches),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3_intermediate);
+criterion_main!(benches);

@@ -1,0 +1,362 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release -p gradoop-bench --bin repro            # everything
+//! cargo run --release -p gradoop-bench --bin repro -- --fig3  # one artifact
+//! cargo run --release -p gradoop-bench --bin repro -- --quick # small datasets
+//! ```
+//!
+//! Runtimes are **simulated cluster seconds** (per-worker makespans with
+//! network and spill costs, see `gradoop-dataflow`), which is what
+//! reproduces the paper's scaling behaviour; absolute numbers differ from
+//! the paper because the datasets are rescaled ~1000× (see DESIGN.md).
+
+use std::collections::HashMap;
+
+use gradoop_bench::harness::{self, Measurement, ScaleFactor};
+use gradoop_bench::report::{seconds, speedup, Table};
+use gradoop_core::{CypherEngine, MatchingConfig};
+use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
+use gradoop_ldbc::{table3_patterns, BenchmarkQuery, Selectivity};
+
+const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Lazily memoized measurements so `--all` never repeats a run.
+struct Memo {
+    scale: f64,
+    cache: HashMap<(usize, &'static str, Option<Selectivity>, usize), Measurement>,
+}
+
+impl Memo {
+    fn new(scale: f64) -> Self {
+        Memo {
+            scale,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn get(
+        &mut self,
+        query: BenchmarkQuery,
+        sf: ScaleFactor,
+        selectivity: Option<Selectivity>,
+        workers: usize,
+    ) -> Measurement {
+        let key = (query.number(), sf.label(), selectivity, workers);
+        if let Some(found) = self.cache.get(&key) {
+            return found.clone();
+        }
+        let config = sf.config(self.scale);
+        let names = harness::dataset(&config).names.clone();
+        let text = query.text(selectivity.map(|s| names.name(s)));
+        let measurement = harness::run_query(&config, workers, &text);
+        self.cache.insert(key, measurement.clone());
+        measurement
+    }
+}
+
+fn fig3(memo: &mut Memo) {
+    println!("== Figure 3: speedup over workers ==");
+    println!("(operational queries on SF 100 with low selectivity; analytical on SF 10)\n");
+    let mut table = Table::new(
+        ["series", "1", "2", "4", "8", "16"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    let series: [(BenchmarkQuery, ScaleFactor, Option<Selectivity>); 6] = [
+        (BenchmarkQuery::Q1, ScaleFactor::Sf100, Some(Selectivity::Low)),
+        (BenchmarkQuery::Q2, ScaleFactor::Sf100, Some(Selectivity::Low)),
+        (BenchmarkQuery::Q3, ScaleFactor::Sf100, Some(Selectivity::Low)),
+        (BenchmarkQuery::Q4, ScaleFactor::Sf10, None),
+        (BenchmarkQuery::Q5, ScaleFactor::Sf10, None),
+        (BenchmarkQuery::Q6, ScaleFactor::Sf10, None),
+    ];
+    for (query, sf, selectivity) in series {
+        let base = memo.get(query, sf, selectivity, 1).simulated_seconds;
+        let mut cells = vec![format!("Q{}.{}", query.number(), sf.label().replace(' ', ""))];
+        for workers in WORKER_COUNTS {
+            let m = memo.get(query, sf, selectivity, workers);
+            cells.push(format!(
+                "{} {}",
+                seconds(m.simulated_seconds),
+                speedup(base, m.simulated_seconds)
+            ));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}
+
+fn fig4(memo: &mut Memo) {
+    println!("== Figure 4: data size increase (16 workers) ==\n");
+    let mut table = Table::new(["query", "SF 10 [s]", "SF 100 [s]", "ratio"]);
+    for query in BenchmarkQuery::all() {
+        let selectivity = query.is_operational().then_some(Selectivity::Low);
+        let small = memo.get(query, ScaleFactor::Sf10, selectivity, 16);
+        let large = memo.get(query, ScaleFactor::Sf100, selectivity, 16);
+        table.row([
+            query.to_string(),
+            seconds(small.simulated_seconds),
+            seconds(large.simulated_seconds),
+            format!(
+                "{:.1}x",
+                large.simulated_seconds / small.simulated_seconds.max(1e-9)
+            ),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn fig5(memo: &mut Memo) {
+    println!("== Figure 5: query selectivity (4 workers, SF 10) ==\n");
+    let mut table = Table::new(["query", "high [s]", "medium [s]", "low [s]"]);
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        let mut cells = vec![query.to_string()];
+        for selectivity in Selectivity::all() {
+            let m = memo.get(query, ScaleFactor::Sf10, Some(selectivity), 4);
+            cells.push(seconds(m.simulated_seconds));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}
+
+fn table3(scale: f64) {
+    println!("== Table 3: intermediate result sizes (SF 10) ==\n");
+    let config = ScaleFactor::Sf10.config(scale);
+    let dataset = harness::dataset(&config);
+    let names = dataset.names.clone();
+    let mut table = Table::new(["pattern", "High", "Medium", "Low"]);
+    let patterns: Vec<&'static str> = table3_patterns("x")
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    for pattern in patterns {
+        let mut cells = vec![pattern.to_string()];
+        for selectivity in Selectivity::all() {
+            let name = names.name(selectivity).to_string();
+            let text = table3_patterns(&name)
+                .into_iter()
+                .find(|(p, _)| *p == pattern)
+                .map(|(_, text)| text)
+                .expect("pattern exists");
+            let m = harness::run_query(&config, 4, &text);
+            cells.push(m.matches.to_string());
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}
+
+fn table4(memo: &mut Memo) {
+    println!("== Table 4: query runtimes in seconds (speedup) ==\n");
+    let mut table = Table::new(["query", "selectivity", "SF", "1", "2", "4", "8", "16"]);
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        for selectivity in [Selectivity::Low, Selectivity::Medium, Selectivity::High] {
+            for sf in ScaleFactor::all() {
+                let base = memo.get(query, sf, Some(selectivity), 1).simulated_seconds;
+                let mut cells = vec![
+                    query.to_string(),
+                    selectivity.to_string(),
+                    sf.label().to_string(),
+                ];
+                for workers in WORKER_COUNTS {
+                    let m = memo.get(query, sf, Some(selectivity), workers);
+                    cells.push(format!(
+                        "{} {}",
+                        seconds(m.simulated_seconds),
+                        speedup(base, m.simulated_seconds)
+                    ));
+                }
+                table.row(cells);
+            }
+        }
+    }
+    // Analytical queries: the paper runs the full worker grid on SF 10 and
+    // SF 100 only on 16 workers.
+    for query in [BenchmarkQuery::Q4, BenchmarkQuery::Q5, BenchmarkQuery::Q6] {
+        let base = memo
+            .get(query, ScaleFactor::Sf10, None, 1)
+            .simulated_seconds;
+        let mut cells = vec![query.to_string(), "-".to_string(), "SF 10".to_string()];
+        for workers in WORKER_COUNTS {
+            let m = memo.get(query, ScaleFactor::Sf10, None, workers);
+            cells.push(format!(
+                "{} {}",
+                seconds(m.simulated_seconds),
+                speedup(base, m.simulated_seconds)
+            ));
+        }
+        table.row(cells);
+        let m16 = memo.get(query, ScaleFactor::Sf100, None, 16);
+        table.row([
+            query.to_string(),
+            "-".to_string(),
+            "SF 100".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            seconds(m16.simulated_seconds),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn cardinalities(memo: &mut Memo) {
+    println!("== Appendix: result cardinalities ==\n");
+    let mut table = Table::new(["query", "SF", "High", "Medium", "Low"]);
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        for sf in ScaleFactor::all() {
+            let mut cells = vec![query.to_string(), sf.label().to_string()];
+            for selectivity in Selectivity::all() {
+                let m = memo.get(query, sf, Some(selectivity), 4);
+                cells.push(m.matches.to_string());
+            }
+            table.row(cells);
+        }
+    }
+    for query in [BenchmarkQuery::Q4, BenchmarkQuery::Q5, BenchmarkQuery::Q6] {
+        for sf in ScaleFactor::all() {
+            let workers = if sf == ScaleFactor::Sf100 { 16 } else { 4 };
+            let m = memo.get(query, sf, None, workers);
+            table.row([
+                query.to_string(),
+                sf.label().to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                m.matches.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+fn plans(scale: f64) {
+    println!("== Query plans (greedy planner with statistics, SF 10) ==\n");
+    let config = ScaleFactor::Sf10.config(scale);
+    let dataset = harness::dataset(&config);
+    let names = dataset.names.clone();
+    let engine = CypherEngine::with_statistics(dataset.statistics.clone());
+    for query in BenchmarkQuery::all() {
+        let text = query.text(Some(&names.low));
+        let (query_graph, plan) = engine
+            .plan(&text, &HashMap::new())
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        println!("-- {query}: {}\n{}", query.title(), plan.describe(&query_graph));
+    }
+}
+
+fn ablations(scale: f64) {
+    println!("== Ablations ==\n");
+    let config = ScaleFactor::Sf10.config(scale);
+    let dataset = harness::dataset(&config);
+    let names = dataset.names.clone();
+
+    // §3.2: greedy planner with statistics vs without (Flink's default has
+    // no statistics-based reordering).
+    println!("-- query planner: with vs without graph statistics (Q3, 4 workers)");
+    let text = BenchmarkQuery::Q3.text(Some(&names.low));
+    let with_stats = harness::run_query(&config, 4, &text);
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+    let graph = harness::graph_on(&env, &dataset.data);
+    let blind_engine =
+        CypherEngine::with_statistics(harness::uniform_statistics(&dataset.statistics));
+    env.reset_metrics();
+    let result = blind_engine
+        .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .expect("query runs");
+    let blind_matches = result.count();
+    let blind_seconds = env.simulated_seconds();
+    let mut table = Table::new(["planner", "matches", "simulated [s]"]);
+    table.row([
+        "greedy + statistics".to_string(),
+        with_stats.matches.to_string(),
+        seconds(with_stats.simulated_seconds),
+    ]);
+    table.row([
+        "no statistics".to_string(),
+        blind_matches.to_string(),
+        seconds(blind_seconds),
+    ]);
+    println!("{table}");
+
+    // §3.4: IndexedLogicalGraph vs full scans (Q1).
+    println!("-- graph representation: label index vs full scan (Q1, 4 workers)");
+    let text = BenchmarkQuery::Q1.text(Some(&names.low));
+    let engine = CypherEngine::with_statistics(dataset.statistics.clone());
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+    let graph = harness::graph_on(&env, &dataset.data);
+    let indexed = graph.to_indexed();
+    env.reset_metrics();
+    let scan_matches = engine
+        .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .expect("query runs")
+        .count();
+    let scan_seconds = env.simulated_seconds();
+    env.reset_metrics();
+    let index_matches = engine
+        .execute(&indexed, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .expect("query runs")
+        .count();
+    let index_seconds = env.simulated_seconds();
+    assert_eq!(scan_matches, index_matches);
+    let mut table = Table::new(["representation", "matches", "simulated [s]"]);
+    table.row([
+        "LogicalGraph (scan)".to_string(),
+        scan_matches.to_string(),
+        seconds(scan_seconds),
+    ]);
+    table.row([
+        "IndexedLogicalGraph".to_string(),
+        index_matches.to_string(),
+        seconds(index_seconds),
+    ]);
+    println!("{table}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let all = args.is_empty()
+        || (!has("--fig3")
+            && !has("--fig4")
+            && !has("--fig5")
+            && !has("--table3")
+            && !has("--table4")
+            && !has("--cardinalities")
+            && !has("--ablations")
+            && !has("--plans"));
+    let scale = if has("--quick") { 0.2 } else { 1.0 };
+    let mut memo = Memo::new(scale);
+
+    println!(
+        "Reproduction harness — datasets rescaled ~1000x vs the paper \
+         (scale multiplier {scale}); runtimes are simulated cluster seconds.\n"
+    );
+
+    if all || has("--cardinalities") {
+        cardinalities(&mut memo);
+    }
+    if all || has("--table3") {
+        table3(scale);
+    }
+    if all || has("--fig5") {
+        fig5(&mut memo);
+    }
+    if all || has("--fig3") {
+        fig3(&mut memo);
+    }
+    if all || has("--fig4") {
+        fig4(&mut memo);
+    }
+    if all || has("--table4") {
+        table4(&mut memo);
+    }
+    if all || has("--plans") {
+        plans(scale);
+    }
+    if all || has("--ablations") {
+        ablations(scale);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # gradoop-bench
+//!
+//! Benchmark harness for the Rust reproduction of *"Cypher-based Graph
+//! Pattern Matching in Gradoop"* (GRADES'17).
+//!
+//! Every table and figure of the paper's evaluation has a regenerator:
+//!
+//! | Paper artifact | How to regenerate |
+//! |---|---|
+//! | Figure 3 (speedup over workers) | `repro --fig3`, `benches/fig3_speedup.rs` |
+//! | Figure 4 (runtime vs data size) | `repro --fig4`, `benches/fig4_datasize.rs` |
+//! | Figure 5 (runtime vs selectivity) | `repro --fig5`, `benches/fig5_selectivity.rs` |
+//! | Table 3 (intermediate result sizes) | `repro --table3`, `benches/table3_intermediate.rs` |
+//! | Table 4 (runtimes/speedups grid) | `repro --table4` |
+//! | Appendix cardinalities | `repro --cardinalities` |
+//! | §3.2/§3.3/§3.4 design ablations | `benches/ablation_*.rs`, `benches/micro_*.rs` |
+//!
+//! The `repro` binary prints paper-style tables using the **simulated
+//! clock** of the dataflow engine (per-worker makespans, network, spill) —
+//! that is what reproduces the cluster behaviour; wall time on a laptop
+//! core is also reported.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{dataset, run_query, Measurement, ScaleFactor};
+pub use report::Table;

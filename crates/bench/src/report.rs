@@ -1,0 +1,117 @@
+//! Minimal aligned-table rendering for the `repro` binary's paper-style
+//! output.
+
+/// A simple text table with a header row and aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table; the first column is left-aligned, the rest right.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{cell:<width$}", width = widths[i]));
+                } else {
+                    out.push_str(&format!("{cell:>width$}", width = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats seconds like the paper's tables (whole seconds above 10, one
+/// decimal below).
+pub fn seconds(value: f64) -> String {
+    if value >= 10.0 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+/// Formats a speedup factor like the paper: `(2.1)`.
+pub fn speedup(base: f64, value: f64) -> String {
+    if value > 0.0 {
+        format!("({:.1})", base / value)
+    } else {
+        "(-)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = Table::new(["query", "matches", "seconds"]);
+        table.row(["Query 1", "63", "89"]);
+        table.row(["Query 10", "784051", "1.5"]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("query"));
+        assert!(lines[2].ends_with("89"));
+        // All rows have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = Table::new(["a", "b"]);
+        table.row(["only one cell"]);
+        assert!(table.render().contains("only one cell"));
+    }
+
+    #[test]
+    fn second_formatting_matches_paper_style() {
+        assert_eq!(seconds(89.4), "89");
+        assert_eq!(seconds(1.53), "1.5");
+        assert_eq!(speedup(89.0, 46.0), "(1.9)");
+        assert_eq!(speedup(1.0, 0.0), "(-)");
+    }
+}

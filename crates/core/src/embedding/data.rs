@@ -1,0 +1,363 @@
+//! Byte-array embedding layout.
+//!
+//! ```text
+//! idEntry   := (ID, id)        -- 1 flag byte + 8-byte identifier
+//! pathEntry := (PATH, offset)  -- 1 flag byte + 8-byte offset into pathData
+//! idData    := idEntry | pathEntry, ...
+//! pathData  := (path-length, ids), ...
+//! propData  := (byte-length, value), ...
+//! ```
+//!
+//! Identifier and path entries are fixed-width, so the element bound to a
+//! column is read in constant time. Property access walks length prefixes
+//! until the requested index — exactly the trade-off described in the paper.
+//! Merging two embeddings (the join operation) is append-only for
+//! identifiers and properties; path offsets of the appended side are rebased
+//! in one pass.
+
+use gradoop_dataflow::Data;
+use gradoop_epgm::PropertyValue;
+
+/// Bytes per `idData` entry: flag + 64-bit payload.
+pub const ID_ENTRY_SIZE: usize = 9;
+
+const FLAG_ID: u8 = 0;
+const FLAG_PATH: u8 = 1;
+
+/// A decoded `idData` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// Direct vertex/edge identifier.
+    Id(u64),
+    /// A variable-length path: the ordered identifiers between the path's
+    /// start and end vertex (alternating edge, vertex, edge, ...).
+    Path(Vec<u64>),
+}
+
+/// An embedding: one (partial) match of the query graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Embedding {
+    id_data: Vec<u8>,
+    path_data: Vec<u8>,
+    prop_data: Vec<u8>,
+}
+
+impl Embedding {
+    /// The empty embedding.
+    pub fn new() -> Self {
+        Embedding::default()
+    }
+
+    /// Number of `idData` entries (columns).
+    pub fn columns(&self) -> usize {
+        self.id_data.len() / ID_ENTRY_SIZE
+    }
+
+    /// Appends an identifier column.
+    pub fn push_id(&mut self, id: u64) {
+        self.id_data.push(FLAG_ID);
+        self.id_data.extend_from_slice(&id.to_le_bytes());
+    }
+
+    /// Appends a path column holding `ids` (the `via` identifiers).
+    pub fn push_path(&mut self, ids: &[u64]) {
+        let offset = self.path_data.len() as u64;
+        self.id_data.push(FLAG_PATH);
+        self.id_data.extend_from_slice(&offset.to_le_bytes());
+        self.path_data
+            .extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            self.path_data.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+
+    /// Appends a property value.
+    pub fn push_property(&mut self, value: &PropertyValue) {
+        let bytes = value.to_bytes();
+        self.prop_data
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.prop_data.extend_from_slice(&bytes);
+    }
+
+    fn entry_payload(&self, column: usize) -> (u8, u64) {
+        let start = column * ID_ENTRY_SIZE;
+        assert!(
+            start + ID_ENTRY_SIZE <= self.id_data.len(),
+            "column {column} out of bounds ({} columns)",
+            self.columns()
+        );
+        let flag = self.id_data[start];
+        let payload = u64::from_le_bytes(
+            self.id_data[start + 1..start + ID_ENTRY_SIZE]
+                .try_into()
+                .expect("fixed width"),
+        );
+        (flag, payload)
+    }
+
+    /// `true` when the column holds a path.
+    pub fn is_path(&self, column: usize) -> bool {
+        self.entry_payload(column).0 == FLAG_PATH
+    }
+
+    /// The identifier in `column`. Panics if the column holds a path.
+    pub fn id(&self, column: usize) -> u64 {
+        let (flag, payload) = self.entry_payload(column);
+        assert_eq!(flag, FLAG_ID, "column {column} holds a path, not an id");
+        payload
+    }
+
+    /// The path identifiers in `column`. Panics if the column holds an id.
+    pub fn path(&self, column: usize) -> Vec<u64> {
+        let (flag, payload) = self.entry_payload(column);
+        assert_eq!(flag, FLAG_PATH, "column {column} holds an id, not a path");
+        let offset = payload as usize;
+        let count = u32::from_le_bytes(
+            self.path_data[offset..offset + 4]
+                .try_into()
+                .expect("length prefix"),
+        ) as usize;
+        (0..count)
+            .map(|i| {
+                let start = offset + 4 + i * 8;
+                u64::from_le_bytes(self.path_data[start..start + 8].try_into().expect("id"))
+            })
+            .collect()
+    }
+
+    /// The decoded entry in `column`.
+    pub fn entry(&self, column: usize) -> Entry {
+        if self.is_path(column) {
+            Entry::Path(self.path(column))
+        } else {
+            Entry::Id(self.id(column))
+        }
+    }
+
+    /// Number of property slots.
+    pub fn property_count(&self) -> usize {
+        let mut count = 0;
+        let mut offset = 0;
+        while offset < self.prop_data.len() {
+            let len = u32::from_le_bytes(
+                self.prop_data[offset..offset + 4]
+                    .try_into()
+                    .expect("length prefix"),
+            ) as usize;
+            offset += 4 + len;
+            count += 1;
+        }
+        count
+    }
+
+    /// The property value at `index`. Walks length prefixes (linear in the
+    /// index, as in the paper).
+    pub fn property(&self, index: usize) -> PropertyValue {
+        let mut offset = 0;
+        for _ in 0..index {
+            let len = u32::from_le_bytes(
+                self.prop_data[offset..offset + 4]
+                    .try_into()
+                    .expect("length prefix"),
+            ) as usize;
+            offset += 4 + len;
+        }
+        let len = u32::from_le_bytes(
+            self.prop_data[offset..offset + 4]
+                .try_into()
+                .expect("length prefix"),
+        ) as usize;
+        PropertyValue::from_bytes(&self.prop_data[offset + 4..offset + 4 + len])
+            .expect("embedding property bytes are well-formed")
+    }
+
+    /// Merges `other` into `self` (the join operation): appends all of
+    /// `other`'s columns except those in `skip_columns` (the join columns,
+    /// already present on the left) and all its properties. Path offsets of
+    /// the appended side are rebased; identifiers and properties are copied
+    /// with `memcpy`-style extends.
+    pub fn merge(&self, other: &Embedding, skip_columns: &[usize]) -> Embedding {
+        let mut result = self.clone();
+        for column in 0..other.columns() {
+            if skip_columns.contains(&column) {
+                continue;
+            }
+            let (flag, payload) = other.entry_payload(column);
+            if flag == FLAG_ID {
+                result.push_id(payload);
+            } else {
+                // Rebase the offset into the merged pathData.
+                let path = other.path(column);
+                result.push_path(&path);
+            }
+        }
+        result.prop_data.extend_from_slice(&other.prop_data);
+        result
+    }
+
+    /// All identifiers bound by the embedding, with path contents expanded.
+    /// `vertex_columns` / `edge_columns` / `path_columns` select what to
+    /// visit; path entries alternate edge, vertex, edge, ... identifiers.
+    pub fn collect_ids(
+        &self,
+        columns: &[usize],
+        out: &mut Vec<u64>,
+    ) {
+        for &column in columns {
+            match self.entry(column) {
+                Entry::Id(id) => out.push(id),
+                Entry::Path(ids) => out.extend(ids),
+            }
+        }
+    }
+}
+
+impl Data for Embedding {
+    fn byte_size(&self) -> usize {
+        12 + self.id_data.len() + self.path_data.len() + self.prop_data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_columns_roundtrip() {
+        let mut e = Embedding::new();
+        e.push_id(10);
+        e.push_id(u64::MAX);
+        assert_eq!(e.columns(), 2);
+        assert_eq!(e.id(0), 10);
+        assert_eq!(e.id(1), u64::MAX);
+        assert!(!e.is_path(0));
+    }
+
+    #[test]
+    fn paper_example_layout() {
+        // Second row of Table 2b: fv(p1)=10, path via [5,20,7], fv(p2)=30,
+        // properties Alice / Bob.
+        let mut e = Embedding::new();
+        e.push_id(10);
+        e.push_path(&[5, 20, 7]);
+        e.push_id(30);
+        e.push_property(&PropertyValue::String("Alice".into()));
+        e.push_property(&PropertyValue::String("Bob".into()));
+
+        assert_eq!(e.columns(), 3);
+        assert_eq!(e.entry(0), Entry::Id(10));
+        assert_eq!(e.entry(1), Entry::Path(vec![5, 20, 7]));
+        assert_eq!(e.entry(2), Entry::Id(30));
+        assert_eq!(e.property_count(), 2);
+        assert_eq!(e.property(0), PropertyValue::String("Alice".into()));
+        assert_eq!(e.property(1), PropertyValue::String("Bob".into()));
+    }
+
+    #[test]
+    fn multiple_paths_use_offsets() {
+        let mut e = Embedding::new();
+        e.push_path(&[1, 2, 3]);
+        e.push_path(&[]);
+        e.push_path(&[9]);
+        assert_eq!(e.path(0), vec![1, 2, 3]);
+        assert_eq!(e.path(1), Vec::<u64>::new());
+        assert_eq!(e.path(2), vec![9]);
+    }
+
+    #[test]
+    fn merge_appends_and_skips_join_columns() {
+        let mut left = Embedding::new();
+        left.push_id(1);
+        left.push_id(2);
+        left.push_property(&PropertyValue::Long(100));
+
+        let mut right = Embedding::new();
+        right.push_id(2); // join column — skipped
+        right.push_id(3);
+        right.push_property(&PropertyValue::Long(200));
+
+        let merged = left.merge(&right, &[0]);
+        assert_eq!(merged.columns(), 3);
+        assert_eq!(merged.id(0), 1);
+        assert_eq!(merged.id(1), 2);
+        assert_eq!(merged.id(2), 3);
+        assert_eq!(merged.property_count(), 2);
+        assert_eq!(merged.property(1), PropertyValue::Long(200));
+    }
+
+    #[test]
+    fn merge_rebases_path_offsets() {
+        let mut left = Embedding::new();
+        left.push_path(&[1, 2]);
+        left.push_id(7);
+
+        let mut right = Embedding::new();
+        right.push_id(7);
+        right.push_path(&[3, 4, 5]);
+
+        let merged = left.merge(&right, &[0]);
+        assert_eq!(merged.columns(), 3);
+        assert_eq!(merged.path(0), vec![1, 2]);
+        assert_eq!(merged.id(1), 7);
+        assert_eq!(merged.path(2), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn collect_ids_expands_paths() {
+        let mut e = Embedding::new();
+        e.push_id(10);
+        e.push_path(&[5, 20, 7]);
+        e.push_id(30);
+        let mut ids = Vec::new();
+        e.collect_ids(&[0, 1, 2], &mut ids);
+        assert_eq!(ids, vec![10, 5, 20, 7, 30]);
+        ids.clear();
+        e.collect_ids(&[2], &mut ids);
+        assert_eq!(ids, vec![30]);
+    }
+
+    #[test]
+    fn properties_of_all_types_roundtrip() {
+        let values = [
+            PropertyValue::Null,
+            PropertyValue::Boolean(true),
+            PropertyValue::Int(-1),
+            PropertyValue::Long(1 << 40),
+            PropertyValue::Double(2.5),
+            PropertyValue::String("Uni Leipzig".into()),
+            PropertyValue::List(vec![PropertyValue::Int(1)]),
+        ];
+        let mut e = Embedding::new();
+        for v in &values {
+            e.push_property(v);
+        }
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(&e.property(i), v, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_column_panics() {
+        let e = Embedding::new();
+        let _ = e.id(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds a path")]
+    fn reading_path_as_id_panics() {
+        let mut e = Embedding::new();
+        e.push_path(&[1]);
+        let _ = e.id(0);
+    }
+
+    #[test]
+    fn byte_size_tracks_payload() {
+        let mut e = Embedding::new();
+        let empty = e.byte_size();
+        e.push_id(1);
+        assert_eq!(e.byte_size(), empty + ID_ENTRY_SIZE);
+        e.push_path(&[1, 2]);
+        assert_eq!(e.byte_size(), empty + 2 * ID_ENTRY_SIZE + 4 + 16);
+    }
+}

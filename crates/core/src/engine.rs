@@ -1,0 +1,360 @@
+//! The engine entry point: parse → simplify → plan → execute, exactly the
+//! pipeline of paper Section 3.
+
+use std::collections::HashMap;
+
+use gradoop_cypher::{parse, Literal, ParseError, QueryGraph, QueryGraphError};
+use gradoop_epgm::{GraphCollection, GraphStatistics, LogicalGraph};
+
+use crate::executor::execute_plan;
+use crate::matching::MatchingConfig;
+use crate::planner::{plan_query, Estimator, PlanError, QueryPlan};
+use crate::result::QueryResult;
+use crate::source::GraphSource;
+
+/// Any failure of a Cypher execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CypherError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// The query is structurally invalid.
+    QueryGraph(QueryGraphError),
+    /// Planning failed.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for CypherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CypherError::Parse(e) => write!(f, "{e}"),
+            CypherError::QueryGraph(e) => write!(f, "{e}"),
+            CypherError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CypherError {}
+
+impl From<ParseError> for CypherError {
+    fn from(e: ParseError) -> Self {
+        CypherError::Parse(e)
+    }
+}
+impl From<QueryGraphError> for CypherError {
+    fn from(e: QueryGraphError) -> Self {
+        CypherError::QueryGraph(e)
+    }
+}
+impl From<PlanError> for CypherError {
+    fn from(e: PlanError) -> Self {
+        CypherError::Plan(e)
+    }
+}
+
+/// The Cypher query engine. Holds the graph statistics used by the greedy
+/// planner; create it once per data graph and reuse it across queries.
+#[derive(Debug, Clone)]
+pub struct CypherEngine {
+    statistics: GraphStatistics,
+}
+
+impl CypherEngine {
+    /// Creates an engine with pre-computed statistics.
+    pub fn with_statistics(statistics: GraphStatistics) -> Self {
+        CypherEngine { statistics }
+    }
+
+    /// Creates an engine, computing statistics from the data graph.
+    pub fn for_graph(graph: &LogicalGraph) -> Self {
+        CypherEngine::with_statistics(GraphStatistics::of(graph))
+    }
+
+    /// The engine's statistics.
+    pub fn statistics(&self) -> &GraphStatistics {
+        &self.statistics
+    }
+
+    /// Plans `query_text` without executing it.
+    pub fn plan(
+        &self,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+    ) -> Result<(QueryGraph, QueryPlan), CypherError> {
+        let ast = parse(query_text)?;
+        let query = QueryGraph::from_query_with_params(&ast, params)?;
+        let plan = plan_query(&query, &Estimator::new(&self.statistics))?;
+        Ok((query, plan))
+    }
+
+    /// Parses, plans and executes `query_text` against `source`.
+    pub fn execute<S: GraphSource + ?Sized>(
+        &self,
+        source: &S,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+        matching: MatchingConfig,
+    ) -> Result<QueryResult, CypherError> {
+        let (query, plan) = self.plan(query_text, params)?;
+        let mut result = execute_plan(&plan.root, &query, source, &matching);
+        if query.distinct {
+            result = distinct_by_return_items(&result, &query);
+        }
+        Ok(QueryResult {
+            embeddings: result.data,
+            meta: result.meta,
+            query,
+            plan,
+        })
+    }
+}
+
+/// `RETURN DISTINCT`: projects embeddings to the returned bindings and
+/// deduplicates (a distributed `distinct` over the projected rows). The
+/// resulting embeddings bind only the returned variables, so match graphs
+/// derived from a DISTINCT result contain only the returned elements.
+fn distinct_by_return_items(
+    input: &crate::operators::EmbeddingSet,
+    query: &QueryGraph,
+) -> crate::operators::EmbeddingSet {
+    use crate::embedding::{Embedding, EmbeddingMetaData, Entry};
+    use gradoop_cypher::ReturnItem;
+
+    if query
+        .return_items
+        .iter()
+        .any(|item| matches!(item, ReturnItem::CountStar))
+    {
+        // count(*) counts matches, not distinct rows — leave untouched.
+        return input.clone();
+    }
+
+    let mut meta = EmbeddingMetaData::new();
+    let mut entry_sources: Vec<usize> = Vec::new();
+    let mut property_sources: Vec<usize> = Vec::new();
+    for item in &query.return_items {
+        match item {
+            ReturnItem::Variable(variable) => {
+                if meta.column(variable).is_none() {
+                    let column = input
+                        .meta
+                        .column(variable)
+                        .unwrap_or_else(|| panic!("returned variable `{variable}` unbound"));
+                    entry_sources.push(column);
+                    meta.add_entry(
+                        variable,
+                        input.meta.entry_type(variable).expect("typed column"),
+                    );
+                }
+            }
+            ReturnItem::Property { variable, key, .. } => {
+                let index = input
+                    .meta
+                    .property_index(variable, key)
+                    .unwrap_or_else(|| panic!("returned property `{variable}.{key}` unbound"));
+                property_sources.push(index);
+                meta.add_property(variable, key);
+            }
+            ReturnItem::CountStar | ReturnItem::All => {}
+        }
+    }
+
+    let data = input
+        .data
+        .map(move |embedding| {
+            let mut projected = Embedding::new();
+            for &column in &entry_sources {
+                match embedding.entry(column) {
+                    Entry::Id(id) => projected.push_id(id),
+                    Entry::Path(ids) => projected.push_path(&ids),
+                }
+            }
+            for &index in &property_sources {
+                projected.push_property(&embedding.property(index));
+            }
+            projected
+        })
+        .distinct();
+    crate::operators::EmbeddingSet { data, meta }
+}
+
+/// The EPGM pattern-matching operator (Definition 2.4): `g.cypher(q, ...)`.
+///
+/// Returns the collection of logical graphs matching the query, with
+/// variable bindings attached as graph-head properties. This mirrors the
+/// paper's Java API:
+///
+/// ```java
+/// GraphCollection matches = g.cypher(q, HOMO, ISO);
+/// ```
+pub trait CypherOperator {
+    /// Runs `query` with the given vertex/edge morphism semantics.
+    fn cypher(&self, query: &str, matching: MatchingConfig)
+        -> Result<GraphCollection, CypherError>;
+}
+
+impl CypherOperator for LogicalGraph {
+    fn cypher(
+        &self,
+        query: &str,
+        matching: MatchingConfig,
+    ) -> Result<GraphCollection, CypherError> {
+        let engine = CypherEngine::for_graph(self);
+        let result = engine.execute(self, query, &HashMap::new(), matching)?;
+        Ok(result.to_graph_collection(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::ResultValue;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+    use gradoop_epgm::{properties, Edge, GradoopId, GraphHead, Properties, PropertyValue, Vertex};
+
+    fn sample_graph() -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let vertices = vec![
+            Vertex::new(GradoopId(10), "Person", properties! {"name" => "Alice"}),
+            Vertex::new(GradoopId(20), "Person", properties! {"name" => "Eve"}),
+            Vertex::new(GradoopId(40), "University", properties! {"name" => "Uni Leipzig"}),
+        ];
+        let edges = vec![
+            Edge::new(
+                GradoopId(3),
+                "studyAt",
+                GradoopId(10),
+                GradoopId(40),
+                properties! {"classYear" => 2015i64},
+            ),
+            Edge::new(
+                GradoopId(4),
+                "studyAt",
+                GradoopId(20),
+                GradoopId(40),
+                properties! {"classYear" => 2016i64},
+            ),
+            Edge::new(GradoopId(5), "knows", GradoopId(10), GradoopId(20), Properties::new()),
+        ];
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "Community", Properties::new()),
+            vertices,
+            edges,
+        )
+    }
+
+    #[test]
+    fn end_to_end_table_2a() {
+        // The query of paper Table 2a.
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let result = engine
+            .execute(
+                &graph,
+                "MATCH (p1:Person)-[s:studyAt]->(u:University) \
+                 WHERE s.classYear > 2014 RETURN p1.name, u.name",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(result.count(), 2);
+        let mut names: Vec<String> = result
+            .rows_as_maps()
+            .into_iter()
+            .map(|row| match &row["p1.name"] {
+                ResultValue::Property(PropertyValue::String(s)) => s.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Alice", "Eve"]);
+    }
+
+    #[test]
+    fn count_star_row() {
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let result = engine
+            .execute(
+                &graph,
+                "MATCH (p:Person) RETURN count(*)",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        let rows = result.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[0].1, ResultValue::Count(2));
+    }
+
+    #[test]
+    fn cypher_operator_returns_graph_collection() {
+        let graph = sample_graph();
+        let matches = graph
+            .cypher(
+                "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN p.name",
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(matches.graph_count(), 2);
+        // Each match graph contains person + university + edge.
+        let heads = matches.heads().collect();
+        for head in &heads {
+            assert!(head.properties.contains_key("p.name"));
+        }
+        // Result graphs are part of the collection's element membership.
+        let first = matches.graph(heads[0].id).expect("match graph");
+        assert_eq!(first.vertex_count(), 2);
+        assert_eq!(first.edge_count(), 1);
+    }
+
+    #[test]
+    fn parameterized_execution() {
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let mut params = HashMap::new();
+        params.insert("name".to_string(), Literal::String("Alice".into()));
+        let result = engine
+            .execute(
+                &graph,
+                "MATCH (p:Person) WHERE p.name = $name RETURN p",
+                &params,
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(result.count(), 1);
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let no_params = HashMap::new();
+        let config = MatchingConfig::cypher_default();
+        assert!(matches!(
+            engine.execute(&graph, "MATCH (p RETURN *", &no_params, config),
+            Err(CypherError::Parse(_))
+        ));
+        assert!(matches!(
+            engine.execute(&graph, "MATCH (p) RETURN q.name", &no_params, config),
+            Err(CypherError::QueryGraph(_))
+        ));
+    }
+
+    #[test]
+    fn indexed_graph_gives_same_results() {
+        let graph = sample_graph();
+        let indexed = graph.to_indexed();
+        let engine = CypherEngine::for_graph(&graph);
+        let q = "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN *";
+        let plain = engine
+            .execute(&graph, q, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap();
+        let via_index = engine
+            .execute(&indexed, q, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap();
+        assert_eq!(plain.count(), via_index.count());
+    }
+}

@@ -1,0 +1,202 @@
+//! Morphism semantics (paper Sections 2.2 and 2.3).
+//!
+//! Neo4j fixes homomorphic semantics for vertices and isomorphic semantics
+//! for edges; Gradoop's operator lets the user choose both independently
+//! when calling the operator — `g.cypher(q, HOMO, ISO)`. Isomorphism
+//! requires the mapping to be injective: no two query vertices (edges) may
+//! bind the same data vertex (edge).
+
+use crate::embedding::{Embedding, EmbeddingMetaData};
+
+/// Mapping semantics for one element kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorphismType {
+    /// Non-injective mapping — elements may repeat (`HOMO`).
+    Homomorphism,
+    /// Injective mapping — all bound elements are pairwise distinct (`ISO`).
+    Isomorphism,
+}
+
+/// The semantics of one query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingConfig {
+    /// Vertex mapping semantics.
+    pub vertices: MorphismType,
+    /// Edge mapping semantics.
+    pub edges: MorphismType,
+}
+
+impl MatchingConfig {
+    /// Homomorphism for vertices and edges.
+    pub fn homomorphism() -> Self {
+        MatchingConfig {
+            vertices: MorphismType::Homomorphism,
+            edges: MorphismType::Homomorphism,
+        }
+    }
+
+    /// Isomorphism for vertices and edges.
+    pub fn isomorphism() -> Self {
+        MatchingConfig {
+            vertices: MorphismType::Isomorphism,
+            edges: MorphismType::Isomorphism,
+        }
+    }
+
+    /// Neo4j's fixed semantics: homomorphic vertices, isomorphic edges.
+    pub fn cypher_default() -> Self {
+        MatchingConfig {
+            vertices: MorphismType::Homomorphism,
+            edges: MorphismType::Isomorphism,
+        }
+    }
+}
+
+impl Default for MatchingConfig {
+    fn default() -> Self {
+        MatchingConfig::cypher_default()
+    }
+}
+
+/// Checks the uniqueness constraints of `config` on an embedding: under
+/// vertex (edge) isomorphism, all bound vertex (edge) identifiers —
+/// including those inside paths, where entries alternate edge, vertex,
+/// edge, ... — must be pairwise distinct.
+pub fn satisfies_morphism(
+    embedding: &Embedding,
+    meta: &EmbeddingMetaData,
+    config: &MatchingConfig,
+) -> bool {
+    if config.vertices == MorphismType::Isomorphism {
+        let mut ids = Vec::new();
+        embedding.collect_ids(&meta.vertex_columns(), &mut ids);
+        for column in meta.path_columns() {
+            let path = embedding.path(column);
+            // Odd positions are the intermediate vertices.
+            ids.extend(path.iter().skip(1).step_by(2));
+        }
+        if has_duplicates(&mut ids) {
+            return false;
+        }
+    }
+    if config.edges == MorphismType::Isomorphism {
+        let mut ids = Vec::new();
+        embedding.collect_ids(&meta.edge_columns(), &mut ids);
+        for column in meta.path_columns() {
+            let path = embedding.path(column);
+            // Even positions are the path's edges.
+            ids.extend(path.iter().step_by(2));
+        }
+        if has_duplicates(&mut ids) {
+            return false;
+        }
+    }
+    true
+}
+
+fn has_duplicates(ids: &mut Vec<u64>) -> bool {
+    ids.sort_unstable();
+    ids.windows(2).any(|w| w[0] == w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::EntryType;
+
+    fn triangle_meta() -> EmbeddingMetaData {
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("a", EntryType::Vertex);
+        meta.add_entry("e", EntryType::Edge);
+        meta.add_entry("b", EntryType::Vertex);
+        meta
+    }
+
+    fn embedding(a: u64, e: u64, b: u64) -> Embedding {
+        let mut emb = Embedding::new();
+        emb.push_id(a);
+        emb.push_id(e);
+        emb.push_id(b);
+        emb
+    }
+
+    #[test]
+    fn homomorphism_allows_everything() {
+        let meta = triangle_meta();
+        let config = MatchingConfig::homomorphism();
+        assert!(satisfies_morphism(&embedding(1, 5, 1), &meta, &config));
+    }
+
+    #[test]
+    fn vertex_isomorphism_rejects_repeated_vertices() {
+        let meta = triangle_meta();
+        let config = MatchingConfig::isomorphism();
+        assert!(satisfies_morphism(&embedding(1, 5, 2), &meta, &config));
+        assert!(!satisfies_morphism(&embedding(1, 5, 1), &meta, &config));
+    }
+
+    #[test]
+    fn edge_isomorphism_checks_edge_columns_only() {
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("e1", EntryType::Edge);
+        meta.add_entry("e2", EntryType::Edge);
+        let mut emb = Embedding::new();
+        emb.push_id(5);
+        emb.push_id(5);
+        let homo_v_iso_e = MatchingConfig::cypher_default();
+        assert!(!satisfies_morphism(&emb, &meta, &homo_v_iso_e));
+        assert!(satisfies_morphism(
+            &emb,
+            &meta,
+            &MatchingConfig::homomorphism()
+        ));
+    }
+
+    #[test]
+    fn path_contents_participate_in_checks() {
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("a", EntryType::Vertex);
+        meta.add_entry("p", EntryType::Path);
+        meta.add_entry("b", EntryType::Vertex);
+
+        // Path via [e5, v20, e7]; endpoint a=10, b=30.
+        let mut ok = Embedding::new();
+        ok.push_id(10);
+        ok.push_path(&[5, 20, 7]);
+        ok.push_id(30);
+        assert!(satisfies_morphism(&ok, &meta, &MatchingConfig::isomorphism()));
+
+        // Intermediate vertex equals an endpoint: vertex-ISO must reject.
+        let mut dup_vertex = Embedding::new();
+        dup_vertex.push_id(10);
+        dup_vertex.push_path(&[5, 10, 7]);
+        dup_vertex.push_id(30);
+        assert!(!satisfies_morphism(
+            &dup_vertex,
+            &meta,
+            &MatchingConfig::isomorphism()
+        ));
+        // ...but vertex-HOMO accepts (edge ids 5, 7 are distinct).
+        assert!(satisfies_morphism(
+            &dup_vertex,
+            &meta,
+            &MatchingConfig::cypher_default()
+        ));
+
+        // Repeated edge inside the path: edge-ISO must reject.
+        let mut dup_edge = Embedding::new();
+        dup_edge.push_id(10);
+        dup_edge.push_path(&[5, 20, 5]);
+        dup_edge.push_id(30);
+        assert!(!satisfies_morphism(
+            &dup_edge,
+            &meta,
+            &MatchingConfig::cypher_default()
+        ));
+        assert!(satisfies_morphism(
+            &dup_edge,
+            &meta,
+            &MatchingConfig::homomorphism()
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+//! `SelectAndProjectEdges`: the edge leaf operator.
+//!
+//! Emits one embedding per matching edge with columns
+//! `[source, edge, target]` (or `[vertex, edge]` for loops, where the query
+//! edge starts and ends at the same query vertex). Undirected query edges
+//! emit both orientations, letting all downstream joins stay purely
+//! directional.
+
+use gradoop_cypher::predicates::eval::{eval_predicate, SingleElement};
+use gradoop_cypher::QueryEdge;
+use gradoop_dataflow::Dataset;
+use gradoop_epgm::{Edge, PropertyValue};
+
+use crate::embedding::{Embedding, EmbeddingMetaData, EntryType};
+use crate::operators::EmbeddingSet;
+
+fn edge_matches(edge: &Edge, query_edge: &QueryEdge) -> bool {
+    if !query_edge.labels.is_empty() && !query_edge.labels.iter().any(|l| *l == edge.label) {
+        return false;
+    }
+    let bindings = SingleElement {
+        variable: &query_edge.variable,
+        label: &edge.label,
+        properties: &edge.properties,
+        id: edge.id.0,
+    };
+    eval_predicate(&query_edge.predicates, &bindings)
+}
+
+fn push_properties(embedding: &mut Embedding, edge: &Edge, keys: &[String]) {
+    for key in keys {
+        let value = edge
+            .properties
+            .get(key)
+            .cloned()
+            .unwrap_or(PropertyValue::Null);
+        embedding.push_property(&value);
+    }
+}
+
+/// Builds the embedding dataset for one plain (1-hop) query edge from its
+/// candidate edges. `source_var` / `target_var` are the variables of the
+/// query edge's endpoints.
+///
+/// The morphism semantics are enforced here for the one violation a single
+/// edge can already exhibit: under vertex isomorphism, a data loop cannot
+/// bind two *distinct* query vertices.
+pub fn filter_and_project_edges(
+    candidates: &Dataset<Edge>,
+    query_edge: &QueryEdge,
+    source_var: &str,
+    target_var: &str,
+    matching: &crate::matching::MatchingConfig,
+) -> EmbeddingSet {
+    let is_loop = source_var == target_var;
+    let reject_data_loops =
+        !is_loop && matching.vertices == crate::matching::MorphismType::Isomorphism;
+    let mut meta = EmbeddingMetaData::new();
+    meta.add_entry(source_var, EntryType::Vertex);
+    meta.add_entry(&query_edge.variable, EntryType::Edge);
+    if !is_loop {
+        meta.add_entry(target_var, EntryType::Vertex);
+    }
+    for key in &query_edge.required_keys {
+        meta.add_property(&query_edge.variable, key);
+    }
+
+    let qe = query_edge.clone();
+    let undirected = query_edge.undirected;
+    let data = candidates.flat_map(move |edge, out| {
+        if !edge_matches(edge, &qe) {
+            return;
+        }
+        if is_loop {
+            // The query edge starts and ends at the same query vertex: only
+            // data loops can match.
+            if edge.source == edge.target {
+                let mut embedding = Embedding::new();
+                embedding.push_id(edge.source.0);
+                embedding.push_id(edge.id.0);
+                push_properties(&mut embedding, edge, &qe.required_keys);
+                out.push(embedding);
+            }
+            return;
+        }
+        if reject_data_loops && edge.source == edge.target {
+            return;
+        }
+        let mut forward = Embedding::new();
+        forward.push_id(edge.source.0);
+        forward.push_id(edge.id.0);
+        forward.push_id(edge.target.0);
+        push_properties(&mut forward, edge, &qe.required_keys);
+        out.push(forward);
+        if undirected && edge.source != edge.target {
+            let mut backward = Embedding::new();
+            backward.push_id(edge.target.0);
+            backward.push_id(edge.id.0);
+            backward.push_id(edge.source.0);
+            push_properties(&mut backward, edge, &qe.required_keys);
+            out.push(backward);
+        }
+    });
+
+    EmbeddingSet { data, meta }
+}
+
+/// Projects candidate edges to bare `(source, edge, target)` identifier
+/// triples for the bulk-iteration expansion — label and element predicates
+/// applied, undirected edges emitted in both orientations.
+pub fn edge_triples(
+    candidates: &Dataset<Edge>,
+    query_edge: &QueryEdge,
+) -> Dataset<crate::operators::EdgeTriple> {
+    let qe = query_edge.clone();
+    let undirected = query_edge.undirected;
+    candidates.flat_map(move |edge, out| {
+        if !edge_matches(edge, &qe) {
+            return;
+        }
+        out.push((edge.source.0, edge.id.0, edge.target.0));
+        if undirected && edge.source != edge.target {
+            out.push((edge.target.0, edge.id.0, edge.source.0));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::MatchingConfig;
+    use gradoop_cypher::{parse, QueryGraph};
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+    use gradoop_epgm::{properties, GradoopId, Properties};
+
+    fn env() -> ExecutionEnvironment {
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(2).cost_model(CostModel::free()))
+    }
+
+    fn edges(env: &ExecutionEnvironment) -> Dataset<Edge> {
+        env.from_collection(vec![
+            Edge::new(
+                GradoopId(10),
+                "knows",
+                GradoopId(1),
+                GradoopId(2),
+                properties! {"since" => 2014i64},
+            ),
+            Edge::new(
+                GradoopId(11),
+                "knows",
+                GradoopId(2),
+                GradoopId(2), // data loop
+                Properties::new(),
+            ),
+            Edge::new(
+                GradoopId(12),
+                "studyAt",
+                GradoopId(1),
+                GradoopId(3),
+                properties! {"classYear" => 2016i64},
+            ),
+        ])
+    }
+
+    fn query_edge(text: &str) -> (QueryEdge, String, String) {
+        let graph = QueryGraph::from_query(&parse(text).unwrap()).unwrap();
+        let edge = graph.edges[0].clone();
+        let source = graph.vertices[edge.source].variable.clone();
+        let target = graph.vertices[edge.target].variable.clone();
+        (edge, source, target)
+    }
+
+    #[test]
+    fn directed_edge_emits_one_embedding_per_match() {
+        let env = env();
+        let (qe, s, t) = query_edge("MATCH (a)-[e:knows]->(b) RETURN *");
+        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        assert_eq!(result.data.count(), 2);
+        assert_eq!(result.meta.column("a"), Some(0));
+        assert_eq!(result.meta.column("e"), Some(1));
+        assert_eq!(result.meta.column("b"), Some(2));
+    }
+
+    #[test]
+    fn undirected_edge_emits_both_orientations() {
+        let env = env();
+        let (qe, s, t) = query_edge("MATCH (a)-[e:knows]-(b) RETURN *");
+        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        // Edge 10 twice (both directions), loop edge 11 once.
+        assert_eq!(result.data.count(), 3);
+    }
+
+    #[test]
+    fn predicate_and_projection() {
+        let env = env();
+        let (qe, s, t) =
+            query_edge("MATCH (a)-[e:studyAt]->(b) WHERE e.classYear > 2014 RETURN e.classYear");
+        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        let rows = result.data.collect();
+        assert_eq!(rows.len(), 1);
+        let index = result.meta.property_index("e", "classYear").unwrap();
+        assert_eq!(rows[0].property(index), PropertyValue::Long(2016));
+    }
+
+    #[test]
+    fn loop_query_edge_matches_only_data_loops() {
+        let env = env();
+        let (qe, s, t) = query_edge("MATCH (a)-[e:knows]->(a) RETURN *");
+        assert_eq!(s, t);
+        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        let rows = result.data.collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id(0), 2);
+        assert_eq!(rows[0].id(1), 11);
+        assert_eq!(result.meta.columns(), 2);
+    }
+
+    #[test]
+    fn triples_respect_direction_flag() {
+        let env = env();
+        let (qe, _, _) = query_edge("MATCH (a)-[e:knows]->(b) RETURN *");
+        let mut directed = edge_triples(&edges(&env), &qe).collect();
+        directed.sort();
+        assert_eq!(directed, vec![(1, 10, 2), (2, 11, 2)]);
+
+        let (qe, _, _) = query_edge("MATCH (a)-[e:knows]-(b) RETURN *");
+        assert_eq!(edge_triples(&edges(&env), &qe).count(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! `SelectAndProjectVertices`: the vertex leaf operator.
+//!
+//! Fuses the Select → Project → Transform steps into a single `flat_map`
+//! (the paper uses Flink's `FlatMap` for the same reason: one pass, no
+//! intermediate (de)serialization). Select evaluates the element-centric
+//! predicate, Project keeps only the property keys later operators need,
+//! Transform emits the one-column embedding.
+
+use gradoop_cypher::predicates::eval::{eval_predicate, SingleElement};
+use gradoop_cypher::QueryVertex;
+use gradoop_dataflow::Dataset;
+use gradoop_epgm::{PropertyValue, Vertex};
+
+use crate::embedding::{Embedding, EntryType};
+use crate::operators::EmbeddingSet;
+
+/// Builds the embedding dataset for one query vertex from its candidate
+/// vertices (already label-restricted by the graph source).
+pub fn filter_and_project_vertices(
+    candidates: &Dataset<Vertex>,
+    query_vertex: &QueryVertex,
+) -> EmbeddingSet {
+    let mut meta = crate::embedding::EmbeddingMetaData::new();
+    meta.add_entry(&query_vertex.variable, EntryType::Vertex);
+    for key in &query_vertex.required_keys {
+        meta.add_property(&query_vertex.variable, key);
+    }
+
+    let variable = query_vertex.variable.clone();
+    let labels = query_vertex.labels.clone();
+    let predicates = query_vertex.predicates.clone();
+    let keys = query_vertex.required_keys.clone();
+
+    let data = candidates.flat_map(move |vertex, out| {
+        // Select: label predicate (defensive re-check — sources may serve a
+        // superset when unindexed) plus the element-centric predicate.
+        if !labels.is_empty() && !labels.iter().any(|l| *l == vertex.label) {
+            return;
+        }
+        let bindings = SingleElement {
+            variable: &variable,
+            label: &vertex.label,
+            properties: &vertex.properties,
+            id: vertex.id.0,
+        };
+        if !eval_predicate(&predicates, &bindings) {
+            return;
+        }
+        // Project + Transform: one-column embedding with required values.
+        let mut embedding = Embedding::new();
+        embedding.push_id(vertex.id.0);
+        for key in &keys {
+            let value = vertex
+                .properties
+                .get(key)
+                .cloned()
+                .unwrap_or(PropertyValue::Null);
+            embedding.push_property(&value);
+        }
+        out.push(embedding);
+    });
+
+    EmbeddingSet { data, meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::{parse, QueryGraph};
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+    use gradoop_epgm::{properties, GradoopId};
+
+    fn env() -> ExecutionEnvironment {
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(2).cost_model(CostModel::free()))
+    }
+
+    fn vertices(env: &ExecutionEnvironment) -> Dataset<Vertex> {
+        env.from_collection(vec![
+            Vertex::new(
+                GradoopId(1),
+                "Person",
+                properties! {"name" => "Alice", "yob" => 1984i64},
+            ),
+            Vertex::new(GradoopId(2), "Person", properties! {"name" => "Bob"}),
+            Vertex::new(GradoopId(3), "City", properties! {"name" => "Leipzig"}),
+        ])
+    }
+
+    fn query_vertex(text: &str) -> QueryVertex {
+        let graph = QueryGraph::from_query(&parse(text).unwrap()).unwrap();
+        graph.vertices[0].clone()
+    }
+
+    #[test]
+    fn filters_by_label_and_predicate() {
+        let env = env();
+        let qv = query_vertex("MATCH (p:Person) WHERE p.name = 'Alice' RETURN p.name");
+        let result = filter_and_project_vertices(&vertices(&env), &qv);
+        let rows = result.data.collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id(0), 1);
+    }
+
+    #[test]
+    fn projects_required_keys_in_meta_order() {
+        let env = env();
+        let qv = query_vertex("MATCH (p:Person) WHERE p.yob > 1980 RETURN p.name");
+        let result = filter_and_project_vertices(&vertices(&env), &qv);
+        // required keys: yob (predicate), name (return)
+        let yob = result.meta.property_index("p", "yob").unwrap();
+        let name = result.meta.property_index("p", "name").unwrap();
+        let rows = result.data.collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].property(yob), PropertyValue::Long(1984));
+        assert_eq!(rows[0].property(name), PropertyValue::String("Alice".into()));
+    }
+
+    #[test]
+    fn missing_properties_are_null() {
+        let env = env();
+        let qv = query_vertex("MATCH (p:Person) RETURN p.yob");
+        let result = filter_and_project_vertices(&vertices(&env), &qv);
+        let rows = result.data.collect();
+        assert_eq!(rows.len(), 2);
+        let index = result.meta.property_index("p", "yob").unwrap();
+        assert!(rows.iter().any(|r| r.property(index).is_null()));
+    }
+
+    #[test]
+    fn unlabeled_query_vertex_accepts_everything() {
+        let env = env();
+        let qv = query_vertex("MATCH (x) RETURN count(*)");
+        let result = filter_and_project_vertices(&vertices(&env), &qv);
+        assert_eq!(result.data.count(), 3);
+        assert_eq!(result.meta.property_count(), 0);
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_yields_empty() {
+        let env = env();
+        let qv = query_vertex("MATCH (p:Person) WHERE p.name = 'Zz' RETURN *");
+        let result = filter_and_project_vertices(&vertices(&env), &qv);
+        assert_eq!(result.data.count(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Query operators (paper Section 3.1).
+//!
+//! Each operator translates a relational operation into dataflow
+//! transformations over embedding datasets:
+//!
+//! * [`filter_and_project_vertices`] / [`filter_and_project_edges`] — the
+//!   leaf operators, fusing Select → Project → Transform into a single
+//!   `flat_map`;
+//! * [`join_embeddings`] — connects two subqueries with a FlatJoin that
+//!   enforces the chosen morphism semantics;
+//! * [`expand_embeddings`] — variable-length path expressions via bulk
+//!   iteration;
+//! * [`filter_embeddings`] — predicates spanning multiple query elements;
+//! * [`project_embeddings`] — drops property slots that are no longer
+//!   needed;
+//! * [`value_join_embeddings`] — joins subqueries on property values (the
+//!   extension operator the paper names in Section 3.1);
+//! * [`cartesian_embeddings`] — combines disconnected query components.
+
+mod cartesian;
+mod expand_embeddings;
+mod filter_embeddings;
+mod filter_project_edges;
+mod filter_project_vertices;
+mod join_embeddings;
+mod project_embeddings;
+mod value_join;
+
+pub use cartesian::cartesian_embeddings;
+pub use expand_embeddings::{expand_embeddings, EdgeTriple, ExpandConfig};
+pub use filter_embeddings::filter_embeddings;
+pub use filter_project_edges::{edge_triples, filter_and_project_edges};
+pub use filter_project_vertices::filter_and_project_vertices;
+pub use join_embeddings::join_embeddings;
+pub use project_embeddings::project_embeddings;
+pub use value_join::value_join_embeddings;
+
+use crate::embedding::{Embedding, EmbeddingMetaData};
+use gradoop_dataflow::Dataset;
+
+/// An embedding dataset together with its (plan-time) layout.
+#[derive(Clone, Debug)]
+pub struct EmbeddingSet {
+    /// The embeddings.
+    pub data: Dataset<Embedding>,
+    /// Their shared layout.
+    pub meta: EmbeddingMetaData,
+}

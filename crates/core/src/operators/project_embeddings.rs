@@ -1,0 +1,128 @@
+//! `ProjectEmbeddings`: removes property slots that later operators no
+//! longer need, shrinking the rows that flow through the network.
+
+use crate::embedding::Embedding;
+use crate::operators::EmbeddingSet;
+
+/// Keeps only the property slots for the given `(variable, key)` pairs.
+/// Identifier and path columns are never dropped — they define the match.
+pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> EmbeddingSet {
+    let kept_indices: Vec<usize> = input
+        .meta
+        .properties()
+        .enumerate()
+        .filter(|(_, (variable, key))| {
+            keep.iter()
+                .any(|(v, k)| v == variable && k == key)
+        })
+        .map(|(index, _)| index)
+        .collect();
+
+    if kept_indices.len() == input.meta.property_count() {
+        return input.clone();
+    }
+
+    let mut meta = crate::embedding::EmbeddingMetaData::new();
+    for (variable, entry_type) in input.meta.entries() {
+        meta.add_entry(variable, entry_type);
+    }
+    let pairs: Vec<(String, String)> = input
+        .meta
+        .properties()
+        .enumerate()
+        .filter(|(index, _)| kept_indices.contains(index))
+        .map(|(_, (variable, key))| (variable.to_string(), key.to_string()))
+        .collect();
+    for (variable, key) in &pairs {
+        meta.add_property(variable, key);
+    }
+
+    let indices = kept_indices.clone();
+    let columns = input.meta.columns();
+    let data = input.data.map(move |embedding| {
+        let mut projected = Embedding::new();
+        for column in 0..columns {
+            match embedding.entry(column) {
+                crate::embedding::Entry::Id(id) => projected.push_id(id),
+                crate::embedding::Entry::Path(ids) => projected.push_path(&ids),
+            }
+        }
+        for &index in &indices {
+            projected.push_property(&embedding.property(index));
+        }
+        projected
+    });
+
+    EmbeddingSet { data, meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{EmbeddingMetaData, EntryType};
+    use gradoop_dataflow::{CostModel, Data, ExecutionConfig, ExecutionEnvironment};
+    use gradoop_epgm::PropertyValue;
+
+    fn input(env: &ExecutionEnvironment) -> EmbeddingSet {
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("a", EntryType::Vertex);
+        meta.add_entry("p", EntryType::Path);
+        meta.add_property("a", "name");
+        meta.add_property("a", "yob");
+        meta.add_property("a", "gender");
+        let mut emb = Embedding::new();
+        emb.push_id(1);
+        emb.push_path(&[7, 8, 9]);
+        emb.push_property(&PropertyValue::String("Alice".into()));
+        emb.push_property(&PropertyValue::Long(1984));
+        emb.push_property(&PropertyValue::String("female".into()));
+        EmbeddingSet {
+            data: env.from_collection(vec![emb]),
+            meta,
+        }
+    }
+
+    #[test]
+    fn drops_unwanted_properties() {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(1).cost_model(CostModel::free()),
+        );
+        let set = input(&env);
+        let projected = project_embeddings(&set, &[("a".to_string(), "name".to_string())]);
+        assert_eq!(projected.meta.property_count(), 1);
+        let rows = projected.data.collect();
+        assert_eq!(rows[0].property_count(), 1);
+        assert_eq!(rows[0].property(0), PropertyValue::String("Alice".into()));
+        // Columns (including paths) survive.
+        assert_eq!(rows[0].path(1), vec![7, 8, 9]);
+        // The projected row is smaller.
+        assert!(rows[0].byte_size() < set.data.collect()[0].byte_size());
+    }
+
+    #[test]
+    fn keeping_everything_is_identity() {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(1).cost_model(CostModel::free()),
+        );
+        let set = input(&env);
+        let keep: Vec<(String, String)> = set
+            .meta
+            .properties()
+            .map(|(v, k)| (v.to_string(), k.to_string()))
+            .collect();
+        let projected = project_embeddings(&set, &keep);
+        assert_eq!(projected.meta, set.meta);
+    }
+
+    #[test]
+    fn projecting_to_nothing_keeps_structure() {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(1).cost_model(CostModel::free()),
+        );
+        let set = input(&env);
+        let projected = project_embeddings(&set, &[]);
+        assert_eq!(projected.meta.property_count(), 0);
+        assert_eq!(projected.meta.columns(), 2);
+        assert_eq!(projected.data.collect()[0].property_count(), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Cardinality and selectivity estimation.
+//!
+//! Uses the statistics enumerated in the paper — vertex/edge counts, label
+//! distributions, distinct source/target counts per edge label — plus
+//! distinct property-value counts, with the basic estimation formulas of
+//! relational query planning (Garcia-Molina/Ullman/Widom): equality on a
+//! key with `d` distinct values selects `1/d`, range predicates select 1/3,
+//! and a join on a variable with `d_l`/`d_r` distinct values on either side
+//! produces `|L|·|R| / max(d_l, d_r)` rows.
+
+use gradoop_cypher::{Atom, CmpOp, CnfClause, CnfPredicate, Operand, QueryGraph};
+use gradoop_epgm::{GraphStatistics, Label};
+
+/// Fallback selectivity of an equality when no distinct count is known.
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Selectivity of range comparisons (`<`, `<=`, `>`, `>=`).
+const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Selectivity of `IS NULL` (properties are usually set).
+const IS_NULL_SELECTIVITY: f64 = 0.1;
+
+/// Cardinality estimator bound to a data graph's statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    stats: &'a GraphStatistics,
+}
+
+impl<'a> Estimator<'a> {
+    /// Creates an estimator over pre-computed statistics.
+    pub fn new(stats: &'a GraphStatistics) -> Self {
+        Estimator { stats }
+    }
+
+    /// The underlying statistics.
+    pub fn stats(&self) -> &GraphStatistics {
+        self.stats
+    }
+
+    /// Estimated rows produced by scanning query vertex `index`.
+    pub fn vertex_cardinality(&self, query: &QueryGraph, index: usize) -> f64 {
+        let vertex = &query.vertices[index];
+        let base = self.vertices_with_labels(&vertex.labels);
+        base * self.predicate_selectivity(&vertex.predicates, &vertex.labels, true)
+    }
+
+    /// Estimated rows produced by scanning query edge `index` (both
+    /// orientations for undirected edges).
+    pub fn edge_cardinality(&self, query: &QueryGraph, index: usize) -> f64 {
+        let edge = &query.edges[index];
+        let base = self.edges_with_labels(&edge.labels);
+        let directions = if edge.undirected { 2.0 } else { 1.0 };
+        directions * base * self.predicate_selectivity(&edge.predicates, &edge.labels, false)
+    }
+
+    /// Estimated distinct source vertices of query edge `index`.
+    pub fn edge_distinct_sources(&self, query: &QueryGraph, index: usize) -> f64 {
+        let edge = &query.edges[index];
+        if edge.labels.is_empty() {
+            (self.stats.distinct_sources(None) as f64).max(1.0)
+        } else {
+            edge.labels
+                .iter()
+                .map(|l| self.stats.distinct_sources(Some(l)) as f64)
+                .sum::<f64>()
+                .max(1.0)
+        }
+    }
+
+    /// Estimated distinct target vertices of query edge `index`.
+    pub fn edge_distinct_targets(&self, query: &QueryGraph, index: usize) -> f64 {
+        let edge = &query.edges[index];
+        if edge.labels.is_empty() {
+            (self.stats.distinct_targets(None) as f64).max(1.0)
+        } else {
+            edge.labels
+                .iter()
+                .map(|l| self.stats.distinct_targets(Some(l)) as f64)
+                .sum::<f64>()
+                .max(1.0)
+        }
+    }
+
+    /// Total vertices matching a label alternation (all vertices if empty).
+    pub fn vertices_with_labels(&self, labels: &[Label]) -> f64 {
+        if labels.is_empty() {
+            self.stats.vertex_count as f64
+        } else {
+            labels
+                .iter()
+                .map(|l| self.stats.vertices_with_label(l) as f64)
+                .sum()
+        }
+    }
+
+    /// Total edges matching a label alternation (all edges if empty).
+    pub fn edges_with_labels(&self, labels: &[Label]) -> f64 {
+        if labels.is_empty() {
+            self.stats.edge_count as f64
+        } else {
+            labels
+                .iter()
+                .map(|l| self.stats.edges_with_label(l) as f64)
+                .sum()
+        }
+    }
+
+    /// Estimated per-source fan-out of query edge `index` — the expected
+    /// number of outgoing candidate edges per distinct source vertex. Used
+    /// to estimate variable-length expansions.
+    pub fn edge_fanout(&self, query: &QueryGraph, index: usize) -> f64 {
+        self.edge_cardinality(query, index) / self.edge_distinct_sources(query, index)
+    }
+
+    /// Join cardinality: `|L|·|R| / max(d_l, d_r)` per join variable.
+    pub fn join_cardinality(
+        &self,
+        left_cardinality: f64,
+        right_cardinality: f64,
+        distinct_pairs: &[(f64, f64)],
+    ) -> f64 {
+        let mut result = left_cardinality * right_cardinality;
+        for (dl, dr) in distinct_pairs {
+            result /= dl.max(*dr).max(1.0);
+        }
+        result
+    }
+
+    /// Selectivity of a full (element-centric) predicate: clauses multiply.
+    pub fn predicate_selectivity(
+        &self,
+        predicate: &CnfPredicate,
+        labels: &[Label],
+        is_vertex: bool,
+    ) -> f64 {
+        predicate
+            .clauses
+            .iter()
+            .map(|clause| self.clause_selectivity(clause, labels, is_vertex))
+            .product()
+    }
+
+    /// Selectivity of one clause: disjuncts combine as
+    /// `1 - Π (1 - s_i)`, capped to [0, 1].
+    pub fn clause_selectivity(
+        &self,
+        clause: &CnfClause,
+        labels: &[Label],
+        is_vertex: bool,
+    ) -> f64 {
+        let mut miss = 1.0;
+        for atom in &clause.atoms {
+            miss *= 1.0 - self.atom_selectivity(atom, labels, is_vertex);
+        }
+        (1.0 - miss).clamp(0.0, 1.0)
+    }
+
+    fn atom_selectivity(&self, atom: &Atom, labels: &[Label], is_vertex: bool) -> f64 {
+        match atom {
+            Atom::Constant(true) => 1.0,
+            Atom::Constant(false) => 0.0,
+            Atom::IsNull { negated, .. } => {
+                if *negated {
+                    1.0 - IS_NULL_SELECTIVITY
+                } else {
+                    IS_NULL_SELECTIVITY
+                }
+            }
+            Atom::HasLabel {
+                labels: wanted,
+                negated,
+                ..
+            } => {
+                let total = if is_vertex {
+                    self.stats.vertex_count as f64
+                } else {
+                    self.stats.edge_count as f64
+                };
+                let matching: f64 = wanted
+                    .iter()
+                    .map(|l| {
+                        let label = Label::new(l);
+                        if is_vertex {
+                            self.stats.vertices_with_label(&label) as f64
+                        } else {
+                            self.stats.edges_with_label(&label) as f64
+                        }
+                    })
+                    .sum();
+                let selectivity = if total > 0.0 { matching / total } else { 0.0 };
+                if *negated {
+                    1.0 - selectivity
+                } else {
+                    selectivity
+                }
+            }
+            Atom::Comparison { left, op, right } => {
+                let key = match (left, right) {
+                    (Operand::Property { key, .. }, Operand::Literal(_))
+                    | (Operand::Literal(_), Operand::Property { key, .. }) => Some(key),
+                    _ => None,
+                };
+                let eq = key
+                    .and_then(|key| self.distinct_values(labels, key, is_vertex))
+                    .map(|d| 1.0 / d.max(1.0))
+                    .unwrap_or(DEFAULT_EQ_SELECTIVITY);
+                match op {
+                    CmpOp::Eq => eq,
+                    CmpOp::Neq => 1.0 - eq,
+                    _ => RANGE_SELECTIVITY,
+                }
+            }
+        }
+    }
+
+    fn distinct_values(&self, labels: &[Label], key: &str, is_vertex: bool) -> Option<f64> {
+        if labels.is_empty() {
+            return None;
+        }
+        let mut total = 0.0;
+        for label in labels {
+            let count = if is_vertex {
+                self.stats.distinct_vertex_values(label, key)?
+            } else {
+                self.stats.distinct_edge_values(label, key)?
+            };
+            total += count as f64;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::{parse, QueryGraph};
+
+    fn stats() -> GraphStatistics {
+        let mut stats = GraphStatistics {
+            vertex_count: 1000,
+            edge_count: 5000,
+            distinct_source_count: 800,
+            distinct_target_count: 900,
+            ..GraphStatistics::default()
+        };
+        stats
+            .vertex_count_by_label
+            .insert(Label::new("Person"), 600);
+        stats.vertex_count_by_label.insert(Label::new("City"), 400);
+        stats.edge_count_by_label.insert(Label::new("knows"), 3000);
+        stats
+            .distinct_source_by_label
+            .insert(Label::new("knows"), 500);
+        stats
+            .distinct_target_by_label
+            .insert(Label::new("knows"), 550);
+        stats
+            .distinct_vertex_property_values
+            .insert((Label::new("Person"), "name".to_string()), 200);
+        stats
+    }
+
+    fn query(text: &str) -> QueryGraph {
+        QueryGraph::from_query(&parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn label_counts_drive_scan_estimates() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let q = query("MATCH (p:Person) RETURN *");
+        assert_eq!(est.vertex_cardinality(&q, 0), 600.0);
+        let q = query("MATCH (x) RETURN *");
+        assert_eq!(est.vertex_cardinality(&q, 0), 1000.0);
+        let q = query("MATCH (x:Person|City) RETURN *");
+        assert_eq!(est.vertex_cardinality(&q, 0), 1000.0);
+    }
+
+    #[test]
+    fn equality_uses_distinct_value_counts() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let q = query("MATCH (p:Person) WHERE p.name = 'Alice' RETURN *");
+        // 600 Persons / 200 distinct names = 3.
+        assert!((est.vertex_cardinality(&q, 0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_and_negation_selectivities() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let q = query("MATCH (p:Person) WHERE p.name <> 'Alice' RETURN *");
+        assert!((est.vertex_cardinality(&q, 0) - 600.0 * (1.0 - 1.0 / 200.0)).abs() < 1e-6);
+        let q = query("MATCH (p:Person) WHERE p.age > 30 RETURN *");
+        assert!((est.vertex_cardinality(&q, 0) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn undirected_edges_double() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let directed = query("MATCH (a)-[e:knows]->(b) RETURN *");
+        let undirected = query("MATCH (a)-[e:knows]-(b) RETURN *");
+        assert_eq!(est.edge_cardinality(&directed, 0), 3000.0);
+        assert_eq!(est.edge_cardinality(&undirected, 0), 6000.0);
+    }
+
+    #[test]
+    fn join_formula() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        // 600 vertices joined with 3000 edges on source (500 distinct).
+        let card = est.join_cardinality(600.0, 3000.0, &[(600.0, 500.0)]);
+        assert!((card - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_is_cardinality_over_sources() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let q = query("MATCH (a)-[e:knows]->(b) RETURN *");
+        assert!((est.edge_fanout(&q, 0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clause_disjunction_combines() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let q = query("MATCH (p:Person) WHERE p.name = 'A' OR p.name = 'B' RETURN *");
+        let expected = 600.0 * (1.0 - (1.0 - 1.0 / 200.0) * (1.0 - 1.0 / 200.0));
+        assert!((est.vertex_cardinality(&q, 0) - expected).abs() < 1e-6);
+    }
+}

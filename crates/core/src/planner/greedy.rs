@@ -1,0 +1,683 @@
+//! The greedy query planner (paper Section 3.2).
+//!
+//! Decomposes the query into its vertex and edge sets and constructs a
+//! bushy plan: starting from one partial plan per query vertex, it
+//! repeatedly evaluates — for every uncovered query edge — the cost of
+//! joining that edge into the existing partial plans, commits the
+//! alternative with the smallest estimated intermediate result, and repeats
+//! until one plan covers the query graph. Cross-variable filters are placed
+//! as soon as all their variables are bound; disconnected components are
+//! combined by cartesian products at the end.
+
+use std::collections::{BTreeSet, HashMap};
+
+use gradoop_cypher::QueryGraph;
+
+use crate::planner::estimation::Estimator;
+use crate::planner::plan::{PlanNode, QueryPlan};
+
+/// Planning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "planning failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A partial plan covering a subset of the query graph.
+#[derive(Debug, Clone)]
+struct Partial {
+    node: PlanNode,
+    vertices: BTreeSet<usize>,
+    edges: BTreeSet<usize>,
+    /// Variables bound to columns of the partial's embeddings.
+    variables: BTreeSet<String>,
+    cardinality: f64,
+    /// Estimated distinct values per bound variable.
+    distinct: HashMap<String, f64>,
+}
+
+/// Plans `query` over a graph described by `estimator`'s statistics.
+pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan, PlanError> {
+    if query.vertices.is_empty() {
+        return Err(PlanError("query graph has no vertices".into()));
+    }
+
+    let mut partials: Vec<Partial> = Vec::new();
+    let mut deferred_vertices: BTreeSet<usize> = BTreeSet::new();
+
+    // Leaf partial per query vertex. Trivial vertices (no labels, no
+    // predicates, no required properties) touched by at least one edge are
+    // deferred: the edge scan itself binds them, so no join is needed.
+    for (index, vertex) in query.vertices.iter().enumerate() {
+        let touched = query
+            .edges
+            .iter()
+            .any(|e| e.source == index || e.target == index);
+        let trivial = vertex.labels.is_empty()
+            && vertex.predicates.is_trivial()
+            && vertex.required_keys.is_empty();
+        if trivial && touched {
+            deferred_vertices.insert(index);
+            continue;
+        }
+        let cardinality = estimator.vertex_cardinality(query, index);
+        let mut distinct = HashMap::new();
+        distinct.insert(vertex.variable.clone(), cardinality);
+        partials.push(Partial {
+            node: PlanNode::ScanVertices { vertex: index },
+            vertices: BTreeSet::from([index]),
+            edges: BTreeSet::new(),
+            variables: BTreeSet::from([vertex.variable.clone()]),
+            cardinality,
+            distinct,
+        });
+    }
+
+    let mut remaining_edges: BTreeSet<usize> = (0..query.edges.len()).collect();
+    let mut pending_clauses: BTreeSet<usize> = (0..query.cross_clauses.len()).collect();
+
+    while !remaining_edges.is_empty() {
+        // Evaluate every uncovered edge and keep the cheapest alternative.
+        let mut best: Option<(usize, Partial, Vec<usize>)> = None;
+        for &edge_index in &remaining_edges {
+            let candidate = build_candidate(query, estimator, &partials, edge_index)?;
+            if best
+                .as_ref()
+                .map(|(_, b, _)| candidate.1.cardinality < b.cardinality)
+                .unwrap_or(true)
+            {
+                best = Some((edge_index, candidate.1, candidate.0));
+            }
+        }
+        let (edge_index, mut merged, consumed) =
+            best.ok_or_else(|| PlanError("no joinable edge found".into()))?;
+        remaining_edges.remove(&edge_index);
+
+        // Replace the consumed partials (descending index order).
+        let mut consumed = consumed;
+        consumed.sort_unstable_by(|a, b| b.cmp(a));
+        for index in consumed {
+            partials.remove(index);
+        }
+        apply_ready_filters(query, estimator, &mut merged, &mut pending_clauses);
+        partials.push(merged);
+    }
+
+    // Isolated non-trivial vertices are still their own partials; combine
+    // everything left with cartesian products, cheapest side first.
+    partials.sort_by(|a, b| a.cardinality.total_cmp(&b.cardinality));
+    let mut iter = partials.into_iter();
+    let mut combined = iter
+        .next()
+        .ok_or_else(|| PlanError("query produced no partial plans".into()))?;
+    for next in iter {
+        let distinct = merge_distinct(&combined, &next);
+        // A pending equality predicate between properties of the two sides
+        // turns the cartesian product into a value join (the extension
+        // operator of paper Section 3.1) — same result, far smaller output.
+        let value_join =
+            find_value_join_clause(query, &pending_clauses, &combined.variables, &next.variables);
+        let (node, cardinality) = match value_join {
+            Some((clause_index, left_property, right_property)) => {
+                pending_clauses.remove(&clause_index);
+                (
+                    PlanNode::ValueJoin {
+                        left: Box::new(combined.node),
+                        right: Box::new(next.node),
+                        left_property,
+                        right_property,
+                    },
+                    // Equality-join estimate: the product scaled by the
+                    // default equality selectivity.
+                    combined.cardinality * next.cardinality * 0.1,
+                )
+            }
+            None => (
+                PlanNode::Cartesian {
+                    left: Box::new(combined.node),
+                    right: Box::new(next.node),
+                },
+                combined.cardinality * next.cardinality,
+            ),
+        };
+        combined = Partial {
+            vertices: combined.vertices.union(&next.vertices).copied().collect(),
+            edges: combined.edges.union(&next.edges).copied().collect(),
+            variables: combined.variables.union(&next.variables).cloned().collect(),
+            cardinality,
+            node,
+            distinct,
+        };
+        apply_ready_filters(query, estimator, &mut combined, &mut pending_clauses);
+    }
+
+    // Any still-pending clause means a variable never got bound — that can
+    // only be a clause without variables (constant), which we apply last.
+    if !pending_clauses.is_empty() {
+        let clauses: Vec<usize> = pending_clauses.iter().copied().collect();
+        for &index in &clauses {
+            let (_, variables) = &query.cross_clauses[index];
+            for variable in variables {
+                if !combined.variables.contains(variable) {
+                    return Err(PlanError(format!(
+                        "predicate references variable `{variable}` that is never bound"
+                    )));
+                }
+            }
+        }
+        combined.node = PlanNode::Filter {
+            input: Box::new(combined.node),
+            clauses,
+        };
+    }
+
+    Ok(QueryPlan {
+        estimated_cardinality: combined.cardinality,
+        root: combined.node,
+    })
+}
+
+/// Builds the candidate partial that covers `edge_index`, returning the
+/// indices of the partials it consumes.
+fn build_candidate(
+    query: &QueryGraph,
+    estimator: &Estimator,
+    partials: &[Partial],
+    edge_index: usize,
+) -> Result<(Vec<usize>, Partial), PlanError> {
+    let edge = &query.edges[edge_index];
+    let source_var = query.vertices[edge.source].variable.clone();
+    let target_var = query.vertices[edge.target].variable.clone();
+
+    let source_partial = partials
+        .iter()
+        .position(|p| p.variables.contains(&source_var));
+    let target_partial = partials
+        .iter()
+        .position(|p| p.variables.contains(&target_var));
+
+    if edge.is_variable_length() {
+        build_expand_candidate(
+            query,
+            estimator,
+            partials,
+            edge_index,
+            source_partial,
+            target_partial,
+        )
+    } else {
+        build_join_candidate(
+            query,
+            estimator,
+            partials,
+            edge_index,
+            source_partial,
+            target_partial,
+        )
+    }
+}
+
+/// Leaf partial for one plain edge scan.
+fn edge_scan_partial(query: &QueryGraph, estimator: &Estimator, edge_index: usize) -> Partial {
+    let edge = &query.edges[edge_index];
+    let source_var = query.vertices[edge.source].variable.clone();
+    let target_var = query.vertices[edge.target].variable.clone();
+    let cardinality = estimator.edge_cardinality(query, edge_index);
+    let mut distinct = HashMap::new();
+    distinct.insert(
+        source_var.clone(),
+        estimator
+            .edge_distinct_sources(query, edge_index)
+            .min(cardinality),
+    );
+    distinct.insert(
+        target_var.clone(),
+        estimator
+            .edge_distinct_targets(query, edge_index)
+            .min(cardinality),
+    );
+    distinct.insert(edge.variable.clone(), cardinality);
+    let mut variables = BTreeSet::from([source_var, edge.variable.clone()]);
+    variables.insert(target_var);
+    Partial {
+        node: PlanNode::ScanEdges { edge: edge_index },
+        vertices: BTreeSet::from([edge.source, edge.target]),
+        edges: BTreeSet::from([edge_index]),
+        variables,
+        cardinality,
+        distinct,
+    }
+}
+
+fn join_partials(
+    estimator: &Estimator,
+    left: Partial,
+    right: Partial,
+    variables: Vec<String>,
+) -> Partial {
+    let pairs: Vec<(f64, f64)> = variables
+        .iter()
+        .map(|v| {
+            (
+                left.distinct.get(v).copied().unwrap_or(left.cardinality),
+                right.distinct.get(v).copied().unwrap_or(right.cardinality),
+            )
+        })
+        .collect();
+    let cardinality = estimator.join_cardinality(left.cardinality, right.cardinality, &pairs);
+    let mut distinct = HashMap::new();
+    for (variable, value) in left.distinct.iter().chain(right.distinct.iter()) {
+        let entry = distinct.entry(variable.clone()).or_insert(*value);
+        *entry = entry.min(*value).min(cardinality.max(1.0));
+    }
+    Partial {
+        node: PlanNode::Join {
+            left: Box::new(left.node),
+            right: Box::new(right.node),
+            variables,
+        },
+        vertices: left.vertices.union(&right.vertices).copied().collect(),
+        edges: left.edges.union(&right.edges).copied().collect(),
+        variables: left.variables.union(&right.variables).cloned().collect(),
+        cardinality,
+        distinct,
+    }
+}
+
+fn build_join_candidate(
+    query: &QueryGraph,
+    estimator: &Estimator,
+    partials: &[Partial],
+    edge_index: usize,
+    source_partial: Option<usize>,
+    target_partial: Option<usize>,
+) -> Result<(Vec<usize>, Partial), PlanError> {
+    let edge = &query.edges[edge_index];
+    let source_var = query.vertices[edge.source].variable.clone();
+    let target_var = query.vertices[edge.target].variable.clone();
+    let scan = edge_scan_partial(query, estimator, edge_index);
+
+    let mut consumed = Vec::new();
+    let mut current = scan;
+
+    match (source_partial, target_partial) {
+        (Some(s), Some(t)) if s == t => {
+            // Both endpoints live in the same partial: one join on both
+            // endpoint variables (or just one for loops).
+            let mut join_vars = vec![source_var.clone()];
+            if source_var != target_var {
+                join_vars.push(target_var);
+            }
+            current = join_partials(estimator, partials[s].clone(), current, join_vars);
+            consumed.push(s);
+        }
+        (source, target) => {
+            if let Some(s) = source {
+                current = join_partials(
+                    estimator,
+                    partials[s].clone(),
+                    current,
+                    vec![source_var.clone()],
+                );
+                consumed.push(s);
+            }
+            if let Some(t) = target {
+                if source_var != target_var {
+                    current =
+                        join_partials(estimator, partials[t].clone(), current, vec![target_var]);
+                    consumed.push(t);
+                }
+            }
+        }
+    }
+    Ok((consumed, current))
+}
+
+fn build_expand_candidate(
+    query: &QueryGraph,
+    estimator: &Estimator,
+    partials: &[Partial],
+    edge_index: usize,
+    source_partial: Option<usize>,
+    target_partial: Option<usize>,
+) -> Result<(Vec<usize>, Partial), PlanError> {
+    let edge = &query.edges[edge_index];
+    let source_var = query.vertices[edge.source].variable.clone();
+    let target_var = query.vertices[edge.target].variable.clone();
+    let (lower, upper) = edge.range.expect("variable-length edge");
+
+    // The expansion needs an input binding its source column. Deferred
+    // (trivial) source vertices still get a scan here.
+    let (input, mut consumed) = match source_partial {
+        Some(index) => (partials[index].clone(), vec![index]),
+        None => {
+            let cardinality = estimator.vertex_cardinality(query, edge.source);
+            let mut distinct = HashMap::new();
+            distinct.insert(source_var.clone(), cardinality);
+            (
+                Partial {
+                    node: PlanNode::ScanVertices {
+                        vertex: edge.source,
+                    },
+                    vertices: BTreeSet::from([edge.source]),
+                    edges: BTreeSet::new(),
+                    variables: BTreeSet::from([source_var.clone()]),
+                    cardinality,
+                    distinct,
+                },
+                Vec::new(),
+            )
+        }
+    };
+
+    // Σ fanout^k over the path lengths, with the zero-length path
+    // contributing its single embedding.
+    let fanout = estimator.edge_fanout(query, edge_index).max(0.001);
+    let mut growth = 0.0;
+    for k in lower..=upper {
+        growth += fanout.powi(k as i32);
+    }
+    let closes_cycle = input.variables.contains(&target_var);
+    let mut cardinality = input.cardinality * growth;
+    if closes_cycle {
+        let vertex_count = (estimator.stats().vertex_count as f64).max(1.0);
+        cardinality /= vertex_count;
+    }
+
+    let mut variables = input.variables.clone();
+    variables.insert(edge.variable.clone());
+    variables.insert(target_var.clone());
+    let mut distinct = input.distinct.clone();
+    distinct.insert(
+        target_var.clone(),
+        (estimator.stats().vertex_count as f64).min(cardinality.max(1.0)),
+    );
+    let mut expanded = Partial {
+        node: PlanNode::Expand {
+            input: Box::new(input.node),
+            edge: edge_index,
+        },
+        vertices: {
+            let mut v = input.vertices.clone();
+            v.insert(edge.source);
+            v.insert(edge.target);
+            v
+        },
+        edges: {
+            let mut e = input.edges.clone();
+            e.insert(edge_index);
+            e
+        },
+        variables,
+        cardinality,
+        distinct,
+    };
+
+    // If the target lives in a different partial, join the expansion result
+    // with it on the target variable.
+    if let Some(t) = target_partial {
+        if !consumed.contains(&t) && !closes_cycle {
+            expanded = join_partials(
+                estimator,
+                expanded,
+                partials[t].clone(),
+                vec![target_var],
+            );
+            consumed.push(t);
+        }
+    }
+    Ok((consumed, expanded))
+}
+
+/// Attaches pending cross-variable filters whose variables are all bound.
+fn apply_ready_filters(
+    query: &QueryGraph,
+    estimator: &Estimator,
+    partial: &mut Partial,
+    pending: &mut BTreeSet<usize>,
+) {
+    let ready: Vec<usize> = pending
+        .iter()
+        .copied()
+        .filter(|&index| {
+            query.cross_clauses[index]
+                .1
+                .iter()
+                .all(|v| partial.variables.contains(v))
+        })
+        .collect();
+    if ready.is_empty() {
+        return;
+    }
+    for &index in &ready {
+        pending.remove(&index);
+        let clause = &query.cross_clauses[index].0;
+        partial.cardinality *= estimator.clause_selectivity(clause, &[], true);
+    }
+    partial.node = PlanNode::Filter {
+        input: Box::new(partial.node.clone()),
+        clauses: ready,
+    };
+}
+
+/// Finds a pending single-atom equality clause `a.k1 = b.k2` whose sides
+/// live in the two given variable sets, returning the clause index and the
+/// property pair oriented as (left, right).
+fn find_value_join_clause(
+    query: &QueryGraph,
+    pending: &BTreeSet<usize>,
+    left_variables: &BTreeSet<String>,
+    right_variables: &BTreeSet<String>,
+) -> Option<(usize, (String, String), (String, String))> {
+    use gradoop_cypher::{Atom, CmpOp, Operand};
+    for &index in pending {
+        let (clause, _) = &query.cross_clauses[index];
+        let [atom] = clause.atoms.as_slice() else {
+            continue;
+        };
+        let Atom::Comparison {
+            left: Operand::Property {
+                variable: v1,
+                key: k1,
+            },
+            op: CmpOp::Eq,
+            right:
+                Operand::Property {
+                    variable: v2,
+                    key: k2,
+                },
+        } = atom
+        else {
+            continue;
+        };
+        let p1 = (v1.clone(), k1.clone());
+        let p2 = (v2.clone(), k2.clone());
+        if left_variables.contains(v1) && right_variables.contains(v2) {
+            return Some((index, p1, p2));
+        }
+        if left_variables.contains(v2) && right_variables.contains(v1) {
+            return Some((index, p2, p1));
+        }
+    }
+    None
+}
+
+fn merge_distinct(left: &Partial, right: &Partial) -> HashMap<String, f64> {
+    let mut distinct = left.distinct.clone();
+    for (variable, value) in &right.distinct {
+        distinct.insert(variable.clone(), *value);
+    }
+    distinct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::parse;
+    use gradoop_epgm::{GraphStatistics, Label};
+
+    fn stats() -> GraphStatistics {
+        let mut stats = GraphStatistics {
+            vertex_count: 1000,
+            edge_count: 5000,
+            distinct_source_count: 800,
+            distinct_target_count: 900,
+            ..GraphStatistics::default()
+        };
+        stats.vertex_count_by_label.insert(Label::new("Person"), 600);
+        stats
+            .vertex_count_by_label
+            .insert(Label::new("University"), 10);
+        stats.edge_count_by_label.insert(Label::new("knows"), 3000);
+        stats.edge_count_by_label.insert(Label::new("studyAt"), 600);
+        stats
+            .distinct_source_by_label
+            .insert(Label::new("knows"), 500);
+        stats
+            .distinct_target_by_label
+            .insert(Label::new("knows"), 550);
+        stats
+            .distinct_source_by_label
+            .insert(Label::new("studyAt"), 600);
+        stats
+            .distinct_target_by_label
+            .insert(Label::new("studyAt"), 10);
+        stats
+            .distinct_vertex_property_values
+            .insert((Label::new("University"), "name".to_string()), 10);
+        stats
+    }
+
+    fn plan(text: &str) -> (QueryGraph, QueryPlan) {
+        let query = QueryGraph::from_query(&parse(text).unwrap()).unwrap();
+        let stats = stats();
+        let estimator = Estimator::new(&stats);
+        let plan = plan_query(&query, &estimator).expect("plan");
+        (query, plan)
+    }
+
+    fn collect_edges(node: &PlanNode, out: &mut Vec<usize>) {
+        match node {
+            PlanNode::ScanEdges { edge } | PlanNode::Expand { edge, .. } => out.push(*edge),
+            PlanNode::Join { left, right, .. }
+            | PlanNode::Cartesian { left, right }
+            | PlanNode::ValueJoin { left, right, .. } => {
+                collect_edges(left, out);
+                collect_edges(right, out);
+            }
+            PlanNode::Filter { input, .. } => collect_edges(input, out),
+            PlanNode::ScanVertices { .. } => {}
+        }
+        if let PlanNode::Expand { input, .. } = node {
+            collect_edges(input, out);
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_edge_exactly_once() {
+        let (query, plan) = plan(
+            "MATCH (p1:Person)-[s:studyAt]->(u:University), \
+                   (p2:Person)-[:studyAt]->(u), \
+                   (p1)-[e:knows*1..3]->(p2) \
+             WHERE u.name = 'Uni Leipzig' RETURN *",
+        );
+        let mut edges = Vec::new();
+        collect_edges(&plan.root, &mut edges);
+        edges.sort_unstable();
+        assert_eq!(edges, (0..query.edges.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selective_predicate_is_joined_early() {
+        // The university scan (10 labeled, equality selecting 1/10) is by
+        // far the cheapest side; the greedy planner must start from it.
+        let (query, plan) = plan(
+            "MATCH (p:Person)-[s:studyAt]->(u:University) \
+             WHERE u.name = 'Uni Leipzig' RETURN p.name",
+        );
+        // The first committed join involves the studyAt edge; its estimated
+        // result must be far below the unfiltered edge count.
+        assert!(plan.estimated_cardinality < 100.0);
+        let text = plan.describe(&query);
+        assert!(text.contains("ScanVertices(u:University)"));
+    }
+
+    #[test]
+    fn triangle_query_plans_all_three_edges() {
+        let (query, plan) = plan(
+            "MATCH (p1:Person)-[:knows]->(p2:Person), \
+                   (p2)-[:knows]->(p3:Person), \
+                   (p1)-[:knows]->(p3) RETURN *",
+        );
+        let mut edges = Vec::new();
+        collect_edges(&plan.root, &mut edges);
+        assert_eq!(edges.len(), 3);
+        // The last edge closes the triangle: its join binds two variables.
+        let text = plan.describe(&query);
+        assert!(text.contains("JoinEmbeddings(on p1, p3)") || text.contains("JoinEmbeddings(on p3, p1)"),
+            "{text}");
+    }
+
+    #[test]
+    fn cross_filter_is_placed_once_variables_bound() {
+        let (query, plan) = plan(
+            "MATCH (p1:Person)-[:knows]->(p2:Person) \
+             WHERE p1.gender <> p2.gender RETURN *",
+        );
+        let text = plan.describe(&query);
+        assert!(text.contains("FilterEmbeddings"), "{text}");
+    }
+
+    #[test]
+    fn disconnected_query_uses_cartesian() {
+        let (query, plan) = plan("MATCH (a:Person), (b:University) RETURN *");
+        let text = plan.describe(&query);
+        assert!(text.contains("CartesianProduct"), "{text}");
+    }
+
+    #[test]
+    fn variable_length_edge_becomes_expand() {
+        let (query, plan) = plan("MATCH (a:Person)-[e:knows*1..3]->(b:Person) RETURN *");
+        let text = plan.describe(&query);
+        assert!(text.contains("ExpandEmbeddings(e *1..3)"), "{text}");
+        // The target side is joined afterwards.
+        assert!(text.contains("JoinEmbeddings(on b)"), "{text}");
+        let _ = query;
+    }
+
+    #[test]
+    fn cross_component_equality_becomes_value_join() {
+        let (query, plan) = plan(
+            "MATCH (a:Person), (b:University) WHERE a.name = b.name RETURN *",
+        );
+        let text = plan.describe(&query);
+        assert!(text.contains("ValueJoinEmbeddings(a.name = b.name)")
+            || text.contains("ValueJoinEmbeddings(b.name = a.name)"), "{text}");
+        assert!(!text.contains("CartesianProduct"), "{text}");
+        // The clause is consumed by the join — no residual filter.
+        assert!(!text.contains("FilterEmbeddings"), "{text}");
+    }
+
+    #[test]
+    fn non_equality_cross_clause_keeps_cartesian() {
+        let (query, plan) = plan(
+            "MATCH (a:Person), (b:University) WHERE a.name < b.name RETURN *",
+        );
+        let text = plan.describe(&query);
+        assert!(text.contains("CartesianProduct"), "{text}");
+        assert!(text.contains("FilterEmbeddings"), "{text}");
+    }
+
+    #[test]
+    fn trivial_vertices_are_not_scanned() {
+        let (query, plan) = plan("MATCH (a)-[e:knows]->(b) RETURN count(*)");
+        let text = plan.describe(&query);
+        assert!(!text.contains("ScanVertices"), "{text}");
+        assert!(text.contains("ScanEdges(e:knows)"), "{text}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Query plan representation.
+
+use gradoop_cypher::QueryGraph;
+
+/// A node of the (bushy) query plan tree. Leaf nodes reference query
+/// vertices/edges by index into the [`QueryGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// `SelectAndProjectVertices` for one query vertex.
+    ScanVertices {
+        /// Query vertex index.
+        vertex: usize,
+    },
+    /// `SelectAndProjectEdges` for one plain query edge.
+    ScanEdges {
+        /// Query edge index.
+        edge: usize,
+    },
+    /// `JoinEmbeddings` on the given shared variables.
+    Join {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Shared variables joined on.
+        variables: Vec<String>,
+    },
+    /// `ExpandEmbeddings` for one variable-length query edge.
+    Expand {
+        /// Input providing the expansion's source column.
+        input: Box<PlanNode>,
+        /// Query edge index (must be variable-length).
+        edge: usize,
+    },
+    /// `FilterEmbeddings` applying cross-variable clauses.
+    Filter {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Indices into `QueryGraph::cross_clauses`.
+        clauses: Vec<usize>,
+    },
+    /// Cartesian product of disconnected components.
+    Cartesian {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+    },
+    /// `ValueJoinEmbeddings`: joins disconnected components on equal
+    /// property values (replaces Cartesian + Filter for one equality
+    /// clause).
+    ValueJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// `(variable, key)` on the left side.
+        left_property: (String, String),
+        /// `(variable, key)` on the right side.
+        right_property: (String, String),
+    },
+}
+
+/// A complete plan with its cost estimate.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Root of the plan tree.
+    pub root: PlanNode,
+    /// Estimated number of result embeddings.
+    pub estimated_cardinality: f64,
+}
+
+impl QueryPlan {
+    /// Human-readable plan tree (one node per line, children indented),
+    /// resolving leaf indices to query variables.
+    pub fn describe(&self, query: &QueryGraph) -> String {
+        let mut out = String::new();
+        describe_node(&self.root, query, 0, &mut out);
+        out.push_str(&format!(
+            "estimated cardinality: {:.0}\n",
+            self.estimated_cardinality
+        ));
+        out
+    }
+}
+
+fn describe_node(node: &PlanNode, query: &QueryGraph, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match node {
+        PlanNode::ScanVertices { vertex } => {
+            let v = &query.vertices[*vertex];
+            let labels: Vec<&str> = v.labels.iter().map(|l| l.as_str()).collect();
+            out.push_str(&format!(
+                "{indent}ScanVertices({}{}{})\n",
+                v.variable,
+                if labels.is_empty() { "" } else { ":" },
+                labels.join("|")
+            ));
+        }
+        PlanNode::ScanEdges { edge } => {
+            let e = &query.edges[*edge];
+            let labels: Vec<&str> = e.labels.iter().map(|l| l.as_str()).collect();
+            out.push_str(&format!(
+                "{indent}ScanEdges({}{}{})\n",
+                e.variable,
+                if labels.is_empty() { "" } else { ":" },
+                labels.join("|")
+            ));
+        }
+        PlanNode::Join {
+            left,
+            right,
+            variables,
+        } => {
+            out.push_str(&format!("{indent}JoinEmbeddings(on {})\n", variables.join(", ")));
+            describe_node(left, query, depth + 1, out);
+            describe_node(right, query, depth + 1, out);
+        }
+        PlanNode::Expand { input, edge } => {
+            let e = &query.edges[*edge];
+            let (lower, upper) = e.range.unwrap_or((1, 1));
+            out.push_str(&format!(
+                "{indent}ExpandEmbeddings({} *{}..{})\n",
+                e.variable, lower, upper
+            ));
+            describe_node(input, query, depth + 1, out);
+        }
+        PlanNode::Filter { input, clauses } => {
+            let texts: Vec<String> = clauses
+                .iter()
+                .map(|&i| query.cross_clauses[i].0.to_string())
+                .collect();
+            out.push_str(&format!("{indent}FilterEmbeddings({})\n", texts.join(" AND ")));
+            describe_node(input, query, depth + 1, out);
+        }
+        PlanNode::Cartesian { left, right } => {
+            out.push_str(&format!("{indent}CartesianProduct\n"));
+            describe_node(left, query, depth + 1, out);
+            describe_node(right, query, depth + 1, out);
+        }
+        PlanNode::ValueJoin {
+            left,
+            right,
+            left_property,
+            right_property,
+        } => {
+            out.push_str(&format!(
+                "{indent}ValueJoinEmbeddings({}.{} = {}.{})\n",
+                left_property.0, left_property.1, right_property.0, right_property.1
+            ));
+            describe_node(left, query, depth + 1, out);
+            describe_node(right, query, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::parse;
+
+    #[test]
+    fn describe_renders_tree() {
+        let query = QueryGraph::from_query(
+            &parse("MATCH (p:Person)-[e:knows]->(q:Person) WHERE p.a <> q.a RETURN *").unwrap(),
+        )
+        .unwrap();
+        let plan = QueryPlan {
+            root: PlanNode::Filter {
+                input: Box::new(PlanNode::Join {
+                    left: Box::new(PlanNode::ScanVertices { vertex: 0 }),
+                    right: Box::new(PlanNode::ScanEdges { edge: 0 }),
+                    variables: vec!["p".to_string()],
+                }),
+                clauses: vec![0],
+            },
+            estimated_cardinality: 42.0,
+        };
+        let text = plan.describe(&query);
+        assert!(text.contains("ScanVertices(p:Person)"));
+        assert!(text.contains("ScanEdges(e:knows)"));
+        assert!(text.contains("JoinEmbeddings(on p)"));
+        assert!(text.contains("FilterEmbeddings"));
+        assert!(text.contains("estimated cardinality: 42"));
+    }
+}

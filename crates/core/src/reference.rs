@@ -1,0 +1,537 @@
+//! Single-machine reference matcher.
+//!
+//! A naive backtracking pattern matcher with exactly the engine's semantics
+//! (two-valued predicates, user-selected morphisms, paths with alternating
+//! `via` identifiers). It serves two purposes:
+//!
+//! * a correctness **oracle** — property tests compare the distributed
+//!   engine's result set against it on random graphs and queries;
+//! * the single-machine **baseline** of the benchmark suite (the role a
+//!   graph database like Neo4j plays in the paper's motivation).
+
+use std::collections::HashMap;
+
+use gradoop_cypher::predicates::eval::{eval_clause, eval_predicate, Bindings, SingleElement};
+use gradoop_cypher::{QueryEdge, QueryGraph};
+use gradoop_epgm::{Edge, Label, LogicalGraph, PropertyValue, Vertex};
+
+use crate::embedding::Entry;
+use crate::matching::{MatchingConfig, MorphismType};
+
+/// One match found by the reference matcher: variable → entry.
+pub type ReferenceMatch = HashMap<String, Entry>;
+
+/// In-memory snapshot of a data graph, indexed for backtracking.
+struct GraphIndex {
+    vertices: HashMap<u64, Vertex>,
+    edges: Vec<Edge>,
+    out_edges: HashMap<u64, Vec<usize>>,
+}
+
+impl GraphIndex {
+    fn of(graph: &LogicalGraph) -> Self {
+        let vertices: HashMap<u64, Vertex> = graph
+            .vertices()
+            .collect()
+            .into_iter()
+            .map(|v| (v.id.0, v))
+            .collect();
+        let edges = graph.edges().collect();
+        let mut out_edges: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (index, edge) in edges.iter().enumerate() {
+            out_edges.entry(edge.source.0).or_default().push(index);
+        }
+        GraphIndex {
+            vertices,
+            edges,
+            out_edges,
+        }
+    }
+}
+
+struct Matcher<'a> {
+    graph: &'a GraphIndex,
+    query: &'a QueryGraph,
+    config: MatchingConfig,
+    /// Vertex variable → data vertex id.
+    vertex_bindings: HashMap<String, u64>,
+    /// Edge variable → id or via path.
+    edge_bindings: HashMap<String, Entry>,
+    /// All vertex ids currently bound (columns + path intermediates), for
+    /// vertex isomorphism.
+    used_vertices: Vec<u64>,
+    /// All edge ids currently bound, for edge isomorphism.
+    used_edges: Vec<u64>,
+    results: Vec<ReferenceMatch>,
+}
+
+/// Runs the reference matcher, returning all matches.
+pub fn reference_match(
+    graph: &LogicalGraph,
+    query: &QueryGraph,
+    config: &MatchingConfig,
+) -> Vec<ReferenceMatch> {
+    let index = GraphIndex::of(graph);
+    let mut matcher = Matcher {
+        graph: &index,
+        query,
+        config: *config,
+        vertex_bindings: HashMap::new(),
+        edge_bindings: HashMap::new(),
+        used_vertices: Vec::new(),
+        used_edges: Vec::new(),
+        results: Vec::new(),
+    };
+    matcher.solve_edges(0);
+    matcher.results
+}
+
+impl Matcher<'_> {
+    fn vertex_ok(&self, query_vertex: usize, vertex: &Vertex) -> bool {
+        let qv = &self.query.vertices[query_vertex];
+        if !qv.labels.is_empty() && !qv.labels.iter().any(|l| *l == vertex.label) {
+            return false;
+        }
+        let bindings = SingleElement {
+            variable: &qv.variable,
+            label: &vertex.label,
+            properties: &vertex.properties,
+            id: vertex.id.0,
+        };
+        eval_predicate(&qv.predicates, &bindings)
+    }
+
+    fn edge_ok(&self, query_edge: &QueryEdge, edge: &Edge) -> bool {
+        if !query_edge.labels.is_empty() && !query_edge.labels.iter().any(|l| *l == edge.label) {
+            return false;
+        }
+        let bindings = SingleElement {
+            variable: &query_edge.variable,
+            label: &edge.label,
+            properties: &edge.properties,
+            id: edge.id.0,
+        };
+        eval_predicate(&query_edge.predicates, &bindings)
+    }
+
+    /// Binds a vertex variable if compatible; returns whether binding was
+    /// fresh (must be undone) or `None` if incompatible.
+    fn bind_vertex(&mut self, query_vertex: usize, id: u64) -> Option<bool> {
+        let variable = self.query.vertices[query_vertex].variable.clone();
+        if let Some(&bound) = self.vertex_bindings.get(&variable) {
+            return (bound == id).then_some(false);
+        }
+        let vertex = self.graph.vertices.get(&id)?;
+        if !self.vertex_ok(query_vertex, vertex) {
+            return None;
+        }
+        if self.config.vertices == MorphismType::Isomorphism
+            && self.used_vertices.contains(&id)
+        {
+            return None;
+        }
+        self.vertex_bindings.insert(variable, id);
+        self.used_vertices.push(id);
+        Some(true)
+    }
+
+    fn unbind_vertex(&mut self, query_vertex: usize) {
+        let variable = &self.query.vertices[query_vertex].variable;
+        if let Some(id) = self.vertex_bindings.remove(variable) {
+            let position = self
+                .used_vertices
+                .iter()
+                .rposition(|&v| v == id)
+                .expect("bound vertex is used");
+            self.used_vertices.remove(position);
+        }
+    }
+
+    fn solve_edges(&mut self, edge_index: usize) {
+        if edge_index == self.query.edges.len() {
+            self.solve_isolated_vertices(0);
+            return;
+        }
+        let edge = self.query.edges[edge_index].clone();
+        if edge.is_variable_length() {
+            self.solve_path_edge(edge_index, &edge);
+        } else {
+            self.solve_plain_edge(edge_index, &edge);
+        }
+    }
+
+    fn solve_plain_edge(&mut self, edge_index: usize, query_edge: &QueryEdge) {
+        for data_index in 0..self.graph.edges.len() {
+            let edge = self.graph.edges[data_index].clone();
+            if !self.edge_ok(query_edge, &edge) {
+                continue;
+            }
+            if self.config.edges == MorphismType::Isomorphism
+                && self.used_edges.contains(&edge.id.0)
+            {
+                continue;
+            }
+            let mut orientations = vec![(edge.source.0, edge.target.0)];
+            if query_edge.undirected && edge.source != edge.target {
+                orientations.push((edge.target.0, edge.source.0));
+            }
+            for (source, target) in orientations {
+                // Loop query edges need a loop data edge.
+                if query_edge.source == query_edge.target && source != target {
+                    continue;
+                }
+                let Some(fresh_source) = self.bind_vertex(query_edge.source, source) else {
+                    continue;
+                };
+                if let Some(fresh_target) = self.bind_vertex(query_edge.target, target) {
+                    self.edge_bindings
+                        .insert(query_edge.variable.clone(), Entry::Id(edge.id.0));
+                    self.used_edges.push(edge.id.0);
+                    self.solve_edges(edge_index + 1);
+                    self.used_edges.pop();
+                    self.edge_bindings.remove(&query_edge.variable);
+                    if fresh_target {
+                        self.unbind_vertex(query_edge.target);
+                    }
+                }
+                if fresh_source {
+                    self.unbind_vertex(query_edge.source);
+                }
+            }
+        }
+    }
+
+    fn solve_path_edge(&mut self, edge_index: usize, query_edge: &QueryEdge) {
+        let (lower, upper) = query_edge.range.expect("variable-length edge");
+        // Enumerate start vertices: the bound source, or every vertex.
+        let source_variable = &self.query.vertices[query_edge.source].variable;
+        let starts: Vec<u64> = match self.vertex_bindings.get(source_variable) {
+            Some(&id) => vec![id],
+            None => self.graph.vertices.keys().copied().collect(),
+        };
+        for start in starts {
+            let Some(fresh_start) = self.bind_vertex(query_edge.source, start) else {
+                continue;
+            };
+            self.extend_path(edge_index, query_edge, start, start, Vec::new(), lower, upper);
+            if fresh_start {
+                self.unbind_vertex(query_edge.source);
+            }
+        }
+    }
+
+    /// Depth-first path extension from `end`, having already traversed
+    /// `via` (alternating edge, vertex, ... ids) starting at `start`.
+    #[allow(clippy::too_many_arguments)]
+    fn extend_path(
+        &mut self,
+        edge_index: usize,
+        query_edge: &QueryEdge,
+        start: u64,
+        end: u64,
+        via: Vec<u64>,
+        lower: usize,
+        upper: usize,
+    ) {
+        let hops = (via.len() + 1) / 2;
+        if hops >= lower {
+            self.emit_path(edge_index, query_edge, end, &via);
+        }
+        if hops == upper {
+            return;
+        }
+        // 1-hop extension in the allowed orientations.
+        let mut candidates: Vec<(u64, u64)> = Vec::new(); // (edge id, next vertex)
+        if let Some(indices) = self.graph.out_edges.get(&end) {
+            for &index in indices {
+                let edge = &self.graph.edges[index];
+                if self.edge_ok(query_edge, edge) {
+                    candidates.push((edge.id.0, edge.target.0));
+                }
+            }
+        }
+        if query_edge.undirected {
+            for edge in &self.graph.edges {
+                if edge.target.0 == end && edge.source.0 != edge.target.0 && self.edge_ok(query_edge, edge)
+                {
+                    candidates.push((edge.id.0, edge.source.0));
+                }
+            }
+        }
+        for (edge_id, next) in candidates {
+            if self.config.edges == MorphismType::Isomorphism {
+                let in_path = via.iter().step_by(2).any(|&e| e == edge_id);
+                if in_path || self.used_edges.contains(&edge_id) {
+                    continue;
+                }
+            }
+            if self.config.vertices == MorphismType::Isomorphism && !via.is_empty() {
+                // `end` becomes an intermediate vertex: it must not repeat
+                // any path intermediate nor any already-bound vertex
+                // (columns or other paths' intermediates).
+                let in_path = via.iter().skip(1).step_by(2).any(|&v| v == end);
+                if in_path || self.used_vertices.contains(&end) {
+                    continue;
+                }
+            }
+            let mut extended = via.clone();
+            if extended.is_empty() {
+                extended.push(edge_id);
+            } else {
+                extended.push(end);
+                extended.push(edge_id);
+            }
+            self.extend_path(edge_index, query_edge, start, next, extended, lower, upper);
+        }
+    }
+
+    fn emit_path(&mut self, edge_index: usize, query_edge: &QueryEdge, end: u64, via: &[u64]) {
+        let Some(fresh_end) = self.bind_vertex(query_edge.target, end) else {
+            return;
+        };
+        // Register path contents in the uniqueness sets so later edges see
+        // them; the final morphism check is implicit in these sets.
+        let path_edges: Vec<u64> = via.iter().step_by(2).copied().collect();
+        let path_vertices: Vec<u64> = via.iter().skip(1).step_by(2).copied().collect();
+        let mut valid = true;
+        if self.config.edges == MorphismType::Isomorphism {
+            let mut all = path_edges.clone();
+            all.sort_unstable();
+            if all.windows(2).any(|w| w[0] == w[1]) {
+                valid = false;
+            }
+            if path_edges.iter().any(|e| self.used_edges.contains(e)) {
+                valid = false;
+            }
+        }
+        if valid && self.config.vertices == MorphismType::Isomorphism {
+            let mut all = path_vertices.clone();
+            all.sort_unstable();
+            if all.windows(2).any(|w| w[0] == w[1]) {
+                valid = false;
+            }
+            if path_vertices.iter().any(|v| self.used_vertices.contains(v)) {
+                valid = false;
+            }
+        }
+        if valid {
+            self.used_edges.extend(&path_edges);
+            self.used_vertices.extend(&path_vertices);
+            self.edge_bindings
+                .insert(query_edge.variable.clone(), Entry::Path(via.to_vec()));
+            self.solve_edges(edge_index + 1);
+            self.edge_bindings.remove(&query_edge.variable);
+            self.used_vertices
+                .truncate(self.used_vertices.len() - path_vertices.len());
+            self.used_edges
+                .truncate(self.used_edges.len() - path_edges.len());
+        }
+        if fresh_end {
+            self.unbind_vertex(query_edge.target);
+        }
+    }
+
+    fn solve_isolated_vertices(&mut self, from: usize) {
+        // Bind any query vertex not yet bound (isolated components).
+        let next = (from..self.query.vertices.len())
+            .find(|&i| !self.vertex_bindings.contains_key(&self.query.vertices[i].variable));
+        let Some(vertex_index) = next else {
+            self.emit_match();
+            return;
+        };
+        let ids: Vec<u64> = self.graph.vertices.keys().copied().collect();
+        for id in ids {
+            if let Some(fresh) = self.bind_vertex(vertex_index, id) {
+                self.solve_isolated_vertices(vertex_index + 1);
+                if fresh {
+                    self.unbind_vertex(vertex_index);
+                }
+            }
+        }
+    }
+
+    fn emit_match(&mut self) {
+        // Cross-variable predicates, evaluated with full element access.
+        let bindings = ReferenceBindings {
+            graph: self.graph,
+            vertex_bindings: &self.vertex_bindings,
+            edge_bindings: &self.edge_bindings,
+        };
+        for (clause, _) in &self.query.cross_clauses {
+            if !eval_clause(clause, &bindings) {
+                return;
+            }
+        }
+        let mut result: ReferenceMatch = HashMap::new();
+        for (variable, id) in &self.vertex_bindings {
+            result.insert(variable.clone(), Entry::Id(*id));
+        }
+        for (variable, entry) in &self.edge_bindings {
+            result.insert(variable.clone(), entry.clone());
+        }
+        self.results.push(result);
+    }
+}
+
+struct ReferenceBindings<'a> {
+    graph: &'a GraphIndex,
+    vertex_bindings: &'a HashMap<String, u64>,
+    edge_bindings: &'a HashMap<String, Entry>,
+}
+
+impl Bindings for ReferenceBindings<'_> {
+    fn property(&self, variable: &str, key: &str) -> Option<PropertyValue> {
+        if let Some(id) = self.vertex_bindings.get(variable) {
+            return self.graph.vertices.get(id)?.properties.get(key).cloned();
+        }
+        if let Some(Entry::Id(id)) = self.edge_bindings.get(variable) {
+            let edge = self.graph.edges.iter().find(|e| e.id.0 == *id)?;
+            return edge.properties.get(key).cloned();
+        }
+        None
+    }
+
+    fn label(&self, variable: &str) -> Option<Label> {
+        if let Some(id) = self.vertex_bindings.get(variable) {
+            return Some(self.graph.vertices.get(id)?.label.clone());
+        }
+        if let Some(Entry::Id(id)) = self.edge_bindings.get(variable) {
+            return self
+                .graph
+                .edges
+                .iter()
+                .find(|e| e.id.0 == *id)
+                .map(|e| e.label.clone());
+        }
+        None
+    }
+
+    fn element_id(&self, variable: &str) -> Option<u64> {
+        if let Some(id) = self.vertex_bindings.get(variable) {
+            return Some(*id);
+        }
+        match self.edge_bindings.get(variable) {
+            Some(Entry::Id(id)) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::parse;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+    use gradoop_epgm::{properties, GradoopId, GraphHead, Properties};
+
+    fn graph() -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let person = |id: u64, name: &str| {
+            Vertex::new(GradoopId(id), "Person", properties! {"name" => name})
+        };
+        let knows = |id: u64, s: u64, t: u64| {
+            Edge::new(GradoopId(id), "knows", GradoopId(s), GradoopId(t), Properties::new())
+        };
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "g", Properties::new()),
+            vec![person(1, "Alice"), person(2, "Eve"), person(3, "Bob")],
+            vec![knows(10, 1, 2), knows(11, 2, 3), knows(12, 1, 3)],
+        )
+    }
+
+    fn matches(text: &str, config: MatchingConfig) -> Vec<ReferenceMatch> {
+        let query = QueryGraph::from_query(&parse(text).unwrap()).unwrap();
+        reference_match(&graph(), &query, &config)
+    }
+
+    #[test]
+    fn single_edge_matches() {
+        let found = matches(
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *",
+            MatchingConfig::cypher_default(),
+        );
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn two_hop_matches() {
+        let found = matches(
+            "MATCH (a)-[e1:knows]->(b)-[e2:knows]->(c) RETURN *",
+            MatchingConfig::cypher_default(),
+        );
+        // 1->2->3 only.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0]["a"], Entry::Id(1));
+        assert_eq!(found[0]["c"], Entry::Id(3));
+    }
+
+    #[test]
+    fn triangle_under_different_semantics() {
+        let text = "MATCH (a)-[e1:knows]->(b)-[e2:knows]->(c), (a)-[e3:knows]->(c) RETURN *";
+        assert_eq!(matches(text, MatchingConfig::cypher_default()).len(), 1);
+        assert_eq!(matches(text, MatchingConfig::isomorphism()).len(), 1);
+        assert_eq!(matches(text, MatchingConfig::homomorphism()).len(), 1);
+    }
+
+    #[test]
+    fn variable_length_paths() {
+        let found = matches(
+            "MATCH (a:Person {name: 'Alice'})-[e:knows*1..2]->(b) RETURN *",
+            MatchingConfig::cypher_default(),
+        );
+        // 1->2, 1->3, 1->2->3.
+        assert_eq!(found.len(), 3);
+        let path = found
+            .iter()
+            .find_map(|m| match &m["e"] {
+                Entry::Path(via) if via.len() == 3 => Some(via.clone()),
+                _ => None,
+            })
+            .expect("two-hop path");
+        assert_eq!(path, vec![10, 2, 11]);
+    }
+
+    #[test]
+    fn zero_length_path_binds_same_vertex() {
+        let found = matches(
+            "MATCH (a:Person {name: 'Alice'})-[e:knows*0..1]->(b) RETURN *",
+            MatchingConfig::cypher_default(),
+        );
+        // Zero-length: b = a; plus 1->2 and 1->3.
+        assert_eq!(found.len(), 3);
+        assert!(found
+            .iter()
+            .any(|m| m["e"] == Entry::Path(vec![]) && m["b"] == Entry::Id(1)));
+    }
+
+    #[test]
+    fn cross_predicates_filter_matches() {
+        let found = matches(
+            "MATCH (a:Person)-[:knows]->(b:Person) WHERE a.name <> b.name RETURN *",
+            MatchingConfig::cypher_default(),
+        );
+        assert_eq!(found.len(), 3);
+        let found = matches(
+            "MATCH (a:Person)-[:knows]->(b:Person) WHERE a.name = b.name RETURN *",
+            MatchingConfig::cypher_default(),
+        );
+        assert_eq!(found.len(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_are_enumerated() {
+        let found = matches(
+            "MATCH (a:Person), (b:Person) RETURN *",
+            MatchingConfig::homomorphism(),
+        );
+        assert_eq!(found.len(), 9);
+        let found = matches(
+            "MATCH (a:Person), (b:Person) RETURN *",
+            MatchingConfig::isomorphism(),
+        );
+        assert_eq!(found.len(), 6);
+    }
+}

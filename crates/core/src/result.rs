@@ -1,0 +1,220 @@
+//! Query results: tabular access (paper Table 2) and EPGM post-processing
+//! into a graph collection (Definition 2.4).
+
+use std::collections::HashMap;
+
+use gradoop_cypher::{QueryGraph, ReturnItem};
+use gradoop_dataflow::JoinStrategy;
+use gradoop_epgm::operators::next_derived_graph_id;
+use gradoop_epgm::{GradoopId, GraphCollection, GraphHead, LogicalGraph, Properties, PropertyValue};
+
+use crate::embedding::{Embedding, EmbeddingMetaData, Entry};
+use crate::planner::QueryPlan;
+
+/// A value of one result cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultValue {
+    /// A bound element identifier.
+    Id(u64),
+    /// A bound path (via identifiers, alternating edge/vertex).
+    Path(Vec<u64>),
+    /// A property value.
+    Property(PropertyValue),
+    /// A `count(*)` aggregate.
+    Count(u64),
+}
+
+/// One row of the tabular result view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// `(column name, value)` pairs in RETURN order.
+    pub values: Vec<(String, ResultValue)>,
+}
+
+/// The result of a Cypher query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The final embeddings.
+    pub embeddings: gradoop_dataflow::Dataset<Embedding>,
+    /// Their layout.
+    pub meta: EmbeddingMetaData,
+    /// The executed query graph.
+    pub query: QueryGraph,
+    /// The executed plan (with its cost estimate).
+    pub plan: QueryPlan,
+}
+
+impl QueryResult {
+    /// Number of matches (distributed count — what the paper's evaluation
+    /// measures).
+    pub fn count(&self) -> usize {
+        self.embeddings.count()
+    }
+
+    /// Materializes the tabular view (Table 2): one row per embedding with
+    /// one column per RETURN item. For `RETURN count(*)` a single row with
+    /// the match count is produced.
+    pub fn rows(&self) -> Vec<ResultRow> {
+        if self
+            .query
+            .return_items
+            .iter()
+            .any(|item| matches!(item, ReturnItem::CountStar))
+        {
+            return vec![ResultRow {
+                values: vec![("count(*)".to_string(), ResultValue::Count(self.count() as u64))],
+            }];
+        }
+        let embeddings = self.embeddings.collect();
+        embeddings
+            .iter()
+            .map(|embedding| ResultRow {
+                values: self
+                    .query
+                    .return_items
+                    .iter()
+                    .map(|item| self.cell(embedding, item))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn cell(&self, embedding: &Embedding, item: &ReturnItem) -> (String, ResultValue) {
+        match item {
+            ReturnItem::Variable(variable) => {
+                let column = self
+                    .meta
+                    .column(variable)
+                    .unwrap_or_else(|| panic!("returned variable `{variable}` unbound"));
+                let value = match embedding.entry(column) {
+                    Entry::Id(id) => ResultValue::Id(id),
+                    Entry::Path(ids) => ResultValue::Path(ids),
+                };
+                (variable.clone(), value)
+            }
+            ReturnItem::Property {
+                variable,
+                key,
+                alias,
+            } => {
+                let index = self
+                    .meta
+                    .property_index(variable, key)
+                    .unwrap_or_else(|| panic!("returned property `{variable}.{key}` unbound"));
+                let name = alias.clone().unwrap_or_else(|| format!("{variable}.{key}"));
+                (name, ResultValue::Property(embedding.property(index)))
+            }
+            ReturnItem::CountStar => ("count(*)".to_string(), ResultValue::Count(0)),
+            ReturnItem::All => unreachable!("RETURN * is expanded during query-graph construction"),
+        }
+    }
+
+    /// EPGM post-processing (Definition 2.4): one new logical graph per
+    /// embedding, containing the matched vertices and edges (with path
+    /// contents expanded). Variable bindings and returned property values
+    /// are attached as graph-head properties, so arbitrary downstream
+    /// operators can post-process the collection.
+    pub fn to_graph_collection(&self, data_graph: &LogicalGraph) -> GraphCollection {
+        let env = data_graph.env().clone();
+        let embeddings = self.embeddings.collect();
+
+        let mut heads = Vec::with_capacity(embeddings.len());
+        let mut vertex_memberships: Vec<(u64, u64)> = Vec::new();
+        let mut edge_memberships: Vec<(u64, u64)> = Vec::new();
+
+        let vertex_columns = self.meta.vertex_columns();
+        let edge_columns = self.meta.edge_columns();
+        let path_columns = self.meta.path_columns();
+
+        for embedding in &embeddings {
+            let graph_id = next_derived_graph_id();
+            let mut properties = Properties::new();
+            for item in &self.query.return_items {
+                match item {
+                    ReturnItem::CountStar => continue,
+                    item => {
+                        let (name, value) = self.cell(embedding, item);
+                        let property = match value {
+                            ResultValue::Id(id) => PropertyValue::Long(id as i64),
+                            ResultValue::Path(ids) => PropertyValue::List(
+                                ids.iter().map(|id| PropertyValue::Long(*id as i64)).collect(),
+                            ),
+                            ResultValue::Property(value) => value,
+                            ResultValue::Count(count) => PropertyValue::Long(count as i64),
+                        };
+                        properties.set(&name, property);
+                    }
+                }
+            }
+            heads.push(GraphHead::new(graph_id, "Match", properties));
+
+            for &column in &vertex_columns {
+                vertex_memberships.push((embedding.id(column), graph_id.0));
+            }
+            for &column in &edge_columns {
+                edge_memberships.push((embedding.id(column), graph_id.0));
+            }
+            for &column in &path_columns {
+                let path = embedding.path(column);
+                for (position, id) in path.iter().enumerate() {
+                    if position % 2 == 0 {
+                        edge_memberships.push((*id, graph_id.0));
+                    } else {
+                        vertex_memberships.push((*id, graph_id.0));
+                    }
+                }
+            }
+        }
+
+        let heads = env.from_collection(heads);
+
+        // Group memberships per element and join them with the data graph,
+        // extending each matched element's membership set.
+        let vertex_groups = env
+            .from_collection(vertex_memberships)
+            .group_reduce(|(id, _)| *id, |id, members| {
+                (*id, members.iter().map(|(_, g)| *g).collect::<Vec<u64>>())
+            });
+        let vertices = data_graph.vertices().join(
+            &vertex_groups,
+            |v| v.id.0,
+            |(id, _)| *id,
+            JoinStrategy::RepartitionHash,
+            |vertex, (_, graphs)| {
+                let mut vertex = vertex.clone();
+                for graph in graphs {
+                    vertex.graph_ids.insert(GradoopId(*graph));
+                }
+                Some(vertex)
+            },
+        );
+        let edge_groups = env
+            .from_collection(edge_memberships)
+            .group_reduce(|(id, _)| *id, |id, members| {
+                (*id, members.iter().map(|(_, g)| *g).collect::<Vec<u64>>())
+            });
+        let edges = data_graph.edges().join(
+            &edge_groups,
+            |e| e.id.0,
+            |(id, _)| *id,
+            JoinStrategy::RepartitionHash,
+            |edge, (_, graphs)| {
+                let mut edge = edge.clone();
+                for graph in graphs {
+                    edge.graph_ids.insert(GradoopId(*graph));
+                }
+                Some(edge)
+            },
+        );
+
+        GraphCollection::new(heads, vertices, edges)
+    }
+
+    /// Convenience: result rows keyed by column name, for assertions.
+    pub fn rows_as_maps(&self) -> Vec<HashMap<String, ResultValue>> {
+        self.rows()
+            .into_iter()
+            .map(|row| row.values.into_iter().collect())
+            .collect()
+    }
+}

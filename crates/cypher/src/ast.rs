@@ -1,0 +1,298 @@
+//! Abstract syntax tree of the supported Cypher subset, plus a
+//! pretty-printer whose output re-parses to the same AST (used by the
+//! property tests).
+
+use crate::predicates::expr::{Expression, Literal};
+
+/// A full query: `MATCH <patterns> [WHERE <expr>] RETURN <items>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Comma-separated path patterns from all MATCH clauses.
+    pub patterns: Vec<PathPattern>,
+    /// Filter expression of the WHERE clause.
+    pub where_clause: Option<Expression>,
+    /// The RETURN clause.
+    pub return_clause: ReturnClause,
+}
+
+/// One path pattern: a start node and a sequence of (relationship, node)
+/// steps, e.g. `(a)-[e]->(b)<-[f]-(c)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPattern {
+    /// First node of the path.
+    pub start: NodePattern,
+    /// Relationship/node steps extending the path.
+    pub steps: Vec<(RelPattern, NodePattern)>,
+}
+
+/// A node pattern `(variable:Label1|Label2 {key: literal, ...})`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Declared variable, if any.
+    pub variable: Option<String>,
+    /// Label alternatives (`|`-separated); empty means "any label".
+    pub labels: Vec<String>,
+    /// Inline property equality constraints.
+    pub properties: Vec<(String, Literal)>,
+}
+
+/// Direction of a relationship pattern relative to its textual order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[..]->`
+    Outgoing,
+    /// `<-[..]-`
+    Incoming,
+    /// `-[..]-`
+    Undirected,
+}
+
+/// Bounds of a variable-length path expression `*lower..upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathRange {
+    /// Minimum number of edges (`*2..` → 2; bare `*` → 1).
+    pub lower: usize,
+    /// Maximum number of edges (`*..3` → 3; bare `*` → unbounded default).
+    pub upper: usize,
+}
+
+/// A relationship pattern `-[variable:label1|label2 *1..3 {key: lit}]->`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    /// Declared variable, if any.
+    pub variable: Option<String>,
+    /// Label alternatives; empty means "any label".
+    pub labels: Vec<String>,
+    /// Inline property equality constraints.
+    pub properties: Vec<(String, Literal)>,
+    /// Pattern direction.
+    pub direction: Direction,
+    /// Variable-length bounds; `None` for a plain 1-hop edge.
+    pub range: Option<PathRange>,
+}
+
+impl Default for RelPattern {
+    fn default() -> Self {
+        RelPattern {
+            variable: None,
+            labels: Vec::new(),
+            properties: Vec::new(),
+            direction: Direction::Outgoing,
+            range: None,
+        }
+    }
+}
+
+/// One item of the RETURN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    /// `RETURN *` — all declared variables.
+    All,
+    /// `RETURN count(*)`.
+    CountStar,
+    /// A variable, e.g. `RETURN p1`.
+    Variable(String),
+    /// A property access, e.g. `RETURN p1.name` (optionally `AS alias`).
+    Property {
+        /// The variable.
+        variable: String,
+        /// The property key.
+        key: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+/// The RETURN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnClause {
+    /// Returned items, in declaration order.
+    pub items: Vec<ReturnItem>,
+    /// `RETURN DISTINCT ...` — deduplicate result rows.
+    pub distinct: bool,
+}
+
+// --- pretty printer ----------------------------------------------------------
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MATCH ")?;
+        for (i, pattern) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{pattern}")?;
+        }
+        if let Some(where_clause) = &self.where_clause {
+            write!(f, " WHERE {where_clause}")?;
+        }
+        write!(f, " RETURN ")?;
+        if self.return_clause.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.return_clause.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (rel, node) in &self.steps {
+            write!(f, "{rel}{node}")?;
+        }
+        Ok(())
+    }
+}
+
+fn write_labels_and_properties(
+    f: &mut std::fmt::Formatter<'_>,
+    labels: &[String],
+    properties: &[(String, Literal)],
+) -> std::fmt::Result {
+    if !labels.is_empty() {
+        write!(f, ":{}", labels.join("|"))?;
+    }
+    if !properties.is_empty() {
+        write!(f, " {{")?;
+        for (i, (key, value)) in properties.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{key}: {value}")?;
+        }
+        write!(f, "}}")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        if let Some(variable) = &self.variable {
+            write!(f, "{variable}")?;
+        }
+        write_labels_and_properties(f, &self.labels, &self.properties)?;
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for RelPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.direction == Direction::Incoming {
+            write!(f, "<-[")?;
+        } else {
+            write!(f, "-[")?;
+        }
+        if let Some(variable) = &self.variable {
+            write!(f, "{variable}")?;
+        }
+        if !self.labels.is_empty() {
+            write!(f, ":{}", self.labels.join("|"))?;
+        }
+        // The range precedes the property map, like in Cypher:
+        // `-[e:knows*1..3 {since: 2014}]->`.
+        if let Some(range) = &self.range {
+            write!(f, "*{}..{}", range.lower, range.upper)?;
+        }
+        if !self.properties.is_empty() {
+            write!(f, " {{")?;
+            for (i, (key, value)) in self.properties.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{key}: {value}")?;
+            }
+            write!(f, "}}")?;
+        }
+        if self.direction == Direction::Outgoing {
+            write!(f, "]->")
+        } else {
+            write!(f, "]-")
+        }
+    }
+}
+
+impl std::fmt::Display for ReturnItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReturnItem::All => write!(f, "*"),
+            ReturnItem::CountStar => write!(f, "count(*)"),
+            ReturnItem::Variable(variable) => write!(f, "{variable}"),
+            ReturnItem::Property {
+                variable,
+                key,
+                alias,
+            } => {
+                write!(f, "{variable}.{key}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_a_pattern() {
+        let query = Query {
+            patterns: vec![PathPattern {
+                start: NodePattern {
+                    variable: Some("p".into()),
+                    labels: vec!["Person".into()],
+                    properties: vec![("name".into(), Literal::String("Alice".into()))],
+                },
+                steps: vec![(
+                    RelPattern {
+                        variable: Some("e".into()),
+                        labels: vec!["knows".into()],
+                        range: Some(PathRange { lower: 1, upper: 3 }),
+                        ..RelPattern::default()
+                    },
+                    NodePattern {
+                        variable: Some("q".into()),
+                        ..NodePattern::default()
+                    },
+                )],
+            }],
+            where_clause: None,
+            return_clause: ReturnClause {
+                items: vec![ReturnItem::All],
+                distinct: false,
+            },
+        };
+        assert_eq!(
+            query.to_string(),
+            "MATCH (p:Person {name: 'Alice'})-[e:knows*1..3]->(q) RETURN *"
+        );
+    }
+
+    #[test]
+    fn incoming_edges_print_reversed_arrow() {
+        let rel = RelPattern {
+            direction: Direction::Incoming,
+            labels: vec!["hasCreator".into()],
+            ..RelPattern::default()
+        };
+        assert_eq!(rel.to_string(), "<-[:hasCreator]-");
+    }
+
+    #[test]
+    fn undirected_edges_print_no_arrowhead() {
+        let rel = RelPattern {
+            direction: Direction::Undirected,
+            ..RelPattern::default()
+        };
+        assert_eq!(rel.to_string(), "-[]-");
+    }
+}

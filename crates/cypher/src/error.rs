@@ -1,0 +1,81 @@
+//! Errors of the Cypher front-end.
+
+/// Position in the query text (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl Position {
+    /// Start-of-input position.
+    pub fn start() -> Self {
+        Position { line: 1, column: 1 }
+    }
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Error produced while lexing or parsing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the problem was detected.
+    pub position: Position,
+    /// Problem description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(position: Position, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced while turning a parsed query into a query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryGraphError(pub String);
+
+impl std::fmt::Display for QueryGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid query: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_position() {
+        let error = ParseError::new(Position { line: 2, column: 7 }, "unexpected token");
+        assert_eq!(error.to_string(), "parse error at 2:7: unexpected token");
+    }
+
+    #[test]
+    fn query_graph_error_displays_message() {
+        assert_eq!(
+            QueryGraphError("duplicate edge variable".into()).to_string(),
+            "invalid query: duplicate edge variable"
+        );
+    }
+}

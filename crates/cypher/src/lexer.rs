@@ -1,0 +1,385 @@
+//! Hand-written lexer for the Cypher subset.
+
+use crate::error::{ParseError, Position};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes `input` into tokens (terminated by [`TokenKind::Eof`]).
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    position: Position,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            chars: input.chars().peekable(),
+            position: Position::start(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.position.line += 1;
+            self.position.column = 1;
+        } else {
+            self.position.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.position, message)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            // `//` line comments.
+            if self.peek() == Some('/') {
+                let position = self.position;
+                self.bump();
+                if self.peek() == Some('/') {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                    continue;
+                }
+                return Err(ParseError::new(position, "unexpected `/`"));
+            }
+            let position = self.position;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    position,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                '[' => self.single(TokenKind::LBracket),
+                ']' => self.single(TokenKind::RBracket),
+                '{' => self.single(TokenKind::LBrace),
+                '}' => self.single(TokenKind::RBrace),
+                ':' => self.single(TokenKind::Colon),
+                ',' => self.single(TokenKind::Comma),
+                '|' => self.single(TokenKind::Pipe),
+                '-' => self.single(TokenKind::Minus),
+                '*' => self.single(TokenKind::Star),
+                '=' => self.single(TokenKind::Eq),
+                '.' => {
+                    self.bump();
+                    if self.peek() == Some('.') {
+                        self.bump();
+                        TokenKind::DotDot
+                    } else {
+                        TokenKind::Dot
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('>') => {
+                            self.bump();
+                            TokenKind::Neq
+                        }
+                        Some('=') => {
+                            self.bump();
+                            TokenKind::Lte
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Gte
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '\'' | '"' => self.string()?,
+                '$' => {
+                    self.bump();
+                    let name = self.ident_text();
+                    if name.is_empty() {
+                        return Err(self.error("expected parameter name after `$`"));
+                    }
+                    TokenKind::Parameter(name)
+                }
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => {
+                    let text = self.ident_text();
+                    match Keyword::from_ident(&text) {
+                        Some(keyword) => TokenKind::Keyword(keyword),
+                        None => TokenKind::Ident(text),
+                    }
+                }
+                '`' => {
+                    // Backtick-quoted identifier.
+                    self.bump();
+                    let mut text = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('`') => break,
+                            Some(c) => text.push(c),
+                            None => return Err(self.error("unterminated `` ` `` identifier")),
+                        }
+                    }
+                    TokenKind::Ident(text)
+                }
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            };
+            tokens.push(Token { kind, position });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut text = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            text.push(self.bump().expect("peeked"));
+        }
+        text
+    }
+
+    fn string(&mut self) -> Result<TokenKind, ParseError> {
+        let quote = self.bump().expect("peeked quote");
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some(c) => text.push(c),
+                    None => return Err(self.error("unterminated escape sequence")),
+                },
+                Some(c) if c == quote => break,
+                Some(c) => text.push(c),
+            }
+        }
+        Ok(TokenKind::String(text))
+    }
+
+    fn number(&mut self) -> Result<TokenKind, ParseError> {
+        let mut text = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked"));
+        }
+        // A `.` only continues the number if a digit follows — `1..3` must
+        // lex as Integer DotDot Integer.
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            let mut lookahead = self.chars.clone();
+            lookahead.next();
+            if matches!(lookahead.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().expect("dot"));
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            text.push(self.bump().expect("e"));
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().expect("sign"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.error(format!("invalid float literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Integer)
+                .map_err(|e| self.error(format!("invalid integer literal: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input)
+            .expect("lex")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_pattern_punctuation() {
+        assert_eq!(
+            kinds("(p:Person)-[e:knows*1..3]->(q)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("p".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("Person".into()),
+                TokenKind::RParen,
+                TokenKind::Minus,
+                TokenKind::LBracket,
+                TokenKind::Ident("e".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("knows".into()),
+                TokenKind::Star,
+                TokenKind::Integer(1),
+                TokenKind::DotDot,
+                TokenKind::Integer(3),
+                TokenKind::RBracket,
+                TokenKind::Minus,
+                TokenKind::Gt,
+                TokenKind::LParen,
+                TokenKind::Ident("q".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            kinds("a <> b <= c >= d < e > f = g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Lte,
+                TokenKind::Ident("c".into()),
+                TokenKind::Gte,
+                TokenKind::Ident("d".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("e".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_literals_with_escapes() {
+        assert_eq!(
+            kinds(r#"'Uni Leipzig' "it\'s" 'a\nb'"#),
+            vec![
+                TokenKind::String("Uni Leipzig".into()),
+                TokenKind::String("it's".into()),
+                TokenKind::String("a\nb".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("2014 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Integer(2014),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_range_does_not_lex_as_float() {
+        assert_eq!(
+            kinds("*0..10"),
+            vec![
+                TokenKind::Star,
+                TokenKind::Integer(0),
+                TokenKind::DotDot,
+                TokenKind::Integer(10),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        assert_eq!(
+            kinds("MATCH where Return and OR not"),
+            vec![
+                TokenKind::Keyword(Keyword::Match),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Keyword(Keyword::Return),
+                TokenKind::Keyword(Keyword::And),
+                TokenKind::Keyword(Keyword::Or),
+                TokenKind::Keyword(Keyword::Not),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_parameters_and_backtick_idents() {
+        assert_eq!(
+            kinds("$firstName `weird name`"),
+            vec![
+                TokenKind::Parameter("firstName".into()),
+                TokenKind::Ident("weird name".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("MATCH // comment here\nRETURN"),
+            vec![
+                TokenKind::Keyword(Keyword::Match),
+                TokenKind::Keyword(Keyword::Return),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let error = lex("MATCH (p) WHERE ^").unwrap_err();
+        assert_eq!(error.position.line, 1);
+        assert_eq!(error.position.column, 17);
+        let error = lex("'open").unwrap_err();
+        assert!(error.message.contains("unterminated"));
+        assert!(lex("$ ").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("MATCH\n  (p)").unwrap();
+        assert_eq!(tokens[1].position.line, 2);
+        assert_eq!(tokens[1].position.column, 3);
+    }
+}

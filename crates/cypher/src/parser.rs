@@ -1,0 +1,679 @@
+//! Recursive-descent parser for the supported Cypher subset.
+//!
+//! Supported grammar (the pattern-matching core of Cypher used by the
+//! paper): one or more `MATCH` clauses with comma-separated path patterns,
+//! node/relationship patterns with variables, `|`-alternated label
+//! predicates, inline property maps, both edge directions, undirected
+//! edges, variable-length path expressions `*l..u`, a `WHERE` clause with
+//! comparisons, `AND`/`OR`/`NOT` and parentheses, and a `RETURN` clause
+//! (`*`, variables, property accesses, `count(*)`).
+
+use crate::ast::{
+    Direction, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnClause, ReturnItem,
+};
+use crate::error::{ParseError, Position};
+use crate::lexer::lex;
+use crate::predicates::expr::{CmpOp, Expression, Literal};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Upper bound substituted for open-ended variable-length expressions
+/// (`*`, `*2..`). Cypher leaves these unbounded; a distributed bulk
+/// iteration needs a finite limit, so we cap at 10 hops — the largest bound
+/// used by the paper's benchmark queries.
+pub const DEFAULT_MAX_HOPS: usize = 10;
+
+/// Parses a query string into an AST.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    Parser { tokens, index: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.index].kind
+    }
+
+    fn position(&self) -> Position {
+        self.tokens[self.index].position
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.index].kind.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, expected: &TokenKind) -> bool {
+        if self.peek() == expected {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {expected}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: Keyword) -> Result<(), ParseError> {
+        if self.eat(&TokenKind::Keyword(keyword)) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword `{keyword:?}`, found {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.position(), message)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    // --- query ---------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword(Keyword::Match)?;
+        let mut patterns = vec![self.path_pattern()?];
+        loop {
+            if self.eat(&TokenKind::Comma) {
+                patterns.push(self.path_pattern()?);
+            } else if self.eat(&TokenKind::Keyword(Keyword::Match)) {
+                patterns.push(self.path_pattern()?);
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat(&TokenKind::Keyword(Keyword::Where)) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::Return)?;
+        let return_clause = self.return_clause()?;
+        self.expect(&TokenKind::Eof)?;
+        Ok(Query {
+            patterns,
+            where_clause,
+            return_clause,
+        })
+    }
+
+    // --- patterns ------------------------------------------------------------
+
+    fn path_pattern(&mut self) -> Result<PathPattern, ParseError> {
+        let start = self.node_pattern()?;
+        let mut steps = Vec::new();
+        while matches!(self.peek(), TokenKind::Minus | TokenKind::Lt) {
+            let rel = self.rel_pattern()?;
+            let node = self.node_pattern()?;
+            steps.push((rel, node));
+        }
+        Ok(PathPattern { start, steps })
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let variable = match self.peek() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Some(name)
+            }
+            _ => None,
+        };
+        let labels = if self.eat(&TokenKind::Colon) {
+            self.label_alternatives()?
+        } else {
+            Vec::new()
+        };
+        let properties = if matches!(self.peek(), TokenKind::LBrace) {
+            self.property_map()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(NodePattern {
+            variable,
+            labels,
+            properties,
+        })
+    }
+
+    fn label_alternatives(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut labels = vec![self.ident("label")?];
+        while self.eat(&TokenKind::Pipe) {
+            labels.push(self.ident("label")?);
+        }
+        Ok(labels)
+    }
+
+    fn property_map(&mut self) -> Result<Vec<(String, Literal)>, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut entries = Vec::new();
+        if !matches!(self.peek(), TokenKind::RBrace) {
+            loop {
+                let key = self.ident("property key")?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.literal()?;
+                entries.push((key, value));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(entries)
+    }
+
+    fn rel_pattern(&mut self) -> Result<RelPattern, ParseError> {
+        let incoming = self.eat(&TokenKind::Lt);
+        self.expect(&TokenKind::Minus)?;
+        let mut rel = if matches!(self.peek(), TokenKind::LBracket) {
+            self.rel_detail()?
+        } else {
+            RelPattern::default()
+        };
+        self.expect(&TokenKind::Minus)?;
+        let outgoing = self.eat(&TokenKind::Gt);
+        rel.direction = match (incoming, outgoing) {
+            (true, false) => Direction::Incoming,
+            (false, true) => Direction::Outgoing,
+            (false, false) => Direction::Undirected,
+            (true, true) => {
+                return Err(self.error("a relationship cannot point both ways (`<-[..]->`)"))
+            }
+        };
+        Ok(rel)
+    }
+
+    fn rel_detail(&mut self) -> Result<RelPattern, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let variable = match self.peek() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Some(name)
+            }
+            _ => None,
+        };
+        let labels = if self.eat(&TokenKind::Colon) {
+            self.label_alternatives()?
+        } else {
+            Vec::new()
+        };
+        let range = if self.eat(&TokenKind::Star) {
+            Some(self.path_range()?)
+        } else {
+            None
+        };
+        let properties = if matches!(self.peek(), TokenKind::LBrace) {
+            self.property_map()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&TokenKind::RBracket)?;
+        Ok(RelPattern {
+            variable,
+            labels,
+            properties,
+            direction: Direction::Outgoing, // fixed up by rel_pattern
+            range,
+        })
+    }
+
+    fn path_range(&mut self) -> Result<PathRange, ParseError> {
+        // Already consumed `*`. Forms: `*`, `*n`, `*l..`, `*..u`, `*l..u`.
+        let lower = match self.peek() {
+            TokenKind::Integer(value) => {
+                let value = *value;
+                if value < 0 {
+                    return Err(self.error("path bounds must be non-negative"));
+                }
+                self.bump();
+                Some(value as usize)
+            }
+            _ => None,
+        };
+        if self.eat(&TokenKind::DotDot) {
+            let upper = match self.peek() {
+                TokenKind::Integer(value) => {
+                    let value = *value;
+                    if value < 0 {
+                        return Err(self.error("path bounds must be non-negative"));
+                    }
+                    self.bump();
+                    Some(value as usize)
+                }
+                _ => None,
+            };
+            let lower = lower.unwrap_or(1);
+            let upper = upper.unwrap_or(DEFAULT_MAX_HOPS);
+            if lower > upper {
+                return Err(self.error(format!(
+                    "path lower bound {lower} exceeds upper bound {upper}"
+                )));
+            }
+            Ok(PathRange { lower, upper })
+        } else {
+            match lower {
+                // `*n` — exactly n hops.
+                Some(n) => Ok(PathRange { lower: n, upper: n }),
+                // bare `*` — at least one hop.
+                None => Ok(PathRange {
+                    lower: 1,
+                    upper: DEFAULT_MAX_HOPS,
+                }),
+            }
+        }
+    }
+
+    // --- RETURN ----------------------------------------------------------------
+
+    fn return_clause(&mut self) -> Result<ReturnClause, ParseError> {
+        let distinct = self.eat(&TokenKind::Keyword(Keyword::Distinct));
+        let mut items = Vec::new();
+        loop {
+            let item = match self.peek().clone() {
+                TokenKind::Star => {
+                    self.bump();
+                    ReturnItem::All
+                }
+                TokenKind::Keyword(Keyword::Count) => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    self.expect(&TokenKind::Star)?;
+                    self.expect(&TokenKind::RParen)?;
+                    ReturnItem::CountStar
+                }
+                TokenKind::Ident(variable) => {
+                    self.bump();
+                    if self.eat(&TokenKind::Dot) {
+                        let key = self.ident("property key")?;
+                        let alias = if self.eat(&TokenKind::Keyword(Keyword::As)) {
+                            Some(self.ident("alias")?)
+                        } else {
+                            None
+                        };
+                        ReturnItem::Property {
+                            variable,
+                            key,
+                            alias,
+                        }
+                    } else {
+                        ReturnItem::Variable(variable)
+                    }
+                }
+                other => return Err(self.error(format!("expected return item, found {other}"))),
+            };
+            items.push(item);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(ReturnClause { items, distinct })
+    }
+
+    // --- expressions -------------------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expression, ParseError> {
+        self.or_expression()
+    }
+
+    fn or_expression(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.and_expression()?;
+        while self.eat(&TokenKind::Keyword(Keyword::Or)) {
+            let right = self.and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expression(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.not_expression()?;
+        while self.eat(&TokenKind::Keyword(Keyword::And)) {
+            let right = self.not_expression()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expression(&mut self) -> Result<Expression, ParseError> {
+        if self.eat(&TokenKind::Keyword(Keyword::Not)) {
+            let inner = self.not_expression()?;
+            return Ok(Expression::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expression, ParseError> {
+        let left = self.primary()?;
+        if self.eat(&TokenKind::Keyword(Keyword::Is)) {
+            let negated = self.eat(&TokenKind::Keyword(Keyword::Not));
+            self.expect_keyword(Keyword::Null)?;
+            return Ok(Expression::IsNull {
+                operand: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Lte => CmpOp::Lte,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Gte => CmpOp::Gte,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.primary()?;
+        Ok(Expression::Comparison {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn primary(&mut self) -> Result<Expression, ParseError> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(variable) => {
+                self.bump();
+                if self.eat(&TokenKind::Dot) {
+                    let key = self.ident("property key")?;
+                    Ok(Expression::Property { variable, key })
+                } else {
+                    Ok(Expression::Variable(variable))
+                }
+            }
+            TokenKind::Parameter(name) => {
+                self.bump();
+                Ok(Expression::Parameter(name))
+            }
+            _ => self.literal().map(Expression::Literal),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        let literal = match self.peek().clone() {
+            TokenKind::String(value) => Literal::String(value),
+            TokenKind::Integer(value) => Literal::Integer(value),
+            TokenKind::Float(value) => Literal::Float(value),
+            TokenKind::Keyword(Keyword::True) => Literal::Boolean(true),
+            TokenKind::Keyword(Keyword::False) => Literal::Boolean(false),
+            TokenKind::Keyword(Keyword::Null) => Literal::Null,
+            TokenKind::Minus => {
+                self.bump();
+                return match self.peek().clone() {
+                    TokenKind::Integer(value) => {
+                        self.bump();
+                        Ok(Literal::Integer(-value))
+                    }
+                    TokenKind::Float(value) => {
+                        self.bump();
+                        Ok(Literal::Float(-value))
+                    }
+                    other => Err(self.error(format!("expected number after `-`, found {other}"))),
+                };
+            }
+            other => return Err(self.error(format!("expected literal, found {other}"))),
+        };
+        self.bump();
+        Ok(literal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_query() {
+        let query = parse(
+            "MATCH (p1:Person)-[s:studyAt]->(u:University), \
+                    (p2:Person)-[:studyAt]->(u), \
+                    (p1)-[e:knows*1..3]->(p2) \
+             WHERE p1.gender <> p2.gender \
+               AND u.name = 'Uni Leipzig' \
+               AND s.classYear > 2014 \
+             RETURN *",
+        )
+        .expect("parse");
+        assert_eq!(query.patterns.len(), 3);
+        let (rel, _) = &query.patterns[2].steps[0];
+        assert_eq!(rel.variable.as_deref(), Some("e"));
+        assert_eq!(rel.range, Some(PathRange { lower: 1, upper: 3 }));
+        assert!(query.where_clause.is_some());
+        assert_eq!(query.return_clause.items, vec![ReturnItem::All]);
+    }
+
+    #[test]
+    fn parses_label_alternation_and_incoming_edges() {
+        let query = parse(
+            "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post) \
+             WHERE person.firstName = \"Jun\" \
+             RETURN message.creationDate, message.content",
+        )
+        .expect("parse");
+        let (rel, node) = &query.patterns[0].steps[0];
+        assert_eq!(rel.direction, Direction::Incoming);
+        assert_eq!(node.labels, vec!["Comment".to_string(), "Post".to_string()]);
+        assert_eq!(query.return_clause.items.len(), 2);
+    }
+
+    #[test]
+    fn parses_all_six_benchmark_queries() {
+        let queries = [
+            // Q1
+            "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post)
+             WHERE person.firstName = \"X\"
+             RETURN message.creationDate, message.content",
+            // Q2
+            "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post),
+                   (message)-[:replyOf*0..10]->(post:Post)
+             WHERE person.firstName = \"X\"
+             RETURN message.creationDate, message.content, post.creationDate, post.content",
+            // Q3
+            "MATCH (p1:Person)-[:knows]->(p2:Person),
+                   (p2)<-[:hasCreator]-(comment:Comment),
+                   (comment)-[:replyOf*1..10]->(post:Post),
+                   (post)-[:hasCreator]->(p1)
+             WHERE p1.firstName = \"X\"
+             RETURN p1.firstName, p1.lastName, p2.firstName, p2.lastName, post.content",
+            // Q4
+            "MATCH (person:Person)-[:isLocatedIn]->(city:City),
+                   (person)-[:hasInterest]->(tag:Tag),
+                   (person)-[:studyAt]->(uni:University),
+                   (person)<-[:hasMember|hasModerator]-(forum:Forum)
+             RETURN person.firstName, person.lastName, city.name, tag.name, uni.name, forum.title",
+            // Q5
+            "MATCH (p1:Person)-[:knows]->(p2:Person),
+                   (p2)-[:knows]->(p3:Person),
+                   (p1)-[:knows]->(p3)
+             RETURN p1.firstName, p1.lastName, p2.firstName, p2.lastName, p3.firstName, p3.lastName",
+            // Q6
+            "MATCH (p1:Person)-[:knows]->(p2:Person),
+                   (p1)-[:hasInterest]->(t1:Tag),
+                   (p2)-[:hasInterest]->(t1),
+                   (p2)-[:hasInterest]->(t2:Tag)
+             RETURN p1.firstName, p1.lastName, t2.name",
+        ];
+        for (i, text) in queries.iter().enumerate() {
+            parse(text).unwrap_or_else(|e| panic!("query {}: {e}", i + 1));
+        }
+    }
+
+    #[test]
+    fn parses_range_forms() {
+        let range = |text: &str| {
+            parse(&format!("MATCH (a)-[e:knows{text}]->(b) RETURN *"))
+                .expect("parse")
+                .patterns[0]
+                .steps[0]
+                .0
+                .range
+        };
+        assert_eq!(range("*1..3"), Some(PathRange { lower: 1, upper: 3 }));
+        assert_eq!(range("*0..10"), Some(PathRange { lower: 0, upper: 10 }));
+        assert_eq!(range("*2"), Some(PathRange { lower: 2, upper: 2 }));
+        assert_eq!(
+            range("*"),
+            Some(PathRange {
+                lower: 1,
+                upper: DEFAULT_MAX_HOPS
+            })
+        );
+        assert_eq!(
+            range("*3.."),
+            Some(PathRange {
+                lower: 3,
+                upper: DEFAULT_MAX_HOPS
+            })
+        );
+        assert_eq!(range("*..4"), Some(PathRange { lower: 1, upper: 4 }));
+        assert_eq!(range(""), None);
+    }
+
+    #[test]
+    fn rejects_inverted_range() {
+        let error = parse("MATCH (a)-[e:knows*3..1]->(b) RETURN *").unwrap_err();
+        assert!(error.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn parses_undirected_and_bare_edges() {
+        let q = parse("MATCH (a)--(b), (c)-->(d), (e)<--(f) RETURN *").expect("parse");
+        assert_eq!(q.patterns[0].steps[0].0.direction, Direction::Undirected);
+        assert_eq!(q.patterns[1].steps[0].0.direction, Direction::Outgoing);
+        assert_eq!(q.patterns[2].steps[0].0.direction, Direction::Incoming);
+    }
+
+    #[test]
+    fn rejects_bidirectional_edges() {
+        assert!(parse("MATCH (a)<-[e]->(b) RETURN *").is_err());
+    }
+
+    #[test]
+    fn parses_property_maps() {
+        let q = parse("MATCH (p:Person {name: 'Alice', yob: 1984}) RETURN p").expect("parse");
+        assert_eq!(
+            q.patterns[0].start.properties,
+            vec![
+                ("name".to_string(), Literal::String("Alice".into())),
+                ("yob".to_string(), Literal::Integer(1984)),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_where_precedence() {
+        let q = parse("MATCH (a) WHERE a.x = 1 OR a.y = 2 AND NOT a.z = 3 RETURN *")
+            .expect("parse");
+        // AND binds tighter than OR.
+        assert_eq!(
+            q.where_clause.unwrap().to_string(),
+            "(a.x = 1 OR (a.y = 2 AND (NOT a.z = 3)))"
+        );
+    }
+
+    #[test]
+    fn parses_parameters_and_negative_literals() {
+        let q = parse("MATCH (p) WHERE p.name = $firstName AND p.score > -5 RETURN count(*)")
+            .expect("parse");
+        assert_eq!(q.return_clause.items, vec![ReturnItem::CountStar]);
+        assert!(q.where_clause.unwrap().to_string().contains("$firstName"));
+    }
+
+    #[test]
+    fn parses_multiple_match_clauses() {
+        let q = parse("MATCH (a)-[:x]->(b) MATCH (b)-[:y]->(c) RETURN *").expect("parse");
+        assert_eq!(q.patterns.len(), 2);
+    }
+
+    #[test]
+    fn parses_is_null_predicates() {
+        let q = parse("MATCH (a) WHERE a.p IS NULL OR a.q IS NOT NULL RETURN *").expect("parse");
+        assert_eq!(
+            q.where_clause.unwrap().to_string(),
+            "(a.p IS NULL OR a.q IS NOT NULL)"
+        );
+        // IS must be followed by [NOT] NULL.
+        assert!(parse("MATCH (a) WHERE a.p IS 5 RETURN *").is_err());
+        assert!(parse("MATCH (a) WHERE a.p IS NOT 5 RETURN *").is_err());
+    }
+
+    #[test]
+    fn parses_return_distinct() {
+        let q = parse("MATCH (a)-[e]->(b) RETURN DISTINCT a.name, b.name").expect("parse");
+        assert!(q.return_clause.distinct);
+        assert_eq!(q.return_clause.items.len(), 2);
+        let q = parse("MATCH (a) RETURN a").expect("parse");
+        assert!(!q.return_clause.distinct);
+        // Pretty-printed DISTINCT survives a reparse.
+        let q = parse("MATCH (a) RETURN DISTINCT *").expect("parse");
+        assert_eq!(parse(&q.to_string()).expect("reparse"), q);
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse("MATCH (p) RETURN p.name AS personName").expect("parse");
+        assert_eq!(
+            q.return_clause.items,
+            vec![ReturnItem::Property {
+                variable: "p".into(),
+                key: "name".into(),
+                alias: Some("personName".into()),
+            }]
+        );
+    }
+
+    #[test]
+    fn error_messages_point_at_problem() {
+        let error = parse("MATCH (p RETURN *").unwrap_err();
+        assert!(error.message.contains("expected"));
+        assert!(parse("MATCH (p) RETURN").is_err());
+        assert!(parse("RETURN *").is_err());
+        assert!(parse("MATCH (p) WHERE RETURN *").is_err());
+        assert!(parse("MATCH (p)-[e]->(q) WHERE e. RETURN *").is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_pretty_printer() {
+        let texts = [
+            "MATCH (p1:Person)-[s:studyAt]->(u:University) WHERE s.classYear > 2014 RETURN p1.name, u.name",
+            "MATCH (a:A|B)<-[e:x|y*2..5]-(b) RETURN *",
+            "MATCH (p:Person {name: 'Alice'})-[e]->(q) WHERE (NOT p.a = 1) RETURN count(*)",
+        ];
+        for text in texts {
+            let first = parse(text).expect("first parse");
+            let printed = first.to_string();
+            let second = parse(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            assert_eq!(first, second, "{printed}");
+        }
+    }
+}

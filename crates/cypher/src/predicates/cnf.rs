@@ -1,0 +1,472 @@
+//! Conversion of WHERE expressions into conjunctive normal form.
+//!
+//! The engine evaluates predicates as a conjunction of disjunctive clauses:
+//! element-centric clauses are pushed into the leaf operators
+//! (`FilterAndProjectVertices/Edges`), clauses spanning multiple variables
+//! run in `FilterEmbeddings` once all their variables are bound (paper
+//! Section 3.1).
+
+use std::collections::BTreeSet;
+
+use crate::predicates::expr::{CmpOp, Expression, Literal};
+
+/// A comparison operand after normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A constant.
+    Literal(Literal),
+    /// `variable.key`
+    Property {
+        /// The query variable.
+        variable: String,
+        /// The property key.
+        key: String,
+    },
+    /// A bare variable — compared by element identity.
+    Variable(String),
+}
+
+impl Operand {
+    /// The variable this operand references, if any.
+    pub fn variable(&self) -> Option<&str> {
+        match self {
+            Operand::Literal(_) => None,
+            Operand::Property { variable, .. } | Operand::Variable(variable) => Some(variable),
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Literal(literal) => write!(f, "{literal}"),
+            Operand::Property { variable, key } => write!(f, "{variable}.{key}"),
+            Operand::Variable(variable) => write!(f, "{variable}"),
+        }
+    }
+}
+
+/// An atomic predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `left op right`. Negation is folded into the operator.
+    Comparison {
+        /// Left operand.
+        left: Operand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// Label test `variable:A|B` generated from pattern label predicates.
+    HasLabel {
+        /// The query variable.
+        variable: String,
+        /// Accepted labels.
+        labels: Vec<String>,
+        /// `true` when the test is negated.
+        negated: bool,
+    },
+    /// Constant truth value (arises from literal-only expressions).
+    Constant(bool),
+    /// `operand IS NULL` test (negation folded into the flag).
+    IsNull {
+        /// The tested operand.
+        operand: Operand,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Atom {
+    /// Collects the variables the atom references.
+    pub fn collect_variables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Atom::Comparison { left, right, .. } => {
+                if let Some(v) = left.variable() {
+                    out.insert(v.to_string());
+                }
+                if let Some(v) = right.variable() {
+                    out.insert(v.to_string());
+                }
+            }
+            Atom::HasLabel { variable, .. } => {
+                out.insert(variable.clone());
+            }
+            Atom::IsNull { operand, .. } => {
+                if let Some(v) = operand.variable() {
+                    out.insert(v.to_string());
+                }
+            }
+            Atom::Constant(_) => {}
+        }
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Atom::Comparison { left, op, right } => write!(f, "{left} {op} {right}"),
+            Atom::HasLabel {
+                variable,
+                labels,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "NOT ")?;
+                }
+                write!(f, "{variable}:{}", labels.join("|"))
+            }
+            Atom::Constant(value) => write!(f, "{value}"),
+            Atom::IsNull { operand, negated } => {
+                if *negated {
+                    write!(f, "{operand} IS NOT NULL")
+                } else {
+                    write!(f, "{operand} IS NULL")
+                }
+            }
+        }
+    }
+}
+
+/// A disjunction of atoms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CnfClause {
+    /// The disjuncts.
+    pub atoms: Vec<Atom>,
+}
+
+impl CnfClause {
+    /// Clause with a single atom.
+    pub fn single(atom: Atom) -> Self {
+        CnfClause { atoms: vec![atom] }
+    }
+
+    /// All variables referenced by the clause.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for atom in &self.atoms {
+            atom.collect_variables(&mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CnfClause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A conjunction of clauses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CnfPredicate {
+    /// The conjuncts.
+    pub clauses: Vec<CnfClause>,
+}
+
+impl CnfPredicate {
+    /// The always-true predicate (no clauses).
+    pub fn always_true() -> Self {
+        CnfPredicate::default()
+    }
+
+    /// `true` when there are no clauses.
+    pub fn is_trivial(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Appends another predicate's clauses (logical AND).
+    pub fn and(&mut self, other: CnfPredicate) {
+        self.clauses.extend(other.clauses);
+    }
+
+    /// Adds one clause.
+    pub fn push(&mut self, clause: CnfClause) {
+        self.clauses.push(clause);
+    }
+
+    /// All variables referenced by the predicate.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for clause in &self.clauses {
+            for atom in &clause.atoms {
+                atom.collect_variables(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Every (variable, property key) pair the predicate reads.
+    pub fn property_accesses(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut push = |operand: &Operand| {
+            if let Operand::Property { variable, key } = operand {
+                let pair = (variable.clone(), key.clone());
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        };
+        for clause in &self.clauses {
+            for atom in &clause.atoms {
+                match atom {
+                    Atom::Comparison { left, right, .. } => {
+                        push(left);
+                        push(right);
+                    }
+                    Atom::IsNull { operand, .. } => push(operand),
+                    Atom::HasLabel { .. } | Atom::Constant(_) => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CnfPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "({clause})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts an expression into CNF.
+///
+/// The transformation is the textbook one: negations are pushed down to the
+/// atoms (folding them into comparison operators / label-test flags), then
+/// disjunctions are distributed over conjunctions. Note this engine uses
+/// two-valued logic — comparisons involving `NULL` evaluate to `false` —
+/// which makes the negation fold exact (documented deviation from Cypher's
+/// ternary logic; see DESIGN.md).
+pub fn to_cnf(expression: &Expression) -> CnfPredicate {
+    let nnf = to_nnf(expression, false);
+    let clauses = distribute(&nnf);
+    CnfPredicate { clauses }
+}
+
+/// Negation normal form: atoms or And/Or nodes only.
+enum Nnf {
+    Atom(Atom),
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+}
+
+fn operand_of(expression: &Expression) -> Operand {
+    match expression {
+        Expression::Literal(literal) => Operand::Literal(literal.clone()),
+        Expression::Property { variable, key } => Operand::Property {
+            variable: variable.clone(),
+            key: key.clone(),
+        },
+        Expression::Variable(variable) => Operand::Variable(variable.clone()),
+        Expression::Parameter(name) => {
+            // Unsubstituted parameters cannot be evaluated; they are caught
+            // during query-graph construction. Treat as a null literal so
+            // CNF conversion stays total.
+            debug_assert!(false, "parameter ${name} not substituted before CNF");
+            Operand::Literal(Literal::Null)
+        }
+        nested => {
+            // Nested boolean expressions as comparison operands are outside
+            // the supported subset; the parser does not produce them.
+            unreachable!("unsupported operand expression {nested:?}")
+        }
+    }
+}
+
+fn to_nnf(expression: &Expression, negated: bool) -> Nnf {
+    match expression {
+        Expression::Not(inner) => to_nnf(inner, !negated),
+        Expression::And(a, b) => {
+            let parts = vec![to_nnf(a, negated), to_nnf(b, negated)];
+            if negated {
+                Nnf::Or(parts)
+            } else {
+                Nnf::And(parts)
+            }
+        }
+        Expression::Or(a, b) => {
+            let parts = vec![to_nnf(a, negated), to_nnf(b, negated)];
+            if negated {
+                Nnf::And(parts)
+            } else {
+                Nnf::Or(parts)
+            }
+        }
+        Expression::Comparison { left, op, right } => {
+            let op = if negated { op.negated() } else { *op };
+            Nnf::Atom(Atom::Comparison {
+                left: operand_of(left),
+                op,
+                right: operand_of(right),
+            })
+        }
+        Expression::IsNull {
+            operand,
+            negated: is_not,
+        } => Nnf::Atom(Atom::IsNull {
+            operand: operand_of(operand),
+            negated: *is_not != negated,
+        }),
+        Expression::Literal(Literal::Boolean(value)) => Nnf::Atom(Atom::Constant(*value != negated)),
+        Expression::Literal(Literal::Null) => Nnf::Atom(Atom::Constant(false)),
+        other => {
+            // A bare variable/property/parameter in boolean position: treat
+            // as `x = TRUE`, Cypher style.
+            let atom = Atom::Comparison {
+                left: operand_of(other),
+                op: if negated { CmpOp::Neq } else { CmpOp::Eq },
+                right: Operand::Literal(Literal::Boolean(true)),
+            };
+            Nnf::Atom(atom)
+        }
+    }
+}
+
+/// Distributes OR over AND, producing clauses.
+fn distribute(nnf: &Nnf) -> Vec<CnfClause> {
+    match nnf {
+        Nnf::Atom(atom) => vec![CnfClause::single(atom.clone())],
+        Nnf::And(parts) => parts.iter().flat_map(distribute).collect(),
+        Nnf::Or(parts) => {
+            let mut result: Vec<CnfClause> = vec![CnfClause::default()];
+            for part in parts {
+                let part_clauses = distribute(part);
+                let mut next = Vec::with_capacity(result.len() * part_clauses.len());
+                for existing in &result {
+                    for clause in &part_clauses {
+                        let mut merged = existing.clone();
+                        merged.atoms.extend(clause.atoms.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                result = next;
+            }
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(variable: &str, key: &str) -> Expression {
+        Expression::Property {
+            variable: variable.into(),
+            key: key.into(),
+        }
+    }
+
+    fn cmp(left: Expression, op: CmpOp, right: Expression) -> Expression {
+        Expression::Comparison {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    fn lit(value: i64) -> Expression {
+        Expression::Literal(Literal::Integer(value))
+    }
+
+    #[test]
+    fn single_comparison_is_one_clause() {
+        let cnf = to_cnf(&cmp(prop("s", "classYear"), CmpOp::Gt, lit(2014)));
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.to_string(), "(s.classYear > 2014)");
+    }
+
+    #[test]
+    fn and_splits_into_clauses() {
+        let expr = Expression::And(
+            Box::new(cmp(prop("a", "x"), CmpOp::Eq, lit(1))),
+            Box::new(cmp(prop("b", "y"), CmpOp::Lt, lit(2))),
+        );
+        let cnf = to_cnf(&expr);
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn or_stays_one_clause() {
+        let expr = Expression::Or(
+            Box::new(cmp(prop("a", "x"), CmpOp::Eq, lit(1))),
+            Box::new(cmp(prop("a", "x"), CmpOp::Eq, lit(2))),
+        );
+        let cnf = to_cnf(&expr);
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].atoms.len(), 2);
+    }
+
+    #[test]
+    fn distribution_of_or_over_and() {
+        // a OR (b AND c)  =>  (a OR b) AND (a OR c)
+        let a = cmp(prop("v", "a"), CmpOp::Eq, lit(1));
+        let b = cmp(prop("v", "b"), CmpOp::Eq, lit(2));
+        let c = cmp(prop("v", "c"), CmpOp::Eq, lit(3));
+        let expr = Expression::Or(
+            Box::new(a),
+            Box::new(Expression::And(Box::new(b), Box::new(c))),
+        );
+        let cnf = to_cnf(&expr);
+        assert_eq!(cnf.to_string(), "(v.a = 1 OR v.b = 2) AND (v.a = 1 OR v.c = 3)");
+    }
+
+    #[test]
+    fn negation_folds_into_operators() {
+        // NOT (a < 1 AND b = 2)  =>  (a >= 1 OR b <> 2)
+        let expr = Expression::Not(Box::new(Expression::And(
+            Box::new(cmp(prop("v", "a"), CmpOp::Lt, lit(1))),
+            Box::new(cmp(prop("v", "b"), CmpOp::Eq, lit(2))),
+        )));
+        let cnf = to_cnf(&expr);
+        assert_eq!(cnf.to_string(), "(v.a >= 1 OR v.b <> 2)");
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let inner = cmp(prop("v", "a"), CmpOp::Lte, lit(1));
+        let expr = Expression::Not(Box::new(Expression::Not(Box::new(inner.clone()))));
+        assert_eq!(to_cnf(&expr), to_cnf(&inner));
+    }
+
+    #[test]
+    fn clause_variables_and_property_accesses() {
+        let expr = cmp(prop("p1", "gender"), CmpOp::Neq, prop("p2", "gender"));
+        let cnf = to_cnf(&expr);
+        let vars = cnf.clauses[0].variables();
+        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec!["p1", "p2"]);
+        assert_eq!(
+            cnf.property_accesses(),
+            vec![
+                ("p1".to_string(), "gender".to_string()),
+                ("p2".to_string(), "gender".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn boolean_literals_become_constants() {
+        let cnf = to_cnf(&Expression::Literal(Literal::Boolean(true)));
+        assert_eq!(cnf.clauses[0].atoms, vec![Atom::Constant(true)]);
+        let cnf = to_cnf(&Expression::Not(Box::new(Expression::Literal(
+            Literal::Boolean(true),
+        ))));
+        assert_eq!(cnf.clauses[0].atoms, vec![Atom::Constant(false)]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Predicate evaluation against variable bindings.
+//!
+//! Evaluation is **two-valued**: a comparison whose operands are
+//! incomparable (different types, or either side `NULL`/missing) is `false`.
+//! This deviates from Cypher's ternary logic but is applied consistently by
+//! the distributed engine and the reference matcher (see DESIGN.md).
+
+use gradoop_epgm::{Label, Properties, PropertyValue};
+
+use crate::predicates::cnf::{Atom, CnfClause, CnfPredicate, Operand};
+use crate::predicates::expr::CmpOp;
+
+/// Read access to the bindings of query variables.
+pub trait Bindings {
+    /// Property `key` of the element bound to `variable`.
+    fn property(&self, variable: &str, key: &str) -> Option<PropertyValue>;
+    /// Label of the element bound to `variable`.
+    fn label(&self, variable: &str) -> Option<Label>;
+    /// Identity of the element bound to `variable` (for `a = b` on
+    /// variables).
+    fn element_id(&self, variable: &str) -> Option<u64>;
+}
+
+/// Bindings of a single element under one variable name — used by the
+/// element-centric leaf operators.
+pub struct SingleElement<'a> {
+    /// The variable the element is bound to.
+    pub variable: &'a str,
+    /// The element's label.
+    pub label: &'a Label,
+    /// The element's properties.
+    pub properties: &'a Properties,
+    /// The element's identifier.
+    pub id: u64,
+}
+
+impl Bindings for SingleElement<'_> {
+    fn property(&self, variable: &str, key: &str) -> Option<PropertyValue> {
+        (variable == self.variable)
+            .then(|| self.properties.get(key).cloned())
+            .flatten()
+    }
+
+    fn label(&self, variable: &str) -> Option<Label> {
+        (variable == self.variable).then(|| self.label.clone())
+    }
+
+    fn element_id(&self, variable: &str) -> Option<u64> {
+        (variable == self.variable).then_some(self.id)
+    }
+}
+
+fn resolve(operand: &Operand, bindings: &impl Bindings) -> Option<PropertyValue> {
+    match operand {
+        Operand::Literal(literal) => Some(literal.to_property_value()),
+        Operand::Property { variable, key } => bindings.property(variable, key),
+        Operand::Variable(variable) => bindings
+            .element_id(variable)
+            .map(|id| PropertyValue::Long(id as i64)),
+    }
+}
+
+/// Evaluates one atom. Missing bindings and incomparable values yield
+/// `false`.
+pub fn eval_atom(atom: &Atom, bindings: &impl Bindings) -> bool {
+    match atom {
+        Atom::Constant(value) => *value,
+        Atom::IsNull { operand, negated } => {
+            let is_null = match resolve(operand, bindings) {
+                None => true,
+                Some(value) => value.is_null(),
+            };
+            is_null != *negated
+        }
+        Atom::HasLabel {
+            variable,
+            labels,
+            negated,
+        } => {
+            let Some(label) = bindings.label(variable) else {
+                return false;
+            };
+            let has = labels.iter().any(|l| label == l.as_str());
+            has != *negated
+        }
+        Atom::Comparison { left, op, right } => {
+            let (Some(l), Some(r)) = (resolve(left, bindings), resolve(right, bindings)) else {
+                return false;
+            };
+            if l.is_null() || r.is_null() {
+                return false;
+            }
+            match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Neq => {
+                    // `<>` is only true for *comparable* unequal values;
+                    // comparing a string to a number is false, like in
+                    // Cypher where it would be `null`.
+                    match l.compare(&r) {
+                        Some(ordering) => ordering != std::cmp::Ordering::Equal,
+                        None => false,
+                    }
+                }
+                CmpOp::Lt => l.compare(&r) == Some(std::cmp::Ordering::Less),
+                CmpOp::Gt => l.compare(&r) == Some(std::cmp::Ordering::Greater),
+                CmpOp::Lte => matches!(
+                    l.compare(&r),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                ),
+                CmpOp::Gte => matches!(
+                    l.compare(&r),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                ),
+            }
+        }
+    }
+}
+
+/// Evaluates a clause: true when any atom holds.
+pub fn eval_clause(clause: &CnfClause, bindings: &impl Bindings) -> bool {
+    clause.atoms.iter().any(|atom| eval_atom(atom, bindings))
+}
+
+/// Evaluates a predicate: true when every clause holds.
+pub fn eval_predicate(predicate: &CnfPredicate, bindings: &impl Bindings) -> bool {
+    predicate
+        .clauses
+        .iter()
+        .all(|clause| eval_clause(clause, bindings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::cnf::to_cnf;
+    use crate::predicates::expr::{Expression, Literal};
+    use gradoop_epgm::properties;
+
+    fn person() -> (Label, Properties) {
+        (
+            Label::new("Person"),
+            properties! { "name" => "Alice", "yob" => 1984i64 },
+        )
+    }
+
+    fn bindings<'a>(label: &'a Label, props: &'a Properties) -> SingleElement<'a> {
+        SingleElement {
+            variable: "p",
+            label,
+            properties: props,
+            id: 42,
+        }
+    }
+
+    fn check(expr_text_op: CmpOp, key: &str, literal: Literal, expected: bool) {
+        let (label, props) = person();
+        let expr = Expression::Comparison {
+            left: Box::new(Expression::Property {
+                variable: "p".into(),
+                key: key.into(),
+            }),
+            op: expr_text_op,
+            right: Box::new(Expression::Literal(literal)),
+        };
+        let cnf = to_cnf(&expr);
+        assert_eq!(eval_predicate(&cnf, &bindings(&label, &props)), expected);
+    }
+
+    #[test]
+    fn comparisons_on_properties() {
+        check(CmpOp::Eq, "name", Literal::String("Alice".into()), true);
+        check(CmpOp::Eq, "name", Literal::String("Bob".into()), false);
+        check(CmpOp::Gt, "yob", Literal::Integer(1980), true);
+        check(CmpOp::Lte, "yob", Literal::Integer(1984), true);
+        check(CmpOp::Lt, "yob", Literal::Integer(1984), false);
+        check(CmpOp::Neq, "name", Literal::String("Bob".into()), true);
+    }
+
+    #[test]
+    fn missing_property_is_false_even_negated() {
+        check(CmpOp::Eq, "nonexistent", Literal::Integer(1), false);
+        check(CmpOp::Neq, "nonexistent", Literal::Integer(1), false);
+    }
+
+    #[test]
+    fn cross_type_comparisons_are_false() {
+        check(CmpOp::Eq, "yob", Literal::String("1984".into()), false);
+        check(CmpOp::Neq, "yob", Literal::String("1984".into()), false);
+        check(CmpOp::Lt, "name", Literal::Integer(0), false);
+    }
+
+    #[test]
+    fn null_literal_comparisons_are_false() {
+        check(CmpOp::Eq, "name", Literal::Null, false);
+        check(CmpOp::Neq, "name", Literal::Null, false);
+    }
+
+    #[test]
+    fn label_atom() {
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        assert!(eval_atom(
+            &Atom::HasLabel {
+                variable: "p".into(),
+                labels: vec!["Comment".into(), "Person".into()],
+                negated: false,
+            },
+            &b
+        ));
+        assert!(!eval_atom(
+            &Atom::HasLabel {
+                variable: "p".into(),
+                labels: vec!["Person".into()],
+                negated: true,
+            },
+            &b
+        ));
+        // Unbound variable: false.
+        assert!(!eval_atom(
+            &Atom::HasLabel {
+                variable: "q".into(),
+                labels: vec!["Person".into()],
+                negated: false,
+            },
+            &b
+        ));
+    }
+
+    #[test]
+    fn variable_identity_comparison() {
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        let atom = Atom::Comparison {
+            left: Operand::Variable("p".into()),
+            op: CmpOp::Eq,
+            right: Operand::Literal(Literal::Integer(42)),
+        };
+        assert!(eval_atom(&atom, &b));
+    }
+
+    #[test]
+    fn clause_is_disjunction_predicate_is_conjunction() {
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        let t = Atom::Constant(true);
+        let f = Atom::Constant(false);
+        assert!(eval_clause(
+            &CnfClause {
+                atoms: vec![f.clone(), t.clone()]
+            },
+            &b
+        ));
+        assert!(!eval_clause(&CnfClause { atoms: vec![f.clone()] }, &b));
+        let mut predicate = CnfPredicate::always_true();
+        assert!(eval_predicate(&predicate, &b));
+        predicate.push(CnfClause::single(t));
+        predicate.push(CnfClause::single(f));
+        assert!(!eval_predicate(&predicate, &b));
+    }
+}

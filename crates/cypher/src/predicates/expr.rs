@@ -1,0 +1,292 @@
+//! WHERE-clause expression trees.
+
+use std::collections::BTreeSet;
+
+use gradoop_epgm::PropertyValue;
+
+/// A literal value in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `NULL`
+    Null,
+    /// `TRUE` / `FALSE`
+    Boolean(bool),
+    /// Integer literal.
+    Integer(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    String(String),
+}
+
+impl Literal {
+    /// The EPGM property value this literal denotes.
+    pub fn to_property_value(&self) -> PropertyValue {
+        match self {
+            Literal::Null => PropertyValue::Null,
+            Literal::Boolean(b) => PropertyValue::Boolean(*b),
+            Literal::Integer(v) => PropertyValue::Long(*v),
+            Literal::Float(v) => PropertyValue::Double(*v),
+            Literal::String(s) => PropertyValue::String(s.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Boolean(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Integer(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v:?}"),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        }
+    }
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Lte,
+    /// `>`
+    Gt,
+    /// `>=`
+    Gte,
+}
+
+impl CmpOp {
+    /// The operator with its operand order swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Lte => CmpOp::Gte,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Gte => CmpOp::Lte,
+        }
+    }
+
+    /// The logical negation (`NOT (a < b)` ⇔ `a >= b` under the engine's
+    /// two-valued semantics; see `predicates::eval`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Gte,
+            CmpOp::Lte => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Lte,
+            CmpOp::Gte => CmpOp::Lt,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Lte => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Gte => ">=",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// A WHERE-clause expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A literal value.
+    Literal(Literal),
+    /// `variable.key`
+    Property {
+        /// The query variable.
+        variable: String,
+        /// The property key.
+        key: String,
+    },
+    /// A bare variable (compares by element identity).
+    Variable(String),
+    /// `$name` query parameter (substituted before planning).
+    Parameter(String),
+    /// `left op right`
+    Comparison {
+        /// Left operand.
+        left: Box<Expression>,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Box<Expression>,
+    },
+    /// Conjunction.
+    And(Box<Expression>, Box<Expression>),
+    /// Disjunction.
+    Or(Box<Expression>, Box<Expression>),
+    /// Negation.
+    Not(Box<Expression>),
+    /// `operand IS NULL` (`negated` = `IS NOT NULL`).
+    IsNull {
+        /// The tested operand (a property access or variable).
+        operand: Box<Expression>,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expression {
+    /// Collects every query variable referenced by the expression.
+    pub fn collect_variables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expression::Literal(_) | Expression::Parameter(_) => {}
+            Expression::Property { variable, .. } | Expression::Variable(variable) => {
+                out.insert(variable.clone());
+            }
+            Expression::Comparison { left, right, .. } => {
+                left.collect_variables(out);
+                right.collect_variables(out);
+            }
+            Expression::And(a, b) | Expression::Or(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expression::Not(inner) => inner.collect_variables(out),
+            Expression::IsNull { operand, .. } => operand.collect_variables(out),
+        }
+    }
+
+    /// Replaces `$name` parameters by literals from `params`; returns the
+    /// name of the first unbound parameter, if any.
+    pub fn substitute_parameters(
+        &mut self,
+        params: &std::collections::HashMap<String, Literal>,
+    ) -> Result<(), String> {
+        match self {
+            Expression::Parameter(name) => match params.get(name) {
+                Some(literal) => {
+                    *self = Expression::Literal(literal.clone());
+                    Ok(())
+                }
+                None => Err(name.clone()),
+            },
+            Expression::Comparison { left, right, .. } => {
+                left.substitute_parameters(params)?;
+                right.substitute_parameters(params)
+            }
+            Expression::And(a, b) | Expression::Or(a, b) => {
+                a.substitute_parameters(params)?;
+                b.substitute_parameters(params)
+            }
+            Expression::Not(inner) => inner.substitute_parameters(params),
+            Expression::IsNull { operand, .. } => operand.substitute_parameters(params),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for Expression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expression::Literal(literal) => write!(f, "{literal}"),
+            Expression::Property { variable, key } => write!(f, "{variable}.{key}"),
+            Expression::Variable(variable) => write!(f, "{variable}"),
+            Expression::Parameter(name) => write!(f, "${name}"),
+            Expression::Comparison { left, op, right } => write!(f, "{left} {op} {right}"),
+            Expression::And(a, b) => write!(f, "({a} AND {b})"),
+            Expression::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expression::Not(inner) => write!(f, "(NOT {inner})"),
+            Expression::IsNull { operand, negated } => {
+                if *negated {
+                    write!(f, "{operand} IS NOT NULL")
+                } else {
+                    write!(f, "{operand} IS NULL")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_to_property_value() {
+        assert_eq!(Literal::Null.to_property_value(), PropertyValue::Null);
+        assert_eq!(
+            Literal::Integer(5).to_property_value(),
+            PropertyValue::Long(5)
+        );
+        assert_eq!(
+            Literal::String("x".into()).to_property_value(),
+            PropertyValue::String("x".into())
+        );
+    }
+
+    #[test]
+    fn cmp_op_flip_and_negate() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lte.flipped(), CmpOp::Gte);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Gte);
+        assert_eq!(CmpOp::Eq.negated(), CmpOp::Neq);
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Lte, CmpOp::Gt, CmpOp::Gte] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+
+    #[test]
+    fn collects_variables() {
+        let expr = Expression::And(
+            Box::new(Expression::Comparison {
+                left: Box::new(Expression::Property {
+                    variable: "p1".into(),
+                    key: "gender".into(),
+                }),
+                op: CmpOp::Neq,
+                right: Box::new(Expression::Property {
+                    variable: "p2".into(),
+                    key: "gender".into(),
+                }),
+            }),
+            Box::new(Expression::Not(Box::new(Expression::Variable("u".into())))),
+        );
+        let mut vars = BTreeSet::new();
+        expr.collect_variables(&mut vars);
+        assert_eq!(
+            vars.into_iter().collect::<Vec<_>>(),
+            vec!["p1".to_string(), "p2".to_string(), "u".to_string()]
+        );
+    }
+
+    #[test]
+    fn parameter_substitution() {
+        let mut expr = Expression::Comparison {
+            left: Box::new(Expression::Property {
+                variable: "p".into(),
+                key: "firstName".into(),
+            }),
+            op: CmpOp::Eq,
+            right: Box::new(Expression::Parameter("firstName".into())),
+        };
+        let mut params = std::collections::HashMap::new();
+        params.insert("firstName".to_string(), Literal::String("Jun".into()));
+        expr.substitute_parameters(&params).unwrap();
+        assert_eq!(expr.to_string(), "p.firstName = 'Jun'");
+
+        let mut unbound = Expression::Parameter("missing".into());
+        assert_eq!(
+            unbound.substitute_parameters(&params),
+            Err("missing".to_string())
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Predicate handling: WHERE-clause expressions, conjunctive normal form,
+//! per-variable splitting and evaluation.
+
+pub mod cnf;
+pub mod eval;
+pub mod expr;
+pub mod split;
+
+pub use cnf::{Atom, CnfClause, CnfPredicate, Operand};
+pub use eval::{Bindings, SingleElement};
+pub use expr::{CmpOp, Expression, Literal};
+pub use split::SplitPredicates;

@@ -1,0 +1,131 @@
+//! Splitting a CNF predicate by the variables its clauses touch.
+//!
+//! Element-centric clauses (touching a single variable) are evaluated inside
+//! the leaf operators so data is filtered before the first join; clauses
+//! spanning multiple variables are evaluated by `FilterEmbeddings` as soon
+//! as an embedding binds all of them (paper Section 3.1).
+
+use std::collections::HashMap;
+
+use crate::predicates::cnf::{CnfClause, CnfPredicate};
+
+/// The result of splitting a predicate.
+#[derive(Debug, Clone, Default)]
+pub struct SplitPredicates {
+    /// Clauses referencing exactly one variable, grouped by that variable.
+    pub by_variable: HashMap<String, CnfPredicate>,
+    /// Clauses referencing zero or ≥2 variables, to be evaluated on
+    /// embeddings. Kept with their variable sets for scheduling.
+    pub cross_variable: Vec<(CnfClause, Vec<String>)>,
+}
+
+/// Splits `predicate` into element-centric and embedding-centric parts.
+pub fn split_predicates(predicate: &CnfPredicate) -> SplitPredicates {
+    let mut result = SplitPredicates::default();
+    for clause in &predicate.clauses {
+        let variables: Vec<String> = clause.variables().into_iter().collect();
+        if variables.len() == 1 {
+            result
+                .by_variable
+                .entry(variables[0].clone())
+                .or_default()
+                .push(clause.clone());
+        } else {
+            result.cross_variable.push((clause.clone(), variables));
+        }
+    }
+    result
+}
+
+impl SplitPredicates {
+    /// The element-centric predicate for `variable` (trivial if none).
+    pub fn for_variable(&self, variable: &str) -> CnfPredicate {
+        self.by_variable
+            .get(variable)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::cnf::to_cnf;
+    use crate::predicates::expr::{CmpOp, Expression, Literal};
+
+    fn prop(variable: &str, key: &str) -> Expression {
+        Expression::Property {
+            variable: variable.into(),
+            key: key.into(),
+        }
+    }
+
+    fn example() -> CnfPredicate {
+        // p1.gender <> p2.gender AND u.name = 'Uni Leipzig' AND s.classYear > 2014
+        let expr = Expression::And(
+            Box::new(Expression::And(
+                Box::new(Expression::Comparison {
+                    left: Box::new(prop("p1", "gender")),
+                    op: CmpOp::Neq,
+                    right: Box::new(prop("p2", "gender")),
+                }),
+                Box::new(Expression::Comparison {
+                    left: Box::new(prop("u", "name")),
+                    op: CmpOp::Eq,
+                    right: Box::new(Expression::Literal(Literal::String("Uni Leipzig".into()))),
+                }),
+            )),
+            Box::new(Expression::Comparison {
+                left: Box::new(prop("s", "classYear")),
+                op: CmpOp::Gt,
+                right: Box::new(Expression::Literal(Literal::Integer(2014))),
+            }),
+        );
+        to_cnf(&expr)
+    }
+
+    #[test]
+    fn splits_paper_example() {
+        let split = split_predicates(&example());
+        // u and s clauses are element-centric; the gender clause spans two.
+        assert_eq!(split.by_variable.len(), 2);
+        assert!(split.by_variable.contains_key("u"));
+        assert!(split.by_variable.contains_key("s"));
+        assert_eq!(split.cross_variable.len(), 1);
+        assert_eq!(split.cross_variable[0].1, vec!["p1", "p2"]);
+    }
+
+    #[test]
+    fn for_variable_returns_trivial_when_absent() {
+        let split = split_predicates(&example());
+        assert!(split.for_variable("p1").is_trivial());
+        assert!(!split.for_variable("u").is_trivial());
+    }
+
+    #[test]
+    fn variable_free_clauses_go_to_cross() {
+        let cnf = to_cnf(&Expression::Literal(Literal::Boolean(false)));
+        let split = split_predicates(&cnf);
+        assert_eq!(split.cross_variable.len(), 1);
+        assert!(split.cross_variable[0].1.is_empty());
+    }
+
+    #[test]
+    fn multiple_clauses_for_one_variable_accumulate() {
+        let expr = Expression::And(
+            Box::new(Expression::Comparison {
+                left: Box::new(prop("v", "a")),
+                op: CmpOp::Gt,
+                right: Box::new(Expression::Literal(Literal::Integer(1))),
+            }),
+            Box::new(Expression::Comparison {
+                left: Box::new(prop("v", "b")),
+                op: CmpOp::Lt,
+                right: Box::new(Expression::Literal(Literal::Integer(5))),
+            }),
+        );
+        let split = split_predicates(&to_cnf(&expr));
+        assert_eq!(split.by_variable["v"].clauses.len(), 2);
+        assert!(split.cross_variable.is_empty());
+    }
+}

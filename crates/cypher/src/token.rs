@@ -1,0 +1,174 @@
+//! Token types produced by the lexer.
+
+use crate::error::Position;
+
+/// Keywords of the supported Cypher subset (matched case-insensitively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `MATCH`
+    Match,
+    /// `WHERE`
+    Where,
+    /// `RETURN`
+    Return,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `NULL`
+    Null,
+    /// `AS`
+    As,
+    /// `COUNT`
+    Count,
+    /// `IS` (in `IS NULL` / `IS NOT NULL`)
+    Is,
+    /// `DISTINCT`
+    Distinct,
+}
+
+impl Keyword {
+    /// Parses a keyword from an identifier, case-insensitively.
+    pub fn from_ident(ident: &str) -> Option<Keyword> {
+        match ident.to_ascii_uppercase().as_str() {
+            "MATCH" => Some(Keyword::Match),
+            "WHERE" => Some(Keyword::Where),
+            "RETURN" => Some(Keyword::Return),
+            "AND" => Some(Keyword::And),
+            "OR" => Some(Keyword::Or),
+            "NOT" => Some(Keyword::Not),
+            "TRUE" => Some(Keyword::True),
+            "FALSE" => Some(Keyword::False),
+            "NULL" => Some(Keyword::Null),
+            "AS" => Some(Keyword::As),
+            "COUNT" => Some(Keyword::Count),
+            "IS" => Some(Keyword::Is),
+            "DISTINCT" => Some(Keyword::Distinct),
+            _ => None,
+        }
+    }
+}
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (variable, label or property key).
+    Ident(String),
+    /// Reserved keyword.
+    Keyword(Keyword),
+    /// String literal (quotes removed, escapes resolved).
+    String(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `$name` query parameter.
+    Parameter(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// `-`
+    Minus,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<=`
+    Lte,
+    /// `>=`
+    Gte,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub position: Position,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::String(s) => write!(f, "string {s:?}"),
+            TokenKind::Integer(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Parameter(name) => write!(f, "parameter `${name}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Neq => write!(f, "`<>`"),
+            TokenKind::Lte => write!(f, "`<=`"),
+            TokenKind::Gte => write!(f, "`>=`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(Keyword::from_ident("match"), Some(Keyword::Match));
+        assert_eq!(Keyword::from_ident("MATCH"), Some(Keyword::Match));
+        assert_eq!(Keyword::from_ident("MaTcH"), Some(Keyword::Match));
+        assert_eq!(Keyword::from_ident("person"), None);
+    }
+
+    #[test]
+    fn token_display_is_stable() {
+        assert_eq!(TokenKind::Neq.to_string(), "`<>`");
+        assert_eq!(TokenKind::Ident("p1".into()).to_string(), "identifier `p1`");
+    }
+}

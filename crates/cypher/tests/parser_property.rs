@@ -1,0 +1,257 @@
+//! Property-based tests of the Cypher front-end: pretty-printing a random
+//! AST and reparsing it yields the same AST, and CNF conversion preserves
+//! two-valued semantics on comparable values.
+
+use gradoop_cypher::ast::{
+    Direction, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnClause, ReturnItem,
+};
+use gradoop_cypher::predicates::cnf::to_cnf;
+use gradoop_cypher::predicates::eval::{eval_predicate, Bindings};
+use gradoop_cypher::{parse, CmpOp, Expression, Literal};
+use gradoop_epgm::{Label, PropertyValue};
+use proptest::prelude::*;
+
+// --- AST generation ----------------------------------------------------------
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Boolean),
+        (-1000i64..1000).prop_map(Literal::Integer),
+        (-100.0f64..100.0).prop_map(Literal::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Literal::String),
+    ]
+}
+
+fn node_variable() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
+            .prop_map(|v| Some(v.to_string())),
+    ]
+}
+
+fn labels() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        prop_oneof![Just("A".to_string()), Just("B".to_string()), Just("C".to_string())],
+        0..3,
+    )
+    .prop_map(|mut ls| {
+        ls.dedup();
+        ls
+    })
+}
+
+fn property_map() -> impl Strategy<Value = Vec<(String, Literal)>> {
+    proptest::collection::vec(
+        (prop_oneof![Just("p".to_string()), Just("q".to_string())], literal()),
+        0..2,
+    )
+    .prop_map(|mut entries| {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        entries
+    })
+}
+
+fn node_pattern() -> impl Strategy<Value = NodePattern> {
+    (node_variable(), labels(), property_map()).prop_map(|(variable, labels, properties)| {
+        NodePattern {
+            variable,
+            labels,
+            properties,
+        }
+    })
+}
+
+fn path_range() -> impl Strategy<Value = Option<PathRange>> {
+    prop_oneof![
+        Just(None),
+        (0usize..3, 0usize..4).prop_map(|(lower, extra)| Some(PathRange {
+            lower,
+            upper: lower + extra,
+        })),
+    ]
+    .prop_map(|range| match range {
+        // `*1..1` normalizes to a plain edge during query-graph
+        // construction but must still roundtrip through the printer.
+        other => other,
+    })
+}
+
+fn rel_pattern(index: usize) -> impl Strategy<Value = RelPattern> {
+    let variable = prop_oneof![
+        Just(None),
+        Just(Some(format!("e{index}"))),
+    ];
+    (
+        variable,
+        labels(),
+        property_map(),
+        prop_oneof![
+            Just(Direction::Outgoing),
+            Just(Direction::Incoming),
+            Just(Direction::Undirected)
+        ],
+        path_range(),
+    )
+        .prop_map(|(variable, labels, properties, direction, range)| RelPattern {
+            variable,
+            labels,
+            properties,
+            direction,
+            range,
+        })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    let pattern = (node_pattern(), rel_pattern(0), node_pattern(), path_range()).prop_map(
+        |(start, rel, end, _)| PathPattern {
+            start,
+            steps: vec![(rel, end)],
+        },
+    );
+    (pattern, proptest::option::of(rel_pattern(1))).prop_map(|(mut pattern, extra)| {
+        if let Some(rel) = extra {
+            pattern.steps.push((
+                rel,
+                NodePattern {
+                    variable: Some("z".to_string()),
+                    labels: vec![],
+                    properties: vec![],
+                },
+            ));
+        }
+        Query {
+            patterns: vec![pattern],
+            where_clause: None,
+            return_clause: ReturnClause {
+                items: vec![ReturnItem::All],
+                distinct: false,
+            },
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn pretty_printed_ast_reparses_identically(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, q, "{}", printed);
+    }
+}
+
+// --- CNF semantics ------------------------------------------------------------
+
+/// Bindings where every referenced property is a defined integer, so all
+/// comparisons are comparable and two-valued logic is classical.
+struct TotalBindings {
+    a_p: i64,
+    b_p: i64,
+}
+
+impl Bindings for TotalBindings {
+    fn property(&self, variable: &str, key: &str) -> Option<PropertyValue> {
+        match (variable, key) {
+            ("a", "p") => Some(PropertyValue::Long(self.a_p)),
+            ("b", "p") => Some(PropertyValue::Long(self.b_p)),
+            _ => None,
+        }
+    }
+    fn label(&self, _: &str) -> Option<Label> {
+        None
+    }
+    fn element_id(&self, _: &str) -> Option<u64> {
+        None
+    }
+}
+
+fn comparable_expression() -> impl Strategy<Value = Expression> {
+    let atom = (
+        prop_oneof![Just("a"), Just("b")],
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Neq),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Lte),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Gte)
+        ],
+        prop_oneof![
+            (-3i64..4).prop_map(Literal::Integer).prop_map(Expression::Literal).boxed(),
+            Just(Expression::Property { variable: "b".into(), key: "p".into() }).boxed(),
+        ],
+    )
+        .prop_map(|(variable, op, right)| Expression::Comparison {
+            left: Box::new(Expression::Property {
+                variable: variable.to_string(),
+                key: "p".into(),
+            }),
+            op,
+            right: Box::new(right),
+        });
+    atom.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expression::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expression::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expression::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Direct recursive two-valued evaluation, for comparable operands only.
+fn eval_direct(expr: &Expression, bindings: &TotalBindings) -> bool {
+    match expr {
+        Expression::And(a, b) => eval_direct(a, bindings) && eval_direct(b, bindings),
+        Expression::Or(a, b) => eval_direct(a, bindings) || eval_direct(b, bindings),
+        Expression::Not(a) => !eval_direct(a, bindings),
+        Expression::Comparison { left, op, right } => {
+            let value = |e: &Expression| -> i64 {
+                match e {
+                    Expression::Literal(Literal::Integer(v)) => *v,
+                    Expression::Property { variable, key } => match bindings
+                        .property(variable, key)
+                    {
+                        Some(PropertyValue::Long(v)) => v,
+                        other => panic!("unexpected {other:?}"),
+                    },
+                    other => panic!("unexpected operand {other:?}"),
+                }
+            };
+            let (l, r) = (value(left), value(right));
+            match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Neq => l != r,
+                CmpOp::Lt => l < r,
+                CmpOp::Lte => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Gte => l >= r,
+            }
+        }
+        other => panic!("unexpected expression {other:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn cnf_preserves_semantics_on_comparable_values(
+        expr in comparable_expression(),
+        a_p in -3i64..4,
+        b_p in -3i64..4,
+    ) {
+        let bindings = TotalBindings { a_p, b_p };
+        let direct = eval_direct(&expr, &bindings);
+        let cnf = to_cnf(&expr);
+        prop_assert_eq!(
+            eval_predicate(&cnf, &bindings),
+            direct,
+            "expr {} / cnf {}",
+            expr,
+            cnf
+        );
+    }
+}

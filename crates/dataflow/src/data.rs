@@ -1,0 +1,119 @@
+//! The [`Data`] trait: the contract every dataset element must fulfil.
+//!
+//! Flink requires dataset elements to be serializable so they can be shuffled
+//! between workers; the byte size of an element is what the network cost of a
+//! shuffle is charged on. Our elements stay in memory, but the simulated
+//! clock still needs their serialized size, so [`Data::byte_size`] reports
+//! the number of bytes the element would occupy on the wire.
+
+/// An element that can live in a [`crate::Dataset`].
+///
+/// `byte_size` must be a reasonable estimate of the element's serialized
+/// size; it drives the simulated network and spill costs. It does not need
+/// to be exact, but it must be deterministic for a given value.
+pub trait Data: Clone + Send + Sync + 'static {
+    /// Serialized size of this element in bytes.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! impl_data_fixed {
+    ($($t:ty),*) => {
+        $(impl Data for $t {
+            #[inline]
+            fn byte_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_data_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Data for () {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        0
+    }
+}
+
+impl Data for String {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        // length prefix + UTF-8 payload
+        4 + self.len()
+    }
+}
+
+impl<T: Data> Data for Option<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Data::byte_size)
+    }
+}
+
+impl<T: Data> Data for Vec<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        4 + self.iter().map(Data::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: Data> Data for std::sync::Arc<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+macro_rules! impl_data_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Data),+> Data for ($($name,)+) {
+            #[inline]
+            #[allow(non_snake_case)]
+            fn byte_size(&self) -> usize {
+                let ($(ref $name,)+) = *self;
+                0 $(+ $name.byte_size())+
+            }
+        }
+    };
+}
+
+impl_data_tuple!(A);
+impl_data_tuple!(A, B);
+impl_data_tuple!(A, B, C);
+impl_data_tuple!(A, B, C, D);
+impl_data_tuple!(A, B, C, D, E);
+impl_data_tuple!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_sizes() {
+        assert_eq!(1u8.byte_size(), 1);
+        assert_eq!(1u64.byte_size(), 8);
+        assert_eq!(1.0f64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+        assert_eq!(().byte_size(), 0);
+    }
+
+    #[test]
+    fn string_size_counts_prefix_and_payload() {
+        assert_eq!(String::new().byte_size(), 4);
+        assert_eq!("abcd".to_string().byte_size(), 8);
+    }
+
+    #[test]
+    fn container_sizes_are_recursive() {
+        assert_eq!(vec![1u64, 2, 3].byte_size(), 4 + 24);
+        assert_eq!(Some(7u32).byte_size(), 5);
+        assert_eq!(None::<u32>.byte_size(), 1);
+        assert_eq!((1u64, "ab".to_string()).byte_size(), 8 + 6);
+    }
+
+    #[test]
+    fn arc_delegates_to_inner() {
+        assert_eq!(std::sync::Arc::new(5u64).byte_size(), 8);
+    }
+}

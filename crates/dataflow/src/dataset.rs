@@ -1,0 +1,378 @@
+//! The [`Dataset`] abstraction: a partitioned, immutable collection plus the
+//! element-wise transformations of the dataflow model.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::data::Data;
+use crate::env::ExecutionEnvironment;
+use crate::partition::shuffle_by_key;
+use crate::pool::map_partitions;
+
+/// A distributed collection: one partition per simulated worker.
+///
+/// Datasets are immutable and cheap to clone (partitions are shared behind
+/// an [`Arc`]). Transformations execute eagerly, processing partitions on
+/// parallel threads and charging the simulated clock of the owning
+/// [`ExecutionEnvironment`].
+pub struct Dataset<T> {
+    env: ExecutionEnvironment,
+    partitions: Arc<Vec<Vec<T>>>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Dataset {
+            env: self.env.clone(),
+            partitions: Arc::clone(&self.partitions),
+        }
+    }
+}
+
+impl<T: Data> Dataset<T> {
+    /// Wraps pre-partitioned data in a dataset.
+    pub fn from_partitions(env: ExecutionEnvironment, partitions: Vec<Vec<T>>) -> Self {
+        debug_assert_eq!(partitions.len(), env.workers());
+        Dataset {
+            env,
+            partitions: Arc::new(partitions),
+        }
+    }
+
+    /// The owning environment.
+    pub fn env(&self) -> &ExecutionEnvironment {
+        &self.env
+    }
+
+    /// Read access to the raw partitions (no cost charged — used by
+    /// operators in this crate and by higher layers that implement their
+    /// own operators with explicit cost accounting).
+    pub fn partitions(&self) -> &[Vec<T>] {
+        &self.partitions
+    }
+
+    /// Number of elements per partition (no cost charged).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of elements without charging the clock. Flink exposes
+    /// the equivalent through its iteration termination criterion; query
+    /// drivers also use it to detect empty intermediate results.
+    pub fn len_untracked(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if the dataset holds no elements (no cost charged).
+    pub fn is_empty_untracked(&self) -> bool {
+        self.partitions.iter().all(Vec::is_empty)
+    }
+
+    /// Element-wise transformation (Flink `map`).
+    pub fn map<O: Data, F>(&self, f: F) -> Dataset<O>
+    where
+        F: Fn(&T) -> O + Sync,
+    {
+        self.transform("map", |part, out| {
+            out.extend(part.iter().map(&f));
+        })
+    }
+
+    /// Element-wise transformation emitting zero or more outputs
+    /// (Flink `flatMap`). The paper's leaf operators fuse select, project
+    /// and transform into a single `FlatMap` (Section 3.1); higher layers
+    /// do the same through this method.
+    pub fn flat_map<O: Data, F>(&self, f: F) -> Dataset<O>
+    where
+        F: Fn(&T, &mut Vec<O>) + Sync,
+    {
+        self.transform("flat_map", |part, out| {
+            for item in part {
+                f(item, out);
+            }
+        })
+    }
+
+    /// Keeps elements satisfying the predicate (Flink `filter`).
+    pub fn filter<F>(&self, predicate: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.transform("filter", |part, out| {
+            out.extend(part.iter().filter(|i| predicate(i)).cloned());
+        })
+    }
+
+    fn transform<O: Data, F>(&self, name: &'static str, f: F) -> Dataset<O>
+    where
+        F: Fn(&[T], &mut Vec<O>) + Sync,
+    {
+        let mut stage = self.env.stage(name);
+        let outputs: Vec<Vec<O>> = map_partitions(&self.partitions, |_, part| {
+            let mut out = Vec::new();
+            f(part, &mut out);
+            out
+        });
+        for (i, (inp, out)) in self.partitions.iter().zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += inp.len() as u64;
+            w.records_out += out.len() as u64;
+        }
+        self.env.finish_stage(stage);
+        Dataset::from_partitions(self.env.clone(), outputs)
+    }
+
+    /// Concatenates two datasets partition-wise (Flink `union` — free, no
+    /// shuffle).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        assert_eq!(
+            self.env.workers(),
+            other.env.workers(),
+            "union requires datasets from the same environment"
+        );
+        let partitions: Vec<Vec<T>> = self
+            .partitions
+            .iter()
+            .zip(other.partitions.iter())
+            .map(|(a, b)| {
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                merged.extend_from_slice(a);
+                merged.extend_from_slice(b);
+                merged
+            })
+            .collect();
+        Dataset::from_partitions(self.env.clone(), partitions)
+    }
+
+    /// Repartitions the dataset by a key so equal keys share a worker.
+    pub fn partition_by_key<K, F>(&self, key: F) -> Dataset<T>
+    where
+        K: Hash,
+        F: Fn(&T) -> K + Sync,
+    {
+        let mut stage = self.env.stage("partition_by_key");
+        let partitions = shuffle_by_key(&self.partitions, key, &mut stage);
+        self.env.finish_stage(stage);
+        Dataset::from_partitions(self.env.clone(), partitions)
+    }
+
+    /// Spreads elements evenly over all workers (Flink `rebalance`).
+    /// Useful to break skew introduced by key-based shuffles.
+    pub fn rebalance(&self) -> Dataset<T> {
+        let workers = self.env.workers();
+        let mut stage = self.env.stage("rebalance");
+        let mut partitions: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut next = 0usize;
+        for (source, part) in self.partitions.iter().enumerate() {
+            stage.worker(source).records_in += part.len() as u64;
+            for item in part {
+                if next != source {
+                    let bytes = item.byte_size() as u64;
+                    stage.worker(source).bytes_sent += bytes;
+                    stage.worker(next).bytes_received += bytes;
+                }
+                partitions[next].push(item.clone());
+                next = (next + 1) % workers;
+            }
+        }
+        self.env.finish_stage(stage);
+        Dataset::from_partitions(self.env.clone(), partitions)
+    }
+
+    /// Counts elements. Counting is distributed: each worker counts its
+    /// partition, only the per-worker counts travel to the driver.
+    pub fn count(&self) -> usize {
+        let mut stage = self.env.stage("count");
+        let total = self.partitions.iter().map(Vec::len).sum();
+        for (i, part) in self.partitions.iter().enumerate() {
+            let w = stage.worker(i);
+            w.records_in += part.len() as u64;
+            w.bytes_sent += 8; // one u64 count per worker to the driver
+        }
+        self.env.finish_stage(stage);
+        total
+    }
+
+    /// Gathers all elements at the driver, charging the full network
+    /// transfer. Element order follows partition order.
+    pub fn collect(&self) -> Vec<T> {
+        let mut stage = self.env.stage("collect");
+        for (i, part) in self.partitions.iter().enumerate() {
+            let bytes: u64 = part.iter().map(|e| e.byte_size() as u64).sum();
+            let w = stage.worker(i);
+            w.records_in += part.len() as u64;
+            w.bytes_sent += bytes;
+        }
+        self.env.finish_stage(stage);
+        self.partitions.iter().flatten().cloned().collect()
+    }
+}
+
+impl<T: Data + Hash + Eq> Dataset<T> {
+    /// Removes duplicates (Flink `distinct`): shuffle by value, then
+    /// per-partition deduplication.
+    pub fn distinct(&self) -> Dataset<T> {
+        let shuffled = self.partition_by_key(|item| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            item.hash(&mut hasher);
+            std::hash::Hasher::finish(&hasher)
+        });
+        let mut stage = self.env.stage("distinct");
+        let outputs: Vec<Vec<T>> = map_partitions(shuffled.partitions(), |_, part| {
+            let mut seen = std::collections::HashSet::with_capacity(part.len());
+            let mut out = Vec::new();
+            for item in part {
+                if seen.insert(item.clone()) {
+                    out.push(item.clone());
+                }
+            }
+            out
+        });
+        for (i, (inp, out)) in shuffled.partitions().iter().zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += inp.len() as u64;
+            w.records_out += out.len() as u64;
+        }
+        self.env.finish_stage(stage);
+        Dataset::from_partitions(self.env.clone(), outputs)
+    }
+}
+
+impl<T: Data> std::fmt::Debug for Dataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("partitions", &self.partition_sizes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::env::ExecutionConfig;
+
+    fn env(workers: usize) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        )
+    }
+
+    #[test]
+    fn map_transforms_every_element() {
+        let env = env(3);
+        let ds = env.from_collection(0u64..9).map(|x| x * 2);
+        let mut values = ds.collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..9).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_can_drop_and_multiply() {
+        let env = env(2);
+        let ds = env.from_collection(0u64..4).flat_map(|x, out| {
+            if x % 2 == 0 {
+                out.push(*x);
+                out.push(*x + 100);
+            }
+        });
+        let mut values = ds.collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 2, 100, 102]);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let env = env(2);
+        let ds = env.from_collection(0u64..10).filter(|x| *x < 3);
+        assert_eq!(ds.count(), 3);
+    }
+
+    #[test]
+    fn union_is_partitionwise() {
+        let env = env(2);
+        let a = env.from_collection(vec![1u64, 2]);
+        let b = env.from_collection(vec![3u64]);
+        let u = a.union(&b);
+        assert_eq!(u.count(), 3);
+        assert_eq!(u.partition_sizes().len(), 2);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let env = env(4);
+        let ds = env.from_collection(vec![1u64, 2, 2, 3, 3, 3]).distinct();
+        let mut values = ds.collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn partition_by_key_groups_keys() {
+        let env = env(4);
+        let ds = env
+            .from_collection((0u64..100).map(|i| (i % 5, i)).collect::<Vec<_>>())
+            .partition_by_key(|(k, _)| *k);
+        // All records with equal keys must share a partition.
+        for part in ds.partitions() {
+            for (k, _) in part {
+                let home = crate::partition::partition_for(k, 4);
+                assert!(part.iter().all(|(k2, _)| k2 != k
+                    || crate::partition::partition_for(k2, 4) == home));
+            }
+        }
+        assert_eq!(ds.count(), 100);
+    }
+
+    #[test]
+    fn rebalance_evens_out_partitions() {
+        let env = env(4);
+        // All data on one worker.
+        let skewed = Dataset::from_partitions(
+            env.clone(),
+            vec![(0u64..100).collect(), vec![], vec![], vec![]],
+        );
+        let balanced = skewed.rebalance();
+        for size in balanced.partition_sizes() {
+            assert_eq!(size, 25);
+        }
+    }
+
+    #[test]
+    fn count_and_len_untracked_agree() {
+        let env = env(3);
+        let ds = env.from_collection(0u64..17);
+        assert_eq!(ds.count(), ds.len_untracked());
+        assert!(!ds.is_empty_untracked());
+        assert!(env.empty::<u64>().is_empty_untracked());
+    }
+
+    #[test]
+    fn collect_preserves_all_elements() {
+        let env = env(3);
+        let ds = env.from_collection(0u64..10);
+        let mut values = ds.collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_charges_simulated_time() {
+        let config = ExecutionConfig::with_workers(2).cost_model(CostModel {
+            cpu_seconds_per_record: 1.0,
+            ..CostModel::free()
+        });
+        let env = ExecutionEnvironment::new(config);
+        let _ = env.from_collection(0u64..10).map(|x| *x);
+        // 10 records in round-robin over 2 workers: 5 in + 5 out per worker.
+        assert!((env.simulated_seconds() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same environment")]
+    fn union_across_environments_panics() {
+        let a = env(2).from_collection(vec![1u64]);
+        let b = env(3).from_collection(vec![2u64]);
+        let _ = a.union(&b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Execution environment: simulated cluster configuration plus metrics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::{CostModel, ExecutionMetrics, StageCosts};
+use crate::data::Data;
+use crate::dataset::Dataset;
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ExecutionConfig {
+    /// Number of simulated workers; every dataset has one partition per
+    /// worker and each partition is processed by its own thread.
+    pub workers: usize,
+    /// Cost model used by the simulated clock.
+    pub cost_model: CostModel,
+    /// Whether to keep a per-stage log in the metrics (off by default —
+    /// long query runs produce many stages).
+    pub keep_stage_log: bool,
+}
+
+impl ExecutionConfig {
+    /// Configuration with `workers` workers and the default cost model.
+    pub fn with_workers(workers: usize) -> Self {
+        ExecutionConfig {
+            workers: workers.max(1),
+            cost_model: CostModel::default(),
+            keep_stage_log: false,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Enables the per-stage log.
+    pub fn log_stages(mut self) -> Self {
+        self.keep_stage_log = true;
+        self
+    }
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig::with_workers(4)
+    }
+}
+
+struct EnvInner {
+    config: ExecutionConfig,
+    metrics: Mutex<ExecutionMetrics>,
+}
+
+/// Handle to a simulated cluster. Cheap to clone; all clones share the same
+/// metrics and simulated clock.
+#[derive(Clone)]
+pub struct ExecutionEnvironment {
+    inner: Arc<EnvInner>,
+}
+
+impl ExecutionEnvironment {
+    /// Creates an environment for the given configuration.
+    pub fn new(config: ExecutionConfig) -> Self {
+        ExecutionEnvironment {
+            inner: Arc::new(EnvInner {
+                config,
+                metrics: Mutex::new(ExecutionMetrics::default()),
+            }),
+        }
+    }
+
+    /// Convenience constructor: `workers` workers, default cost model.
+    pub fn with_workers(workers: usize) -> Self {
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(workers))
+    }
+
+    /// Number of simulated workers (= partitions per dataset).
+    pub fn workers(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// The environment's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.config.cost_model
+    }
+
+    /// Snapshot of the accumulated execution metrics.
+    pub fn metrics(&self) -> ExecutionMetrics {
+        self.inner.metrics.lock().clone()
+    }
+
+    /// Resets the simulated clock and all counters. Used by benchmark
+    /// harnesses that re-run queries on the same environment.
+    pub fn reset_metrics(&self) {
+        *self.inner.metrics.lock() = ExecutionMetrics::default();
+    }
+
+    /// Total simulated seconds so far.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.inner.metrics.lock().simulated_seconds
+    }
+
+    /// Creates a new per-stage cost accumulator.
+    pub(crate) fn stage(&self, name: &'static str) -> StageCosts {
+        StageCosts::new(name, self.workers())
+    }
+
+    /// Finalizes a stage and folds it into the metrics.
+    pub(crate) fn finish_stage(&self, stage: StageCosts) {
+        let report = stage.finish(&self.inner.config.cost_model);
+        self.inner
+            .metrics
+            .lock()
+            .record(report, self.inner.config.keep_stage_log);
+    }
+
+    /// Creates a dataset from a collection, distributing elements round-robin
+    /// over the workers (Flink's `fromCollection` followed by `rebalance`).
+    pub fn from_collection<T: Data, I: IntoIterator<Item = T>>(&self, items: I) -> Dataset<T> {
+        let workers = self.workers();
+        let mut partitions: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            partitions[i % workers].push(item);
+        }
+        Dataset::from_partitions(self.clone(), partitions)
+    }
+
+    /// Creates an empty dataset.
+    pub fn empty<T: Data>(&self) -> Dataset<T> {
+        Dataset::from_partitions(self.clone(), vec![Vec::new(); self.workers()])
+    }
+}
+
+impl std::fmt::Debug for ExecutionEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionEnvironment")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_collection_distributes_round_robin() {
+        let env = ExecutionEnvironment::with_workers(3);
+        let ds = env.from_collection(0u64..10);
+        let sizes = ds.partition_sizes();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(ds.count(), 10);
+    }
+
+    #[test]
+    fn workers_is_at_least_one() {
+        let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(0));
+        assert_eq!(env.workers(), 1);
+    }
+
+    #[test]
+    fn metrics_reset() {
+        let env = ExecutionEnvironment::with_workers(2);
+        let _ = env.from_collection(0u64..100).map(|x| x + 1).count();
+        assert!(env.metrics().stages > 0);
+        env.reset_metrics();
+        assert_eq!(env.metrics().stages, 0);
+        assert_eq!(env.simulated_seconds(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let env = ExecutionEnvironment::with_workers(2);
+        let clone = env.clone();
+        let _ = env.from_collection(0u64..10).count();
+        assert_eq!(clone.metrics().stages, env.metrics().stages);
+    }
+}

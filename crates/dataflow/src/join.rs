@@ -1,0 +1,522 @@
+//! Equi-join transformations.
+//!
+//! Flink's optimizer chooses between shipping strategies (repartition vs
+//! broadcast) and local strategies (hash vs sort-merge); the paper relies on
+//! that choice (Section 3.2). All three combinations used by the query
+//! engine are implemented here:
+//!
+//! * [`JoinStrategy::RepartitionHash`] — both sides are hash-partitioned by
+//!   key; each worker builds a hash table over its smaller side and probes
+//!   with the other. Build sides larger than the worker memory budget spill.
+//! * [`JoinStrategy::BroadcastHashSecond`] / [`JoinStrategy::BroadcastHashFirst`]
+//!   — one (small) side is replicated to every worker; the other side stays
+//!   in place. No shuffle of the large side.
+//! * [`JoinStrategy::RepartitionSortMerge`] — both sides are partitioned,
+//!   locally sorted by key hash and merged; charges the extra sort CPU.
+//!
+//! The join function has *FlatJoin* semantics (paper Section 3.1): it may
+//! reject a pair by returning `None`, which is how isomorphism checks are
+//! fused into joins without materializing rejected embeddings.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::cost::StageCosts;
+use crate::data::Data;
+use crate::dataset::Dataset;
+use crate::partition::shuffle_by_key;
+use crate::pool::{map_partition_pairs, map_partitions};
+
+/// Shipping + local strategy for an equi-join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Hash-partition both inputs, hash-join locally (Flink
+    /// `REPARTITION_HASH`). The default for two large inputs.
+    RepartitionHash,
+    /// Replicate the *first* (left) input to all workers, hash-join against
+    /// the stationary second input.
+    BroadcastHashFirst,
+    /// Replicate the *second* (right) input to all workers.
+    BroadcastHashSecond,
+    /// Hash-partition both inputs, sort each partition by key and merge.
+    RepartitionSortMerge,
+}
+
+impl Default for JoinStrategy {
+    fn default() -> Self {
+        JoinStrategy::RepartitionHash
+    }
+}
+
+impl<T: Data> Dataset<T> {
+    /// Equi-join with FlatJoin semantics: `join_fn` returns `Some(output)`
+    /// to emit a joined element or `None` to reject the pair.
+    pub fn join<R, K, O, KL, KR, F>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+        strategy: JoinStrategy,
+        join_fn: F,
+    ) -> Dataset<O>
+    where
+        R: Data,
+        O: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+        F: Fn(&T, &R) -> Option<O> + Sync,
+    {
+        match strategy {
+            JoinStrategy::RepartitionHash => {
+                self.repartition_hash_join(right, left_key, right_key, join_fn)
+            }
+            JoinStrategy::BroadcastHashFirst => {
+                // Symmetric to broadcasting the second input: broadcast self
+                // and probe from the right side, flipping the join function.
+                right.broadcast_hash_join(self, right_key, left_key, |r, l| join_fn(l, r))
+            }
+            JoinStrategy::BroadcastHashSecond => {
+                self.broadcast_hash_join(right, left_key, right_key, join_fn)
+            }
+            JoinStrategy::RepartitionSortMerge => {
+                self.sort_merge_join(right, left_key, right_key, join_fn)
+            }
+        }
+    }
+
+    fn repartition_hash_join<R, K, O, KL, KR, F>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+        join_fn: F,
+    ) -> Dataset<O>
+    where
+        R: Data,
+        O: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+        F: Fn(&T, &R) -> Option<O> + Sync,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("join(repartition-hash)");
+        let left_parts = shuffle_by_key(self.partitions(), &left_key, &mut stage);
+        let right_parts = shuffle_by_key(right.partitions(), &right_key, &mut stage);
+
+        let outputs: Vec<Vec<O>> = map_partition_pairs(&left_parts, &right_parts, |_, l, r| {
+            local_hash_join(l, r, &left_key, &right_key, &join_fn)
+        });
+
+        charge_local_join(&mut stage, &left_parts, &right_parts, &outputs, &env);
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+
+    fn broadcast_hash_join<R, K, O, KL, KR, F>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+        join_fn: F,
+    ) -> Dataset<O>
+    where
+        R: Data,
+        O: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+        F: Fn(&T, &R) -> Option<O> + Sync,
+    {
+        let env = self.env().clone();
+        let workers = env.workers();
+        let mut stage = env.stage("join(broadcast-hash)");
+
+        // Broadcast the right side: every worker sends its fragment to all
+        // other workers and receives every other fragment.
+        let broadcast: Vec<R> = right.partitions().iter().flatten().cloned().collect();
+        let fragment_bytes: Vec<u64> = right
+            .partitions()
+            .iter()
+            .map(|p| p.iter().map(|e| e.byte_size() as u64).sum())
+            .collect();
+        let total_bytes: u64 = fragment_bytes.iter().sum();
+        for (i, bytes) in fragment_bytes.iter().enumerate() {
+            let w = stage.worker(i);
+            w.bytes_sent += bytes * (workers as u64 - 1);
+            w.bytes_received += total_bytes - bytes;
+        }
+
+        let right_full: Vec<Vec<R>> = vec![broadcast; 1]; // shared build input
+        let outputs: Vec<Vec<O>> = map_partitions(self.partitions(), |_, left| {
+            local_hash_join(left, &right_full[0], &left_key, &right_key, &join_fn)
+        });
+
+        // Charge local work: build over the broadcast side on each worker.
+        let right_records = right_full[0].len() as u64;
+        for (i, (left, out)) in self.partitions().iter().zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += left.len() as u64 + right_records;
+            w.records_out += out.len() as u64;
+            let build_bytes: u64 = right_full[0].iter().map(|e| e.byte_size() as u64).sum();
+            if build_bytes as usize > env.cost_model().memory_per_worker {
+                w.bytes_spilled += build_bytes - env.cost_model().memory_per_worker as u64;
+            }
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+
+    fn sort_merge_join<R, K, O, KL, KR, F>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+        join_fn: F,
+    ) -> Dataset<O>
+    where
+        R: Data,
+        O: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+        F: Fn(&T, &R) -> Option<O> + Sync,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("join(sort-merge)");
+        let left_parts = shuffle_by_key(self.partitions(), &left_key, &mut stage);
+        let right_parts = shuffle_by_key(right.partitions(), &right_key, &mut stage);
+
+        let outputs: Vec<Vec<O>> = map_partition_pairs(&left_parts, &right_parts, |_, l, r| {
+            local_sort_merge_join(l, r, &left_key, &right_key, &join_fn)
+        });
+
+        // Charge shuffle-side record counts plus the n·log n sort CPU.
+        let model = env.cost_model().clone();
+        for (i, ((l, r), out)) in left_parts
+            .iter()
+            .zip(&right_parts)
+            .zip(&outputs)
+            .enumerate()
+        {
+            let n = (l.len() + r.len()) as f64;
+            let sort_cpu = if n > 1.0 {
+                n * n.log2() * model.cpu_seconds_per_record * 0.5
+            } else {
+                0.0
+            };
+            let w = stage.worker(i);
+            w.records_in += (l.len() + r.len()) as u64;
+            w.records_out += out.len() as u64;
+            w.extra_cpu_seconds += sort_cpu;
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+}
+
+/// Local hash join: builds over the smaller side, probes with the other.
+fn local_hash_join<L, R, K, O, KL, KR, F>(
+    left: &[L],
+    right: &[R],
+    left_key: &KL,
+    right_key: &KR,
+    join_fn: &F,
+) -> Vec<O>
+where
+    L: Data,
+    R: Data,
+    K: Hash + Eq + Clone,
+    KL: Fn(&L) -> K,
+    KR: Fn(&R) -> K,
+    F: Fn(&L, &R) -> Option<O>,
+{
+    let mut out = Vec::new();
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+    // Build over the side with fewer records.
+    if left.len() <= right.len() {
+        let mut table: HashMap<K, Vec<&L>> = HashMap::with_capacity(left.len());
+        for l in left {
+            table.entry(left_key(l)).or_default().push(l);
+        }
+        for r in right {
+            if let Some(matches) = table.get(&right_key(r)) {
+                for l in matches {
+                    if let Some(o) = join_fn(l, r) {
+                        out.push(o);
+                    }
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<K, Vec<&R>> = HashMap::with_capacity(right.len());
+        for r in right {
+            table.entry(right_key(r)).or_default().push(r);
+        }
+        for l in left {
+            if let Some(matches) = table.get(&left_key(l)) {
+                for r in matches {
+                    if let Some(o) = join_fn(l, r) {
+                        out.push(o);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Local sort-merge join: sorts both sides by key hash and merges runs of
+/// equal hashes, re-checking true key equality inside a run.
+fn local_sort_merge_join<L, R, K, O, KL, KR, F>(
+    left: &[L],
+    right: &[R],
+    left_key: &KL,
+    right_key: &KR,
+    join_fn: &F,
+) -> Vec<O>
+where
+    L: Data,
+    R: Data,
+    K: Hash + Eq,
+    KL: Fn(&L) -> K,
+    KR: Fn(&R) -> K,
+    F: Fn(&L, &R) -> Option<O>,
+{
+    fn key_hash<K: Hash>(key: &K) -> u64 {
+        use std::hash::Hasher;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    let mut l_sorted: Vec<(u64, &L)> = left.iter().map(|l| (key_hash(&left_key(l)), l)).collect();
+    let mut r_sorted: Vec<(u64, &R)> =
+        right.iter().map(|r| (key_hash(&right_key(r)), r)).collect();
+    l_sorted.sort_by_key(|(h, _)| *h);
+    r_sorted.sort_by_key(|(h, _)| *h);
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l_sorted.len() && j < r_sorted.len() {
+        let (lh, rh) = (l_sorted[i].0, r_sorted[j].0);
+        if lh < rh {
+            i += 1;
+        } else if lh > rh {
+            j += 1;
+        } else {
+            let i_end = l_sorted[i..].iter().take_while(|(h, _)| *h == lh).count() + i;
+            let j_end = r_sorted[j..].iter().take_while(|(h, _)| *h == rh).count() + j;
+            for (_, l) in &l_sorted[i..i_end] {
+                for (_, r) in &r_sorted[j..j_end] {
+                    if left_key(l) == right_key(r) {
+                        if let Some(o) = join_fn(l, r) {
+                            out.push(o);
+                        }
+                    }
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+/// Charges a repartitioned local join: record counts plus memory pressure.
+fn charge_local_join<L: Data, R: Data, O: Data>(
+    stage: &mut StageCosts,
+    left_parts: &[Vec<L>],
+    right_parts: &[Vec<R>],
+    outputs: &[Vec<O>],
+    env: &crate::env::ExecutionEnvironment,
+) {
+    let memory = env.cost_model().memory_per_worker;
+    for (i, ((l, r), out)) in left_parts.iter().zip(right_parts).zip(outputs).enumerate() {
+        // The local join builds over the smaller side by record count.
+        let build_bytes: u64 = if l.len() <= r.len() {
+            l.iter().map(|e| e.byte_size() as u64).sum()
+        } else {
+            r.iter().map(|e| e.byte_size() as u64).sum()
+        };
+        let w = stage.worker(i);
+        w.records_in += (l.len() + r.len()) as u64;
+        w.records_out += out.len() as u64;
+        if build_bytes as usize > memory {
+            // Grace-hash-style spill: the overflow fraction of the build side
+            // is written out and re-read.
+            w.bytes_spilled += build_bytes - memory as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::env::{ExecutionConfig, ExecutionEnvironment};
+
+    fn env(workers: usize) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        )
+    }
+
+    fn expected_pairs() -> Vec<(u64, String)> {
+        vec![
+            (1, "a1".into()),
+            (1, "b1".into()),
+            (2, "a2".into()),
+            (2, "b2".into()),
+        ]
+    }
+
+    fn run_join(strategy: JoinStrategy, workers: usize) -> Vec<(u64, String)> {
+        let env = env(workers);
+        let left = env.from_collection(vec![1u64, 2, 3]);
+        let right = env.from_collection(vec![
+            (1u64, "a1".to_string()),
+            (1, "b1".to_string()),
+            (2, "a2".to_string()),
+            (2, "b2".to_string()),
+            (9, "x".to_string()),
+        ]);
+        let joined = left.join(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            strategy,
+            |l, (_, v)| Some((*l, v.clone())),
+        );
+        let mut result = joined.collect();
+        result.sort();
+        result
+    }
+
+    #[test]
+    fn repartition_hash_join_matches() {
+        assert_eq!(run_join(JoinStrategy::RepartitionHash, 4), expected_pairs());
+    }
+
+    #[test]
+    fn broadcast_second_join_matches() {
+        assert_eq!(
+            run_join(JoinStrategy::BroadcastHashSecond, 4),
+            expected_pairs()
+        );
+    }
+
+    #[test]
+    fn broadcast_first_join_matches() {
+        assert_eq!(
+            run_join(JoinStrategy::BroadcastHashFirst, 4),
+            expected_pairs()
+        );
+    }
+
+    #[test]
+    fn sort_merge_join_matches() {
+        assert_eq!(
+            run_join(JoinStrategy::RepartitionSortMerge, 4),
+            expected_pairs()
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_on_single_worker() {
+        let expected = expected_pairs();
+        for strategy in [
+            JoinStrategy::RepartitionHash,
+            JoinStrategy::BroadcastHashFirst,
+            JoinStrategy::BroadcastHashSecond,
+            JoinStrategy::RepartitionSortMerge,
+        ] {
+            assert_eq!(run_join(strategy, 1), expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn flat_join_can_reject_pairs() {
+        let env = env(2);
+        let left = env.from_collection(vec![1u64, 2]);
+        let right = env.from_collection(vec![(1u64, 10u64), (2, 20)]);
+        let joined = left.join(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            JoinStrategy::RepartitionHash,
+            |l, (_, v)| if *v >= 20 { Some((*l, *v)) } else { None },
+        );
+        assert_eq!(joined.collect(), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn join_with_duplicate_keys_produces_cross_product_per_key() {
+        let env = env(2);
+        let left = env.from_collection(vec![1u64, 1]);
+        let right = env.from_collection(vec![(1u64, 1u64), (1, 2), (1, 3)]);
+        let joined = left.join(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            JoinStrategy::RepartitionHash,
+            |_, (_, v)| Some(*v),
+        );
+        assert_eq!(joined.count(), 6);
+    }
+
+    #[test]
+    fn empty_sides_produce_empty_output() {
+        let env = env(2);
+        let left = env.from_collection(Vec::<u64>::new());
+        let right = env.from_collection(vec![(1u64, 2u64)]);
+        let joined = left.join(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            JoinStrategy::RepartitionHash,
+            |_, _| Some(0u64),
+        );
+        assert_eq!(joined.count(), 0);
+    }
+
+    #[test]
+    fn repartition_join_shuffles_bytes() {
+        let config = ExecutionConfig::with_workers(4);
+        let env = ExecutionEnvironment::new(config);
+        let left = env.from_collection(0u64..1000);
+        let right = env.from_collection((0u64..1000).map(|i| (i, i)).collect::<Vec<_>>());
+        env.reset_metrics();
+        let _ = left.join(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            JoinStrategy::RepartitionHash,
+            |l, _| Some(*l),
+        );
+        assert!(env.metrics().bytes_shuffled > 0);
+    }
+
+    #[test]
+    fn small_memory_budget_triggers_spill() {
+        let config = ExecutionConfig::with_workers(1).cost_model(CostModel {
+            memory_per_worker: 16,
+            ..CostModel::free()
+        });
+        let env = ExecutionEnvironment::new(config);
+        let left = env.from_collection(0u64..100);
+        let right = env.from_collection((0u64..100).map(|i| (i, i)).collect::<Vec<_>>());
+        env.reset_metrics();
+        let _ = left.join(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            JoinStrategy::RepartitionHash,
+            |l, _| Some(*l),
+        );
+        assert!(env.metrics().bytes_spilled > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Left outer join and anti join.
+//!
+//! Flink's dataset API offers outer joins alongside inner joins; the
+//! iterative graph algorithms need them (e.g. "vertices that did not
+//! receive a message keep their state", "frontier minus settled"). Both are
+//! implemented as repartition hash joins.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::data::Data;
+use crate::dataset::Dataset;
+use crate::partition::shuffle_by_key;
+use crate::pool::map_partition_pairs;
+
+impl<T: Data> Dataset<T> {
+    /// Left outer equi-join: `join_fn` receives every left element together
+    /// with its matches (`Some`) or `None` when the right side has no equal
+    /// key. Emits one output per (left, match) pair and one per unmatched
+    /// left element (when `join_fn` returns `Some`).
+    pub fn join_left_outer<R, K, O, KL, KR, F>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+        join_fn: F,
+    ) -> Dataset<O>
+    where
+        R: Data,
+        O: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+        F: Fn(&T, Option<&R>) -> Option<O> + Sync,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("join(left-outer-hash)");
+        let left_parts = shuffle_by_key(self.partitions(), &left_key, &mut stage);
+        let right_parts = shuffle_by_key(right.partitions(), &right_key, &mut stage);
+
+        let outputs: Vec<Vec<O>> = map_partition_pairs(&left_parts, &right_parts, |_, l, r| {
+            let mut table: HashMap<K, Vec<&R>> = HashMap::with_capacity(r.len());
+            for item in r {
+                table.entry(right_key(item)).or_default().push(item);
+            }
+            let mut out = Vec::new();
+            for item in l {
+                match table.get(&left_key(item)) {
+                    Some(matches) => {
+                        for matched in matches {
+                            out.extend(join_fn(item, Some(matched)));
+                        }
+                    }
+                    None => out.extend(join_fn(item, None)),
+                }
+            }
+            out
+        });
+
+        for (i, ((l, r), out)) in left_parts.iter().zip(&right_parts).zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += (l.len() + r.len()) as u64;
+            w.records_out += out.len() as u64;
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+
+    /// Anti join: keeps the left elements whose key has **no** partner on
+    /// the right side.
+    pub fn anti_join<R, K, KL, KR>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+    ) -> Dataset<T>
+    where
+        R: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+    {
+        self.join_left_outer(right, left_key, right_key, |item, matched| {
+            matched.is_none().then(|| item.clone())
+        })
+    }
+
+    /// Semi join: keeps the left elements whose key has at least one
+    /// partner on the right side (each left element at most once).
+    pub fn semi_join<R, K, KL, KR>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+    ) -> Dataset<T>
+    where
+        R: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("join(semi-hash)");
+        let left_parts = shuffle_by_key(self.partitions(), &left_key, &mut stage);
+        let right_parts = shuffle_by_key(right.partitions(), &right_key, &mut stage);
+
+        let outputs: Vec<Vec<T>> = map_partition_pairs(&left_parts, &right_parts, |_, l, r| {
+            let keys: std::collections::HashSet<K> = r.iter().map(&right_key).collect();
+            l.iter()
+                .filter(|item| keys.contains(&left_key(item)))
+                .cloned()
+                .collect()
+        });
+
+        for (i, ((l, r), out)) in left_parts.iter().zip(&right_parts).zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += (l.len() + r.len()) as u64;
+            w.records_out += out.len() as u64;
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::env::{ExecutionConfig, ExecutionEnvironment};
+
+    fn env(workers: usize) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        )
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_lefts() {
+        let env = env(3);
+        let left = env.from_collection(vec![1u64, 2, 3]);
+        let right = env.from_collection(vec![(2u64, "two".to_string())]);
+        let joined = left.join_left_outer(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            |l, matched| {
+                Some((
+                    *l,
+                    matched.map(|(_, v)| v.clone()).unwrap_or_default(),
+                ))
+            },
+        );
+        let mut rows = joined.collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                (1, String::new()),
+                (2, "two".to_string()),
+                (3, String::new())
+            ]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_multiplies_matches() {
+        let env = env(2);
+        let left = env.from_collection(vec![1u64]);
+        let right = env.from_collection(vec![(1u64, 10u64), (1, 20)]);
+        let joined = left.join_left_outer(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            |_, matched| matched.map(|(_, v)| *v),
+        );
+        let mut rows = joined.collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![10, 20]);
+    }
+
+    #[test]
+    fn anti_join_removes_matched_keys() {
+        let env = env(3);
+        let left = env.from_collection(0u64..10);
+        let right = env.from_collection((0u64..10).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+        let odd = left.anti_join(&right, |l| *l, |r| *r);
+        let mut rows = odd.collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn semi_join_keeps_each_left_once() {
+        let env = env(2);
+        let left = env.from_collection(vec![1u64, 2, 3]);
+        // Key 1 appears twice on the right — left element 1 must still
+        // appear only once.
+        let right = env.from_collection(vec![1u64, 1]);
+        let mut rows = left.semi_join(&right, |l| *l, |r| *r).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1]);
+    }
+
+    #[test]
+    fn outer_join_on_empty_right_is_all_none() {
+        let env = env(2);
+        let left = env.from_collection(vec![5u64]);
+        let right = env.from_collection(Vec::<u64>::new());
+        let joined = left.join_left_outer(
+            &right,
+            |l| *l,
+            |r| *r,
+            |l, matched| Some((*l, matched.is_none())),
+        );
+        assert_eq!(joined.collect(), vec![(5, true)]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Hash partitioning and the shuffle primitive.
+//!
+//! A shuffle redistributes elements so that equal keys land on the same
+//! worker. Records that change workers are charged as network traffic
+//! (sender and receiver side) by the simulated clock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::cost::StageCosts;
+use crate::data::Data;
+use crate::pool::map_partitions;
+
+/// Deterministic target worker for a key.
+#[inline]
+pub fn partition_for<K: Hash>(key: &K, workers: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % workers as u64) as usize
+}
+
+/// Redistributes `partitions` so that each element lands on
+/// `partition_for(key(elem))`, charging shuffle traffic to `stage`.
+///
+/// Elements that stay on their current worker are free; elements that move
+/// are charged once on the sender and once on the receiver.
+pub fn shuffle_by_key<T, K, F>(
+    partitions: &[Vec<T>],
+    key: F,
+    stage: &mut StageCosts,
+) -> Vec<Vec<T>>
+where
+    T: Data,
+    K: Hash,
+    F: Fn(&T) -> K + Sync,
+{
+    let workers = partitions.len();
+    // Phase 1 (parallel): each worker splits its partition into per-target
+    // buckets and reports the bytes it sends away.
+    let routed: Vec<(Vec<Vec<T>>, u64)> = map_partitions(partitions, |index, part| {
+        let mut buckets: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut bytes_sent = 0u64;
+        for item in part {
+            let target = partition_for(&key(item), workers);
+            if target != index {
+                bytes_sent += item.byte_size() as u64;
+            }
+            buckets[target].push(item.clone());
+        }
+        (buckets, bytes_sent)
+    });
+
+    // Phase 2: charge costs and regroup buckets by target worker.
+    let mut result: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+    for (source, (buckets, bytes_sent)) in routed.into_iter().enumerate() {
+        {
+            let w = stage.worker(source);
+            w.records_in += partitions[source].len() as u64;
+            w.bytes_sent += bytes_sent;
+        }
+        for (target, bucket) in buckets.into_iter().enumerate() {
+            if target != source {
+                let received: u64 = bucket.iter().map(|i| i.byte_size() as u64).sum();
+                stage.worker(target).bytes_received += received;
+            }
+            result[target].extend(bucket);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StageCosts;
+
+    #[test]
+    fn partition_for_is_deterministic_and_in_range() {
+        for key in 0u64..1000 {
+            let p = partition_for(&key, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_for(&key, 7));
+        }
+    }
+
+    #[test]
+    fn shuffle_groups_equal_keys() {
+        let partitions: Vec<Vec<u64>> = vec![vec![1, 2, 3, 1], vec![2, 1, 4]];
+        let mut stage = StageCosts::new("shuffle", 2);
+        let shuffled = shuffle_by_key(&partitions, |x| *x, &mut stage);
+        assert_eq!(shuffled.iter().map(Vec::len).sum::<usize>(), 7);
+        // Every copy of a key must be in the partition the hash assigns.
+        for (index, part) in shuffled.iter().enumerate() {
+            for item in part {
+                assert_eq!(partition_for(item, 2), index);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_charges_only_moved_bytes() {
+        // Single worker: nothing can move, so no network traffic.
+        let partitions: Vec<Vec<u64>> = vec![vec![1, 2, 3]];
+        let mut stage = StageCosts::new("shuffle", 1);
+        let _ = shuffle_by_key(&partitions, |x| *x, &mut stage);
+        let report = stage.finish(&crate::cost::CostModel::free());
+        assert_eq!(report.bytes_shuffled, 0);
+    }
+
+    #[test]
+    fn shuffle_on_empty_input_is_empty() {
+        let partitions: Vec<Vec<u64>> = vec![vec![], vec![]];
+        let mut stage = StageCosts::new("shuffle", 2);
+        let shuffled = shuffle_by_key(&partitions, |x| *x, &mut stage);
+        assert!(shuffled.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,101 @@
+//! Thread-parallel execution of per-partition work.
+//!
+//! Each simulated worker owns one partition; a stage processes all
+//! partitions concurrently, mirroring Flink's task slots. We use scoped
+//! threads so per-stage closures can borrow from the caller.
+
+/// Applies `f` to every partition concurrently and collects the results in
+/// partition order. `f` receives the partition index and the partition's
+/// elements.
+pub fn map_partitions<I, O, F>(partitions: &[Vec<I>], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &[I]) -> O + Sync,
+{
+    if partitions.len() <= 1 {
+        return partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| f(i, p))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| scope.spawn({ let f = &f; move || f(i, p) }))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+/// Variant of [`map_partitions`] for two co-partitioned inputs (e.g. the
+/// build and probe sides of a hash join after repartitioning).
+pub fn map_partition_pairs<A, B, O, F>(left: &[Vec<A>], right: &[Vec<B>], f: F) -> Vec<O>
+where
+    A: Sync,
+    B: Sync,
+    O: Send,
+    F: Fn(usize, &[A], &[B]) -> O + Sync,
+{
+    assert_eq!(left.len(), right.len(), "inputs must be co-partitioned");
+    if left.len() <= 1 {
+        return left
+            .iter()
+            .zip(right)
+            .enumerate()
+            .map(|(i, (l, r))| f(i, l, r))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = left
+            .iter()
+            .zip(right)
+            .enumerate()
+            .map(|(i, (l, r))| scope.spawn({ let f = &f; move || f(i, l, r) }))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_partitions_in_order() {
+        let parts = vec![vec![1, 2], vec![3], vec![], vec![4, 5, 6]];
+        let sums = map_partitions(&parts, |i, p| (i, p.iter().sum::<i32>()));
+        assert_eq!(sums, vec![(0, 3), (1, 3), (2, 0), (3, 15)]);
+    }
+
+    #[test]
+    fn single_partition_runs_inline() {
+        let parts = vec![vec![10u32]];
+        let out = map_partitions(&parts, |_, p| p.len());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn pairs_are_co_partitioned() {
+        let left = vec![vec![1], vec![2, 3]];
+        let right = vec![vec![10], vec![20]];
+        let out = map_partition_pairs(&left, &right, |i, l, r| i + l.len() + r.len());
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-partitioned")]
+    fn mismatched_partition_counts_panic() {
+        let left: Vec<Vec<u32>> = vec![vec![]];
+        let right: Vec<Vec<u32>> = vec![vec![], vec![]];
+        let _ = map_partition_pairs(&left, &right, |_, _, _| 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Grouping and aggregation transformations (Flink `groupBy` + `reduce`).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::data::Data;
+use crate::dataset::Dataset;
+use crate::pool::map_partitions;
+
+impl<T: Data> Dataset<T> {
+    /// Groups elements by key (shuffling equal keys to one worker) and
+    /// reduces every group with `reduce`, which sees the key and all group
+    /// members. Equivalent to Flink's `groupBy(...).reduceGroup(...)`.
+    pub fn group_reduce<K, O, KF, RF>(&self, key: KF, reduce: RF) -> Dataset<O>
+    where
+        K: Data + Hash + Eq,
+        O: Data,
+        KF: Fn(&T) -> K + Sync,
+        RF: Fn(&K, &[T]) -> O + Sync,
+    {
+        let shuffled = self.partition_by_key(&key);
+        let env = self.env().clone();
+        let mut stage = env.stage("group_reduce");
+        let outputs: Vec<Vec<O>> = map_partitions(shuffled.partitions(), |_, part| {
+            let mut groups: HashMap<K, Vec<T>> = HashMap::new();
+            for item in part {
+                groups.entry(key(item)).or_default().push(item.clone());
+            }
+            groups
+                .iter()
+                .map(|(k, members)| reduce(k, members))
+                .collect()
+        });
+        for (i, (inp, out)) in shuffled.partitions().iter().zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += inp.len() as u64;
+            w.records_out += out.len() as u64;
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+
+    /// Counts elements per key. A pre-aggregation runs on each worker before
+    /// the shuffle (Flink's combiner), so only one record per key and worker
+    /// crosses the network.
+    pub fn count_by_key<K, KF>(&self, key: KF) -> Dataset<(K, u64)>
+    where
+        K: Data + Hash + Eq,
+        KF: Fn(&T) -> K + Sync,
+    {
+        // Local pre-aggregation.
+        let partial: Dataset<(K, u64)> = self.transform_grouped_local(&key);
+        partial.group_reduce(
+            |(k, _)| k.clone(),
+            |k, members| (k.clone(), members.iter().map(|(_, c)| *c).sum()),
+        )
+    }
+
+    fn transform_grouped_local<K, KF>(&self, key: &KF) -> Dataset<(K, u64)>
+    where
+        K: Data + Hash + Eq,
+        KF: Fn(&T) -> K + Sync,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("count_by_key(combine)");
+        let outputs: Vec<Vec<(K, u64)>> = map_partitions(self.partitions(), |_, part| {
+            let mut counts: HashMap<K, u64> = HashMap::new();
+            for item in part {
+                *counts.entry(key(item)).or_insert(0) += 1;
+            }
+            counts.into_iter().collect()
+        });
+        for (i, (inp, out)) in self.partitions().iter().zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += inp.len() as u64;
+            w.records_out += out.len() as u64;
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+
+    /// Global aggregation: folds each partition locally, then combines the
+    /// per-worker partials at the driver. Only the partials travel.
+    pub fn aggregate<A, FF, CF>(&self, init: A, fold: FF, combine: CF) -> A
+    where
+        A: Data,
+        FF: Fn(A, &T) -> A + Sync,
+        CF: Fn(A, A) -> A,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("aggregate");
+        let partials: Vec<A> = map_partitions(self.partitions(), |_, part| {
+            part.iter().fold(init.clone(), |acc, item| fold(acc, item))
+        });
+        for (i, (inp, partial)) in self.partitions().iter().zip(&partials).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += inp.len() as u64;
+            w.bytes_sent += partial.byte_size() as u64;
+        }
+        env.finish_stage(stage);
+        partials.into_iter().fold(init, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::env::{ExecutionConfig, ExecutionEnvironment};
+
+    fn env(workers: usize) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        )
+    }
+
+    #[test]
+    fn group_reduce_sees_whole_groups() {
+        let env = env(4);
+        let ds = env.from_collection((0u64..100).map(|i| (i % 3, i)).collect::<Vec<_>>());
+        let sums = ds.group_reduce(
+            |(k, _)| *k,
+            |k, members| (*k, members.iter().map(|(_, v)| *v).sum::<u64>()),
+        );
+        let mut result = sums.collect();
+        result.sort();
+        let expect = |m: u64| (0..100).filter(|i| i % 3 == m).sum::<u64>();
+        assert_eq!(result, vec![(0, expect(0)), (1, expect(1)), (2, expect(2))]);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let env = env(3);
+        let ds = env.from_collection(vec![1u64, 1, 2, 3, 3, 3]);
+        let mut counts = ds.count_by_key(|x| *x).collect();
+        counts.sort();
+        assert_eq!(counts, vec![(1, 2), (2, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn count_by_key_on_empty_dataset() {
+        let env = env(2);
+        let ds = env.from_collection(Vec::<u64>::new());
+        assert!(ds.count_by_key(|x| *x).collect().is_empty());
+    }
+
+    #[test]
+    fn aggregate_folds_globally() {
+        let env = env(4);
+        let ds = env.from_collection(0u64..101);
+        let sum = ds.aggregate(0u64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn aggregate_min_max() {
+        let env = env(3);
+        let ds = env.from_collection(vec![5u64, 3, 9, 1]);
+        let max = ds.aggregate(0u64, |acc, x| acc.max(*x), |a, b| a.max(b));
+        assert_eq!(max, 9);
+    }
+}

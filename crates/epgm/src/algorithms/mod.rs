@@ -1,0 +1,16 @@
+//! Iterative graph algorithms on the dataflow substrate.
+//!
+//! Gradoop integrates Flink's Gelly algorithms alongside its operators; the
+//! paper's point that pattern matching is "fully integrated and … can be
+//! used in combination with other analytical graph operators" includes
+//! these. Each algorithm is built from the same dataflow primitives as the
+//! query engine (joins, group-reduce, bulk iteration) and annotates the
+//! graph's vertices with a result property.
+
+mod bfs;
+mod page_rank;
+mod wcc;
+
+pub use bfs::single_source_distances;
+pub use page_rank::{page_rank, PageRankConfig};
+pub use wcc::{component_assignments, connected_components};

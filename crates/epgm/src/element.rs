@@ -1,0 +1,226 @@
+//! EPGM elements: graph heads, vertices and edges (Definition 2.1).
+//!
+//! Vertices and edges carry their graph membership (`l(v)` / `l(e)`) because
+//! they may be contained in multiple logical graphs; edges additionally
+//! store their source and target vertex identifiers, exactly like the Flink
+//! tuple layout in Table 1 of the paper.
+
+use gradoop_dataflow::Data;
+
+use crate::id::{GradoopId, GradoopIdSet};
+use crate::label::Label;
+use crate::properties::{Properties, PropertyValue};
+
+/// Common accessors of all EPGM elements.
+pub trait Element {
+    /// The element identifier.
+    fn id(&self) -> GradoopId;
+    /// The element's type label.
+    fn label(&self) -> &Label;
+    /// The element's properties.
+    fn properties(&self) -> &Properties;
+
+    /// Shortcut: property value for `key`, if set.
+    fn property(&self, key: &str) -> Option<&PropertyValue> {
+        self.properties().get(key)
+    }
+}
+
+/// Data (label + properties) of one logical graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GraphHead {
+    /// Graph identifier (an element of `L`).
+    pub id: GradoopId,
+    /// Graph type label.
+    pub label: Label,
+    /// Graph properties.
+    pub properties: Properties,
+}
+
+impl GraphHead {
+    /// Creates a graph head.
+    pub fn new(id: GradoopId, label: impl Into<Label>, properties: Properties) -> Self {
+        GraphHead {
+            id,
+            label: label.into(),
+            properties,
+        }
+    }
+}
+
+/// A vertex.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Vertex {
+    /// Vertex identifier.
+    pub id: GradoopId,
+    /// Vertex type label.
+    pub label: Label,
+    /// Vertex properties.
+    pub properties: Properties,
+    /// Graphs this vertex is contained in.
+    pub graph_ids: GradoopIdSet,
+}
+
+impl Vertex {
+    /// Creates a vertex that is not yet contained in any graph.
+    pub fn new(id: GradoopId, label: impl Into<Label>, properties: Properties) -> Self {
+        Vertex {
+            id,
+            label: label.into(),
+            properties,
+            graph_ids: GradoopIdSet::new(),
+        }
+    }
+
+    /// Adds this vertex to a logical graph.
+    pub fn add_to_graph(mut self, graph: GradoopId) -> Self {
+        self.graph_ids.insert(graph);
+        self
+    }
+}
+
+/// A directed edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Edge identifier.
+    pub id: GradoopId,
+    /// Edge type label.
+    pub label: Label,
+    /// Source vertex identifier (`s(e)`).
+    pub source: GradoopId,
+    /// Target vertex identifier (`t(e)`).
+    pub target: GradoopId,
+    /// Edge properties.
+    pub properties: Properties,
+    /// Graphs this edge is contained in.
+    pub graph_ids: GradoopIdSet,
+}
+
+impl Edge {
+    /// Creates an edge that is not yet contained in any graph.
+    pub fn new(
+        id: GradoopId,
+        label: impl Into<Label>,
+        source: GradoopId,
+        target: GradoopId,
+        properties: Properties,
+    ) -> Self {
+        Edge {
+            id,
+            label: label.into(),
+            source,
+            target,
+            properties,
+            graph_ids: GradoopIdSet::new(),
+        }
+    }
+
+    /// Adds this edge to a logical graph.
+    pub fn add_to_graph(mut self, graph: GradoopId) -> Self {
+        self.graph_ids.insert(graph);
+        self
+    }
+}
+
+impl Element for GraphHead {
+    fn id(&self) -> GradoopId {
+        self.id
+    }
+    fn label(&self) -> &Label {
+        &self.label
+    }
+    fn properties(&self) -> &Properties {
+        &self.properties
+    }
+}
+
+impl Element for Vertex {
+    fn id(&self) -> GradoopId {
+        self.id
+    }
+    fn label(&self) -> &Label {
+        &self.label
+    }
+    fn properties(&self) -> &Properties {
+        &self.properties
+    }
+}
+
+impl Element for Edge {
+    fn id(&self) -> GradoopId {
+        self.id
+    }
+    fn label(&self) -> &Label {
+        &self.label
+    }
+    fn properties(&self) -> &Properties {
+        &self.properties
+    }
+}
+
+impl Data for GraphHead {
+    fn byte_size(&self) -> usize {
+        GradoopId::BYTES + self.label.byte_size() + self.properties.byte_size()
+    }
+}
+
+impl Data for Vertex {
+    fn byte_size(&self) -> usize {
+        GradoopId::BYTES
+            + self.label.byte_size()
+            + self.properties.byte_size()
+            + self.graph_ids.byte_size()
+    }
+}
+
+impl Data for Edge {
+    fn byte_size(&self) -> usize {
+        3 * GradoopId::BYTES
+            + self.label.byte_size()
+            + self.properties.byte_size()
+            + self.graph_ids.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn vertex_membership() {
+        let v = Vertex::new(GradoopId(10), "Person", properties! { "name" => "Alice" })
+            .add_to_graph(GradoopId(100));
+        assert!(v.graph_ids.contains(GradoopId(100)));
+        assert_eq!(v.label(), &Label::new("Person"));
+        assert_eq!(v.property("name").unwrap().as_str(), Some("Alice"));
+        assert_eq!(v.property("missing"), None);
+    }
+
+    #[test]
+    fn edge_endpoints() {
+        let e = Edge::new(
+            GradoopId(5),
+            "knows",
+            GradoopId(10),
+            GradoopId(20),
+            Properties::new(),
+        )
+        .add_to_graph(GradoopId(100));
+        assert_eq!(e.source, GradoopId(10));
+        assert_eq!(e.target, GradoopId(20));
+        assert_eq!(e.id(), GradoopId(5));
+        assert!(e.graph_ids.contains(GradoopId(100)));
+    }
+
+    #[test]
+    fn byte_sizes_grow_with_payload() {
+        let small = Vertex::new(GradoopId(1), "", Properties::new());
+        let big = Vertex::new(
+            GradoopId(1),
+            "Person",
+            properties! { "name" => "Alexandra", "yob" => 1984i64 },
+        );
+        assert!(big.byte_size() > small.byte_size());
+    }
+}

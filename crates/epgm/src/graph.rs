@@ -1,0 +1,262 @@
+//! Logical graphs and graph collections (Definition 2.1), the two main
+//! programming abstractions of Gradoop (paper Section 2.4).
+
+use gradoop_dataflow::{Dataset, ExecutionEnvironment};
+
+use crate::element::{Edge, GraphHead, Vertex};
+use crate::id::{GradoopId, IdGenerator};
+use crate::label::Label;
+use crate::properties::Properties;
+
+/// A single property graph: one graph head plus vertex and edge datasets.
+///
+/// Like in Gradoop, a logical graph is the special case of a graph
+/// collection whose graph-head dataset holds exactly one element; the head
+/// is small and kept at the driver.
+#[derive(Clone, Debug)]
+pub struct LogicalGraph {
+    head: GraphHead,
+    vertices: Dataset<Vertex>,
+    edges: Dataset<Edge>,
+}
+
+impl LogicalGraph {
+    /// Wraps datasets into a logical graph. The caller is responsible for
+    /// the elements' graph membership containing `head.id`.
+    pub fn new(head: GraphHead, vertices: Dataset<Vertex>, edges: Dataset<Edge>) -> Self {
+        LogicalGraph {
+            head,
+            vertices,
+            edges,
+        }
+    }
+
+    /// Builds a logical graph from element collections, stamping every
+    /// vertex and edge with the new graph's id.
+    pub fn from_data(
+        env: &ExecutionEnvironment,
+        head: GraphHead,
+        vertices: Vec<Vertex>,
+        edges: Vec<Edge>,
+    ) -> Self {
+        let graph_id = head.id;
+        let vertices = env.from_collection(
+            vertices
+                .into_iter()
+                .map(|v| v.add_to_graph(graph_id))
+                .collect::<Vec<_>>(),
+        );
+        let edges = env.from_collection(
+            edges
+                .into_iter()
+                .map(|e| e.add_to_graph(graph_id))
+                .collect::<Vec<_>>(),
+        );
+        LogicalGraph::new(head, vertices, edges)
+    }
+
+    /// The graph head.
+    pub fn head(&self) -> &GraphHead {
+        &self.head
+    }
+
+    /// The graph identifier.
+    pub fn id(&self) -> GradoopId {
+        self.head.id
+    }
+
+    /// The vertex dataset.
+    pub fn vertices(&self) -> &Dataset<Vertex> {
+        &self.vertices
+    }
+
+    /// The edge dataset.
+    pub fn edges(&self) -> &Dataset<Edge> {
+        &self.edges
+    }
+
+    /// The owning execution environment.
+    pub fn env(&self) -> &ExecutionEnvironment {
+        self.vertices.env()
+    }
+
+    /// Number of vertices (distributed count).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.count()
+    }
+
+    /// Number of edges (distributed count).
+    pub fn edge_count(&self) -> usize {
+        self.edges.count()
+    }
+
+    /// Lifts this graph into a collection containing only it.
+    pub fn into_collection(self) -> GraphCollection {
+        let heads = self.vertices.env().from_collection(vec![self.head.clone()]);
+        GraphCollection::new(heads, self.vertices, self.edges)
+    }
+}
+
+/// A set of possibly overlapping logical graphs, represented — exactly like
+/// in Gradoop — by three datasets: graph heads, vertices and edges, where
+/// vertices/edges record their graph membership.
+#[derive(Clone, Debug)]
+pub struct GraphCollection {
+    heads: Dataset<GraphHead>,
+    vertices: Dataset<Vertex>,
+    edges: Dataset<Edge>,
+}
+
+impl GraphCollection {
+    /// Wraps datasets into a collection.
+    pub fn new(heads: Dataset<GraphHead>, vertices: Dataset<Vertex>, edges: Dataset<Edge>) -> Self {
+        GraphCollection {
+            heads,
+            vertices,
+            edges,
+        }
+    }
+
+    /// An empty collection.
+    pub fn empty(env: &ExecutionEnvironment) -> Self {
+        GraphCollection {
+            heads: env.empty(),
+            vertices: env.empty(),
+            edges: env.empty(),
+        }
+    }
+
+    /// The graph-head dataset.
+    pub fn heads(&self) -> &Dataset<GraphHead> {
+        &self.heads
+    }
+
+    /// The vertex dataset (union over all member graphs).
+    pub fn vertices(&self) -> &Dataset<Vertex> {
+        &self.vertices
+    }
+
+    /// The edge dataset (union over all member graphs).
+    pub fn edges(&self) -> &Dataset<Edge> {
+        &self.edges
+    }
+
+    /// The owning execution environment.
+    pub fn env(&self) -> &ExecutionEnvironment {
+        self.heads.env()
+    }
+
+    /// Number of graphs in the collection (distributed count).
+    pub fn graph_count(&self) -> usize {
+        self.heads.count()
+    }
+
+    /// Extracts one member graph as a logical graph. Collects the head at
+    /// the driver; vertices/edges are filtered by membership.
+    pub fn graph(&self, id: GradoopId) -> Option<LogicalGraph> {
+        let head = self.heads.collect().into_iter().find(|h| h.id == id)?;
+        let vertices = self.vertices.filter(move |v| v.graph_ids.contains(id));
+        let edges = self.edges.filter(move |e| e.graph_ids.contains(id));
+        Some(LogicalGraph::new(head, vertices, edges))
+    }
+}
+
+/// Factory producing logical graphs with fresh identifiers.
+#[derive(Debug)]
+pub struct GraphFactory {
+    env: ExecutionEnvironment,
+    ids: IdGenerator,
+}
+
+impl GraphFactory {
+    /// A factory whose generated ids start above `first_free_id`.
+    pub fn new(env: ExecutionEnvironment, first_free_id: u64) -> Self {
+        GraphFactory {
+            env,
+            ids: IdGenerator::starting_at(first_free_id),
+        }
+    }
+
+    /// The factory's environment.
+    pub fn env(&self) -> &ExecutionEnvironment {
+        &self.env
+    }
+
+    /// A fresh identifier.
+    pub fn next_id(&self) -> GradoopId {
+        self.ids.next_id()
+    }
+
+    /// Creates a fresh graph head.
+    pub fn graph_head(&self, label: impl Into<Label>, properties: Properties) -> GraphHead {
+        GraphHead::new(self.next_id(), label, properties)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use gradoop_dataflow::{CostModel, ExecutionConfig};
+
+    fn env() -> ExecutionEnvironment {
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(2).cost_model(CostModel::free()))
+    }
+
+    fn sample_graph(env: &ExecutionEnvironment) -> LogicalGraph {
+        let head = GraphHead::new(GradoopId(100), "Community", properties! {"area" => "Leipzig"});
+        let vertices = vec![
+            Vertex::new(GradoopId(10), "Person", properties! {"name" => "Alice"}),
+            Vertex::new(GradoopId(20), "Person", properties! {"name" => "Eve"}),
+        ];
+        let edges = vec![Edge::new(
+            GradoopId(5),
+            "knows",
+            GradoopId(10),
+            GradoopId(20),
+            Properties::new(),
+        )];
+        LogicalGraph::from_data(env, head, vertices, edges)
+    }
+
+    #[test]
+    fn from_data_stamps_membership() {
+        let env = env();
+        let graph = sample_graph(&env);
+        assert_eq!(graph.vertex_count(), 2);
+        assert_eq!(graph.edge_count(), 1);
+        for v in graph.vertices().collect() {
+            assert!(v.graph_ids.contains(GradoopId(100)));
+        }
+        for e in graph.edges().collect() {
+            assert!(e.graph_ids.contains(GradoopId(100)));
+        }
+    }
+
+    #[test]
+    fn into_collection_has_one_head() {
+        let env = env();
+        let collection = sample_graph(&env).into_collection();
+        assert_eq!(collection.graph_count(), 1);
+        assert_eq!(collection.vertices().count(), 2);
+    }
+
+    #[test]
+    fn collection_graph_extraction() {
+        let env = env();
+        let collection = sample_graph(&env).into_collection();
+        let graph = collection.graph(GradoopId(100)).expect("graph exists");
+        assert_eq!(graph.vertex_count(), 2);
+        assert!(collection.graph(GradoopId(999)).is_none());
+    }
+
+    #[test]
+    fn factory_creates_unique_heads() {
+        let env = env();
+        let factory = GraphFactory::new(env, 1000);
+        let a = factory.graph_head("A", Properties::new());
+        let b = factory.graph_head("B", Properties::new());
+        assert_ne!(a.id, b.id);
+        assert!(a.id.0 >= 1000);
+    }
+}

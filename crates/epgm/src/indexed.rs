@@ -1,0 +1,205 @@
+//! The indexed logical graph (paper Section 3.4).
+//!
+//! Multiple transformations consuming one Flink dataset cause the dataset's
+//! elements to be replicated per consumer; the paper counters this with an
+//! alternative graph representation that partitions vertices and edges by
+//! type label and manages a separate dataset per label. When a query vertex
+//! or edge carries a label predicate, the planner loads only the specific
+//! dataset instead of scanning (a union of) everything.
+
+use std::collections::HashMap;
+
+use gradoop_dataflow::Dataset;
+
+use crate::element::{Edge, GraphHead, Vertex};
+use crate::graph::LogicalGraph;
+use crate::label::Label;
+
+/// A logical graph whose vertices and edges are partitioned by type label.
+#[derive(Clone, Debug)]
+pub struct IndexedLogicalGraph {
+    head: GraphHead,
+    vertices_by_label: HashMap<Label, Dataset<Vertex>>,
+    edges_by_label: HashMap<Label, Dataset<Edge>>,
+    all_vertices: Dataset<Vertex>,
+    all_edges: Dataset<Edge>,
+}
+
+impl IndexedLogicalGraph {
+    /// Builds the label index of `graph`. The index is computed once by
+    /// scanning each dataset per occurring label.
+    pub fn from_graph(graph: &LogicalGraph) -> Self {
+        let vertex_labels: Vec<Label> = graph
+            .vertices()
+            .count_by_key(|v| v.label.clone())
+            .collect()
+            .into_iter()
+            .map(|(label, _)| label)
+            .collect();
+        let edge_labels: Vec<Label> = graph
+            .edges()
+            .count_by_key(|e| e.label.clone())
+            .collect()
+            .into_iter()
+            .map(|(label, _)| label)
+            .collect();
+
+        let vertices_by_label = vertex_labels
+            .into_iter()
+            .map(|label| {
+                let wanted = label.clone();
+                let ds = graph.vertices().filter(move |v| v.label == wanted);
+                (label, ds)
+            })
+            .collect();
+        let edges_by_label = edge_labels
+            .into_iter()
+            .map(|label| {
+                let wanted = label.clone();
+                let ds = graph.edges().filter(move |e| e.label == wanted);
+                (label, ds)
+            })
+            .collect();
+
+        IndexedLogicalGraph {
+            head: graph.head().clone(),
+            vertices_by_label,
+            edges_by_label,
+            all_vertices: graph.vertices().clone(),
+            all_edges: graph.edges().clone(),
+        }
+    }
+
+    /// The graph head.
+    pub fn head(&self) -> &GraphHead {
+        &self.head
+    }
+
+    /// The owning environment.
+    pub fn env(&self) -> &gradoop_dataflow::ExecutionEnvironment {
+        self.all_vertices.env()
+    }
+
+    /// Labels with at least one vertex.
+    pub fn vertex_labels(&self) -> impl Iterator<Item = &Label> {
+        self.vertices_by_label.keys()
+    }
+
+    /// Labels with at least one edge.
+    pub fn edge_labels(&self) -> impl Iterator<Item = &Label> {
+        self.edges_by_label.keys()
+    }
+
+    /// Vertices whose label is in `labels`; with an empty slice, the full
+    /// vertex dataset (no label predicate — the planner must scan).
+    pub fn vertices_for_labels(&self, labels: &[Label]) -> Dataset<Vertex> {
+        if labels.is_empty() {
+            return self.all_vertices.clone();
+        }
+        let mut result: Option<Dataset<Vertex>> = None;
+        for label in labels {
+            if let Some(ds) = self.vertices_by_label.get(label) {
+                result = Some(match result {
+                    Some(acc) => acc.union(ds),
+                    None => ds.clone(),
+                });
+            }
+        }
+        result.unwrap_or_else(|| self.env().empty())
+    }
+
+    /// Edges whose label is in `labels`; with an empty slice, the full edge
+    /// dataset.
+    pub fn edges_for_labels(&self, labels: &[Label]) -> Dataset<Edge> {
+        if labels.is_empty() {
+            return self.all_edges.clone();
+        }
+        let mut result: Option<Dataset<Edge>> = None;
+        for label in labels {
+            if let Some(ds) = self.edges_by_label.get(label) {
+                result = Some(match result {
+                    Some(acc) => acc.union(ds),
+                    None => ds.clone(),
+                });
+            }
+        }
+        result.unwrap_or_else(|| self.env().empty())
+    }
+
+    /// The un-indexed view of this graph.
+    pub fn as_logical_graph(&self) -> LogicalGraph {
+        LogicalGraph::new(
+            self.head.clone(),
+            self.all_vertices.clone(),
+            self.all_edges.clone(),
+        )
+    }
+}
+
+impl LogicalGraph {
+    /// Builds the label-indexed representation of this graph.
+    pub fn to_indexed(&self) -> IndexedLogicalGraph {
+        IndexedLogicalGraph::from_graph(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Edge, GraphHead, Vertex};
+    use crate::id::GradoopId;
+    use crate::properties::Properties;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+
+    fn graph() -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let v = |id: u64, label: &str| Vertex::new(GradoopId(id), label, Properties::new());
+        let e = |id: u64, label: &str, s: u64, t: u64| {
+            Edge::new(GradoopId(id), label, GradoopId(s), GradoopId(t), Properties::new())
+        };
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "g", Properties::new()),
+            vec![v(1, "Person"), v(2, "Person"), v(3, "City")],
+            vec![e(10, "knows", 1, 2), e(11, "livesIn", 1, 3)],
+        )
+    }
+
+    #[test]
+    fn index_partitions_by_label() {
+        let indexed = graph().to_indexed();
+        assert_eq!(indexed.vertices_for_labels(&[Label::new("Person")]).count(), 2);
+        assert_eq!(indexed.vertices_for_labels(&[Label::new("City")]).count(), 1);
+        assert_eq!(indexed.edges_for_labels(&[Label::new("knows")]).count(), 1);
+    }
+
+    #[test]
+    fn label_alternation_unions_datasets() {
+        let indexed = graph().to_indexed();
+        let both = indexed.vertices_for_labels(&[Label::new("Person"), Label::new("City")]);
+        assert_eq!(both.count(), 3);
+    }
+
+    #[test]
+    fn empty_label_list_scans_everything() {
+        let indexed = graph().to_indexed();
+        assert_eq!(indexed.vertices_for_labels(&[]).count(), 3);
+        assert_eq!(indexed.edges_for_labels(&[]).count(), 2);
+    }
+
+    #[test]
+    fn unknown_label_yields_empty_dataset() {
+        let indexed = graph().to_indexed();
+        assert_eq!(indexed.vertices_for_labels(&[Label::new("Tag")]).count(), 0);
+    }
+
+    #[test]
+    fn as_logical_graph_roundtrip() {
+        let indexed = graph().to_indexed();
+        let back = indexed.as_logical_graph();
+        assert_eq!(back.vertex_count(), 3);
+        assert_eq!(back.edge_count(), 2);
+    }
+}

@@ -1,0 +1,3 @@
+//! Data sources and sinks.
+
+pub mod csv;

@@ -1,0 +1,109 @@
+//! Type labels (the `T` / `τ` mapping of Definition 2.1).
+//!
+//! Labels are short, heavily repeated strings (`Person`, `knows`, ...). They
+//! are stored behind an `Arc<str>` so cloning a label — which happens for
+//! every element flowing through a dataflow — is a reference-count bump.
+
+use std::sync::Arc;
+
+use gradoop_dataflow::Data;
+
+/// A type label of a graph, vertex or edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// The empty label (Gradoop's default for unlabeled elements).
+    pub fn empty() -> Self {
+        Label(Arc::from(""))
+    }
+
+    /// Creates a label from a string.
+    pub fn new(name: &str) -> Self {
+        Label(Arc::from(name))
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// `true` for the empty label.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::empty()
+    }
+}
+
+impl From<&str> for Label {
+    fn from(name: &str) -> Self {
+        Label::new(name)
+    }
+}
+
+impl From<String> for Label {
+    fn from(name: String) -> Self {
+        Label(Arc::from(name.as_str()))
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl Data for Label {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        4 + self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_compare_by_content() {
+        assert_eq!(Label::new("Person"), Label::from("Person".to_string()));
+        assert_ne!(Label::new("Person"), Label::new("person"));
+        assert_eq!(Label::new("knows"), "knows");
+    }
+
+    #[test]
+    fn empty_label_is_default() {
+        assert!(Label::default().is_empty());
+        assert_eq!(Label::default(), Label::empty());
+    }
+
+    #[test]
+    fn display_prints_content() {
+        assert_eq!(Label::new("City").to_string(), "City");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let label = Label::new("Forum");
+        let clone = label.clone();
+        assert_eq!(label, clone);
+        assert_eq!(label.byte_size(), 4 + 5);
+    }
+}

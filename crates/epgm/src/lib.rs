@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # gradoop-epgm
+//!
+//! The Extended Property Graph Model (EPGM) on the simulated dataflow
+//! engine — the Gradoop substrate of the Rust reproduction of
+//! *"Cypher-based Graph Pattern Matching in Gradoop"* (GRADES'17).
+//!
+//! A property graph is a directed, labeled and attributed multigraph; the
+//! EPGM adds graph collections of possibly overlapping *logical graphs*
+//! (Definition 2.1). This crate provides:
+//!
+//! * element types — [`GradoopId`], [`Label`], [`PropertyValue`],
+//!   [`Properties`], [`GraphHead`], [`Vertex`], [`Edge`];
+//! * [`LogicalGraph`] and [`GraphCollection`] backed by dataflow datasets
+//!   (graph heads `L`, vertices `V`, edges `E` — paper Table 1);
+//! * the analytical operators of Gradoop (subgraph, transformation,
+//!   aggregation, selection, set operations, combination, grouping) so the
+//!   Cypher operator can be composed into analytical programs;
+//! * the [`IndexedLogicalGraph`] label index (paper Section 3.4);
+//! * pre-computed [`GraphStatistics`] for the query planner (Section 3.2);
+//! * a CSV data source/sink mirroring the Gradoop CSV format.
+
+pub mod algorithms;
+pub mod element;
+pub mod graph;
+pub mod id;
+pub mod indexed;
+pub mod io;
+pub mod label;
+pub mod operators;
+pub mod properties;
+pub mod statistics;
+
+pub use algorithms::{connected_components, page_rank, single_source_distances, PageRankConfig};
+pub use element::{Edge, Element, GraphHead, Vertex};
+pub use graph::{GraphCollection, GraphFactory, LogicalGraph};
+pub use id::{GradoopId, GradoopIdSet, IdGenerator};
+pub use indexed::IndexedLogicalGraph;
+pub use label::Label;
+pub use operators::{AggregateFunction, GroupingConfig};
+pub use properties::{Properties, PropertyValue};
+pub use statistics::GraphStatistics;

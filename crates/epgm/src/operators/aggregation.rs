@@ -1,0 +1,184 @@
+//! Property-based aggregation: computes a scalar over a graph's elements
+//! and stores it as a graph-head property.
+
+use crate::element::Element;
+use crate::graph::LogicalGraph;
+use crate::properties::PropertyValue;
+
+/// The aggregate functions supported by [`LogicalGraph::aggregate`].
+#[derive(Debug, Clone)]
+pub enum AggregateFunction {
+    /// Number of vertices.
+    VertexCount,
+    /// Number of edges.
+    EdgeCount,
+    /// Sum of a numeric vertex property (missing/non-numeric values are 0).
+    SumVertexProperty(String),
+    /// Sum of a numeric edge property.
+    SumEdgeProperty(String),
+    /// Minimum of a numeric vertex property (`Null` if none present).
+    MinVertexProperty(String),
+    /// Maximum of a numeric vertex property (`Null` if none present).
+    MaxVertexProperty(String),
+}
+
+impl LogicalGraph {
+    /// Evaluates `function` over the graph and returns a graph with the
+    /// result bound to head property `property_key`.
+    pub fn aggregate(&self, property_key: &str, function: &AggregateFunction) -> LogicalGraph {
+        let value = self.evaluate_aggregate(function);
+        self.transform_head(|head| {
+            let mut head = head.clone();
+            head.properties.set(property_key, value);
+            head
+        })
+    }
+
+    fn evaluate_aggregate(&self, function: &AggregateFunction) -> PropertyValue {
+        match function {
+            AggregateFunction::VertexCount => PropertyValue::Long(self.vertex_count() as i64),
+            AggregateFunction::EdgeCount => PropertyValue::Long(self.edge_count() as i64),
+            AggregateFunction::SumVertexProperty(key) => {
+                let sum = self.vertices().aggregate(
+                    0.0f64,
+                    |acc, v| acc + v.property(key).and_then(|p| p.as_f64()).unwrap_or(0.0),
+                    |a, b| a + b,
+                );
+                PropertyValue::Double(sum)
+            }
+            AggregateFunction::SumEdgeProperty(key) => {
+                let sum = self.edges().aggregate(
+                    0.0f64,
+                    |acc, e| acc + e.property(key).and_then(|p| p.as_f64()).unwrap_or(0.0),
+                    |a, b| a + b,
+                );
+                PropertyValue::Double(sum)
+            }
+            AggregateFunction::MinVertexProperty(key) => {
+                extremum(self, key, |a, b| if b < a { b } else { a })
+            }
+            AggregateFunction::MaxVertexProperty(key) => {
+                extremum(self, key, |a, b| if b > a { b } else { a })
+            }
+        }
+    }
+}
+
+fn extremum(
+    graph: &LogicalGraph,
+    key: &str,
+    pick: impl Fn(f64, f64) -> f64 + Sync + Copy,
+) -> PropertyValue {
+    let result = graph.vertices().aggregate(
+        None::<f64>,
+        |acc, v| match (acc, v.property(key).and_then(|p| p.as_f64())) {
+            (Some(a), Some(b)) => Some(pick(a, b)),
+            (None, b) => b,
+            (a, None) => a,
+        },
+        |a, b| match (a, b) {
+            (Some(a), Some(b)) => Some(pick(a, b)),
+            (None, b) => b,
+            (a, None) => a,
+        },
+    );
+    match result {
+        Some(v) => PropertyValue::Double(v),
+        None => PropertyValue::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Edge, GraphHead, Vertex};
+    use crate::id::GradoopId;
+    use crate::properties;
+    use crate::properties::Properties;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+
+    fn graph() -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(3).cost_model(CostModel::free()),
+        );
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "g", Properties::new()),
+            vec![
+                Vertex::new(GradoopId(1), "P", properties! {"age" => 30i64}),
+                Vertex::new(GradoopId(2), "P", properties! {"age" => 20i64}),
+                Vertex::new(GradoopId(3), "P", Properties::new()),
+            ],
+            vec![Edge::new(
+                GradoopId(10),
+                "e",
+                GradoopId(1),
+                GradoopId(2),
+                properties! {"weight" => 2.5f64},
+            )],
+        )
+    }
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let g = graph()
+            .aggregate("vertexCount", &AggregateFunction::VertexCount)
+            .aggregate("edgeCount", &AggregateFunction::EdgeCount);
+        assert_eq!(
+            g.head().properties.get("vertexCount"),
+            Some(&PropertyValue::Long(3))
+        );
+        assert_eq!(
+            g.head().properties.get("edgeCount"),
+            Some(&PropertyValue::Long(1))
+        );
+    }
+
+    #[test]
+    fn sum_skips_missing_values() {
+        let g = graph().aggregate(
+            "totalAge",
+            &AggregateFunction::SumVertexProperty("age".into()),
+        );
+        assert_eq!(
+            g.head().properties.get("totalAge"),
+            Some(&PropertyValue::Double(50.0))
+        );
+    }
+
+    #[test]
+    fn min_max_over_present_values() {
+        let g = graph()
+            .aggregate("minAge", &AggregateFunction::MinVertexProperty("age".into()))
+            .aggregate("maxAge", &AggregateFunction::MaxVertexProperty("age".into()));
+        assert_eq!(
+            g.head().properties.get("minAge"),
+            Some(&PropertyValue::Double(20.0))
+        );
+        assert_eq!(
+            g.head().properties.get("maxAge"),
+            Some(&PropertyValue::Double(30.0))
+        );
+    }
+
+    #[test]
+    fn extremum_of_missing_property_is_null() {
+        let g = graph().aggregate(
+            "m",
+            &AggregateFunction::MinVertexProperty("nonexistent".into()),
+        );
+        assert_eq!(g.head().properties.get("m"), Some(&PropertyValue::Null));
+    }
+
+    #[test]
+    fn sum_edge_property() {
+        let g = graph().aggregate(
+            "w",
+            &AggregateFunction::SumEdgeProperty("weight".into()),
+        );
+        assert_eq!(
+            g.head().properties.get("w"),
+            Some(&PropertyValue::Double(2.5))
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Analytical EPGM operators (paper Section 2.1).
+//!
+//! The power of the EPGM is combining operators into analytical programs:
+//! every operator consumes and produces logical graphs or graph collections.
+//! Gradoop ships subgraph extraction, transformation, aggregation,
+//! selection, set operations and grouping — all provided here so the Cypher
+//! pattern-matching operator (implemented in `gradoop-core`) can be combined
+//! with them exactly as the paper describes.
+
+mod aggregation;
+mod combination;
+mod grouping;
+mod sampling;
+mod selection;
+mod set_ops;
+mod subgraph;
+mod transformation;
+
+pub use aggregation::AggregateFunction;
+pub use combination::next_derived_graph_id;
+pub use grouping::GroupingConfig;

@@ -1,0 +1,103 @@
+//! Selection on graph collections: keep the member graphs whose head
+//! satisfies a predicate (e.g. a match-count property written by an
+//! aggregation, or bindings attached by the Cypher operator).
+
+use std::collections::HashSet;
+
+use crate::element::GraphHead;
+use crate::graph::GraphCollection;
+
+impl GraphCollection {
+    /// Keeps the member graphs whose head satisfies `predicate`; vertices
+    /// and edges are restricted to the surviving graphs. An element shared
+    /// with a dropped graph keeps its full membership set — exactly like
+    /// Gradoop, where membership is global.
+    pub fn select<P>(&self, predicate: P) -> GraphCollection
+    where
+        P: Fn(&GraphHead) -> bool + Sync,
+    {
+        let heads = self.heads().filter(predicate);
+        // The surviving graph ids are broadcast to filter elements.
+        let selected: HashSet<u64> = heads.collect().into_iter().map(|h| h.id.0).collect();
+        let in_selected = move |ids: &crate::id::GradoopIdSet| {
+            ids.iter().any(|id| selected.contains(&id.0))
+        };
+        let vertices = {
+            let in_selected = in_selected.clone();
+            self.vertices().filter(move |v| in_selected(&v.graph_ids))
+        };
+        let edges = self.edges().filter(move |e| in_selected(&e.graph_ids));
+        GraphCollection::new(heads, vertices, edges)
+    }
+
+    /// Keeps at most `n` member graphs (by ascending head id) — Gradoop's
+    /// `limit` operator, useful to sample matches.
+    pub fn limit(&self, n: usize) -> GraphCollection {
+        let mut heads: Vec<GraphHead> = self.heads().collect();
+        heads.sort_by_key(|h| h.id);
+        heads.truncate(n);
+        let keep: HashSet<u64> = heads.iter().map(|h| h.id.0).collect();
+        let heads = self.env().from_collection(heads);
+        let keep_v = keep.clone();
+        let vertices = self
+            .vertices()
+            .filter(move |v| v.graph_ids.iter().any(|id| keep_v.contains(&id.0)));
+        let edges = self
+            .edges()
+            .filter(move |e| e.graph_ids.iter().any(|id| keep.contains(&id.0)));
+        GraphCollection::new(heads, vertices, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::element::{GraphHead, Vertex};
+    use crate::graph::GraphCollection;
+    use crate::id::{GradoopId, GradoopIdSet};
+    use crate::properties;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+
+    fn collection() -> GraphCollection {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let heads = env.from_collection(vec![
+            GraphHead::new(GradoopId(1), "g", properties! {"count" => 5i64}),
+            GraphHead::new(GradoopId(2), "g", properties! {"count" => 50i64}),
+        ]);
+        let mut v1 = Vertex::new(GradoopId(10), "V", properties! {});
+        v1.graph_ids = GradoopIdSet::of(GradoopId(1));
+        let mut v2 = Vertex::new(GradoopId(20), "V", properties! {});
+        v2.graph_ids = GradoopIdSet::from_ids([GradoopId(1), GradoopId(2)]);
+        let vertices = env.from_collection(vec![v1, v2]);
+        let edges = env.empty();
+        GraphCollection::new(heads, vertices, edges)
+    }
+
+    #[test]
+    fn select_filters_heads_and_elements() {
+        let selected = collection().select(|h| {
+            h.properties.get("count").and_then(|p| p.as_i64()).unwrap_or(0) > 10
+        });
+        assert_eq!(selected.graph_count(), 1);
+        // Only the vertex contained in graph 2 survives.
+        let vertices = selected.vertices().collect();
+        assert_eq!(vertices.len(), 1);
+        assert_eq!(vertices[0].id, GradoopId(20));
+    }
+
+    #[test]
+    fn select_none_empties_collection() {
+        let selected = collection().select(|_| false);
+        assert_eq!(selected.graph_count(), 0);
+        assert_eq!(selected.vertices().count(), 0);
+    }
+
+    #[test]
+    fn limit_keeps_lowest_ids() {
+        let limited = collection().limit(1);
+        assert_eq!(limited.graph_count(), 1);
+        assert_eq!(limited.heads().collect()[0].id, GradoopId(1));
+        assert_eq!(limited.vertices().count(), 2); // both vertices touch graph 1
+    }
+}

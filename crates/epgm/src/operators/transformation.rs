@@ -1,0 +1,107 @@
+//! Graph transformation operators: structure-preserving element rewrites.
+
+use crate::element::{Edge, GraphHead, Vertex};
+use crate::graph::LogicalGraph;
+
+impl LogicalGraph {
+    /// Rewrites every vertex. The function must preserve the vertex id and
+    /// graph membership for the result to stay a consistent graph; this is
+    /// asserted in debug builds.
+    pub fn transform_vertices<F>(&self, f: F) -> LogicalGraph
+    where
+        F: Fn(&Vertex) -> Vertex + Sync,
+    {
+        let vertices = self.vertices().map(move |v| {
+            let out = f(v);
+            debug_assert_eq!(out.id, v.id, "transformation must preserve vertex ids");
+            out
+        });
+        LogicalGraph::new(self.head().clone(), vertices, self.edges().clone())
+    }
+
+    /// Rewrites every edge, preserving ids and endpoints.
+    pub fn transform_edges<F>(&self, f: F) -> LogicalGraph
+    where
+        F: Fn(&Edge) -> Edge + Sync,
+    {
+        let edges = self.edges().map(move |e| {
+            let out = f(e);
+            debug_assert_eq!(out.id, e.id, "transformation must preserve edge ids");
+            debug_assert_eq!(out.source, e.source, "transformation must preserve endpoints");
+            debug_assert_eq!(out.target, e.target, "transformation must preserve endpoints");
+            out
+        });
+        LogicalGraph::new(self.head().clone(), self.vertices().clone(), edges)
+    }
+
+    /// Rewrites the graph head (label/properties; the id is preserved).
+    pub fn transform_head<F>(&self, f: F) -> LogicalGraph
+    where
+        F: FnOnce(&GraphHead) -> GraphHead,
+    {
+        let mut head = f(self.head());
+        head.id = self.head().id;
+        LogicalGraph::new(head, self.vertices().clone(), self.edges().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::element::{Edge, Element, GraphHead, Vertex};
+    use crate::graph::LogicalGraph;
+    use crate::id::GradoopId;
+    use crate::properties;
+    use crate::properties::Properties;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+
+    fn graph() -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "g", Properties::new()),
+            vec![Vertex::new(GradoopId(1), "Person", properties! {"age" => 30i64})],
+            vec![Edge::new(
+                GradoopId(10),
+                "knows",
+                GradoopId(1),
+                GradoopId(1),
+                Properties::new(),
+            )],
+        )
+    }
+
+    #[test]
+    fn transform_vertices_rewrites_properties() {
+        let g = graph().transform_vertices(|v| {
+            let mut v = v.clone();
+            v.properties.set("age", 31i64);
+            v
+        });
+        let vertices = g.vertices().collect();
+        assert_eq!(vertices[0].property("age").unwrap().as_i64(), Some(31));
+    }
+
+    #[test]
+    fn transform_edges_rewrites_labels() {
+        let g = graph().transform_edges(|e| {
+            let mut e = e.clone();
+            e.label = "friendOf".into();
+            e
+        });
+        assert_eq!(g.edges().collect()[0].label, "friendOf");
+    }
+
+    #[test]
+    fn transform_head_preserves_id() {
+        let g = graph().transform_head(|h| {
+            let mut h = h.clone();
+            h.id = GradoopId(999); // attempted id change is ignored
+            h.label = "renamed".into();
+            h
+        });
+        assert_eq!(g.head().id, GradoopId(100));
+        assert_eq!(g.head().label, "renamed");
+    }
+}

@@ -1,0 +1,226 @@
+//! Pre-computed statistics about a data graph (paper Section 3.2).
+//!
+//! The greedy query planner estimates join cardinalities from the total
+//! number of vertices and edges, vertex and edge label distributions, and
+//! the number of distinct source and target vertices overall and by edge
+//! label — precisely the statistics enumerated in the paper. We additionally
+//! keep distinct property-value counts per (label, key) so that equality
+//! predicates (the selectivity experiments of Figure 5) can be estimated.
+
+use std::collections::HashMap;
+
+use crate::graph::LogicalGraph;
+use crate::label::Label;
+
+/// Statistics of one data graph, computed with distributed dataflows and
+/// gathered at the driver.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStatistics {
+    /// Total vertex count.
+    pub vertex_count: u64,
+    /// Total edge count.
+    pub edge_count: u64,
+    /// Vertex count per label.
+    pub vertex_count_by_label: HashMap<Label, u64>,
+    /// Edge count per label.
+    pub edge_count_by_label: HashMap<Label, u64>,
+    /// Number of distinct source vertices over all edges.
+    pub distinct_source_count: u64,
+    /// Number of distinct target vertices over all edges.
+    pub distinct_target_count: u64,
+    /// Distinct source vertices per edge label.
+    pub distinct_source_by_label: HashMap<Label, u64>,
+    /// Distinct target vertices per edge label.
+    pub distinct_target_by_label: HashMap<Label, u64>,
+    /// Distinct property values per (vertex label, property key).
+    pub distinct_vertex_property_values: HashMap<(Label, String), u64>,
+    /// Distinct property values per (edge label, property key).
+    pub distinct_edge_property_values: HashMap<(Label, String), u64>,
+}
+
+impl GraphStatistics {
+    /// Computes all statistics for `graph`.
+    pub fn of(graph: &LogicalGraph) -> Self {
+        let vertices = graph.vertices();
+        let edges = graph.edges();
+
+        let vertex_count = vertices.count() as u64;
+        let edge_count = edges.count() as u64;
+
+        let vertex_count_by_label = vertices
+            .count_by_key(|v| v.label.clone())
+            .collect()
+            .into_iter()
+            .collect();
+        let edge_count_by_label = edges
+            .count_by_key(|e| e.label.clone())
+            .collect()
+            .into_iter()
+            .collect();
+
+        let distinct_source_count = edges.map(|e| e.source.0).distinct().count() as u64;
+        let distinct_target_count = edges.map(|e| e.target.0).distinct().count() as u64;
+
+        let distinct_source_by_label: HashMap<Label, u64> = edges
+            .map(|e| (e.label.clone(), e.source.0))
+            .distinct()
+            .count_by_key(|(label, _)| label.clone())
+            .collect()
+            .into_iter()
+            .collect();
+        let distinct_target_by_label: HashMap<Label, u64> = edges
+            .map(|e| (e.label.clone(), e.target.0))
+            .distinct()
+            .count_by_key(|(label, _)| label.clone())
+            .collect()
+            .into_iter()
+            .collect();
+
+        let distinct_vertex_property_values: HashMap<(Label, String), u64> = vertices
+            .flat_map(|v, out| {
+                for (key, value) in v.properties.iter() {
+                    out.push((v.label.clone(), key.to_string(), value.clone()));
+                }
+            })
+            .distinct()
+            .count_by_key(|(label, key, _)| (label.clone(), key.clone()))
+            .collect()
+            .into_iter()
+            .collect();
+        let distinct_edge_property_values: HashMap<(Label, String), u64> = edges
+            .flat_map(|e, out| {
+                for (key, value) in e.properties.iter() {
+                    out.push((e.label.clone(), key.to_string(), value.clone()));
+                }
+            })
+            .distinct()
+            .count_by_key(|(label, key, _)| (label.clone(), key.clone()))
+            .collect()
+            .into_iter()
+            .collect();
+
+        GraphStatistics {
+            vertex_count,
+            edge_count,
+            vertex_count_by_label,
+            edge_count_by_label,
+            distinct_source_count,
+            distinct_target_count,
+            distinct_source_by_label,
+            distinct_target_by_label,
+            distinct_vertex_property_values,
+            distinct_edge_property_values,
+        }
+    }
+
+    /// Vertices carrying `label`; 0 when the label does not occur.
+    pub fn vertices_with_label(&self, label: &Label) -> u64 {
+        self.vertex_count_by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Edges carrying `label`; 0 when the label does not occur.
+    pub fn edges_with_label(&self, label: &Label) -> u64 {
+        self.edge_count_by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Distinct source vertices of edges with `label` (or overall).
+    pub fn distinct_sources(&self, label: Option<&Label>) -> u64 {
+        match label {
+            Some(l) => self.distinct_source_by_label.get(l).copied().unwrap_or(0),
+            None => self.distinct_source_count,
+        }
+    }
+
+    /// Distinct target vertices of edges with `label` (or overall).
+    pub fn distinct_targets(&self, label: Option<&Label>) -> u64 {
+        match label {
+            Some(l) => self.distinct_target_by_label.get(l).copied().unwrap_or(0),
+            None => self.distinct_target_count,
+        }
+    }
+
+    /// Distinct values of vertex property `key` on `label` vertices, if
+    /// known.
+    pub fn distinct_vertex_values(&self, label: &Label, key: &str) -> Option<u64> {
+        self.distinct_vertex_property_values
+            .get(&(label.clone(), key.to_string()))
+            .copied()
+    }
+
+    /// Distinct values of edge property `key` on `label` edges, if known.
+    pub fn distinct_edge_values(&self, label: &Label, key: &str) -> Option<u64> {
+        self.distinct_edge_property_values
+            .get(&(label.clone(), key.to_string()))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Edge, GraphHead, Vertex};
+    use crate::id::GradoopId;
+    use crate::properties;
+    use crate::properties::Properties;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+
+    fn graph() -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(3).cost_model(CostModel::free()),
+        );
+        let v = |id: u64, label: &str, name: &str| {
+            Vertex::new(GradoopId(id), label, properties! {"name" => name})
+        };
+        let e = |id: u64, label: &str, s: u64, t: u64| {
+            Edge::new(GradoopId(id), label, GradoopId(s), GradoopId(t), Properties::new())
+        };
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "g", Properties::new()),
+            vec![
+                v(1, "Person", "Alice"),
+                v(2, "Person", "Bob"),
+                v(3, "Person", "Alice"),
+                v(4, "City", "Leipzig"),
+            ],
+            vec![
+                e(10, "knows", 1, 2),
+                e(11, "knows", 1, 3),
+                e(12, "livesIn", 1, 4),
+                e(13, "livesIn", 2, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_label_distributions() {
+        let stats = GraphStatistics::of(&graph());
+        assert_eq!(stats.vertex_count, 4);
+        assert_eq!(stats.edge_count, 4);
+        assert_eq!(stats.vertices_with_label(&Label::new("Person")), 3);
+        assert_eq!(stats.vertices_with_label(&Label::new("City")), 1);
+        assert_eq!(stats.edges_with_label(&Label::new("knows")), 2);
+        assert_eq!(stats.vertices_with_label(&Label::new("Tag")), 0);
+    }
+
+    #[test]
+    fn distinct_source_target_counts() {
+        let stats = GraphStatistics::of(&graph());
+        // Sources: {1, 2}; targets: {2, 3, 4}.
+        assert_eq!(stats.distinct_source_count, 2);
+        assert_eq!(stats.distinct_target_count, 3);
+        let knows = Label::new("knows");
+        assert_eq!(stats.distinct_sources(Some(&knows)), 1);
+        assert_eq!(stats.distinct_targets(Some(&knows)), 2);
+        assert_eq!(stats.distinct_sources(None), 2);
+    }
+
+    #[test]
+    fn distinct_property_values() {
+        let stats = GraphStatistics::of(&graph());
+        let person = Label::new("Person");
+        // Alice, Bob -> 2 distinct values among three Person vertices.
+        assert_eq!(stats.distinct_vertex_values(&person, "name"), Some(2));
+        assert_eq!(stats.distinct_vertex_values(&person, "missing"), None);
+    }
+}

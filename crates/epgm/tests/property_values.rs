@@ -1,0 +1,77 @@
+//! Property-based tests of the property-value type: serialization
+//! round-trips, comparison laws, hash/equality consistency.
+
+use gradoop_dataflow::Data;
+use gradoop_epgm::PropertyValue;
+use proptest::prelude::*;
+
+fn property_value() -> impl Strategy<Value = PropertyValue> {
+    let leaf = prop_oneof![
+        Just(PropertyValue::Null),
+        any::<bool>().prop_map(PropertyValue::Boolean),
+        any::<i32>().prop_map(PropertyValue::Int),
+        any::<i64>().prop_map(PropertyValue::Long),
+        // Finite doubles only: NaN breaks reflexivity of compare() by design.
+        (-1.0e12f64..1.0e12).prop_map(PropertyValue::Double),
+        "[a-zA-Z0-9 äöü]{0,24}".prop_map(PropertyValue::String),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(PropertyValue::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialization_roundtrips(value in property_value()) {
+        let bytes = value.to_bytes();
+        let decoded = PropertyValue::from_bytes(&bytes).expect("well-formed bytes");
+        prop_assert_eq!(&decoded, &value);
+        prop_assert_eq!(bytes.len(), value.byte_size());
+    }
+
+    #[test]
+    fn equality_implies_equal_hashes(a in property_value(), b in property_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn hash(v: &PropertyValue) -> u64 {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        }
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b), "{:?} == {:?} but hashes differ", a, b);
+        }
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric(a in property_value(), b in property_value()) {
+        use std::cmp::Ordering;
+        match (a.compare(&b), b.compare(&a)) {
+            (Some(Ordering::Less), other) => prop_assert_eq!(other, Some(Ordering::Greater)),
+            (Some(Ordering::Greater), other) => prop_assert_eq!(other, Some(Ordering::Less)),
+            (Some(Ordering::Equal), other) => prop_assert_eq!(other, Some(Ordering::Equal)),
+            (None, other) => prop_assert_eq!(other, None),
+        }
+    }
+
+    #[test]
+    fn comparison_equal_agrees_with_eq(a in property_value(), b in property_value()) {
+        if a.compare(&b) == Some(std::cmp::Ordering::Equal) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn compare_is_reflexive_for_non_null(value in property_value()) {
+        fn contains_null(v: &PropertyValue) -> bool {
+            match v {
+                PropertyValue::Null => true,
+                PropertyValue::List(items) => items.iter().any(contains_null),
+                _ => false,
+            }
+        }
+        if !contains_null(&value) {
+            prop_assert_eq!(value.compare(&value), Some(std::cmp::Ordering::Equal));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Generator configuration and scale factors.
+//!
+//! The paper generates LDBC-SNB data at scale factors 10 (29M vertices,
+//! 167M edges) and 100 (271M vertices, 1.6B edges). This reproduction keeps
+//! the *shape* — the entity-type mix, the power-law degree distributions,
+//! the skewed property values, and the 10× ratio between the two scale
+//! factors — but rescales the absolute sizes by ~1000× so the full
+//! benchmark grid runs on one machine (see DESIGN.md).
+
+/// Configuration of one dataset generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdbcConfig {
+    /// Number of persons; everything else scales from this.
+    pub persons: usize,
+    /// RNG seed — identical configs generate identical datasets.
+    pub seed: u64,
+}
+
+impl LdbcConfig {
+    /// Configuration for an arbitrary person count.
+    pub fn with_persons(persons: usize) -> Self {
+        LdbcConfig { persons, seed: 42 }
+    }
+
+    /// Replaces the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The paper's "SF 10" rescaled: ~30k vertices / ~120k edges.
+    pub fn sf10() -> Self {
+        LdbcConfig::with_persons(1500)
+    }
+
+    /// The paper's "SF 100" rescaled: ~300k vertices / ~1.2M edges
+    /// (preserving the 10× ratio to [`LdbcConfig::sf10`]).
+    pub fn sf100() -> Self {
+        LdbcConfig::with_persons(15000)
+    }
+
+    /// A tiny dataset for unit tests and quick examples.
+    pub fn tiny() -> Self {
+        LdbcConfig::with_persons(100)
+    }
+
+    // --- derived entity counts (ratios loosely follow LDBC-SNB) ------------
+
+    /// Number of cities.
+    pub fn cities(&self) -> usize {
+        (self.persons / 100).clamp(4, crate::names::CITIES.len())
+    }
+
+    /// Number of universities.
+    pub fn universities(&self) -> usize {
+        (self.persons / 200).clamp(3, crate::names::UNIVERSITIES.len())
+    }
+
+    /// Number of tags.
+    pub fn tags(&self) -> usize {
+        (4 * (self.persons as f64).sqrt() as usize).max(10)
+    }
+
+    /// Number of forums (one per person, LDBC's personal forums).
+    pub fn forums(&self) -> usize {
+        self.persons
+    }
+
+    /// Expected number of posts (≈ 4 per forum).
+    pub fn expected_posts(&self) -> usize {
+        4 * self.forums()
+    }
+
+    /// Expected number of comments (≈ 2 per post).
+    pub fn expected_comments(&self) -> usize {
+        2 * self.expected_posts()
+    }
+
+    /// Average number of friendships per person (power-law distributed).
+    pub fn mean_knows_degree(&self) -> usize {
+        8
+    }
+
+    /// Average number of tag interests per person.
+    pub fn mean_interests(&self) -> usize {
+        6
+    }
+
+    /// Average number of forum memberships per forum.
+    pub fn mean_members(&self) -> usize {
+        10
+    }
+
+    /// Share of persons with a `studyAt` edge.
+    pub fn study_share(&self) -> f64 {
+        0.6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_preserve_ratio() {
+        assert_eq!(LdbcConfig::sf100().persons, 10 * LdbcConfig::sf10().persons);
+    }
+
+    #[test]
+    fn derived_counts_scale_and_clamp() {
+        let tiny = LdbcConfig::tiny();
+        assert!(tiny.cities() >= 4);
+        assert!(tiny.universities() >= 3);
+        let big = LdbcConfig::sf100();
+        assert!(big.cities() <= crate::names::CITIES.len());
+        assert!(big.tags() > tiny.tags());
+        assert_eq!(big.forums(), big.persons);
+    }
+
+    #[test]
+    fn seed_is_configurable() {
+        let config = LdbcConfig::tiny().seed(7);
+        assert_eq!(config.seed, 7);
+    }
+}

@@ -1,0 +1,472 @@
+//! Deterministic LDBC-SNB-like social-network generator.
+//!
+//! Mirrors the structural properties the paper relies on (Section 4):
+//! power-law node degrees (friendships, forum memberships, popular tags and
+//! persons) and skewed property-value distributions (first names). Identical
+//! configurations generate identical datasets, so every experiment is
+//! reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gradoop_dataflow::ExecutionEnvironment;
+use gradoop_epgm::{
+    properties, Edge, GradoopId, GraphHead, LogicalGraph, Properties, Vertex,
+};
+
+use crate::config::LdbcConfig;
+use crate::names::{
+    pareto_degree, zipf_index, FirstNameSampler, CITIES, LAST_NAMES, TAG_TOPICS,
+    UNIVERSITIES,
+};
+use crate::schema::{edge, key, vertex};
+
+/// Maximum depth of comment reply chains; `replyOf*1..10` must be able to
+/// reach the post from the deepest comment.
+const MAX_REPLY_DEPTH: usize = 9;
+
+/// The generated dataset, before it is wrapped into a logical graph.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// All vertices.
+    pub vertices: Vec<Vertex>,
+    /// All edges.
+    pub edges: Vec<Edge>,
+    /// Person vertex ids, indexed by person number.
+    pub person_ids: Vec<u64>,
+    /// First names by person number (used by the selectivity helpers).
+    pub first_names: Vec<&'static str>,
+}
+
+/// Generates the dataset for `config`.
+pub fn generate(config: &LdbcConfig) -> GeneratedData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut next_id: u64 = 1;
+    let mut fresh = move || {
+        let id = next_id;
+        next_id += 1;
+        id
+    };
+
+    let mut vertices = Vec::new();
+    let mut edges = Vec::new();
+    let sampler = FirstNameSampler::new();
+
+    // --- places, universities, tags -------------------------------------
+    let city_ids: Vec<u64> = (0..config.cities())
+        .map(|i| {
+            let id = fresh();
+            vertices.push(Vertex::new(
+                GradoopId(id),
+                vertex::CITY,
+                properties! { key::NAME => CITIES[i] },
+            ));
+            id
+        })
+        .collect();
+    let university_ids: Vec<u64> = (0..config.universities())
+        .map(|i| {
+            let id = fresh();
+            vertices.push(Vertex::new(
+                GradoopId(id),
+                vertex::UNIVERSITY,
+                properties! { key::NAME => UNIVERSITIES[i] },
+            ));
+            id
+        })
+        .collect();
+    let tag_ids: Vec<u64> = (0..config.tags())
+        .map(|i| {
+            let id = fresh();
+            let topic = TAG_TOPICS[i % TAG_TOPICS.len()];
+            let name = if i < TAG_TOPICS.len() {
+                topic.to_string()
+            } else {
+                format!("{topic}_{}", i / TAG_TOPICS.len())
+            };
+            vertices.push(Vertex::new(
+                GradoopId(id),
+                vertex::TAG,
+                properties! { key::NAME => name },
+            ));
+            id
+        })
+        .collect();
+
+    // --- persons ----------------------------------------------------------
+    let mut person_ids = Vec::with_capacity(config.persons);
+    let mut first_names = Vec::with_capacity(config.persons);
+    for number in 0..config.persons {
+        let id = fresh();
+        let first_name = sampler.sample(&mut rng);
+        let last_name = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let gender = if rng.gen_bool(0.5) { "female" } else { "male" };
+        let mut props = Properties::new();
+        props.set(key::FIRST_NAME, first_name);
+        props.set(key::LAST_NAME, last_name);
+        props.set(key::GENDER, gender);
+        props.set(key::BIRTHDAY, rng.gen_range(7000i64..20000));
+        props.set(key::CREATION_DATE, 1_000_000_000i64 + number as i64);
+        vertices.push(Vertex::new(GradoopId(id), vertex::PERSON, props));
+        person_ids.push(id);
+        first_names.push(first_name);
+    }
+
+    // --- knows (power-law out-degree, popularity-skewed targets) ----------
+    let mut knows_out: Vec<Vec<usize>> = vec![Vec::new(); config.persons];
+    for source in 0..config.persons {
+        let degree = pareto_degree(
+            &mut rng,
+            config.mean_knows_degree() / 2,
+            2.0,
+            (config.persons / 4).max(4),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..degree {
+            let target = zipf_index(&mut rng, config.persons, 1.3);
+            if target != source && seen.insert(target) {
+                knows_out[source].push(target);
+                edges.push(Edge::new(
+                    GradoopId(fresh()),
+                    edge::KNOWS,
+                    GradoopId(person_ids[source]),
+                    GradoopId(person_ids[target]),
+                    Properties::new(),
+                ));
+            }
+        }
+    }
+
+    // --- person attributes: residency, enrolment, interests ---------------
+    for person in 0..config.persons {
+        let city = zipf_index(&mut rng, city_ids.len(), 1.2);
+        edges.push(Edge::new(
+            GradoopId(fresh()),
+            edge::IS_LOCATED_IN,
+            GradoopId(person_ids[person]),
+            GradoopId(city_ids[city]),
+            Properties::new(),
+        ));
+        if rng.gen_bool(config.study_share()) {
+            let university = zipf_index(&mut rng, university_ids.len(), 1.2);
+            edges.push(Edge::new(
+                GradoopId(fresh()),
+                edge::STUDY_AT,
+                GradoopId(person_ids[person]),
+                GradoopId(university_ids[university]),
+                properties! { key::CLASS_YEAR => rng.gen_range(2000i64..2020) },
+            ));
+        }
+        let interests = pareto_degree(&mut rng, config.mean_interests() / 2, 2.0, 40);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..interests {
+            let tag = zipf_index(&mut rng, tag_ids.len(), 1.4);
+            if seen.insert(tag) {
+                edges.push(Edge::new(
+                    GradoopId(fresh()),
+                    edge::HAS_INTEREST,
+                    GradoopId(person_ids[person]),
+                    GradoopId(tag_ids[tag]),
+                    Properties::new(),
+                ));
+            }
+        }
+    }
+
+    // --- forums, memberships, posts, comment threads ----------------------
+    let mut message_clock: i64 = 1_100_000_000;
+    for moderator in 0..config.forums() {
+        let forum_id = fresh();
+        vertices.push(Vertex::new(
+            GradoopId(forum_id),
+            vertex::FORUM,
+            properties! { key::TITLE => format!("Forum of person {moderator}") },
+        ));
+        edges.push(Edge::new(
+            GradoopId(fresh()),
+            edge::HAS_MODERATOR,
+            GradoopId(forum_id),
+            GradoopId(person_ids[moderator]),
+            Properties::new(),
+        ));
+        let member_count = pareto_degree(
+            &mut rng,
+            config.mean_members() / 2,
+            2.0,
+            (config.persons / 2).max(4),
+        );
+        let mut members = vec![moderator];
+        let mut seen: std::collections::HashSet<usize> =
+            members.iter().copied().collect();
+        for _ in 0..member_count {
+            let member = zipf_index(&mut rng, config.persons, 1.2);
+            if seen.insert(member) {
+                members.push(member);
+                edges.push(Edge::new(
+                    GradoopId(fresh()),
+                    edge::HAS_MEMBER,
+                    GradoopId(forum_id),
+                    GradoopId(person_ids[member]),
+                    Properties::new(),
+                ));
+            }
+        }
+
+        let posts = pareto_degree(&mut rng, 2, 2.0, 30);
+        for _ in 0..posts {
+            let post_id = fresh();
+            let creator = members[rng.gen_range(0..members.len())];
+            message_clock += 1;
+            vertices.push(Vertex::new(
+                GradoopId(post_id),
+                vertex::POST,
+                properties! {
+                    key::CONTENT => format!("post {post_id}"),
+                    key::CREATION_DATE => message_clock,
+                },
+            ));
+            edges.push(Edge::new(
+                GradoopId(fresh()),
+                edge::HAS_CREATOR,
+                GradoopId(post_id),
+                GradoopId(person_ids[creator]),
+                Properties::new(),
+            ));
+
+            // Comment thread below this post. Mostly short threads, with an
+            // occasional long one (power-law thread sizes).
+            let comments = if rng.gen_bool(0.1) {
+                pareto_degree(&mut rng, 5, 1.5, 60)
+            } else {
+                rng.gen_range(0..=3)
+            };
+            // (comment id, reply depth) of thread members, for parent picks.
+            let mut thread: Vec<(u64, usize)> = Vec::new();
+            for _ in 0..comments {
+                let comment_id = fresh();
+                message_clock += 1;
+                vertices.push(Vertex::new(
+                    GradoopId(comment_id),
+                    vertex::COMMENT,
+                    properties! {
+                        key::CONTENT => format!("comment {comment_id}"),
+                        key::CREATION_DATE => message_clock,
+                    },
+                ));
+                // Parent: the post itself, or an earlier comment (deeper
+                // threads), capped so `replyOf*1..10` always reaches the post.
+                let (parent, depth) = if thread.is_empty() || rng.gen_bool(0.5) {
+                    (post_id, 1)
+                } else {
+                    let (candidate, candidate_depth) =
+                        thread[rng.gen_range(0..thread.len())];
+                    if candidate_depth >= MAX_REPLY_DEPTH {
+                        (post_id, 1)
+                    } else {
+                        (candidate, candidate_depth + 1)
+                    }
+                };
+                edges.push(Edge::new(
+                    GradoopId(fresh()),
+                    edge::REPLY_OF,
+                    GradoopId(comment_id),
+                    GradoopId(parent),
+                    Properties::new(),
+                ));
+                thread.push((comment_id, depth));
+
+                // Comment creators are biased toward friends of the post
+                // creator — this is what makes Query 3 (friends that replied
+                // to a post) produce matches.
+                let commenter = if !knows_out[creator].is_empty() && rng.gen_bool(0.6) {
+                    knows_out[creator][rng.gen_range(0..knows_out[creator].len())]
+                } else {
+                    zipf_index(&mut rng, config.persons, 1.2)
+                };
+                edges.push(Edge::new(
+                    GradoopId(fresh()),
+                    edge::HAS_CREATOR,
+                    GradoopId(comment_id),
+                    GradoopId(person_ids[commenter]),
+                    Properties::new(),
+                ));
+            }
+        }
+    }
+
+    GeneratedData {
+        vertices,
+        edges,
+        person_ids,
+        first_names,
+    }
+}
+
+/// Generates a dataset and wraps it into a logical graph on `env`.
+pub fn generate_graph(env: &ExecutionEnvironment, config: &LdbcConfig) -> LogicalGraph {
+    let data = generate(config);
+    let head = GraphHead::new(
+        GradoopId(0),
+        "LdbcSocialNetwork",
+        properties! { "persons" => config.persons as i64, "seed" => config.seed as i64 },
+    );
+    LogicalGraph::from_data(env, head, data.vertices, data.edges)
+}
+
+impl GeneratedData {
+    /// Vertex count per label.
+    pub fn vertex_label_counts(&self) -> std::collections::HashMap<String, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for v in &self.vertices {
+            *counts.entry(v.label.as_str().to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Edge count per label.
+    pub fn edge_label_counts(&self) -> std::collections::HashMap<String, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for e in &self.edges {
+            *counts.entry(e.label.as_str().to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_epgm::Element;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&LdbcConfig::tiny());
+        let b = generate(&LdbcConfig::tiny());
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.edges, b.edges);
+        let c = generate(&LdbcConfig::tiny().seed(7));
+        assert_ne!(a.edges.len(), 0);
+        assert!(a.edges != c.edges);
+    }
+
+    #[test]
+    fn contains_every_schema_label() {
+        let data = generate(&LdbcConfig::tiny());
+        let vertex_counts = data.vertex_label_counts();
+        for label in [
+            vertex::PERSON,
+            vertex::CITY,
+            vertex::UNIVERSITY,
+            vertex::TAG,
+            vertex::FORUM,
+            vertex::POST,
+            vertex::COMMENT,
+        ] {
+            assert!(vertex_counts.get(label).copied().unwrap_or(0) > 0, "{label}");
+        }
+        let edge_counts = data.edge_label_counts();
+        for label in [
+            edge::KNOWS,
+            edge::HAS_CREATOR,
+            edge::REPLY_OF,
+            edge::IS_LOCATED_IN,
+            edge::STUDY_AT,
+            edge::HAS_INTEREST,
+            edge::HAS_MEMBER,
+            edge::HAS_MODERATOR,
+        ] {
+            assert!(edge_counts.get(label).copied().unwrap_or(0) > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn edges_reference_existing_vertices() {
+        let data = generate(&LdbcConfig::tiny());
+        let ids: HashSet<u64> = data.vertices.iter().map(|v| v.id.0).collect();
+        for e in &data.edges {
+            assert!(ids.contains(&e.source.0), "dangling source in {}", e.label);
+            assert!(ids.contains(&e.target.0), "dangling target in {}", e.label);
+        }
+    }
+
+    #[test]
+    fn reply_chains_reach_posts_within_bound() {
+        let data = generate(&LdbcConfig::tiny());
+        let label_of: HashMap<u64, String> = data
+            .vertices
+            .iter()
+            .map(|v| (v.id.0, v.label.as_str().to_string()))
+            .collect();
+        let reply_parent: HashMap<u64, u64> = data
+            .edges
+            .iter()
+            .filter(|e| e.label == edge::REPLY_OF)
+            .map(|e| (e.source.0, e.target.0))
+            .collect();
+        for comment in data.vertices.iter().filter(|v| v.label == vertex::COMMENT) {
+            let mut current = comment.id.0;
+            let mut hops = 0;
+            loop {
+                let parent = *reply_parent
+                    .get(&current)
+                    .expect("every comment replies to something");
+                hops += 1;
+                if label_of[&parent] == vertex::POST {
+                    break;
+                }
+                current = parent;
+                assert!(hops <= 10, "reply chain too deep");
+            }
+            assert!(hops <= 10);
+        }
+    }
+
+    #[test]
+    fn knows_degree_distribution_is_skewed() {
+        let data = generate(&LdbcConfig::with_persons(500));
+        let mut in_degree: HashMap<u64, usize> = HashMap::new();
+        for e in data.edges.iter().filter(|e| e.label == edge::KNOWS) {
+            *in_degree.entry(e.target.0).or_insert(0) += 1;
+        }
+        let max = in_degree.values().copied().max().unwrap_or(0);
+        let mean = in_degree.values().sum::<usize>() as f64 / in_degree.len().max(1) as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "expected a power-law hub: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn first_names_are_skewed() {
+        let data = generate(&LdbcConfig::with_persons(2000));
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for name in &data.first_names {
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let singletons = counts.values().filter(|&&c| c <= 2).count();
+        assert!(max > 40, "most common name must be common, got {max}");
+        assert!(singletons > 5, "need rare names, got {singletons}");
+    }
+
+    #[test]
+    fn persons_have_required_properties() {
+        let data = generate(&LdbcConfig::tiny());
+        for v in data.vertices.iter().filter(|v| v.label == vertex::PERSON) {
+            for key in [key::FIRST_NAME, key::LAST_NAME, key::GENDER] {
+                assert!(v.property(key).is_some(), "{key}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_wrapper_counts_match() {
+        let env = ExecutionEnvironment::with_workers(2);
+        let config = LdbcConfig::tiny();
+        let data = generate(&config);
+        let graph = generate_graph(&env, &config);
+        assert_eq!(graph.vertex_count(), data.vertices.len());
+        assert_eq!(graph.edge_count(), data.edges.len());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # gradoop-ldbc
+//!
+//! Deterministic LDBC-SNB-like social-network generator plus the six
+//! benchmark queries of the paper's evaluation (*"Cypher-based Graph
+//! Pattern Matching in Gradoop"*, GRADES'17, Section 4 and appendix).
+//!
+//! ```
+//! use gradoop_dataflow::ExecutionEnvironment;
+//! use gradoop_ldbc::{generate_graph, LdbcConfig};
+//!
+//! let env = ExecutionEnvironment::with_workers(2);
+//! let graph = generate_graph(&env, &LdbcConfig::tiny());
+//! assert!(graph.vertex_count() > 100);
+//! ```
+
+pub mod config;
+pub mod generator;
+pub mod names;
+pub mod queries;
+pub mod schema;
+pub mod selectivity;
+
+pub use config::LdbcConfig;
+pub use generator::{generate, generate_graph, GeneratedData};
+pub use queries::{table3_patterns, BenchmarkQuery};
+pub use selectivity::{pick_names, Selectivity, SelectivityNames};

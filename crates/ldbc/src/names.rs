@@ -1,0 +1,205 @@
+//! Skewed name distributions.
+//!
+//! The LDBC generator "resembles ... skewed property value distributions";
+//! the paper's selectivity experiments (Figure 5) exploit exactly that: they
+//! filter persons by first names "ranging from highly uncommon to very
+//! common values". First names are therefore drawn from a Zipf-like
+//! distribution over this list, so a handful of names cover a large share
+//! of all persons while most names are rare.
+
+use rand::Rng;
+
+/// First-name pool (sampled Zipf-like by index).
+pub const FIRST_NAMES: &[&str] = &[
+    "Jan", "Maria", "Chen", "Ali", "Anna", "Ivan", "Yang", "Jose", "Nina", "Ahmed",
+    "Lena", "Omar", "Mei", "Karl", "Sara", "Igor", "Lucy", "Amir", "Olga", "Juan",
+    "Emma", "Raj", "Vera", "Hugo", "Lily", "Musa", "Rosa", "Finn", "Aida", "Noah",
+    "Iris", "Tariq", "Elsa", "Bruno", "Dana", "Viktor", "Ines", "Pavel", "Carla", "Samir",
+    "Greta", "Mateo", "Priya", "Stefan", "Alma", "Dmitri", "Clara", "Hassan", "Edith", "Luca",
+    "Marta", "Kofi", "Heidi", "Andrei", "Paula", "Yusuf", "Sonja", "Diego", "Ruth", "Milan",
+    "Astrid", "Faisal", "Judit", "Oscar", "Wanda", "Ismail", "Tessa", "Boris", "Celia", "Arjun",
+    "Magda", "Khalid", "Doris", "Enzo", "Freya", "Gustav", "Halima", "Imre", "Jana", "Kenji",
+    "Laila", "Marek", "Nadia", "Otto", "Petra", "Quentin", "Rania", "Sven", "Talia", "Umar",
+    "Vilma", "Walter", "Xenia", "Yara", "Zoltan", "Aisha", "Bjorn", "Carmen", "Dario", "Edna",
+    "Fabio", "Gilda", "Henrik", "Ilse", "Jorge", "Katja", "Leif", "Mona", "Nils", "Oda",
+    "Pablo", "Questa", "Rolf", "Selma", "Timo", "Ulla", "Vito", "Wilma", "Xaver", "Ylva",
+    "Zane", "Agnes", "Bela", "Cyrus", "Delia", "Ernst", "Fanny", "Georg", "Hilda", "Ivo",
+    "Jutta", "Kurt", "Livia", "Moritz", "Nora", "Osman", "Pia", "Quirin", "Rita", "Sergej",
+    "Thora", "Uwe", "Vanja", "Wim", "Xiomara", "Yvo", "Zelda", "Arno", "Birte", "Cem",
+    "Dora", "Emil", "Frida", "Gero", "Hanna", "Iker", "Jens", "Kaja", "Lars", "Mira",
+    "Nevio", "Ophelia", "Per", "Questor", "Runa", "Silas", "Tirza", "Ulf", "Veit", "Wenke",
+    "Xandra", "Yannick", "Zora", "Aldo", "Berta", "Corin", "Dagmar", "Eino", "Flora", "Gunnar",
+    "Hedda", "Ingo", "Jarl", "Kira", "Ludger", "Malin", "Njord", "Ortrud", "Pelle", "Quirina",
+    "Ragnar", "Solveig", "Torben", "Ulrike", "Volker", "Wiebke", "Xara", "Yrsa", "Zenzi", "Arvid",
+];
+
+/// Last-name pool (sampled uniformly).
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Mueller", "Wang", "Garcia", "Kim", "Petrov", "Sato", "Silva", "Khan", "Novak",
+    "Jensen", "Rossi", "Kowalski", "Nagy", "Popescu", "Andersson", "Dubois", "Costa", "Peeters",
+    "Horvat", "Jansen", "Fischer", "Weber", "Meyer", "Schulz", "Becker", "Hoffmann", "Koch",
+    "Richter", "Wolf", "Okafor", "Haddad", "Tanaka", "Suzuki", "Ivanov", "Sokolov", "Lopez",
+    "Martin", "Bernard", "Moreau",
+];
+
+/// Tag topic pool.
+pub const TAG_TOPICS: &[&str] = &[
+    "databases", "graphs", "music", "football", "travel", "cooking", "photography", "hiking",
+    "movies", "literature", "chess", "cycling", "gaming", "history", "politics", "science",
+    "art", "fashion", "gardening", "astronomy", "economics", "philosophy", "running", "sailing",
+    "painting", "poetry", "robotics", "theatre", "volleyball", "yoga",
+];
+
+/// City pool.
+pub const CITIES: &[&str] = &[
+    "Leipzig", "Dresden", "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart",
+    "Vienna", "Zurich", "Prague", "Warsaw", "Amsterdam", "Brussels", "Paris", "Madrid",
+];
+
+/// University pool.
+pub const UNIVERSITIES: &[&str] = &[
+    "Uni Leipzig", "TU Dresden", "HU Berlin", "Uni Hamburg", "LMU Munich", "Uni Cologne",
+    "Uni Vienna", "ETH Zurich", "Charles University", "Uni Warsaw",
+];
+
+/// Weight of the name at `rank` in the Zipf-like first-name distribution.
+fn weight(rank: usize) -> f64 {
+    1.0 / ((rank + 2) as f64).powf(1.15)
+}
+
+/// A pre-computed sampler over [`FIRST_NAMES`] with Zipf-like weights.
+#[derive(Debug, Clone)]
+pub struct FirstNameSampler {
+    cumulative: Vec<f64>,
+}
+
+impl FirstNameSampler {
+    /// Builds the sampler (weights are fixed; sampling is seeded by the
+    /// caller's RNG).
+    pub fn new() -> Self {
+        let mut cumulative = Vec::with_capacity(FIRST_NAMES.len());
+        let mut total = 0.0;
+        for rank in 0..FIRST_NAMES.len() {
+            total += weight(rank);
+            cumulative.push(total);
+        }
+        for value in &mut cumulative {
+            *value /= total;
+        }
+        FirstNameSampler { cumulative }
+    }
+
+    /// Samples a first name.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &'static str {
+        let u: f64 = rng.gen();
+        let index = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(FIRST_NAMES.len() - 1);
+        FIRST_NAMES[index]
+    }
+
+    /// Expected share of persons carrying the name at `rank`.
+    pub fn expected_share(&self, rank: usize) -> f64 {
+        let previous = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - previous
+    }
+}
+
+impl Default for FirstNameSampler {
+    fn default() -> Self {
+        FirstNameSampler::new()
+    }
+}
+
+/// Samples an index in `0..n` with Zipf-like skew (small indices are much
+/// more likely) — used for popular tags and well-connected persons.
+pub fn zipf_index<R: Rng>(rng: &mut R, n: usize, exponent: f64) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF sampling of a continuous power law, truncated to [0, n).
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let x = (n as f64).powf(1.0 - exponent);
+    let value = ((1.0 - u) + u * x).powf(1.0 / (1.0 - exponent));
+    (value as usize).min(n - 1)
+}
+
+/// Samples a discrete Pareto-like degree with mean roughly
+/// `minimum · alpha / (alpha - 1)`, capped at `maximum`.
+pub fn pareto_degree<R: Rng>(rng: &mut R, minimum: usize, alpha: f64, maximum: usize) -> usize {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let value = minimum as f64 / u.powf(1.0 / alpha);
+    (value as usize).clamp(minimum, maximum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_is_heavily_skewed() {
+        let sampler = FirstNameSampler::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(sampler.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        let top = counts.get(FIRST_NAMES[0]).copied().unwrap_or(0);
+        // The most common name covers a few percent of persons; a name deep
+        // in the tail is rare.
+        assert!(top > 400, "top name only {top} of 20000");
+        let tail = counts
+            .get(FIRST_NAMES[FIRST_NAMES.len() - 1])
+            .copied()
+            .unwrap_or(0);
+        assert!(tail < top / 10, "tail {tail} vs top {top}");
+    }
+
+    #[test]
+    fn expected_shares_sum_to_one() {
+        let sampler = FirstNameSampler::new();
+        let total: f64 = (0..FIRST_NAMES.len())
+            .map(|rank| sampler.expected_share(rank))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(sampler.expected_share(0) > sampler.expected_share(50));
+    }
+
+    #[test]
+    fn zipf_index_prefers_small_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            if zipf_index(&mut rng, 1000, 1.5) < 10 {
+                low += 1;
+            }
+        }
+        assert!(low > 3_000, "only {low} of 10000 in the first 1% of ranks");
+        // Always in range.
+        for _ in 0..1000 {
+            assert!(zipf_index(&mut rng, 7, 1.2) < 7);
+        }
+    }
+
+    #[test]
+    fn pareto_degree_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut max_seen = 0;
+        let mut total = 0usize;
+        for _ in 0..10_000 {
+            let d = pareto_degree(&mut rng, 2, 2.0, 100);
+            assert!((2..=100).contains(&d));
+            max_seen = max_seen.max(d);
+            total += d;
+        }
+        // Heavy tail: some degrees far above the minimum; mean near 2·α/(α-1)=4.
+        assert!(max_seen > 30);
+        let mean = total as f64 / 10_000.0;
+        assert!((2.5..8.0).contains(&mean), "mean {mean}");
+    }
+}

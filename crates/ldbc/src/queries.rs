@@ -1,0 +1,205 @@
+//! The six benchmark queries of the paper's evaluation (appendix).
+//!
+//! Queries 1–3 are *operational*: they touch a small share of the graph and
+//! their selectivity is controlled by a parameterized `firstName` predicate.
+//! Queries 4–6 are *analytical*: they consider large parts of the graph and
+//! produce large intermediate and final result sets.
+
+/// One of the paper's benchmark queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkQuery {
+    /// Query 1 — all messages of a person.
+    Q1,
+    /// Query 2 — posts to a person's comments.
+    Q2,
+    /// Query 3 — friends that replied to a post.
+    Q3,
+    /// Query 4 — person profile.
+    Q4,
+    /// Query 5 — close friends (friendship triangles).
+    Q5,
+    /// Query 6 — recommendation via shared interests.
+    Q6,
+}
+
+impl BenchmarkQuery {
+    /// All six queries in paper order.
+    pub fn all() -> [BenchmarkQuery; 6] {
+        [
+            BenchmarkQuery::Q1,
+            BenchmarkQuery::Q2,
+            BenchmarkQuery::Q3,
+            BenchmarkQuery::Q4,
+            BenchmarkQuery::Q5,
+            BenchmarkQuery::Q6,
+        ]
+    }
+
+    /// Paper numbering (1–6).
+    pub fn number(&self) -> usize {
+        match self {
+            BenchmarkQuery::Q1 => 1,
+            BenchmarkQuery::Q2 => 2,
+            BenchmarkQuery::Q3 => 3,
+            BenchmarkQuery::Q4 => 4,
+            BenchmarkQuery::Q5 => 5,
+            BenchmarkQuery::Q6 => 6,
+        }
+    }
+
+    /// `true` for the parameterized operational queries (1–3).
+    pub fn is_operational(&self) -> bool {
+        self.number() <= 3
+    }
+
+    /// The Cypher text. Operational queries require a `first_name`
+    /// parameter value; analytical queries ignore it.
+    pub fn text(&self, first_name: Option<&str>) -> String {
+        let name = first_name.unwrap_or("Jan");
+        match self {
+            BenchmarkQuery::Q1 => format!(
+                "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post) \
+                 WHERE person.firstName = '{name}' \
+                 RETURN message.creationDate, message.content"
+            ),
+            BenchmarkQuery::Q2 => format!(
+                "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post), \
+                       (message)-[:replyOf*0..10]->(post:Post) \
+                 WHERE person.firstName = '{name}' \
+                 RETURN message.creationDate, message.content, \
+                        post.creationDate, post.content"
+            ),
+            BenchmarkQuery::Q3 => format!(
+                "MATCH (p1:Person)-[:knows]->(p2:Person), \
+                       (p2)<-[:hasCreator]-(comment:Comment), \
+                       (comment)-[:replyOf*1..10]->(post:Post), \
+                       (post)-[:hasCreator]->(p1) \
+                 WHERE p1.firstName = '{name}' \
+                 RETURN p1.firstName, p1.lastName, \
+                        p2.firstName, p2.lastName, post.content"
+            ),
+            BenchmarkQuery::Q4 => "MATCH (person:Person)-[:isLocatedIn]->(city:City), \
+                       (person)-[:hasInterest]->(tag:Tag), \
+                       (person)-[:studyAt]->(uni:University), \
+                       (person)<-[:hasMember|hasModerator]-(forum:Forum) \
+                 RETURN person.firstName, person.lastName, \
+                        city.name, tag.name, uni.name, forum.title"
+                .to_string(),
+            BenchmarkQuery::Q5 => "MATCH (p1:Person)-[:knows]->(p2:Person), \
+                       (p2)-[:knows]->(p3:Person), \
+                       (p1)-[:knows]->(p3) \
+                 RETURN p1.firstName, p1.lastName, p2.firstName, p2.lastName, \
+                        p3.firstName, p3.lastName"
+                .to_string(),
+            BenchmarkQuery::Q6 => "MATCH (p1:Person)-[:knows]->(p2:Person), \
+                       (p1)-[:hasInterest]->(t1:Tag), \
+                       (p2)-[:hasInterest]->(t1), \
+                       (p2)-[:hasInterest]->(t2:Tag) \
+                 RETURN p1.firstName, p1.lastName, t2.name"
+                .to_string(),
+        }
+    }
+
+    /// Short description matching the appendix titles.
+    pub fn title(&self) -> &'static str {
+        match self {
+            BenchmarkQuery::Q1 => "All messages of a person",
+            BenchmarkQuery::Q2 => "Posts to a persons comments",
+            BenchmarkQuery::Q3 => "Friends that replied to a post",
+            BenchmarkQuery::Q4 => "Person profile",
+            BenchmarkQuery::Q5 => "Close friends",
+            BenchmarkQuery::Q6 => "Recommendation",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Query {}", self.number())
+    }
+}
+
+/// The incremental patterns of the paper's Table 3 (intermediate result
+/// sizes), parameterized by `firstName` like the operational queries.
+pub fn table3_patterns(first_name: &str) -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "(:Person)",
+            format!(
+                "MATCH (p:Person) WHERE p.firstName = '{first_name}' RETURN count(*)"
+            ),
+        ),
+        (
+            "(:Person)<-[:hasCreator]-(:Comment|Post)",
+            format!(
+                "MATCH (p:Person)<-[:hasCreator]-(m:Comment|Post) \
+                 WHERE p.firstName = '{first_name}' RETURN count(*)"
+            ),
+        ),
+        (
+            "(:Person)-[:knows]->(:Person)",
+            format!(
+                "MATCH (p:Person)-[:knows]->(q:Person) \
+                 WHERE p.firstName = '{first_name}' RETURN count(*)"
+            ),
+        ),
+        (
+            "(:Person)-[:knows]->(:Person)<-[:hasCreator]-(:Comment)",
+            format!(
+                "MATCH (p:Person)-[:knows]->(q:Person)<-[:hasCreator]-(c:Comment) \
+                 WHERE p.firstName = '{first_name}' RETURN count(*)"
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::{parse, QueryGraph};
+
+    #[test]
+    fn all_queries_parse_and_build_query_graphs() {
+        for query in BenchmarkQuery::all() {
+            let text = query.text(Some("Jan"));
+            let ast = parse(&text).unwrap_or_else(|e| panic!("{query}: {e}"));
+            let graph =
+                QueryGraph::from_query(&ast).unwrap_or_else(|e| panic!("{query}: {e}"));
+            assert!(!graph.vertices.is_empty());
+        }
+    }
+
+    #[test]
+    fn operational_flags_match_paper() {
+        assert!(BenchmarkQuery::Q1.is_operational());
+        assert!(BenchmarkQuery::Q3.is_operational());
+        assert!(!BenchmarkQuery::Q4.is_operational());
+        assert!(!BenchmarkQuery::Q6.is_operational());
+    }
+
+    #[test]
+    fn parameter_is_substituted() {
+        let text = BenchmarkQuery::Q1.text(Some("Zelda"));
+        assert!(text.contains("'Zelda'"));
+    }
+
+    #[test]
+    fn table3_patterns_parse() {
+        for (name, text) in table3_patterns("Jan") {
+            let ast = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            QueryGraph::from_query(&ast).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn q2_uses_zero_lower_bound() {
+        let ast = parse(&BenchmarkQuery::Q2.text(Some("Jan"))).unwrap();
+        let graph = QueryGraph::from_query(&ast).unwrap();
+        let path_edge = graph
+            .edges
+            .iter()
+            .find(|e| e.is_variable_length())
+            .expect("replyOf path");
+        assert_eq!(path_edge.range, Some((0, 10)));
+    }
+}

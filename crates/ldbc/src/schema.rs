@@ -1,0 +1,64 @@
+//! Schema constants of the LDBC-SNB-like social network.
+//!
+//! The labels and property keys match the subset of the LDBC Social Network
+//! Benchmark schema that the paper's six queries touch (see the appendix).
+
+/// Vertex labels.
+pub mod vertex {
+    /// A person.
+    pub const PERSON: &str = "Person";
+    /// A city a person lives in.
+    pub const CITY: &str = "City";
+    /// A university a person studied at.
+    pub const UNIVERSITY: &str = "University";
+    /// A topic tag.
+    pub const TAG: &str = "Tag";
+    /// A discussion forum.
+    pub const FORUM: &str = "Forum";
+    /// A forum post.
+    pub const POST: &str = "Post";
+    /// A comment replying to a post or another comment.
+    pub const COMMENT: &str = "Comment";
+}
+
+/// Edge labels.
+pub mod edge {
+    /// Person → Person friendship.
+    pub const KNOWS: &str = "knows";
+    /// Post/Comment → Person authorship.
+    pub const HAS_CREATOR: &str = "hasCreator";
+    /// Comment → Post/Comment reply relation.
+    pub const REPLY_OF: &str = "replyOf";
+    /// Person → City residency.
+    pub const IS_LOCATED_IN: &str = "isLocatedIn";
+    /// Person → University enrolment.
+    pub const STUDY_AT: &str = "studyAt";
+    /// Person → Tag interest.
+    pub const HAS_INTEREST: &str = "hasInterest";
+    /// Forum → Person membership.
+    pub const HAS_MEMBER: &str = "hasMember";
+    /// Forum → Person moderation.
+    pub const HAS_MODERATOR: &str = "hasModerator";
+}
+
+/// Property keys.
+pub mod key {
+    /// Person first name (the selectivity experiments filter on this).
+    pub const FIRST_NAME: &str = "firstName";
+    /// Person last name.
+    pub const LAST_NAME: &str = "lastName";
+    /// Person gender.
+    pub const GENDER: &str = "gender";
+    /// Person birthday (epoch days).
+    pub const BIRTHDAY: &str = "birthday";
+    /// Creation timestamp (epoch seconds) of persons/messages.
+    pub const CREATION_DATE: &str = "creationDate";
+    /// Name of cities/universities/tags.
+    pub const NAME: &str = "name";
+    /// Forum title.
+    pub const TITLE: &str = "title";
+    /// Message text.
+    pub const CONTENT: &str = "content";
+    /// Enrolment year on `studyAt` edges.
+    pub const CLASS_YEAR: &str = "classYear";
+}

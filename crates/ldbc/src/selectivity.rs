@@ -1,0 +1,129 @@
+//! Selectivity parameterization (paper Section 4.2 / Figure 5).
+//!
+//! The paper produces different result cardinalities "by filtering persons
+//! by their first name, ranging from highly uncommon to very common
+//! values". Given a generated dataset, this module picks the concrete
+//! names: **high** selectivity = a rare name (few results), **medium** = a
+//! mid-frequency name, **low** = the most common name (many results).
+
+use std::collections::HashMap;
+
+use crate::generator::GeneratedData;
+
+/// Predicate selectivity level as used in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Selectivity {
+    /// Highly selective predicate — uncommon value, small result.
+    High,
+    /// Mid-frequency value.
+    Medium,
+    /// Barely selective predicate — very common value, large result.
+    Low,
+}
+
+impl Selectivity {
+    /// All levels in the paper's column order.
+    pub fn all() -> [Selectivity; 3] {
+        [Selectivity::High, Selectivity::Medium, Selectivity::Low]
+    }
+}
+
+impl std::fmt::Display for Selectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Selectivity::High => write!(f, "High"),
+            Selectivity::Medium => write!(f, "Medium"),
+            Selectivity::Low => write!(f, "Low"),
+        }
+    }
+}
+
+/// The concrete first names chosen for each selectivity level of a dataset.
+#[derive(Debug, Clone)]
+pub struct SelectivityNames {
+    /// Rare name.
+    pub high: String,
+    /// Mid-frequency name.
+    pub medium: String,
+    /// Most common name.
+    pub low: String,
+}
+
+impl SelectivityNames {
+    /// The name for a level.
+    pub fn name(&self, selectivity: Selectivity) -> &str {
+        match selectivity {
+            Selectivity::High => &self.high,
+            Selectivity::Medium => &self.medium,
+            Selectivity::Low => &self.low,
+        }
+    }
+}
+
+/// Picks the selectivity names from a generated dataset's first-name
+/// histogram.
+pub fn pick_names(data: &GeneratedData) -> SelectivityNames {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for name in &data.first_names {
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    assert!(
+        !counts.is_empty(),
+        "dataset has no persons to pick names from"
+    );
+    // Sort descending by frequency, name as tiebreaker for determinism.
+    let mut by_frequency: Vec<(&str, usize)> = counts.into_iter().collect();
+    by_frequency.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    let low = by_frequency[0].0.to_string();
+    let medium = by_frequency[by_frequency.len() / 2].0.to_string();
+    // "Highly uncommon" but not degenerate: the name at the 80th frequency
+    // percentile usually names a handful of persons, like the paper's
+    // high-selectivity parameters (which still return a few dozen rows).
+    let high = by_frequency[(by_frequency.len() * 4 / 5).min(by_frequency.len() - 1)]
+        .0
+        .to_string();
+    SelectivityNames { high, medium, low }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LdbcConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn names_are_ordered_by_frequency() {
+        let data = generate(&LdbcConfig::with_persons(2000));
+        let names = pick_names(&data);
+        let count = |name: &str| data.first_names.iter().filter(|n| **n == name).count();
+        let low = count(&names.low);
+        let medium = count(&names.medium);
+        let high = count(&names.high);
+        assert!(low > medium, "low {low} must exceed medium {medium}");
+        assert!(medium >= high, "medium {medium} must be >= high {high}");
+        assert!(high >= 1);
+    }
+
+    #[test]
+    fn picks_are_deterministic() {
+        let data = generate(&LdbcConfig::tiny());
+        let a = pick_names(&data);
+        let b = pick_names(&data);
+        assert_eq!(a.low, b.low);
+        assert_eq!(a.medium, b.medium);
+        assert_eq!(a.high, b.high);
+    }
+
+    #[test]
+    fn accessor_maps_levels() {
+        let names = SelectivityNames {
+            high: "H".into(),
+            medium: "M".into(),
+            low: "L".into(),
+        };
+        assert_eq!(names.name(Selectivity::High), "H");
+        assert_eq!(names.name(Selectivity::Medium), "M");
+        assert_eq!(names.name(Selectivity::Low), "L");
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's benchmark workload end-to-end: generate an LDBC-like social
+//! network, pick selectivity parameters, and run all six queries of the
+//! evaluation (appendix), reporting match counts and simulated runtimes.
+//!
+//! ```sh
+//! cargo run --release --example ldbc_snb
+//! ```
+
+use std::collections::HashMap;
+
+use gradoop::prelude::*;
+
+fn main() {
+    let env = ExecutionEnvironment::with_workers(8);
+    let config = LdbcConfig::with_persons(400);
+    let data = generate(&config);
+    let names = pick_names(&data);
+    let graph = generate_graph(&env, &config);
+    println!(
+        "LDBC-like dataset: {} vertices, {} edges ({} persons)",
+        graph.vertex_count(),
+        graph.edge_count(),
+        config.persons
+    );
+    println!(
+        "selectivity parameters: high='{}' medium='{}' low='{}'",
+        names.high, names.medium, names.low
+    );
+
+    let engine = CypherEngine::for_graph(&graph);
+    println!(
+        "\n{:8} {:32} {:>10} {:>12}",
+        "query", "title", "matches", "simulated"
+    );
+    for query in BenchmarkQuery::all() {
+        let text = query.text(Some(&names.low));
+        env.reset_metrics();
+        let result = engine
+            .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        let count = result.count();
+        let seconds = env.simulated_seconds();
+        println!(
+            "{:8} {:32} {:>10} {:>11.2}s",
+            query.to_string(),
+            query.title(),
+            count,
+            seconds
+        );
+    }
+
+    // Selectivity sweep for Query 1 (paper Figure 5 in miniature).
+    println!("\nQuery 1 by predicate selectivity:");
+    for selectivity in Selectivity::all() {
+        let name = names.name(selectivity);
+        let text = BenchmarkQuery::Q1.text(Some(name));
+        env.reset_metrics();
+        let count = engine
+            .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap()
+            .count();
+        println!(
+            "  {selectivity:6} (firstName='{name}'): {count} matches, {:.2}s simulated",
+            env.simulated_seconds()
+        );
+    }
+}

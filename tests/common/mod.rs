@@ -1,0 +1,59 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use gradoop::prelude::*;
+
+/// A free-cost environment (unit tests care about records, not timing).
+pub fn test_env(workers: usize) -> ExecutionEnvironment {
+    ExecutionEnvironment::new(ExecutionConfig::with_workers(workers).cost_model(CostModel::free()))
+}
+
+/// The social network of the paper's Figure 1: a community of persons,
+/// a university and a city with `knows`, `studyAt` and `locatedIn` edges.
+pub fn figure1_graph(env: &ExecutionEnvironment) -> LogicalGraph {
+    let person = |id: u64, name: &str, gender: &str| {
+        Vertex::new(
+            GradoopId(id),
+            "Person",
+            properties! {"name" => name, "gender" => gender},
+        )
+    };
+    let vertices = vec![
+        person(10, "Alice", "female"),
+        person(20, "Eve", "female"),
+        person(30, "Bob", "male"),
+        Vertex::new(GradoopId(40), "University", properties! {"name" => "Uni Leipzig"}),
+        Vertex::new(GradoopId(50), "City", properties! {"name" => "Leipzig"}),
+    ];
+    let edges = vec![
+        // Friendships: Alice <-> Eve, Eve -> Bob, Bob -> Alice.
+        Edge::new(GradoopId(5), "knows", GradoopId(10), GradoopId(20), Properties::new()),
+        Edge::new(GradoopId(6), "knows", GradoopId(20), GradoopId(10), Properties::new()),
+        Edge::new(GradoopId(7), "knows", GradoopId(20), GradoopId(30), Properties::new()),
+        Edge::new(GradoopId(8), "knows", GradoopId(30), GradoopId(10), Properties::new()),
+        // Enrolments.
+        Edge::new(
+            GradoopId(1),
+            "studyAt",
+            GradoopId(10),
+            GradoopId(40),
+            properties! {"classYear" => 2015i64},
+        ),
+        Edge::new(
+            GradoopId(2),
+            "studyAt",
+            GradoopId(30),
+            GradoopId(40),
+            properties! {"classYear" => 2016i64},
+        ),
+        // Residency.
+        Edge::new(GradoopId(3), "locatedIn", GradoopId(10), GradoopId(50), Properties::new()),
+        Edge::new(GradoopId(4), "locatedIn", GradoopId(40), GradoopId(50), Properties::new()),
+    ];
+    LogicalGraph::from_data(
+        env,
+        GraphHead::new(GradoopId(100), "Community", properties! {"area" => "Leipzig"}),
+        vertices,
+        edges,
+    )
+}

@@ -1,0 +1,228 @@
+//! Failure injection: malformed inputs at every layer must fail gracefully
+//! with classified errors — never panic, never return wrong results.
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::{figure1_graph, test_env};
+use gradoop::core::CypherError;
+use gradoop::epgm::io::csv;
+use gradoop::prelude::*;
+
+fn engine_for(graph: &LogicalGraph) -> CypherEngine {
+    CypherEngine::for_graph(graph)
+}
+
+#[test]
+fn malformed_queries_are_parse_errors() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let engine = engine_for(&graph);
+    let params = HashMap::new();
+    let config = MatchingConfig::cypher_default();
+    let cases = [
+        "",
+        "MATCH",
+        "MATCH (p",
+        "MATCH (p)) RETURN *",
+        "MATCH (p) RETURN",
+        "MATCH (p) WHERE RETURN *",
+        "MATCH (p)-[e]->(q RETURN *",
+        "MATCH (p)-[e*3..1]->(q) RETURN *",
+        "MATCH (p)<-[e]->(q) RETURN *",
+        "MATCH (p) WHERE p.name = RETURN *",
+        "MATCH (p) WHERE p. = 1 RETURN *",
+        "MATCH (p) RETURN p..name",
+        "MATCH (p:'Person') RETURN *",
+        "SELECT * FROM persons",
+        "MATCH (p) WHERE p.name = 'unterminated RETURN *",
+        "MATCH (p) RETURN * garbage",
+    ];
+    for text in cases {
+        match engine.execute(&graph, text, &params, config) {
+            Err(CypherError::Parse(_)) => {}
+            other => panic!("{text:?} should be a parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn structurally_invalid_queries_are_query_graph_errors() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let engine = engine_for(&graph);
+    let params = HashMap::new();
+    let config = MatchingConfig::cypher_default();
+    let cases = [
+        // Unknown variable in WHERE / RETURN.
+        "MATCH (p) WHERE q.name = 'x' RETURN *",
+        "MATCH (p) RETURN q",
+        "MATCH (p) RETURN q.name",
+        // Reused relationship variable.
+        "MATCH (a)-[e]->(b), (b)-[e]->(c) RETURN *",
+        // Variable used as both node and relationship.
+        "MATCH (a)-[a]->(b) RETURN *",
+        // Unbound parameter.
+        "MATCH (p) WHERE p.name = $missing RETURN *",
+        // Cross-variable predicate on a variable-length edge.
+        "MATCH (a)-[e*1..2]->(b) WHERE e.x = a.y RETURN *",
+    ];
+    for text in cases {
+        match engine.execute(&graph, text, &params, config) {
+            Err(CypherError::QueryGraph(_)) => {}
+            other => panic!("{text:?} should be a query-graph error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unsatisfiable_queries_return_empty_not_error() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let engine = engine_for(&graph);
+    let params = HashMap::new();
+    let config = MatchingConfig::cypher_default();
+    let cases = [
+        // Label that does not exist in the data.
+        "MATCH (t:Tag) RETURN *",
+        // Conflicting labels on a reused variable.
+        "MATCH (a:Person)-[:knows]->(b), (a:City)-[:knows]->(c) RETURN *",
+        // Contradictory predicate.
+        "MATCH (p:Person) WHERE p.name = 'x' AND p.name = 'y' RETURN *",
+        // FALSE literal.
+        "MATCH (p) WHERE FALSE RETURN *",
+        // Loop pattern with no data loops.
+        "MATCH (p:Person)-[e:knows]->(p) RETURN *",
+        // Zero-width label alternation member.
+        "MATCH (m:Comment|Post) RETURN *",
+    ];
+    for text in cases {
+        let result = engine
+            .execute(&graph, text, &params, config)
+            .unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        assert_eq!(result.count(), 0, "{text:?}");
+    }
+}
+
+#[test]
+fn queries_on_an_empty_graph_are_fine() {
+    let env = test_env(3);
+    let graph = LogicalGraph::from_data(
+        &env,
+        GraphHead::new(GradoopId(1), "empty", Properties::new()),
+        vec![],
+        vec![],
+    );
+    let engine = engine_for(&graph);
+    for text in [
+        "MATCH (a) RETURN *",
+        "MATCH (a)-[e]->(b) RETURN *",
+        "MATCH (a)-[e*1..3]->(b) RETURN count(*)",
+        "MATCH (a), (b) RETURN *",
+    ] {
+        let result = engine
+            .execute(&graph, text, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        assert_eq!(result.count(), 0, "{text:?}");
+    }
+}
+
+#[test]
+fn corrupted_csv_inputs_are_classified() {
+    let env = test_env(2);
+    let dir = std::env::temp_dir().join(format!("gradoop-fail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Missing files.
+    assert!(matches!(
+        csv::read_logical_graph(&env, &dir),
+        Err(csv::CsvError::Io(_))
+    ));
+
+    // Garbage ids.
+    std::fs::write(dir.join("graphs.csv"), "not-a-number;g;\n").unwrap();
+    std::fs::write(dir.join("vertices.csv"), "").unwrap();
+    std::fs::write(dir.join("edges.csv"), "").unwrap();
+    assert!(matches!(
+        csv::read_logical_graph(&env, &dir),
+        Err(csv::CsvError::Parse { .. })
+    ));
+
+    // Wrong field counts.
+    std::fs::write(dir.join("graphs.csv"), "1;g;\n").unwrap();
+    std::fs::write(dir.join("edges.csv"), "5;knows;10\n").unwrap();
+    assert!(matches!(
+        csv::read_logical_graph(&env, &dir),
+        Err(csv::CsvError::Parse { file, .. }) if file == "edges.csv"
+    ));
+
+    // Malformed property payloads.
+    std::fs::write(dir.join("edges.csv"), "").unwrap();
+    std::fs::write(dir.join("vertices.csv"), "10;Person;1;name=s\n").unwrap();
+    assert!(matches!(
+        csv::read_logical_graph(&env, &dir),
+        Err(csv::CsvError::Parse { file, .. }) if file == "vertices.csv"
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dangling_edges_do_not_break_queries() {
+    // An edge whose endpoints are missing can never complete a pattern with
+    // vertex constraints; with unconstrained endpoints it still matches
+    // (the engine never dereferences the vertex).
+    let env = test_env(2);
+    let graph = LogicalGraph::from_data(
+        &env,
+        GraphHead::new(GradoopId(1), "g", Properties::new()),
+        vec![Vertex::new(GradoopId(1), "Person", Properties::new())],
+        vec![Edge::new(
+            GradoopId(10),
+            "knows",
+            GradoopId(98),
+            GradoopId(99), // neither endpoint exists
+            Properties::new(),
+        )],
+    );
+    let engine = engine_for(&graph);
+    let result = engine
+        .execute(
+            &graph,
+            "MATCH (a:Person)-[e:knows]->(b) RETURN *",
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    assert_eq!(result.count(), 0);
+}
+
+#[test]
+fn deep_bound_inversions_and_degenerate_ranges() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let engine = engine_for(&graph);
+    // `*0..0`: only zero-length paths (b = a).
+    let result = engine
+        .execute(
+            &graph,
+            "MATCH (a:Person)-[e:knows*0..0]->(b) RETURN count(*)",
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    assert_eq!(result.count(), 3); // one per person
+
+    // Huge upper bound terminates (edge-ISO bounds path length).
+    let result = engine
+        .execute(
+            &graph,
+            "MATCH (a:Person {name: 'Alice'})-[e:knows*1..10]->(b) RETURN count(*)",
+            &HashMap::new(),
+            MatchingConfig::isomorphism(),
+        )
+        .unwrap();
+    assert!(result.count() > 0);
+}

@@ -1,0 +1,223 @@
+//! End-to-end integration tests of the Cypher operator: parse → plan →
+//! execute → post-process, across crates.
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::{figure1_graph, test_env};
+use gradoop::prelude::*;
+
+fn count(graph: &LogicalGraph, query: &str, matching: MatchingConfig) -> usize {
+    let engine = CypherEngine::for_graph(graph);
+    engine
+        .execute(graph, query, &HashMap::new(), matching)
+        .unwrap_or_else(|e| panic!("{query}: {e}"))
+        .count()
+}
+
+#[test]
+fn paper_example_query_from_section_2_3() {
+    // Pairs of persons studying at Uni Leipzig with different genders who
+    // know each other by at most three friendships (paper Section 2.3).
+    let env = test_env(4);
+    let graph = figure1_graph(&env);
+    let query = "MATCH (p1:Person)-[s:studyAt]->(u:University), \
+                       (p2:Person)-[:studyAt]->(u), \
+                       (p1)-[e:knows*1..3]->(p2) \
+                 WHERE p1.gender <> p2.gender \
+                   AND u.name = 'Uni Leipzig' \
+                   AND s.classYear > 2014 \
+                 RETURN *";
+    // Students at Uni Leipzig: Alice (female, 2015), Bob (male, 2016);
+    // gender differs both ways. Paths within 3 hops:
+    //   Alice ->5 Eve ->7 Bob                 (2 hops)
+    //   Bob ->8 Alice                         (1 hop)
+    //   Bob ->8 Alice ->5 Eve ->6 Alice       (3 hops, revisits Alice)
+    // The last one is only valid under homomorphic vertex semantics.
+    assert_eq!(count(&graph, query, MatchingConfig::cypher_default()), 3);
+    assert_eq!(count(&graph, query, MatchingConfig::isomorphism()), 2);
+}
+
+#[test]
+fn morphism_semantics_change_result_counts() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    // Two-hop friend-of-friend: under HOMO vertices, p3 may equal p1
+    // (Alice -> Eve -> Alice), under ISO it may not.
+    let query = "MATCH (p1:Person)-[:knows]->(p2:Person)-[:knows]->(p3:Person) RETURN *";
+    let homo = count(&graph, query, MatchingConfig::homomorphism());
+    let iso = count(&graph, query, MatchingConfig::isomorphism());
+    assert!(homo > iso, "homo {homo} vs iso {iso}");
+    // Reference matcher agrees on both counts.
+    let ast = parse(query).unwrap();
+    let qg = QueryGraph::from_query(&ast).unwrap();
+    assert_eq!(
+        reference_match(&graph, &qg, &MatchingConfig::homomorphism()).len(),
+        homo
+    );
+    assert_eq!(
+        reference_match(&graph, &qg, &MatchingConfig::isomorphism()).len(),
+        iso
+    );
+}
+
+#[test]
+fn tabular_result_matches_table_2a() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let engine = CypherEngine::for_graph(&graph);
+    let result = engine
+        .execute(
+            &graph,
+            "MATCH (p1:Person)-[s:studyAt]->(u:University) \
+             WHERE s.classYear > 2014 RETURN p1.name, u.name",
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    let mut rows: Vec<(String, String)> = result
+        .rows_as_maps()
+        .into_iter()
+        .map(|row| {
+            let name = |v: &ResultValue| match v {
+                ResultValue::Property(PropertyValue::String(s)) => s.clone(),
+                other => panic!("{other:?}"),
+            };
+            (name(&row["p1.name"]), name(&row["u.name"]))
+        })
+        .collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            ("Alice".to_string(), "Uni Leipzig".to_string()),
+            ("Bob".to_string(), "Uni Leipzig".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn graph_collection_output_supports_post_processing() {
+    // Def. 2.4: the operator returns logical graphs that are added to the
+    // collection; bindings are head properties, so EPGM selection works.
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let matches = graph
+        .cypher(
+            "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN p.name, s.classYear",
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    assert_eq!(matches.graph_count(), 2);
+    // Post-process with the EPGM selection operator: only 2016 enrolments.
+    let selected = matches.select(|head| {
+        head.properties
+            .get("s.classYear")
+            .and_then(|v| v.as_i64())
+            .map(|year| year >= 2016)
+            .unwrap_or(false)
+    });
+    assert_eq!(selected.graph_count(), 1);
+    let head = selected.heads().collect().pop().unwrap();
+    assert_eq!(
+        head.properties.get("p.name"),
+        Some(&PropertyValue::String("Bob".into()))
+    );
+}
+
+#[test]
+fn variable_length_zero_bound_matches_message_itself() {
+    // Q2-style pattern: replyOf*0..N must treat a post as its own thread
+    // root (zero-length path).
+    let env = test_env(2);
+    let vertices = vec![
+        Vertex::new(GradoopId(1), "Post", properties! {"content" => "root"}),
+        Vertex::new(GradoopId(2), "Comment", properties! {"content" => "reply"}),
+    ];
+    let edges = vec![Edge::new(
+        GradoopId(10),
+        "replyOf",
+        GradoopId(2),
+        GradoopId(1),
+        Properties::new(),
+    )];
+    let graph = LogicalGraph::from_data(
+        &env,
+        GraphHead::new(GradoopId(100), "g", Properties::new()),
+        vertices,
+        edges,
+    );
+    let query = "MATCH (m:Comment|Post)-[:replyOf*0..10]->(p:Post) RETURN *";
+    // Matches: (m=post, empty path, p=post) and (m=comment, 1 hop, p=post).
+    assert_eq!(count(&graph, query, MatchingConfig::cypher_default()), 2);
+}
+
+#[test]
+fn undirected_patterns_match_both_orientations() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let directed = count(
+        &graph,
+        "MATCH (a:Person {name: 'Bob'})-[e:knows]->(b:Person) RETURN *",
+        MatchingConfig::cypher_default(),
+    );
+    let undirected = count(
+        &graph,
+        "MATCH (a:Person {name: 'Bob'})-[e:knows]-(b:Person) RETURN *",
+        MatchingConfig::cypher_default(),
+    );
+    assert_eq!(directed, 1); // Bob -> Alice
+    assert_eq!(undirected, 2); // plus Eve -> Bob seen from Bob
+}
+
+#[test]
+fn query_plans_are_explainable() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let engine = CypherEngine::for_graph(&graph);
+    let (query, plan) = engine
+        .plan(
+            "MATCH (p1:Person)-[s:studyAt]->(u:University) \
+             WHERE u.name = 'Uni Leipzig' RETURN p1.name",
+            &HashMap::new(),
+        )
+        .unwrap();
+    let text = plan.describe(&query);
+    assert!(text.contains("ScanVertices(u:University)"), "{text}");
+    assert!(text.contains("JoinEmbeddings"), "{text}");
+    assert!(plan.estimated_cardinality > 0.0);
+}
+
+#[test]
+fn engine_works_on_every_worker_count() {
+    for workers in [1, 2, 3, 5, 8] {
+        let env = test_env(workers);
+        let graph = figure1_graph(&env);
+        assert_eq!(
+            count(
+                &graph,
+                "MATCH (a:Person)-[:knows]->(b:Person) RETURN *",
+                MatchingConfig::cypher_default()
+            ),
+            4,
+            "workers = {workers}"
+        );
+    }
+}
+
+#[test]
+fn simulated_clock_advances_during_queries() {
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+    let graph = figure1_graph(&env);
+    env.reset_metrics();
+    let _ = count(
+        &graph,
+        "MATCH (a:Person)-[:knows]->(b:Person) RETURN *",
+        MatchingConfig::cypher_default(),
+    );
+    let metrics = env.metrics();
+    assert!(metrics.simulated_seconds > 0.0);
+    assert!(metrics.stages > 0);
+    assert!(metrics.records_in > 0);
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the Cypher feature extensions beyond the paper's
+//! six queries: `IS [NOT] NULL`, `RETURN DISTINCT`, parameters, aliases.
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::test_env;
+use gradoop::prelude::*;
+
+fn people_graph(env: &ExecutionEnvironment) -> LogicalGraph {
+    // Alice and Eve share a city; Bob has no city property at all.
+    let vertices = vec![
+        Vertex::new(
+            GradoopId(1),
+            "Person",
+            properties! {"name" => "Alice", "city" => "Leipzig"},
+        ),
+        Vertex::new(
+            GradoopId(2),
+            "Person",
+            properties! {"name" => "Eve", "city" => "Leipzig"},
+        ),
+        Vertex::new(GradoopId(3), "Person", properties! {"name" => "Bob"}),
+    ];
+    let edges = vec![
+        Edge::new(GradoopId(10), "knows", GradoopId(1), GradoopId(2), Properties::new()),
+        Edge::new(GradoopId(11), "knows", GradoopId(1), GradoopId(3), Properties::new()),
+        Edge::new(GradoopId(12), "knows", GradoopId(2), GradoopId(3), Properties::new()),
+    ];
+    LogicalGraph::from_data(
+        env,
+        GraphHead::new(GradoopId(100), "g", Properties::new()),
+        vertices,
+        edges,
+    )
+}
+
+fn run(graph: &LogicalGraph, query: &str) -> QueryResult {
+    CypherEngine::for_graph(graph)
+        .execute(graph, query, &HashMap::new(), MatchingConfig::cypher_default())
+        .unwrap_or_else(|e| panic!("{query}: {e}"))
+}
+
+#[test]
+fn is_null_finds_missing_properties() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    let result = run(&graph, "MATCH (p:Person) WHERE p.city IS NULL RETURN p.name");
+    assert_eq!(result.count(), 1);
+    let rows = result.rows_as_maps();
+    assert_eq!(
+        rows[0]["p.name"],
+        ResultValue::Property(PropertyValue::String("Bob".into()))
+    );
+}
+
+#[test]
+fn is_not_null_excludes_missing_properties() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    let result = run(&graph, "MATCH (p:Person) WHERE p.city IS NOT NULL RETURN *");
+    assert_eq!(result.count(), 2);
+}
+
+#[test]
+fn is_null_composes_with_negation() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    // NOT (p.city IS NULL) == p.city IS NOT NULL.
+    let negated = run(&graph, "MATCH (p:Person) WHERE NOT p.city IS NULL RETURN *");
+    let positive = run(&graph, "MATCH (p:Person) WHERE p.city IS NOT NULL RETURN *");
+    assert_eq!(negated.count(), positive.count());
+}
+
+#[test]
+fn return_distinct_deduplicates_rows() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    // Three knows-edges, but only two distinct source cities (Leipzig from
+    // Alice and Eve; Bob is a target only).
+    let all = run(&graph, "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.city");
+    assert_eq!(all.count(), 3);
+    let distinct = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN DISTINCT a.city",
+    );
+    assert_eq!(distinct.count(), 1, "Leipzig twice collapses to one row");
+
+    // Distinct over a variable keeps one row per bound element.
+    let sources = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN DISTINCT a",
+    );
+    assert_eq!(sources.count(), 2); // Alice and Eve
+}
+
+#[test]
+fn return_distinct_rows_are_usable() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    let result = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN DISTINCT b.name",
+    );
+    let mut names: Vec<String> = result
+        .rows_as_maps()
+        .into_iter()
+        .map(|row| match &row["b.name"] {
+            ResultValue::Property(PropertyValue::String(s)) => s.clone(),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["Bob", "Eve"]);
+}
+
+#[test]
+fn distinct_count_star_counts_matches() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    // count(*) is unaffected by DISTINCT (documented behaviour).
+    let result = run(&graph, "MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(*)");
+    assert_eq!(
+        result.rows()[0].values[0].1,
+        ResultValue::Count(3)
+    );
+}
+
+#[test]
+fn aliases_rename_result_columns() {
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    let result = run(&graph, "MATCH (p:Person {name: 'Alice'}) RETURN p.name AS who");
+    let rows = result.rows_as_maps();
+    assert!(rows[0].contains_key("who"));
+    assert!(!rows[0].contains_key("p.name"));
+}
+
+#[test]
+fn is_null_on_path_variables_is_rejected_gracefully() {
+    // `e IS NULL` on a bound edge variable is simply false — never a crash.
+    let env = test_env(2);
+    let graph = people_graph(&env);
+    let result = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) WHERE e IS NULL RETURN *",
+    );
+    assert_eq!(result.count(), 0);
+    let result = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) WHERE e IS NOT NULL RETURN *",
+    );
+    assert_eq!(result.count(), 3);
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the CSV source/sink: the paper's execution times
+//! include loading the graph from storage, so the full
+//! write → read → query path must work.
+
+mod common;
+
+use common::{figure1_graph, test_env};
+use gradoop::epgm::io::csv;
+use gradoop::prelude::*;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gradoop-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn write_load_query_roundtrip() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let dir = temp_dir("roundtrip");
+    csv::write_logical_graph(&graph, &dir).unwrap();
+
+    let loaded = csv::read_logical_graph(&env, &dir).unwrap();
+    assert_eq!(loaded.vertex_count(), graph.vertex_count());
+    assert_eq!(loaded.edge_count(), graph.edge_count());
+
+    let matches = loaded
+        .cypher(
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *",
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    assert_eq!(matches.graph_count(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ldbc_dataset_roundtrips_through_csv() {
+    let env = test_env(2);
+    let graph = generate_graph(&env, &LdbcConfig::with_persons(50));
+    let dir = temp_dir("ldbc");
+    csv::write_logical_graph(&graph, &dir).unwrap();
+    let loaded = csv::read_logical_graph(&env, &dir).unwrap();
+    assert_eq!(loaded.vertex_count(), graph.vertex_count());
+    assert_eq!(loaded.edge_count(), graph.edge_count());
+
+    // Statistics computed on the loaded graph must agree with the original
+    // (they drive the planner, so any drift would change plans).
+    let original = GraphStatistics::of(&graph);
+    let reloaded = GraphStatistics::of(&loaded);
+    assert_eq!(original.vertex_count, reloaded.vertex_count);
+    assert_eq!(original.edge_count, reloaded.edge_count);
+    assert_eq!(
+        original.vertex_count_by_label,
+        reloaded.vertex_count_by_label
+    );
+    assert_eq!(
+        original.distinct_source_by_label,
+        reloaded.distinct_source_by_label
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn match_results_can_be_written_as_collection() {
+    let env = test_env(2);
+    let graph = figure1_graph(&env);
+    let matches = graph
+        .cypher(
+            "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN p.name",
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    let dir = temp_dir("matches");
+    csv::write_collection(&matches, &dir).unwrap();
+    let loaded = csv::read_collection(&env, &dir).unwrap();
+    assert_eq!(loaded.graph_count(), matches.graph_count());
+    // Head properties (the variable bindings) survive.
+    let heads = loaded.heads().collect();
+    assert!(heads.iter().all(|h| h.properties.contains_key("p.name")));
+    let _ = std::fs::remove_dir_all(&dir);
+}

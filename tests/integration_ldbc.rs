@@ -1,0 +1,168 @@
+//! Integration tests running the paper's six benchmark queries on the
+//! generated LDBC-like dataset — including an engine-vs-oracle cross-check
+//! on a small scale factor.
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::test_env;
+use gradoop::prelude::*;
+
+fn run_query(
+    graph: &LogicalGraph,
+    engine: &CypherEngine,
+    query: BenchmarkQuery,
+    name: Option<&str>,
+) -> usize {
+    engine
+        .execute(
+            graph,
+            &query.text(name),
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap_or_else(|e| panic!("{query}: {e}"))
+        .count()
+}
+
+#[test]
+fn all_six_queries_execute_on_tiny_dataset() {
+    let env = test_env(4);
+    let config = LdbcConfig::tiny();
+    let data = generate(&config);
+    let names = pick_names(&data);
+    let graph = generate_graph(&env, &config);
+    let engine = CypherEngine::for_graph(&graph);
+
+    for query in BenchmarkQuery::all() {
+        let count = run_query(&graph, &engine, query, Some(&names.low));
+        // Every query must produce at least one match on the generated data
+        // (that's a property of the generator, tuned like the paper's).
+        assert!(count > 0, "{query} returned no matches");
+    }
+}
+
+#[test]
+fn selectivity_ordering_matches_the_paper() {
+    // Table: result cardinality grows from high to low selectivity.
+    let env = test_env(4);
+    let config = LdbcConfig::with_persons(600);
+    let data = generate(&config);
+    let names = pick_names(&data);
+    let graph = generate_graph(&env, &config);
+    let engine = CypherEngine::for_graph(&graph);
+
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2] {
+        let high = run_query(&graph, &engine, query, Some(&names.high));
+        let medium = run_query(&graph, &engine, query, Some(&names.medium));
+        let low = run_query(&graph, &engine, query, Some(&names.low));
+        assert!(
+            high <= medium && medium <= low,
+            "{query}: high={high} medium={medium} low={low}"
+        );
+        assert!(low > high, "{query}: selectivity has no effect");
+    }
+}
+
+#[test]
+fn operational_queries_agree_with_reference_matcher() {
+    // The oracle is exponential on analytical queries, so cross-check the
+    // operational ones on a very small graph.
+    let env = test_env(2);
+    let config = LdbcConfig::with_persons(60);
+    let data = generate(&config);
+    let names = pick_names(&data);
+    let graph = generate_graph(&env, &config);
+    let engine = CypherEngine::for_graph(&graph);
+
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        let text = query.text(Some(&names.low));
+        let engine_count = engine
+            .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap()
+            .count();
+        let query_graph = QueryGraph::from_query(&parse(&text).unwrap()).unwrap();
+        let oracle_count =
+            reference_match(&graph, &query_graph, &MatchingConfig::cypher_default()).len();
+        assert_eq!(engine_count, oracle_count, "{query}");
+    }
+}
+
+#[test]
+fn triangle_query_agrees_with_reference_matcher() {
+    let env = test_env(2);
+    let config = LdbcConfig::with_persons(80);
+    let graph = generate_graph(&env, &config);
+    let engine = CypherEngine::for_graph(&graph);
+    let text = BenchmarkQuery::Q5.text(None);
+    let engine_count = engine
+        .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .unwrap()
+        .count();
+    let query_graph = QueryGraph::from_query(&parse(&text).unwrap()).unwrap();
+    let oracle_count =
+        reference_match(&graph, &query_graph, &MatchingConfig::cypher_default()).len();
+    assert_eq!(engine_count, oracle_count);
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let config = LdbcConfig::with_persons(200);
+    let data = generate(&config);
+    let names = pick_names(&data);
+    let mut counts = Vec::new();
+    for workers in [1, 2, 4, 8] {
+        let env = test_env(workers);
+        let graph = generate_graph(&env, &config);
+        let engine = CypherEngine::for_graph(&graph);
+        counts.push(run_query(&graph, &engine, BenchmarkQuery::Q1, Some(&names.low)));
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn table3_pattern_counts_are_monotone_in_selectivity() {
+    let env = test_env(4);
+    let config = LdbcConfig::with_persons(400);
+    let data = generate(&config);
+    let names = pick_names(&data);
+    let graph = generate_graph(&env, &config);
+    let engine = CypherEngine::for_graph(&graph);
+
+    for (pattern, _) in table3_patterns("x") {
+        let count_for = |name: &str| {
+            let texts = table3_patterns(name);
+            let (_, text) = texts.iter().find(|(p, _)| *p == pattern).unwrap().clone();
+            engine
+                .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+                .unwrap()
+                .count()
+        };
+        let high = count_for(&names.high);
+        let low = count_for(&names.low);
+        assert!(high <= low, "{pattern}: high={high} low={low}");
+    }
+}
+
+#[test]
+fn statistics_match_generated_distributions() {
+    let env = test_env(2);
+    let config = LdbcConfig::tiny();
+    let data = generate(&config);
+    let graph = generate_graph(&env, &config);
+    let stats = GraphStatistics::of(&graph);
+    assert_eq!(stats.vertex_count as usize, data.vertices.len());
+    assert_eq!(stats.edge_count as usize, data.edges.len());
+    let persons = data.vertex_label_counts()["Person"];
+    assert_eq!(
+        stats.vertices_with_label(&Label::new("Person")) as usize,
+        persons
+    );
+    // firstName distinct count feeds the selectivity estimation.
+    let distinct_names = stats
+        .distinct_vertex_values(&Label::new("Person"), "firstName")
+        .unwrap();
+    assert!(distinct_names > 10);
+    assert!(distinct_names <= persons as u64);
+}

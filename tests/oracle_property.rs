@@ -1,0 +1,249 @@
+//! The correctness oracle: on random data graphs and a spectrum of query
+//! shapes, the distributed engine must return exactly the matches the naive
+//! single-machine backtracking matcher finds — for every combination of
+//! vertex/edge morphism semantics.
+
+mod common;
+
+use std::collections::{BTreeMap, HashMap};
+
+use common::test_env;
+use gradoop::prelude::*;
+use proptest::prelude::*;
+
+/// Canonical form of one match: variable → printable entry.
+type Canonical = BTreeMap<String, String>;
+
+fn canonical_entry(entry: &Entry) -> String {
+    match entry {
+        Entry::Id(id) => format!("#{id}"),
+        Entry::Path(ids) => format!("{ids:?}"),
+    }
+}
+
+fn engine_matches(
+    graph: &LogicalGraph,
+    query_text: &str,
+    matching: MatchingConfig,
+) -> Vec<Canonical> {
+    let engine = CypherEngine::for_graph(graph);
+    let result = engine
+        .execute(graph, query_text, &HashMap::new(), matching)
+        .unwrap_or_else(|e| panic!("{query_text}: {e}"));
+    let variables: Vec<String> = result.query.variables().map(str::to_string).collect();
+    let mut out: Vec<Canonical> = result
+        .embeddings
+        .collect()
+        .iter()
+        .map(|embedding| {
+            variables
+                .iter()
+                .map(|variable| {
+                    let column = result.meta.column(variable).expect("bound variable");
+                    (variable.clone(), canonical_entry(&embedding.entry(column)))
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn oracle_matches(
+    graph: &LogicalGraph,
+    query_text: &str,
+    matching: MatchingConfig,
+) -> Vec<Canonical> {
+    let ast = parse(query_text).expect("parse");
+    let query = QueryGraph::from_query(&ast).expect("query graph");
+    let mut out: Vec<Canonical> = reference_match(graph, &query, &matching)
+        .iter()
+        .map(|m| {
+            m.iter()
+                .map(|(variable, entry)| (variable.clone(), canonical_entry(entry)))
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// A generated random data graph description.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    vertices: Vec<(u64, &'static str, i64)>, // (id, label, property p)
+    edges: Vec<(u64, &'static str, u64, u64, i64)>, // (id, label, src, tgt, property q)
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    let vertex_count = 2..8usize;
+    vertex_count.prop_flat_map(|n| {
+        let vertices = proptest::collection::vec(
+            (prop_oneof![Just("A"), Just("B")], 0..4i64),
+            n..=n,
+        );
+        let edges = proptest::collection::vec(
+            (
+                prop_oneof![Just("x"), Just("y")],
+                0..n,
+                0..n,
+                0..4i64,
+            ),
+            0..=(2 * n),
+        );
+        (vertices, edges).prop_map(|(vs, es)| RandomGraph {
+            vertices: vs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (label, p))| (i as u64 + 1, label, p))
+                .collect(),
+            edges: es
+                .into_iter()
+                .enumerate()
+                .map(|(i, (label, s, t, q))| {
+                    (1000 + i as u64, label, s as u64 + 1, t as u64 + 1, q)
+                })
+                .collect(),
+        })
+    })
+}
+
+fn build_graph(env: &ExecutionEnvironment, description: &RandomGraph) -> LogicalGraph {
+    // Property value 3 means "property absent" so predicates exercise the
+    // missing/NULL code paths.
+    let vertices = description
+        .vertices
+        .iter()
+        .map(|(id, label, p)| {
+            let properties = if *p == 3 {
+                Properties::new()
+            } else {
+                properties! {"p" => *p}
+            };
+            Vertex::new(GradoopId(*id), *label, properties)
+        })
+        .collect();
+    let edges = description
+        .edges
+        .iter()
+        .map(|(id, label, s, t, q)| {
+            Edge::new(
+                GradoopId(*id),
+                *label,
+                GradoopId(*s),
+                GradoopId(*t),
+                properties! {"q" => *q},
+            )
+        })
+        .collect();
+    LogicalGraph::from_data(
+        env,
+        GraphHead::new(GradoopId(999_999), "random", Properties::new()),
+        vertices,
+        edges,
+    )
+}
+
+/// The query-shape spectrum exercised against the oracle.
+const QUERIES: &[&str] = &[
+    "MATCH (a)-[e]->(b) RETURN *",
+    "MATCH (a:A)-[e:x]->(b) RETURN *",
+    "MATCH (a:A|B)-[e:x|y]->(b:B) RETURN *",
+    "MATCH (a)-[e]->(b)-[f]->(c) RETURN *",
+    "MATCH (a)-[e]->(b), (a)-[f]->(c) RETURN *",
+    "MATCH (a)-[e]->(b), (c)-[f]->(b) RETURN *",
+    "MATCH (a)-[e]->(b)-[f]->(c), (a)-[g]->(c) RETURN *",
+    "MATCH (a)<-[e]-(b) RETURN *",
+    "MATCH (a)-[e]-(b) RETURN *",
+    "MATCH (a)-[e]->(a) RETURN *",
+    "MATCH (a)-[e*1..2]->(b) RETURN *",
+    "MATCH (a:A)-[e:x*1..3]->(b) RETURN *",
+    "MATCH (a)-[e*0..2]->(b:B) RETURN *",
+    "MATCH (a)-[e*2..2]->(a) RETURN *",
+    "MATCH (a) WHERE a.p > 1 RETURN *",
+    "MATCH (a)-[e]->(b) WHERE a.p < b.p RETURN *",
+    "MATCH (a)-[e]->(b) WHERE a.p = b.p OR e.q > 2 RETURN *",
+    "MATCH (a)-[e]->(b) WHERE NOT a.p = b.p RETURN *",
+    "MATCH (a {p: 1})-[e]->(b) RETURN *",
+    "MATCH (a) WHERE a.p IS NULL RETURN *",
+    "MATCH (a)-[e]->(b) WHERE a.p IS NOT NULL AND b.p IS NULL RETURN *",
+    "MATCH (a)-[e]->(b) WHERE a.p IS NULL OR a.p < b.p RETURN *",
+    "MATCH (a), (b:B) RETURN *",
+    "MATCH (a:A), (b:B) WHERE a.p = b.p RETURN *",
+    "MATCH (a:A)-[e {q: 2}]->(b) RETURN *",
+];
+
+const CONFIGS: [MatchingConfig; 4] = [
+    MatchingConfig {
+        vertices: MorphismType::Homomorphism,
+        edges: MorphismType::Homomorphism,
+    },
+    MatchingConfig {
+        vertices: MorphismType::Homomorphism,
+        edges: MorphismType::Isomorphism,
+    },
+    MatchingConfig {
+        vertices: MorphismType::Isomorphism,
+        edges: MorphismType::Homomorphism,
+    },
+    MatchingConfig {
+        vertices: MorphismType::Isomorphism,
+        edges: MorphismType::Isomorphism,
+    },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engine_agrees_with_reference_matcher(
+        description in random_graph(),
+        query_index in 0..QUERIES.len(),
+        config_index in 0..CONFIGS.len(),
+        workers in 1..4usize,
+    ) {
+        let env = test_env(workers);
+        let graph = build_graph(&env, &description);
+        let query = QUERIES[query_index];
+        let config = CONFIGS[config_index];
+        let engine = engine_matches(&graph, query, config);
+        let oracle = oracle_matches(&graph, query, config);
+        prop_assert_eq!(
+            engine,
+            oracle,
+            "query {} with {:?} on {:?}",
+            query,
+            config,
+            description
+        );
+    }
+}
+
+/// A deterministic sweep to make sure every query shape runs at least once
+/// per semantics even with few proptest cases.
+#[test]
+fn every_query_shape_agrees_on_a_fixed_graph() {
+    let env = test_env(2);
+    let description = RandomGraph {
+        vertices: vec![(1, "A", 1), (2, "B", 2), (3, "A", 2), (4, "B", 3)], // vertex 4 has no property p
+        edges: vec![
+            (1001, "x", 1, 2, 1),
+            (1002, "y", 2, 3, 2),
+            (1003, "x", 3, 1, 3),
+            (1004, "x", 1, 3, 2),
+            (1005, "y", 3, 3, 0), // loop
+            (1006, "x", 2, 3, 1), // parallel-ish
+        ],
+    };
+    let graph = build_graph(&env, &description);
+    for query in QUERIES {
+        for config in CONFIGS {
+            let engine = engine_matches(&graph, query, config);
+            let oracle = oracle_matches(&graph, query, config);
+            assert_eq!(engine, oracle, "query {query} with {config:?}");
+        }
+    }
+}
