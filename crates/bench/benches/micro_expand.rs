@@ -40,8 +40,11 @@ fn micro_expand(c: &mut Criterion) {
     let env = env();
     let n = 2000u64;
     // A long chain: 0 -> 1 -> 2 -> ...
-    let chain: Dataset<(u64, u64, u64)> =
-        env.from_collection((0..n - 1).map(|i| (i, 100_000 + i, i + 1)).collect::<Vec<_>>());
+    let chain: Dataset<(u64, u64, u64)> = env.from_collection(
+        (0..n - 1)
+            .map(|i| (i, 100_000 + i, i + 1))
+            .collect::<Vec<_>>(),
+    );
     // A small-world web: every vertex points at 4 pseudo-random others.
     let web: Dataset<(u64, u64, u64)> = env.from_collection(
         (0..n)

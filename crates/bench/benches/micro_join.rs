@@ -59,7 +59,10 @@ fn micro_join(c: &mut Criterion) {
             },
         );
     }
-    for strategy in [JoinStrategy::RepartitionHash, JoinStrategy::BroadcastHashSecond] {
+    for strategy in [
+        JoinStrategy::RepartitionHash,
+        JoinStrategy::BroadcastHashSecond,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("small_build_side", format!("{strategy:?}")),
             &strategy,

@@ -64,16 +64,32 @@ fn fig3(memo: &mut Memo) {
             .map(|s| s.to_string()),
     );
     let series: [(BenchmarkQuery, ScaleFactor, Option<Selectivity>); 6] = [
-        (BenchmarkQuery::Q1, ScaleFactor::Sf100, Some(Selectivity::Low)),
-        (BenchmarkQuery::Q2, ScaleFactor::Sf100, Some(Selectivity::Low)),
-        (BenchmarkQuery::Q3, ScaleFactor::Sf100, Some(Selectivity::Low)),
+        (
+            BenchmarkQuery::Q1,
+            ScaleFactor::Sf100,
+            Some(Selectivity::Low),
+        ),
+        (
+            BenchmarkQuery::Q2,
+            ScaleFactor::Sf100,
+            Some(Selectivity::Low),
+        ),
+        (
+            BenchmarkQuery::Q3,
+            ScaleFactor::Sf100,
+            Some(Selectivity::Low),
+        ),
         (BenchmarkQuery::Q4, ScaleFactor::Sf10, None),
         (BenchmarkQuery::Q5, ScaleFactor::Sf10, None),
         (BenchmarkQuery::Q6, ScaleFactor::Sf10, None),
     ];
     for (query, sf, selectivity) in series {
         let base = memo.get(query, sf, selectivity, 1).simulated_seconds;
-        let mut cells = vec![format!("Q{}.{}", query.number(), sf.label().replace(' ', ""))];
+        let mut cells = vec![format!(
+            "Q{}.{}",
+            query.number(),
+            sf.label().replace(' ', "")
+        )];
         for workers in WORKER_COUNTS {
             let m = memo.get(query, sf, selectivity, workers);
             cells.push(format!(
@@ -122,7 +138,7 @@ fn fig5(memo: &mut Memo) {
 }
 
 fn table3(scale: f64) {
-    println!("== Table 3: intermediate result sizes (SF 10) ==\n");
+    println!("== Table 3: intermediate result sizes (SF 10, measured by PROFILE) ==\n");
     let config = ScaleFactor::Sf10.config(scale);
     let dataset = harness::dataset(&config);
     let names = dataset.names.clone();
@@ -131,21 +147,70 @@ fn table3(scale: f64) {
         .into_iter()
         .map(|(name, _)| name)
         .collect();
-    for pattern in patterns {
+    let mut low_profiles = Vec::new();
+    for pattern in &patterns {
         let mut cells = vec![pattern.to_string()];
         for selectivity in Selectivity::all() {
             let name = names.name(selectivity).to_string();
             let text = table3_patterns(&name)
                 .into_iter()
-                .find(|(p, _)| *p == pattern)
+                .find(|(p, _)| p == pattern)
                 .map(|(_, text)| text)
                 .expect("pattern exists");
-            let m = harness::run_query(&config, 4, &text);
-            cells.push(m.matches.to_string());
+            let profile = harness::profile_query(&config, 4, &text);
+            cells.push(format!(
+                "{} ({})",
+                profile.matches,
+                profile.root.intermediate_rows()
+            ));
+            if selectivity == Selectivity::Low {
+                low_profiles.push((pattern.to_string(), profile));
+            }
         }
         table.row(cells);
     }
+    println!("(cells are matches (total intermediate embeddings), per PROFILE)");
     println!("{table}");
+
+    println!("-- per-operator intermediate results (low selectivity, from PROFILE)");
+    let mut breakdown = Table::new(["pattern", "operator", "rows out", "q-error"]);
+    for (pattern, profile) in &low_profiles {
+        let mut nodes = Vec::new();
+        fn walk<'a>(
+            node: &'a gradoop_core::ProfileNode,
+            out: &mut Vec<&'a gradoop_core::ProfileNode>,
+        ) {
+            out.push(node);
+            for child in &node.children {
+                walk(child, out);
+            }
+        }
+        walk(&profile.root, &mut nodes);
+        for (index, node) in nodes.iter().enumerate() {
+            breakdown.row([
+                if index == 0 {
+                    pattern.clone()
+                } else {
+                    String::new()
+                },
+                node.operator.clone(),
+                node.rows_out.to_string(),
+                format!("{:.1}", node.estimate_error),
+            ]);
+        }
+    }
+    println!("{breakdown}");
+}
+
+fn profiles(scale: f64) {
+    println!("== Profiled operational queries (PROFILE, 4 workers, SF 10, low selectivity) ==\n");
+    let config = ScaleFactor::Sf10.config(scale);
+    let names = harness::dataset(&config).names.clone();
+    for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        let text = query.text(Some(&names.low));
+        let profile = harness::profile_query(&config, 4, &text);
+        println!("-- {query}: {}\n{}", query.title(), profile.to_text());
+    }
 }
 
 fn table4(memo: &mut Memo) {
@@ -233,17 +298,17 @@ fn cardinalities(memo: &mut Memo) {
 }
 
 fn plans(scale: f64) {
-    println!("== Query plans (greedy planner with statistics, SF 10) ==\n");
+    println!("== Query plans (EXPLAIN: greedy planner with statistics, SF 10) ==\n");
     let config = ScaleFactor::Sf10.config(scale);
     let dataset = harness::dataset(&config);
     let names = dataset.names.clone();
     let engine = CypherEngine::with_statistics(dataset.statistics.clone());
     for query in BenchmarkQuery::all() {
         let text = query.text(Some(&names.low));
-        let (query_graph, plan) = engine
-            .plan(&text, &HashMap::new())
+        let explain = engine
+            .explain(&text)
             .unwrap_or_else(|e| panic!("{query}: {e}"));
-        println!("-- {query}: {}\n{}", query.title(), plan.describe(&query_graph));
+        println!("-- {query}: {}\n{}", query.title(), explain.to_text());
     }
 }
 
@@ -264,7 +329,12 @@ fn ablations(scale: f64) {
         CypherEngine::with_statistics(harness::uniform_statistics(&dataset.statistics));
     env.reset_metrics();
     let result = blind_engine
-        .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .execute(
+            &graph,
+            &text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
         .expect("query runs");
     let blind_matches = result.count();
     let blind_seconds = env.simulated_seconds();
@@ -290,13 +360,23 @@ fn ablations(scale: f64) {
     let indexed = graph.to_indexed();
     env.reset_metrics();
     let scan_matches = engine
-        .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .execute(
+            &graph,
+            &text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
         .expect("query runs")
         .count();
     let scan_seconds = env.simulated_seconds();
     env.reset_metrics();
     let index_matches = engine
-        .execute(&indexed, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .execute(
+            &indexed,
+            &text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
         .expect("query runs")
         .count();
     let index_seconds = env.simulated_seconds();
@@ -326,7 +406,8 @@ fn main() {
             && !has("--table4")
             && !has("--cardinalities")
             && !has("--ablations")
-            && !has("--plans"));
+            && !has("--plans")
+            && !has("--profiles"));
     let scale = if has("--quick") { 0.2 } else { 1.0 };
     let mut memo = Memo::new(scale);
 
@@ -355,6 +436,9 @@ fn main() {
     }
     if all || has("--plans") {
         plans(scale);
+    }
+    if all || has("--profiles") {
+        profiles(scale);
     }
     if all || has("--ablations") {
         ablations(scale);

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use gradoop_core::{CypherEngine, MatchingConfig};
+use gradoop_core::{CypherEngine, MatchingConfig, Profile};
 use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
 use gradoop_epgm::{properties, GradoopId, GraphHead, GraphStatistics, LogicalGraph};
 use gradoop_ldbc::{generate, pick_names, GeneratedData, LdbcConfig, SelectivityNames};
@@ -149,6 +149,28 @@ pub fn run_query(config: &LdbcConfig, workers: usize, query_text: &str) -> Measu
         bytes_spilled: metrics.bytes_spilled,
         records: metrics.records_in,
     }
+}
+
+/// Runs `query_text` under PROFILE: same setup as [`run_query`] (indexed
+/// graph, pre-computed statistics, default cost model), but returns the
+/// per-operator [`Profile`] tree — actual cardinalities, selectivities,
+/// simulated times and estimate-vs-actual errors — instead of aggregate
+/// metrics. The paper's Table 3 intermediate-result counts are read off
+/// this tree.
+pub fn profile_query(config: &LdbcConfig, workers: usize, query_text: &str) -> Profile {
+    let dataset = dataset(config);
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(workers));
+    let graph = graph_on(&env, &dataset.data).to_indexed();
+    let engine = CypherEngine::with_statistics(dataset.statistics.clone());
+    env.reset_metrics();
+    engine
+        .profile(
+            &graph,
+            query_text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap_or_else(|e| panic!("query failed: {e}\n{query_text}"))
 }
 
 /// A statistics object with no label information: feeding it to the greedy

@@ -12,9 +12,10 @@
 //! | Figure 3 (speedup over workers) | `repro --fig3`, `benches/fig3_speedup.rs` |
 //! | Figure 4 (runtime vs data size) | `repro --fig4`, `benches/fig4_datasize.rs` |
 //! | Figure 5 (runtime vs selectivity) | `repro --fig5`, `benches/fig5_selectivity.rs` |
-//! | Table 3 (intermediate result sizes) | `repro --table3`, `benches/table3_intermediate.rs` |
+//! | Table 3 (intermediate result sizes) | `repro --table3` (measured by `PROFILE`), `benches/table3_intermediate.rs` |
 //! | Table 4 (runtimes/speedups grid) | `repro --table4` |
 //! | Appendix cardinalities | `repro --cardinalities` |
+//! | EXPLAIN / PROFILE plan trees | `repro --plans`, `repro --profiles` |
 //! | §3.2/§3.3/§3.4 design ablations | `benches/ablation_*.rs`, `benches/micro_*.rs` |
 //!
 //! The `repro` binary prints paper-style tables using the **simulated
@@ -25,5 +26,5 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{dataset, run_query, Measurement, ScaleFactor};
+pub use harness::{dataset, profile_query, run_query, Measurement, ScaleFactor};
 pub use report::Table;

@@ -198,11 +198,7 @@ impl Embedding {
     /// All identifiers bound by the embedding, with path contents expanded.
     /// `vertex_columns` / `edge_columns` / `path_columns` select what to
     /// visit; path entries alternate edge, vertex, edge, ... identifiers.
-    pub fn collect_ids(
-        &self,
-        columns: &[usize],
-        out: &mut Vec<u64>,
-    ) {
+    pub fn collect_ids(&self, columns: &[usize], out: &mut Vec<u64>) {
         for &column in columns {
             match self.entry(column) {
                 Entry::Id(id) => out.push(id),

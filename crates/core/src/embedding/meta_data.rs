@@ -48,7 +48,8 @@ impl EmbeddingMetaData {
 
     /// Appends a property slot for `variable.key`, returning its index.
     pub fn add_property(&mut self, variable: &str, key: &str) -> usize {
-        self.properties.push((variable.to_string(), key.to_string()));
+        self.properties
+            .push((variable.to_string(), key.to_string()));
         self.properties.len() - 1
     }
 
@@ -94,7 +95,9 @@ impl EmbeddingMetaData {
 
     /// Iterates (variable, key) per property slot.
     pub fn properties(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.properties.iter().map(|(v, k)| (v.as_str(), k.as_str()))
+        self.properties
+            .iter()
+            .map(|(v, k)| (v.as_str(), k.as_str()))
     }
 
     /// Columns holding vertex identifiers.

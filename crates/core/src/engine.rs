@@ -6,8 +6,9 @@ use std::collections::HashMap;
 use gradoop_cypher::{parse, Literal, ParseError, QueryGraph, QueryGraphError};
 use gradoop_epgm::{GraphCollection, GraphStatistics, LogicalGraph};
 
-use crate::executor::execute_plan;
+use crate::executor::{execute_plan, execute_plan_profiled};
 use crate::matching::MatchingConfig;
+use crate::observe::{Explain, Profile};
 use crate::planner::{plan_query, Estimator, PlanError, QueryPlan};
 use crate::result::QueryResult;
 use crate::source::GraphSource;
@@ -104,6 +105,58 @@ impl CypherEngine {
             meta: result.meta,
             query,
             plan,
+        })
+    }
+
+    /// EXPLAIN: plans `query_text` without executing it and returns the
+    /// annotated plan tree (per-operator estimated cardinalities, predicted
+    /// join strategies) together with the greedy planner's decision log.
+    pub fn explain(&self, query_text: &str) -> Result<Explain, CypherError> {
+        self.explain_with_params(query_text, &HashMap::new())
+    }
+
+    /// [`explain`](CypherEngine::explain) with query parameters.
+    pub fn explain_with_params(
+        &self,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+    ) -> Result<Explain, CypherError> {
+        let (_, plan) = self.plan(query_text, params)?;
+        Ok(Explain {
+            query: query_text.to_string(),
+            root: plan.explain,
+            planner: plan.planner,
+            estimated_cardinality: plan.estimated_cardinality,
+        })
+    }
+
+    /// PROFILE: plans and executes `query_text`, returning the plan tree
+    /// annotated with actual per-operator cardinalities, selectivities,
+    /// simulated/wall-clock times and estimate-vs-actual errors. More
+    /// expensive than [`execute`](CypherEngine::execute): results are
+    /// measured per operator (including embedding byte sizes).
+    pub fn profile<S: GraphSource + ?Sized>(
+        &self,
+        source: &S,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+        matching: MatchingConfig,
+    ) -> Result<Profile, CypherError> {
+        let (query, plan) = self.plan(query_text, params)?;
+        let env = source.env();
+        let simulated_before = env.simulated_seconds();
+        let started = std::time::Instant::now();
+        let (mut result, root) = execute_plan_profiled(&plan, &query, source, &matching);
+        if query.distinct {
+            result = distinct_by_return_items(&result, &query);
+        }
+        Ok(Profile {
+            query: query_text.to_string(),
+            root,
+            planner: plan.planner,
+            matches: result.data.len_untracked() as u64,
+            simulated_seconds: env.simulated_seconds() - simulated_before,
+            wall_seconds: started.elapsed().as_secs_f64(),
         })
     }
 }
@@ -218,7 +271,11 @@ mod tests {
         let vertices = vec![
             Vertex::new(GradoopId(10), "Person", properties! {"name" => "Alice"}),
             Vertex::new(GradoopId(20), "Person", properties! {"name" => "Eve"}),
-            Vertex::new(GradoopId(40), "University", properties! {"name" => "Uni Leipzig"}),
+            Vertex::new(
+                GradoopId(40),
+                "University",
+                properties! {"name" => "Uni Leipzig"},
+            ),
         ];
         let edges = vec![
             Edge::new(
@@ -235,7 +292,13 @@ mod tests {
                 GradoopId(40),
                 properties! {"classYear" => 2016i64},
             ),
-            Edge::new(GradoopId(5), "knows", GradoopId(10), GradoopId(20), Properties::new()),
+            Edge::new(
+                GradoopId(5),
+                "knows",
+                GradoopId(10),
+                GradoopId(20),
+                Properties::new(),
+            ),
         ];
         LogicalGraph::from_data(
             &env,
@@ -353,7 +416,12 @@ mod tests {
             .execute(&graph, q, &HashMap::new(), MatchingConfig::cypher_default())
             .unwrap();
         let via_index = engine
-            .execute(&indexed, q, &HashMap::new(), MatchingConfig::cypher_default())
+            .execute(
+                &indexed,
+                q,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
             .unwrap();
         assert_eq!(plain.count(), via_index.count());
     }

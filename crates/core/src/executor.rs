@@ -1,16 +1,26 @@
 //! Plan execution: walks the plan tree and instantiates the query operators
 //! over the graph source's datasets.
+//!
+//! Two entry points: [`execute_plan`] runs a plan as cheaply as possible;
+//! [`execute_plan_profiled`] additionally installs a [`CollectingSink`] on
+//! the environment and attributes every dataflow stage and operator span to
+//! the plan node that caused it, producing the [`ProfileNode`] tree behind
+//! `CypherEngine::profile`.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use gradoop_cypher::QueryGraph;
-use gradoop_dataflow::JoinStrategy;
+use gradoop_dataflow::{CollectingSink, Data, JoinStrategy};
 
 use crate::matching::MatchingConfig;
+use crate::observe::{q_error, ExpandIteration, ExplainNode, ProfileNode};
 use crate::operators::{
     cartesian_embeddings, edge_triples, expand_embeddings, filter_and_project_edges,
     filter_and_project_vertices, filter_embeddings, join_embeddings, value_join_embeddings,
     EmbeddingSet, ExpandConfig,
 };
-use crate::planner::PlanNode;
+use crate::planner::{PlanNode, QueryPlan};
 use crate::source::GraphSource;
 
 /// Inputs smaller than this many embeddings are broadcast in joins instead
@@ -42,17 +52,16 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
             right,
             variables,
         } => {
-            let left_set = execute_plan(&**left, query, source, matching);
-            let right_set = execute_plan(&**right, query, source, matching);
+            let left_set = execute_plan(left, query, source, matching);
+            let right_set = execute_plan(right, query, source, matching);
             let strategy = choose_strategy(&left_set, &right_set);
             join_embeddings(&left_set, &right_set, variables, matching, strategy)
         }
         PlanNode::Expand { input, edge } => {
-            let input_set = execute_plan(&**input, query, source, matching);
+            let input_set = execute_plan(input, query, source, matching);
             let query_edge = &query.edges[*edge];
             let (lower, upper) = query_edge.range.expect("expand node on plain edge");
-            let candidates =
-                edge_triples(&source.edges_for_labels(&query_edge.labels), query_edge);
+            let candidates = edge_triples(&source.edges_for_labels(&query_edge.labels), query_edge);
             let config = ExpandConfig {
                 source_variable: query.vertices[query_edge.source].variable.clone(),
                 edge_variable: query_edge.variable.clone(),
@@ -64,7 +73,7 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
             expand_embeddings(&input_set, &candidates, &config)
         }
         PlanNode::Filter { input, clauses } => {
-            let input_set = execute_plan(&**input, query, source, matching);
+            let input_set = execute_plan(input, query, source, matching);
             let clause_list: Vec<_> = clauses
                 .iter()
                 .map(|&index| query.cross_clauses[index].0.clone())
@@ -72,8 +81,8 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
             filter_embeddings(&input_set, &clause_list)
         }
         PlanNode::Cartesian { left, right } => {
-            let left_set = execute_plan(&**left, query, source, matching);
-            let right_set = execute_plan(&**right, query, source, matching);
+            let left_set = execute_plan(left, query, source, matching);
+            let right_set = execute_plan(right, query, source, matching);
             cartesian_embeddings(&left_set, &right_set, matching)
         }
         PlanNode::ValueJoin {
@@ -82,8 +91,8 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
             left_property,
             right_property,
         } => {
-            let left_set = execute_plan(&**left, query, source, matching);
-            let right_set = execute_plan(&**right, query, source, matching);
+            let left_set = execute_plan(left, query, source, matching);
+            let right_set = execute_plan(right, query, source, matching);
             let strategy = choose_strategy(&left_set, &right_set);
             value_join_embeddings(
                 &left_set,
@@ -97,19 +106,198 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
     }
 }
 
-/// Runtime join-strategy choice, standing in for Flink's shipping-strategy
-/// optimizer: broadcast a side that is much smaller than the other, else
-/// repartition both.
-fn choose_strategy(left: &EmbeddingSet, right: &EmbeddingSet) -> JoinStrategy {
-    let left_len = left.data.len_untracked();
-    let right_len = right.data.len_untracked();
-    if right_len < BROADCAST_THRESHOLD && right_len * 8 < left_len {
+/// Join-strategy choice from the two input cardinalities, standing in for
+/// Flink's shipping-strategy optimizer: broadcast a side that is much
+/// smaller than the other, else repartition both. Public so the planner can
+/// predict (from estimates) the choice the executor will make at runtime —
+/// EXPLAIN reports the prediction, PROFILE the actual choice.
+pub fn choose_join_strategy(left_rows: usize, right_rows: usize) -> JoinStrategy {
+    if right_rows < BROADCAST_THRESHOLD && right_rows * 8 < left_rows {
         JoinStrategy::BroadcastHashSecond
-    } else if left_len < BROADCAST_THRESHOLD && left_len * 8 < right_len {
+    } else if left_rows < BROADCAST_THRESHOLD && left_rows * 8 < right_rows {
         JoinStrategy::BroadcastHashFirst
     } else {
         JoinStrategy::RepartitionHash
     }
+}
+
+fn choose_strategy(left: &EmbeddingSet, right: &EmbeddingSet) -> JoinStrategy {
+    choose_join_strategy(left.data.len_untracked(), right.data.len_untracked())
+}
+
+/// Executes `plan` like [`execute_plan`] and returns, next to the result,
+/// a [`ProfileNode`] tree mirroring the plan: per operator the actual rows
+/// in/out, selectivity, embedding bytes, simulated and wall-clock seconds,
+/// executed stages, the join strategy actually chosen, per-iteration
+/// counters of variable-length expansions and the estimate-vs-actual
+/// q-error.
+///
+/// A private [`CollectingSink`] is installed on the source's environment for
+/// the duration of the run (the previously installed sink, if any, is
+/// restored afterwards), so stages and operator spans can be attributed to
+/// the plan node that caused them.
+pub fn execute_plan_profiled<S: GraphSource + ?Sized>(
+    plan: &QueryPlan,
+    query: &QueryGraph,
+    source: &S,
+    matching: &MatchingConfig,
+) -> (EmbeddingSet, ProfileNode) {
+    let env = source.env();
+    let previous = env.trace_sink();
+    let sink = Arc::new(CollectingSink::new());
+    env.set_trace_sink(Some(sink.clone()));
+    let result = profile_node(&plan.root, &plan.explain, query, source, matching, &sink);
+    env.set_trace_sink(previous);
+    result
+}
+
+fn profile_node<S: GraphSource + ?Sized>(
+    node: &PlanNode,
+    explain: &ExplainNode,
+    query: &QueryGraph,
+    source: &S,
+    matching: &MatchingConfig,
+    sink: &Arc<CollectingSink>,
+) -> (EmbeddingSet, ProfileNode) {
+    let env = source.env();
+
+    // Children run (and drain the sink for themselves) first, so everything
+    // buffered after this node's own operator ran belongs to this node.
+    let child_nodes: Vec<&PlanNode> = match node {
+        PlanNode::Join { left, right, .. }
+        | PlanNode::Cartesian { left, right }
+        | PlanNode::ValueJoin { left, right, .. } => vec![left, right],
+        PlanNode::Expand { input, .. } | PlanNode::Filter { input, .. } => vec![input],
+        PlanNode::ScanVertices { .. } | PlanNode::ScanEdges { .. } => Vec::new(),
+    };
+    let mut child_sets = Vec::new();
+    let mut children = Vec::new();
+    for (child, child_explain) in child_nodes.into_iter().zip(&explain.children) {
+        let (set, profile) = profile_node(child, child_explain, query, source, matching, sink);
+        child_sets.push(set);
+        children.push(profile);
+    }
+
+    let simulated_before = env.simulated_seconds();
+    let started = Instant::now();
+    let mut rows_in: u64 = child_sets
+        .iter()
+        .map(|s| s.data.len_untracked() as u64)
+        .sum();
+    let mut actual_strategy = None;
+
+    let result = match node {
+        PlanNode::ScanVertices { vertex } => {
+            let query_vertex = &query.vertices[*vertex];
+            let candidates = source.vertices_for_labels(&query_vertex.labels);
+            rows_in = candidates.len_untracked() as u64;
+            filter_and_project_vertices(&candidates, query_vertex)
+        }
+        PlanNode::ScanEdges { edge } => {
+            let query_edge = &query.edges[*edge];
+            let candidates = source.edges_for_labels(&query_edge.labels);
+            rows_in = candidates.len_untracked() as u64;
+            let source_var = &query.vertices[query_edge.source].variable;
+            let target_var = &query.vertices[query_edge.target].variable;
+            filter_and_project_edges(&candidates, query_edge, source_var, target_var, matching)
+        }
+        PlanNode::Join { variables, .. } => {
+            let strategy = choose_strategy(&child_sets[0], &child_sets[1]);
+            actual_strategy = Some(strategy);
+            join_embeddings(
+                &child_sets[0],
+                &child_sets[1],
+                variables,
+                matching,
+                strategy,
+            )
+        }
+        PlanNode::Expand { edge, .. } => {
+            let query_edge = &query.edges[*edge];
+            let (lower, upper) = query_edge.range.expect("expand node on plain edge");
+            let candidates = edge_triples(&source.edges_for_labels(&query_edge.labels), query_edge);
+            rows_in += candidates.len_untracked() as u64;
+            let config = ExpandConfig {
+                source_variable: query.vertices[query_edge.source].variable.clone(),
+                edge_variable: query_edge.variable.clone(),
+                target_variable: query.vertices[query_edge.target].variable.clone(),
+                lower,
+                upper,
+                matching: *matching,
+            };
+            expand_embeddings(&child_sets[0], &candidates, &config)
+        }
+        PlanNode::Filter { clauses, .. } => {
+            let clause_list: Vec<_> = clauses
+                .iter()
+                .map(|&index| query.cross_clauses[index].0.clone())
+                .collect();
+            filter_embeddings(&child_sets[0], &clause_list)
+        }
+        PlanNode::Cartesian { .. } => {
+            cartesian_embeddings(&child_sets[0], &child_sets[1], matching)
+        }
+        PlanNode::ValueJoin {
+            left_property,
+            right_property,
+            ..
+        } => {
+            let strategy = choose_strategy(&child_sets[0], &child_sets[1]);
+            actual_strategy = Some(strategy);
+            value_join_embeddings(
+                &child_sets[0],
+                &child_sets[1],
+                left_property,
+                right_property,
+                matching,
+                strategy,
+            )
+        }
+    };
+
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let simulated_seconds = env.simulated_seconds() - simulated_before;
+    let drained = sink.drain();
+    let iterations: Vec<ExpandIteration> = drained
+        .spans
+        .iter()
+        .filter(|span| span.name == "expand/iteration")
+        .map(|span| ExpandIteration {
+            iteration: span.counter("iteration").unwrap_or(0.0) as u64,
+            frontier_rows: span.counter("frontier_rows").unwrap_or(0.0) as u64,
+            emitted_rows: span.counter("emitted_rows").unwrap_or(0.0) as u64,
+        })
+        .collect();
+    let rows_out = result.data.len_untracked() as u64;
+    let embedding_bytes: u64 = result
+        .data
+        .partitions()
+        .iter()
+        .flatten()
+        .map(|embedding| embedding.byte_size() as u64)
+        .sum();
+    let selectivity = if rows_in > 0 {
+        rows_out as f64 / rows_in as f64
+    } else {
+        1.0
+    };
+    let profile = ProfileNode {
+        operator: explain.operator.clone(),
+        estimated_cardinality: explain.estimated_cardinality,
+        estimated_strategy: explain.estimated_strategy,
+        actual_strategy,
+        rows_in,
+        rows_out,
+        selectivity,
+        embedding_bytes,
+        simulated_seconds,
+        wall_seconds,
+        stages: drained.stages.len() as u64,
+        estimate_error: q_error(explain.estimated_cardinality, rows_out),
+        iterations,
+        children,
+    };
+    (result, profile)
 }
 
 #[cfg(test)]
@@ -117,10 +305,10 @@ mod tests {
     use super::*;
     use crate::planner::{plan_query, Estimator};
     use gradoop_cypher::parse;
+    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
     use gradoop_epgm::{
         properties, Edge, GradoopId, GraphHead, GraphStatistics, LogicalGraph, Properties, Vertex,
     };
-    use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
 
     /// The social-network sample of the paper's Figure 1 (simplified).
     fn sample_graph() -> LogicalGraph {
@@ -138,10 +326,20 @@ mod tests {
             person(10, "Alice", "female"),
             person(20, "Eve", "female"),
             person(30, "Bob", "male"),
-            Vertex::new(GradoopId(40), "University", properties! {"name" => "Uni Leipzig"}),
+            Vertex::new(
+                GradoopId(40),
+                "University",
+                properties! {"name" => "Uni Leipzig"},
+            ),
         ];
         let knows = |id: u64, s: u64, t: u64| {
-            Edge::new(GradoopId(id), "knows", GradoopId(s), GradoopId(t), Properties::new())
+            Edge::new(
+                GradoopId(id),
+                "knows",
+                GradoopId(s),
+                GradoopId(t),
+                Properties::new(),
+            )
         };
         let edges = vec![
             knows(5, 10, 20),

@@ -44,6 +44,7 @@ pub mod embedding;
 pub mod engine;
 pub mod executor;
 pub mod matching;
+pub mod observe;
 pub mod operators;
 pub mod planner;
 pub mod reference;
@@ -52,7 +53,12 @@ pub mod source;
 
 pub use embedding::{Embedding, EmbeddingMetaData, Entry, EntryType};
 pub use engine::{CypherEngine, CypherError, CypherOperator};
+pub use executor::{choose_join_strategy, execute_plan, execute_plan_profiled};
 pub use matching::{MatchingConfig, MorphismType};
+pub use observe::{
+    ExpandIteration, Explain, ExplainNode, PlannerCandidate, PlannerRound, PlannerTrace, Profile,
+    ProfileNode,
+};
 pub use planner::{plan_query, Estimator, PlanError, PlanNode, QueryPlan};
 pub use reference::{reference_match, ReferenceMatch};
 pub use result::{QueryResult, ResultRow, ResultValue};

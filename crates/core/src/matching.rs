@@ -94,7 +94,7 @@ pub fn satisfies_morphism(
     true
 }
 
-fn has_duplicates(ids: &mut Vec<u64>) -> bool {
+fn has_duplicates(ids: &mut [u64]) -> bool {
     ids.sort_unstable();
     ids.windows(2).any(|w| w[0] == w[1])
 }
@@ -164,7 +164,11 @@ mod tests {
         ok.push_id(10);
         ok.push_path(&[5, 20, 7]);
         ok.push_id(30);
-        assert!(satisfies_morphism(&ok, &meta, &MatchingConfig::isomorphism()));
+        assert!(satisfies_morphism(
+            &ok,
+            &meta,
+            &MatchingConfig::isomorphism()
+        ));
 
         // Intermediate vertex equals an endpoint: vertex-ISO must reject.
         let mut dup_vertex = Embedding::new();

@@ -1,0 +1,654 @@
+//! EXPLAIN / PROFILE: the engine's observability layer.
+//!
+//! The paper's whole evaluation (Section 4) rests on observing the engine —
+//! per-query runtimes, intermediate-result cardinalities per operator
+//! (Table 3), and shuffle behaviour across worker counts. This module holds
+//! the data model for that:
+//!
+//! * [`ExplainNode`] — the annotated plan tree produced by the planner:
+//!   one node per plan operator with its estimated cardinality and, for
+//!   joins, the join strategy predicted from the estimates;
+//! * [`PlannerTrace`] — the greedy planner's decision log: per round, every
+//!   candidate edge with its estimated intermediate-result size and which
+//!   one was committed;
+//! * [`ProfileNode`] — the same tree after execution, annotated with actual
+//!   rows in/out, selectivity, embedding bytes, simulated and wall-clock
+//!   seconds, the join strategy actually chosen, per-iteration counters of
+//!   variable-length expansion, and the estimate-vs-actual q-error;
+//! * [`Explain`] / [`Profile`] — the top-level documents returned by
+//!   [`CypherEngine::explain`](crate::CypherEngine::explain) and
+//!   [`CypherEngine::profile`](crate::CypherEngine::profile), with pretty
+//!   text and JSON renderers. JSON is emitted through the dependency-free
+//!   [`JsonValue`] model (the offline stand-in for `serde_json`), so every
+//!   document can be parsed back and compared.
+
+use gradoop_dataflow::{JoinStrategy, JsonValue};
+
+/// Stable lower-case name of a join strategy, used in text and JSON output.
+pub fn strategy_name(strategy: JoinStrategy) -> &'static str {
+    match strategy {
+        JoinStrategy::RepartitionHash => "repartition-hash",
+        JoinStrategy::BroadcastHashFirst => "broadcast-hash-first",
+        JoinStrategy::BroadcastHashSecond => "broadcast-hash-second",
+        JoinStrategy::RepartitionSortMerge => "repartition-sort-merge",
+    }
+}
+
+/// The estimate-vs-actual q-error: `max(est/act, act/est)`, with both sides
+/// clamped to 1 so empty results do not divide by zero. 1.0 is a perfect
+/// estimate; 10 means one order of magnitude off in either direction.
+pub fn q_error(estimated: f64, actual: u64) -> f64 {
+    let estimated = estimated.max(1.0);
+    let actual = (actual as f64).max(1.0);
+    (estimated / actual).max(actual / estimated)
+}
+
+/// One operator of the annotated plan tree produced by the planner.
+#[derive(Debug, Clone)]
+pub struct ExplainNode {
+    /// Operator label, e.g. `"ScanVertices(u:University)"` — the same
+    /// format as [`QueryPlan::describe`](crate::QueryPlan::describe).
+    pub operator: String,
+    /// Estimated result cardinality of this operator.
+    pub estimated_cardinality: f64,
+    /// For joins and value joins: the strategy predicted from the estimated
+    /// input cardinalities (the choice `choose_join_strategy` will make if
+    /// the estimates are accurate).
+    pub estimated_strategy: Option<JoinStrategy>,
+    /// Input operators (0 for scans, 1 for expand/filter, 2 for joins).
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    /// A leaf node.
+    pub fn leaf(operator: impl Into<String>, estimated_cardinality: f64) -> Self {
+        ExplainNode {
+            operator: operator.into(),
+            estimated_cardinality,
+            estimated_strategy: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// An inner node over the given inputs.
+    pub fn inner(
+        operator: impl Into<String>,
+        estimated_cardinality: f64,
+        children: Vec<ExplainNode>,
+    ) -> Self {
+        ExplainNode {
+            operator: operator.into(),
+            estimated_cardinality,
+            estimated_strategy: None,
+            children,
+        }
+    }
+
+    /// Renders the subtree as indented text, one operator per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write_text(0, &mut out);
+        out
+    }
+
+    fn write_text(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.operator);
+        out.push_str(&format!("  est={:.0}", self.estimated_cardinality));
+        if let Some(strategy) = self.estimated_strategy {
+            out.push_str(&format!("  strategy={}", strategy_name(strategy)));
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.write_text(depth + 1, out);
+        }
+    }
+
+    /// The subtree as a JSON document.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("operator", JsonValue::string(self.operator.clone())),
+            (
+                "estimated_cardinality",
+                JsonValue::Number(self.estimated_cardinality),
+            ),
+        ];
+        if let Some(strategy) = self.estimated_strategy {
+            pairs.push((
+                "estimated_strategy",
+                JsonValue::string(strategy_name(strategy)),
+            ));
+        }
+        pairs.push((
+            "children",
+            JsonValue::Array(self.children.iter().map(|c| c.to_json_value()).collect()),
+        ));
+        JsonValue::object(pairs)
+    }
+}
+
+/// One candidate the greedy planner evaluated in a planning round.
+#[derive(Debug, Clone)]
+pub struct PlannerCandidate {
+    /// Variable of the query edge the candidate would cover.
+    pub edge_variable: String,
+    /// Estimated intermediate-result size after committing this candidate.
+    pub estimated_cardinality: f64,
+}
+
+/// One round of the greedy loop: every candidate considered, and the one
+/// committed (always the minimum-cardinality candidate).
+#[derive(Debug, Clone)]
+pub struct PlannerRound {
+    /// All evaluated alternatives.
+    pub candidates: Vec<PlannerCandidate>,
+    /// Edge variable of the committed candidate.
+    pub chosen_edge: String,
+    /// Estimated cardinality of the committed candidate.
+    pub chosen_cardinality: f64,
+}
+
+/// The planner's full decision log.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerTrace {
+    /// Rounds of the greedy loop, in order.
+    pub rounds: Vec<PlannerRound>,
+}
+
+impl PlannerTrace {
+    /// Renders the decision log as text, one round per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (index, round) in self.rounds.iter().enumerate() {
+            let alternatives: Vec<String> = round
+                .candidates
+                .iter()
+                .map(|c| format!("{}≈{:.0}", c.edge_variable, c.estimated_cardinality))
+                .collect();
+            out.push_str(&format!(
+                "round {}: chose {} (est {:.0}) from [{}]\n",
+                index + 1,
+                round.chosen_edge,
+                round.chosen_cardinality,
+                alternatives.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// The decision log as a JSON document.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(
+            self.rounds
+                .iter()
+                .map(|round| {
+                    JsonValue::object(vec![
+                        ("chosen_edge", JsonValue::string(round.chosen_edge.clone())),
+                        (
+                            "chosen_cardinality",
+                            JsonValue::Number(round.chosen_cardinality),
+                        ),
+                        (
+                            "candidates",
+                            JsonValue::Array(
+                                round
+                                    .candidates
+                                    .iter()
+                                    .map(|c| {
+                                        JsonValue::object(vec![
+                                            (
+                                                "edge_variable",
+                                                JsonValue::string(c.edge_variable.clone()),
+                                            ),
+                                            (
+                                                "estimated_cardinality",
+                                                JsonValue::Number(c.estimated_cardinality),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The EXPLAIN document: annotated plan tree plus planner decision log.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query text.
+    pub query: String,
+    /// Root of the annotated plan tree.
+    pub root: ExplainNode,
+    /// The planner's decision log.
+    pub planner: PlannerTrace,
+    /// Estimated result cardinality of the whole query.
+    pub estimated_cardinality: f64,
+}
+
+impl Explain {
+    /// Pretty multi-line rendering: plan tree followed by planner rounds.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("EXPLAIN {}\n", self.query));
+        out.push_str(&self.root.to_text());
+        out.push_str(&format!(
+            "estimated cardinality: {:.0}\n",
+            self.estimated_cardinality
+        ));
+        if !self.planner.rounds.is_empty() {
+            out.push_str("planner decisions:\n");
+            out.push_str(&self.planner.to_text());
+        }
+        out
+    }
+
+    /// The document as a [`JsonValue`].
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("query", JsonValue::string(self.query.clone())),
+            (
+                "estimated_cardinality",
+                JsonValue::Number(self.estimated_cardinality),
+            ),
+            ("plan", self.root.to_json_value()),
+            ("planner", self.planner.to_json_value()),
+        ])
+    }
+
+    /// The document as compact JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// All join strategies reported in the plan, pre-order.
+    pub fn join_strategies(&self) -> Vec<(String, JoinStrategy)> {
+        fn walk(node: &ExplainNode, out: &mut Vec<(String, JoinStrategy)>) {
+            if let Some(strategy) = node.estimated_strategy {
+                out.push((node.operator.clone(), strategy));
+            }
+            for child in &node.children {
+                walk(child, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+/// Per-iteration counters of one variable-length expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandIteration {
+    /// Iteration number `k` (path length reached), 1-based.
+    pub iteration: u64,
+    /// Size of the working set after the k-hop extension.
+    pub frontier_rows: u64,
+    /// Embeddings emitted to the result in this iteration.
+    pub emitted_rows: u64,
+}
+
+/// One operator of the profiled plan tree: the [`ExplainNode`] annotations
+/// plus everything measured during execution.
+#[derive(Debug, Clone)]
+pub struct ProfileNode {
+    /// Operator label (same format as [`ExplainNode::operator`]).
+    pub operator: String,
+    /// Estimated result cardinality (from the planner).
+    pub estimated_cardinality: f64,
+    /// Join strategy predicted from estimates, if this is a join.
+    pub estimated_strategy: Option<JoinStrategy>,
+    /// Join strategy actually chosen at runtime, if this is a join.
+    pub actual_strategy: Option<JoinStrategy>,
+    /// Rows consumed: scanned candidate elements for leaves, the children's
+    /// output rows otherwise.
+    pub rows_in: u64,
+    /// Result embeddings produced.
+    pub rows_out: u64,
+    /// `rows_out / rows_in` (1.0 for empty inputs).
+    pub selectivity: f64,
+    /// Total bytes of the produced embeddings.
+    pub embedding_bytes: u64,
+    /// Simulated seconds charged by this operator (children excluded).
+    pub simulated_seconds: f64,
+    /// Wall-clock seconds spent in this operator (children excluded).
+    pub wall_seconds: f64,
+    /// Dataflow stages this operator executed.
+    pub stages: u64,
+    /// Estimate-vs-actual q-error (see [`q_error`]).
+    pub estimate_error: f64,
+    /// Per-iteration counters (variable-length expansion only).
+    pub iterations: Vec<ExpandIteration>,
+    /// Profiled inputs.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Renders the subtree as indented text, one operator per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write_text(0, &mut out);
+        out
+    }
+
+    fn write_text(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.operator);
+        out.push_str(&format!(
+            "  in={} out={} sel={:.3} est={:.0} q_err={:.1} bytes={} t_sim={:.4}s t_wall={:.4}s",
+            self.rows_in,
+            self.rows_out,
+            self.selectivity,
+            self.estimated_cardinality,
+            self.estimate_error,
+            self.embedding_bytes,
+            self.simulated_seconds,
+            self.wall_seconds,
+        ));
+        if let Some(strategy) = self.actual_strategy {
+            out.push_str(&format!("  strategy={}", strategy_name(strategy)));
+        }
+        out.push('\n');
+        for iteration in &self.iterations {
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!(
+                "· iteration {}: frontier={} emitted={}\n",
+                iteration.iteration, iteration.frontier_rows, iteration.emitted_rows
+            ));
+        }
+        for child in &self.children {
+            child.write_text(depth + 1, out);
+        }
+    }
+
+    /// The subtree as a JSON document.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("operator", JsonValue::string(self.operator.clone())),
+            (
+                "estimated_cardinality",
+                JsonValue::Number(self.estimated_cardinality),
+            ),
+            ("rows_in", JsonValue::Number(self.rows_in as f64)),
+            ("rows_out", JsonValue::Number(self.rows_out as f64)),
+            ("selectivity", JsonValue::Number(self.selectivity)),
+            (
+                "embedding_bytes",
+                JsonValue::Number(self.embedding_bytes as f64),
+            ),
+            (
+                "simulated_seconds",
+                JsonValue::Number(self.simulated_seconds),
+            ),
+            ("wall_seconds", JsonValue::Number(self.wall_seconds)),
+            ("stages", JsonValue::Number(self.stages as f64)),
+            ("estimate_error", JsonValue::Number(self.estimate_error)),
+        ];
+        if let Some(strategy) = self.estimated_strategy {
+            pairs.push((
+                "estimated_strategy",
+                JsonValue::string(strategy_name(strategy)),
+            ));
+        }
+        if let Some(strategy) = self.actual_strategy {
+            pairs.push((
+                "actual_strategy",
+                JsonValue::string(strategy_name(strategy)),
+            ));
+        }
+        if !self.iterations.is_empty() {
+            pairs.push((
+                "iterations",
+                JsonValue::Array(
+                    self.iterations
+                        .iter()
+                        .map(|i| {
+                            JsonValue::object(vec![
+                                ("iteration", JsonValue::Number(i.iteration as f64)),
+                                ("frontier_rows", JsonValue::Number(i.frontier_rows as f64)),
+                                ("emitted_rows", JsonValue::Number(i.emitted_rows as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        pairs.push((
+            "children",
+            JsonValue::Array(self.children.iter().map(|c| c.to_json_value()).collect()),
+        ));
+        JsonValue::object(pairs)
+    }
+
+    /// Pre-order flattening to `(operator, rows_out)` — the Table 3
+    /// "intermediate result count per operator" view.
+    pub fn operator_rows(&self) -> Vec<(String, u64)> {
+        fn walk(node: &ProfileNode, out: &mut Vec<(String, u64)>) {
+            out.push((node.operator.clone(), node.rows_out));
+            for child in &node.children {
+                walk(child, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Sum of `rows_out` over all non-root operators — the paper's
+    /// "intermediate results" measure (Table 3).
+    pub fn intermediate_rows(&self) -> u64 {
+        self.operator_rows()
+            .iter()
+            .skip(1)
+            .map(|(_, rows)| rows)
+            .sum()
+    }
+}
+
+/// The PROFILE document: profiled plan tree, planner log and query totals.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The query text.
+    pub query: String,
+    /// Root of the profiled plan tree.
+    pub root: ProfileNode,
+    /// The planner's decision log.
+    pub planner: PlannerTrace,
+    /// Final match count (after `RETURN DISTINCT` deduplication, if any).
+    pub matches: u64,
+    /// Total simulated seconds of the run.
+    pub simulated_seconds: f64,
+    /// Total wall-clock seconds of the run.
+    pub wall_seconds: f64,
+}
+
+impl Profile {
+    /// Pretty multi-line rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("PROFILE {}\n", self.query));
+        out.push_str(&self.root.to_text());
+        out.push_str(&format!(
+            "matches: {}   simulated: {:.4}s   wall: {:.4}s\n",
+            self.matches, self.simulated_seconds, self.wall_seconds
+        ));
+        if !self.planner.rounds.is_empty() {
+            out.push_str("planner decisions:\n");
+            out.push_str(&self.planner.to_text());
+        }
+        out
+    }
+
+    /// The document as a [`JsonValue`].
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("query", JsonValue::string(self.query.clone())),
+            ("matches", JsonValue::Number(self.matches as f64)),
+            (
+                "simulated_seconds",
+                JsonValue::Number(self.simulated_seconds),
+            ),
+            ("wall_seconds", JsonValue::Number(self.wall_seconds)),
+            ("plan", self.root.to_json_value()),
+            ("planner", self.planner.to_json_value()),
+        ])
+    }
+
+    /// The document as compact JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let scan = ProfileNode {
+            operator: "ScanEdges(e:knows)".into(),
+            estimated_cardinality: 10.0,
+            estimated_strategy: None,
+            actual_strategy: None,
+            rows_in: 5,
+            rows_out: 3,
+            selectivity: 0.6,
+            embedding_bytes: 96,
+            simulated_seconds: 0.5,
+            wall_seconds: 0.001,
+            stages: 2,
+            estimate_error: q_error(10.0, 3),
+            iterations: vec![],
+            children: vec![],
+        };
+        let expand = ProfileNode {
+            operator: "ExpandEmbeddings(e *1..2)".into(),
+            estimated_cardinality: 4.0,
+            estimated_strategy: Some(JoinStrategy::RepartitionHash),
+            actual_strategy: Some(JoinStrategy::RepartitionHash),
+            rows_in: 3,
+            rows_out: 4,
+            selectivity: 4.0 / 3.0,
+            embedding_bytes: 128,
+            simulated_seconds: 1.25,
+            wall_seconds: 0.002,
+            stages: 5,
+            estimate_error: q_error(4.0, 4),
+            iterations: vec![
+                ExpandIteration {
+                    iteration: 1,
+                    frontier_rows: 3,
+                    emitted_rows: 3,
+                },
+                ExpandIteration {
+                    iteration: 2,
+                    frontier_rows: 1,
+                    emitted_rows: 1,
+                },
+            ],
+            children: vec![scan],
+        };
+        Profile {
+            query: "MATCH (a)-[e:knows*1..2]->(b) RETURN *".into(),
+            root: expand,
+            planner: PlannerTrace {
+                rounds: vec![PlannerRound {
+                    candidates: vec![PlannerCandidate {
+                        edge_variable: "e".into(),
+                        estimated_cardinality: 4.0,
+                    }],
+                    chosen_edge: "e".into(),
+                    chosen_cardinality: 4.0,
+                }],
+            },
+            matches: 4,
+            simulated_seconds: 1.75,
+            wall_seconds: 0.003,
+        }
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        assert_eq!(q_error(10.0, 10), 1.0);
+        assert_eq!(q_error(100.0, 10), 10.0);
+        assert_eq!(q_error(10.0, 100), 10.0);
+        // Empty actuals clamp to 1 instead of dividing by zero.
+        assert_eq!(q_error(5.0, 0), 5.0);
+        assert_eq!(q_error(0.0, 0), 1.0);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let profile = sample_profile();
+        let json = profile.to_json();
+        let parsed = JsonValue::parse(&json).expect("profile JSON parses");
+        assert!(parsed.semantically_eq(&profile.to_json_value()));
+        // Spot-check nested content survives.
+        let plan = parsed.get("plan").unwrap();
+        assert_eq!(
+            plan.get("operator").and_then(JsonValue::as_str),
+            Some("ExpandEmbeddings(e *1..2)")
+        );
+        assert_eq!(
+            plan.get("iterations")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn explain_json_and_text_render() {
+        let explain = Explain {
+            query: "MATCH (a)-[e]->(b) RETURN *".into(),
+            root: ExplainNode {
+                operator: "JoinEmbeddings(on a)".into(),
+                estimated_cardinality: 42.0,
+                estimated_strategy: Some(JoinStrategy::BroadcastHashSecond),
+                children: vec![
+                    ExplainNode::leaf("ScanVertices(a)", 100.0),
+                    ExplainNode::leaf("ScanEdges(e)", 5.0),
+                ],
+            },
+            planner: PlannerTrace::default(),
+            estimated_cardinality: 42.0,
+        };
+        let text = explain.to_text();
+        assert!(text.contains("JoinEmbeddings(on a)"));
+        assert!(text.contains("strategy=broadcast-hash-second"));
+        assert!(text.contains("  ScanVertices(a)"));
+        let parsed = JsonValue::parse(&explain.to_json()).unwrap();
+        assert!(parsed.semantically_eq(&explain.to_json_value()));
+        assert_eq!(
+            explain.join_strategies(),
+            vec![(
+                "JoinEmbeddings(on a)".to_string(),
+                JoinStrategy::BroadcastHashSecond
+            )]
+        );
+    }
+
+    #[test]
+    fn operator_rows_flattens_preorder() {
+        let profile = sample_profile();
+        assert_eq!(
+            profile.root.operator_rows(),
+            vec![
+                ("ExpandEmbeddings(e *1..2)".to_string(), 4),
+                ("ScanEdges(e:knows)".to_string(), 3),
+            ]
+        );
+        assert_eq!(profile.root.intermediate_rows(), 3);
+    }
+
+    #[test]
+    fn profile_text_includes_iterations() {
+        let text = sample_profile().to_text();
+        assert!(text.contains("iteration 1: frontier=3 emitted=3"), "{text}");
+        assert!(text.contains("q_err="), "{text}");
+        assert!(text.contains("planner decisions:"), "{text}");
+    }
+}

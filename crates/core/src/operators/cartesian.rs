@@ -4,7 +4,7 @@
 use gradoop_dataflow::JoinStrategy;
 
 use crate::matching::{satisfies_morphism, MatchingConfig};
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 /// Combines every left embedding with every right embedding, subject to the
 /// morphism semantics. The (smaller) right side is broadcast.
@@ -26,7 +26,10 @@ pub fn cartesian_embeddings(
             satisfies_morphism(&merged, &merged_meta, &config).then_some(merged)
         },
     );
-    EmbeddingSet { data, meta }
+    let rows_in = (left.data.len_untracked() + right.data.len_untracked()) as u64;
+    let result = EmbeddingSet { data, meta };
+    observe_operator("cartesian_embeddings", rows_in, &result);
+    result
 }
 
 #[cfg(test)]

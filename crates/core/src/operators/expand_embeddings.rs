@@ -9,11 +9,11 @@
 //! the lower bound. The iteration terminates when the upper bound is
 //! reached or no extensible paths remain.
 
-use gradoop_dataflow::{bulk_iterate_with_results, Dataset, JoinStrategy};
+use gradoop_dataflow::{bulk_iterate_with_results, Dataset, JoinStrategy, SpanRecord};
 
 use crate::embedding::{Embedding, EntryType};
 use crate::matching::{satisfies_morphism, MatchingConfig, MorphismType};
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 /// A candidate edge, projected to `(source, edge, target)` identifiers.
 pub type EdgeTriple = (u64, u64, u64);
@@ -130,14 +130,30 @@ pub fn expand_embeddings(
         } else {
             env.empty()
         };
+        // Per-iteration counters for PROFILE: path length reached, size of
+        // the surviving working set, embeddings emitted this round. A no-op
+        // unless a trace sink is installed.
+        env.emit_span(SpanRecord {
+            name: "expand/iteration".to_string(),
+            wall_seconds: 0.0,
+            simulated_seconds: 0.0,
+            counters: vec![
+                ("iteration".to_string(), k as f64),
+                ("frontier_rows".to_string(), next.len_untracked() as f64),
+                ("emitted_rows".to_string(), found.len_untracked() as f64),
+            ],
+        });
         (next, found)
     });
     results = results.union(&iterated);
 
-    EmbeddingSet {
+    let rows_in = (input.data.len_untracked() + candidates.len_untracked()) as u64;
+    let result = EmbeddingSet {
         data: results,
         meta,
-    }
+    };
+    observe_operator("expand_embeddings", rows_in, &result);
+    result
 }
 
 /// Checks whether extending a path with `edge` keeps it viable under the
@@ -276,7 +292,10 @@ mod tests {
         let rows = result.data.collect();
         assert_eq!(rows.len(), 1);
         // via holds [edge, vertex, edge] like Table 2b.
-        assert_eq!(rows[0].path(result.meta.column("e").unwrap()), vec![10, 2, 11]);
+        assert_eq!(
+            rows[0].path(result.meta.column("e").unwrap()),
+            vec![10, 2, 11]
+        );
     }
 
     #[test]

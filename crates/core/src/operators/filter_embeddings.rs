@@ -5,7 +5,7 @@ use gradoop_cypher::predicates::eval::eval_clause;
 use gradoop_cypher::CnfClause;
 
 use crate::embedding::EmbeddingBindings;
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 /// Keeps the embeddings satisfying all `clauses`.
 pub fn filter_embeddings(input: &EmbeddingSet, clauses: &[CnfClause]) -> EmbeddingSet {
@@ -21,10 +21,16 @@ pub fn filter_embeddings(input: &EmbeddingSet, clauses: &[CnfClause]) -> Embeddi
         };
         clauses.iter().all(|clause| eval_clause(clause, &bindings))
     });
-    EmbeddingSet {
+    let result = EmbeddingSet {
         data,
         meta: input.meta.clone(),
-    }
+    };
+    observe_operator(
+        "filter_embeddings",
+        input.data.len_untracked() as u64,
+        &result,
+    );
+    result
 }
 
 #[cfg(test)]
@@ -74,8 +80,7 @@ mod tests {
             &env,
             &[("female", "male"), ("male", "male"), ("female", "female")],
         );
-        let clauses =
-            where_clauses("MATCH (p1)-->(p2) WHERE p1.gender <> p2.gender RETURN *");
+        let clauses = where_clauses("MATCH (p1)-->(p2) WHERE p1.gender <> p2.gender RETURN *");
         let filtered = filter_embeddings(&input, &clauses);
         assert_eq!(filtered.data.count(), 1);
     }

@@ -12,10 +12,10 @@ use gradoop_dataflow::Dataset;
 use gradoop_epgm::{Edge, PropertyValue};
 
 use crate::embedding::{Embedding, EmbeddingMetaData, EntryType};
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 fn edge_matches(edge: &Edge, query_edge: &QueryEdge) -> bool {
-    if !query_edge.labels.is_empty() && !query_edge.labels.iter().any(|l| *l == edge.label) {
+    if !query_edge.labels.is_empty() && !query_edge.labels.contains(&edge.label) {
         return false;
     }
     let bindings = SingleElement {
@@ -102,7 +102,13 @@ pub fn filter_and_project_edges(
         }
     });
 
-    EmbeddingSet { data, meta }
+    let result = EmbeddingSet { data, meta };
+    observe_operator(
+        "filter_and_project_edges",
+        candidates.len_untracked() as u64,
+        &result,
+    );
+    result
 }
 
 /// Projects candidate edges to bare `(source, edge, target)` identifier
@@ -175,7 +181,8 @@ mod tests {
     fn directed_edge_emits_one_embedding_per_match() {
         let env = env();
         let (qe, s, t) = query_edge("MATCH (a)-[e:knows]->(b) RETURN *");
-        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        let result =
+            filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
         assert_eq!(result.data.count(), 2);
         assert_eq!(result.meta.column("a"), Some(0));
         assert_eq!(result.meta.column("e"), Some(1));
@@ -186,7 +193,8 @@ mod tests {
     fn undirected_edge_emits_both_orientations() {
         let env = env();
         let (qe, s, t) = query_edge("MATCH (a)-[e:knows]-(b) RETURN *");
-        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        let result =
+            filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
         // Edge 10 twice (both directions), loop edge 11 once.
         assert_eq!(result.data.count(), 3);
     }
@@ -196,7 +204,8 @@ mod tests {
         let env = env();
         let (qe, s, t) =
             query_edge("MATCH (a)-[e:studyAt]->(b) WHERE e.classYear > 2014 RETURN e.classYear");
-        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        let result =
+            filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
         let rows = result.data.collect();
         assert_eq!(rows.len(), 1);
         let index = result.meta.property_index("e", "classYear").unwrap();
@@ -208,7 +217,8 @@ mod tests {
         let env = env();
         let (qe, s, t) = query_edge("MATCH (a)-[e:knows]->(a) RETURN *");
         assert_eq!(s, t);
-        let result = filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
+        let result =
+            filter_and_project_edges(&edges(&env), &qe, &s, &t, &MatchingConfig::homomorphism());
         let rows = result.data.collect();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].id(0), 2);

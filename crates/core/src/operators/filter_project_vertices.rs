@@ -12,7 +12,7 @@ use gradoop_dataflow::Dataset;
 use gradoop_epgm::{PropertyValue, Vertex};
 
 use crate::embedding::{Embedding, EntryType};
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 /// Builds the embedding dataset for one query vertex from its candidate
 /// vertices (already label-restricted by the graph source).
@@ -34,7 +34,7 @@ pub fn filter_and_project_vertices(
     let data = candidates.flat_map(move |vertex, out| {
         // Select: label predicate (defensive re-check — sources may serve a
         // superset when unindexed) plus the element-centric predicate.
-        if !labels.is_empty() && !labels.iter().any(|l| *l == vertex.label) {
+        if !labels.is_empty() && !labels.contains(&vertex.label) {
             return;
         }
         let bindings = SingleElement {
@@ -60,7 +60,13 @@ pub fn filter_and_project_vertices(
         out.push(embedding);
     });
 
-    EmbeddingSet { data, meta }
+    let result = EmbeddingSet { data, meta };
+    observe_operator(
+        "filter_and_project_vertices",
+        candidates.len_untracked() as u64,
+        &result,
+    );
+    result
 }
 
 #[cfg(test)]
@@ -112,7 +118,10 @@ mod tests {
         let rows = result.data.collect();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].property(yob), PropertyValue::Long(1984));
-        assert_eq!(rows[0].property(name), PropertyValue::String("Alice".into()));
+        assert_eq!(
+            rows[0].property(name),
+            PropertyValue::String("Alice".into())
+        );
     }
 
     #[test]

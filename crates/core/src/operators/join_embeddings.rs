@@ -8,7 +8,7 @@
 use gradoop_dataflow::JoinStrategy;
 
 use crate::matching::{satisfies_morphism, MatchingConfig};
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 /// Joins `left` and `right` on the columns bound to `join_variables`.
 ///
@@ -53,11 +53,21 @@ pub fn join_embeddings(
         &right.data,
         {
             let columns = left_columns.clone();
-            move |embedding| columns.iter().map(|&c| embedding.id(c)).collect::<Vec<u64>>()
+            move |embedding| {
+                columns
+                    .iter()
+                    .map(|&c| embedding.id(c))
+                    .collect::<Vec<u64>>()
+            }
         },
         {
             let columns = right_columns.clone();
-            move |embedding| columns.iter().map(|&c| embedding.id(c)).collect::<Vec<u64>>()
+            move |embedding| {
+                columns
+                    .iter()
+                    .map(|&c| embedding.id(c))
+                    .collect::<Vec<u64>>()
+            }
         },
         strategy,
         move |l, r| {
@@ -66,7 +76,10 @@ pub fn join_embeddings(
         },
     );
 
-    EmbeddingSet { data, meta }
+    let rows_in = (left.data.len_untracked() + right.data.len_untracked()) as u64;
+    let result = EmbeddingSet { data, meta };
+    observe_operator("join_embeddings", rows_in, &result);
+    result
 }
 
 #[cfg(test)]
@@ -80,7 +93,11 @@ mod tests {
     }
 
     /// Embeddings for (a)-[e]->(b): rows of (a, e, b) ids.
-    fn edge_set(env: &ExecutionEnvironment, rows: &[(u64, u64, u64)], vars: [&str; 3]) -> EmbeddingSet {
+    fn edge_set(
+        env: &ExecutionEnvironment,
+        rows: &[(u64, u64, u64)],
+        vars: [&str; 3],
+    ) -> EmbeddingSet {
         let mut meta = EmbeddingMetaData::new();
         meta.add_entry(vars[0], EntryType::Vertex);
         meta.add_entry(vars[1], EntryType::Edge);

@@ -36,7 +36,7 @@ pub use project_embeddings::project_embeddings;
 pub use value_join::value_join_embeddings;
 
 use crate::embedding::{Embedding, EmbeddingMetaData};
-use gradoop_dataflow::Dataset;
+use gradoop_dataflow::{Data, Dataset, SpanRecord};
 
 /// An embedding dataset together with its (plan-time) layout.
 #[derive(Clone, Debug)]
@@ -45,4 +45,45 @@ pub struct EmbeddingSet {
     pub data: Dataset<Embedding>,
     /// Their shared layout.
     pub meta: EmbeddingMetaData,
+}
+
+/// Total serialized bytes of a result's embeddings.
+pub fn embedding_bytes(set: &EmbeddingSet) -> u64 {
+    set.data
+        .partitions()
+        .iter()
+        .flatten()
+        .map(|embedding| embedding.byte_size() as u64)
+        .sum()
+}
+
+/// Reports an `operator/<name>` span with rows-in/out, selectivity and
+/// result-byte counters to the environment's trace sink. Called by every
+/// operator just before returning; a cheap no-op when no sink is installed,
+/// so untraced executions do not pay for the byte-size scan.
+pub(crate) fn observe_operator(name: &str, rows_in: u64, result: &EmbeddingSet) {
+    let env = result.data.env();
+    if env.trace_sink().is_none() {
+        return;
+    }
+    let rows_out = result.data.len_untracked() as u64;
+    let selectivity = if rows_in > 0 {
+        rows_out as f64 / rows_in as f64
+    } else {
+        1.0
+    };
+    env.emit_span(SpanRecord {
+        name: format!("operator/{name}"),
+        wall_seconds: 0.0,
+        simulated_seconds: 0.0,
+        counters: vec![
+            ("rows_in".to_string(), rows_in as f64),
+            ("rows_out".to_string(), rows_out as f64),
+            ("selectivity".to_string(), selectivity),
+            (
+                "embedding_bytes".to_string(),
+                embedding_bytes(result) as f64,
+            ),
+        ],
+    });
 }

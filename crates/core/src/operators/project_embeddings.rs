@@ -2,7 +2,7 @@
 //! longer need, shrinking the rows that flow through the network.
 
 use crate::embedding::Embedding;
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
 
 /// Keeps only the property slots for the given `(variable, key)` pairs.
 /// Identifier and path columns are never dropped — they define the match.
@@ -11,10 +11,7 @@ pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> Em
         .meta
         .properties()
         .enumerate()
-        .filter(|(_, (variable, key))| {
-            keep.iter()
-                .any(|(v, k)| v == variable && k == key)
-        })
+        .filter(|(_, (variable, key))| keep.iter().any(|(v, k)| v == variable && k == key))
         .map(|(index, _)| index)
         .collect();
 
@@ -53,7 +50,13 @@ pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> Em
         projected
     });
 
-    EmbeddingSet { data, meta }
+    let result = EmbeddingSet { data, meta };
+    observe_operator(
+        "project_embeddings",
+        input.data.len_untracked() as u64,
+        &result,
+    );
+    result
 }
 
 #[cfg(test)]

@@ -8,9 +8,9 @@
 //! otherwise disconnected query components, replacing a cartesian product
 //! followed by a filter.
 
-use gradoop_dataflow::JoinStrategy;
 use crate::matching::{satisfies_morphism, MatchingConfig};
-use crate::operators::EmbeddingSet;
+use crate::operators::{observe_operator, EmbeddingSet};
+use gradoop_dataflow::JoinStrategy;
 
 /// Joins `left` and `right` where the given property slots are equal.
 ///
@@ -63,7 +63,10 @@ pub fn value_join_embeddings(
             satisfies_morphism(&merged, &merged_meta, &config).then_some(merged)
         },
     );
-    EmbeddingSet { data, meta }
+    let rows_in = (left.data.len_untracked() + right.data.len_untracked()) as u64;
+    let result = EmbeddingSet { data, meta };
+    observe_operator("value_join_embeddings", rows_in, &result);
+    result
 }
 
 #[cfg(test)]
@@ -111,9 +114,18 @@ mod tests {
             &env,
             "p",
             "city",
-            &[(1, Some("Leipzig")), (2, Some("Dresden")), (3, Some("Leipzig"))],
+            &[
+                (1, Some("Leipzig")),
+                (2, Some("Dresden")),
+                (3, Some("Leipzig")),
+            ],
         );
-        let unis = side(&env, "u", "city", &[(10, Some("Leipzig")), (11, Some("Berlin"))]);
+        let unis = side(
+            &env,
+            "u",
+            "city",
+            &[(10, Some("Leipzig")), (11, Some("Berlin"))],
+        );
         let joined = value_join_embeddings(
             &people,
             &unis,

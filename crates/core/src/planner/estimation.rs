@@ -140,12 +140,7 @@ impl<'a> Estimator<'a> {
 
     /// Selectivity of one clause: disjuncts combine as
     /// `1 - Π (1 - s_i)`, capped to [0, 1].
-    pub fn clause_selectivity(
-        &self,
-        clause: &CnfClause,
-        labels: &[Label],
-        is_vertex: bool,
-    ) -> f64 {
+    pub fn clause_selectivity(&self, clause: &CnfClause, labels: &[Label], is_vertex: bool) -> f64 {
         let mut miss = 1.0;
         for atom in &clause.atoms {
             miss *= 1.0 - self.atom_selectivity(atom, labels, is_vertex);

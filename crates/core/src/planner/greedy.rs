@@ -13,8 +13,10 @@ use std::collections::{BTreeSet, HashMap};
 
 use gradoop_cypher::QueryGraph;
 
+use crate::executor::choose_join_strategy;
+use crate::observe::{ExplainNode, PlannerCandidate, PlannerRound, PlannerTrace};
 use crate::planner::estimation::Estimator;
-use crate::planner::plan::{PlanNode, QueryPlan};
+use crate::planner::plan::{node_label, PlanNode, QueryPlan};
 
 /// Planning failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +41,20 @@ struct Partial {
     cardinality: f64,
     /// Estimated distinct values per bound variable.
     distinct: HashMap<String, f64>,
+    /// Annotated mirror of `node` (same shape), carrying per-operator
+    /// estimates for EXPLAIN output.
+    explain: ExplainNode,
+}
+
+/// Explain mirror for a freshly constructed plan node: same label as
+/// `describe()`, the partial's estimated cardinality, given children.
+fn explain_for(
+    query: &QueryGraph,
+    node: &PlanNode,
+    cardinality: f64,
+    children: Vec<ExplainNode>,
+) -> ExplainNode {
+    ExplainNode::inner(node_label(node, query), cardinality, children)
 }
 
 /// Plans `query` over a graph described by `estimator`'s statistics.
@@ -68,24 +84,33 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
         let cardinality = estimator.vertex_cardinality(query, index);
         let mut distinct = HashMap::new();
         distinct.insert(vertex.variable.clone(), cardinality);
+        let node = PlanNode::ScanVertices { vertex: index };
+        let explain = explain_for(query, &node, cardinality, Vec::new());
         partials.push(Partial {
-            node: PlanNode::ScanVertices { vertex: index },
+            node,
             vertices: BTreeSet::from([index]),
             edges: BTreeSet::new(),
             variables: BTreeSet::from([vertex.variable.clone()]),
             cardinality,
             distinct,
+            explain,
         });
     }
 
     let mut remaining_edges: BTreeSet<usize> = (0..query.edges.len()).collect();
     let mut pending_clauses: BTreeSet<usize> = (0..query.cross_clauses.len()).collect();
+    let mut planner = PlannerTrace::default();
 
     while !remaining_edges.is_empty() {
         // Evaluate every uncovered edge and keep the cheapest alternative.
         let mut best: Option<(usize, Partial, Vec<usize>)> = None;
+        let mut candidates = Vec::new();
         for &edge_index in &remaining_edges {
             let candidate = build_candidate(query, estimator, &partials, edge_index)?;
+            candidates.push(PlannerCandidate {
+                edge_variable: query.edges[edge_index].variable.clone(),
+                estimated_cardinality: candidate.1.cardinality,
+            });
             if best
                 .as_ref()
                 .map(|(_, b, _)| candidate.1.cardinality < b.cardinality)
@@ -96,6 +121,11 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
         }
         let (edge_index, mut merged, consumed) =
             best.ok_or_else(|| PlanError("no joinable edge found".into()))?;
+        planner.rounds.push(PlannerRound {
+            candidates,
+            chosen_edge: query.edges[edge_index].variable.clone(),
+            chosen_cardinality: merged.cardinality,
+        });
         remaining_edges.remove(&edge_index);
 
         // Replace the consumed partials (descending index order).
@@ -120,9 +150,13 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
         // A pending equality predicate between properties of the two sides
         // turns the cartesian product into a value join (the extension
         // operator of paper Section 3.1) — same result, far smaller output.
-        let value_join =
-            find_value_join_clause(query, &pending_clauses, &combined.variables, &next.variables);
-        let (node, cardinality) = match value_join {
+        let value_join = find_value_join_clause(
+            query,
+            &pending_clauses,
+            &combined.variables,
+            &next.variables,
+        );
+        let (node, cardinality, strategy) = match value_join {
             Some((clause_index, left_property, right_property)) => {
                 pending_clauses.remove(&clause_index);
                 (
@@ -135,6 +169,10 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
                     // Equality-join estimate: the product scaled by the
                     // default equality selectivity.
                     combined.cardinality * next.cardinality * 0.1,
+                    Some(choose_join_strategy(
+                        combined.cardinality.max(0.0) as usize,
+                        next.cardinality.max(0.0) as usize,
+                    )),
                 )
             }
             None => (
@@ -143,8 +181,16 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
                     right: Box::new(next.node),
                 },
                 combined.cardinality * next.cardinality,
+                None,
             ),
         };
+        let mut explain = explain_for(
+            query,
+            &node,
+            cardinality,
+            vec![combined.explain, next.explain],
+        );
+        explain.estimated_strategy = strategy;
         combined = Partial {
             vertices: combined.vertices.union(&next.vertices).copied().collect(),
             edges: combined.edges.union(&next.edges).copied().collect(),
@@ -152,6 +198,7 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
             cardinality,
             node,
             distinct,
+            explain,
         };
         apply_ready_filters(query, estimator, &mut combined, &mut pending_clauses);
     }
@@ -174,11 +221,20 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
             input: Box::new(combined.node),
             clauses,
         };
+        let input_explain = std::mem::replace(&mut combined.explain, ExplainNode::leaf("", 0.0));
+        combined.explain = explain_for(
+            query,
+            &combined.node,
+            combined.cardinality,
+            vec![input_explain],
+        );
     }
 
     Ok(QueryPlan {
         estimated_cardinality: combined.cardinality,
         root: combined.node,
+        explain: combined.explain,
+        planner,
     })
 }
 
@@ -244,17 +300,21 @@ fn edge_scan_partial(query: &QueryGraph, estimator: &Estimator, edge_index: usiz
     distinct.insert(edge.variable.clone(), cardinality);
     let mut variables = BTreeSet::from([source_var, edge.variable.clone()]);
     variables.insert(target_var);
+    let node = PlanNode::ScanEdges { edge: edge_index };
+    let explain = explain_for(query, &node, cardinality, Vec::new());
     Partial {
-        node: PlanNode::ScanEdges { edge: edge_index },
+        node,
         vertices: BTreeSet::from([edge.source, edge.target]),
         edges: BTreeSet::from([edge_index]),
         variables,
         cardinality,
         distinct,
+        explain,
     }
 }
 
 fn join_partials(
+    query: &QueryGraph,
     estimator: &Estimator,
     left: Partial,
     right: Partial,
@@ -275,17 +335,27 @@ fn join_partials(
         let entry = distinct.entry(variable.clone()).or_insert(*value);
         *entry = entry.min(*value).min(cardinality.max(1.0));
     }
+    // Predict the join strategy the executor will pick if the estimated
+    // input cardinalities come true.
+    let strategy = choose_join_strategy(
+        left.cardinality.max(0.0) as usize,
+        right.cardinality.max(0.0) as usize,
+    );
+    let node = PlanNode::Join {
+        left: Box::new(left.node),
+        right: Box::new(right.node),
+        variables,
+    };
+    let mut explain = explain_for(query, &node, cardinality, vec![left.explain, right.explain]);
+    explain.estimated_strategy = Some(strategy);
     Partial {
-        node: PlanNode::Join {
-            left: Box::new(left.node),
-            right: Box::new(right.node),
-            variables,
-        },
+        node,
         vertices: left.vertices.union(&right.vertices).copied().collect(),
         edges: left.edges.union(&right.edges).copied().collect(),
         variables: left.variables.union(&right.variables).cloned().collect(),
         cardinality,
         distinct,
+        explain,
     }
 }
 
@@ -313,12 +383,13 @@ fn build_join_candidate(
             if source_var != target_var {
                 join_vars.push(target_var);
             }
-            current = join_partials(estimator, partials[s].clone(), current, join_vars);
+            current = join_partials(query, estimator, partials[s].clone(), current, join_vars);
             consumed.push(s);
         }
         (source, target) => {
             if let Some(s) = source {
                 current = join_partials(
+                    query,
                     estimator,
                     partials[s].clone(),
                     current,
@@ -328,8 +399,13 @@ fn build_join_candidate(
             }
             if let Some(t) = target {
                 if source_var != target_var {
-                    current =
-                        join_partials(estimator, partials[t].clone(), current, vec![target_var]);
+                    current = join_partials(
+                        query,
+                        estimator,
+                        partials[t].clone(),
+                        current,
+                        vec![target_var],
+                    );
                     consumed.push(t);
                 }
             }
@@ -359,16 +435,19 @@ fn build_expand_candidate(
             let cardinality = estimator.vertex_cardinality(query, edge.source);
             let mut distinct = HashMap::new();
             distinct.insert(source_var.clone(), cardinality);
+            let node = PlanNode::ScanVertices {
+                vertex: edge.source,
+            };
+            let explain = explain_for(query, &node, cardinality, Vec::new());
             (
                 Partial {
-                    node: PlanNode::ScanVertices {
-                        vertex: edge.source,
-                    },
+                    node,
                     vertices: BTreeSet::from([edge.source]),
                     edges: BTreeSet::new(),
                     variables: BTreeSet::from([source_var.clone()]),
                     cardinality,
                     distinct,
+                    explain,
                 },
                 Vec::new(),
             )
@@ -397,11 +476,13 @@ fn build_expand_candidate(
         target_var.clone(),
         (estimator.stats().vertex_count as f64).min(cardinality.max(1.0)),
     );
+    let node = PlanNode::Expand {
+        input: Box::new(input.node),
+        edge: edge_index,
+    };
+    let explain = explain_for(query, &node, cardinality, vec![input.explain]);
     let mut expanded = Partial {
-        node: PlanNode::Expand {
-            input: Box::new(input.node),
-            edge: edge_index,
-        },
+        node,
         vertices: {
             let mut v = input.vertices.clone();
             v.insert(edge.source);
@@ -416,6 +497,7 @@ fn build_expand_candidate(
         variables,
         cardinality,
         distinct,
+        explain,
     };
 
     // If the target lives in a different partial, join the expansion result
@@ -423,6 +505,7 @@ fn build_expand_candidate(
     if let Some(t) = target_partial {
         if !consumed.contains(&t) && !closes_cycle {
             expanded = join_partials(
+                query,
                 estimator,
                 expanded,
                 partials[t].clone(),
@@ -463,17 +546,28 @@ fn apply_ready_filters(
         input: Box::new(partial.node.clone()),
         clauses: ready,
     };
+    let input_explain = std::mem::replace(&mut partial.explain, ExplainNode::leaf("", 0.0));
+    partial.explain = explain_for(
+        query,
+        &partial.node,
+        partial.cardinality,
+        vec![input_explain],
+    );
 }
 
 /// Finds a pending single-atom equality clause `a.k1 = b.k2` whose sides
 /// live in the two given variable sets, returning the clause index and the
 /// property pair oriented as (left, right).
+/// A value-join opportunity: the clause index plus the (variable, property)
+/// pair of each side, oriented as (left, right).
+type ValueJoinClause = (usize, (String, String), (String, String));
+
 fn find_value_join_clause(
     query: &QueryGraph,
     pending: &BTreeSet<usize>,
     left_variables: &BTreeSet<String>,
     right_variables: &BTreeSet<String>,
-) -> Option<(usize, (String, String), (String, String))> {
+) -> Option<ValueJoinClause> {
     use gradoop_cypher::{Atom, CmpOp, Operand};
     for &index in pending {
         let (clause, _) = &query.cross_clauses[index];
@@ -481,10 +575,11 @@ fn find_value_join_clause(
             continue;
         };
         let Atom::Comparison {
-            left: Operand::Property {
-                variable: v1,
-                key: k1,
-            },
+            left:
+                Operand::Property {
+                    variable: v1,
+                    key: k1,
+                },
             op: CmpOp::Eq,
             right:
                 Operand::Property {
@@ -529,7 +624,9 @@ mod tests {
             distinct_target_count: 900,
             ..GraphStatistics::default()
         };
-        stats.vertex_count_by_label.insert(Label::new("Person"), 600);
+        stats
+            .vertex_count_by_label
+            .insert(Label::new("Person"), 600);
         stats
             .vertex_count_by_label
             .insert(Label::new("University"), 10);
@@ -619,8 +716,11 @@ mod tests {
         assert_eq!(edges.len(), 3);
         // The last edge closes the triangle: its join binds two variables.
         let text = plan.describe(&query);
-        assert!(text.contains("JoinEmbeddings(on p1, p3)") || text.contains("JoinEmbeddings(on p3, p1)"),
-            "{text}");
+        assert!(
+            text.contains("JoinEmbeddings(on p1, p3)")
+                || text.contains("JoinEmbeddings(on p3, p1)"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -652,12 +752,13 @@ mod tests {
 
     #[test]
     fn cross_component_equality_becomes_value_join() {
-        let (query, plan) = plan(
-            "MATCH (a:Person), (b:University) WHERE a.name = b.name RETURN *",
-        );
+        let (query, plan) = plan("MATCH (a:Person), (b:University) WHERE a.name = b.name RETURN *");
         let text = plan.describe(&query);
-        assert!(text.contains("ValueJoinEmbeddings(a.name = b.name)")
-            || text.contains("ValueJoinEmbeddings(b.name = a.name)"), "{text}");
+        assert!(
+            text.contains("ValueJoinEmbeddings(a.name = b.name)")
+                || text.contains("ValueJoinEmbeddings(b.name = a.name)"),
+            "{text}"
+        );
         assert!(!text.contains("CartesianProduct"), "{text}");
         // The clause is consumed by the join — no residual filter.
         assert!(!text.contains("FilterEmbeddings"), "{text}");
@@ -665,9 +766,7 @@ mod tests {
 
     #[test]
     fn non_equality_cross_clause_keeps_cartesian() {
-        let (query, plan) = plan(
-            "MATCH (a:Person), (b:University) WHERE a.name < b.name RETURN *",
-        );
+        let (query, plan) = plan("MATCH (a:Person), (b:University) WHERE a.name < b.name RETURN *");
         let text = plan.describe(&query);
         assert!(text.contains("CartesianProduct"), "{text}");
         assert!(text.contains("FilterEmbeddings"), "{text}");

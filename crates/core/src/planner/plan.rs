@@ -2,6 +2,8 @@
 
 use gradoop_cypher::QueryGraph;
 
+use crate::observe::{ExplainNode, PlannerTrace};
+
 /// A node of the (bushy) query plan tree. Leaf nodes reference query
 /// vertices/edges by index into the [`QueryGraph`].
 #[derive(Debug, Clone, PartialEq)]
@@ -61,13 +63,18 @@ pub enum PlanNode {
     },
 }
 
-/// A complete plan with its cost estimate.
+/// A complete plan with its cost estimate and planner annotations.
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
     /// Root of the plan tree.
     pub root: PlanNode,
     /// Estimated number of result embeddings.
     pub estimated_cardinality: f64,
+    /// Annotated plan tree mirroring `root`: per-operator estimated
+    /// cardinalities and predicted join strategies.
+    pub explain: ExplainNode,
+    /// The greedy planner's decision log.
+    pub planner: PlannerTrace,
 }
 
 impl QueryPlan {
@@ -84,73 +91,72 @@ impl QueryPlan {
     }
 }
 
-fn describe_node(node: &PlanNode, query: &QueryGraph, depth: usize, out: &mut String) {
-    let indent = "  ".repeat(depth);
+/// One-line label of a plan node (no children), resolving leaf indices to
+/// query variables. Shared by [`QueryPlan::describe`] and the
+/// [`ExplainNode`]s the planner builds alongside the plan.
+pub(crate) fn node_label(node: &PlanNode, query: &QueryGraph) -> String {
     match node {
         PlanNode::ScanVertices { vertex } => {
             let v = &query.vertices[*vertex];
             let labels: Vec<&str> = v.labels.iter().map(|l| l.as_str()).collect();
-            out.push_str(&format!(
-                "{indent}ScanVertices({}{}{})\n",
+            format!(
+                "ScanVertices({}{}{})",
                 v.variable,
                 if labels.is_empty() { "" } else { ":" },
                 labels.join("|")
-            ));
+            )
         }
         PlanNode::ScanEdges { edge } => {
             let e = &query.edges[*edge];
             let labels: Vec<&str> = e.labels.iter().map(|l| l.as_str()).collect();
-            out.push_str(&format!(
-                "{indent}ScanEdges({}{}{})\n",
+            format!(
+                "ScanEdges({}{}{})",
                 e.variable,
                 if labels.is_empty() { "" } else { ":" },
                 labels.join("|")
-            ));
+            )
         }
-        PlanNode::Join {
-            left,
-            right,
-            variables,
-        } => {
-            out.push_str(&format!("{indent}JoinEmbeddings(on {})\n", variables.join(", ")));
-            describe_node(left, query, depth + 1, out);
-            describe_node(right, query, depth + 1, out);
+        PlanNode::Join { variables, .. } => {
+            format!("JoinEmbeddings(on {})", variables.join(", "))
         }
-        PlanNode::Expand { input, edge } => {
+        PlanNode::Expand { edge, .. } => {
             let e = &query.edges[*edge];
             let (lower, upper) = e.range.unwrap_or((1, 1));
-            out.push_str(&format!(
-                "{indent}ExpandEmbeddings({} *{}..{})\n",
-                e.variable, lower, upper
-            ));
-            describe_node(input, query, depth + 1, out);
+            format!("ExpandEmbeddings({} *{}..{})", e.variable, lower, upper)
         }
-        PlanNode::Filter { input, clauses } => {
+        PlanNode::Filter { clauses, .. } => {
             let texts: Vec<String> = clauses
                 .iter()
                 .map(|&i| query.cross_clauses[i].0.to_string())
                 .collect();
-            out.push_str(&format!("{indent}FilterEmbeddings({})\n", texts.join(" AND ")));
-            describe_node(input, query, depth + 1, out);
+            format!("FilterEmbeddings({})", texts.join(" AND "))
         }
-        PlanNode::Cartesian { left, right } => {
-            out.push_str(&format!("{indent}CartesianProduct\n"));
-            describe_node(left, query, depth + 1, out);
-            describe_node(right, query, depth + 1, out);
-        }
+        PlanNode::Cartesian { .. } => "CartesianProduct".to_string(),
         PlanNode::ValueJoin {
-            left,
-            right,
             left_property,
             right_property,
-        } => {
-            out.push_str(&format!(
-                "{indent}ValueJoinEmbeddings({}.{} = {}.{})\n",
-                left_property.0, left_property.1, right_property.0, right_property.1
-            ));
+            ..
+        } => format!(
+            "ValueJoinEmbeddings({}.{} = {}.{})",
+            left_property.0, left_property.1, right_property.0, right_property.1
+        ),
+    }
+}
+
+fn describe_node(node: &PlanNode, query: &QueryGraph, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&format!("{indent}{}\n", node_label(node, query)));
+    match node {
+        PlanNode::Join { left, right, .. }
+        | PlanNode::Cartesian { left, right }
+        | PlanNode::ValueJoin { left, right, .. } => {
             describe_node(left, query, depth + 1, out);
             describe_node(right, query, depth + 1, out);
         }
+        PlanNode::Expand { input, .. } | PlanNode::Filter { input, .. } => {
+            describe_node(input, query, depth + 1, out);
+        }
+        PlanNode::ScanVertices { .. } | PlanNode::ScanEdges { .. } => {}
     }
 }
 
@@ -175,6 +181,8 @@ mod tests {
                 clauses: vec![0],
             },
             estimated_cardinality: 42.0,
+            explain: ExplainNode::leaf("FilterEmbeddings(p.a <> q.a)", 42.0),
+            planner: PlannerTrace::default(),
         };
         let text = plan.describe(&query);
         assert!(text.contains("ScanVertices(p:Person)"));

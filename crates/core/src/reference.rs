@@ -89,7 +89,7 @@ pub fn reference_match(
 impl Matcher<'_> {
     fn vertex_ok(&self, query_vertex: usize, vertex: &Vertex) -> bool {
         let qv = &self.query.vertices[query_vertex];
-        if !qv.labels.is_empty() && !qv.labels.iter().any(|l| *l == vertex.label) {
+        if !qv.labels.is_empty() && !qv.labels.contains(&vertex.label) {
             return false;
         }
         let bindings = SingleElement {
@@ -102,7 +102,7 @@ impl Matcher<'_> {
     }
 
     fn edge_ok(&self, query_edge: &QueryEdge, edge: &Edge) -> bool {
-        if !query_edge.labels.is_empty() && !query_edge.labels.iter().any(|l| *l == edge.label) {
+        if !query_edge.labels.is_empty() && !query_edge.labels.contains(&edge.label) {
             return false;
         }
         let bindings = SingleElement {
@@ -125,9 +125,7 @@ impl Matcher<'_> {
         if !self.vertex_ok(query_vertex, vertex) {
             return None;
         }
-        if self.config.vertices == MorphismType::Isomorphism
-            && self.used_vertices.contains(&id)
-        {
+        if self.config.vertices == MorphismType::Isomorphism && self.used_vertices.contains(&id) {
             return None;
         }
         self.vertex_bindings.insert(variable, id);
@@ -213,7 +211,7 @@ impl Matcher<'_> {
             let Some(fresh_start) = self.bind_vertex(query_edge.source, start) else {
                 continue;
             };
-            self.extend_path(edge_index, query_edge, start, start, Vec::new(), lower, upper);
+            self.extend_path(edge_index, query_edge, start, Vec::new(), lower, upper);
             if fresh_start {
                 self.unbind_vertex(query_edge.source);
             }
@@ -221,19 +219,17 @@ impl Matcher<'_> {
     }
 
     /// Depth-first path extension from `end`, having already traversed
-    /// `via` (alternating edge, vertex, ... ids) starting at `start`.
-    #[allow(clippy::too_many_arguments)]
+    /// `via` (alternating edge, vertex, ... ids from the path's start).
     fn extend_path(
         &mut self,
         edge_index: usize,
         query_edge: &QueryEdge,
-        start: u64,
         end: u64,
         via: Vec<u64>,
         lower: usize,
         upper: usize,
     ) {
-        let hops = (via.len() + 1) / 2;
+        let hops = via.len().div_ceil(2);
         if hops >= lower {
             self.emit_path(edge_index, query_edge, end, &via);
         }
@@ -252,7 +248,9 @@ impl Matcher<'_> {
         }
         if query_edge.undirected {
             for edge in &self.graph.edges {
-                if edge.target.0 == end && edge.source.0 != edge.target.0 && self.edge_ok(query_edge, edge)
+                if edge.target.0 == end
+                    && edge.source.0 != edge.target.0
+                    && self.edge_ok(query_edge, edge)
                 {
                     candidates.push((edge.id.0, edge.source.0));
                 }
@@ -281,7 +279,7 @@ impl Matcher<'_> {
                 extended.push(end);
                 extended.push(edge_id);
             }
-            self.extend_path(edge_index, query_edge, start, next, extended, lower, upper);
+            self.extend_path(edge_index, query_edge, next, extended, lower, upper);
         }
     }
 
@@ -333,8 +331,11 @@ impl Matcher<'_> {
 
     fn solve_isolated_vertices(&mut self, from: usize) {
         // Bind any query vertex not yet bound (isolated components).
-        let next = (from..self.query.vertices.len())
-            .find(|&i| !self.vertex_bindings.contains_key(&self.query.vertices[i].variable));
+        let next = (from..self.query.vertices.len()).find(|&i| {
+            !self
+                .vertex_bindings
+                .contains_key(&self.query.vertices[i].variable)
+        });
         let Some(vertex_index) = next else {
             self.emit_match();
             return;
@@ -432,7 +433,13 @@ mod tests {
             Vertex::new(GradoopId(id), "Person", properties! {"name" => name})
         };
         let knows = |id: u64, s: u64, t: u64| {
-            Edge::new(GradoopId(id), "knows", GradoopId(s), GradoopId(t), Properties::new())
+            Edge::new(
+                GradoopId(id),
+                "knows",
+                GradoopId(s),
+                GradoopId(t),
+                Properties::new(),
+            )
         };
         LogicalGraph::from_data(
             &env,

@@ -6,7 +6,9 @@ use std::collections::HashMap;
 use gradoop_cypher::{QueryGraph, ReturnItem};
 use gradoop_dataflow::JoinStrategy;
 use gradoop_epgm::operators::next_derived_graph_id;
-use gradoop_epgm::{GradoopId, GraphCollection, GraphHead, LogicalGraph, Properties, PropertyValue};
+use gradoop_epgm::{
+    GradoopId, GraphCollection, GraphHead, LogicalGraph, Properties, PropertyValue,
+};
 
 use crate::embedding::{Embedding, EmbeddingMetaData, Entry};
 use crate::planner::QueryPlan;
@@ -62,7 +64,10 @@ impl QueryResult {
             .any(|item| matches!(item, ReturnItem::CountStar))
         {
             return vec![ResultRow {
-                values: vec![("count(*)".to_string(), ResultValue::Count(self.count() as u64))],
+                values: vec![(
+                    "count(*)".to_string(),
+                    ResultValue::Count(self.count() as u64),
+                )],
             }];
         }
         let embeddings = self.embeddings.collect();
@@ -137,7 +142,9 @@ impl QueryResult {
                         let property = match value {
                             ResultValue::Id(id) => PropertyValue::Long(id as i64),
                             ResultValue::Path(ids) => PropertyValue::List(
-                                ids.iter().map(|id| PropertyValue::Long(*id as i64)).collect(),
+                                ids.iter()
+                                    .map(|id| PropertyValue::Long(*id as i64))
+                                    .collect(),
                             ),
                             ResultValue::Property(value) => value,
                             ResultValue::Count(count) => PropertyValue::Long(count as i64),
@@ -170,11 +177,10 @@ impl QueryResult {
 
         // Group memberships per element and join them with the data graph,
         // extending each matched element's membership set.
-        let vertex_groups = env
-            .from_collection(vertex_memberships)
-            .group_reduce(|(id, _)| *id, |id, members| {
-                (*id, members.iter().map(|(_, g)| *g).collect::<Vec<u64>>())
-            });
+        let vertex_groups = env.from_collection(vertex_memberships).group_reduce(
+            |(id, _)| *id,
+            |id, members| (*id, members.iter().map(|(_, g)| *g).collect::<Vec<u64>>()),
+        );
         let vertices = data_graph.vertices().join(
             &vertex_groups,
             |v| v.id.0,
@@ -188,11 +194,10 @@ impl QueryResult {
                 Some(vertex)
             },
         );
-        let edge_groups = env
-            .from_collection(edge_memberships)
-            .group_reduce(|(id, _)| *id, |id, members| {
-                (*id, members.iter().map(|(_, g)| *g).collect::<Vec<u64>>())
-            });
+        let edge_groups = env.from_collection(edge_memberships).group_reduce(
+            |(id, _)| *id,
+            |id, members| (*id, members.iter().map(|(_, g)| *g).collect::<Vec<u64>>()),
+        );
         let edges = data_graph.edges().join(
             &edge_groups,
             |e| e.id.0,

@@ -29,8 +29,7 @@ impl GraphSource for LogicalGraph {
             return self.vertices().clone();
         }
         let labels = labels.to_vec();
-        self.vertices()
-            .filter(move |v| labels.iter().any(|l| *l == v.label))
+        self.vertices().filter(move |v| labels.contains(&v.label))
     }
 
     fn edges_for_labels(&self, labels: &[Label]) -> Dataset<Edge> {
@@ -38,8 +37,7 @@ impl GraphSource for LogicalGraph {
             return self.edges().clone();
         }
         let labels = labels.to_vec();
-        self.edges()
-            .filter(move |e| labels.iter().any(|l| *l == e.label))
+        self.edges().filter(move |e| labels.contains(&e.label))
     }
 }
 

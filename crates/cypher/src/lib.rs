@@ -31,5 +31,7 @@ pub mod token;
 pub use ast::{Direction, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnItem};
 pub use error::{ParseError, QueryGraphError};
 pub use parser::{parse, DEFAULT_MAX_HOPS};
-pub use predicates::{Atom, Bindings, CmpOp, CnfClause, CnfPredicate, Expression, Literal, Operand};
+pub use predicates::{
+    Atom, Bindings, CmpOp, CnfClause, CnfPredicate, Expression, Literal, Operand,
+};
 pub use query_graph::{QueryEdge, QueryGraph, QueryVertex};

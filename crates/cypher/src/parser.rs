@@ -71,7 +71,10 @@ impl Parser {
         if self.eat(&TokenKind::Keyword(keyword)) {
             Ok(())
         } else {
-            Err(self.error(format!("expected keyword `{keyword:?}`, found {}", self.peek())))
+            Err(self.error(format!(
+                "expected keyword `{keyword:?}`, found {}",
+                self.peek()
+            )))
         }
     }
 
@@ -96,9 +99,7 @@ impl Parser {
         self.expect_keyword(Keyword::Match)?;
         let mut patterns = vec![self.path_pattern()?];
         loop {
-            if self.eat(&TokenKind::Comma) {
-                patterns.push(self.path_pattern()?);
-            } else if self.eat(&TokenKind::Keyword(Keyword::Match)) {
+            if self.eat(&TokenKind::Comma) || self.eat(&TokenKind::Keyword(Keyword::Match)) {
                 patterns.push(self.path_pattern()?);
             } else {
                 break;
@@ -539,7 +540,13 @@ mod tests {
                 .range
         };
         assert_eq!(range("*1..3"), Some(PathRange { lower: 1, upper: 3 }));
-        assert_eq!(range("*0..10"), Some(PathRange { lower: 0, upper: 10 }));
+        assert_eq!(
+            range("*0..10"),
+            Some(PathRange {
+                lower: 0,
+                upper: 10
+            })
+        );
         assert_eq!(range("*2"), Some(PathRange { lower: 2, upper: 2 }));
         assert_eq!(
             range("*"),
@@ -592,8 +599,8 @@ mod tests {
 
     #[test]
     fn parses_where_precedence() {
-        let q = parse("MATCH (a) WHERE a.x = 1 OR a.y = 2 AND NOT a.z = 3 RETURN *")
-            .expect("parse");
+        let q =
+            parse("MATCH (a) WHERE a.x = 1 OR a.y = 2 AND NOT a.z = 3 RETURN *").expect("parse");
         // AND binds tighter than OR.
         assert_eq!(
             q.where_clause.unwrap().to_string(),

@@ -323,7 +323,9 @@ fn to_nnf(expression: &Expression, negated: bool) -> Nnf {
             operand: operand_of(operand),
             negated: *is_not != negated,
         }),
-        Expression::Literal(Literal::Boolean(value)) => Nnf::Atom(Atom::Constant(*value != negated)),
+        Expression::Literal(Literal::Boolean(value)) => {
+            Nnf::Atom(Atom::Constant(*value != negated))
+        }
         Expression::Literal(Literal::Null) => Nnf::Atom(Atom::Constant(false)),
         other => {
             // A bare variable/property/parameter in boolean position: treat
@@ -424,7 +426,10 @@ mod tests {
             Box::new(Expression::And(Box::new(b), Box::new(c))),
         );
         let cnf = to_cnf(&expr);
-        assert_eq!(cnf.to_string(), "(v.a = 1 OR v.b = 2) AND (v.a = 1 OR v.c = 3)");
+        assert_eq!(
+            cnf.to_string(),
+            "(v.a = 1 OR v.b = 2) AND (v.a = 1 OR v.c = 3)"
+        );
     }
 
     #[test]

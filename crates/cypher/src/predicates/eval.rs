@@ -250,7 +250,12 @@ mod tests {
             },
             &b
         ));
-        assert!(!eval_clause(&CnfClause { atoms: vec![f.clone()] }, &b));
+        assert!(!eval_clause(
+            &CnfClause {
+                atoms: vec![f.clone()]
+            },
+            &b
+        ));
         let mut predicate = CnfPredicate::always_true();
         assert!(eval_predicate(&predicate, &b));
         predicate.push(CnfClause::single(t));

@@ -238,7 +238,14 @@ mod tests {
         assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
         assert_eq!(CmpOp::Lt.negated(), CmpOp::Gte);
         assert_eq!(CmpOp::Eq.negated(), CmpOp::Neq);
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Lte, CmpOp::Gt, CmpOp::Gte] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Lte,
+            CmpOp::Gt,
+            CmpOp::Gte,
+        ] {
             assert_eq!(op.negated().negated(), op);
             assert_eq!(op.flipped().flipped(), op);
         }

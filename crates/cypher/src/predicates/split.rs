@@ -40,10 +40,7 @@ pub fn split_predicates(predicate: &CnfPredicate) -> SplitPredicates {
 impl SplitPredicates {
     /// The element-centric predicate for `variable` (trivial if none).
     pub fn for_variable(&self, variable: &str) -> CnfPredicate {
-        self.by_variable
-            .get(variable)
-            .cloned()
-            .unwrap_or_default()
+        self.by_variable.get(variable).cloned().unwrap_or_default()
     }
 }
 

@@ -115,7 +115,7 @@ impl QueryGraph {
     pub fn connected_components(&self) -> Vec<Vec<usize>> {
         let n = self.vertices.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -26,14 +26,17 @@ fn literal() -> impl Strategy<Value = Literal> {
 fn node_variable() -> impl Strategy<Value = Option<String>> {
     prop_oneof![
         Just(None),
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
-            .prop_map(|v| Some(v.to_string())),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")].prop_map(|v| Some(v.to_string())),
     ]
 }
 
 fn labels() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec(
-        prop_oneof![Just("A".to_string()), Just("B".to_string()), Just("C".to_string())],
+        prop_oneof![
+            Just("A".to_string()),
+            Just("B".to_string()),
+            Just("C".to_string())
+        ],
         0..3,
     )
     .prop_map(|mut ls| {
@@ -44,7 +47,10 @@ fn labels() -> impl Strategy<Value = Vec<String>> {
 
 fn property_map() -> impl Strategy<Value = Vec<(String, Literal)>> {
     proptest::collection::vec(
-        (prop_oneof![Just("p".to_string()), Just("q".to_string())], literal()),
+        (
+            prop_oneof![Just("p".to_string()), Just("q".to_string())],
+            literal(),
+        ),
         0..2,
     )
     .prop_map(|mut entries| {
@@ -65,6 +71,8 @@ fn node_pattern() -> impl Strategy<Value = NodePattern> {
 }
 
 fn path_range() -> impl Strategy<Value = Option<PathRange>> {
+    // `*1..1` normalizes to a plain edge during query-graph construction
+    // but must still roundtrip through the printer.
     prop_oneof![
         Just(None),
         (0usize..3, 0usize..4).prop_map(|(lower, extra)| Some(PathRange {
@@ -72,18 +80,10 @@ fn path_range() -> impl Strategy<Value = Option<PathRange>> {
             upper: lower + extra,
         })),
     ]
-    .prop_map(|range| match range {
-        // `*1..1` normalizes to a plain edge during query-graph
-        // construction but must still roundtrip through the printer.
-        other => other,
-    })
 }
 
 fn rel_pattern(index: usize) -> impl Strategy<Value = RelPattern> {
-    let variable = prop_oneof![
-        Just(None),
-        Just(Some(format!("e{index}"))),
-    ];
+    let variable = prop_oneof![Just(None), Just(Some(format!("e{index}"))),];
     (
         variable,
         labels(),
@@ -95,13 +95,15 @@ fn rel_pattern(index: usize) -> impl Strategy<Value = RelPattern> {
         ],
         path_range(),
     )
-        .prop_map(|(variable, labels, properties, direction, range)| RelPattern {
-            variable,
-            labels,
-            properties,
-            direction,
-            range,
-        })
+        .prop_map(
+            |(variable, labels, properties, direction, range)| RelPattern {
+                variable,
+                labels,
+                properties,
+                direction,
+                range,
+            },
+        )
 }
 
 fn query() -> impl Strategy<Value = Query> {
@@ -180,8 +182,15 @@ fn comparable_expression() -> impl Strategy<Value = Expression> {
             Just(CmpOp::Gte)
         ],
         prop_oneof![
-            (-3i64..4).prop_map(Literal::Integer).prop_map(Expression::Literal).boxed(),
-            Just(Expression::Property { variable: "b".into(), key: "p".into() }).boxed(),
+            (-3i64..4)
+                .prop_map(Literal::Integer)
+                .prop_map(Expression::Literal)
+                .boxed(),
+            Just(Expression::Property {
+                variable: "b".into(),
+                key: "p".into()
+            })
+            .boxed(),
         ],
     )
         .prop_map(|(variable, op, right)| Expression::Comparison {
@@ -213,12 +222,12 @@ fn eval_direct(expr: &Expression, bindings: &TotalBindings) -> bool {
             let value = |e: &Expression| -> i64 {
                 match e {
                     Expression::Literal(Literal::Integer(v)) => *v,
-                    Expression::Property { variable, key } => match bindings
-                        .property(variable, key)
-                    {
-                        Some(PropertyValue::Long(v)) => v,
-                        other => panic!("unexpected {other:?}"),
-                    },
+                    Expression::Property { variable, key } => {
+                        match bindings.property(variable, key) {
+                            Some(PropertyValue::Long(v)) => v,
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
                     other => panic!("unexpected operand {other:?}"),
                 }
             };

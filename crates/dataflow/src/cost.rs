@@ -93,6 +93,27 @@ pub struct StageReport {
     pub bytes_spilled: u64,
     /// Simulated makespan of this stage in seconds.
     pub seconds: f64,
+    /// Simulated seconds of the slowest worker (excluding the fixed stage
+    /// overhead). Equal to `seconds - stage_overhead_seconds`.
+    pub max_worker_seconds: f64,
+    /// Mean simulated seconds across all workers (excluding overhead). The
+    /// ratio `max / mean` is the stage's skew factor — 1.0 means perfectly
+    /// balanced partitions.
+    pub mean_worker_seconds: f64,
+    /// Records (in + out) processed by the busiest worker.
+    pub busiest_worker_records: u64,
+}
+
+impl StageReport {
+    /// Skew factor of this stage: slowest worker relative to the mean
+    /// (1.0 = balanced). Returns 1.0 when no worker did any simulated work.
+    pub fn skew(&self) -> f64 {
+        if self.mean_worker_seconds > 0.0 {
+            self.max_worker_seconds / self.mean_worker_seconds
+        } else {
+            1.0
+        }
+    }
 }
 
 /// Aggregated metrics of everything executed in one environment.
@@ -110,8 +131,6 @@ pub struct ExecutionMetrics {
     pub bytes_spilled: u64,
     /// Number of executed stages.
     pub stages: u64,
-    /// Per-stage log (kept only when stage logging is enabled).
-    pub stage_log: Vec<StageReport>,
 }
 
 /// Costs charged to a single worker within one stage.
@@ -171,13 +190,22 @@ impl StageCosts {
         self.workers.len()
     }
 
-    /// Finalizes the stage: computes the makespan and produces a report.
+    /// Finalizes the stage: computes the makespan, the per-worker skew
+    /// profile and produces a report.
     pub fn finish(self, model: &CostModel) -> StageReport {
-        let makespan = self
+        let seconds: Vec<f64> = self.workers.iter().map(|w| w.seconds(model)).collect();
+        let makespan = seconds.iter().copied().fold(0.0f64, f64::max);
+        let mean = seconds.iter().sum::<f64>() / seconds.len() as f64;
+        // The busiest worker: slowest by simulated time; ties (e.g. under the
+        // free cost model) go to the worker with the most records.
+        let records = |w: &WorkerCost| w.records_in + w.records_out;
+        let busiest = self
             .workers
             .iter()
-            .map(|w| w.seconds(model))
-            .fold(0.0f64, f64::max);
+            .zip(&seconds)
+            .max_by(|(a, sa), (b, sb)| sa.total_cmp(sb).then_with(|| records(a).cmp(&records(b))))
+            .map(|(w, _)| records(w))
+            .unwrap_or(0);
         StageReport {
             name: self.name.to_string(),
             records_in: self.workers.iter().map(|w| w.records_in).sum(),
@@ -185,22 +213,24 @@ impl StageCosts {
             bytes_shuffled: self.workers.iter().map(|w| w.bytes_sent).sum(),
             bytes_spilled: self.workers.iter().map(|w| w.bytes_spilled).sum(),
             seconds: makespan + model.stage_overhead_seconds,
+            max_worker_seconds: makespan,
+            mean_worker_seconds: mean,
+            busiest_worker_records: busiest,
         }
     }
 }
 
 impl ExecutionMetrics {
-    /// Folds a finished stage into the totals.
-    pub fn record(&mut self, report: StageReport, keep_log: bool) {
+    /// Folds a finished stage into the totals. Per-stage detail is the job
+    /// of a [`TraceSink`](crate::trace::TraceSink), which sees every report
+    /// as it finishes.
+    pub fn record(&mut self, report: &StageReport) {
         self.simulated_seconds += report.seconds;
         self.records_in += report.records_in;
         self.records_out += report.records_out;
         self.bytes_shuffled += report.bytes_shuffled;
         self.bytes_spilled += report.bytes_spilled;
         self.stages += 1;
-        if keep_log {
-            self.stage_log.push(report);
-        }
     }
 }
 
@@ -250,7 +280,7 @@ mod tests {
     }
 
     #[test]
-    fn metrics_accumulate_and_keep_log_on_request() {
+    fn metrics_accumulate() {
         let mut metrics = ExecutionMetrics::default();
         let report = StageReport {
             name: "a".into(),
@@ -259,12 +289,57 @@ mod tests {
             bytes_shuffled: 7,
             bytes_spilled: 0,
             seconds: 1.5,
+            max_worker_seconds: 1.5,
+            mean_worker_seconds: 1.0,
+            busiest_worker_records: 8,
         };
-        metrics.record(report.clone(), false);
-        metrics.record(report, true);
+        metrics.record(&report);
+        metrics.record(&report);
         assert_eq!(metrics.stages, 2);
         assert_eq!(metrics.records_in, 10);
-        assert_eq!(metrics.stage_log.len(), 1);
         assert!((metrics.simulated_seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_fold_reports_max_mean_and_busiest_worker() {
+        let model = CostModel {
+            cpu_seconds_per_record: 1.0,
+            stage_overhead_seconds: 0.25,
+            ..CostModel::free()
+        };
+        let mut stage = StageCosts::new("test", 4);
+        stage.worker(0).records_in = 2;
+        stage.worker(1).records_in = 6;
+        stage.worker(1).records_out = 2;
+        stage.worker(2).records_in = 4;
+        let report = stage.finish(&model);
+        // Worker seconds: [2, 8, 4, 0] -> max 8, mean 3.5; overhead only
+        // affects the makespan, not the skew profile.
+        assert!((report.max_worker_seconds - 8.0).abs() < 1e-12);
+        assert!((report.mean_worker_seconds - 3.5).abs() < 1e-12);
+        assert!((report.seconds - 8.25).abs() < 1e-12);
+        assert_eq!(report.busiest_worker_records, 8);
+        assert!((report.skew() - 8.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_of_balanced_and_idle_stages_is_one() {
+        let model = CostModel {
+            cpu_seconds_per_record: 1.0,
+            ..CostModel::free()
+        };
+        let mut stage = StageCosts::new("balanced", 2);
+        stage.worker(0).records_in = 5;
+        stage.worker(1).records_in = 5;
+        assert!((stage.finish(&model).skew() - 1.0).abs() < 1e-12);
+
+        // Free model: no simulated work at all — busiest worker falls back
+        // to the record count and skew defaults to 1.0.
+        let mut idle = StageCosts::new("idle", 2);
+        idle.worker(0).records_in = 1;
+        idle.worker(1).records_in = 7;
+        let report = idle.finish(&CostModel::free());
+        assert_eq!(report.busiest_worker_records, 7);
+        assert!((report.skew() - 1.0).abs() < 1e-12);
     }
 }

@@ -317,8 +317,9 @@ mod tests {
         for part in ds.partitions() {
             for (k, _) in part {
                 let home = crate::partition::partition_for(k, 4);
-                assert!(part.iter().all(|(k2, _)| k2 != k
-                    || crate::partition::partition_for(k2, 4) == home));
+                assert!(part
+                    .iter()
+                    .all(|(k2, _)| k2 != k || crate::partition::partition_for(k2, 4) == home));
             }
         }
         assert_eq!(ds.count(), 100);

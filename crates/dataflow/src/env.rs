@@ -1,12 +1,12 @@
 //! Execution environment: simulated cluster configuration plus metrics.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::cost::{CostModel, ExecutionMetrics, StageCosts};
 use crate::data::Data;
 use crate::dataset::Dataset;
+use crate::trace::{SpanRecord, TraceSink};
 
 /// Configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -16,9 +16,6 @@ pub struct ExecutionConfig {
     pub workers: usize,
     /// Cost model used by the simulated clock.
     pub cost_model: CostModel,
-    /// Whether to keep a per-stage log in the metrics (off by default —
-    /// long query runs produce many stages).
-    pub keep_stage_log: bool,
 }
 
 impl ExecutionConfig {
@@ -27,19 +24,12 @@ impl ExecutionConfig {
         ExecutionConfig {
             workers: workers.max(1),
             cost_model: CostModel::default(),
-            keep_stage_log: false,
         }
     }
 
     /// Replaces the cost model.
     pub fn cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
-        self
-    }
-
-    /// Enables the per-stage log.
-    pub fn log_stages(mut self) -> Self {
-        self.keep_stage_log = true;
         self
     }
 }
@@ -53,6 +43,7 @@ impl Default for ExecutionConfig {
 struct EnvInner {
     config: ExecutionConfig,
     metrics: Mutex<ExecutionMetrics>,
+    trace: Mutex<Option<Arc<dyn TraceSink>>>,
 }
 
 /// Handle to a simulated cluster. Cheap to clone; all clones share the same
@@ -69,6 +60,7 @@ impl ExecutionEnvironment {
             inner: Arc::new(EnvInner {
                 config,
                 metrics: Mutex::new(ExecutionMetrics::default()),
+                trace: Mutex::new(None),
             }),
         }
     }
@@ -90,18 +82,18 @@ impl ExecutionEnvironment {
 
     /// Snapshot of the accumulated execution metrics.
     pub fn metrics(&self) -> ExecutionMetrics {
-        self.inner.metrics.lock().clone()
+        self.inner.metrics.lock().unwrap().clone()
     }
 
     /// Resets the simulated clock and all counters. Used by benchmark
     /// harnesses that re-run queries on the same environment.
     pub fn reset_metrics(&self) {
-        *self.inner.metrics.lock() = ExecutionMetrics::default();
+        *self.inner.metrics.lock().unwrap() = ExecutionMetrics::default();
     }
 
     /// Total simulated seconds so far.
     pub fn simulated_seconds(&self) -> f64 {
-        self.inner.metrics.lock().simulated_seconds
+        self.inner.metrics.lock().unwrap().simulated_seconds
     }
 
     /// Creates a new per-stage cost accumulator.
@@ -109,13 +101,55 @@ impl ExecutionEnvironment {
         StageCosts::new(name, self.workers())
     }
 
-    /// Finalizes a stage and folds it into the metrics.
+    /// Finalizes a stage, folds it into the metrics and notifies the trace
+    /// sink, if one is installed.
     pub(crate) fn finish_stage(&self, stage: StageCosts) {
         let report = stage.finish(&self.inner.config.cost_model);
-        self.inner
-            .metrics
-            .lock()
-            .record(report, self.inner.config.keep_stage_log);
+        self.inner.metrics.lock().unwrap().record(&report);
+        if let Some(sink) = self.trace_sink() {
+            sink.on_stage(&report);
+        }
+    }
+
+    /// Installs (or, with `None`, removes) the environment's trace sink.
+    /// The sink observes every finished stage and every closed span; all
+    /// clones of the environment share it.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        *self.inner.trace.lock().unwrap() = sink;
+    }
+
+    /// The currently installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.inner.trace.lock().unwrap().clone()
+    }
+
+    /// Runs `body` inside a named span, measuring wall-clock time and the
+    /// simulated seconds charged while it ran. The span is reported to the
+    /// trace sink when `body` returns; without a sink only `body`'s cost of
+    /// an `Instant::now()` pair is paid.
+    pub fn span<T>(&self, name: &str, body: impl FnOnce() -> T) -> T {
+        let Some(sink) = self.trace_sink() else {
+            return body();
+        };
+        let simulated_before = self.simulated_seconds();
+        let started = Instant::now();
+        let result = body();
+        sink.on_span(&SpanRecord {
+            name: name.to_string(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+            simulated_seconds: self.simulated_seconds() - simulated_before,
+            counters: Vec::new(),
+        });
+        result
+    }
+
+    /// Reports a pre-built span (used by operators that attach counters,
+    /// e.g. per-iteration statistics of variable-length expansion). A no-op
+    /// without an installed sink.
+    pub fn emit_span(&self, span: SpanRecord) {
+        if let Some(sink) = self.trace_sink() {
+            sink.on_span(&span);
+        }
     }
 
     /// Creates a dataset from a collection, distributing elements round-robin

@@ -28,10 +28,11 @@ use crate::partition::shuffle_by_key;
 use crate::pool::{map_partition_pairs, map_partitions};
 
 /// Shipping + local strategy for an equi-join.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinStrategy {
     /// Hash-partition both inputs, hash-join locally (Flink
     /// `REPARTITION_HASH`). The default for two large inputs.
+    #[default]
     RepartitionHash,
     /// Replicate the *first* (left) input to all workers, hash-join against
     /// the stationary second input.
@@ -40,12 +41,6 @@ pub enum JoinStrategy {
     BroadcastHashSecond,
     /// Hash-partition both inputs, sort each partition by key and merge.
     RepartitionSortMerge,
-}
-
-impl Default for JoinStrategy {
-    fn default() -> Self {
-        JoinStrategy::RepartitionHash
-    }
 }
 
 impl<T: Data> Dataset<T> {
@@ -294,8 +289,7 @@ where
     }
 
     let mut l_sorted: Vec<(u64, &L)> = left.iter().map(|l| (key_hash(&left_key(l)), l)).collect();
-    let mut r_sorted: Vec<(u64, &R)> =
-        right.iter().map(|r| (key_hash(&right_key(r)), r)).collect();
+    let mut r_sorted: Vec<(u64, &R)> = right.iter().map(|r| (key_hash(&right_key(r)), r)).collect();
     l_sorted.sort_by_key(|(h, _)| *h);
     r_sorted.sort_by_key(|(h, _)| *h);
 

@@ -36,10 +36,12 @@ pub mod dataset;
 pub mod env;
 pub mod iterate;
 pub mod join;
+pub mod json;
 pub mod outer_join;
 pub mod partition;
 pub mod pool;
 pub mod reduce;
+pub mod trace;
 
 pub use cost::{CostModel, ExecutionMetrics, StageReport};
 pub use data::Data;
@@ -47,3 +49,5 @@ pub use dataset::Dataset;
 pub use env::{ExecutionConfig, ExecutionEnvironment};
 pub use iterate::{bulk_iterate, bulk_iterate_with_results};
 pub use join::JoinStrategy;
+pub use json::JsonValue;
+pub use trace::{CollectedTrace, CollectingSink, SpanRecord, TraceSink};

@@ -57,7 +57,12 @@ impl<T: Data> Dataset<T> {
             out
         });
 
-        for (i, ((l, r), out)) in left_parts.iter().zip(&right_parts).zip(&outputs).enumerate() {
+        for (i, ((l, r), out)) in left_parts
+            .iter()
+            .zip(&right_parts)
+            .zip(&outputs)
+            .enumerate()
+        {
             let w = stage.worker(i);
             w.records_in += (l.len() + r.len()) as u64;
             w.records_out += out.len() as u64;
@@ -112,7 +117,12 @@ impl<T: Data> Dataset<T> {
                 .collect()
         });
 
-        for (i, ((l, r), out)) in left_parts.iter().zip(&right_parts).zip(&outputs).enumerate() {
+        for (i, ((l, r), out)) in left_parts
+            .iter()
+            .zip(&right_parts)
+            .zip(&outputs)
+            .enumerate()
+        {
             let w = stage.worker(i);
             w.records_in += (l.len() + r.len()) as u64;
             w.records_out += out.len() as u64;
@@ -142,12 +152,7 @@ mod tests {
             &right,
             |l| *l,
             |(k, _)| *k,
-            |l, matched| {
-                Some((
-                    *l,
-                    matched.map(|(_, v)| v.clone()).unwrap_or_default(),
-                ))
-            },
+            |l, matched| Some((*l, matched.map(|(_, v)| v.clone()).unwrap_or_default())),
         );
         let mut rows = joined.collect();
         rows.sort();

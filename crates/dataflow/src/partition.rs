@@ -24,11 +24,7 @@ pub fn partition_for<K: Hash>(key: &K, workers: usize) -> usize {
 ///
 /// Elements that stay on their current worker are free; elements that move
 /// are charged once on the sender and once on the receiver.
-pub fn shuffle_by_key<T, K, F>(
-    partitions: &[Vec<T>],
-    key: F,
-    stage: &mut StageCosts,
-) -> Vec<Vec<T>>
+pub fn shuffle_by_key<T, K, F>(partitions: &[Vec<T>], key: F, stage: &mut StageCosts) -> Vec<Vec<T>>
 where
     T: Data,
     K: Hash,

@@ -24,7 +24,12 @@ where
         let handles: Vec<_> = partitions
             .iter()
             .enumerate()
-            .map(|(i, p)| scope.spawn({ let f = &f; move || f(i, p) }))
+            .map(|(i, p)| {
+                scope.spawn({
+                    let f = &f;
+                    move || f(i, p)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -56,7 +61,12 @@ where
             .iter()
             .zip(right)
             .enumerate()
-            .map(|(i, (l, r))| scope.spawn({ let f = &f; move || f(i, l, r) }))
+            .map(|(i, (l, r))| {
+                scope.spawn({
+                    let f = &f;
+                    move || f(i, l, r)
+                })
+            })
             .collect();
         handles
             .into_iter()

@@ -90,7 +90,7 @@ impl<T: Data> Dataset<T> {
         let env = self.env().clone();
         let mut stage = env.stage("aggregate");
         let partials: Vec<A> = map_partitions(self.partitions(), |_, part| {
-            part.iter().fold(init.clone(), |acc, item| fold(acc, item))
+            part.iter().fold(init.clone(), &fold)
         });
         for (i, (inp, partial)) in self.partitions().iter().zip(&partials).enumerate() {
             let w = stage.worker(i);

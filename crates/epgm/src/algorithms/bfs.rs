@@ -33,7 +33,10 @@ pub fn single_source_distances(graph: &LogicalGraph, source: GradoopId) -> Logic
             .group_reduce(
                 |(vid, _)| *vid,
                 |vid, members| {
-                    (*vid, members.iter().map(|(_, d)| *d).min().expect("non-empty"))
+                    (
+                        *vid,
+                        members.iter().map(|(_, d)| *d).min().expect("non-empty"),
+                    )
                 },
             );
         // Keep only genuinely new vertices (distance monotone in BFS).

@@ -108,10 +108,10 @@ pub fn page_rank(graph: &LogicalGraph, config: &PageRankConfig) -> LogicalGraph 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Element;
     use crate::element::{Edge, GraphHead, Vertex};
     use crate::id::GradoopId;
     use crate::properties::Properties;
+    use crate::Element;
     use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
 
     fn graph(edges: &[(u64, u64)], vertex_count: u64) -> LogicalGraph {
@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn symmetric_cycle_gives_equal_ranks() {
-        let g = page_rank(&graph(&[(1, 2), (2, 3), (3, 1)], 3), &PageRankConfig::default());
+        let g = page_rank(
+            &graph(&[(1, 2), (2, 3), (3, 1)], 3),
+            &PageRankConfig::default(),
+        );
         let ranks = ranks_of(&g);
         let first = ranks[&1];
         assert!((ranks[&2] - first).abs() < 1e-9);

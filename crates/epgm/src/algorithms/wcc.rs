@@ -48,9 +48,7 @@ pub fn connected_components(graph: &LogicalGraph) -> LogicalGraph {
             |(vid, _)| *vid,
             |(vid, _)| *vid,
             JoinStrategy::RepartitionHash,
-            |(vid, old), (_, proposed)| {
-                (proposed < old).then_some((*vid, *proposed))
-            },
+            |(vid, old), (_, proposed)| (proposed < old).then_some((*vid, *proposed)),
         );
         if updated.is_empty_untracked() {
             break;

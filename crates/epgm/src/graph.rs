@@ -204,7 +204,11 @@ mod tests {
     }
 
     fn sample_graph(env: &ExecutionEnvironment) -> LogicalGraph {
-        let head = GraphHead::new(GradoopId(100), "Community", properties! {"area" => "Leipzig"});
+        let head = GraphHead::new(
+            GradoopId(100),
+            "Community",
+            properties! {"area" => "Leipzig"},
+        );
         let vertices = vec![
             Vertex::new(GradoopId(10), "Person", properties! {"name" => "Alice"}),
             Vertex::new(GradoopId(20), "Person", properties! {"name" => "Eve"}),

@@ -175,11 +175,10 @@ mod tests {
     fn id_set_is_sorted_and_deduplicated() {
         let set = GradoopIdSet::from_ids([3, 1, 2, 1].map(GradoopId));
         assert_eq!(set.len(), 3);
-        assert_eq!(set.iter().collect::<Vec<_>>(), vec![
-            GradoopId(1),
-            GradoopId(2),
-            GradoopId(3)
-        ]);
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            vec![GradoopId(1), GradoopId(2), GradoopId(3)]
+        );
     }
 
     #[test]

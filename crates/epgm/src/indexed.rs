@@ -157,7 +157,13 @@ mod tests {
         );
         let v = |id: u64, label: &str| Vertex::new(GradoopId(id), label, Properties::new());
         let e = |id: u64, label: &str, s: u64, t: u64| {
-            Edge::new(GradoopId(id), label, GradoopId(s), GradoopId(t), Properties::new())
+            Edge::new(
+                GradoopId(id),
+                label,
+                GradoopId(s),
+                GradoopId(t),
+                Properties::new(),
+            )
         };
         LogicalGraph::from_data(
             &env,
@@ -170,8 +176,14 @@ mod tests {
     #[test]
     fn index_partitions_by_label() {
         let indexed = graph().to_indexed();
-        assert_eq!(indexed.vertices_for_labels(&[Label::new("Person")]).count(), 2);
-        assert_eq!(indexed.vertices_for_labels(&[Label::new("City")]).count(), 1);
+        assert_eq!(
+            indexed.vertices_for_labels(&[Label::new("Person")]).count(),
+            2
+        );
+        assert_eq!(
+            indexed.vertices_for_labels(&[Label::new("City")]).count(),
+            1
+        );
         assert_eq!(indexed.edges_for_labels(&[Label::new("knows")]).count(), 1);
     }
 

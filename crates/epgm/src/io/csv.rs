@@ -237,13 +237,19 @@ fn decode_id_set(text: &str) -> Result<GradoopIdSet, String> {
         return Ok(GradoopIdSet::new());
     }
     text.split(',')
-        .map(|part| part.parse::<u64>().map(GradoopId).map_err(|e| e.to_string()))
+        .map(|part| {
+            part.parse::<u64>()
+                .map(GradoopId)
+                .map_err(|e| e.to_string())
+        })
         .collect::<Result<Vec<_>, _>>()
         .map(GradoopIdSet::from_ids)
 }
 
 fn parse_id(text: &str) -> Result<GradoopId, String> {
-    text.parse::<u64>().map(GradoopId).map_err(|e| e.to_string())
+    text.parse::<u64>()
+        .map(GradoopId)
+        .map_err(|e| e.to_string())
 }
 
 // --- sink --------------------------------------------------------------------
@@ -335,9 +341,13 @@ pub fn read_collection(
             ));
         }
         let id = parse_id(&fields[0]).map_err(|e| parse_error("graphs.csv", number + 1, e))?;
-        let properties = decode_properties(&fields[2])
-            .map_err(|e| parse_error("graphs.csv", number + 1, e))?;
-        heads.push(GraphHead::new(id, unescape(&fields[1]).as_str(), properties));
+        let properties =
+            decode_properties(&fields[2]).map_err(|e| parse_error("graphs.csv", number + 1, e))?;
+        heads.push(GraphHead::new(
+            id,
+            unescape(&fields[1]).as_str(),
+            properties,
+        ));
     }
 
     let vertices_text = fs::read_to_string(directory.join("vertices.csv"))?;
@@ -385,7 +395,13 @@ pub fn read_collection(
             decode_id_set(&fields[4]).map_err(|e| parse_error("edges.csv", number + 1, e))?;
         let properties =
             decode_properties(&fields[5]).map_err(|e| parse_error("edges.csv", number + 1, e))?;
-        let mut edge = Edge::new(id, unescape(&fields[1]).as_str(), source, target, properties);
+        let mut edge = Edge::new(
+            id,
+            unescape(&fields[1]).as_str(),
+            source,
+            target,
+            properties,
+        );
         edge.graph_ids = graph_ids;
         edges.push(edge);
     }
@@ -436,7 +452,11 @@ mod tests {
     }
 
     fn sample_graph(env: &ExecutionEnvironment) -> LogicalGraph {
-        let head = GraphHead::new(GradoopId(100), "Community", properties! {"area" => "Leipzig"});
+        let head = GraphHead::new(
+            GradoopId(100),
+            "Community",
+            properties! {"area" => "Leipzig"},
+        );
         let vertices = vec![
             Vertex::new(
                 GradoopId(10),
@@ -539,7 +559,15 @@ mod tests {
 
     #[test]
     fn escaping_roundtrips() {
-        for input in ["plain", "semi;colon", "pipe|bar", "eq=sign", "back\\slash", "new\nline", "comma,"] {
+        for input in [
+            "plain",
+            "semi;colon",
+            "pipe|bar",
+            "eq=sign",
+            "back\\slash",
+            "new\nline",
+            "comma,",
+        ] {
             let mut escaped = String::new();
             escape(input, &mut escaped);
             assert_eq!(unescape(&escaped), input, "{input:?}");

@@ -149,8 +149,14 @@ mod tests {
     #[test]
     fn min_max_over_present_values() {
         let g = graph()
-            .aggregate("minAge", &AggregateFunction::MinVertexProperty("age".into()))
-            .aggregate("maxAge", &AggregateFunction::MaxVertexProperty("age".into()));
+            .aggregate(
+                "minAge",
+                &AggregateFunction::MinVertexProperty("age".into()),
+            )
+            .aggregate(
+                "maxAge",
+                &AggregateFunction::MaxVertexProperty("age".into()),
+            );
         assert_eq!(
             g.head().properties.get("minAge"),
             Some(&PropertyValue::Double(20.0))
@@ -172,10 +178,7 @@ mod tests {
 
     #[test]
     fn sum_edge_property() {
-        let g = graph().aggregate(
-            "w",
-            &AggregateFunction::SumEdgeProperty("weight".into()),
-        );
+        let g = graph().aggregate("w", &AggregateFunction::SumEdgeProperty("weight".into()));
         assert_eq!(
             g.head().properties.get("w"),
             Some(&PropertyValue::Double(2.5))

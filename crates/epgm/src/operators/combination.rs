@@ -48,8 +48,7 @@ impl LogicalGraph {
         let id = head.id;
         let other_vertex_ids: HashSet<u64> =
             other.vertices().collect().iter().map(|v| v.id.0).collect();
-        let other_edge_ids: HashSet<u64> =
-            other.edges().collect().iter().map(|e| e.id.0).collect();
+        let other_edge_ids: HashSet<u64> = other.edges().collect().iter().map(|e| e.id.0).collect();
         let vertices = self
             .vertices()
             .filter(move |v| other_vertex_ids.contains(&v.id.0))
@@ -68,8 +67,7 @@ impl LogicalGraph {
         let id = head.id;
         let other_vertex_ids: HashSet<u64> =
             other.vertices().collect().iter().map(|v| v.id.0).collect();
-        let other_edge_ids: HashSet<u64> =
-            other.edges().collect().iter().map(|e| e.id.0).collect();
+        let other_edge_ids: HashSet<u64> = other.edges().collect().iter().map(|e| e.id.0).collect();
         let vertices = self
             .vertices()
             .filter(move |v| !other_vertex_ids.contains(&v.id.0))
@@ -109,7 +107,13 @@ mod tests {
     fn graphs(env: &ExecutionEnvironment) -> (LogicalGraph, LogicalGraph) {
         let v = |id: u64| Vertex::new(GradoopId(id), "V", Properties::new());
         let e = |id: u64, s: u64, t: u64| {
-            Edge::new(GradoopId(id), "E", GradoopId(s), GradoopId(t), Properties::new())
+            Edge::new(
+                GradoopId(id),
+                "E",
+                GradoopId(s),
+                GradoopId(t),
+                Properties::new(),
+            )
         };
         let g1 = LogicalGraph::from_data(
             env,

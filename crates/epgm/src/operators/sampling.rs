@@ -61,9 +61,27 @@ mod tests {
                 Vertex::new(GradoopId(2), "V", Properties::new()),
             ],
             vec![
-                Edge::new(GradoopId(10), "E", GradoopId(1), GradoopId(2), Properties::new()),
-                Edge::new(GradoopId(11), "E", GradoopId(1), GradoopId(99), Properties::new()),
-                Edge::new(GradoopId(12), "E", GradoopId(98), GradoopId(2), Properties::new()),
+                Edge::new(
+                    GradoopId(10),
+                    "E",
+                    GradoopId(1),
+                    GradoopId(2),
+                    Properties::new(),
+                ),
+                Edge::new(
+                    GradoopId(11),
+                    "E",
+                    GradoopId(1),
+                    GradoopId(99),
+                    Properties::new(),
+                ),
+                Edge::new(
+                    GradoopId(12),
+                    "E",
+                    GradoopId(98),
+                    GradoopId(2),
+                    Properties::new(),
+                ),
             ],
         )
     }
@@ -113,8 +131,12 @@ mod tests {
         let graph = graph_with_dangling(&env).verify();
         // Whatever the sample keeps, its edges must connect kept vertices.
         let sampled = graph.sample_vertices(0.5, 42);
-        let kept: std::collections::HashSet<u64> =
-            sampled.vertices().collect().iter().map(|v| v.id.0).collect();
+        let kept: std::collections::HashSet<u64> = sampled
+            .vertices()
+            .collect()
+            .iter()
+            .map(|v| v.id.0)
+            .collect();
         for edge in sampled.edges().collect() {
             assert!(kept.contains(&edge.source.0));
             assert!(kept.contains(&edge.target.0));

@@ -19,9 +19,8 @@ impl GraphCollection {
         let heads = self.heads().filter(predicate);
         // The surviving graph ids are broadcast to filter elements.
         let selected: HashSet<u64> = heads.collect().into_iter().map(|h| h.id.0).collect();
-        let in_selected = move |ids: &crate::id::GradoopIdSet| {
-            ids.iter().any(|id| selected.contains(&id.0))
-        };
+        let in_selected =
+            move |ids: &crate::id::GradoopIdSet| ids.iter().any(|id| selected.contains(&id.0));
         let vertices = {
             let in_selected = in_selected.clone();
             self.vertices().filter(move |v| in_selected(&v.graph_ids))
@@ -77,7 +76,11 @@ mod tests {
     #[test]
     fn select_filters_heads_and_elements() {
         let selected = collection().select(|h| {
-            h.properties.get("count").and_then(|p| p.as_i64()).unwrap_or(0) > 10
+            h.properties
+                .get("count")
+                .and_then(|p| p.as_i64())
+                .unwrap_or(0)
+                > 10
         });
         assert_eq!(selected.graph_count(), 1);
         // Only the vertex contained in graph 2 survives.

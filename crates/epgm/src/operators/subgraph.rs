@@ -97,7 +97,13 @@ mod tests {
             Vertex::new(GradoopId(3), "City", Properties::new()),
         ];
         let edges = vec![
-            Edge::new(GradoopId(10), "knows", GradoopId(1), GradoopId(2), Properties::new()),
+            Edge::new(
+                GradoopId(10),
+                "knows",
+                GradoopId(1),
+                GradoopId(2),
+                Properties::new(),
+            ),
             Edge::new(
                 GradoopId(11),
                 "livesIn",

@@ -27,8 +27,14 @@ impl LogicalGraph {
         let edges = self.edges().map(move |e| {
             let out = f(e);
             debug_assert_eq!(out.id, e.id, "transformation must preserve edge ids");
-            debug_assert_eq!(out.source, e.source, "transformation must preserve endpoints");
-            debug_assert_eq!(out.target, e.target, "transformation must preserve endpoints");
+            debug_assert_eq!(
+                out.source, e.source,
+                "transformation must preserve endpoints"
+            );
+            debug_assert_eq!(
+                out.target, e.target,
+                "transformation must preserve endpoints"
+            );
             out
         });
         LogicalGraph::new(self.head().clone(), self.vertices().clone(), edges)
@@ -61,7 +67,11 @@ mod tests {
         LogicalGraph::from_data(
             &env,
             GraphHead::new(GradoopId(100), "g", Properties::new()),
-            vec![Vertex::new(GradoopId(1), "Person", properties! {"age" => 30i64})],
+            vec![Vertex::new(
+                GradoopId(1),
+                "Person",
+                properties! {"age" => 30i64},
+            )],
             vec![Edge::new(
                 GradoopId(10),
                 "knows",

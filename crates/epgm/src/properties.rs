@@ -381,10 +381,7 @@ impl Properties {
 
     /// Returns the value bound to `key`, or `None` (the paper's `ε`).
     pub fn get(&self, key: &str) -> Option<&PropertyValue> {
-        self.entries
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     /// Sets `key` to `value`, replacing any previous binding.
@@ -556,7 +553,10 @@ mod tests {
         props.set("age", 42i64);
         props.set("name", "Eve"); // overwrite
         assert_eq!(props.len(), 2);
-        assert_eq!(props.get("name"), Some(&PropertyValue::String("Eve".into())));
+        assert_eq!(
+            props.get("name"),
+            Some(&PropertyValue::String("Eve".into()))
+        );
         assert_eq!(props.remove("age"), Some(PropertyValue::Long(42)));
         assert!(!props.contains_key("age"));
         assert_eq!(props.get("missing"), None);

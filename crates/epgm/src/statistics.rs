@@ -172,7 +172,13 @@ mod tests {
             Vertex::new(GradoopId(id), label, properties! {"name" => name})
         };
         let e = |id: u64, label: &str, s: u64, t: u64| {
-            Edge::new(GradoopId(id), label, GradoopId(s), GradoopId(t), Properties::new())
+            Edge::new(
+                GradoopId(id),
+                label,
+                GradoopId(s),
+                GradoopId(t),
+                Properties::new(),
+            )
         };
         LogicalGraph::from_data(
             &env,

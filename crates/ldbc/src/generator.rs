@@ -10,14 +10,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use gradoop_dataflow::ExecutionEnvironment;
-use gradoop_epgm::{
-    properties, Edge, GradoopId, GraphHead, LogicalGraph, Properties, Vertex,
-};
+use gradoop_epgm::{properties, Edge, GradoopId, GraphHead, LogicalGraph, Properties, Vertex};
 
 use crate::config::LdbcConfig;
 use crate::names::{
-    pareto_degree, zipf_index, FirstNameSampler, CITIES, LAST_NAMES, TAG_TOPICS,
-    UNIVERSITIES,
+    pareto_degree, zipf_index, FirstNameSampler, CITIES, LAST_NAMES, TAG_TOPICS, UNIVERSITIES,
 };
 use crate::schema::{edge, key, vertex};
 
@@ -138,12 +135,12 @@ pub fn generate(config: &LdbcConfig) -> GeneratedData {
     }
 
     // --- person attributes: residency, enrolment, interests ---------------
-    for person in 0..config.persons {
+    for &person_id in person_ids.iter().take(config.persons) {
         let city = zipf_index(&mut rng, city_ids.len(), 1.2);
         edges.push(Edge::new(
             GradoopId(fresh()),
             edge::IS_LOCATED_IN,
-            GradoopId(person_ids[person]),
+            GradoopId(person_id),
             GradoopId(city_ids[city]),
             Properties::new(),
         ));
@@ -152,7 +149,7 @@ pub fn generate(config: &LdbcConfig) -> GeneratedData {
             edges.push(Edge::new(
                 GradoopId(fresh()),
                 edge::STUDY_AT,
-                GradoopId(person_ids[person]),
+                GradoopId(person_id),
                 GradoopId(university_ids[university]),
                 properties! { key::CLASS_YEAR => rng.gen_range(2000i64..2020) },
             ));
@@ -165,7 +162,7 @@ pub fn generate(config: &LdbcConfig) -> GeneratedData {
                 edges.push(Edge::new(
                     GradoopId(fresh()),
                     edge::HAS_INTEREST,
-                    GradoopId(person_ids[person]),
+                    GradoopId(person_id),
                     GradoopId(tag_ids[tag]),
                     Properties::new(),
                 ));
@@ -196,8 +193,7 @@ pub fn generate(config: &LdbcConfig) -> GeneratedData {
             (config.persons / 2).max(4),
         );
         let mut members = vec![moderator];
-        let mut seen: std::collections::HashSet<usize> =
-            members.iter().copied().collect();
+        let mut seen: std::collections::HashSet<usize> = members.iter().copied().collect();
         for _ in 0..member_count {
             let member = zipf_index(&mut rng, config.persons, 1.2);
             if seen.insert(member) {
@@ -258,8 +254,7 @@ pub fn generate(config: &LdbcConfig) -> GeneratedData {
                 let (parent, depth) = if thread.is_empty() || rng.gen_bool(0.5) {
                     (post_id, 1)
                 } else {
-                    let (candidate, candidate_depth) =
-                        thread[rng.gen_range(0..thread.len())];
+                    let (candidate, candidate_depth) = thread[rng.gen_range(0..thread.len())];
                     if candidate_depth >= MAX_REPLY_DEPTH {
                         (post_id, 1)
                     } else {
@@ -363,7 +358,10 @@ mod tests {
             vertex::POST,
             vertex::COMMENT,
         ] {
-            assert!(vertex_counts.get(label).copied().unwrap_or(0) > 0, "{label}");
+            assert!(
+                vertex_counts.get(label).copied().unwrap_or(0) > 0,
+                "{label}"
+            );
         }
         let edge_counts = data.edge_label_counts();
         for label in [

@@ -11,22 +11,21 @@ use rand::Rng;
 
 /// First-name pool (sampled Zipf-like by index).
 pub const FIRST_NAMES: &[&str] = &[
-    "Jan", "Maria", "Chen", "Ali", "Anna", "Ivan", "Yang", "Jose", "Nina", "Ahmed",
-    "Lena", "Omar", "Mei", "Karl", "Sara", "Igor", "Lucy", "Amir", "Olga", "Juan",
-    "Emma", "Raj", "Vera", "Hugo", "Lily", "Musa", "Rosa", "Finn", "Aida", "Noah",
-    "Iris", "Tariq", "Elsa", "Bruno", "Dana", "Viktor", "Ines", "Pavel", "Carla", "Samir",
-    "Greta", "Mateo", "Priya", "Stefan", "Alma", "Dmitri", "Clara", "Hassan", "Edith", "Luca",
-    "Marta", "Kofi", "Heidi", "Andrei", "Paula", "Yusuf", "Sonja", "Diego", "Ruth", "Milan",
-    "Astrid", "Faisal", "Judit", "Oscar", "Wanda", "Ismail", "Tessa", "Boris", "Celia", "Arjun",
-    "Magda", "Khalid", "Doris", "Enzo", "Freya", "Gustav", "Halima", "Imre", "Jana", "Kenji",
-    "Laila", "Marek", "Nadia", "Otto", "Petra", "Quentin", "Rania", "Sven", "Talia", "Umar",
-    "Vilma", "Walter", "Xenia", "Yara", "Zoltan", "Aisha", "Bjorn", "Carmen", "Dario", "Edna",
-    "Fabio", "Gilda", "Henrik", "Ilse", "Jorge", "Katja", "Leif", "Mona", "Nils", "Oda",
-    "Pablo", "Questa", "Rolf", "Selma", "Timo", "Ulla", "Vito", "Wilma", "Xaver", "Ylva",
-    "Zane", "Agnes", "Bela", "Cyrus", "Delia", "Ernst", "Fanny", "Georg", "Hilda", "Ivo",
-    "Jutta", "Kurt", "Livia", "Moritz", "Nora", "Osman", "Pia", "Quirin", "Rita", "Sergej",
-    "Thora", "Uwe", "Vanja", "Wim", "Xiomara", "Yvo", "Zelda", "Arno", "Birte", "Cem",
-    "Dora", "Emil", "Frida", "Gero", "Hanna", "Iker", "Jens", "Kaja", "Lars", "Mira",
+    "Jan", "Maria", "Chen", "Ali", "Anna", "Ivan", "Yang", "Jose", "Nina", "Ahmed", "Lena", "Omar",
+    "Mei", "Karl", "Sara", "Igor", "Lucy", "Amir", "Olga", "Juan", "Emma", "Raj", "Vera", "Hugo",
+    "Lily", "Musa", "Rosa", "Finn", "Aida", "Noah", "Iris", "Tariq", "Elsa", "Bruno", "Dana",
+    "Viktor", "Ines", "Pavel", "Carla", "Samir", "Greta", "Mateo", "Priya", "Stefan", "Alma",
+    "Dmitri", "Clara", "Hassan", "Edith", "Luca", "Marta", "Kofi", "Heidi", "Andrei", "Paula",
+    "Yusuf", "Sonja", "Diego", "Ruth", "Milan", "Astrid", "Faisal", "Judit", "Oscar", "Wanda",
+    "Ismail", "Tessa", "Boris", "Celia", "Arjun", "Magda", "Khalid", "Doris", "Enzo", "Freya",
+    "Gustav", "Halima", "Imre", "Jana", "Kenji", "Laila", "Marek", "Nadia", "Otto", "Petra",
+    "Quentin", "Rania", "Sven", "Talia", "Umar", "Vilma", "Walter", "Xenia", "Yara", "Zoltan",
+    "Aisha", "Bjorn", "Carmen", "Dario", "Edna", "Fabio", "Gilda", "Henrik", "Ilse", "Jorge",
+    "Katja", "Leif", "Mona", "Nils", "Oda", "Pablo", "Questa", "Rolf", "Selma", "Timo", "Ulla",
+    "Vito", "Wilma", "Xaver", "Ylva", "Zane", "Agnes", "Bela", "Cyrus", "Delia", "Ernst", "Fanny",
+    "Georg", "Hilda", "Ivo", "Jutta", "Kurt", "Livia", "Moritz", "Nora", "Osman", "Pia", "Quirin",
+    "Rita", "Sergej", "Thora", "Uwe", "Vanja", "Wim", "Xiomara", "Yvo", "Zelda", "Arno", "Birte",
+    "Cem", "Dora", "Emil", "Frida", "Gero", "Hanna", "Iker", "Jens", "Kaja", "Lars", "Mira",
     "Nevio", "Ophelia", "Per", "Questor", "Runa", "Silas", "Tirza", "Ulf", "Veit", "Wenke",
     "Xandra", "Yannick", "Zora", "Aldo", "Berta", "Corin", "Dagmar", "Eino", "Flora", "Gunnar",
     "Hedda", "Ingo", "Jarl", "Kira", "Ludger", "Malin", "Njord", "Ortrud", "Pelle", "Quirina",
@@ -35,31 +34,114 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Last-name pool (sampled uniformly).
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Mueller", "Wang", "Garcia", "Kim", "Petrov", "Sato", "Silva", "Khan", "Novak",
-    "Jensen", "Rossi", "Kowalski", "Nagy", "Popescu", "Andersson", "Dubois", "Costa", "Peeters",
-    "Horvat", "Jansen", "Fischer", "Weber", "Meyer", "Schulz", "Becker", "Hoffmann", "Koch",
-    "Richter", "Wolf", "Okafor", "Haddad", "Tanaka", "Suzuki", "Ivanov", "Sokolov", "Lopez",
-    "Martin", "Bernard", "Moreau",
+    "Smith",
+    "Mueller",
+    "Wang",
+    "Garcia",
+    "Kim",
+    "Petrov",
+    "Sato",
+    "Silva",
+    "Khan",
+    "Novak",
+    "Jensen",
+    "Rossi",
+    "Kowalski",
+    "Nagy",
+    "Popescu",
+    "Andersson",
+    "Dubois",
+    "Costa",
+    "Peeters",
+    "Horvat",
+    "Jansen",
+    "Fischer",
+    "Weber",
+    "Meyer",
+    "Schulz",
+    "Becker",
+    "Hoffmann",
+    "Koch",
+    "Richter",
+    "Wolf",
+    "Okafor",
+    "Haddad",
+    "Tanaka",
+    "Suzuki",
+    "Ivanov",
+    "Sokolov",
+    "Lopez",
+    "Martin",
+    "Bernard",
+    "Moreau",
 ];
 
 /// Tag topic pool.
 pub const TAG_TOPICS: &[&str] = &[
-    "databases", "graphs", "music", "football", "travel", "cooking", "photography", "hiking",
-    "movies", "literature", "chess", "cycling", "gaming", "history", "politics", "science",
-    "art", "fashion", "gardening", "astronomy", "economics", "philosophy", "running", "sailing",
-    "painting", "poetry", "robotics", "theatre", "volleyball", "yoga",
+    "databases",
+    "graphs",
+    "music",
+    "football",
+    "travel",
+    "cooking",
+    "photography",
+    "hiking",
+    "movies",
+    "literature",
+    "chess",
+    "cycling",
+    "gaming",
+    "history",
+    "politics",
+    "science",
+    "art",
+    "fashion",
+    "gardening",
+    "astronomy",
+    "economics",
+    "philosophy",
+    "running",
+    "sailing",
+    "painting",
+    "poetry",
+    "robotics",
+    "theatre",
+    "volleyball",
+    "yoga",
 ];
 
 /// City pool.
 pub const CITIES: &[&str] = &[
-    "Leipzig", "Dresden", "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart",
-    "Vienna", "Zurich", "Prague", "Warsaw", "Amsterdam", "Brussels", "Paris", "Madrid",
+    "Leipzig",
+    "Dresden",
+    "Berlin",
+    "Hamburg",
+    "Munich",
+    "Cologne",
+    "Frankfurt",
+    "Stuttgart",
+    "Vienna",
+    "Zurich",
+    "Prague",
+    "Warsaw",
+    "Amsterdam",
+    "Brussels",
+    "Paris",
+    "Madrid",
 ];
 
 /// University pool.
 pub const UNIVERSITIES: &[&str] = &[
-    "Uni Leipzig", "TU Dresden", "HU Berlin", "Uni Hamburg", "LMU Munich", "Uni Cologne",
-    "Uni Vienna", "ETH Zurich", "Charles University", "Uni Warsaw",
+    "Uni Leipzig",
+    "TU Dresden",
+    "HU Berlin",
+    "Uni Hamburg",
+    "LMU Munich",
+    "Uni Cologne",
+    "Uni Vienna",
+    "ETH Zurich",
+    "Charles University",
+    "Uni Warsaw",
 ];
 
 /// Weight of the name at `rank` in the Zipf-like first-name distribution.

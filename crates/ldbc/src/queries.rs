@@ -125,9 +125,7 @@ pub fn table3_patterns(first_name: &str) -> Vec<(&'static str, String)> {
     vec![
         (
             "(:Person)",
-            format!(
-                "MATCH (p:Person) WHERE p.firstName = '{first_name}' RETURN count(*)"
-            ),
+            format!("MATCH (p:Person) WHERE p.firstName = '{first_name}' RETURN count(*)"),
         ),
         (
             "(:Person)<-[:hasCreator]-(:Comment|Post)",
@@ -163,8 +161,7 @@ mod tests {
         for query in BenchmarkQuery::all() {
             let text = query.text(Some("Jan"));
             let ast = parse(&text).unwrap_or_else(|e| panic!("{query}: {e}"));
-            let graph =
-                QueryGraph::from_query(&ast).unwrap_or_else(|e| panic!("{query}: {e}"));
+            let graph = QueryGraph::from_query(&ast).unwrap_or_else(|e| panic!("{query}: {e}"));
             assert!(!graph.vertices.is_empty());
         }
     }

@@ -36,7 +36,12 @@ fn main() {
         let text = query.text(Some(&names.low));
         env.reset_metrics();
         let result = engine
-            .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+            .execute(
+                &graph,
+                &text,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
             .unwrap_or_else(|e| panic!("{query}: {e}"));
         let count = result.count();
         let seconds = env.simulated_seconds();
@@ -56,7 +61,12 @@ fn main() {
         let text = BenchmarkQuery::Q1.text(Some(name));
         env.reset_metrics();
         let count = engine
-            .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+            .execute(
+                &graph,
+                &text,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
             .unwrap()
             .count();
         println!(

@@ -26,17 +26,43 @@ fn main() {
     };
     let graph = LogicalGraph::from_data(
         &env,
-        GraphHead::new(GradoopId(100), "Community", properties! {"area" => "Leipzig"}),
+        GraphHead::new(
+            GradoopId(100),
+            "Community",
+            properties! {"area" => "Leipzig"},
+        ),
         vec![
             person(10, "Alice", "female"),
             person(20, "Eve", "female"),
             person(30, "Bob", "male"),
-            Vertex::new(GradoopId(40), "University", properties! {"name" => "Uni Leipzig"}),
+            Vertex::new(
+                GradoopId(40),
+                "University",
+                properties! {"name" => "Uni Leipzig"},
+            ),
         ],
         vec![
-            Edge::new(GradoopId(5), "knows", GradoopId(10), GradoopId(20), Properties::new()),
-            Edge::new(GradoopId(6), "knows", GradoopId(20), GradoopId(10), Properties::new()),
-            Edge::new(GradoopId(7), "knows", GradoopId(20), GradoopId(30), Properties::new()),
+            Edge::new(
+                GradoopId(5),
+                "knows",
+                GradoopId(10),
+                GradoopId(20),
+                Properties::new(),
+            ),
+            Edge::new(
+                GradoopId(6),
+                "knows",
+                GradoopId(20),
+                GradoopId(10),
+                Properties::new(),
+            ),
+            Edge::new(
+                GradoopId(7),
+                "knows",
+                GradoopId(20),
+                GradoopId(30),
+                Properties::new(),
+            ),
             Edge::new(
                 GradoopId(1),
                 "studyAt",
@@ -68,7 +94,12 @@ fn main() {
     // Tabular access (paper Table 2): engine + rows.
     let engine = CypherEngine::for_graph(&graph);
     let result = engine
-        .execute(&graph, query, &HashMap::new(), MatchingConfig::cypher_default())
+        .execute(
+            &graph,
+            query,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
         .expect("query executes");
     println!("query plan:\n{}", result.plan.describe(&result.query));
     println!("{} match(es):", result.count());

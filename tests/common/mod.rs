@@ -22,15 +22,43 @@ pub fn figure1_graph(env: &ExecutionEnvironment) -> LogicalGraph {
         person(10, "Alice", "female"),
         person(20, "Eve", "female"),
         person(30, "Bob", "male"),
-        Vertex::new(GradoopId(40), "University", properties! {"name" => "Uni Leipzig"}),
+        Vertex::new(
+            GradoopId(40),
+            "University",
+            properties! {"name" => "Uni Leipzig"},
+        ),
         Vertex::new(GradoopId(50), "City", properties! {"name" => "Leipzig"}),
     ];
     let edges = vec![
         // Friendships: Alice <-> Eve, Eve -> Bob, Bob -> Alice.
-        Edge::new(GradoopId(5), "knows", GradoopId(10), GradoopId(20), Properties::new()),
-        Edge::new(GradoopId(6), "knows", GradoopId(20), GradoopId(10), Properties::new()),
-        Edge::new(GradoopId(7), "knows", GradoopId(20), GradoopId(30), Properties::new()),
-        Edge::new(GradoopId(8), "knows", GradoopId(30), GradoopId(10), Properties::new()),
+        Edge::new(
+            GradoopId(5),
+            "knows",
+            GradoopId(10),
+            GradoopId(20),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(6),
+            "knows",
+            GradoopId(20),
+            GradoopId(10),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(7),
+            "knows",
+            GradoopId(20),
+            GradoopId(30),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(8),
+            "knows",
+            GradoopId(30),
+            GradoopId(10),
+            Properties::new(),
+        ),
         // Enrolments.
         Edge::new(
             GradoopId(1),
@@ -47,12 +75,28 @@ pub fn figure1_graph(env: &ExecutionEnvironment) -> LogicalGraph {
             properties! {"classYear" => 2016i64},
         ),
         // Residency.
-        Edge::new(GradoopId(3), "locatedIn", GradoopId(10), GradoopId(50), Properties::new()),
-        Edge::new(GradoopId(4), "locatedIn", GradoopId(40), GradoopId(50), Properties::new()),
+        Edge::new(
+            GradoopId(3),
+            "locatedIn",
+            GradoopId(10),
+            GradoopId(50),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(4),
+            "locatedIn",
+            GradoopId(40),
+            GradoopId(50),
+            Properties::new(),
+        ),
     ];
     LogicalGraph::from_data(
         env,
-        GraphHead::new(GradoopId(100), "Community", properties! {"area" => "Leipzig"}),
+        GraphHead::new(
+            GradoopId(100),
+            "Community",
+            properties! {"area" => "Leipzig"},
+        ),
         vertices,
         edges,
     )

@@ -122,7 +122,12 @@ fn queries_on_an_empty_graph_are_fine() {
         "MATCH (a), (b) RETURN *",
     ] {
         let result = engine
-            .execute(&graph, text, &HashMap::new(), MatchingConfig::cypher_default())
+            .execute(
+                &graph,
+                text,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
             .unwrap_or_else(|e| panic!("{text:?}: {e}"));
         assert_eq!(result.count(), 0, "{text:?}");
     }

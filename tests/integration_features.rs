@@ -24,9 +24,27 @@ fn people_graph(env: &ExecutionEnvironment) -> LogicalGraph {
         Vertex::new(GradoopId(3), "Person", properties! {"name" => "Bob"}),
     ];
     let edges = vec![
-        Edge::new(GradoopId(10), "knows", GradoopId(1), GradoopId(2), Properties::new()),
-        Edge::new(GradoopId(11), "knows", GradoopId(1), GradoopId(3), Properties::new()),
-        Edge::new(GradoopId(12), "knows", GradoopId(2), GradoopId(3), Properties::new()),
+        Edge::new(
+            GradoopId(10),
+            "knows",
+            GradoopId(1),
+            GradoopId(2),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(11),
+            "knows",
+            GradoopId(1),
+            GradoopId(3),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(12),
+            "knows",
+            GradoopId(2),
+            GradoopId(3),
+            Properties::new(),
+        ),
     ];
     LogicalGraph::from_data(
         env,
@@ -38,7 +56,12 @@ fn people_graph(env: &ExecutionEnvironment) -> LogicalGraph {
 
 fn run(graph: &LogicalGraph, query: &str) -> QueryResult {
     CypherEngine::for_graph(graph)
-        .execute(graph, query, &HashMap::new(), MatchingConfig::cypher_default())
+        .execute(
+            graph,
+            query,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
         .unwrap_or_else(|e| panic!("{query}: {e}"))
 }
 
@@ -46,7 +69,10 @@ fn run(graph: &LogicalGraph, query: &str) -> QueryResult {
 fn is_null_finds_missing_properties() {
     let env = test_env(2);
     let graph = people_graph(&env);
-    let result = run(&graph, "MATCH (p:Person) WHERE p.city IS NULL RETURN p.name");
+    let result = run(
+        &graph,
+        "MATCH (p:Person) WHERE p.city IS NULL RETURN p.name",
+    );
     assert_eq!(result.count(), 1);
     let rows = result.rows_as_maps();
     assert_eq!(
@@ -79,7 +105,10 @@ fn return_distinct_deduplicates_rows() {
     let graph = people_graph(&env);
     // Three knows-edges, but only two distinct source cities (Leipzig from
     // Alice and Eve; Bob is a target only).
-    let all = run(&graph, "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.city");
+    let all = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.city",
+    );
     assert_eq!(all.count(), 3);
     let distinct = run(
         &graph,
@@ -120,18 +149,21 @@ fn distinct_count_star_counts_matches() {
     let env = test_env(2);
     let graph = people_graph(&env);
     // count(*) is unaffected by DISTINCT (documented behaviour).
-    let result = run(&graph, "MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(*)");
-    assert_eq!(
-        result.rows()[0].values[0].1,
-        ResultValue::Count(3)
+    let result = run(
+        &graph,
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(*)",
     );
+    assert_eq!(result.rows()[0].values[0].1, ResultValue::Count(3));
 }
 
 #[test]
 fn aliases_rename_result_columns() {
     let env = test_env(2);
     let graph = people_graph(&env);
-    let result = run(&graph, "MATCH (p:Person {name: 'Alice'}) RETURN p.name AS who");
+    let result = run(
+        &graph,
+        "MATCH (p:Person {name: 'Alice'}) RETURN p.name AS who",
+    );
     let rows = result.rows_as_maps();
     assert!(rows[0].contains_key("who"));
     assert!(!rows[0].contains_key("p.name"));

@@ -79,7 +79,12 @@ fn operational_queries_agree_with_reference_matcher() {
     for query in [BenchmarkQuery::Q1, BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
         let text = query.text(Some(&names.low));
         let engine_count = engine
-            .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+            .execute(
+                &graph,
+                &text,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
             .unwrap()
             .count();
         let query_graph = QueryGraph::from_query(&parse(&text).unwrap()).unwrap();
@@ -97,7 +102,12 @@ fn triangle_query_agrees_with_reference_matcher() {
     let engine = CypherEngine::for_graph(&graph);
     let text = BenchmarkQuery::Q5.text(None);
     let engine_count = engine
-        .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+        .execute(
+            &graph,
+            &text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
         .unwrap()
         .count();
     let query_graph = QueryGraph::from_query(&parse(&text).unwrap()).unwrap();
@@ -116,7 +126,12 @@ fn worker_count_never_changes_results() {
         let env = test_env(workers);
         let graph = generate_graph(&env, &config);
         let engine = CypherEngine::for_graph(&graph);
-        counts.push(run_query(&graph, &engine, BenchmarkQuery::Q1, Some(&names.low)));
+        counts.push(run_query(
+            &graph,
+            &engine,
+            BenchmarkQuery::Q1,
+            Some(&names.low),
+        ));
     }
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
 }
@@ -135,7 +150,12 @@ fn table3_pattern_counts_are_monotone_in_selectivity() {
             let texts = table3_patterns(name);
             let (_, text) = texts.iter().find(|(p, _)| *p == pattern).unwrap().clone();
             engine
-                .execute(&graph, &text, &HashMap::new(), MatchingConfig::cypher_default())
+                .execute(
+                    &graph,
+                    &text,
+                    &HashMap::new(),
+                    MatchingConfig::cypher_default(),
+                )
                 .unwrap()
                 .count()
         };

@@ -21,9 +21,8 @@ fn cypher_then_aggregate_then_select() {
     assert_eq!(matches.graph_count(), 4);
 
     // Matches involving Eve as the source.
-    let eves = matches.select(|head| {
-        head.properties.get("a.name").and_then(|v| v.as_str()) == Some("Eve")
-    });
+    let eves = matches
+        .select(|head| head.properties.get("a.name").and_then(|v| v.as_str()) == Some("Eve"));
     assert_eq!(eves.graph_count(), 2);
 }
 
@@ -34,7 +33,10 @@ fn subgraph_before_cypher_restricts_matches() {
     // Only the friendship subgraph: university/city and their edges vanish.
     let friendships = graph.subgraph(|v| v.label == "Person", |e| e.label == "knows");
     let matches = friendships
-        .cypher("MATCH (a)-[e]->(b) RETURN *", MatchingConfig::cypher_default())
+        .cypher(
+            "MATCH (a)-[e]->(b) RETURN *",
+            MatchingConfig::cypher_default(),
+        )
         .unwrap();
     assert_eq!(matches.graph_count(), 4); // exactly the 4 knows edges
 }
@@ -76,7 +78,10 @@ fn collection_set_operations_on_match_results() {
     let env = test_env(2);
     let graph = figure1_graph(&env);
     let all_knows = graph
-        .cypher("MATCH (a)-[e:knows]->(b) RETURN *", MatchingConfig::cypher_default())
+        .cypher(
+            "MATCH (a)-[e:knows]->(b) RETURN *",
+            MatchingConfig::cypher_default(),
+        )
         .unwrap();
     let from_eve = all_knows.select(|head| {
         // Variable bindings are attached as graph-head properties; `a` is
@@ -117,10 +122,20 @@ fn indexed_graph_source_for_queries() {
     let engine = CypherEngine::for_graph(&graph);
     let query = "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN *";
     let plain = engine
-        .execute(&graph, query, &Default::default(), MatchingConfig::cypher_default())
+        .execute(
+            &graph,
+            query,
+            &Default::default(),
+            MatchingConfig::cypher_default(),
+        )
         .unwrap();
     let indexed_result = engine
-        .execute(&indexed, query, &Default::default(), MatchingConfig::cypher_default())
+        .execute(
+            &indexed,
+            query,
+            &Default::default(),
+            MatchingConfig::cypher_default(),
+        )
         .unwrap();
     assert_eq!(plain.count(), 2);
     assert_eq!(indexed_result.count(), 2);
@@ -157,7 +172,10 @@ fn page_rank_identifies_figure1_hub() {
         .iter()
         .map(|v| {
             (
-                v.property("name").and_then(|p| p.as_str()).unwrap().to_string(),
+                v.property("name")
+                    .and_then(|p| p.as_str())
+                    .unwrap()
+                    .to_string(),
                 v.property("pageRank").and_then(|p| p.as_f64()).unwrap(),
             )
         })

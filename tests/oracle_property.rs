@@ -78,17 +78,10 @@ struct RandomGraph {
 fn random_graph() -> impl Strategy<Value = RandomGraph> {
     let vertex_count = 2..8usize;
     vertex_count.prop_flat_map(|n| {
-        let vertices = proptest::collection::vec(
-            (prop_oneof![Just("A"), Just("B")], 0..4i64),
-            n..=n,
-        );
+        let vertices =
+            proptest::collection::vec((prop_oneof![Just("A"), Just("B")], 0..4i64), n..=n);
         let edges = proptest::collection::vec(
-            (
-                prop_oneof![Just("x"), Just("y")],
-                0..n,
-                0..n,
-                0..4i64,
-            ),
+            (prop_oneof![Just("x"), Just("y")], 0..n, 0..n, 0..4i64),
             0..=(2 * n),
         );
         (vertices, edges).prop_map(|(vs, es)| RandomGraph {
@@ -193,10 +186,7 @@ const CONFIGS: [MatchingConfig; 4] = [
 ];
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn engine_agrees_with_reference_matcher(
