@@ -4,6 +4,7 @@
 //! cargo run --release -p gradoop-bench --bin repro            # everything
 //! cargo run --release -p gradoop-bench --bin repro -- --fig3  # one artifact
 //! cargo run --release -p gradoop-bench --bin repro -- --quick # small datasets
+//! cargo run --release -p gradoop-bench --bin repro -- --smoke # CI smoke run
 //! ```
 //!
 //! Runtimes are **simulated cluster seconds** (per-worker makespans with
@@ -14,10 +15,10 @@
 use std::collections::HashMap;
 
 use gradoop_bench::harness::{self, Measurement, ScaleFactor};
-use gradoop_bench::report::{seconds, speedup, Table};
+use gradoop_bench::report::{bytes, seconds, speedup, Table};
 use gradoop_core::{CypherEngine, MatchingConfig};
 use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
-use gradoop_ldbc::{table3_patterns, BenchmarkQuery, Selectivity};
+use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
 
 const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -172,6 +173,8 @@ fn table3(scale: f64) {
     println!("(cells are matches (total intermediate embeddings), per PROFILE)");
     println!("{table}");
 
+    shuffle_avoidance(&config, &names);
+
     println!("-- per-operator intermediate results (low selectivity, from PROFILE)");
     let mut breakdown = Table::new(["pattern", "operator", "rows out", "q-error"]);
     for (pattern, profile) in &low_profiles {
@@ -200,6 +203,49 @@ fn table3(scale: f64) {
         }
     }
     println!("{breakdown}");
+}
+
+/// Before/after comparison for the shuffle-avoidance work: the same queries
+/// with partition-aware FORWARD elision + loop-invariant candidate caching
+/// enabled (default) and disabled (naive always-reshuffle execution).
+/// Matches are asserted identical; only costs may differ.
+fn shuffle_avoidance(config: &LdbcConfig, names: &SelectivityNames) {
+    println!("-- shuffle avoidance: partition-aware vs naive (low selectivity, 4 workers)");
+    let mut comparisons: Vec<(String, String)> = table3_patterns(&names.low)
+        .into_iter()
+        .skip(2) // the single-scan and one-join patterns barely shuffle
+        .map(|(name, text)| (name.to_string(), text))
+        .collect();
+    // Q2/Q3 add variable-length expansions, where the loop-invariant
+    // candidate index saves one candidate shuffle per superstep.
+    for query in [BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        comparisons.push((query.to_string(), query.text(Some(&names.low))));
+    }
+    let mut table = Table::new([
+        "query",
+        "aware [s]",
+        "naive [s]",
+        "speedup",
+        "shuffled aware",
+        "shuffled naive",
+    ]);
+    for (label, text) in comparisons {
+        let aware = harness::run_query_with(config, 4, &text, true);
+        let naive = harness::run_query_with(config, 4, &text, false);
+        assert_eq!(
+            aware.matches, naive.matches,
+            "shuffle avoidance changed the result of {label}"
+        );
+        table.row([
+            label,
+            seconds(aware.simulated_seconds),
+            seconds(naive.simulated_seconds),
+            speedup(naive.simulated_seconds, aware.simulated_seconds),
+            bytes(aware.bytes_shuffled),
+            bytes(naive.bytes_shuffled),
+        ]);
+    }
+    println!("{table}");
 }
 
 fn profiles(scale: f64) {
@@ -398,6 +444,18 @@ fn ablations(scale: f64) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    if has("--smoke") {
+        // CI smoke run: exercise the harness end to end (generation,
+        // planning, execution, PROFILE, the shuffle-avoidance ablation) on
+        // a tiny dataset and exit. Any panic or result mismatch fails CI.
+        let scale = 0.04;
+        println!("Smoke run at scale {scale} (tiny datasets, table 3 + figure 5 only).\n");
+        let mut memo = Memo::new(scale);
+        table3(scale);
+        fig5(&mut memo);
+        println!("smoke OK");
+        return;
+    }
     let all = args.is_empty()
         || (!has("--fig3")
             && !has("--fig4")

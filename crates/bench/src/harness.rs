@@ -118,8 +118,24 @@ pub struct Measurement {
 /// workers and returns the measurement. Execution uses the default
 /// (cluster-calibrated) cost model.
 pub fn run_query(config: &LdbcConfig, workers: usize, query_text: &str) -> Measurement {
+    run_query_with(config, workers, query_text, true)
+}
+
+/// [`run_query`] with an explicit partition-awareness switch. Passing
+/// `false` disables FORWARD shuffle elision and loop-invariant candidate
+/// caching, reproducing the naive always-reshuffle execution for the
+/// shuffle-avoidance ablation; results are identical either way, only the
+/// costs differ.
+pub fn run_query_with(
+    config: &LdbcConfig,
+    workers: usize,
+    query_text: &str,
+    partition_aware: bool,
+) -> Measurement {
     let dataset = dataset(config);
-    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(workers));
+    let env = ExecutionEnvironment::new(
+        ExecutionConfig::with_workers(workers).partition_aware(partition_aware),
+    );
     let graph = graph_on(&env, &dataset.data);
     // Queries run against the label-indexed representation (paper §3.4),
     // like the paper's evaluation; building the index is preprocessing and
@@ -208,6 +224,23 @@ mod tests {
         assert!(m.simulated_seconds > 0.0);
         assert!(m.wall_seconds > 0.0);
         assert!(m.records > 0);
+    }
+
+    #[test]
+    fn partition_awareness_changes_costs_not_results() {
+        let config = LdbcConfig::with_persons(60);
+        let names = dataset(&config).names.clone();
+        let text = BenchmarkQuery::Q3.text(Some(&names.low));
+        let aware = run_query_with(&config, 4, &text, true);
+        let naive = run_query_with(&config, 4, &text, false);
+        assert_eq!(aware.matches, naive.matches);
+        assert!(
+            aware.bytes_shuffled <= naive.bytes_shuffled,
+            "forwarding must not ship more than reshuffling ({} vs {})",
+            aware.bytes_shuffled,
+            naive.bytes_shuffled
+        );
+        assert!(aware.simulated_seconds <= naive.simulated_seconds);
     }
 
     #[test]

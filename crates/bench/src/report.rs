@@ -82,6 +82,22 @@ pub fn speedup(base: f64, value: f64) -> String {
     }
 }
 
+/// Formats a byte count with a binary-prefix unit (`4.2 MiB`).
+pub fn bytes(value: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut scaled = value as f64;
+    let mut unit = 0;
+    while scaled >= 1024.0 && unit < UNITS.len() - 1 {
+        scaled /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{value} B")
+    } else {
+        format!("{scaled:.1} {}", UNITS[unit])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +129,12 @@ mod tests {
         assert_eq!(seconds(1.53), "1.5");
         assert_eq!(speedup(89.0, 46.0), "(1.9)");
         assert_eq!(speedup(1.0, 0.0), "(-)");
+    }
+
+    #[test]
+    fn byte_formatting_scales_units() {
+        assert_eq!(bytes(0), "0 B");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(4 * 1024 * 1024 + 200 * 1024), "4.2 MiB");
     }
 }

@@ -11,14 +11,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gradoop_cypher::QueryGraph;
-use gradoop_dataflow::{CollectingSink, Data, JoinStrategy};
+use gradoop_dataflow::{CollectingSink, Data, JoinStrategy, Partitioning};
 
 use crate::matching::MatchingConfig;
-use crate::observe::{q_error, ExpandIteration, ExplainNode, ProfileNode};
+use crate::observe::{
+    q_error, ship_strategies, ExpandIteration, ExplainNode, ProfileNode, ShipStrategy,
+};
 use crate::operators::{
-    cartesian_embeddings, edge_triples, expand_embeddings, filter_and_project_edges,
-    filter_and_project_vertices, filter_embeddings, join_embeddings, value_join_embeddings,
-    EmbeddingSet, ExpandConfig,
+    cartesian_embeddings, edge_triples, embedding_join_key, expand_embeddings,
+    filter_and_project_edges, filter_and_project_vertices, filter_embeddings, join_embeddings,
+    value_join_embeddings, EmbeddingSet, ExpandConfig,
 };
 use crate::planner::{PlanNode, QueryPlan};
 use crate::source::GraphSource;
@@ -54,7 +56,7 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
         } => {
             let left_set = execute_plan(left, query, source, matching);
             let right_set = execute_plan(right, query, source, matching);
-            let strategy = choose_strategy(&left_set, &right_set);
+            let (strategy, _) = choose_strategy_partitioned(&left_set, &right_set, variables);
             join_embeddings(&left_set, &right_set, variables, matching, strategy)
         }
         PlanNode::Expand { input, edge } => {
@@ -121,8 +123,76 @@ pub fn choose_join_strategy(left_rows: usize, right_rows: usize) -> JoinStrategy
     }
 }
 
+/// Like [`choose_join_strategy`], but aware of which inputs are already
+/// hash-partitioned on the join key. A co-partitioned side is forwarded for
+/// free by the repartition strategies, which changes the trade-off:
+/// repartitioning then only ships the *other* side once, whereas a
+/// broadcast replicates its side to every worker. Broadcasting is left as
+/// the choice only when the side to replicate is much smaller than the side
+/// a repartition join would still have to ship. Public for the same reason
+/// as [`choose_join_strategy`]: the planner predicts this choice from its
+/// estimates and expected partitioning, EXPLAIN reports the prediction,
+/// PROFILE the actual decision.
+pub fn choose_join_strategy_with_partitioning(
+    left_rows: usize,
+    right_rows: usize,
+    left_partitioned: bool,
+    right_partitioned: bool,
+) -> JoinStrategy {
+    match (left_partitioned, right_partitioned) {
+        // Both sides in place: the join is shuffle-free.
+        (true, true) => JoinStrategy::RepartitionHash,
+        // Left in place: repartitioning ships only `right` once. Broadcast
+        // can still win, but only by replicating the *left* side (keeping
+        // right stationary) when it is far smaller than shipping right.
+        (true, false) => {
+            if left_rows < BROADCAST_THRESHOLD && left_rows * 8 < right_rows {
+                JoinStrategy::BroadcastHashFirst
+            } else {
+                JoinStrategy::RepartitionHash
+            }
+        }
+        (false, true) => {
+            if right_rows < BROADCAST_THRESHOLD && right_rows * 8 < left_rows {
+                JoinStrategy::BroadcastHashSecond
+            } else {
+                JoinStrategy::RepartitionHash
+            }
+        }
+        (false, false) => choose_join_strategy(left_rows, right_rows),
+    }
+}
+
 fn choose_strategy(left: &EmbeddingSet, right: &EmbeddingSet) -> JoinStrategy {
     choose_join_strategy(left.data.len_untracked(), right.data.len_untracked())
+}
+
+/// Runtime strategy choice for a join on `variables`: reads the inputs'
+/// partitioning facts (when awareness is enabled) and returns the chosen
+/// strategy plus the `[left, right]` ship strategies it implies.
+fn choose_strategy_partitioned(
+    left: &EmbeddingSet,
+    right: &EmbeddingSet,
+    variables: &[String],
+) -> (JoinStrategy, [ShipStrategy; 2]) {
+    let env = left.data.env();
+    let aware = env.partition_aware();
+    let target = Partitioning {
+        key: embedding_join_key(variables),
+        workers: env.workers(),
+    };
+    let left_partitioned = aware && left.data.partitioning() == Some(target);
+    let right_partitioned = aware && right.data.partitioning() == Some(target);
+    let strategy = choose_join_strategy_with_partitioning(
+        left.data.len_untracked(),
+        right.data.len_untracked(),
+        left_partitioned,
+        right_partitioned,
+    );
+    (
+        strategy,
+        ship_strategies(strategy, left_partitioned, right_partitioned),
+    )
 }
 
 /// Executes `plan` like [`execute_plan`] and returns, next to the result,
@@ -185,6 +255,7 @@ fn profile_node<S: GraphSource + ?Sized>(
         .map(|s| s.data.len_untracked() as u64)
         .sum();
     let mut actual_strategy = None;
+    let mut actual_ship = None;
 
     let result = match node {
         PlanNode::ScanVertices { vertex } => {
@@ -202,8 +273,10 @@ fn profile_node<S: GraphSource + ?Sized>(
             filter_and_project_edges(&candidates, query_edge, source_var, target_var, matching)
         }
         PlanNode::Join { variables, .. } => {
-            let strategy = choose_strategy(&child_sets[0], &child_sets[1]);
+            let (strategy, ship) =
+                choose_strategy_partitioned(&child_sets[0], &child_sets[1], variables);
             actual_strategy = Some(strategy);
+            actual_ship = Some(ship);
             join_embeddings(
                 &child_sets[0],
                 &child_sets[1],
@@ -244,6 +317,9 @@ fn profile_node<S: GraphSource + ?Sized>(
         } => {
             let strategy = choose_strategy(&child_sets[0], &child_sets[1]);
             actual_strategy = Some(strategy);
+            // Value joins key on property values; no named partitioning
+            // fact exists for those, so neither side can be forwarded.
+            actual_ship = Some(ship_strategies(strategy, false, false));
             value_join_embeddings(
                 &child_sets[0],
                 &child_sets[1],
@@ -266,6 +342,9 @@ fn profile_node<S: GraphSource + ?Sized>(
             iteration: span.counter("iteration").unwrap_or(0.0) as u64,
             frontier_rows: span.counter("frontier_rows").unwrap_or(0.0) as u64,
             emitted_rows: span.counter("emitted_rows").unwrap_or(0.0) as u64,
+            shuffled_bytes: span.counter("shuffled_bytes").unwrap_or(0.0) as u64,
+            candidate_shuffled_bytes: span.counter("candidate_shuffled_bytes").unwrap_or(0.0)
+                as u64,
         })
         .collect();
     let rows_out = result.data.len_untracked() as u64;
@@ -286,6 +365,7 @@ fn profile_node<S: GraphSource + ?Sized>(
         estimated_cardinality: explain.estimated_cardinality,
         estimated_strategy: explain.estimated_strategy,
         actual_strategy,
+        actual_ship,
         rows_in,
         rows_out,
         selectivity,

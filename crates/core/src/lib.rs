@@ -53,11 +53,14 @@ pub mod source;
 
 pub use embedding::{Embedding, EmbeddingMetaData, Entry, EntryType};
 pub use engine::{CypherEngine, CypherError, CypherOperator};
-pub use executor::{choose_join_strategy, execute_plan, execute_plan_profiled};
+pub use executor::{
+    choose_join_strategy, choose_join_strategy_with_partitioning, execute_plan,
+    execute_plan_profiled,
+};
 pub use matching::{MatchingConfig, MorphismType};
 pub use observe::{
-    ExpandIteration, Explain, ExplainNode, PlannerCandidate, PlannerRound, PlannerTrace, Profile,
-    ProfileNode,
+    ship_strategies, ExpandIteration, Explain, ExplainNode, PlannerCandidate, PlannerRound,
+    PlannerTrace, Profile, ProfileNode, ShipStrategy,
 };
 pub use planner::{plan_query, Estimator, PlanError, PlanNode, QueryPlan};
 pub use reference::{reference_match, ReferenceMatch};

@@ -34,6 +34,60 @@ pub fn strategy_name(strategy: JoinStrategy) -> &'static str {
     }
 }
 
+/// How one input of a join is shipped to the workers that join it — the
+/// simulated analogue of Flink's ship strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipStrategy {
+    /// The input is already partitioned on the join key: it stays in place
+    /// and no network traffic is charged for it.
+    Forward,
+    /// The input is hash-repartitioned by the join key.
+    Shuffle,
+    /// The input is replicated to every worker.
+    Broadcast,
+}
+
+/// Stable lower-case name of a ship strategy, used in text and JSON output.
+pub fn ship_name(ship: ShipStrategy) -> &'static str {
+    match ship {
+        ShipStrategy::Forward => "forward",
+        ShipStrategy::Shuffle => "shuffle",
+        ShipStrategy::Broadcast => "broadcast",
+    }
+}
+
+/// The `[left, right]` ship strategies a join strategy implies, given which
+/// inputs are known to be partitioned on the join key already. Used by the
+/// planner (with *expected* partitioning) and the executor (with the actual
+/// run-time placement facts), so EXPLAIN and PROFILE show which shuffles
+/// are elided.
+pub fn ship_strategies(
+    strategy: JoinStrategy,
+    left_partitioned: bool,
+    right_partitioned: bool,
+) -> [ShipStrategy; 2] {
+    let repartition = |partitioned: bool| {
+        if partitioned {
+            ShipStrategy::Forward
+        } else {
+            ShipStrategy::Shuffle
+        }
+    };
+    match strategy {
+        JoinStrategy::RepartitionHash | JoinStrategy::RepartitionSortMerge => [
+            repartition(left_partitioned),
+            repartition(right_partitioned),
+        ],
+        JoinStrategy::BroadcastHashFirst => [ShipStrategy::Broadcast, ShipStrategy::Forward],
+        JoinStrategy::BroadcastHashSecond => [ShipStrategy::Forward, ShipStrategy::Broadcast],
+    }
+}
+
+/// Renders a `[left, right]` ship-strategy pair as `forward,shuffle`.
+pub fn ship_pair_name(pair: [ShipStrategy; 2]) -> String {
+    format!("{},{}", ship_name(pair[0]), ship_name(pair[1]))
+}
+
 /// The estimate-vs-actual q-error: `max(est/act, act/est)`, with both sides
 /// clamped to 1 so empty results do not divide by zero. 1.0 is a perfect
 /// estimate; 10 means one order of magnitude off in either direction.
@@ -55,6 +109,10 @@ pub struct ExplainNode {
     /// input cardinalities (the choice `choose_join_strategy` will make if
     /// the estimates are accurate).
     pub estimated_strategy: Option<JoinStrategy>,
+    /// For joins: the `[left, right]` ship strategies expected from the
+    /// predicted partitioning of each input — `forward` marks a shuffle the
+    /// engine expects to elide.
+    pub estimated_ship: Option<[ShipStrategy; 2]>,
     /// Input operators (0 for scans, 1 for expand/filter, 2 for joins).
     pub children: Vec<ExplainNode>,
 }
@@ -66,6 +124,7 @@ impl ExplainNode {
             operator: operator.into(),
             estimated_cardinality,
             estimated_strategy: None,
+            estimated_ship: None,
             children: Vec::new(),
         }
     }
@@ -80,6 +139,7 @@ impl ExplainNode {
             operator: operator.into(),
             estimated_cardinality,
             estimated_strategy: None,
+            estimated_ship: None,
             children,
         }
     }
@@ -97,6 +157,9 @@ impl ExplainNode {
         out.push_str(&format!("  est={:.0}", self.estimated_cardinality));
         if let Some(strategy) = self.estimated_strategy {
             out.push_str(&format!("  strategy={}", strategy_name(strategy)));
+        }
+        if let Some(ship) = self.estimated_ship {
+            out.push_str(&format!("  ship={}", ship_pair_name(ship)));
         }
         out.push('\n');
         for child in &self.children {
@@ -118,6 +181,9 @@ impl ExplainNode {
                 "estimated_strategy",
                 JsonValue::string(strategy_name(strategy)),
             ));
+        }
+        if let Some(ship) = self.estimated_ship {
+            pairs.push(("estimated_ship", JsonValue::string(ship_pair_name(ship))));
         }
         pairs.push((
             "children",
@@ -289,6 +355,12 @@ pub struct ExpandIteration {
     pub frontier_rows: u64,
     /// Embeddings emitted to the result in this iteration.
     pub emitted_rows: u64,
+    /// Network bytes moved shipping the working set this iteration.
+    pub shuffled_bytes: u64,
+    /// Network bytes moved shipping the candidate edges this iteration.
+    /// With the loop-invariant index (partition awareness on) this is
+    /// non-zero only in iteration 1.
+    pub candidate_shuffled_bytes: u64,
 }
 
 /// One operator of the profiled plan tree: the [`ExplainNode`] annotations
@@ -303,6 +375,10 @@ pub struct ProfileNode {
     pub estimated_strategy: Option<JoinStrategy>,
     /// Join strategy actually chosen at runtime, if this is a join.
     pub actual_strategy: Option<JoinStrategy>,
+    /// For joins: the `[left, right]` ship strategies actually applied,
+    /// derived from the runtime partitioning facts of the inputs —
+    /// `forward` marks a shuffle that was elided.
+    pub actual_ship: Option<[ShipStrategy; 2]>,
     /// Rows consumed: scanned candidate elements for leaves, the children's
     /// output rows otherwise.
     pub rows_in: u64,
@@ -351,12 +427,19 @@ impl ProfileNode {
         if let Some(strategy) = self.actual_strategy {
             out.push_str(&format!("  strategy={}", strategy_name(strategy)));
         }
+        if let Some(ship) = self.actual_ship {
+            out.push_str(&format!("  ship={}", ship_pair_name(ship)));
+        }
         out.push('\n');
         for iteration in &self.iterations {
             out.push_str(&"  ".repeat(depth + 1));
             out.push_str(&format!(
-                "· iteration {}: frontier={} emitted={}\n",
-                iteration.iteration, iteration.frontier_rows, iteration.emitted_rows
+                "· iteration {}: frontier={} emitted={} shuffled={}B candidates={}B\n",
+                iteration.iteration,
+                iteration.frontier_rows,
+                iteration.emitted_rows,
+                iteration.shuffled_bytes,
+                iteration.candidate_shuffled_bytes
             ));
         }
         for child in &self.children {
@@ -399,6 +482,9 @@ impl ProfileNode {
                 JsonValue::string(strategy_name(strategy)),
             ));
         }
+        if let Some(ship) = self.actual_ship {
+            pairs.push(("actual_ship", JsonValue::string(ship_pair_name(ship))));
+        }
         if !self.iterations.is_empty() {
             pairs.push((
                 "iterations",
@@ -410,6 +496,11 @@ impl ProfileNode {
                                 ("iteration", JsonValue::Number(i.iteration as f64)),
                                 ("frontier_rows", JsonValue::Number(i.frontier_rows as f64)),
                                 ("emitted_rows", JsonValue::Number(i.emitted_rows as f64)),
+                                ("shuffled_bytes", JsonValue::Number(i.shuffled_bytes as f64)),
+                                (
+                                    "candidate_shuffled_bytes",
+                                    JsonValue::Number(i.candidate_shuffled_bytes as f64),
+                                ),
                             ])
                         })
                         .collect(),
@@ -507,12 +598,45 @@ impl Profile {
 mod tests {
     use super::*;
 
+    #[test]
+    fn ship_strategies_follow_partitioning() {
+        use JoinStrategy::*;
+        // Repartition joins forward any side already placed on the key.
+        assert_eq!(
+            ship_strategies(RepartitionHash, false, false),
+            [ShipStrategy::Shuffle, ShipStrategy::Shuffle]
+        );
+        assert_eq!(
+            ship_strategies(RepartitionHash, true, false),
+            [ShipStrategy::Forward, ShipStrategy::Shuffle]
+        );
+        assert_eq!(
+            ship_strategies(RepartitionSortMerge, true, true),
+            [ShipStrategy::Forward, ShipStrategy::Forward]
+        );
+        // Broadcast replicates the build side; the other side never moves,
+        // regardless of partitioning.
+        assert_eq!(
+            ship_strategies(BroadcastHashFirst, false, true),
+            [ShipStrategy::Broadcast, ShipStrategy::Forward]
+        );
+        assert_eq!(
+            ship_strategies(BroadcastHashSecond, true, false),
+            [ShipStrategy::Forward, ShipStrategy::Broadcast]
+        );
+        assert_eq!(
+            ship_pair_name(ship_strategies(RepartitionHash, true, false)),
+            "forward,shuffle"
+        );
+    }
+
     fn sample_profile() -> Profile {
         let scan = ProfileNode {
             operator: "ScanEdges(e:knows)".into(),
             estimated_cardinality: 10.0,
             estimated_strategy: None,
             actual_strategy: None,
+            actual_ship: None,
             rows_in: 5,
             rows_out: 3,
             selectivity: 0.6,
@@ -529,6 +653,7 @@ mod tests {
             estimated_cardinality: 4.0,
             estimated_strategy: Some(JoinStrategy::RepartitionHash),
             actual_strategy: Some(JoinStrategy::RepartitionHash),
+            actual_ship: Some([ShipStrategy::Shuffle, ShipStrategy::Forward]),
             rows_in: 3,
             rows_out: 4,
             selectivity: 4.0 / 3.0,
@@ -542,11 +667,15 @@ mod tests {
                     iteration: 1,
                     frontier_rows: 3,
                     emitted_rows: 3,
+                    shuffled_bytes: 96,
+                    candidate_shuffled_bytes: 72,
                 },
                 ExpandIteration {
                     iteration: 2,
                     frontier_rows: 1,
                     emitted_rows: 1,
+                    shuffled_bytes: 32,
+                    candidate_shuffled_bytes: 0,
                 },
             ],
             children: vec![scan],
@@ -608,6 +737,7 @@ mod tests {
                 operator: "JoinEmbeddings(on a)".into(),
                 estimated_cardinality: 42.0,
                 estimated_strategy: Some(JoinStrategy::BroadcastHashSecond),
+                estimated_ship: Some([ShipStrategy::Forward, ShipStrategy::Broadcast]),
                 children: vec![
                     ExplainNode::leaf("ScanVertices(a)", 100.0),
                     ExplainNode::leaf("ScanEdges(e)", 5.0),
@@ -619,6 +749,7 @@ mod tests {
         let text = explain.to_text();
         assert!(text.contains("JoinEmbeddings(on a)"));
         assert!(text.contains("strategy=broadcast-hash-second"));
+        assert!(text.contains("ship=forward,broadcast"), "{text}");
         assert!(text.contains("  ScanVertices(a)"));
         let parsed = JsonValue::parse(&explain.to_json()).unwrap();
         assert!(parsed.semantically_eq(&explain.to_json_value()));
@@ -647,7 +778,11 @@ mod tests {
     #[test]
     fn profile_text_includes_iterations() {
         let text = sample_profile().to_text();
-        assert!(text.contains("iteration 1: frontier=3 emitted=3"), "{text}");
+        assert!(
+            text.contains("iteration 1: frontier=3 emitted=3 shuffled=96B candidates=72B"),
+            "{text}"
+        );
+        assert!(text.contains("ship=shuffle,forward"), "{text}");
         assert!(text.contains("q_err="), "{text}");
         assert!(text.contains("planner decisions:"), "{text}");
     }

@@ -4,11 +4,30 @@
 //! Uses the FlatJoin pattern of the paper: the joined embedding is only
 //! emitted if the configured morphism semantics hold, so rejected
 //! combinations are never materialized or shuffled further.
+//!
+//! The join key is *named*: the set of join variables is canonicalized
+//! (sorted) into a [`PartitionKey`], and key extraction follows that
+//! canonical order on both sides. An embedding set that is already
+//! partitioned on the same variables — typically the output of a previous
+//! join in a chain — is forwarded instead of shuffled (Flink FORWARD), and
+//! the join's output is stamped so the *next* join on those variables can
+//! elide its shuffle too.
 
-use gradoop_dataflow::JoinStrategy;
+use gradoop_dataflow::{JoinStrategy, PartitionKey};
 
 use crate::matching::{satisfies_morphism, MatchingConfig};
 use crate::operators::{observe_operator, EmbeddingSet};
+
+/// The canonical [`PartitionKey`] for embeddings hash-placed by the ids of
+/// `variables` (order-insensitive: the variables are sorted first, and key
+/// extraction everywhere follows the sorted order). Shared by the join
+/// operator, the executor and the planner so that plan-time shuffle
+/// predictions and run-time placement facts agree.
+pub fn embedding_join_key(variables: &[String]) -> PartitionKey {
+    let mut sorted: Vec<&str> = variables.iter().map(String::as_str).collect();
+    sorted.sort_unstable();
+    PartitionKey::named(&format!("embedding:{}", sorted.join(",")))
+}
 
 /// Joins `left` and `right` on the columns bound to `join_variables`.
 ///
@@ -26,14 +45,6 @@ pub fn join_embeddings(
         !join_variables.is_empty(),
         "join requires at least one shared variable"
     );
-    let left_columns: Vec<usize> = join_variables
-        .iter()
-        .map(|v| {
-            left.meta
-                .column(v)
-                .unwrap_or_else(|| panic!("join variable `{v}` unbound on left side"))
-        })
-        .collect();
     let right_columns: Vec<usize> = join_variables
         .iter()
         .map(|v| {
@@ -44,15 +55,35 @@ pub fn join_embeddings(
         })
         .collect();
 
+    // Key extraction follows the *sorted* variable order on both sides, so
+    // the same variable set always hashes identically — the precondition
+    // for the named [`PartitionKey`] below to elide repeated shuffles.
+    let mut canonical: Vec<String> = join_variables.to_vec();
+    canonical.sort_unstable();
+    let left_key_columns: Vec<usize> = canonical
+        .iter()
+        .map(|v| {
+            left.meta
+                .column(v)
+                .unwrap_or_else(|| panic!("join variable `{v}` unbound on left side"))
+        })
+        .collect();
+    let right_key_columns: Vec<usize> = canonical
+        .iter()
+        .map(|v| right.meta.column(v).expect("checked above"))
+        .collect();
+    let key_id = embedding_join_key(join_variables);
+
     let meta = left.meta.merge(&right.meta, &right_columns);
     let config = *config;
     let merged_meta = meta.clone();
     let skip = right_columns.clone();
 
-    let data = left.data.join(
+    let data = left.data.join_partitioned(
         &right.data,
+        key_id,
         {
-            let columns = left_columns.clone();
+            let columns = left_key_columns;
             move |embedding| {
                 columns
                     .iter()
@@ -61,7 +92,7 @@ pub fn join_embeddings(
             }
         },
         {
-            let columns = right_columns.clone();
+            let columns = right_key_columns;
             move |embedding| {
                 columns
                     .iter()
@@ -215,6 +246,76 @@ mod tests {
         let rows = joined.data.collect();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].id(joined.meta.column("e3").unwrap()), 30);
+    }
+
+    #[test]
+    fn join_key_is_order_insensitive() {
+        let ac = embedding_join_key(&["a".to_string(), "c".to_string()]);
+        let ca = embedding_join_key(&["c".to_string(), "a".to_string()]);
+        assert_eq!(ac, ca);
+        assert_ne!(ac, embedding_join_key(&["a".to_string()]));
+    }
+
+    #[test]
+    fn chained_joins_on_same_variable_elide_the_shuffle() {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(4).cost_model(CostModel::free()),
+        );
+        let rows: Vec<(u64, u64, u64)> = (0..200).map(|i| (i, 1000 + i, i % 20)).collect();
+        let left = edge_set(&env, &rows, ["a", "e1", "b"]);
+        let mid_rows: Vec<(u64, u64, u64)> = (0..20).map(|i| (i, 2000 + i, i + 500)).collect();
+        let mid = edge_set(&env, &mid_rows, ["b", "e2", "c"]);
+        let last_rows: Vec<(u64, u64, u64)> = (0..20).map(|i| (i, 3000 + i, i + 900)).collect();
+        let last = edge_set(&env, &last_rows, ["b", "e3", "d"]);
+
+        let first = join_embeddings(
+            &left,
+            &mid,
+            &["b".to_string()],
+            &MatchingConfig::homomorphism(),
+            JoinStrategy::RepartitionHash,
+        );
+        // The join output is stamped as partitioned on its join variables.
+        assert!(first.data.partitioning().is_some());
+
+        // Second join on the same variable: the (large) first result is
+        // forwarded; only `last` is pushed through the shuffle. (The first
+        // result already sits hash-placed by `b`, so the re-shuffle it
+        // avoids would move zero bytes — the saving shows up as records not
+        // re-hashed and re-routed.) Compare against the same join with the
+        // placement fact erased.
+        let before = env.metrics();
+        let _ = join_embeddings(
+            &first,
+            &last,
+            &["b".to_string()],
+            &MatchingConfig::homomorphism(),
+            JoinStrategy::RepartitionHash,
+        );
+        let mid_metrics = env.metrics();
+        let with_stamp = mid_metrics.records_in - before.records_in;
+
+        let unstamped = EmbeddingSet {
+            data: first.data.clone().assume_partitioning(None),
+            meta: first.meta.clone(),
+        };
+        let _ = join_embeddings(
+            &unstamped,
+            &last,
+            &["b".to_string()],
+            &MatchingConfig::homomorphism(),
+            JoinStrategy::RepartitionHash,
+        );
+        let after = env.metrics();
+        let without_stamp = after.records_in - mid_metrics.records_in;
+        assert!(
+            with_stamp < without_stamp,
+            "forwarding must process fewer records: {with_stamp} vs {without_stamp}"
+        );
+        // Byte-wise the forwarded plan can only be at least as cheap.
+        let stamped_bytes = mid_metrics.bytes_shuffled - before.bytes_shuffled;
+        let unstamped_bytes = after.bytes_shuffled - mid_metrics.bytes_shuffled;
+        assert!(stamped_bytes <= unstamped_bytes);
     }
 
     #[test]

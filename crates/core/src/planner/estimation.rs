@@ -18,6 +18,17 @@ const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
 /// Selectivity of `IS NULL` (properties are usually set).
 const IS_NULL_SELECTIVITY: f64 = 0.1;
 
+/// Caps a per-label sum at a known total. Statistics from synthetic or
+/// partial sources may leave the total at zero; in that case the sum is the
+/// best available estimate and no clamp applies.
+fn clamp_to(sum: f64, total: f64) -> f64 {
+    if total > 0.0 {
+        sum.min(total)
+    } else {
+        sum
+    }
+}
+
 /// Cardinality estimator bound to a data graph's statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct Estimator<'a> {
@@ -51,55 +62,92 @@ impl<'a> Estimator<'a> {
         directions * base * self.predicate_selectivity(&edge.predicates, &edge.labels, false)
     }
 
-    /// Estimated distinct source vertices of query edge `index`.
+    /// Estimated distinct source vertices of query edge `index`. For an
+    /// undirected edge both orientations match, so a vertex acts as a
+    /// "source" when it is either endpoint of an underlying edge; the
+    /// estimate combines both orientations' distinct counts, bounded by the
+    /// total vertex count.
     pub fn edge_distinct_sources(&self, query: &QueryGraph, index: usize) -> f64 {
         let edge = &query.edges[index];
-        if edge.labels.is_empty() {
-            (self.stats.distinct_sources(None) as f64).max(1.0)
+        let forward = self.distinct_sources_for(&edge.labels);
+        if edge.undirected {
+            let backward = self.distinct_targets_for(&edge.labels);
+            clamp_to(forward + backward, self.stats.vertex_count as f64).max(1.0)
         } else {
-            edge.labels
-                .iter()
-                .map(|l| self.stats.distinct_sources(Some(l)) as f64)
-                .sum::<f64>()
-                .max(1.0)
+            forward.max(1.0)
         }
     }
 
-    /// Estimated distinct target vertices of query edge `index`.
+    /// Estimated distinct target vertices of query edge `index` (mirror of
+    /// [`Self::edge_distinct_sources`] for undirected edges).
     pub fn edge_distinct_targets(&self, query: &QueryGraph, index: usize) -> f64 {
         let edge = &query.edges[index];
-        if edge.labels.is_empty() {
-            (self.stats.distinct_targets(None) as f64).max(1.0)
+        let forward = self.distinct_targets_for(&edge.labels);
+        if edge.undirected {
+            let backward = self.distinct_sources_for(&edge.labels);
+            clamp_to(forward + backward, self.stats.vertex_count as f64).max(1.0)
         } else {
-            edge.labels
+            forward.max(1.0)
+        }
+    }
+
+    /// Distinct sources over a label alternation, clamped to the global
+    /// distinct-source count (labels can share source vertices, so the
+    /// per-label sum over-counts).
+    fn distinct_sources_for(&self, labels: &[Label]) -> f64 {
+        if labels.is_empty() {
+            self.stats.distinct_sources(None) as f64
+        } else {
+            let sum: f64 = labels
+                .iter()
+                .map(|l| self.stats.distinct_sources(Some(l)) as f64)
+                .sum();
+            clamp_to(sum, self.stats.distinct_sources(None) as f64)
+        }
+    }
+
+    /// Distinct targets over a label alternation, clamped to the global
+    /// distinct-target count.
+    fn distinct_targets_for(&self, labels: &[Label]) -> f64 {
+        if labels.is_empty() {
+            self.stats.distinct_targets(None) as f64
+        } else {
+            let sum: f64 = labels
                 .iter()
                 .map(|l| self.stats.distinct_targets(Some(l)) as f64)
-                .sum::<f64>()
-                .max(1.0)
+                .sum();
+            clamp_to(sum, self.stats.distinct_targets(None) as f64)
         }
     }
 
     /// Total vertices matching a label alternation (all vertices if empty).
+    /// The per-label sum is clamped to the graph's vertex count: a multi-
+    /// labelled vertex is counted once per matching label by the sum but can
+    /// only match the alternation once.
     pub fn vertices_with_labels(&self, labels: &[Label]) -> f64 {
         if labels.is_empty() {
             self.stats.vertex_count as f64
         } else {
-            labels
+            let sum: f64 = labels
                 .iter()
                 .map(|l| self.stats.vertices_with_label(l) as f64)
-                .sum()
+                .sum();
+            clamp_to(sum, self.stats.vertex_count as f64)
         }
     }
 
-    /// Total edges matching a label alternation (all edges if empty).
+    /// Total edges matching a label alternation (all edges if empty),
+    /// clamped to the graph's edge count like
+    /// [`Self::vertices_with_labels`].
     pub fn edges_with_labels(&self, labels: &[Label]) -> f64 {
         if labels.is_empty() {
             self.stats.edge_count as f64
         } else {
-            labels
+            let sum: f64 = labels
                 .iter()
                 .map(|l| self.stats.edges_with_label(l) as f64)
-                .sum()
+                .sum();
+            clamp_to(sum, self.stats.edge_count as f64)
         }
     }
 
@@ -296,6 +344,40 @@ mod tests {
         let undirected = query("MATCH (a)-[e:knows]-(b) RETURN *");
         assert_eq!(est.edge_cardinality(&directed, 0), 3000.0);
         assert_eq!(est.edge_cardinality(&undirected, 0), 6000.0);
+    }
+
+    #[test]
+    fn label_alternation_clamps_to_totals() {
+        let mut stats = stats();
+        // Overlapping labels: most Persons are also Employees, so the
+        // per-label sum (600 + 700) exceeds the 1000 vertices that exist.
+        stats
+            .vertex_count_by_label
+            .insert(Label::new("Employee"), 700);
+        stats.edge_count_by_label.insert(Label::new("likes"), 4000);
+        let est = Estimator::new(&stats);
+        let q = query("MATCH (x:Person|Employee) RETURN *");
+        assert_eq!(est.vertex_cardinality(&q, 0), 1000.0);
+        let q = query("MATCH (a)-[e:knows|likes]->(b) RETURN *");
+        assert_eq!(est.edge_cardinality(&q, 0), 5000.0);
+    }
+
+    #[test]
+    fn undirected_edges_count_both_endpoint_orientations() {
+        let stats = stats();
+        let est = Estimator::new(&stats);
+        let directed = query("MATCH (a)-[e:knows]->(b) RETURN *");
+        assert_eq!(est.edge_distinct_sources(&directed, 0), 500.0);
+        assert_eq!(est.edge_distinct_targets(&directed, 0), 550.0);
+        // Undirected: either endpoint can act as the source, so both
+        // orientations' distinct counts combine (500 + 550), capped by the
+        // 1000 vertices in the graph.
+        let undirected = query("MATCH (a)-[e:knows]-(b) RETURN *");
+        assert_eq!(est.edge_distinct_sources(&undirected, 0), 1000.0);
+        assert_eq!(est.edge_distinct_targets(&undirected, 0), 1000.0);
+        // Fan-out stays consistent: doubled cardinality over combined
+        // endpoints, not doubled cardinality over one orientation's sources.
+        assert!((est.edge_fanout(&undirected, 0) - 6.0).abs() < 1e-9);
     }
 
     #[test]

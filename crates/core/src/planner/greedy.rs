@@ -13,8 +13,8 @@ use std::collections::{BTreeSet, HashMap};
 
 use gradoop_cypher::QueryGraph;
 
-use crate::executor::choose_join_strategy;
-use crate::observe::{ExplainNode, PlannerCandidate, PlannerRound, PlannerTrace};
+use crate::executor::{choose_join_strategy, choose_join_strategy_with_partitioning};
+use crate::observe::{ship_strategies, ExplainNode, PlannerCandidate, PlannerRound, PlannerTrace};
 use crate::planner::estimation::Estimator;
 use crate::planner::plan::{node_label, PlanNode, QueryPlan};
 
@@ -41,6 +41,13 @@ struct Partial {
     cardinality: f64,
     /// Estimated distinct values per bound variable.
     distinct: HashMap<String, f64>,
+    /// The variable set the partial's output is expected to be
+    /// hash-partitioned on at runtime — the plan-time mirror of the
+    /// dataset's [`Partitioning`](gradoop_dataflow::Partitioning)
+    /// fingerprint. `Some` after repartitioning joins (whose outputs are
+    /// stamped), preserved by filters, dropped by everything that rewrites
+    /// placement. Used to predict which join shuffles will be elided.
+    partitioned_by: Option<BTreeSet<String>>,
     /// Annotated mirror of `node` (same shape), carrying per-operator
     /// estimates for EXPLAIN output.
     explain: ExplainNode,
@@ -93,6 +100,7 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
             variables: BTreeSet::from([vertex.variable.clone()]),
             cardinality,
             distinct,
+            partitioned_by: None,
             explain,
         });
     }
@@ -191,6 +199,11 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
             vec![combined.explain, next.explain],
         );
         explain.estimated_strategy = strategy;
+        if let Some(strategy) = strategy {
+            // Value joins key on property values, which no named
+            // partitioning fact describes: neither side forwards.
+            explain.estimated_ship = Some(ship_strategies(strategy, false, false));
+        }
         combined = Partial {
             vertices: combined.vertices.union(&next.vertices).copied().collect(),
             edges: combined.edges.union(&next.edges).copied().collect(),
@@ -198,6 +211,7 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
             cardinality,
             node,
             distinct,
+            partitioned_by: None,
             explain,
         };
         apply_ready_filters(query, estimator, &mut combined, &mut pending_clauses);
@@ -309,6 +323,7 @@ fn edge_scan_partial(query: &QueryGraph, estimator: &Estimator, edge_index: usiz
         variables,
         cardinality,
         distinct,
+        partitioned_by: None,
         explain,
     }
 }
@@ -336,11 +351,26 @@ fn join_partials(
         *entry = entry.min(*value).min(cardinality.max(1.0));
     }
     // Predict the join strategy the executor will pick if the estimated
-    // input cardinalities come true.
-    let strategy = choose_join_strategy(
+    // input cardinalities come true, including which inputs it will find
+    // already partitioned on the join key and therefore forward.
+    let key_set: BTreeSet<String> = variables.iter().cloned().collect();
+    let left_partitioned = left.partitioned_by.as_ref() == Some(&key_set);
+    let right_partitioned = right.partitioned_by.as_ref() == Some(&key_set);
+    let strategy = choose_join_strategy_with_partitioning(
         left.cardinality.max(0.0) as usize,
         right.cardinality.max(0.0) as usize,
+        left_partitioned,
+        right_partitioned,
     );
+    // Mirror the runtime stamping rules: repartitioning joins place their
+    // output by the join key; a broadcast join leaves the stationary side's
+    // placement as is (meaningful here only when it already matches).
+    use gradoop_dataflow::JoinStrategy;
+    let partitioned_by = match strategy {
+        JoinStrategy::RepartitionHash | JoinStrategy::RepartitionSortMerge => Some(key_set.clone()),
+        JoinStrategy::BroadcastHashFirst => right_partitioned.then(|| key_set.clone()),
+        JoinStrategy::BroadcastHashSecond => left_partitioned.then(|| key_set.clone()),
+    };
     let node = PlanNode::Join {
         left: Box::new(left.node),
         right: Box::new(right.node),
@@ -348,6 +378,11 @@ fn join_partials(
     };
     let mut explain = explain_for(query, &node, cardinality, vec![left.explain, right.explain]);
     explain.estimated_strategy = Some(strategy);
+    explain.estimated_ship = Some(ship_strategies(
+        strategy,
+        left_partitioned,
+        right_partitioned,
+    ));
     Partial {
         node,
         vertices: left.vertices.union(&right.vertices).copied().collect(),
@@ -355,6 +390,7 @@ fn join_partials(
         variables: left.variables.union(&right.variables).cloned().collect(),
         cardinality,
         distinct,
+        partitioned_by,
         explain,
     }
 }
@@ -447,6 +483,7 @@ fn build_expand_candidate(
                     variables: BTreeSet::from([source_var.clone()]),
                     cardinality,
                     distinct,
+                    partitioned_by: None,
                     explain,
                 },
                 Vec::new(),
@@ -497,6 +534,9 @@ fn build_expand_candidate(
         variables,
         cardinality,
         distinct,
+        // The expansion's probe outputs land wherever their last hop's
+        // source was placed — no named partitioning describes that.
+        partitioned_by: None,
         explain,
     };
 

@@ -6,7 +6,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gradoop_core::{choose_join_strategy, CypherEngine, MatchingConfig, Profile, ProfileNode};
+use gradoop_core::{
+    choose_join_strategy, ship_strategies, CypherEngine, MatchingConfig, Profile, ProfileNode,
+    ShipStrategy,
+};
 use gradoop_dataflow::{CollectingSink, ExecutionConfig, ExecutionEnvironment, JsonValue};
 use gradoop_epgm::{properties, Edge, GradoopId, GraphHead, LogicalGraph, Properties, Vertex};
 
@@ -171,6 +174,37 @@ fn profile_records_variable_length_expansion_iterations() {
 }
 
 #[test]
+fn expansion_ships_candidate_edges_only_in_the_first_iteration() {
+    let graph = figure1_graph();
+    let p = profile(
+        &graph,
+        "MATCH (a:Person)-[e:knows*1..3]->(b:Person) RETURN *",
+    );
+    let expand = nodes(&p.root)
+        .into_iter()
+        .find(|n| n.operator.starts_with("ExpandEmbeddings"))
+        .expect("plan contains an expand operator");
+    assert!(
+        expand.iterations.len() > 1,
+        "upper bound 3 runs several supersteps"
+    );
+    // The candidate edge relation is loop-invariant: it is partitioned and
+    // indexed once before the iteration, so only iteration 1 is charged for
+    // shipping it. Later supersteps probe the cached index for free.
+    assert!(
+        expand.iterations[0].candidate_shuffled_bytes > 0,
+        "building the candidate index ships the edge relation once"
+    );
+    for iteration in &expand.iterations[1..] {
+        assert_eq!(
+            iteration.candidate_shuffled_bytes, 0,
+            "iteration {} re-shipped the loop-invariant candidates",
+            iteration.iteration
+        );
+    }
+}
+
+#[test]
 fn profile_json_round_trips() {
     let graph = figure1_graph();
     let p = profile(&graph, TWO_HOP);
@@ -189,18 +223,36 @@ fn explain_reports_strategy_chosen_from_estimates() {
     let engine = CypherEngine::for_graph(&graph);
     let explain = engine.explain(TWO_HOP).expect("query plans");
 
-    // At least one binary join is predicted, and its strategy is exactly
+    // At least one binary join is predicted, every predicted join carries a
+    // per-side ship annotation consistent with its strategy, and when
+    // neither input is pre-partitioned on the key the strategy is exactly
     // what choose_join_strategy picks for the children's estimates.
     let strategies = explain.join_strategies();
     assert!(!strategies.is_empty(), "2-hop plan joins embeddings");
     fn check(node: &gradoop_core::ExplainNode) {
         if let Some(strategy) = node.estimated_strategy {
             assert_eq!(node.children.len(), 2);
-            let expected = choose_join_strategy(
-                node.children[0].estimated_cardinality.max(0.0) as usize,
-                node.children[1].estimated_cardinality.max(0.0) as usize,
+            let ship = node
+                .estimated_ship
+                .unwrap_or_else(|| panic!("{} join lacks ship annotation", node.operator));
+            // Forward on a repartition-join side means the planner predicts
+            // that side is already placed on the key; re-deriving the ship
+            // pair from the strategy and those flags must agree.
+            let left_partitioned = ship[0] == ShipStrategy::Forward;
+            let right_partitioned = ship[1] == ShipStrategy::Forward;
+            assert_eq!(
+                ship,
+                ship_strategies(strategy, left_partitioned, right_partitioned),
+                "{} ship annotation inconsistent with its strategy",
+                node.operator
             );
-            assert_eq!(strategy, expected, "{} strategy", node.operator);
+            if ship == [ShipStrategy::Shuffle, ShipStrategy::Shuffle] {
+                let expected = choose_join_strategy(
+                    node.children[0].estimated_cardinality.max(0.0) as usize,
+                    node.children[1].estimated_cardinality.max(0.0) as usize,
+                );
+                assert_eq!(strategy, expected, "{} strategy", node.operator);
+            }
         }
         for child in &node.children {
             check(child);

@@ -190,6 +190,14 @@ impl StageCosts {
         self.workers.len()
     }
 
+    /// Bytes sent over the network so far in this stage, summed over all
+    /// workers — what [`StageReport::bytes_shuffled`] will report. Operators
+    /// that expose per-phase shuffle counters (e.g. the cached-index build
+    /// of variable-length expansion) read this before finalizing.
+    pub fn bytes_sent_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.bytes_sent).sum()
+    }
+
     /// Finalizes the stage: computes the makespan, the per-worker skew
     /// profile and produces a report.
     pub fn finish(self, model: &CostModel) -> StageReport {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use crate::data::Data;
 use crate::env::ExecutionEnvironment;
-use crate::partition::shuffle_by_key;
+use crate::partition::{shuffle_by_key, PartitionKey, Partitioning};
 use crate::pool::map_partitions;
 
 /// A distributed collection: one partition per simulated worker.
@@ -15,9 +15,17 @@ use crate::pool::map_partitions;
 /// an [`Arc`]). Transformations execute eagerly, processing partitions on
 /// parallel threads and charging the simulated clock of the owning
 /// [`ExecutionEnvironment`].
+///
+/// A dataset optionally carries a [`Partitioning`] fingerprint recording
+/// that its records are hash-placed by a semantic key. Key-stamped shuffles
+/// ([`Dataset::partition_by`]) set it, partition-local operations (`filter`,
+/// [`Dataset::flat_map_preserving`]) keep it, and everything that moves or
+/// rewrites records clears it. Joins consult the fingerprint to skip
+/// shuffles of already co-partitioned inputs (Flink's FORWARD strategy).
 pub struct Dataset<T> {
     env: ExecutionEnvironment,
     partitions: Arc<Vec<Vec<T>>>,
+    partitioning: Option<Partitioning>,
 }
 
 impl<T> Clone for Dataset<T> {
@@ -25,23 +33,46 @@ impl<T> Clone for Dataset<T> {
         Dataset {
             env: self.env.clone(),
             partitions: Arc::clone(&self.partitions),
+            partitioning: self.partitioning,
         }
     }
 }
 
 impl<T: Data> Dataset<T> {
-    /// Wraps pre-partitioned data in a dataset.
+    /// Wraps pre-partitioned data in a dataset (no partitioning claim).
     pub fn from_partitions(env: ExecutionEnvironment, partitions: Vec<Vec<T>>) -> Self {
         debug_assert_eq!(partitions.len(), env.workers());
         Dataset {
             env,
             partitions: Arc::new(partitions),
+            partitioning: None,
         }
     }
 
     /// The owning environment.
     pub fn env(&self) -> &ExecutionEnvironment {
         &self.env
+    }
+
+    /// The dataset's partitioning fingerprint, if its records are known to
+    /// be hash-placed by a semantic key.
+    pub fn partitioning(&self) -> Option<Partitioning> {
+        self.partitioning
+    }
+
+    /// Returns the same dataset stamped with a partitioning fingerprint.
+    ///
+    /// This is an *assertion by the caller*: the records must actually sit
+    /// on `partition_for(key(record), workers)` for the semantic key the
+    /// fingerprint names. Operators in this crate stamp outputs themselves;
+    /// higher layers use this when they re-wrap partitions they obtained
+    /// from an operation that provably preserved placement.
+    pub fn assume_partitioning(mut self, partitioning: Option<Partitioning>) -> Self {
+        if let Some(p) = partitioning {
+            debug_assert_eq!(p.workers, self.env.workers());
+        }
+        self.partitioning = partitioning;
+        self
     }
 
     /// Read access to the raw partitions (no cost charged — used by
@@ -68,12 +99,13 @@ impl<T: Data> Dataset<T> {
         self.partitions.iter().all(Vec::is_empty)
     }
 
-    /// Element-wise transformation (Flink `map`).
+    /// Element-wise transformation (Flink `map`). Output records may carry
+    /// arbitrary new keys, so any partitioning fingerprint is dropped.
     pub fn map<O: Data, F>(&self, f: F) -> Dataset<O>
     where
         F: Fn(&T) -> O + Sync,
     {
-        self.transform("map", |part, out| {
+        self.transform("map", false, |part, out| {
             out.extend(part.iter().map(&f));
         })
     }
@@ -81,29 +113,49 @@ impl<T: Data> Dataset<T> {
     /// Element-wise transformation emitting zero or more outputs
     /// (Flink `flatMap`). The paper's leaf operators fuse select, project
     /// and transform into a single `FlatMap` (Section 3.1); higher layers
-    /// do the same through this method.
+    /// do the same through this method. Drops the partitioning fingerprint;
+    /// use [`Dataset::flat_map_preserving`] when outputs keep their input's
+    /// semantic key.
     pub fn flat_map<O: Data, F>(&self, f: F) -> Dataset<O>
     where
         F: Fn(&T, &mut Vec<O>) + Sync,
     {
-        self.transform("flat_map", |part, out| {
+        self.transform("flat_map", false, |part, out| {
             for item in part {
                 f(item, out);
             }
         })
     }
 
-    /// Keeps elements satisfying the predicate (Flink `filter`).
+    /// Like [`Dataset::flat_map`], but asserts that every emitted record
+    /// carries the same semantic partitioning key as the record it was
+    /// derived from, so the input's partitioning fingerprint (if any)
+    /// remains valid on the output. The caller is responsible for that
+    /// invariant — a key-rewriting function passed here silently produces a
+    /// wrong fingerprint.
+    pub fn flat_map_preserving<O: Data, F>(&self, f: F) -> Dataset<O>
+    where
+        F: Fn(&T, &mut Vec<O>) + Sync,
+    {
+        self.transform("flat_map", true, |part, out| {
+            for item in part {
+                f(item, out);
+            }
+        })
+    }
+
+    /// Keeps elements satisfying the predicate (Flink `filter`). Purely
+    /// partition-local, so the partitioning fingerprint survives.
     pub fn filter<F>(&self, predicate: F) -> Dataset<T>
     where
         F: Fn(&T) -> bool + Sync,
     {
-        self.transform("filter", |part, out| {
+        self.transform("filter", true, |part, out| {
             out.extend(part.iter().filter(|i| predicate(i)).cloned());
         })
     }
 
-    fn transform<O: Data, F>(&self, name: &'static str, f: F) -> Dataset<O>
+    fn transform<O: Data, F>(&self, name: &'static str, preserves_keys: bool, f: F) -> Dataset<O>
     where
         F: Fn(&[T], &mut Vec<O>) + Sync,
     {
@@ -119,11 +171,18 @@ impl<T: Data> Dataset<T> {
             w.records_out += out.len() as u64;
         }
         self.env.finish_stage(stage);
-        Dataset::from_partitions(self.env.clone(), outputs)
+        let kept = if preserves_keys {
+            self.partitioning
+        } else {
+            None
+        };
+        Dataset::from_partitions(self.env.clone(), outputs).assume_partitioning(kept)
     }
 
     /// Concatenates two datasets partition-wise (Flink `union` — free, no
-    /// shuffle).
+    /// shuffle). The fingerprint survives only when both inputs carry the
+    /// *same* partitioning; a union of differently (or un-) partitioned
+    /// inputs mixes placements and invalidates the claim.
     pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
         assert_eq!(
             self.env.workers(),
@@ -141,10 +200,19 @@ impl<T: Data> Dataset<T> {
                 merged
             })
             .collect();
-        Dataset::from_partitions(self.env.clone(), partitions)
+        let kept = match (self.partitioning, other.partitioning) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            // An empty side cannot contradict the other side's placement.
+            (Some(a), _) if other.is_empty_untracked() => Some(a),
+            (_, Some(b)) if self.is_empty_untracked() => Some(b),
+            _ => None,
+        };
+        Dataset::from_partitions(self.env.clone(), partitions).assume_partitioning(kept)
     }
 
-    /// Repartitions the dataset by a key so equal keys share a worker.
+    /// Repartitions the dataset by an *anonymous* key so equal keys share a
+    /// worker. The placement is real but unnamed, so no fingerprint is
+    /// recorded — use [`Dataset::partition_by`] to stamp one.
     pub fn partition_by_key<K, F>(&self, key: F) -> Dataset<T>
     where
         K: Hash,
@@ -154,6 +222,31 @@ impl<T: Data> Dataset<T> {
         let partitions = shuffle_by_key(&self.partitions, key, &mut stage);
         self.env.finish_stage(stage);
         Dataset::from_partitions(self.env.clone(), partitions)
+    }
+
+    /// Repartitions the dataset by a *named* semantic key and stamps the
+    /// result with the matching [`Partitioning`] fingerprint.
+    ///
+    /// If the dataset is already partitioned on `key_id` (and the
+    /// environment has partition-awareness enabled), the shuffle is skipped
+    /// entirely — Flink's FORWARD ship strategy: no stage runs, no bytes
+    /// move, no simulated time is charged.
+    pub fn partition_by<K, F>(&self, key_id: PartitionKey, key: F) -> Dataset<T>
+    where
+        K: Hash,
+        F: Fn(&T) -> K + Sync,
+    {
+        let target = Partitioning {
+            key: key_id,
+            workers: self.env.workers(),
+        };
+        if self.env.partition_aware() && self.partitioning == Some(target) {
+            return self.clone();
+        }
+        let mut stage = self.env.stage("partition_by_key");
+        let partitions = shuffle_by_key(&self.partitions, key, &mut stage);
+        self.env.finish_stage(stage);
+        Dataset::from_partitions(self.env.clone(), partitions).assume_partitioning(Some(target))
     }
 
     /// Spreads elements evenly over all workers (Flink `rebalance`).
@@ -210,7 +303,8 @@ impl<T: Data> Dataset<T> {
 
 impl<T: Data + Hash + Eq> Dataset<T> {
     /// Removes duplicates (Flink `distinct`): shuffle by value, then
-    /// per-partition deduplication.
+    /// per-partition deduplication. Each surviving record is cloned exactly
+    /// once — the seen-set borrows from the shuffled partition.
     pub fn distinct(&self) -> Dataset<T> {
         let shuffled = self.partition_by_key(|item| {
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
@@ -219,10 +313,11 @@ impl<T: Data + Hash + Eq> Dataset<T> {
         });
         let mut stage = self.env.stage("distinct");
         let outputs: Vec<Vec<T>> = map_partitions(shuffled.partitions(), |_, part| {
-            let mut seen = std::collections::HashSet::with_capacity(part.len());
+            let mut seen: std::collections::HashSet<&T> =
+                std::collections::HashSet::with_capacity(part.len());
             let mut out = Vec::new();
             for item in part {
-                if seen.insert(item.clone()) {
+                if seen.insert(item) {
                     out.push(item.clone());
                 }
             }
@@ -242,6 +337,7 @@ impl<T: Data> std::fmt::Debug for Dataset<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dataset")
             .field("partitions", &self.partition_sizes())
+            .field("partitioning", &self.partitioning)
             .finish()
     }
 }
@@ -323,6 +419,85 @@ mod tests {
             }
         }
         assert_eq!(ds.count(), 100);
+    }
+
+    #[test]
+    fn named_partitioning_is_stamped_and_reused() {
+        let env = env(4);
+        let key = PartitionKey::named("pair.first");
+        let ds = env
+            .from_collection((0u64..100).map(|i| (i % 5, i)).collect::<Vec<_>>())
+            .partition_by(key, |(k, _)| *k);
+        assert_eq!(ds.partitioning(), Some(Partitioning { key, workers: 4 }));
+        // Re-partitioning by the same key is a FORWARD: no stage runs.
+        let stages_before = env.metrics().stages;
+        let again = ds.partition_by(key, |(k, _)| *k);
+        assert_eq!(env.metrics().stages, stages_before);
+        assert_eq!(again.partitioning(), ds.partitioning());
+        assert_eq!(again.partition_sizes(), ds.partition_sizes());
+        // A different key still shuffles and re-stamps.
+        let other = PartitionKey::named("pair.second");
+        let reshuffled = ds.partition_by(other, |(_, v)| *v);
+        assert!(env.metrics().stages > stages_before);
+        assert_eq!(
+            reshuffled.partitioning(),
+            Some(Partitioning {
+                key: other,
+                workers: 4
+            })
+        );
+    }
+
+    #[test]
+    fn filter_and_preserving_flat_map_keep_partitioning() {
+        let env = env(4);
+        let key = PartitionKey::named("value");
+        let ds = env.from_collection(0u64..50).partition_by(key, |x| *x);
+        assert!(ds.filter(|x| *x % 2 == 0).partitioning().is_some());
+        assert!(ds
+            .flat_map_preserving(|x, out| out.push(*x))
+            .partitioning()
+            .is_some());
+        // Plain map/flat_map may rewrite keys: fingerprint dropped.
+        assert!(ds.map(|x| *x + 1).partitioning().is_none());
+        assert!(ds.flat_map(|x, out| out.push(*x)).partitioning().is_none());
+        assert!(ds.rebalance().partitioning().is_none());
+    }
+
+    #[test]
+    fn union_keeps_partitioning_only_for_like_partitioned_inputs() {
+        let env = env(4);
+        let key = PartitionKey::named("value");
+        let a = env.from_collection(0u64..20).partition_by(key, |x| *x);
+        let b = env.from_collection(20u64..40).partition_by(key, |x| *x);
+        assert!(a.union(&b).partitioning().is_some());
+        // Union with an unpartitioned, non-empty side invalidates.
+        let c = env.from_collection(40u64..60);
+        assert!(a.union(&c).partitioning().is_none());
+        // An empty side cannot contradict the placement.
+        let empty = env.empty::<u64>();
+        assert_eq!(a.union(&empty).partitioning(), a.partitioning());
+        assert_eq!(empty.union(&a).partitioning(), a.partitioning());
+        // Differently keyed inputs invalidate.
+        let other = env
+            .from_collection(0u64..20)
+            .partition_by(PartitionKey::named("other"), |x| *x);
+        assert!(a.union(&other).partitioning().is_none());
+    }
+
+    #[test]
+    fn partition_awareness_can_be_disabled() {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(4)
+                .cost_model(CostModel::free())
+                .partition_aware(false),
+        );
+        let key = PartitionKey::named("value");
+        let ds = env.from_collection(0u64..50).partition_by(key, |x| *x);
+        let stages_before = env.metrics().stages;
+        let _ = ds.partition_by(key, |x| *x);
+        // Awareness off: the second partitioning pays the full shuffle.
+        assert!(env.metrics().stages > stages_before);
     }
 
     #[test]

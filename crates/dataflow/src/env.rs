@@ -16,6 +16,12 @@ pub struct ExecutionConfig {
     pub workers: usize,
     /// Cost model used by the simulated clock.
     pub cost_model: CostModel,
+    /// Whether operators may exploit [`Partitioning`](crate::partition::Partitioning)
+    /// fingerprints to skip shuffles of co-partitioned inputs (Flink FORWARD)
+    /// and cache loop-invariant join build sides across bulk-iteration
+    /// supersteps. On by default; benchmarks disable it to measure the
+    /// before/after effect of shuffle avoidance.
+    pub partition_aware: bool,
 }
 
 impl ExecutionConfig {
@@ -24,12 +30,20 @@ impl ExecutionConfig {
         ExecutionConfig {
             workers: workers.max(1),
             cost_model: CostModel::default(),
+            partition_aware: true,
         }
     }
 
     /// Replaces the cost model.
     pub fn cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Enables or disables shuffle avoidance (see
+    /// [`ExecutionConfig::partition_aware`]).
+    pub fn partition_aware(mut self, aware: bool) -> Self {
+        self.partition_aware = aware;
         self
     }
 }
@@ -78,6 +92,12 @@ impl ExecutionEnvironment {
     /// The environment's cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.inner.config.cost_model
+    }
+
+    /// Whether shuffle avoidance is enabled (see
+    /// [`ExecutionConfig::partition_aware`]).
+    pub fn partition_aware(&self) -> bool {
+        self.inner.config.partition_aware
     }
 
     /// Snapshot of the accumulated execution metrics.

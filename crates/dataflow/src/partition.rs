@@ -3,6 +3,12 @@
 //! A shuffle redistributes elements so that equal keys land on the same
 //! worker. Records that change workers are charged as network traffic
 //! (sender and receiver side) by the simulated clock.
+//!
+//! Shuffles also produce a *placement fact*: after `shuffle_by_key` every
+//! record sits on `partition_for(key(record))`. [`Partitioning`] captures
+//! that fact as a fingerprint (semantic key id + worker count) so later
+//! operators — joins above all — can recognize co-partitioned inputs and
+//! skip the shuffle entirely, mirroring Flink's FORWARD ship strategy.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -10,6 +16,42 @@ use std::hash::{Hash, Hasher};
 use crate::cost::StageCosts;
 use crate::data::Data;
 use crate::pool::map_partitions;
+
+/// Identity of a *semantic* partitioning key, e.g. "the edge source id" or
+/// "the values of join variables `[a, b]`". Two datasets partitioned under
+/// the same `PartitionKey` (and worker count) are co-partitioned: records
+/// whose key functions extract equal values live on the same worker.
+///
+/// The id is opaque; [`PartitionKey::named`] derives one deterministically
+/// from a descriptive string so independent operators that agree on the
+/// name agree on the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionKey(pub u64);
+
+impl PartitionKey {
+    /// Deterministic key id for a semantic key description. Callers across
+    /// layers that pass the same name get the same key.
+    pub fn named(name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        PartitionKey(hasher.finish())
+    }
+}
+
+/// A dataset's partitioning fingerprint: which semantic key its records are
+/// hash-placed by, and over how many workers. Carried by
+/// [`Dataset`](crate::Dataset) as metadata; it is a claim about *placement*
+/// (`record` is on `partition_for(key(record), workers)`), so it stays
+/// valid under partition-local transformations (`filter`, key-preserving
+/// `flat_map`) and is invalidated by anything that moves or rewrites
+/// records (`map`, `rebalance`, unions of differently partitioned inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioning {
+    /// The semantic key records are placed by.
+    pub key: PartitionKey,
+    /// Worker count the hash placement was computed for.
+    pub workers: usize,
+}
 
 /// Deterministic target worker for a key.
 #[inline]
@@ -101,6 +143,18 @@ mod tests {
         let _ = shuffle_by_key(&partitions, |x| *x, &mut stage);
         let report = stage.finish(&crate::cost::CostModel::free());
         assert_eq!(report.bytes_shuffled, 0);
+    }
+
+    #[test]
+    fn named_partition_keys_are_deterministic() {
+        assert_eq!(
+            PartitionKey::named("edge.source"),
+            PartitionKey::named("edge.source")
+        );
+        assert_ne!(
+            PartitionKey::named("edge.source"),
+            PartitionKey::named("edge.target")
+        );
     }
 
     #[test]
