@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use gradoop_bench::harness::{self, Measurement, ScaleFactor};
 use gradoop_bench::report::{bytes, seconds, speedup, Table};
 use gradoop_core::{CypherEngine, MatchingConfig};
-use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
+use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment, FailureSchedule, FaultConfig};
 use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
 
 const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -174,6 +174,7 @@ fn table3(scale: f64) {
     println!("{table}");
 
     shuffle_avoidance(&config, &names);
+    fault_tolerance(&config, &names);
 
     println!("-- per-operator intermediate results (low selectivity, from PROFILE)");
     let mut breakdown = Table::new(["pattern", "operator", "rows out", "q-error"]);
@@ -245,6 +246,181 @@ fn shuffle_avoidance(config: &LdbcConfig, names: &SelectivityNames) {
             bytes(naive.bytes_shuffled),
         ]);
     }
+    println!("{table}");
+}
+
+/// Fault-tolerance ablation. Three experiments, each asserting its own
+/// acceptance criterion:
+///
+/// 1. every Table-3 pattern (plus the variable-length Q2/Q3) runs once
+///    fault-free and once under a non-empty failure schedule (worker crash,
+///    lost partition, straggler, superstep crash) — match counts and sorted
+///    result rows must be byte-identical, and recovery must actually have
+///    happened;
+/// 2. `PROFILE` of a faulted query must report the recovery attempts and
+///    their simulated cost in its tree;
+/// 3. a checkpoint-interval sweep on Q3's deep `replyOf*1..10` expansion
+///    shows checkpointed recovery beating restart-from-scratch.
+fn fault_tolerance(config: &LdbcConfig, names: &SelectivityNames) {
+    println!("-- fault tolerance: injected failures vs fault-free (low selectivity, 4 workers)");
+    let mut comparisons: Vec<(String, String)> = table3_patterns(&names.low)
+        .into_iter()
+        .map(|(name, text)| (name.to_string(), text))
+        .collect();
+    for query in [BenchmarkQuery::Q2, BenchmarkQuery::Q3] {
+        comparisons.push((query.to_string(), query.text(Some(&names.low))));
+    }
+    let mut table = Table::new([
+        "query",
+        "matches",
+        "identical",
+        "retries",
+        "t_recovery [s]",
+        "faulted [s]",
+        "clean [s]",
+    ]);
+    for (label, text) in comparisons {
+        let clean = harness::run_query(config, 4, &text);
+        // The crash at stage 0 always fires; the later events fire on
+        // queries with enough stages (joins) or supersteps (Q2/Q3).
+        let schedule = FailureSchedule::none()
+            .crash_at_stage(0, 0)
+            .lost_partition_at_stage(2, 1)
+            .straggler_at_stage(4, 2, 4.0)
+            .crash_at_superstep(2, 3);
+        let faulted = harness::run_query_faulted(
+            config,
+            4,
+            &text,
+            FaultConfig::new(schedule).checkpoint_interval(2),
+        );
+        assert_eq!(
+            clean.matches, faulted.matches,
+            "fault injection changed the match count of {label}"
+        );
+        assert_eq!(
+            clean.result_digest, faulted.result_digest,
+            "fault injection changed the result rows of {label}"
+        );
+        assert!(
+            faulted.recovery_attempts > 0,
+            "the schedule must actually fire on {label}"
+        );
+        assert!(
+            faulted.simulated_seconds > clean.simulated_seconds,
+            "recovery must cost simulated time on {label}"
+        );
+        table.row([
+            label,
+            faulted.matches.to_string(),
+            "yes".to_string(),
+            faulted.recovery_attempts.to_string(),
+            seconds(faulted.recovery_seconds),
+            seconds(faulted.simulated_seconds),
+            seconds(clean.simulated_seconds),
+        ]);
+    }
+    println!("(identical = equal match counts and byte-identical sorted result rows)");
+    println!("{table}");
+
+    println!("-- PROFILE under faults (Q1, worker crash at scan + lost partition)");
+    let text = BenchmarkQuery::Q1.text(Some(&names.low));
+    let profile = harness::profile_query_faulted(
+        config,
+        4,
+        &text,
+        FaultConfig::new(
+            FailureSchedule::none()
+                .crash_at_stage(0, 0)
+                .lost_partition_at_stage(2, 1),
+        ),
+    );
+    assert!(
+        profile.recovery_attempts > 0,
+        "PROFILE must report the injected recovery attempts"
+    );
+    assert!(
+        profile.recovery_seconds > 0.0,
+        "PROFILE must report the simulated recovery cost"
+    );
+    println!("{}", profile.to_text());
+
+    println!("-- checkpoint interval ablation (Q3, crash at superstep 7, 4 workers)");
+    // Q3's `replyOf*1..10` expansion runs deep (8+ supersteps even on the
+    // smoke dataset, reply chains go to depth 9); a crash late in the
+    // iteration makes restart-from-scratch redo six supersteps while a
+    // checkpointed run redoes at most the interval.
+    let text = BenchmarkQuery::Q3.text(Some(&names.low));
+    let clean = harness::run_query(config, 4, &text);
+    let schedule = FailureSchedule::none().crash_at_superstep(7, 0);
+    let mut table = Table::new([
+        "checkpoint interval",
+        "matches",
+        "restores",
+        "restored",
+        "ckpt",
+        "simulated [s]",
+        "vs scratch",
+    ]);
+    let mut scratch_seconds = f64::NAN;
+    let mut checkpointed_restores = 0u64;
+    for interval in [0usize, 1, 2, 4] {
+        let m = harness::run_query_faulted(
+            config,
+            4,
+            &text,
+            FaultConfig::new(schedule.clone()).checkpoint_interval(interval),
+        );
+        assert_eq!(
+            m.matches, clean.matches,
+            "checkpoint interval {interval} changed the match count"
+        );
+        assert_eq!(
+            m.result_digest, clean.result_digest,
+            "checkpoint interval {interval} changed the result rows"
+        );
+        assert!(
+            m.recovery_attempts > 0,
+            "the superstep crash must fire (interval {interval})"
+        );
+        if interval == 0 {
+            // Restart-from-scratch baseline: the crash rolls the iteration
+            // back to the initial working set.
+            scratch_seconds = m.simulated_seconds;
+        } else if m.restored_bytes > 0 {
+            // A checkpoint preceded the crash: recovery re-runs fewer
+            // supersteps and must beat the scratch restart even after
+            // paying for the checkpoint writes.
+            checkpointed_restores += 1;
+            assert!(
+                m.simulated_seconds < scratch_seconds,
+                "checkpoint interval {interval} ({}s) must beat restart \
+                 from scratch ({scratch_seconds}s)",
+                m.simulated_seconds
+            );
+        }
+        table.row([
+            if interval == 0 {
+                "0 (scratch)".to_string()
+            } else {
+                interval.to_string()
+            },
+            m.matches.to_string(),
+            m.recovery_attempts.to_string(),
+            bytes(m.restored_bytes),
+            bytes(m.checkpoint_bytes),
+            seconds(m.simulated_seconds),
+            if interval == 0 {
+                "-".to_string()
+            } else {
+                speedup(scratch_seconds, m.simulated_seconds)
+            },
+        ]);
+    }
+    assert!(
+        checkpointed_restores > 0,
+        "at least one interval must recover from a real checkpoint"
+    );
     println!("{table}");
 }
 

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use gradoop_core::{CypherEngine, MatchingConfig, Profile};
-use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment};
+use gradoop_core::{CypherEngine, MatchingConfig, Profile, QueryResult};
+use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment, FaultConfig};
 use gradoop_epgm::{properties, GradoopId, GraphHead, GraphStatistics, LogicalGraph};
 use gradoop_ldbc::{generate, pick_names, GeneratedData, LdbcConfig, SelectivityNames};
 
@@ -112,6 +112,31 @@ pub struct Measurement {
     pub bytes_spilled: u64,
     /// Records processed across all stages.
     pub records: u64,
+    /// Recovery attempts consumed by injected faults (0 without faults).
+    pub recovery_attempts: u64,
+    /// Simulated seconds spent on recovery, included in
+    /// [`simulated_seconds`](Measurement::simulated_seconds).
+    pub recovery_seconds: f64,
+    /// Bytes written to durable storage by iteration checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Bytes re-read from durable storage during recovery.
+    pub restored_bytes: u64,
+    /// Order-independent digest over the rendered result rows. Two runs
+    /// with equal digests returned byte-identical result sets — the chaos
+    /// experiments compare faulted runs against fault-free ones with this.
+    pub result_digest: u64,
+}
+
+/// Order-independent digest of a result set: every row is rendered, the
+/// renderings are sorted and hashed. Equal digests ⇔ byte-identical rows.
+pub fn result_digest(result: &QueryResult) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut rendered: Vec<String> = result.rows().iter().map(|row| format!("{row:?}")).collect();
+    rendered.sort_unstable();
+    let mut hasher = DefaultHasher::new();
+    rendered.hash(&mut hasher);
+    hasher.finish()
 }
 
 /// Runs `query_text` on the dataset of `config` with `workers` simulated
@@ -157,6 +182,9 @@ pub fn run_query_with(
     let matches = result.count();
     let wall_seconds = wall_start.elapsed().as_secs_f64();
     let metrics = env.metrics();
+    // Rendering rows for the digest runs extra (collect) stages; snapshot
+    // the metrics first so the measurement covers the query alone.
+    let result_digest = result_digest(&result);
     Measurement {
         matches,
         simulated_seconds: metrics.simulated_seconds,
@@ -164,6 +192,63 @@ pub fn run_query_with(
         bytes_shuffled: metrics.bytes_shuffled,
         bytes_spilled: metrics.bytes_spilled,
         records: metrics.records_in,
+        recovery_attempts: metrics.recovery_attempts,
+        recovery_seconds: metrics.recovery_seconds,
+        checkpoint_bytes: metrics.checkpoint_bytes,
+        restored_bytes: metrics.restored_bytes,
+        result_digest,
+    }
+}
+
+/// Runs `query_text` with the given fault configuration installed. The
+/// faults are installed *after* the graph is loaded and indexed, so stage 0
+/// of the failure schedule is the first stage of the measured query — the
+/// same convention the chaos tests use. Exhausted retry budgets surface as
+/// a panic carrying the classified [`CypherError::Execution`]
+/// (gradoop_core::CypherError::Execution) message; survivable schedules
+/// return a normal [`Measurement`] whose recovery fields are non-zero.
+pub fn run_query_faulted(
+    config: &LdbcConfig,
+    workers: usize,
+    query_text: &str,
+    faults: FaultConfig,
+) -> Measurement {
+    let dataset = dataset(config);
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(workers));
+    let graph = graph_on(&env, &dataset.data).to_indexed();
+    let engine = CypherEngine::with_statistics(dataset.statistics.clone());
+
+    env.reset_metrics();
+    env.install_faults(faults);
+    let wall_start = Instant::now();
+    let result = engine
+        .execute(
+            &graph,
+            query_text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap_or_else(|e| panic!("faulted query failed: {e}\n{query_text}"));
+    let matches = result.count();
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let metrics = env.metrics();
+    // Rendering the digest re-runs collection stages; disarm the injector
+    // first so leftover schedule events cannot fire outside the measured
+    // query.
+    env.clear_faults();
+    let result_digest = result_digest(&result);
+    Measurement {
+        matches,
+        simulated_seconds: metrics.simulated_seconds,
+        wall_seconds,
+        bytes_shuffled: metrics.bytes_shuffled,
+        bytes_spilled: metrics.bytes_spilled,
+        records: metrics.records_in,
+        recovery_attempts: metrics.recovery_attempts,
+        recovery_seconds: metrics.recovery_seconds,
+        checkpoint_bytes: metrics.checkpoint_bytes,
+        restored_bytes: metrics.restored_bytes,
+        result_digest,
     }
 }
 
@@ -187,6 +272,34 @@ pub fn profile_query(config: &LdbcConfig, workers: usize, query_text: &str) -> P
             MatchingConfig::cypher_default(),
         )
         .unwrap_or_else(|e| panic!("query failed: {e}\n{query_text}"))
+}
+
+/// [`profile_query`] with a fault configuration installed after graph
+/// loading and indexing (stage 0 = first query stage). The returned
+/// [`Profile`] carries the recovery attempts, recovery seconds and
+/// checkpoint/restore bytes charged by the injected faults.
+pub fn profile_query_faulted(
+    config: &LdbcConfig,
+    workers: usize,
+    query_text: &str,
+    faults: FaultConfig,
+) -> Profile {
+    let dataset = dataset(config);
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(workers));
+    let graph = graph_on(&env, &dataset.data).to_indexed();
+    let engine = CypherEngine::with_statistics(dataset.statistics.clone());
+    env.reset_metrics();
+    env.install_faults(faults);
+    let profile = engine
+        .profile(
+            &graph,
+            query_text,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap_or_else(|e| panic!("faulted query failed: {e}\n{query_text}"));
+    env.clear_faults();
+    profile
 }
 
 /// A statistics object with no label information: feeding it to the greedy
@@ -241,6 +354,43 @@ mod tests {
             naive.bytes_shuffled
         );
         assert!(aware.simulated_seconds <= naive.simulated_seconds);
+    }
+
+    #[test]
+    fn faulted_run_recovers_with_identical_results() {
+        use gradoop_dataflow::FailureSchedule;
+        let config = LdbcConfig::with_persons(60);
+        let names = dataset(&config).names.clone();
+        let text = BenchmarkQuery::Q1.text(Some(&names.low));
+        let clean = run_query(&config, 4, &text);
+        let faults = FaultConfig::new(
+            FailureSchedule::none()
+                .crash_at_stage(0, 0)
+                .lost_partition_at_stage(1, 1),
+        );
+        let faulted = run_query_faulted(&config, 4, &text, faults);
+        assert_eq!(clean.matches, faulted.matches);
+        assert_eq!(clean.result_digest, faulted.result_digest);
+        assert_eq!(clean.recovery_attempts, 0);
+        assert_eq!(faulted.recovery_attempts, 2);
+        assert!(faulted.recovery_seconds > 0.0);
+        assert!(faulted.simulated_seconds > clean.simulated_seconds);
+    }
+
+    #[test]
+    fn faulted_profile_reports_recovery() {
+        use gradoop_dataflow::FailureSchedule;
+        let config = LdbcConfig::with_persons(60);
+        let names = dataset(&config).names.clone();
+        let text = BenchmarkQuery::Q1.text(Some(&names.low));
+        let profile = profile_query_faulted(
+            &config,
+            4,
+            &text,
+            FaultConfig::new(FailureSchedule::none().crash_at_stage(0, 0)),
+        );
+        assert!(profile.recovery_attempts >= 1);
+        assert!(profile.recovery_seconds > 0.0);
     }
 
     #[test]

@@ -26,5 +26,8 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{dataset, profile_query, run_query, Measurement, ScaleFactor};
+pub use harness::{
+    dataset, profile_query, profile_query_faulted, result_digest, run_query, run_query_faulted,
+    Measurement, ScaleFactor,
+};
 pub use report::Table;

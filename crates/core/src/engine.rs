@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use gradoop_cypher::{parse, Literal, ParseError, QueryGraph, QueryGraphError};
+use gradoop_dataflow::ExecutionFailure;
 use gradoop_epgm::{GraphCollection, GraphStatistics, LogicalGraph};
 
 use crate::executor::{execute_plan, execute_plan_profiled};
@@ -22,6 +23,11 @@ pub enum CypherError {
     QueryGraph(QueryGraphError),
     /// Planning failed.
     Plan(PlanError),
+    /// Execution failed at runtime: a dataflow stage or bulk iteration
+    /// exhausted its retry budget (or a worker died without fault
+    /// tolerance headroom). The computed datasets are discarded — a failed
+    /// query never returns a partial result set.
+    Execution(ExecutionFailure),
 }
 
 impl std::fmt::Display for CypherError {
@@ -30,6 +36,7 @@ impl std::fmt::Display for CypherError {
             CypherError::Parse(e) => write!(f, "{e}"),
             CypherError::QueryGraph(e) => write!(f, "{e}"),
             CypherError::Plan(e) => write!(f, "{e}"),
+            CypherError::Execution(e) => write!(f, "{e}"),
         }
     }
 }
@@ -49,6 +56,11 @@ impl From<QueryGraphError> for CypherError {
 impl From<PlanError> for CypherError {
     fn from(e: PlanError) -> Self {
         CypherError::Plan(e)
+    }
+}
+impl From<ExecutionFailure> for CypherError {
+    fn from(e: ExecutionFailure) -> Self {
+        CypherError::Execution(e)
     }
 }
 
@@ -96,7 +108,13 @@ impl CypherEngine {
         matching: MatchingConfig,
     ) -> Result<QueryResult, CypherError> {
         let (query, plan) = self.plan(query_text, params)?;
+        // Drop any stale poison from a previous failed run on this
+        // environment, so this execution is judged on its own faults.
+        let _ = source.env().take_execution_failure();
         let mut result = execute_plan(&plan.root, &query, source, &matching);
+        if let Some(failure) = source.env().take_execution_failure() {
+            return Err(CypherError::Execution(failure));
+        }
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
         }
@@ -144,19 +162,28 @@ impl CypherEngine {
     ) -> Result<Profile, CypherError> {
         let (query, plan) = self.plan(query_text, params)?;
         let env = source.env();
-        let simulated_before = env.simulated_seconds();
+        let _ = env.take_execution_failure();
+        let metrics_before = env.metrics();
         let started = std::time::Instant::now();
         let (mut result, root) = execute_plan_profiled(&plan, &query, source, &matching);
+        if let Some(failure) = env.take_execution_failure() {
+            return Err(CypherError::Execution(failure));
+        }
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
         }
+        let metrics = env.metrics();
         Ok(Profile {
             query: query_text.to_string(),
             root,
             planner: plan.planner,
             matches: result.data.len_untracked() as u64,
-            simulated_seconds: env.simulated_seconds() - simulated_before,
+            simulated_seconds: metrics.simulated_seconds - metrics_before.simulated_seconds,
             wall_seconds: started.elapsed().as_secs_f64(),
+            recovery_attempts: metrics.recovery_attempts - metrics_before.recovery_attempts,
+            recovery_seconds: metrics.recovery_seconds - metrics_before.recovery_seconds,
+            checkpoint_bytes: metrics.checkpoint_bytes - metrics_before.checkpoint_bytes,
+            restored_bytes: metrics.restored_bytes - metrics_before.restored_bytes,
         })
     }
 }
@@ -404,6 +431,79 @@ mod tests {
             engine.execute(&graph, "MATCH (p) RETURN q.name", &no_params, config),
             Err(CypherError::QueryGraph(_))
         ));
+    }
+
+    #[test]
+    fn exhausted_retries_yield_classified_execution_error() {
+        use gradoop_dataflow::{FailureSchedule, FaultConfig};
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let query = "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN p.name";
+        // Crash the very first query stage with no retry headroom.
+        graph.env().install_faults(
+            FaultConfig::new(FailureSchedule::none().crash_at_stage(0, 0)).max_attempts(1),
+        );
+        let result = engine.execute(
+            &graph,
+            query,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        );
+        match result {
+            Err(CypherError::Execution(failure)) => {
+                assert!(failure.message.contains("retry budget exhausted"));
+            }
+            other => panic!("expected classified execution error, got {other:?}"),
+        }
+        // The schedule is consumed and the poison cleared: the same query
+        // succeeds on the next attempt and returns the full result set.
+        let retry = engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(retry.count(), 2);
+    }
+
+    #[test]
+    fn survivable_faults_leave_results_identical_and_profile_shows_recovery() {
+        use gradoop_dataflow::{FailureSchedule, FaultConfig};
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let query = "MATCH (p1:Person)-[s:studyAt]->(u:University) \
+                     WHERE s.classYear > 2014 RETURN p1.name, u.name";
+        let clean = engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        graph.env().install_faults(
+            FaultConfig::new(
+                FailureSchedule::none()
+                    .crash_at_stage(0, 0)
+                    .lost_partition_at_stage(2, 1),
+            )
+            .max_attempts(3),
+        );
+        let profile = engine
+            .profile(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        graph.env().clear_faults();
+        assert_eq!(profile.matches, clean.count() as u64);
+        assert_eq!(profile.recovery_attempts, 2);
+        assert!(profile.recovery_seconds >= 0.0);
+        assert!(profile.to_text().contains("recovery: attempts=2"));
     }
 
     #[test]

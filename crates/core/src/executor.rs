@@ -374,6 +374,10 @@ fn profile_node<S: GraphSource + ?Sized>(
         wall_seconds,
         stages: drained.stages.len() as u64,
         estimate_error: q_error(explain.estimated_cardinality, rows_out),
+        recovery_attempts: drained.recovery_attempts(),
+        recovery_seconds: drained.recovery_seconds(),
+        checkpoint_bytes: drained.stages.iter().map(|s| s.checkpoint_bytes).sum(),
+        restored_bytes: drained.stages.iter().map(|s| s.restored_bytes).sum(),
         iterations,
         children,
     };

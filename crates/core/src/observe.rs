@@ -396,6 +396,18 @@ pub struct ProfileNode {
     pub stages: u64,
     /// Estimate-vs-actual q-error (see [`q_error`]).
     pub estimate_error: f64,
+    /// Recovery attempts consumed by this operator's stages (retries after
+    /// injected crashes/lost partitions, checkpoint rollbacks). Zero on a
+    /// fault-free run.
+    pub recovery_attempts: u64,
+    /// Simulated seconds this operator spent on recovery (wasted attempts,
+    /// backoff, restores). Included in
+    /// [`simulated_seconds`](ProfileNode::simulated_seconds).
+    pub recovery_seconds: f64,
+    /// Bytes this operator's bulk iterations wrote as checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Bytes re-read from durable storage while recovering.
+    pub restored_bytes: u64,
     /// Per-iteration counters (variable-length expansion only).
     pub iterations: Vec<ExpandIteration>,
     /// Profiled inputs.
@@ -429,6 +441,15 @@ impl ProfileNode {
         }
         if let Some(ship) = self.actual_ship {
             out.push_str(&format!("  ship={}", ship_pair_name(ship)));
+        }
+        if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
+            out.push_str(&format!(
+                "  retries={} t_recovery={:.4}s ckpt={}B restored={}B",
+                self.recovery_attempts,
+                self.recovery_seconds,
+                self.checkpoint_bytes,
+                self.restored_bytes,
+            ));
         }
         out.push('\n');
         for iteration in &self.iterations {
@@ -484,6 +505,21 @@ impl ProfileNode {
         }
         if let Some(ship) = self.actual_ship {
             pairs.push(("actual_ship", JsonValue::string(ship_pair_name(ship))));
+        }
+        if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
+            pairs.push((
+                "recovery_attempts",
+                JsonValue::Number(self.recovery_attempts as f64),
+            ));
+            pairs.push(("recovery_seconds", JsonValue::Number(self.recovery_seconds)));
+            pairs.push((
+                "checkpoint_bytes",
+                JsonValue::Number(self.checkpoint_bytes as f64),
+            ));
+            pairs.push((
+                "restored_bytes",
+                JsonValue::Number(self.restored_bytes as f64),
+            ));
         }
         if !self.iterations.is_empty() {
             pairs.push((
@@ -554,6 +590,15 @@ pub struct Profile {
     pub simulated_seconds: f64,
     /// Total wall-clock seconds of the run.
     pub wall_seconds: f64,
+    /// Total recovery attempts across the run (0 on a fault-free run).
+    pub recovery_attempts: u64,
+    /// Total simulated seconds spent on recovery, included in
+    /// [`simulated_seconds`](Profile::simulated_seconds).
+    pub recovery_seconds: f64,
+    /// Total checkpoint bytes written by bulk iterations.
+    pub checkpoint_bytes: u64,
+    /// Total bytes re-read from durable storage during recovery.
+    pub restored_bytes: u64,
 }
 
 impl Profile {
@@ -566,6 +611,15 @@ impl Profile {
             "matches: {}   simulated: {:.4}s   wall: {:.4}s\n",
             self.matches, self.simulated_seconds, self.wall_seconds
         ));
+        if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
+            out.push_str(&format!(
+                "recovery: attempts={}   simulated: {:.4}s   checkpoints: {}B   restored: {}B\n",
+                self.recovery_attempts,
+                self.recovery_seconds,
+                self.checkpoint_bytes,
+                self.restored_bytes,
+            ));
+        }
         if !self.planner.rounds.is_empty() {
             out.push_str("planner decisions:\n");
             out.push_str(&self.planner.to_text());
@@ -583,6 +637,19 @@ impl Profile {
                 JsonValue::Number(self.simulated_seconds),
             ),
             ("wall_seconds", JsonValue::Number(self.wall_seconds)),
+            (
+                "recovery_attempts",
+                JsonValue::Number(self.recovery_attempts as f64),
+            ),
+            ("recovery_seconds", JsonValue::Number(self.recovery_seconds)),
+            (
+                "checkpoint_bytes",
+                JsonValue::Number(self.checkpoint_bytes as f64),
+            ),
+            (
+                "restored_bytes",
+                JsonValue::Number(self.restored_bytes as f64),
+            ),
             ("plan", self.root.to_json_value()),
             ("planner", self.planner.to_json_value()),
         ])
@@ -645,6 +712,10 @@ mod tests {
             wall_seconds: 0.001,
             stages: 2,
             estimate_error: q_error(10.0, 3),
+            recovery_attempts: 0,
+            recovery_seconds: 0.0,
+            checkpoint_bytes: 0,
+            restored_bytes: 0,
             iterations: vec![],
             children: vec![],
         };
@@ -662,6 +733,10 @@ mod tests {
             wall_seconds: 0.002,
             stages: 5,
             estimate_error: q_error(4.0, 4),
+            recovery_attempts: 1,
+            recovery_seconds: 0.25,
+            checkpoint_bytes: 128,
+            restored_bytes: 64,
             iterations: vec![
                 ExpandIteration {
                     iteration: 1,
@@ -696,6 +771,10 @@ mod tests {
             matches: 4,
             simulated_seconds: 1.75,
             wall_seconds: 0.003,
+            recovery_attempts: 1,
+            recovery_seconds: 0.25,
+            checkpoint_bytes: 128,
+            restored_bytes: 64,
         }
     }
 
@@ -785,5 +864,13 @@ mod tests {
         assert!(text.contains("ship=shuffle,forward"), "{text}");
         assert!(text.contains("q_err="), "{text}");
         assert!(text.contains("planner decisions:"), "{text}");
+        assert!(
+            text.contains("retries=1 t_recovery=0.2500s ckpt=128B restored=64B"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recovery: attempts=1   simulated: 0.2500s"),
+            "{text}"
+        );
     }
 }

@@ -102,6 +102,17 @@ pub struct StageReport {
     pub mean_worker_seconds: f64,
     /// Records (in + out) processed by the busiest worker.
     pub busiest_worker_records: u64,
+    /// Execution attempts of this stage, 1 when it succeeded first try.
+    /// Each injected crash or lost partition adds one.
+    pub attempts: u64,
+    /// Simulated seconds spent on recovery: wasted attempts, retry backoff
+    /// and durable-storage restores. Included in [`StageReport::seconds`].
+    pub recovery_seconds: f64,
+    /// Bytes written to durable storage by checkpoint stages.
+    pub checkpoint_bytes: u64,
+    /// Bytes re-read from durable storage during recovery (lost-partition
+    /// restores and checkpoint rollbacks).
+    pub restored_bytes: u64,
 }
 
 impl StageReport {
@@ -131,6 +142,16 @@ pub struct ExecutionMetrics {
     pub bytes_spilled: u64,
     /// Number of executed stages.
     pub stages: u64,
+    /// Total recovery attempts beyond the first try of each stage
+    /// (`Σ attempts - 1` over all stages).
+    pub recovery_attempts: u64,
+    /// Total simulated seconds spent on recovery (wasted attempts, backoff,
+    /// restores). Included in [`ExecutionMetrics::simulated_seconds`].
+    pub recovery_seconds: f64,
+    /// Total bytes written to durable storage by checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Total bytes re-read from durable storage during recovery.
+    pub restored_bytes: u64,
 }
 
 /// Costs charged to a single worker within one stage.
@@ -148,6 +169,11 @@ pub struct WorkerCost {
     pub bytes_spilled: u64,
     /// Extra CPU seconds (e.g. hash-table build, sorting).
     pub extra_cpu_seconds: f64,
+    /// Bytes this worker wrote to durable storage for a checkpoint.
+    pub bytes_checkpointed: u64,
+    /// Bytes this worker re-read from durable storage (and re-shipped)
+    /// while restoring lost state.
+    pub bytes_restored: u64,
 }
 
 impl WorkerCost {
@@ -158,9 +184,14 @@ impl WorkerCost {
         let wire_bytes = (self.bytes_sent + self.bytes_received) as f64;
         let ser = wire_bytes * model.ser_seconds_per_byte;
         let net = wire_bytes / model.network_bytes_per_second;
-        // Spilled bytes are written once and read once.
-        let disk = (2 * self.bytes_spilled) as f64 / model.disk_bytes_per_second;
-        cpu + ser + net + disk
+        // Spilled bytes are written once and read once; checkpoints are
+        // written once, restores are read once and re-shipped to the
+        // replacement worker.
+        let disk = (2 * self.bytes_spilled + self.bytes_checkpointed + self.bytes_restored) as f64
+            / model.disk_bytes_per_second;
+        let restore_ship = self.bytes_restored as f64
+            * (model.ser_seconds_per_byte + 1.0 / model.network_bytes_per_second);
+        cpu + ser + net + disk + restore_ship
     }
 }
 
@@ -198,6 +229,17 @@ impl StageCosts {
         self.workers.iter().map(|w| w.bytes_sent).sum()
     }
 
+    /// The stage's operator name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records consumed per worker, in worker order. The fault injector
+    /// uses this to price the durable-storage restore of a lost partition.
+    pub(crate) fn records_in_per_worker(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.records_in).collect()
+    }
+
     /// Finalizes the stage: computes the makespan, the per-worker skew
     /// profile and produces a report.
     pub fn finish(self, model: &CostModel) -> StageReport {
@@ -224,6 +266,10 @@ impl StageCosts {
             max_worker_seconds: makespan,
             mean_worker_seconds: mean,
             busiest_worker_records: busiest,
+            attempts: 1,
+            recovery_seconds: 0.0,
+            checkpoint_bytes: self.workers.iter().map(|w| w.bytes_checkpointed).sum(),
+            restored_bytes: self.workers.iter().map(|w| w.bytes_restored).sum(),
         }
     }
 }
@@ -239,6 +285,10 @@ impl ExecutionMetrics {
         self.bytes_shuffled += report.bytes_shuffled;
         self.bytes_spilled += report.bytes_spilled;
         self.stages += 1;
+        self.recovery_attempts += report.attempts.saturating_sub(1);
+        self.recovery_seconds += report.recovery_seconds;
+        self.checkpoint_bytes += report.checkpoint_bytes;
+        self.restored_bytes += report.restored_bytes;
     }
 }
 
@@ -300,12 +350,20 @@ mod tests {
             max_worker_seconds: 1.5,
             mean_worker_seconds: 1.0,
             busiest_worker_records: 8,
+            attempts: 2,
+            recovery_seconds: 0.25,
+            checkpoint_bytes: 64,
+            restored_bytes: 16,
         };
         metrics.record(&report);
         metrics.record(&report);
         assert_eq!(metrics.stages, 2);
         assert_eq!(metrics.records_in, 10);
         assert!((metrics.simulated_seconds - 3.0).abs() < 1e-12);
+        assert_eq!(metrics.recovery_attempts, 2);
+        assert!((metrics.recovery_seconds - 0.5).abs() < 1e-12);
+        assert_eq!(metrics.checkpoint_bytes, 128);
+        assert_eq!(metrics.restored_bytes, 32);
     }
 
     #[test]

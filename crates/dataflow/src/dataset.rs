@@ -160,11 +160,31 @@ impl<T: Data> Dataset<T> {
         F: Fn(&[T], &mut Vec<O>) + Sync,
     {
         let mut stage = self.env.stage(name);
-        let outputs: Vec<Vec<O>> = map_partitions(&self.partitions, |_, part| {
+        let attempt = crate::pool::try_map_partitions(&self.partitions, |_, part| {
             let mut out = Vec::new();
             f(part, &mut out);
             out
         });
+        let outputs: Vec<Vec<O>> = match attempt {
+            Ok(outputs) => outputs,
+            // A genuinely panicking operator closure: with fault tolerance
+            // enabled it poisons the environment (the engine discards the
+            // stage's output and surfaces a classified error); without it,
+            // fail fast as before.
+            Err(panic) if self.env.faults_installed() => {
+                self.env
+                    .record_execution_failure(crate::fault::ExecutionFailure {
+                        site: format!("stage `{name}` (worker {})", panic.worker),
+                        attempts: 1,
+                        message: format!("worker panicked: {}", panic.message),
+                    });
+                (0..self.partitions.len()).map(|_| Vec::new()).collect()
+            }
+            Err(panic) => panic!(
+                "partition worker {} panicked: {}",
+                panic.worker, panic.message
+            ),
+        };
         for (i, (inp, out)) in self.partitions.iter().zip(&outputs).enumerate() {
             let w = stage.worker(i);
             w.records_in += inp.len() as u64;

@@ -3,9 +3,12 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::cost::{CostModel, ExecutionMetrics, StageCosts};
+use crate::cost::{CostModel, ExecutionMetrics, StageCosts, StageReport};
 use crate::data::Data;
 use crate::dataset::Dataset;
+use crate::fault::{
+    finish_stage_with_faults, ExecutionFailure, FaultConfig, FaultEvent, FaultInjector,
+};
 use crate::trace::{SpanRecord, TraceSink};
 
 /// Configuration of a simulated cluster.
@@ -22,6 +25,11 @@ pub struct ExecutionConfig {
     /// supersteps. On by default; benchmarks disable it to measure the
     /// before/after effect of shuffle avoidance.
     pub partition_aware: bool,
+    /// Optional fault-tolerance policy: a deterministic failure schedule to
+    /// inject plus the retry/backoff/checkpoint parameters. `None` (the
+    /// default) disables the fault machinery entirely — no counters, no
+    /// checkpoints, zero behavior change.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ExecutionConfig {
@@ -31,6 +39,7 @@ impl ExecutionConfig {
             workers: workers.max(1),
             cost_model: CostModel::default(),
             partition_aware: true,
+            faults: None,
         }
     }
 
@@ -46,6 +55,12 @@ impl ExecutionConfig {
         self.partition_aware = aware;
         self
     }
+
+    /// Installs a fault-tolerance policy (see [`ExecutionConfig::faults`]).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 impl Default for ExecutionConfig {
@@ -58,6 +73,7 @@ struct EnvInner {
     config: ExecutionConfig,
     metrics: Mutex<ExecutionMetrics>,
     trace: Mutex<Option<Arc<dyn TraceSink>>>,
+    fault: Mutex<Option<FaultInjector>>,
 }
 
 /// Handle to a simulated cluster. Cheap to clone; all clones share the same
@@ -70,11 +86,13 @@ pub struct ExecutionEnvironment {
 impl ExecutionEnvironment {
     /// Creates an environment for the given configuration.
     pub fn new(config: ExecutionConfig) -> Self {
+        let injector = config.faults.clone().map(FaultInjector::new);
         ExecutionEnvironment {
             inner: Arc::new(EnvInner {
                 config,
                 metrics: Mutex::new(ExecutionMetrics::default()),
                 trace: Mutex::new(None),
+                fault: Mutex::new(injector),
             }),
         }
     }
@@ -122,13 +140,102 @@ impl ExecutionEnvironment {
     }
 
     /// Finalizes a stage, folds it into the metrics and notifies the trace
-    /// sink, if one is installed.
+    /// sink, if one is installed. When a fault injector is installed, the
+    /// stage first passes through it: scheduled crashes cost wasted
+    /// attempts plus backoff, lost partitions add durable-storage restores,
+    /// stragglers stretch the makespan, and an exhausted retry budget
+    /// poisons the environment (see
+    /// [`ExecutionEnvironment::take_execution_failure`]).
     pub(crate) fn finish_stage(&self, stage: StageCosts) {
-        let report = stage.finish(&self.inner.config.cost_model);
+        let model = &self.inner.config.cost_model;
+        let report = {
+            let mut guard = self.inner.fault.lock().unwrap();
+            match guard.as_mut() {
+                Some(injector) => {
+                    let events = injector.begin_stage(stage.name());
+                    let (report, failure) =
+                        finish_stage_with_faults(stage, model, &events, injector.config());
+                    if let Some(failure) = failure {
+                        injector.record_failure(failure);
+                    }
+                    report
+                }
+                None => stage.finish(model),
+            }
+        };
+        self.submit_report(report);
+    }
+
+    /// Folds an already-finalized stage report into the metrics and notifies
+    /// the trace sink. Used by recovery stages (checkpoint rollbacks) whose
+    /// reports are built by the bulk-iteration driver and must bypass the
+    /// fault injector.
+    pub(crate) fn submit_report(&self, report: StageReport) {
         self.inner.metrics.lock().unwrap().record(&report);
         if let Some(sink) = self.trace_sink() {
             sink.on_stage(&report);
         }
+    }
+
+    /// Installs a fault injector for `config`, replacing any existing one
+    /// and resetting its stage/superstep counters. Benchmark harnesses use
+    /// this to start the failure schedule *after* data loading, so stage
+    /// indices count from the first query stage.
+    pub fn install_faults(&self, config: FaultConfig) {
+        *self.inner.fault.lock().unwrap() = Some(FaultInjector::new(config));
+    }
+
+    /// Removes the fault injector; subsequent stages run fault-free.
+    pub fn clear_faults(&self) {
+        *self.inner.fault.lock().unwrap() = None;
+    }
+
+    /// `true` when a fault injector is installed.
+    pub fn faults_installed(&self) -> bool {
+        self.inner.fault.lock().unwrap().is_some()
+    }
+
+    /// The installed fault policy, if any.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.inner
+            .fault
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|injector| injector.config().clone())
+    }
+
+    /// Advances the global superstep counter and returns the scheduled
+    /// fault firing at the new superstep, if any. Called by the
+    /// bulk-iteration driver before executing each superstep.
+    pub(crate) fn begin_superstep_fault(&self) -> Option<FaultEvent> {
+        self.inner
+            .fault
+            .lock()
+            .unwrap()
+            .as_mut()
+            .and_then(FaultInjector::begin_superstep)
+    }
+
+    /// Records a terminal execution failure (first one wins), poisoning the
+    /// environment until [`ExecutionEnvironment::take_execution_failure`]
+    /// is called. No-op without an installed injector.
+    pub fn record_execution_failure(&self, failure: ExecutionFailure) {
+        if let Some(injector) = self.inner.fault.lock().unwrap().as_mut() {
+            injector.record_failure(failure);
+        }
+    }
+
+    /// Removes and returns the recorded execution failure, if any. The
+    /// query engine calls this after running a plan; a `Some` means retries
+    /// were exhausted and the computed datasets must be discarded.
+    pub fn take_execution_failure(&self) -> Option<ExecutionFailure> {
+        self.inner
+            .fault
+            .lock()
+            .unwrap()
+            .as_mut()
+            .and_then(FaultInjector::take_failure)
     }
 
     /// Installs (or, with `None`, removes) the environment's trace sink.

@@ -9,10 +9,14 @@
 
 use std::hash::Hash;
 
+use crate::cost::StageCosts;
 use crate::data::Data;
 use crate::dataset::Dataset;
+use crate::env::ExecutionEnvironment;
+use crate::fault::{backoff_seconds, ExecutionFailure, FaultConfig};
 use crate::index::PartitionedIndex;
 use crate::partition::PartitionKey;
+use crate::trace::SpanRecord;
 
 /// Runs `body` up to `max_iterations` times, feeding each iteration's output
 /// into the next. Terminates early when the working set becomes empty.
@@ -40,6 +44,18 @@ where
 /// value. This matches the paper's expansion dataflow, where embeddings
 /// reaching the lower path bound are moved to the result set via a union
 /// transformation while the working set keeps growing paths.
+///
+/// When the environment has a [`FaultConfig`] installed, the iteration is
+/// **checkpointed**: every [`FaultConfig::checkpoint_interval`] supersteps
+/// the working and solution sets are snapshotted (the write is charged to
+/// the simulated clock as a `"checkpoint"` stage), and a scheduled
+/// superstep fault rolls the loop back to the last checkpoint instead of
+/// losing the query — re-executed supersteps re-charge their stages
+/// naturally, so recovery overhead shows up in simulated seconds. With a
+/// checkpoint interval of `0` recovery restarts from the initial working
+/// set (restart-from-scratch, the ablation baseline). More superstep
+/// faults than [`FaultConfig::max_attempts`] poison the environment with
+/// an [`ExecutionFailure`].
 pub fn bulk_iterate_with_results<T, R, F>(
     initial: Dataset<T>,
     max_iterations: usize,
@@ -53,15 +69,150 @@ where
     let env = initial.env().clone();
     let mut working = initial;
     let mut results: Dataset<R> = env.empty();
-    for iteration in 1..=max_iterations {
+    let Some(fault_config) = env.fault_config() else {
+        // Fault-free fast path: no snapshots, no superstep accounting.
+        for iteration in 1..=max_iterations {
+            if working.is_empty_untracked() {
+                break;
+            }
+            let (next, found) = body(working, iteration);
+            results = results.union(&found);
+            working = next;
+        }
+        return (working, results);
+    };
+
+    let interval = fault_config.checkpoint_interval;
+    // The initial state doubles as the superstep-0 "checkpoint"; with
+    // interval 0 it is never replaced, so recovery restarts from scratch.
+    let mut checkpoint: (usize, Dataset<T>, Dataset<R>) = (0, working.clone(), results.clone());
+    let mut restores: u32 = 0;
+    let mut iteration = 1usize;
+    while iteration <= max_iterations {
         if working.is_empty_untracked() {
             break;
+        }
+        if let Some(event) = env.begin_superstep_fault() {
+            restores += 1;
+            if restores >= fault_config.max_attempts {
+                env.record_execution_failure(ExecutionFailure {
+                    site: format!("superstep {iteration}"),
+                    attempts: restores,
+                    message: format!(
+                        "retry budget exhausted during bulk iteration \
+                         (max_attempts = {}, fault: {:?})",
+                        fault_config.max_attempts, event.kind
+                    ),
+                });
+                break;
+            }
+            let (at, saved_working, saved_results) = checkpoint.clone();
+            charge_restore(
+                &env,
+                &fault_config,
+                &saved_working,
+                &saved_results,
+                at,
+                restores,
+            );
+            working = saved_working;
+            results = saved_results;
+            iteration = at + 1;
+            continue;
         }
         let (next, found) = body(working, iteration);
         results = results.union(&found);
         working = next;
+        if interval > 0 && iteration.is_multiple_of(interval) {
+            checkpoint = (iteration, working.clone(), results.clone());
+            charge_checkpoint(&env, &working, &results, iteration);
+        }
+        iteration += 1;
     }
     (working, results)
+}
+
+/// Per-worker serialized size of a snapshot (working set + solution set).
+fn snapshot_bytes<T: Data, R: Data>(working: &Dataset<T>, results: &Dataset<R>) -> Vec<u64> {
+    working
+        .partitions()
+        .iter()
+        .zip(results.partitions())
+        .map(|(w, r)| {
+            w.iter().map(|item| item.byte_size() as u64).sum::<u64>()
+                + r.iter().map(|item| item.byte_size() as u64).sum::<u64>()
+        })
+        .collect()
+}
+
+/// Charges the durable-storage write of a checkpoint as its own stage and
+/// emits an `"iterate/checkpoint"` span for the trace sink.
+fn charge_checkpoint<T: Data, R: Data>(
+    env: &ExecutionEnvironment,
+    working: &Dataset<T>,
+    results: &Dataset<R>,
+    superstep: usize,
+) {
+    let bytes = snapshot_bytes(working, results);
+    let mut stage = StageCosts::new("checkpoint", bytes.len());
+    for (index, b) in bytes.iter().enumerate() {
+        stage.worker(index).bytes_checkpointed = *b;
+    }
+    let simulated_before = env.simulated_seconds();
+    env.finish_stage(stage);
+    env.emit_span(SpanRecord {
+        name: "iterate/checkpoint".to_string(),
+        wall_seconds: 0.0,
+        simulated_seconds: env.simulated_seconds() - simulated_before,
+        counters: vec![
+            ("superstep".to_string(), superstep as f64),
+            ("bytes".to_string(), bytes.iter().sum::<u64>() as f64),
+        ],
+    });
+}
+
+/// Charges the rollback to the last checkpoint: the snapshot is re-read
+/// from durable storage and re-shipped, plus the exponential retry backoff.
+/// Reported as a `"superstep-restore"` stage with `attempts = 2` so the
+/// recovery shows up in [`ExecutionMetrics`](crate::ExecutionMetrics)
+/// exactly like a stage retry. Restarts from scratch (checkpoint at
+/// superstep 0) re-read nothing — the lost supersteps are simply re-run.
+fn charge_restore<T: Data, R: Data>(
+    env: &ExecutionEnvironment,
+    config: &FaultConfig,
+    working: &Dataset<T>,
+    results: &Dataset<R>,
+    checkpoint_superstep: usize,
+    restores: u32,
+) {
+    let bytes = if checkpoint_superstep > 0 {
+        snapshot_bytes(working, results)
+    } else {
+        vec![0; working.partitions().len()]
+    };
+    let mut stage = StageCosts::new("superstep-restore", bytes.len());
+    for (index, b) in bytes.iter().enumerate() {
+        stage.worker(index).bytes_restored = *b;
+    }
+    let mut report = stage.finish(env.cost_model());
+    report.seconds += backoff_seconds(config, restores);
+    report.attempts = 2;
+    report.recovery_seconds = report.seconds;
+    let simulated_before = env.simulated_seconds();
+    env.submit_report(report);
+    env.emit_span(SpanRecord {
+        name: "iterate/restore".to_string(),
+        wall_seconds: 0.0,
+        simulated_seconds: env.simulated_seconds() - simulated_before,
+        counters: vec![
+            (
+                "restored_from_superstep".to_string(),
+                checkpoint_superstep as f64,
+            ),
+            ("bytes".to_string(), bytes.iter().sum::<u64>() as f64),
+            ("restore".to_string(), restores as f64),
+        ],
+    });
 }
 
 /// Like [`bulk_iterate_with_results`], but with a *loop-invariant build
@@ -199,5 +350,113 @@ mod tests {
         let initial = env.from_collection(vec![7u64]);
         let result = bulk_iterate(initial, 0, |ds, _| ds.map(|_| unreachable!()));
         assert_eq!(result.collect(), vec![7]);
+    }
+
+    use crate::fault::{FailureSchedule, FaultConfig};
+
+    fn faulted_env(workers: usize, model: CostModel, faults: FaultConfig) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers)
+                .cost_model(model)
+                .faults(faults),
+        )
+    }
+
+    /// Runs the counter iteration of `results_accumulate_across_iterations`
+    /// and returns (sorted results, simulated seconds).
+    fn run_counter_iteration(env: &ExecutionEnvironment, supersteps: usize) -> (Vec<u64>, f64) {
+        let initial = env.from_collection(vec![0u64]);
+        let (_, results) = bulk_iterate_with_results(initial, supersteps, |ds, _| {
+            let next = ds.map(|x| x + 1);
+            (next.clone(), next)
+        });
+        let mut values = results.collect();
+        values.sort_unstable();
+        (values, env.simulated_seconds())
+    }
+
+    #[test]
+    fn superstep_crash_restores_from_checkpoint_with_identical_results() {
+        let clean_env = env(2);
+        let (expected, _) = run_counter_iteration(&clean_env, 6);
+
+        let faults = FaultConfig::new(FailureSchedule::none().crash_at_superstep(5, 0))
+            .checkpoint_interval(2)
+            .backoff(0.0, 1.0);
+        let chaos_env = faulted_env(2, CostModel::free(), faults);
+        let (values, _) = run_counter_iteration(&chaos_env, 6);
+        assert_eq!(values, expected);
+        assert!(chaos_env.take_execution_failure().is_none());
+        let metrics = chaos_env.metrics();
+        assert!(metrics.recovery_attempts >= 1, "restore must be counted");
+        assert!(metrics.checkpoint_bytes > 0, "checkpoints must be charged");
+        assert!(metrics.restored_bytes > 0, "restore read must be charged");
+    }
+
+    #[test]
+    fn checkpointed_recovery_is_cheaper_than_restart_from_scratch() {
+        let model = CostModel {
+            cpu_seconds_per_record: 1.0,
+            ..CostModel::free()
+        };
+        // Crash late (superstep 6 of 8): scratch restart redoes five
+        // supersteps, a 2-interval checkpoint redoes at most one.
+        let schedule = FailureSchedule::none().crash_at_superstep(6, 0);
+        let scratch = faulted_env(
+            2,
+            model.clone(),
+            FaultConfig::new(schedule.clone())
+                .checkpoint_interval(0)
+                .backoff(0.0, 1.0),
+        );
+        let (scratch_values, scratch_seconds) = run_counter_iteration(&scratch, 8);
+        let checkpointed = faulted_env(
+            2,
+            model,
+            FaultConfig::new(schedule)
+                .checkpoint_interval(2)
+                .backoff(0.0, 1.0),
+        );
+        let (ckpt_values, ckpt_seconds) = run_counter_iteration(&checkpointed, 8);
+        assert_eq!(scratch_values, ckpt_values);
+        assert!(
+            ckpt_seconds < scratch_seconds,
+            "checkpointed recovery ({ckpt_seconds}s) must beat restart \
+             from scratch ({scratch_seconds}s)"
+        );
+    }
+
+    #[test]
+    fn exhausted_superstep_budget_poisons_environment() {
+        let faults = FaultConfig::new(
+            FailureSchedule::none()
+                .crash_at_superstep(2, 0)
+                .crash_at_superstep(3, 0),
+        )
+        .max_attempts(2)
+        .checkpoint_interval(1)
+        .backoff(0.0, 1.0);
+        let env = faulted_env(2, CostModel::free(), faults);
+        let _ = run_counter_iteration(&env, 6);
+        let failure = env
+            .take_execution_failure()
+            .expect("two superstep crashes against a budget of 2 must fail");
+        assert!(failure.site.starts_with("superstep"));
+        // The poison is gone after taking it.
+        assert!(env.take_execution_failure().is_none());
+    }
+
+    #[test]
+    fn empty_schedule_with_faults_installed_changes_no_results() {
+        let clean_env = env(3);
+        let (expected, _) = run_counter_iteration(&clean_env, 4);
+        let chaos_env = faulted_env(
+            3,
+            CostModel::free(),
+            FaultConfig::new(FailureSchedule::none()).checkpoint_interval(2),
+        );
+        let (values, _) = run_counter_iteration(&chaos_env, 4);
+        assert_eq!(values, expected);
+        assert_eq!(chaos_env.metrics().recovery_attempts, 0);
     }
 }

@@ -34,6 +34,7 @@ pub mod cost;
 pub mod data;
 pub mod dataset;
 pub mod env;
+pub mod fault;
 pub mod index;
 pub mod iterate;
 pub mod join;
@@ -48,9 +49,12 @@ pub use cost::{CostModel, ExecutionMetrics, StageReport};
 pub use data::Data;
 pub use dataset::Dataset;
 pub use env::{ExecutionConfig, ExecutionEnvironment};
+pub use fault::{
+    ExecutionFailure, FailureSchedule, FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultSite,
+};
 pub use index::PartitionedIndex;
 pub use iterate::{bulk_iterate, bulk_iterate_with_invariant_index, bulk_iterate_with_results};
 pub use join::JoinStrategy;
 pub use json::JsonValue;
-pub use partition::{PartitionKey, Partitioning};
+pub use partition::{partition_for, PartitionKey, Partitioning};
 pub use trace::{CollectedTrace, CollectingSink, SpanRecord, TraceSink};

@@ -3,6 +3,32 @@
 //! Each simulated worker owns one partition; a stage processes all
 //! partitions concurrently, mirroring Flink's task slots. We use scoped
 //! threads so per-stage closures can borrow from the caller.
+//!
+//! [`try_map_partitions`] is the fault-aware entry point: a panicking
+//! worker thread is reported as a [`WorkerPanic`] instead of tearing down
+//! the driver, so environments with fault tolerance enabled can classify a
+//! genuinely crashing operator closure as an execution failure rather than
+//! aborting the process.
+
+/// A worker thread died mid-stage. Carries the worker index and the panic
+/// payload's message, when it was a string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerPanic {
+    /// Index of the partition whose worker panicked.
+    pub worker: usize,
+    /// The panic message, or `"<non-string panic payload>"`.
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Applies `f` to every partition concurrently and collects the results in
 /// partition order. `f` receives the partition index and the partition's
@@ -13,11 +39,32 @@ where
     O: Send,
     F: Fn(usize, &[I]) -> O + Sync,
 {
+    try_map_partitions(partitions, f)
+        .unwrap_or_else(|p| panic!("partition worker {} panicked: {}", p.worker, p.message))
+}
+
+/// Like [`map_partitions`], but converts a panicking worker thread into an
+/// `Err(WorkerPanic)` instead of propagating the panic. On error the
+/// results of the surviving workers are discarded — a stage either
+/// completes on all partitions or not at all.
+pub fn try_map_partitions<I, O, F>(partitions: &[Vec<I>], f: F) -> Result<Vec<O>, WorkerPanic>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &[I]) -> O + Sync,
+{
     if partitions.len() <= 1 {
         return partitions
             .iter()
             .enumerate()
-            .map(|(i, p)| f(i, p))
+            .map(|(i, p)| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, p))).map_err(
+                    |payload| WorkerPanic {
+                        worker: i,
+                        message: panic_message(payload),
+                    },
+                )
+            })
             .collect();
     }
     std::thread::scope(|scope| {
@@ -33,7 +80,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
+            .enumerate()
+            .map(|(i, h)| {
+                h.join().map_err(|payload| WorkerPanic {
+                    worker: i,
+                    message: panic_message(payload),
+                })
+            })
             .collect()
     })
 }
@@ -78,6 +131,39 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_map_reports_worker_panics() {
+        let parts = vec![vec![1u32], vec![2], vec![3]];
+        let result = try_map_partitions(&parts, |_, p| {
+            if p == [2] {
+                panic!("worker died");
+            }
+            p.len()
+        });
+        let panic = result.expect_err("worker 1 must be reported");
+        assert_eq!(panic.worker, 1);
+        assert!(panic.message.contains("worker died"));
+    }
+
+    #[test]
+    fn try_map_single_partition_reports_panics_inline() {
+        let parts = vec![vec![1u32]];
+        let result = try_map_partitions(&parts, |_, _| -> usize { panic!("boom") });
+        assert_eq!(result.expect_err("must fail").worker, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition worker 0 panicked")]
+    fn map_partitions_propagates_panics() {
+        let parts = vec![vec![1u32], vec![2]];
+        let _ = map_partitions(&parts, |i, _| {
+            if i == 0 {
+                panic!("die");
+            }
+            i
+        });
+    }
 
     #[test]
     fn maps_partitions_in_order() {

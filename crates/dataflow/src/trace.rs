@@ -74,6 +74,23 @@ pub struct CollectedTrace {
     pub spans: Vec<SpanRecord>,
 }
 
+impl CollectedTrace {
+    /// Total recovery attempts across the collected stages (retries beyond
+    /// each stage's first attempt — injected crashes, lost partitions and
+    /// bulk-iteration rollbacks, reported as `"superstep-restore"` stages).
+    pub fn recovery_attempts(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.attempts.saturating_sub(1))
+            .sum()
+    }
+
+    /// Total simulated seconds the collected stages spent on recovery.
+    pub fn recovery_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.recovery_seconds).sum()
+    }
+}
+
 impl CollectingSink {
     /// Creates an empty sink.
     pub fn new() -> Self {
@@ -179,6 +196,27 @@ mod tests {
         let _ = env.from_collection(0u64..4).count();
         assert_eq!(sink.drain().stages.len(), 1);
         assert_eq!(sink.stage_count(), 0);
+    }
+
+    #[test]
+    fn sink_sees_injected_stage_faults() {
+        use crate::fault::{FailureSchedule, FaultConfig};
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2)
+                .cost_model(CostModel::free())
+                .faults(
+                    FaultConfig::new(FailureSchedule::none().crash_at_stage_named("map", 1, 0))
+                        .backoff(0.0, 1.0),
+                ),
+        );
+        let sink = Arc::new(CollectingSink::new());
+        env.set_trace_sink(Some(sink.clone()));
+        let _ = env.from_collection(0u64..10).map(|x| x + 1).count();
+        let trace = sink.snapshot();
+        let map_stage = trace.stages.iter().find(|s| s.name == "map").unwrap();
+        assert_eq!(map_stage.attempts, 2);
+        assert_eq!(trace.recovery_attempts(), 1);
+        assert!(env.take_execution_failure().is_none());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Property tests for the partitioning fingerprint: over random operator
+//! chains the stamp must follow the preserved-or-dropped rules exactly, and
+//! whenever a dataset claims a partitioning, every record must actually sit
+//! on the worker the claimed key hashes to — the fingerprint is never a lie.
+//! A second property checks that FORWARD-elided joins agree with a
+//! partition-unaware run byte for byte.
+
+use std::sync::Arc;
+
+use gradoop_dataflow::{
+    partition_for, CollectingSink, CostModel, Dataset, ExecutionConfig, ExecutionEnvironment,
+    JoinStrategy, PartitionKey, Partitioning,
+};
+use proptest::prelude::*;
+
+type Record = (u8, u16);
+
+fn key_k() -> PartitionKey {
+    PartitionKey::named("prop.k")
+}
+
+fn key_v() -> PartitionKey {
+    PartitionKey::named("prop.v")
+}
+
+/// One step of a random operator chain, with its documented effect on the
+/// partitioning fingerprint.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Named shuffle by the first field: stamps `prop.k`.
+    PartitionByK,
+    /// Named shuffle by the second field: stamps `prop.v`.
+    PartitionByV,
+    /// Anonymous shuffle: real placement, but no stamp.
+    PartitionAnon,
+    /// Rewrites records, so any stamp is dropped.
+    MapIncrement,
+    /// Partition-local, record-preserving: stamp survives.
+    FilterEven,
+    /// Partition-local duplication via `flat_map_preserving`: stamp survives.
+    FlatMapDup,
+    /// Moves records round-robin: stamp dropped.
+    Rebalance,
+    /// Union with itself: both sides carry the same stamp, so it survives.
+    UnionSelf,
+    /// Shuffles anonymously and deduplicates: stamp dropped.
+    Distinct,
+}
+
+const OPS: [Op; 9] = [
+    Op::PartitionByK,
+    Op::PartitionByV,
+    Op::PartitionAnon,
+    Op::MapIncrement,
+    Op::FilterEven,
+    Op::FlatMapDup,
+    Op::Rebalance,
+    Op::UnionSelf,
+    Op::Distinct,
+];
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0..OPS.len()).prop_map(|i| OPS[i]), 0..8)
+}
+
+fn records() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec((0u8..8, 0u16..32), 0..24)
+}
+
+/// Applies one operator to the dataset and, in lockstep, to the model: the
+/// expected element multiset and the expected stamp.
+fn apply(
+    ds: Dataset<Record>,
+    model: &mut Vec<Record>,
+    stamp: &mut Option<PartitionKey>,
+    op: Op,
+) -> Dataset<Record> {
+    match op {
+        Op::PartitionByK => {
+            *stamp = Some(key_k());
+            ds.partition_by(key_k(), |(k, _)| *k)
+        }
+        Op::PartitionByV => {
+            *stamp = Some(key_v());
+            ds.partition_by(key_v(), |(_, v)| *v)
+        }
+        Op::PartitionAnon => {
+            *stamp = None;
+            ds.partition_by_key(|(k, _)| *k)
+        }
+        Op::MapIncrement => {
+            *stamp = None;
+            for (_, v) in model.iter_mut() {
+                *v = v.wrapping_add(1);
+            }
+            ds.map(|(k, v)| (*k, v.wrapping_add(1)))
+        }
+        Op::FilterEven => {
+            model.retain(|(_, v)| v % 2 == 0);
+            ds.filter(|(_, v)| v % 2 == 0)
+        }
+        Op::FlatMapDup => {
+            *model = model.iter().flat_map(|r| [*r, *r]).collect();
+            ds.flat_map_preserving(|r, out| {
+                out.push(*r);
+                out.push(*r);
+            })
+        }
+        Op::Rebalance => {
+            *stamp = None;
+            ds.rebalance()
+        }
+        Op::UnionSelf => {
+            *model = model.iter().flat_map(|r| [*r, *r]).collect();
+            ds.union(&ds)
+        }
+        Op::Distinct => {
+            *stamp = None;
+            model.sort_unstable();
+            model.dedup();
+            ds.distinct()
+        }
+    }
+}
+
+/// Every record of a stamped dataset must sit on the worker its claimed key
+/// hashes to.
+fn assert_placement_matches_stamp(ds: &Dataset<Record>, workers: usize) {
+    let Some(Partitioning { key, workers: w }) = ds.partitioning() else {
+        return;
+    };
+    assert_eq!(w, workers, "stamp must name the environment's worker count");
+    for (index, part) in ds.partitions().iter().enumerate() {
+        for &(k, v) in part {
+            let target = if key == key_k() {
+                partition_for(&k, workers)
+            } else if key == key_v() {
+                partition_for(&v, workers)
+            } else {
+                panic!("unexpected partition key {key:?}");
+            };
+            assert_eq!(
+                target, index,
+                "record ({k}, {v}) claims key {key:?} but sits on worker {index}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// The fingerprint model: after an arbitrary operator chain the stamp
+    /// is exactly what the preserved-or-dropped rules predict, the claimed
+    /// placement physically holds, and no operator lost or invented
+    /// elements along the way.
+    #[test]
+    fn fingerprint_follows_the_preservation_rules(
+        input in records(),
+        chain in ops(),
+        workers in 1..5usize,
+    ) {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        );
+        let mut ds = env.from_collection(input.clone());
+        let mut model = input;
+        let mut stamp: Option<PartitionKey> = None;
+        for op in chain.iter() {
+            ds = apply(ds, &mut model, &mut stamp, *op);
+            prop_assert_eq!(
+                ds.partitioning().map(|p| p.key),
+                stamp,
+                "stamp mismatch after {:?} (chain {:?})",
+                op,
+                chain
+            );
+            assert_placement_matches_stamp(&ds, workers);
+        }
+        let mut got = ds.collect();
+        got.sort_unstable();
+        let mut expected = model;
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected, "elements diverged over chain {:?}", chain);
+    }
+
+    /// FORWARD elision is cost-only: a join whose sides are pre-partitioned
+    /// on the join key must produce exactly the results of the same join in
+    /// a partition-unaware environment, while shipping fewer records
+    /// through the join stage.
+    #[test]
+    fn forward_elided_joins_agree_with_partition_unaware_runs(
+        left in records(),
+        right in records(),
+        workers in 1..5usize,
+    ) {
+        let mut outputs: Vec<Vec<(u8, u16, u16)>> = Vec::new();
+        let mut join_records: Vec<u64> = Vec::new();
+        for aware in [true, false] {
+            let env = ExecutionEnvironment::new(
+                ExecutionConfig::with_workers(workers)
+                    .cost_model(CostModel::free())
+                    .partition_aware(aware),
+            );
+            let sink = Arc::new(CollectingSink::new());
+            env.set_trace_sink(Some(sink.clone()));
+            let left_ds = env
+                .from_collection(left.clone())
+                .partition_by(key_k(), |(k, _)| *k);
+            let right_ds = env
+                .from_collection(right.clone())
+                .partition_by(key_k(), |(k, _)| *k);
+            let mut joined = left_ds
+                .join_partitioned(
+                    &right_ds,
+                    key_k(),
+                    |(k, _)| *k,
+                    |(k, _)| *k,
+                    JoinStrategy::RepartitionHash,
+                    |(k, lv), (_, rv)| Some((*k, *lv, *rv)),
+                )
+                .collect();
+            joined.sort_unstable();
+            outputs.push(joined);
+            join_records.push(
+                sink.snapshot()
+                    .stages
+                    .iter()
+                    .filter(|s| s.name.starts_with("join("))
+                    .map(|s| s.records_in)
+                    .sum(),
+            );
+        }
+        prop_assert_eq!(
+            &outputs[0],
+            &outputs[1],
+            "FORWARD elision changed the join result"
+        );
+        prop_assert!(
+            join_records[0] <= join_records[1],
+            "the aware join must not ship more records ({} vs {})",
+            join_records[0],
+            join_records[1]
+        );
+    }
+}

@@ -62,7 +62,9 @@ pub mod prelude {
     };
     pub use gradoop_cypher::{parse, Literal, QueryGraph};
     pub use gradoop_dataflow::{
-        CostModel, Dataset, ExecutionConfig, ExecutionEnvironment, ExecutionMetrics, JoinStrategy,
+        CostModel, Dataset, ExecutionConfig, ExecutionEnvironment, ExecutionFailure,
+        ExecutionMetrics, FailureSchedule, FaultConfig, FaultEvent, FaultKind, FaultSite,
+        JoinStrategy,
     };
     pub use gradoop_epgm::{
         connected_components, page_rank, properties, single_source_distances, AggregateFunction,

@@ -1,11 +1,87 @@
 //! Shared helpers for the integration tests.
 #![allow(dead_code)] // each test binary uses a subset of these helpers
 
+use std::path::PathBuf;
+
 use gradoop::prelude::*;
 
 /// A free-cost environment (unit tests care about records, not timing).
 pub fn test_env(workers: usize) -> ExecutionEnvironment {
     ExecutionEnvironment::new(ExecutionConfig::with_workers(workers).cost_model(CostModel::free()))
+}
+
+/// A free-cost environment with a fault configuration installed, for chaos
+/// tests. Faults are injected from the first stage the test runs.
+pub fn test_env_faulted(workers: usize, faults: FaultConfig) -> ExecutionEnvironment {
+    let env = test_env(workers);
+    env.install_faults(faults);
+    env
+}
+
+/// The seed every randomized test input (graph shapes, failure schedules)
+/// derives from. Defaults to a fixed constant so CI is deterministic;
+/// override with `GRADOOP_TEST_SEED=<n>` to reproduce a reported failure
+/// or to explore a different universe.
+pub fn test_seed() -> u64 {
+    match std::env::var("GRADOOP_TEST_SEED") {
+        Ok(text) => text
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("GRADOOP_TEST_SEED must be a u64, got {text:?}")),
+        Err(_) => 0xC0FFEE,
+    }
+}
+
+/// Splitmix64: the same tiny PRNG the failure schedules use, for deriving
+/// per-case sub-seeds from [`test_seed`].
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drop guard that prints a one-line reproduction command when the test
+/// panics, naming the seed that produced the failing inputs.
+pub struct ReproHint {
+    test: String,
+    seed: u64,
+}
+
+impl ReproHint {
+    /// Arms the guard for `test` (use the `binary::test_name` form shown by
+    /// `cargo test`) running under `seed`.
+    pub fn new(test: &str, seed: u64) -> Self {
+        ReproHint {
+            test: test.to_string(),
+            seed,
+        }
+    }
+}
+
+impl Drop for ReproHint {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "to reproduce: GRADOOP_TEST_SEED={} cargo test {}",
+                self.seed, self.test
+            );
+        }
+    }
+}
+
+/// Writes a failing failure schedule as JSON under `target/chaos/` so CI can
+/// archive it as a workflow artifact. Best-effort: returns the path on
+/// success, `None` when the directory cannot be written.
+pub fn archive_schedule(name: &str, schedule: &FailureSchedule) -> Option<PathBuf> {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    let dir = PathBuf::from(target).join("chaos");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, schedule.to_json()).ok()?;
+    eprintln!("failure schedule archived at {}", path.display());
+    Some(path)
 }
 
 /// The social network of the paper's Figure 1: a community of persons,

@@ -21,15 +21,7 @@ fn canonical_entry(entry: &Entry) -> String {
     }
 }
 
-fn engine_matches(
-    graph: &LogicalGraph,
-    query_text: &str,
-    matching: MatchingConfig,
-) -> Vec<Canonical> {
-    let engine = CypherEngine::for_graph(graph);
-    let result = engine
-        .execute(graph, query_text, &HashMap::new(), matching)
-        .unwrap_or_else(|e| panic!("{query_text}: {e}"));
+fn canonicalize(result: &QueryResult) -> Vec<Canonical> {
     let variables: Vec<String> = result.query.variables().map(str::to_string).collect();
     let mut out: Vec<Canonical> = result
         .embeddings
@@ -46,6 +38,39 @@ fn engine_matches(
         })
         .collect();
     out.sort();
+    out
+}
+
+fn engine_matches(
+    graph: &LogicalGraph,
+    query_text: &str,
+    matching: MatchingConfig,
+) -> Vec<Canonical> {
+    let engine = CypherEngine::for_graph(graph);
+    let result = engine
+        .execute(graph, query_text, &HashMap::new(), matching)
+        .unwrap_or_else(|e| panic!("{query_text}: {e}"));
+    canonicalize(&result)
+}
+
+/// Like [`engine_matches`], but with `faults` installed on the graph's
+/// environment for the duration of the query — the chaos variant. The fault
+/// budget must be generous enough that the schedule is survivable; recovery
+/// must never change the result.
+fn engine_matches_faulted(
+    graph: &LogicalGraph,
+    query_text: &str,
+    matching: MatchingConfig,
+    faults: FaultConfig,
+) -> Vec<Canonical> {
+    let engine = CypherEngine::for_graph(graph);
+    let env = graph.env().clone();
+    env.install_faults(faults);
+    let result = engine
+        .execute(graph, query_text, &HashMap::new(), matching)
+        .unwrap_or_else(|e| panic!("{query_text} under faults: {e}"));
+    let out = canonicalize(&result);
+    env.clear_faults();
     out
 }
 
@@ -185,6 +210,32 @@ const CONFIGS: [MatchingConfig; 4] = [
     },
 ];
 
+/// One raw chaos event drawn by proptest: `(site_selector, index, worker,
+/// kind_selector)`, mapped onto the failure-schedule builder by
+/// [`build_schedule`].
+type RawFault = (u8, u64, usize, u8);
+
+fn raw_faults() -> impl Strategy<Value = Vec<RawFault>> {
+    proptest::collection::vec((0..2u8, 0..12u64, 0..4usize, 0..3u8), 0..5)
+}
+
+fn build_schedule(events: &[RawFault]) -> FailureSchedule {
+    let mut schedule = FailureSchedule::none();
+    for &(site, index, worker, kind) in events {
+        schedule = if site == 0 {
+            match kind {
+                0 => schedule.crash_at_stage(index % 12, worker),
+                1 => schedule.lost_partition_at_stage(index % 12, worker),
+                _ => schedule.straggler_at_stage(index % 12, worker, 3.0),
+            }
+        } else {
+            // Supersteps are 1-based; only crashes make sense there.
+            schedule.crash_at_superstep(1 + index % 6, worker)
+        };
+    }
+    schedule
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24 })]
 
@@ -207,6 +258,45 @@ proptest! {
             "query {} with {:?} on {:?}",
             query,
             config,
+            description
+        );
+    }
+
+    /// The chaos oracle: the engine must return exactly the reference
+    /// matches even while workers crash, partitions get lost, stragglers
+    /// stretch stages and supersteps roll back to checkpoints — for every
+    /// query shape and morphism combination. The budget is generous so every
+    /// schedule is survivable; recovery must be invisible in the results.
+    #[test]
+    fn engine_under_faults_agrees_with_reference_matcher(
+        description in random_graph(),
+        query_index in 0..QUERIES.len(),
+        config_index in 0..CONFIGS.len(),
+        workers in 1..4usize,
+        events in raw_faults(),
+        checkpoint_interval in 0..4usize,
+    ) {
+        let env = test_env(workers);
+        let graph = build_graph(&env, &description);
+        let query = QUERIES[query_index];
+        let config = CONFIGS[config_index];
+        let schedule = build_schedule(&events);
+        let faults = FaultConfig::new(schedule.clone())
+            .max_attempts(100)
+            .checkpoint_interval(checkpoint_interval);
+        let engine = engine_matches_faulted(&graph, query, config, faults);
+        let oracle = oracle_matches(&graph, query, config);
+        if engine != oracle {
+            common::archive_schedule("oracle-chaos-proptest", &schedule);
+        }
+        prop_assert_eq!(
+            engine,
+            oracle,
+            "query {} with {:?} under faults {:?} (checkpoint interval {}) on {:?}",
+            query,
+            config,
+            schedule,
+            checkpoint_interval,
             description
         );
     }
@@ -235,5 +325,51 @@ fn every_query_shape_agrees_on_a_fixed_graph() {
             let oracle = oracle_matches(&graph, query, config);
             assert_eq!(engine, oracle, "query {query} with {config:?}");
         }
+    }
+}
+
+/// Deterministic chaos sweep: every query shape runs once under a seeded
+/// pseudo-random failure schedule and must still agree with the oracle. The
+/// seed comes from `GRADOOP_TEST_SEED` (see `common::test_seed`), a failing
+/// schedule is archived under `target/chaos/` for the CI artifact, and the
+/// guard prints the one-line reproduction command on panic.
+#[test]
+fn seeded_chaos_sweep_agrees_with_oracle() {
+    let seed = common::test_seed();
+    let _hint = common::ReproHint::new(
+        "--test oracle_property seeded_chaos_sweep_agrees_with_oracle",
+        seed,
+    );
+    let description = RandomGraph {
+        vertices: vec![(1, "A", 1), (2, "B", 2), (3, "A", 2), (4, "B", 3)],
+        edges: vec![
+            (1001, "x", 1, 2, 1),
+            (1002, "y", 2, 3, 2),
+            (1003, "x", 3, 1, 3),
+            (1004, "x", 1, 3, 2),
+            (1005, "y", 3, 3, 0),
+            (1006, "x", 2, 3, 1),
+        ],
+    };
+    let mut state = seed;
+    for (index, query) in QUERIES.iter().enumerate() {
+        let workers = 1 + (index % 3);
+        let sub_seed = common::splitmix(&mut state);
+        let schedule = FailureSchedule::from_seed(sub_seed, workers, 3, 1, 12);
+        let faults = FaultConfig::new(schedule.clone())
+            .max_attempts(64)
+            .checkpoint_interval(index % 4);
+        let config = CONFIGS[index % CONFIGS.len()];
+        let env = test_env(workers);
+        let graph = build_graph(&env, &description);
+        let engine = engine_matches_faulted(&graph, query, config, faults);
+        let oracle = oracle_matches(&graph, query, config);
+        if engine != oracle {
+            common::archive_schedule(&format!("oracle-chaos-seeded-{index}"), &schedule);
+        }
+        assert_eq!(
+            engine, oracle,
+            "query {query} with {config:?} under seeded schedule {sub_seed:#x} ({schedule:?})"
+        );
     }
 }
