@@ -12,13 +12,51 @@
 //! reproduces the paper's scaling behaviour; absolute numbers differ from
 //! the paper because the datasets are rescaled ~1000× (see DESIGN.md).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use gradoop_bench::figure1::{figure1_graph, FIGURE1_QUERIES};
 use gradoop_bench::harness::{self, Measurement, ScaleFactor};
 use gradoop_bench::report::{bytes, seconds, speedup, Table};
-use gradoop_core::{CypherEngine, MatchingConfig};
-use gradoop_dataflow::{ExecutionConfig, ExecutionEnvironment, FailureSchedule, FaultConfig};
+use gradoop_core::{
+    CypherEngine, Embedding, EmbeddingMetaData, EntryType, MatchingConfig, MorphismCheck,
+};
+use gradoop_dataflow::{
+    CostModel, Dataset, ExecutionConfig, ExecutionEnvironment, FailureSchedule, FaultConfig,
+};
+use gradoop_epgm::PropertyValue;
 use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
+
+/// Counts heap allocations so `--bench-pr4` can report the before/after
+/// allocation budget of the join/merge kernels. The single relaxed
+/// fetch-add is negligible next to the simulated-cost bookkeeping.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -617,6 +655,232 @@ fn ablations(scale: f64) {
     println!("{table}");
 }
 
+/// Emits `BENCH_pr4.json` — the perf-trajectory record for the PR-4
+/// morsel-stealing + zero-copy work: before/after allocation counts of the
+/// join/merge kernel, the skewed-stage makespan with and without stealing,
+/// and simulated makespans of the Figure 1 queries under both schedules.
+fn bench_pr4() {
+    println!("== BENCH_pr4: work stealing + zero-copy kernels ==\n");
+
+    // -- Allocation budget of the join kernel, counted pair by pair.
+    let mut left = Embedding::new();
+    left.push_id(1);
+    left.push_id(2);
+    left.push_property(&PropertyValue::String("Alice".into()));
+    let mut right = Embedding::new();
+    right.push_id(1);
+    right.push_id(3);
+    right.push_property(&PropertyValue::Long(1984));
+    let mut meta = EmbeddingMetaData::new();
+    meta.add_entry("a", EntryType::Vertex);
+    meta.add_entry("b", EntryType::Vertex);
+    meta.add_entry("c", EntryType::Vertex);
+    meta.add_property("a", "name");
+    meta.add_property("c", "yob");
+    let check = MorphismCheck::new(&meta, &MatchingConfig::isomorphism());
+
+    const PAIRS: u64 = 10_000;
+    // Before: the clone-then-append kernel — a fresh merged row and a fresh
+    // id staging buffer per probed pair, kept or not.
+    let before_start = allocations();
+    for _ in 0..PAIRS {
+        let merged = left.merge(&right, &[0]);
+        let mut ids = Vec::new();
+        assert!(check.check(&merged, &mut ids));
+        std::hint::black_box(merged);
+    }
+    let naive_per_pair = (allocations() - before_start) as f64 / PAIRS as f64;
+
+    // After: merge into a reused scratch row, check with a reused staging
+    // buffer, clone only survivors — one exact-sized allocation per output.
+    let mut scratch = Embedding::new();
+    let mut ids = Vec::new();
+    left.merge_into(&right, &[0], &mut scratch);
+    assert!(check.check(&scratch, &mut ids));
+    let after_start = allocations();
+    for _ in 0..PAIRS {
+        left.merge_into(&right, &[0], &mut scratch);
+        assert!(check.check(&scratch, &mut ids));
+        std::hint::black_box(scratch.clone());
+    }
+    let fused_accepted = (allocations() - after_start) as f64 / PAIRS as f64;
+
+    // Rejected pairs (duplicate end vertex) must cost nothing.
+    let mut reject = Embedding::new();
+    reject.push_id(1);
+    reject.push_id(2);
+    reject.push_property(&PropertyValue::Long(7));
+    let reject_start = allocations();
+    for _ in 0..PAIRS {
+        left.merge_into(&reject, &[0], &mut scratch);
+        assert!(!check.check(&scratch, &mut ids));
+    }
+    let fused_rejected = (allocations() - reject_start) as f64 / PAIRS as f64;
+
+    let mut table = Table::new(["kernel", "allocs/pair"]);
+    table.row([
+        "clone-then-append (before)".into(),
+        format!("{naive_per_pair:.2}"),
+    ]);
+    table.row([
+        "fused scratch, accepted (after)".into(),
+        format!("{fused_accepted:.2}"),
+    ]);
+    table.row([
+        "fused scratch, rejected (after)".into(),
+        format!("{fused_rejected:.2}"),
+    ]);
+    println!("{table}");
+    assert!(
+        fused_accepted <= 1.0,
+        "fused kernel must allocate at most once per output embedding"
+    );
+    assert_eq!(fused_rejected, 0.0, "rejected pairs must not allocate");
+
+    // -- Skewed-stage makespan: one partition 4x the others (the PR's
+    // acceptance criterion), static schedule vs morsel stealing.
+    let skew_model = || CostModel {
+        cpu_seconds_per_record: 1.0,
+        stage_overhead_seconds: 0.0,
+        ..CostModel::free()
+    };
+    let skewed: Vec<Vec<u64>> = vec![
+        (0..64).collect(),
+        (64..80).collect(),
+        (80..96).collect(),
+        (96..112).collect(),
+    ];
+    let run_skew = |stealing: bool| -> (f64, Vec<u64>) {
+        let config = ExecutionConfig::with_workers(4).cost_model(skew_model());
+        let config = if stealing {
+            config.work_stealing(true).morsel_size(4)
+        } else {
+            config
+        };
+        let env = ExecutionEnvironment::new(config);
+        let mapped = Dataset::from_partitions(env.clone(), skewed.clone()).map(|x| x * 3);
+        let seconds = env.simulated_seconds();
+        (seconds, mapped.collect())
+    };
+    let (static_skew_seconds, static_rows) = run_skew(false);
+    let (stolen_skew_seconds, stolen_rows) = run_skew(true);
+    assert_eq!(
+        static_rows, stolen_rows,
+        "stealing must not reorder results"
+    );
+    let improvement = 100.0 * (1.0 - stolen_skew_seconds / static_skew_seconds);
+    println!(
+        "-- skewed stage (64/16/16/16 records, 4 workers): static {} vs \
+         stolen {} ({improvement:.0}% faster)\n",
+        seconds(static_skew_seconds),
+        seconds(stolen_skew_seconds)
+    );
+    assert!(
+        improvement >= 25.0,
+        "stealing must cut the skewed makespan by >= 25%"
+    );
+
+    // -- Ablation: stealing on/off x morsel size on the same skewed stage
+    // (recorded in EXPERIMENTS.md).
+    let mut table = Table::new(["morsel size", "static [s]", "stolen [s]", "improvement"]);
+    for morsel_size in [1usize, 4, 16, 32, 64] {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(4)
+                .cost_model(skew_model())
+                .work_stealing(true)
+                .morsel_size(morsel_size),
+        );
+        let mapped = Dataset::from_partitions(env.clone(), skewed.clone()).map(|x| x * 3);
+        let stolen = env.simulated_seconds();
+        assert_eq!(mapped.collect(), static_rows);
+        table.row([
+            morsel_size.to_string(),
+            seconds(static_skew_seconds),
+            seconds(stolen),
+            format!("{:.0}%", 100.0 * (1.0 - stolen / static_skew_seconds)),
+        ]);
+    }
+    println!("-- ablation: morsel size on the 64/16/16/16 stage (4 workers)");
+    println!("{table}");
+
+    // -- Figure 1 queries: simulated makespan under both schedules, with
+    // byte-identical result digests asserted.
+    let run_figure1 = |query: &str, stealing: bool| -> (u64, f64, u64, u64) {
+        let config = ExecutionConfig::with_workers(4);
+        let config = if stealing {
+            config.work_stealing(true).morsel_size(1)
+        } else {
+            config
+        };
+        let env = ExecutionEnvironment::new(config);
+        let graph = figure1_graph(&env);
+        let engine = CypherEngine::for_graph(&graph);
+        let result = engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        let digest = harness::result_digest(&result);
+        let metrics = env.metrics();
+        (
+            digest,
+            env.simulated_seconds(),
+            metrics.morsels,
+            metrics.stolen_morsels,
+        )
+    };
+    let mut table = Table::new(["query", "static [s]", "stolen [s]", "morsels", "stolen"]);
+    let mut query_entries = Vec::new();
+    for query in FIGURE1_QUERIES {
+        let (static_digest, static_seconds, _, _) = run_figure1(query, false);
+        let (stolen_digest, stolen_seconds, morsels, stolen) = run_figure1(query, true);
+        assert_eq!(
+            static_digest, stolen_digest,
+            "stealing changed the result of {query}"
+        );
+        table.row([
+            query.to_string(),
+            seconds(static_seconds),
+            seconds(stolen_seconds),
+            morsels.to_string(),
+            stolen.to_string(),
+        ]);
+        query_entries.push(format!(
+            "    {{\"query\": {query:?}, \"static_seconds\": {static_seconds:.6}, \
+             \"stolen_seconds\": {stolen_seconds:.6}, \"morsels\": {morsels}, \
+             \"stolen_morsels\": {stolen}}}"
+        ));
+    }
+    println!("{table}");
+
+    let json = [
+        "{".to_string(),
+        "  \"pr\": 4,".to_string(),
+        "  \"title\": \"Morsel-driven work stealing + zero-copy embedding kernels\",".to_string(),
+        "  \"allocations_per_pair\": {".to_string(),
+        format!("    \"clone_then_append_before\": {naive_per_pair:.2},"),
+        format!("    \"fused_scratch_accepted\": {fused_accepted:.2},"),
+        format!("    \"fused_scratch_rejected\": {fused_rejected:.2}"),
+        "  },".to_string(),
+        "  \"skewed_stage\": {".to_string(),
+        format!("    \"static_seconds\": {static_skew_seconds:.6},"),
+        format!("    \"stolen_seconds\": {stolen_skew_seconds:.6},"),
+        format!("    \"improvement_percent\": {improvement:.1}"),
+        "  },".to_string(),
+        "  \"figure1_queries\": [".to_string(),
+        query_entries.join(",\n"),
+        "  ]".to_string(),
+        "}".to_string(),
+        String::new(),
+    ]
+    .join("\n");
+    std::fs::write("BENCH_pr4.json", json).expect("write BENCH_pr4.json");
+    println!("wrote BENCH_pr4.json\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
@@ -641,7 +905,8 @@ fn main() {
             && !has("--cardinalities")
             && !has("--ablations")
             && !has("--plans")
-            && !has("--profiles"));
+            && !has("--profiles")
+            && !has("--bench-pr4"));
     let scale = if has("--quick") { 0.2 } else { 1.0 };
     let mut memo = Memo::new(scale);
 
@@ -676,5 +941,8 @@ fn main() {
     }
     if all || has("--ablations") {
         ablations(scale);
+    }
+    if all || has("--bench-pr4") {
+        bench_pr4();
     }
 }

@@ -23,6 +23,7 @@
 //! that is what reproduces the cluster behaviour; wall time on a laptop
 //! core is also reported.
 
+pub mod figure1;
 pub mod harness;
 pub mod report;
 

@@ -78,10 +78,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name} ==");
+        let sample_size = self.sample_size;
         BenchmarkGroup {
             _criterion: self,
             name,
-            sample_size: self.sample_size,
+            sample_size,
         }
     }
 

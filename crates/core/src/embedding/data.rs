@@ -11,9 +11,15 @@
 //! Identifier and path entries are fixed-width, so the element bound to a
 //! column is read in constant time. Property access walks length prefixes
 //! until the requested index — exactly the trade-off described in the paper.
-//! Merging two embeddings (the join operation) is append-only for
-//! identifiers and properties; path offsets of the appended side are rebased
-//! in one pass.
+//!
+//! The three sections live back-to-back in **one** byte buffer
+//! (`[idData][pathData][propData]`, delimited by two offsets), so copying
+//! or merging an embedding is a constant number of `memcpy`s into a single
+//! allocation. [`Embedding::merge_into`] — the join kernel — computes the
+//! exact output size first and writes into a caller-provided scratch
+//! embedding whose buffer is reused across a whole morsel; rejected join
+//! pairs therefore allocate nothing, and each emitted embedding costs
+//! exactly one allocation (the clone out of the scratch buffer).
 
 use gradoop_dataflow::Data;
 use gradoop_epgm::PropertyValue;
@@ -35,11 +41,14 @@ pub enum Entry {
 }
 
 /// An embedding: one (partial) match of the query graph.
+///
+/// `buf[..path_start]` is the idData section, `buf[path_start..prop_start]`
+/// the pathData section and `buf[prop_start..]` the propData section.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Embedding {
-    id_data: Vec<u8>,
-    path_data: Vec<u8>,
-    prop_data: Vec<u8>,
+    buf: Vec<u8>,
+    path_start: u32,
+    prop_start: u32,
 }
 
 impl Embedding {
@@ -50,45 +59,105 @@ impl Embedding {
 
     /// Number of `idData` entries (columns).
     pub fn columns(&self) -> usize {
-        self.id_data.len() / ID_ENTRY_SIZE
+        self.path_start as usize / ID_ENTRY_SIZE
+    }
+
+    fn id_section(&self) -> &[u8] {
+        &self.buf[..self.path_start as usize]
+    }
+
+    fn path_section(&self) -> &[u8] {
+        &self.buf[self.path_start as usize..self.prop_start as usize]
+    }
+
+    fn prop_section(&self) -> &[u8] {
+        &self.buf[self.prop_start as usize..]
     }
 
     /// Appends an identifier column.
     pub fn push_id(&mut self, id: u64) {
-        self.id_data.push(FLAG_ID);
-        self.id_data.extend_from_slice(&id.to_le_bytes());
+        let mut entry = [0u8; ID_ENTRY_SIZE];
+        entry[0] = FLAG_ID;
+        entry[1..].copy_from_slice(&id.to_le_bytes());
+        let at = self.path_start as usize;
+        self.buf.splice(at..at, entry);
+        self.path_start += ID_ENTRY_SIZE as u32;
+        self.prop_start += ID_ENTRY_SIZE as u32;
     }
 
     /// Appends a path column holding `ids` (the `via` identifiers).
     pub fn push_path(&mut self, ids: &[u64]) {
-        let offset = self.path_data.len() as u64;
-        self.id_data.push(FLAG_PATH);
-        self.id_data.extend_from_slice(&offset.to_le_bytes());
-        self.path_data
-            .extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        let offset = (self.prop_start - self.path_start) as u64;
+        let mut entry = [0u8; ID_ENTRY_SIZE];
+        entry[0] = FLAG_PATH;
+        entry[1..].copy_from_slice(&offset.to_le_bytes());
+        let at = self.path_start as usize;
+        self.buf.splice(at..at, entry);
+        self.path_start += ID_ENTRY_SIZE as u32;
+        self.prop_start += ID_ENTRY_SIZE as u32;
+
+        let mut payload = Vec::with_capacity(4 + ids.len() * 8);
+        payload.extend_from_slice(&(ids.len() as u32).to_le_bytes());
         for id in ids {
-            self.path_data.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(&id.to_le_bytes());
         }
+        let at = self.prop_start as usize;
+        self.buf.splice(at..at, payload);
+        self.prop_start += (4 + ids.len() * 8) as u32;
     }
 
     /// Appends a property value.
     pub fn push_property(&mut self, value: &PropertyValue) {
         let bytes = value.to_bytes();
-        self.prop_data
+        self.buf
             .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-        self.prop_data.extend_from_slice(&bytes);
+        self.buf.extend_from_slice(&bytes);
+    }
+
+    /// Appends a property slot from its already-encoded bytes (a
+    /// length-prefixed range of another embedding's propData). Zero-decode
+    /// path used by projection.
+    pub(crate) fn push_raw_property(&mut self, encoded: &[u8]) {
+        self.buf.extend_from_slice(encoded);
+    }
+
+    /// Copies the structural sections (ids and paths) into a fresh
+    /// embedding whose buffer has exactly `extra_property_bytes` of spare
+    /// capacity — the single allocation of a projection that follows up
+    /// with [`Embedding::push_raw_property`] calls.
+    pub(crate) fn clone_structure(&self, extra_property_bytes: usize) -> Embedding {
+        let structural = self.prop_start as usize;
+        let mut buf = Vec::with_capacity(structural + extra_property_bytes);
+        buf.extend_from_slice(&self.buf[..structural]);
+        Embedding {
+            buf,
+            path_start: self.path_start,
+            prop_start: self.prop_start,
+        }
+    }
+
+    /// The encoded (length-prefixed) bytes of the property at `index`.
+    pub(crate) fn raw_property(&self, index: usize) -> &[u8] {
+        let props = self.prop_section();
+        let mut offset = 0;
+        for _ in 0..index {
+            let len = u32::from_le_bytes(props[offset..offset + 4].try_into().expect("prefix"));
+            offset += 4 + len as usize;
+        }
+        let len = u32::from_le_bytes(props[offset..offset + 4].try_into().expect("prefix"));
+        &props[offset..offset + 4 + len as usize]
     }
 
     fn entry_payload(&self, column: usize) -> (u8, u64) {
         let start = column * ID_ENTRY_SIZE;
         assert!(
-            start + ID_ENTRY_SIZE <= self.id_data.len(),
+            start + ID_ENTRY_SIZE <= self.path_start as usize,
             "column {column} out of bounds ({} columns)",
             self.columns()
         );
-        let flag = self.id_data[start];
+        let flag = self.buf[start];
         let payload = u64::from_le_bytes(
-            self.id_data[start + 1..start + ID_ENTRY_SIZE]
+            self.buf[start + 1..start + ID_ENTRY_SIZE]
                 .try_into()
                 .expect("fixed width"),
         );
@@ -107,22 +176,38 @@ impl Embedding {
         payload
     }
 
+    /// Byte range of `column`'s path payload (count prefix + ids) within
+    /// the pathData section.
+    fn path_payload_range(&self, offset: usize) -> (usize, usize) {
+        let paths = self.path_section();
+        let count = u32::from_le_bytes(paths[offset..offset + 4].try_into().expect("length prefix"))
+            as usize;
+        (count, offset + 4)
+    }
+
     /// The path identifiers in `column`. Panics if the column holds an id.
     pub fn path(&self, column: usize) -> Vec<u64> {
+        self.path_iter(column).collect()
+    }
+
+    /// Number of identifiers in `column`'s path, without decoding them.
+    pub fn path_len(&self, column: usize) -> usize {
         let (flag, payload) = self.entry_payload(column);
         assert_eq!(flag, FLAG_PATH, "column {column} holds an id, not a path");
-        let offset = payload as usize;
-        let count = u32::from_le_bytes(
-            self.path_data[offset..offset + 4]
-                .try_into()
-                .expect("length prefix"),
-        ) as usize;
-        (0..count)
-            .map(|i| {
-                let start = offset + 4 + i * 8;
-                u64::from_le_bytes(self.path_data[start..start + 8].try_into().expect("id"))
-            })
-            .collect()
+        self.path_payload_range(payload as usize).0
+    }
+
+    /// Iterates `column`'s path identifiers without allocating. Panics if
+    /// the column holds an id.
+    pub fn path_iter(&self, column: usize) -> impl Iterator<Item = u64> + '_ {
+        let (flag, payload) = self.entry_payload(column);
+        assert_eq!(flag, FLAG_PATH, "column {column} holds an id, not a path");
+        let (count, ids_at) = self.path_payload_range(payload as usize);
+        let paths = self.path_section();
+        (0..count).map(move |i| {
+            let start = ids_at + i * 8;
+            u64::from_le_bytes(paths[start..start + 8].try_into().expect("id"))
+        })
     }
 
     /// The decoded entry in `column`.
@@ -136,14 +221,13 @@ impl Embedding {
 
     /// Number of property slots.
     pub fn property_count(&self) -> usize {
+        let props = self.prop_section();
         let mut count = 0;
         let mut offset = 0;
-        while offset < self.prop_data.len() {
-            let len = u32::from_le_bytes(
-                self.prop_data[offset..offset + 4]
-                    .try_into()
-                    .expect("length prefix"),
-            ) as usize;
+        while offset < props.len() {
+            let len =
+                u32::from_le_bytes(props[offset..offset + 4].try_into().expect("length prefix"))
+                    as usize;
             offset += 4 + len;
             count += 1;
         }
@@ -153,56 +237,139 @@ impl Embedding {
     /// The property value at `index`. Walks length prefixes (linear in the
     /// index, as in the paper).
     pub fn property(&self, index: usize) -> PropertyValue {
-        let mut offset = 0;
-        for _ in 0..index {
-            let len = u32::from_le_bytes(
-                self.prop_data[offset..offset + 4]
-                    .try_into()
-                    .expect("length prefix"),
-            ) as usize;
-            offset += 4 + len;
-        }
-        let len = u32::from_le_bytes(
-            self.prop_data[offset..offset + 4]
-                .try_into()
-                .expect("length prefix"),
-        ) as usize;
-        PropertyValue::from_bytes(&self.prop_data[offset + 4..offset + 4 + len])
-            .expect("embedding property bytes are well-formed")
+        let encoded = self.raw_property(index);
+        PropertyValue::from_bytes(&encoded[4..]).expect("embedding property bytes are well-formed")
     }
 
     /// Merges `other` into `self` (the join operation): appends all of
     /// `other`'s columns except those in `skip_columns` (the join columns,
-    /// already present on the left) and all its properties. Path offsets of
-    /// the appended side are rebased; identifiers and properties are copied
-    /// with `memcpy`-style extends.
+    /// already present on the left) and all its properties. Allocates the
+    /// exact output size once; see [`Embedding::merge_into`] for the
+    /// allocation-free kernel.
     pub fn merge(&self, other: &Embedding, skip_columns: &[usize]) -> Embedding {
-        let mut result = self.clone();
+        let mut out = Embedding::new();
+        self.merge_into(other, skip_columns, &mut out);
+        out
+    }
+
+    /// The merge kernel: writes `self ⋈ other` into `out`, reusing `out`'s
+    /// buffer. Sizes every section exactly (reading only the fixed-width
+    /// entries and path count prefixes of `other`), then copies each
+    /// section with raw extends — kept path payloads move as single
+    /// `memcpy`s and only their 8-byte offsets are rebased. No per-column
+    /// or per-path allocation happens; `out` grows at most once.
+    pub fn merge_into(&self, other: &Embedding, skip_columns: &[usize], out: &mut Embedding) {
+        // Pass 1: exact size of the kept part of `other`.
+        let mut kept_id_bytes = 0usize;
+        let mut kept_path_bytes = 0usize;
+        for column in 0..other.columns() {
+            if skip_columns.contains(&column) {
+                continue;
+            }
+            kept_id_bytes += ID_ENTRY_SIZE;
+            let (flag, payload) = other.entry_payload(column);
+            if flag == FLAG_PATH {
+                let (count, _) = other.path_payload_range(payload as usize);
+                kept_path_bytes += 4 + count * 8;
+            }
+        }
+        let other_props = other.prop_section();
+        let total = self.buf.len() + kept_id_bytes + kept_path_bytes + other_props.len();
+
+        out.buf.clear();
+        out.buf.reserve(total);
+
+        // idData: left entries verbatim, kept right entries with rebased
+        // path offsets.
+        out.buf.extend_from_slice(self.id_section());
+        let left_path_len = (self.prop_start - self.path_start) as u64;
+        let mut appended_path_bytes = 0u64;
         for column in 0..other.columns() {
             if skip_columns.contains(&column) {
                 continue;
             }
             let (flag, payload) = other.entry_payload(column);
             if flag == FLAG_ID {
-                result.push_id(payload);
+                let start = column * ID_ENTRY_SIZE;
+                out.buf
+                    .extend_from_slice(&other.buf[start..start + ID_ENTRY_SIZE]);
             } else {
-                // Rebase the offset into the merged pathData.
-                let path = other.path(column);
-                result.push_path(&path);
+                out.buf.push(FLAG_PATH);
+                out.buf
+                    .extend_from_slice(&(left_path_len + appended_path_bytes).to_le_bytes());
+                let (count, _) = other.path_payload_range(payload as usize);
+                appended_path_bytes += 4 + count as u64 * 8;
             }
         }
-        result.prop_data.extend_from_slice(&other.prop_data);
-        result
+        out.path_start = (self.path_start as usize + kept_id_bytes) as u32;
+
+        // pathData: left payloads verbatim, kept right payloads as raw
+        // ranges in column order (matching the offsets written above).
+        out.buf.extend_from_slice(self.path_section());
+        for column in 0..other.columns() {
+            if skip_columns.contains(&column) {
+                continue;
+            }
+            let (flag, payload) = other.entry_payload(column);
+            if flag == FLAG_PATH {
+                let (count, ids_at) = other.path_payload_range(payload as usize);
+                let paths = other.path_section();
+                out.buf
+                    .extend_from_slice(&paths[ids_at - 4..ids_at + count * 8]);
+            }
+        }
+        out.prop_start =
+            (out.path_start as usize + self.path_section().len() + kept_path_bytes) as u32;
+
+        // propData: both sides verbatim.
+        out.buf.extend_from_slice(self.prop_section());
+        out.buf.extend_from_slice(other_props);
+        debug_assert_eq!(out.buf.len(), total);
+    }
+
+    /// Extends the embedding by one path column and (optionally) one id
+    /// column — the expand step's emit — in a single exact-size allocation
+    /// instead of clone + push_path + push_id.
+    pub fn extend_with_path_and_id(&self, via: &[u64], end: Option<u64>) -> Embedding {
+        let new_entries = ID_ENTRY_SIZE * (1 + usize::from(end.is_some()));
+        let payload_bytes = 4 + via.len() * 8;
+        let mut buf = Vec::with_capacity(self.buf.len() + new_entries + payload_bytes);
+
+        buf.extend_from_slice(self.id_section());
+        buf.push(FLAG_PATH);
+        buf.extend_from_slice(&((self.prop_start - self.path_start) as u64).to_le_bytes());
+        if let Some(end) = end {
+            buf.push(FLAG_ID);
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        let path_start = (self.path_start as usize + new_entries) as u32;
+
+        buf.extend_from_slice(self.path_section());
+        buf.extend_from_slice(&(via.len() as u32).to_le_bytes());
+        for id in via {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        let prop_start = (path_start as usize + self.path_section().len() + payload_bytes) as u32;
+
+        buf.extend_from_slice(self.prop_section());
+        Embedding {
+            buf,
+            path_start,
+            prop_start,
+        }
     }
 
     /// All identifiers bound by the embedding, with path contents expanded.
     /// `vertex_columns` / `edge_columns` / `path_columns` select what to
     /// visit; path entries alternate edge, vertex, edge, ... identifiers.
+    /// Does not allocate beyond what `out` needs to grow.
     pub fn collect_ids(&self, columns: &[usize], out: &mut Vec<u64>) {
         for &column in columns {
-            match self.entry(column) {
-                Entry::Id(id) => out.push(id),
-                Entry::Path(ids) => out.extend(ids),
+            let (flag, payload) = self.entry_payload(column);
+            if flag == FLAG_ID {
+                out.push(payload);
+            } else {
+                out.extend(self.path_iter(column));
             }
         }
     }
@@ -210,7 +377,7 @@ impl Embedding {
 
 impl Data for Embedding {
     fn byte_size(&self) -> usize {
-        12 + self.id_data.len() + self.path_data.len() + self.prop_data.len()
+        12 + self.buf.len()
     }
 }
 
@@ -258,6 +425,27 @@ mod tests {
         assert_eq!(e.path(0), vec![1, 2, 3]);
         assert_eq!(e.path(1), Vec::<u64>::new());
         assert_eq!(e.path(2), vec![9]);
+        assert_eq!(e.path_len(0), 3);
+        assert_eq!(e.path_len(1), 0);
+        assert_eq!(e.path_iter(2).collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn interleaved_pushes_keep_sections_consistent() {
+        // Pushing ids/paths/properties in arbitrary order must keep the
+        // single-buffer sections delimited correctly.
+        let mut e = Embedding::new();
+        e.push_property(&PropertyValue::Long(1));
+        e.push_id(10);
+        e.push_path(&[7, 8]);
+        e.push_property(&PropertyValue::Long(2));
+        e.push_id(30);
+        assert_eq!(e.columns(), 3);
+        assert_eq!(e.id(0), 10);
+        assert_eq!(e.path(1), vec![7, 8]);
+        assert_eq!(e.id(2), 30);
+        assert_eq!(e.property(0), PropertyValue::Long(1));
+        assert_eq!(e.property(1), PropertyValue::Long(2));
     }
 
     #[test]
@@ -296,6 +484,45 @@ mod tests {
         assert_eq!(merged.path(0), vec![1, 2]);
         assert_eq!(merged.id(1), 7);
         assert_eq!(merged.path(2), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_into_reuses_scratch_and_matches_merge() {
+        let mut left = Embedding::new();
+        left.push_path(&[1, 2]);
+        left.push_id(7);
+        left.push_property(&PropertyValue::String("a".into()));
+
+        let mut right = Embedding::new();
+        right.push_id(7);
+        right.push_path(&[3]);
+        right.push_property(&PropertyValue::String("b".into()));
+
+        let mut scratch = Embedding::new();
+        // Pre-dirty the scratch to prove it is fully overwritten.
+        left.merge_into(&left, &[], &mut scratch);
+        left.merge_into(&right, &[0], &mut scratch);
+        assert_eq!(scratch, left.merge(&right, &[0]));
+        assert_eq!(scratch.path(0), vec![1, 2]);
+        assert_eq!(scratch.path(2), vec![3]);
+        assert_eq!(scratch.property(1), PropertyValue::String("b".into()));
+    }
+
+    #[test]
+    fn extend_with_path_and_id_matches_pushes() {
+        let mut base = Embedding::new();
+        base.push_id(10);
+        base.push_path(&[4, 5]);
+        base.push_property(&PropertyValue::Long(9));
+
+        let mut expected = base.clone();
+        expected.push_path(&[6, 7, 8]);
+        expected.push_id(42);
+        assert_eq!(base.extend_with_path_and_id(&[6, 7, 8], Some(42)), expected);
+
+        let mut open = base.clone();
+        open.push_path(&[6]);
+        assert_eq!(base.extend_with_path_and_id(&[6], None), open);
     }
 
     #[test]

@@ -125,17 +125,29 @@ impl EmbeddingMetaData {
     }
 
     /// The layout resulting from merging a `right` embedding into a `left`
-    /// one, skipping `skip_right_columns` (the join columns).
+    /// one, skipping `skip_right_columns` (the join columns). Both result
+    /// vectors are allocated at their exact final capacity up front.
     pub fn merge(&self, right: &EmbeddingMetaData, skip_right_columns: &[usize]) -> Self {
-        let mut merged = self.clone();
-        for (column, (variable, entry_type)) in right.entries.iter().enumerate() {
-            if skip_right_columns.contains(&column) {
-                continue;
-            }
-            merged.entries.push((variable.clone(), *entry_type));
+        let kept = (0..right.entries.len())
+            .filter(|column| !skip_right_columns.contains(column))
+            .count();
+        let mut entries = Vec::with_capacity(self.entries.len() + kept);
+        entries.extend(self.entries.iter().cloned());
+        entries.extend(
+            right
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(column, _)| !skip_right_columns.contains(column))
+                .map(|(_, entry)| entry.clone()),
+        );
+        let mut properties = Vec::with_capacity(self.properties.len() + right.properties.len());
+        properties.extend(self.properties.iter().cloned());
+        properties.extend(right.properties.iter().cloned());
+        EmbeddingMetaData {
+            entries,
+            properties,
         }
-        merged.properties.extend(right.properties.iter().cloned());
-        merged
     }
 }
 

@@ -20,7 +20,7 @@ use crate::observe::{
 use crate::operators::{
     cartesian_embeddings, edge_triples, embedding_join_key, expand_embeddings,
     filter_and_project_edges, filter_and_project_vertices, filter_embeddings, join_embeddings,
-    value_join_embeddings, EmbeddingSet, ExpandConfig,
+    join_embeddings_filtered, value_join_embeddings, EmbeddingSet, ExpandConfig,
 };
 use crate::planner::{PlanNode, QueryPlan};
 use crate::source::GraphSource;
@@ -75,11 +75,34 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
             expand_embeddings(&input_set, &candidates, &config)
         }
         PlanNode::Filter { input, clauses } => {
-            let input_set = execute_plan(input, query, source, matching);
             let clause_list: Vec<_> = clauses
                 .iter()
                 .map(|&index| query.cross_clauses[index].0.clone())
                 .collect();
+            // Filter-over-Join is fused into the join kernel: the clauses
+            // run against the merged embedding while it still sits in the
+            // join's scratch buffer, so embeddings the filter would drop
+            // are never allocated or shuffled. (The profiled path keeps
+            // the operators separate to attribute rows to each plan node.)
+            if let PlanNode::Join {
+                left,
+                right,
+                variables,
+            } = input.as_ref()
+            {
+                let left_set = execute_plan(left, query, source, matching);
+                let right_set = execute_plan(right, query, source, matching);
+                let (strategy, _) = choose_strategy_partitioned(&left_set, &right_set, variables);
+                return join_embeddings_filtered(
+                    &left_set,
+                    &right_set,
+                    variables,
+                    matching,
+                    strategy,
+                    &clause_list,
+                );
+            }
+            let input_set = execute_plan(input, query, source, matching);
             filter_embeddings(&input_set, &clause_list)
         }
         PlanNode::Cartesian { left, right } => {
@@ -373,6 +396,8 @@ fn profile_node<S: GraphSource + ?Sized>(
         simulated_seconds,
         wall_seconds,
         stages: drained.stages.len() as u64,
+        morsels: drained.stages.iter().map(|s| s.morsels).sum(),
+        stolen_morsels: drained.stages.iter().map(|s| s.stolen_morsels).sum(),
         estimate_error: q_error(explain.estimated_cardinality, rows_out),
         recovery_attempts: drained.recovery_attempts(),
         recovery_seconds: drained.recovery_seconds(),

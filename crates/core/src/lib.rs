@@ -57,7 +57,7 @@ pub use executor::{
     choose_join_strategy, choose_join_strategy_with_partitioning, execute_plan,
     execute_plan_profiled,
 };
-pub use matching::{MatchingConfig, MorphismType};
+pub use matching::{MatchingConfig, MorphismCheck, MorphismType};
 pub use observe::{
     ship_strategies, ExpandIteration, Explain, ExplainNode, PlannerCandidate, PlannerRound,
     PlannerTrace, Profile, ProfileNode, ShipStrategy,

@@ -58,40 +58,77 @@ impl Default for MatchingConfig {
     }
 }
 
+/// A uniqueness check compiled against one embedding layout: the vertex,
+/// edge and path column sets are resolved once per operator instead of once
+/// per embedding, and the id buffer is caller-provided scratch so a whole
+/// morsel of checks shares a single allocation.
+#[derive(Debug, Clone)]
+pub struct MorphismCheck {
+    vertex_columns: Vec<usize>,
+    edge_columns: Vec<usize>,
+    path_columns: Vec<usize>,
+    config: MatchingConfig,
+}
+
+impl MorphismCheck {
+    /// Compiles the check for embeddings laid out by `meta`.
+    pub fn new(meta: &EmbeddingMetaData, config: &MatchingConfig) -> Self {
+        MorphismCheck {
+            vertex_columns: meta.vertex_columns(),
+            edge_columns: meta.edge_columns(),
+            path_columns: meta.path_columns(),
+            config: *config,
+        }
+    }
+
+    /// `true` if the check can never reject (full homomorphism).
+    pub fn is_trivial(&self) -> bool {
+        self.config.vertices == MorphismType::Homomorphism
+            && self.config.edges == MorphismType::Homomorphism
+    }
+
+    /// Checks the uniqueness constraints on `embedding`, using `scratch` as
+    /// the id staging buffer (cleared on entry).
+    pub fn check(&self, embedding: &Embedding, scratch: &mut Vec<u64>) -> bool {
+        if self.config.vertices == MorphismType::Isomorphism {
+            scratch.clear();
+            embedding.collect_ids(&self.vertex_columns, scratch);
+            for &column in &self.path_columns {
+                // Odd positions are the intermediate vertices.
+                scratch.extend(embedding.path_iter(column).skip(1).step_by(2));
+            }
+            if has_duplicates(scratch) {
+                return false;
+            }
+        }
+        if self.config.edges == MorphismType::Isomorphism {
+            scratch.clear();
+            embedding.collect_ids(&self.edge_columns, scratch);
+            for &column in &self.path_columns {
+                // Even positions are the path's edges.
+                scratch.extend(embedding.path_iter(column).step_by(2));
+            }
+            if has_duplicates(scratch) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Checks the uniqueness constraints of `config` on an embedding: under
 /// vertex (edge) isomorphism, all bound vertex (edge) identifiers —
 /// including those inside paths, where entries alternate edge, vertex,
 /// edge, ... — must be pairwise distinct.
+///
+/// Convenience form of [`MorphismCheck`] for one-off checks; hot loops
+/// should compile the check once and reuse a scratch buffer.
 pub fn satisfies_morphism(
     embedding: &Embedding,
     meta: &EmbeddingMetaData,
     config: &MatchingConfig,
 ) -> bool {
-    if config.vertices == MorphismType::Isomorphism {
-        let mut ids = Vec::new();
-        embedding.collect_ids(&meta.vertex_columns(), &mut ids);
-        for column in meta.path_columns() {
-            let path = embedding.path(column);
-            // Odd positions are the intermediate vertices.
-            ids.extend(path.iter().skip(1).step_by(2));
-        }
-        if has_duplicates(&mut ids) {
-            return false;
-        }
-    }
-    if config.edges == MorphismType::Isomorphism {
-        let mut ids = Vec::new();
-        embedding.collect_ids(&meta.edge_columns(), &mut ids);
-        for column in meta.path_columns() {
-            let path = embedding.path(column);
-            // Even positions are the path's edges.
-            ids.extend(path.iter().step_by(2));
-        }
-        if has_duplicates(&mut ids) {
-            return false;
-        }
-    }
-    true
+    MorphismCheck::new(meta, config).check(embedding, &mut Vec::new())
 }
 
 fn has_duplicates(ids: &mut [u64]) -> bool {

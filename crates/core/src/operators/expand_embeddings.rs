@@ -84,11 +84,9 @@ pub fn expand_embeddings(
                 return None;
             }
         }
-        let mut result = base.clone();
-        result.push_path(via);
-        if close_column.is_none() {
-            result.push_id(*end);
-        }
+        // Path column + optional target column land in one exact-capacity
+        // allocation instead of clone-then-splice.
+        let result = base.extend_with_path_and_id(via, close_column.is_none().then_some(*end));
         satisfies_morphism(&result, &meta, &matching).then_some(result)
     };
 
@@ -237,7 +235,7 @@ fn valid_extension(
             }
         }
         for &column in base_path_columns {
-            if base.path(column).iter().step_by(2).any(|&e| e == edge) {
+            if base.path_iter(column).step_by(2).any(|e| e == edge) {
                 return false;
             }
         }
@@ -253,13 +251,7 @@ fn valid_extension(
             }
         }
         for &column in base_path_columns {
-            if base
-                .path(column)
-                .iter()
-                .skip(1)
-                .step_by(2)
-                .any(|&v| v == end)
-            {
+            if base.path_iter(column).skip(1).step_by(2).any(|v| v == end) {
                 return false;
             }
         }

@@ -13,10 +13,41 @@
 //! the join's output is stamped so the *next* join on those variables can
 //! elide its shuffle too.
 
+use std::cell::RefCell;
+
+use gradoop_cypher::predicates::eval::eval_clause;
+use gradoop_cypher::CnfClause;
 use gradoop_dataflow::{JoinStrategy, PartitionKey};
 
-use crate::matching::{satisfies_morphism, MatchingConfig};
+use crate::embedding::{Embedding, EmbeddingBindings};
+use crate::matching::{MatchingConfig, MorphismCheck};
 use crate::operators::{observe_operator, EmbeddingSet};
+
+/// A join key extracted from one or two id columns hashes inline; only
+/// wider keys (rare in practice — most joins share one or two variables)
+/// fall back to an allocated vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    One(u64),
+    Two(u64, u64),
+    Many(Vec<u64>),
+}
+
+fn extract_key(embedding: &Embedding, columns: &[usize]) -> JoinKey {
+    match columns {
+        [a] => JoinKey::One(embedding.id(*a)),
+        [a, b] => JoinKey::Two(embedding.id(*a), embedding.id(*b)),
+        _ => JoinKey::Many(columns.iter().map(|&c| embedding.id(c)).collect()),
+    }
+}
+
+thread_local! {
+    /// Per-worker scratch for the join kernel: the merged embedding is
+    /// staged here, checked, and only cloned out (one exact-size
+    /// allocation) if it survives; rejected pairs allocate nothing.
+    static JOIN_SCRATCH: RefCell<(Embedding, Vec<u64>)> =
+        RefCell::new((Embedding::new(), Vec::new()));
+}
 
 /// The canonical [`PartitionKey`] for embeddings hash-placed by the ids of
 /// `variables` (order-insensitive: the variables are sorted first, and key
@@ -40,6 +71,22 @@ pub fn join_embeddings(
     join_variables: &[String],
     config: &MatchingConfig,
     strategy: JoinStrategy,
+) -> EmbeddingSet {
+    join_embeddings_filtered(left, right, join_variables, config, strategy, &[])
+}
+
+/// [`join_embeddings`] with `residual_clauses` fused into the join kernel:
+/// each clause is evaluated on the merged embedding *while it still lives
+/// in the per-worker scratch buffer*, so embeddings a post-join filter
+/// would drop are never allocated, materialized or shuffled. The executor
+/// uses this to collapse Filter-over-Join plan steps.
+pub fn join_embeddings_filtered(
+    left: &EmbeddingSet,
+    right: &EmbeddingSet,
+    join_variables: &[String],
+    config: &MatchingConfig,
+    strategy: JoinStrategy,
+    residual_clauses: &[CnfClause],
 ) -> EmbeddingSet {
     assert!(
         !join_variables.is_empty(),
@@ -75,35 +122,41 @@ pub fn join_embeddings(
     let key_id = embedding_join_key(join_variables);
 
     let meta = left.meta.merge(&right.meta, &right_columns);
-    let config = *config;
+    let check = MorphismCheck::new(&meta, config);
     let merged_meta = meta.clone();
     let skip = right_columns.clone();
+    let clauses = residual_clauses.to_vec();
 
     let data = left.data.join_partitioned(
         &right.data,
         key_id,
         {
             let columns = left_key_columns;
-            move |embedding| {
-                columns
-                    .iter()
-                    .map(|&c| embedding.id(c))
-                    .collect::<Vec<u64>>()
-            }
+            move |embedding| extract_key(embedding, &columns)
         },
         {
             let columns = right_key_columns;
-            move |embedding| {
-                columns
-                    .iter()
-                    .map(|&c| embedding.id(c))
-                    .collect::<Vec<u64>>()
-            }
+            move |embedding| extract_key(embedding, &columns)
         },
         strategy,
         move |l, r| {
-            let merged = l.merge(r, &skip);
-            satisfies_morphism(&merged, &merged_meta, &config).then_some(merged)
+            JOIN_SCRATCH.with(|cell| {
+                let (scratch, ids) = &mut *cell.borrow_mut();
+                l.merge_into(r, &skip, scratch);
+                if !check.check(scratch, ids) {
+                    return None;
+                }
+                if !clauses.is_empty() {
+                    let bindings = EmbeddingBindings {
+                        embedding: scratch,
+                        meta: &merged_meta,
+                    };
+                    if !clauses.iter().all(|clause| eval_clause(clause, &bindings)) {
+                        return None;
+                    }
+                }
+                Some(scratch.clone())
+            })
         },
     );
 

@@ -31,7 +31,7 @@ pub use expand_embeddings::{expand_embeddings, EdgeTriple, ExpandConfig};
 pub use filter_embeddings::filter_embeddings;
 pub use filter_project_edges::{edge_triples, filter_and_project_edges};
 pub use filter_project_vertices::filter_and_project_vertices;
-pub use join_embeddings::{embedding_join_key, join_embeddings};
+pub use join_embeddings::{embedding_join_key, join_embeddings, join_embeddings_filtered};
 pub use project_embeddings::project_embeddings;
 pub use value_join::value_join_embeddings;
 

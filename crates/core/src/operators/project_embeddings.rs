@@ -1,7 +1,6 @@
 //! `ProjectEmbeddings`: removes property slots that later operators no
 //! longer need, shrinking the rows that flow through the network.
 
-use crate::embedding::Embedding;
 use crate::operators::{observe_operator, EmbeddingSet};
 
 /// Keeps only the property slots for the given `(variable, key)` pairs.
@@ -34,18 +33,18 @@ pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> Em
         meta.add_property(variable, key);
     }
 
+    // Zero-decode projection: the id and path sections move as one raw
+    // copy, and kept properties are re-appended as their encoded bytes —
+    // nothing is deserialized, and each output row is a single allocation.
     let indices = kept_indices.clone();
-    let columns = input.meta.columns();
     let data = input.data.map(move |embedding| {
-        let mut projected = Embedding::new();
-        for column in 0..columns {
-            match embedding.entry(column) {
-                crate::embedding::Entry::Id(id) => projected.push_id(id),
-                crate::embedding::Entry::Path(ids) => projected.push_path(&ids),
-            }
-        }
+        let extra: usize = indices
+            .iter()
+            .map(|&index| embedding.raw_property(index).len())
+            .sum();
+        let mut projected = embedding.clone_structure(extra);
         for &index in &indices {
-            projected.push_property(&embedding.property(index));
+            projected.push_raw_property(embedding.raw_property(index));
         }
         projected
     });
@@ -62,7 +61,7 @@ pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> Em
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::embedding::{EmbeddingMetaData, EntryType};
+    use crate::embedding::{Embedding, EmbeddingMetaData, EntryType};
     use gradoop_dataflow::{CostModel, Data, ExecutionConfig, ExecutionEnvironment};
     use gradoop_epgm::PropertyValue;
 

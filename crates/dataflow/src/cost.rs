@@ -113,6 +113,11 @@ pub struct StageReport {
     /// Bytes re-read from durable storage during recovery (lost-partition
     /// restores and checkpoint rollbacks).
     pub restored_bytes: u64,
+    /// Morsels executed by this stage; 0 for statically scheduled stages
+    /// (work stealing off, or the stage does not morselize).
+    pub morsels: u64,
+    /// Morsels executed by a worker other than their owning partition's.
+    pub stolen_morsels: u64,
 }
 
 impl StageReport {
@@ -152,6 +157,10 @@ pub struct ExecutionMetrics {
     pub checkpoint_bytes: u64,
     /// Total bytes re-read from durable storage during recovery.
     pub restored_bytes: u64,
+    /// Total morsels executed by work-stealing stages.
+    pub morsels: u64,
+    /// Total morsels that were stolen (executed off their owner worker).
+    pub stolen_morsels: u64,
 }
 
 /// Costs charged to a single worker within one stage.
@@ -200,6 +209,8 @@ impl WorkerCost {
 pub struct StageCosts {
     name: &'static str,
     workers: Vec<WorkerCost>,
+    morsels: u64,
+    stolen_morsels: u64,
 }
 
 impl StageCosts {
@@ -208,7 +219,17 @@ impl StageCosts {
         StageCosts {
             name,
             workers: vec![WorkerCost::default(); workers.max(1)],
+            morsels: 0,
+            stolen_morsels: 0,
         }
+    }
+
+    /// Records that this stage ran `morsels` morsels of which `stolen`
+    /// executed on a worker other than their owner. Called by stages that
+    /// morselize under [`ExecutionConfig::work_stealing`](crate::env::ExecutionConfig::work_stealing).
+    pub fn record_steals(&mut self, morsels: u64, stolen: u64) {
+        self.morsels += morsels;
+        self.stolen_morsels += stolen;
     }
 
     /// Mutable access to the cost slot of one worker.
@@ -270,6 +291,8 @@ impl StageCosts {
             recovery_seconds: 0.0,
             checkpoint_bytes: self.workers.iter().map(|w| w.bytes_checkpointed).sum(),
             restored_bytes: self.workers.iter().map(|w| w.bytes_restored).sum(),
+            morsels: self.morsels,
+            stolen_morsels: self.stolen_morsels,
         }
     }
 }
@@ -289,6 +312,8 @@ impl ExecutionMetrics {
         self.recovery_seconds += report.recovery_seconds;
         self.checkpoint_bytes += report.checkpoint_bytes;
         self.restored_bytes += report.restored_bytes;
+        self.morsels += report.morsels;
+        self.stolen_morsels += report.stolen_morsels;
     }
 }
 
@@ -354,6 +379,8 @@ mod tests {
             recovery_seconds: 0.25,
             checkpoint_bytes: 64,
             restored_bytes: 16,
+            morsels: 12,
+            stolen_morsels: 4,
         };
         metrics.record(&report);
         metrics.record(&report);
@@ -364,6 +391,8 @@ mod tests {
         assert!((metrics.recovery_seconds - 0.5).abs() < 1e-12);
         assert_eq!(metrics.checkpoint_bytes, 128);
         assert_eq!(metrics.restored_bytes, 32);
+        assert_eq!(metrics.morsels, 24);
+        assert_eq!(metrics.stolen_morsels, 8);
     }
 
     #[test]

@@ -25,10 +25,16 @@ use crate::pool::map_partitions;
 /// Built by [`Dataset::build_partitioned_index`]; probed by
 /// [`PartitionedIndex::probe_join`]. The build charges the one-time shuffle,
 /// table-build CPU and memory pressure; probes are build-side-free.
+///
+/// The index does not copy the indexed records: `rows` shares the
+/// co-partitioned partitions (the dataset's own `Arc` when the input was
+/// forwarded) and the per-worker tables map keys to row *indices* into
+/// them, so building is allocation-free per record.
 pub struct PartitionedIndex<K, T> {
     env: ExecutionEnvironment,
     key: PartitionKey,
-    tables: Arc<Vec<HashMap<K, Vec<T>>>>,
+    rows: Arc<Vec<Vec<T>>>,
+    tables: Arc<Vec<HashMap<K, Vec<u32>>>>,
     records: u64,
     build_shuffled_bytes: u64,
 }
@@ -38,6 +44,7 @@ impl<K, T> Clone for PartitionedIndex<K, T> {
         PartitionedIndex {
             env: self.env.clone(),
             key: self.key,
+            rows: Arc::clone(&self.rows),
             tables: Arc::clone(&self.tables),
             records: self.records,
             build_shuffled_bytes: self.build_shuffled_bytes,
@@ -67,26 +74,26 @@ impl<T: Data> Dataset<T> {
             workers: env.workers(),
         };
         let forwarded = env.partition_aware() && self.partitioning() == Some(target);
-        let shuffled;
-        let parts: &[Vec<T>] = if forwarded {
-            self.partitions()
+        let rows: Arc<Vec<Vec<T>>> = if forwarded {
+            // Share the dataset's own partitions — no records move or copy.
+            self.partitions_arc()
         } else {
-            shuffled = shuffle_by_key(self.partitions(), &key, &mut stage);
-            &shuffled
+            Arc::new(shuffle_by_key(self.partitions(), &key, &mut stage))
         };
         let build_shuffled_bytes = stage.bytes_sent_total();
 
-        let tables: Vec<HashMap<K, Vec<T>>> = map_partitions(parts, |_, part| {
-            let mut table: HashMap<K, Vec<T>> = HashMap::new();
-            for item in part {
-                table.entry(key(item)).or_default().push(item.clone());
+        // Tables hold row indices into `rows`, not record copies.
+        let tables: Vec<HashMap<K, Vec<u32>>> = map_partitions(&rows, |_, part| {
+            let mut table: HashMap<K, Vec<u32>> = HashMap::with_capacity(part.len());
+            for (i, item) in part.iter().enumerate() {
+                table.entry(key(item)).or_default().push(i as u32);
             }
             table
         });
 
         let memory = env.cost_model().memory_per_worker;
         let mut records = 0u64;
-        for (i, part) in parts.iter().enumerate() {
+        for (i, part) in rows.iter().enumerate() {
             let build_bytes: u64 = part.iter().map(|e| e.byte_size() as u64).sum();
             let w = stage.worker(i);
             w.records_in += part.len() as u64;
@@ -99,6 +106,7 @@ impl<T: Data> Dataset<T> {
         PartitionedIndex {
             env,
             key: key_id,
+            rows,
             tables: Arc::new(tables),
             records,
             build_shuffled_bytes,
@@ -168,18 +176,64 @@ where
             &shuffled
         };
 
-        let tables = Arc::clone(&self.tables);
-        let outputs: Vec<Vec<O>> = map_partitions(probe_parts, |i, part| {
-            let table = &tables[i];
-            let mut out = Vec::new();
-            for p in part {
-                if let Some(matches) = table.get(&probe_key(p)) {
-                    for t in matches {
-                        if let Some(o) = join_fn(p, t) {
-                            out.push(o);
-                        }
+        let probe_one = |i: usize, p: &P, out: &mut Vec<O>| {
+            if let Some(matches) = self.tables[i].get(&probe_key(p)) {
+                let rows = &self.rows[i];
+                for &row in matches {
+                    if let Some(o) = join_fn(p, &rows[row as usize]) {
+                        out.push(o);
                     }
                 }
+            }
+        };
+
+        if env.work_stealing() && env.workers() > 1 {
+            // The cached tables are shared and read-only, so any worker can
+            // probe any partition's morsels; outputs reassemble in probe
+            // order and stay byte-identical to the static schedule.
+            let probe_lengths: Vec<usize> = probe_parts.iter().map(Vec::len).collect();
+            let morsel_size = env.morsel_size();
+            let by_morsel =
+                crate::pool::try_run_morsels(&probe_lengths, morsel_size, |p, range| {
+                    let mut out = Vec::new();
+                    for item in &probe_parts[p][range] {
+                        probe_one(p, item, &mut out);
+                    }
+                    out
+                })
+                .unwrap_or_else(|p| {
+                    panic!("partition worker {} panicked: {}", p.worker, p.message)
+                });
+            let traffic: Vec<Vec<(u64, u64)>> = by_morsel
+                .iter()
+                .enumerate()
+                .map(|(p, morsels)| {
+                    crate::morsel::morsel_ranges(probe_lengths[p], morsel_size)
+                        .into_iter()
+                        .zip(morsels)
+                        .map(|(range, out)| (range.len() as u64, out.len() as u64))
+                        .collect()
+                })
+                .collect();
+            let schedule = crate::morsel::simulate_steal_schedule(&traffic);
+            for i in 0..stage.worker_count() {
+                let w = stage.worker(i);
+                w.records_in += schedule.records_in[i];
+                w.records_out += schedule.records_out[i];
+            }
+            stage.record_steals(schedule.morsels, schedule.stolen);
+            let outputs: Vec<Vec<O>> = by_morsel
+                .into_iter()
+                .map(|morsels| morsels.into_iter().flatten().collect())
+                .collect();
+            env.finish_stage(stage);
+            return Dataset::from_partitions(env, outputs);
+        }
+
+        let outputs: Vec<Vec<O>> = map_partitions(probe_parts, |i, part| {
+            let mut out = Vec::new();
+            for p in part {
+                probe_one(i, p, &mut out);
             }
             out
         });
@@ -276,6 +330,35 @@ mod tests {
         let index = edges.build_partitioned_index(key, |(k, _)| *k);
         assert_eq!(index.build_shuffled_bytes(), 0);
         assert_eq!(env.metrics().bytes_shuffled, 0);
+    }
+
+    #[test]
+    fn stolen_probe_matches_static_probe() {
+        let skewed: Vec<u64> = (0..400).map(|i| if i < 350 { 3 } else { i % 10 }).collect();
+        let run = |stealing: bool| {
+            let env = ExecutionEnvironment::new(
+                ExecutionConfig::with_workers(4)
+                    .cost_model(CostModel {
+                        cpu_seconds_per_record: 1.0,
+                        stage_overhead_seconds: 0.0,
+                        ..CostModel::free()
+                    })
+                    .work_stealing(stealing)
+                    .morsel_size(16),
+            );
+            let edges: Dataset<(u64, u64)> =
+                env.from_collection((0u64..100).map(|i| (i % 10, i)).collect::<Vec<_>>());
+            let index = edges.build_partitioned_index(PartitionKey::named("k"), |(k, _)| *k);
+            let probe = env.from_collection(skewed.clone());
+            env.reset_metrics();
+            let joined = index.probe_join(&probe, |p| *p, |p, (_, v)| Some((*p, *v)));
+            (joined.partitions().to_vec(), env.metrics())
+        };
+        let (static_out, static_metrics) = run(false);
+        let (stolen_out, stolen_metrics) = run(true);
+        assert_eq!(static_out, stolen_out);
+        assert!(stolen_metrics.stolen_morsels > 0);
+        assert!(stolen_metrics.simulated_seconds < static_metrics.simulated_seconds);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod index;
 pub mod iterate;
 pub mod join;
 pub mod json;
+pub mod morsel;
 pub mod outer_join;
 pub mod partition;
 pub mod pool;
@@ -56,5 +57,6 @@ pub use index::PartitionedIndex;
 pub use iterate::{bulk_iterate, bulk_iterate_with_invariant_index, bulk_iterate_with_results};
 pub use join::JoinStrategy;
 pub use json::JsonValue;
+pub use morsel::{morsel_ranges, simulate_steal_schedule, StealSchedule, DEFAULT_MORSEL_SIZE};
 pub use partition::{partition_for, PartitionKey, Partitioning};
 pub use trace::{CollectedTrace, CollectingSink, SpanRecord, TraceSink};

@@ -91,6 +91,137 @@ where
     })
 }
 
+/// Executes morselized per-partition work with real work stealing.
+///
+/// `lengths[p]` is the record count of partition `p`; each partition is
+/// split into [`morsel_ranges`](crate::morsel::morsel_ranges) and `f` is
+/// called once per `(partition, range)` morsel. Worker `p` owns partition
+/// `p`'s morsels in a deque and pops them from the back (LIFO, for
+/// locality); a worker whose own deque runs dry scans the other deques and
+/// steals from the front (FIFO). Outputs land in per-morsel slots and are
+/// reassembled in (partition, morsel) order, so the result is byte-for-byte
+/// identical to static scheduling no matter which thread ran what.
+///
+/// Returns `outputs[partition][morsel]`; a panicking morsel reports the
+/// partition it belongs to as [`WorkerPanic::worker`] (first failure wins)
+/// and the remaining workers drain quickly and exit.
+pub fn try_run_morsels<O, F>(
+    lengths: &[usize],
+    morsel_size: usize,
+    f: F,
+) -> Result<Vec<Vec<Vec<O>>>, WorkerPanic>
+where
+    O: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> Vec<O> + Sync,
+{
+    use crate::morsel::morsel_ranges;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let workers = lengths.len();
+    // (partition, morsel index within partition, record range)
+    let tasks: Vec<(usize, usize, std::ops::Range<usize>)> = lengths
+        .iter()
+        .enumerate()
+        .flat_map(|(p, &len)| {
+            morsel_ranges(len, morsel_size)
+                .into_iter()
+                .enumerate()
+                .map(move |(m, range)| (p, m, range))
+        })
+        .collect();
+    let mut outputs: Vec<Vec<Option<Vec<O>>>> = lengths
+        .iter()
+        .map(|&len| {
+            (0..morsel_ranges(len, morsel_size).len())
+                .map(|_| None)
+                .collect()
+        })
+        .collect();
+
+    if workers <= 1 {
+        for (p, m, range) in tasks {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p, range)))
+                .map_err(|payload| WorkerPanic {
+                    worker: p,
+                    message: panic_message(payload),
+                })?;
+            outputs[p][m] = Some(out);
+        }
+        return Ok(seal_morsel_outputs(outputs));
+    }
+
+    let deques: Vec<Mutex<VecDeque<usize>>> = {
+        let mut per_worker: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (task_id, (p, _, _)) in tasks.iter().enumerate() {
+            per_worker[*p].push_back(task_id);
+        }
+        per_worker.into_iter().map(Mutex::new).collect()
+    };
+    let slots: Vec<Mutex<Option<Vec<O>>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let error: Mutex<Option<WorkerPanic>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let tasks = &tasks;
+            let error = &error;
+            let f = &f;
+            scope.spawn(move || loop {
+                if error.lock().unwrap().is_some() {
+                    return;
+                }
+                // Own work first (LIFO: newest morsel, hottest cache).
+                let task_id = deques[w].lock().unwrap().pop_back().or_else(|| {
+                    // Steal oldest morsel from the first non-empty victim,
+                    // scanning upward from our own index.
+                    (1..workers)
+                        .map(|offset| (w + offset) % workers)
+                        .find_map(|victim| deques[victim].lock().unwrap().pop_front())
+                });
+                let Some(task_id) = task_id else { return };
+                let (p, _, range) = &tasks[task_id];
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f(*p, range.clone())
+                })) {
+                    Ok(out) => *slots[task_id].lock().unwrap() = Some(out),
+                    Err(payload) => {
+                        let mut guard = error.lock().unwrap();
+                        if guard.is_none() {
+                            *guard = Some(WorkerPanic {
+                                worker: *p,
+                                message: panic_message(payload),
+                            });
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(panic) = error.lock().unwrap().take() {
+        return Err(panic);
+    }
+    for (task_id, (p, m, _)) in tasks.iter().enumerate() {
+        outputs[*p][*m] = slots[task_id].lock().unwrap().take();
+    }
+    Ok(seal_morsel_outputs(outputs))
+}
+
+fn seal_morsel_outputs<O>(outputs: Vec<Vec<Option<Vec<O>>>>) -> Vec<Vec<Vec<O>>> {
+    outputs
+        .into_iter()
+        .map(|partition| {
+            partition
+                .into_iter()
+                .map(|slot| slot.expect("every morsel slot filled"))
+                .collect()
+        })
+        .collect()
+}
+
 /// Variant of [`map_partitions`] for two co-partitioned inputs (e.g. the
 /// build and probe sides of a hash join after repartitioning).
 pub fn map_partition_pairs<A, B, O, F>(left: &[Vec<A>], right: &[Vec<B>], f: F) -> Vec<O>
@@ -185,6 +316,43 @@ mod tests {
         let right = vec![vec![10], vec![20]];
         let out = map_partition_pairs(&left, &right, |i, l, r| i + l.len() + r.len());
         assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn morsels_reassemble_in_partition_order() {
+        let lengths = vec![10usize, 3, 0, 7];
+        let out = try_run_morsels(&lengths, 4, |p, range| {
+            range.map(|i| (p, i)).collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        for (p, partition) in out.iter().enumerate() {
+            let flat: Vec<(usize, usize)> = partition.iter().flatten().copied().collect();
+            let expected: Vec<(usize, usize)> = (0..lengths[p]).map(|i| (p, i)).collect();
+            assert_eq!(flat, expected, "partition {p} must keep record order");
+        }
+    }
+
+    #[test]
+    fn morsel_output_matches_single_worker_path() {
+        let lengths = vec![23usize];
+        let out = try_run_morsels(&lengths, 5, |_, range| range.collect::<Vec<usize>>()).unwrap();
+        assert_eq!(out[0].len(), 5, "23 records in morsels of 5");
+        assert_eq!(out[0].iter().flatten().count(), 23);
+    }
+
+    #[test]
+    fn morsel_panic_is_reported_with_partition() {
+        let lengths = vec![4usize, 4, 4];
+        let result = try_run_morsels(&lengths, 2, |p, range| {
+            if p == 1 && range.start == 2 {
+                panic!("morsel died");
+            }
+            vec![p]
+        });
+        let panic = result.expect_err("panicking morsel must be reported");
+        assert_eq!(panic.worker, 1);
+        assert!(panic.message.contains("morsel died"));
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Morsel-driven work stealing: regression and property tests.
+//!
+//! The contract of the stealing scheduler is twofold: on skewed inputs the
+//! simulated stage makespan must shrink measurably (idle workers steal
+//! morsels from the overloaded one), and on *any* input the results must be
+//! byte-identical to the static one-partition-per-worker schedule — outputs
+//! are reassembled in (partition, morsel) order, so the thread-level
+//! nondeterminism of real stealing never leaks into result order.
+
+mod common;
+
+use std::collections::{BTreeMap, HashMap};
+
+use common::{figure1_graph, splitmix, test_seed, ReproHint};
+use gradoop::prelude::*;
+
+fn skew_model() -> CostModel {
+    CostModel {
+        cpu_seconds_per_record: 1.0,
+        stage_overhead_seconds: 0.0,
+        ..CostModel::free()
+    }
+}
+
+/// One partition ≥ 4× the others, per the acceptance criterion.
+fn skewed_partitions() -> Vec<Vec<u64>> {
+    vec![
+        (0..64).collect(),
+        (64..80).collect(),
+        (80..96).collect(),
+        (96..112).collect(),
+    ]
+}
+
+#[test]
+fn stealing_cuts_skewed_stage_makespan_at_least_25_percent() {
+    let static_env =
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(4).cost_model(skew_model()));
+    let static_mapped =
+        Dataset::from_partitions(static_env.clone(), skewed_partitions()).map(|x| x * 3);
+    // Snapshot before collect(), which charges a gather stage of its own.
+    let static_seconds = static_env.simulated_seconds();
+    let static_out = static_mapped.collect();
+    // Worker 0 alone pays 64 in + 64 out = 128 simulated seconds.
+    assert!((static_seconds - 128.0).abs() < 1e-9);
+    assert_eq!(static_env.metrics().stolen_morsels, 0);
+
+    let stealing_env = ExecutionEnvironment::new(
+        ExecutionConfig::with_workers(4)
+            .cost_model(skew_model())
+            .work_stealing(true)
+            .morsel_size(4),
+    );
+    let stolen_mapped =
+        Dataset::from_partitions(stealing_env.clone(), skewed_partitions()).map(|x| x * 3);
+    let stolen_seconds = stealing_env.simulated_seconds();
+    let stolen_out = stolen_mapped.collect();
+
+    assert_eq!(static_out, stolen_out, "stealing must not reorder results");
+    assert!(
+        stealing_env.metrics().stolen_morsels > 0,
+        "idle workers must steal from the 4x partition"
+    );
+    assert!(
+        stolen_seconds <= static_seconds * 0.75,
+        "work stealing must cut the skewed makespan by >= 25%: {stolen_seconds}s vs {static_seconds}s"
+    );
+}
+
+#[test]
+fn stealing_balances_skewed_joins_and_probes() {
+    // The same >= 25% criterion on the join probe path: all probe records
+    // land in one partition's hash bucket range.
+    let run = |stealing: bool| -> (Vec<(u64, u64)>, f64, u64) {
+        let config = ExecutionConfig::with_workers(4).cost_model(skew_model());
+        let config = if stealing {
+            config.work_stealing(true).morsel_size(8)
+        } else {
+            config
+        };
+        let env = ExecutionEnvironment::new(config);
+        // 256 probe records, 224 of them carrying the same hot key.
+        let probe: Vec<u64> = (0..256u64).map(|i| if i < 224 { 3 } else { i }).collect();
+        let build: Vec<(u64, u64)> = (0..16u64).map(|k| (k, k * 100)).collect();
+        let probe_ds = env.from_collection(probe);
+        let build_ds = env.from_collection(build);
+        let joined_ds = probe_ds.join(
+            &build_ds,
+            |p| *p,
+            |(k, _)| *k,
+            JoinStrategy::RepartitionHash,
+            |p, (_, v)| Some((*p, *v)),
+        );
+        let seconds = env.simulated_seconds();
+        let mut joined = joined_ds.collect();
+        joined.sort_unstable();
+        (joined, seconds, env.metrics().stolen_morsels)
+    };
+    let (static_rows, static_seconds, static_stolen) = run(false);
+    let (stolen_rows, stolen_seconds, stolen_stolen) = run(true);
+    assert_eq!(static_rows, stolen_rows);
+    assert_eq!(static_stolen, 0);
+    assert!(stolen_stolen > 0, "the hot partition must be stolen from");
+    assert!(
+        stolen_seconds <= static_seconds * 0.75,
+        "stealing must cut the skewed join makespan by >= 25%: \
+         {stolen_seconds}s vs {static_seconds}s"
+    );
+}
+
+/// Canonical sorted rendering of a query result, for digest comparison.
+fn canonical(result: &QueryResult) -> Vec<BTreeMap<String, String>> {
+    let variables: Vec<String> = result.query.variables().map(str::to_string).collect();
+    let mut out: Vec<BTreeMap<String, String>> = result
+        .embeddings
+        .collect()
+        .iter()
+        .map(|embedding| {
+            variables
+                .iter()
+                .map(|variable| {
+                    let column = result.meta.column(variable).expect("bound");
+                    let entry = match embedding.entry(column) {
+                        Entry::Id(id) => format!("#{id}"),
+                        Entry::Path(ids) => format!("{ids:?}"),
+                    };
+                    (variable.clone(), entry)
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn run_figure1(query: &str, stealing: bool) -> Vec<BTreeMap<String, String>> {
+    let config = ExecutionConfig::with_workers(4).cost_model(CostModel::free());
+    let config = if stealing {
+        config.work_stealing(true).morsel_size(1)
+    } else {
+        config
+    };
+    let env = ExecutionEnvironment::new(config);
+    let graph = figure1_graph(&env);
+    let engine = CypherEngine::for_graph(&graph);
+    let result = engine
+        .execute(
+            &graph,
+            query,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap_or_else(|e| panic!("{query}: {e}"));
+    canonical(&result)
+}
+
+#[test]
+fn figure1_queries_are_identical_under_stealing() {
+    for query in [
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *",
+        "MATCH (p:Person)-[s:studyAt]->(u:University) WHERE s.classYear > 2015 RETURN *",
+        "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN *",
+        "MATCH (p1:Person)-[:knows]->(p2:Person) WHERE p1.gender <> p2.gender RETURN *",
+    ] {
+        assert_eq!(
+            run_figure1(query, false),
+            run_figure1(query, true),
+            "stealing changed the result of {query}"
+        );
+    }
+}
+
+#[test]
+fn profile_reports_morsel_counters_under_stealing() {
+    let env = ExecutionEnvironment::new(
+        ExecutionConfig::with_workers(4)
+            .cost_model(CostModel::free())
+            .work_stealing(true)
+            .morsel_size(1),
+    );
+    let graph = figure1_graph(&env);
+    let engine = CypherEngine::for_graph(&graph);
+    let profile = engine
+        .profile(
+            &graph,
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *",
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .expect("profile runs");
+    fn total_morsels(node: &gradoop::core::ProfileNode) -> u64 {
+        node.morsels + node.children.iter().map(total_morsels).sum::<u64>()
+    }
+    assert!(
+        total_morsels(&profile.root) > 0,
+        "PROFILE must surface the morsel counters:\n{}",
+        profile.to_text()
+    );
+    assert!(profile.to_text().contains("morsels="));
+}
+
+/// Seeded property test (override the universe with `GRADOOP_TEST_SEED`):
+/// on random graphs and query shapes, stolen execution must agree with the
+/// static schedule *and* with the single-machine reference matcher.
+#[test]
+fn stolen_execution_matches_static_and_reference() {
+    let seed = test_seed();
+    let _hint = ReproHint::new(
+        "--test morsel_stealing stolen_execution_matches_static_and_reference",
+        seed,
+    );
+    let queries = [
+        "MATCH (a)-[e]->(b) RETURN *",
+        "MATCH (a:A)-[e:x]->(b) RETURN *",
+        "MATCH (a)-[e]->(b)-[f]->(c) RETURN *",
+        "MATCH (a)-[e]->(b) WHERE a.p < b.p RETURN *",
+        "MATCH (a)-[e*1..2]->(b) RETURN *",
+        "MATCH (a)-[e]->(a) RETURN *",
+    ];
+    let configs = [
+        MatchingConfig::homomorphism(),
+        MatchingConfig::cypher_default(),
+        MatchingConfig::isomorphism(),
+    ];
+    let mut state = seed;
+    for case in 0..24 {
+        // Random graph: 2..8 vertices with labels A/B and property p,
+        // 0..2n edges with labels x/y and property q.
+        let n = 2 + (splitmix(&mut state) % 6) as usize;
+        let vertices: Vec<Vertex> = (0..n)
+            .map(|i| {
+                let label = if splitmix(&mut state).is_multiple_of(2) {
+                    "A"
+                } else {
+                    "B"
+                };
+                let p = (splitmix(&mut state) % 4) as i64;
+                let properties = if p == 3 {
+                    Properties::new()
+                } else {
+                    properties! {"p" => p}
+                };
+                Vertex::new(GradoopId(i as u64 + 1), label, properties)
+            })
+            .collect();
+        let edge_count = (splitmix(&mut state) % (2 * n as u64 + 1)) as usize;
+        let edges: Vec<Edge> = (0..edge_count)
+            .map(|i| {
+                let label = if splitmix(&mut state).is_multiple_of(2) {
+                    "x"
+                } else {
+                    "y"
+                };
+                let s = splitmix(&mut state) % n as u64 + 1;
+                let t = splitmix(&mut state) % n as u64 + 1;
+                let q = (splitmix(&mut state) % 4) as i64;
+                Edge::new(
+                    GradoopId(1000 + i as u64),
+                    label,
+                    GradoopId(s),
+                    GradoopId(t),
+                    properties! {"q" => q},
+                )
+            })
+            .collect();
+        let query = queries[(splitmix(&mut state) % queries.len() as u64) as usize];
+        let matching = configs[(splitmix(&mut state) % configs.len() as u64) as usize];
+        let workers = 1 + (splitmix(&mut state) % 4) as usize;
+        let morsel_size = 1 + (splitmix(&mut state) % 8) as usize;
+
+        let run = |stealing: bool| -> Vec<BTreeMap<String, String>> {
+            let config = ExecutionConfig::with_workers(workers).cost_model(CostModel::free());
+            let config = if stealing {
+                config.work_stealing(true).morsel_size(morsel_size)
+            } else {
+                config
+            };
+            let env = ExecutionEnvironment::new(config);
+            let graph = LogicalGraph::from_data(
+                &env,
+                GraphHead::new(GradoopId(999_999), "random", Properties::new()),
+                vertices.clone(),
+                edges.clone(),
+            );
+            let engine = CypherEngine::for_graph(&graph);
+            let result = engine
+                .execute(&graph, query, &HashMap::new(), matching)
+                .unwrap_or_else(|e| panic!("case {case}: {query}: {e}"));
+            canonical(&result)
+        };
+        let static_rows = run(false);
+        let stolen_rows = run(true);
+        assert_eq!(
+            static_rows, stolen_rows,
+            "case {case}: stealing changed {query} ({workers} workers, morsels of {morsel_size})"
+        );
+
+        // Reference matcher agreement on the same inputs.
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        );
+        let graph = LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(999_999), "random", Properties::new()),
+            vertices.clone(),
+            edges.clone(),
+        );
+        let ast = parse(query).expect("parse");
+        let query_graph = QueryGraph::from_query(&ast).expect("query graph");
+        let mut reference: Vec<BTreeMap<String, String>> =
+            reference_match(&graph, &query_graph, &matching)
+                .iter()
+                .map(|m| {
+                    m.iter()
+                        .map(|(variable, entry)| {
+                            let rendered = match entry {
+                                Entry::Id(id) => format!("#{id}"),
+                                Entry::Path(ids) => format!("{ids:?}"),
+                            };
+                            (variable.clone(), rendered)
+                        })
+                        .collect()
+                })
+                .collect();
+        reference.sort();
+        assert_eq!(
+            stolen_rows, reference,
+            "case {case}: stolen execution disagrees with the reference matcher on {query}"
+        );
+    }
+}
