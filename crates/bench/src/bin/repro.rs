@@ -896,6 +896,29 @@ fn main() {
         println!("smoke OK");
         return;
     }
+    if has("--conformance") {
+        // Differential conformance campaign: random (graph, query) pairs,
+        // every engine configuration vs the reference matcher. The seed is
+        // pinned via GRADOOP_TEST_SEED (CI) and defaults to the repo-wide
+        // test seed; --cases N overrides the budget.
+        let cases = args
+            .iter()
+            .position(|a| a == "--cases")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(1000);
+        let seed = gradoop_bench::fuzz::seed_from_env(0xC0FFEE);
+        println!("Conformance campaign: {cases} cases, seed {seed}.\n");
+        let report = gradoop_bench::fuzz::run_conformance(&gradoop_bench::fuzz::FuzzConfig::new(
+            seed, cases,
+        ));
+        print!("{}", report.summary());
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+        println!("conformance OK");
+        return;
+    }
     let all = args.is_empty()
         || (!has("--fig3")
             && !has("--fig4")

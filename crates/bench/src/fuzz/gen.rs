@@ -1,0 +1,635 @@
+//! Seedable generators for random conformance cases: small EPGM property
+//! graphs with adversarial property distributions (missing values, explicit
+//! `NULL`s, the same key carrying `Int`/`Long`/`Float`/`Double`/`String`
+//! values on different elements) and random Cypher pattern queries drawn
+//! from the engine's supported grammar.
+//!
+//! Everything derives from a single `u64` seed through splitmix64, so a
+//! failing case is reproducible from `(seed, case index)` alone.
+
+use gradoop_epgm::{Edge, GradoopId, GraphHead, LogicalGraph, Properties, PropertyValue, Vertex};
+
+use gradoop_dataflow::ExecutionEnvironment;
+
+/// Splitmix64 — the same tiny PRNG the repo's failure schedules use.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+
+    /// Uniformly picks one element of `choices`.
+    pub fn pick<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
+        &choices[self.below(choices.len())]
+    }
+}
+
+/// Vertex label pool.
+pub const VERTEX_LABELS: [&str; 2] = ["A", "B"];
+/// Edge label pool.
+pub const EDGE_LABELS: [&str; 2] = ["x", "y"];
+/// Property key pool (shared by vertices and edges).
+pub const PROPERTY_KEYS: [&str; 2] = ["p", "q"];
+
+/// One vertex of a generated graph.
+#[derive(Debug, Clone)]
+pub struct VertexSpec {
+    /// EPGM identifier.
+    pub id: u64,
+    /// Label (from [`VERTEX_LABELS`]).
+    pub label: String,
+    /// Properties; an absent key means the property is missing (≠ NULL).
+    pub properties: Vec<(String, PropertyValue)>,
+}
+
+/// One edge of a generated graph.
+#[derive(Debug, Clone)]
+pub struct EdgeSpec {
+    /// EPGM identifier.
+    pub id: u64,
+    /// Label (from [`EDGE_LABELS`]).
+    pub label: String,
+    /// Source vertex id.
+    pub source: u64,
+    /// Target vertex id.
+    pub target: u64,
+    /// Properties, same conventions as [`VertexSpec::properties`].
+    pub properties: Vec<(String, PropertyValue)>,
+}
+
+/// A generated data graph, as plain data so the shrinker can edit it.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// The vertices.
+    pub vertices: Vec<VertexSpec>,
+    /// The edges (endpoints always reference vertex ids in `vertices`).
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl GraphSpec {
+    /// Materializes the spec as a [`LogicalGraph`] on `env`.
+    pub fn build(&self, env: &ExecutionEnvironment) -> LogicalGraph {
+        let vertices = self
+            .vertices
+            .iter()
+            .map(|v| {
+                let mut properties = Properties::new();
+                for (key, value) in &v.properties {
+                    properties.set(key, value.clone());
+                }
+                Vertex::new(GradoopId(v.id), v.label.as_str(), properties)
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| {
+                let mut properties = Properties::new();
+                for (key, value) in &e.properties {
+                    properties.set(key, value.clone());
+                }
+                Edge::new(
+                    GradoopId(e.id),
+                    e.label.as_str(),
+                    GradoopId(e.source),
+                    GradoopId(e.target),
+                    properties,
+                )
+            })
+            .collect();
+        LogicalGraph::from_data(
+            env,
+            GraphHead::new(GradoopId(999_999), "conformance", Properties::new()),
+            vertices,
+            edges,
+        )
+    }
+
+    /// Drops vertex at `index` together with its incident edges.
+    pub fn without_vertex(&self, index: usize) -> GraphSpec {
+        let id = self.vertices[index].id;
+        let mut out = self.clone();
+        out.vertices.remove(index);
+        out.edges.retain(|e| e.source != id && e.target != id);
+        out
+    }
+}
+
+/// Property values drawn for graph elements. The pool is deliberately
+/// cross-typed: the same key can hold an `Int`, a `Long` beyond 2^53 (where
+/// `f64` rounding bites), a `Float`, a `Double` midway between integers, a
+/// string, a boolean or an explicit `NULL`.
+fn random_value(rng: &mut Rng) -> PropertyValue {
+    match rng.below(10) {
+        0 => PropertyValue::Int(rng.below(4) as i32),
+        1 => PropertyValue::Long(rng.below(4) as i64),
+        2 => PropertyValue::Long((1i64 << 53) + rng.below(3) as i64),
+        3 => PropertyValue::Float(rng.below(4) as f32 + 0.5),
+        4 => PropertyValue::Double(rng.below(4) as f64),
+        5 => PropertyValue::Double(rng.below(4) as f64 + 0.5),
+        6 => PropertyValue::String(["a", "b"][rng.below(2)].to_string()),
+        7 => PropertyValue::Boolean(rng.below(2) == 0),
+        8 => PropertyValue::Null,
+        _ => PropertyValue::Int(2015 + rng.below(2) as i32),
+    }
+}
+
+fn random_properties(rng: &mut Rng) -> Vec<(String, PropertyValue)> {
+    let mut out = Vec::new();
+    for key in PROPERTY_KEYS {
+        // ~1/3 of keys stay missing so predicates hit the absent-property
+        // paths, which behave like NULL but are stored differently.
+        if rng.chance(67) {
+            out.push((key.to_string(), random_value(rng)));
+        }
+    }
+    out
+}
+
+/// Generates a random small graph: 2–7 vertices, 0–2·|V| edges.
+pub fn random_graph(rng: &mut Rng) -> GraphSpec {
+    let vertex_count = 2 + rng.below(6);
+    let vertices: Vec<VertexSpec> = (0..vertex_count)
+        .map(|i| VertexSpec {
+            id: i as u64 + 1,
+            label: rng.pick(&VERTEX_LABELS).to_string(),
+            properties: random_properties(rng),
+        })
+        .collect();
+    let edge_count = rng.below(2 * vertex_count + 1);
+    let edges = (0..edge_count)
+        .map(|i| EdgeSpec {
+            id: 1000 + i as u64,
+            label: rng.pick(&EDGE_LABELS).to_string(),
+            source: vertices[rng.below(vertex_count)].id,
+            target: vertices[rng.below(vertex_count)].id,
+            properties: random_properties(rng),
+        })
+        .collect();
+    GraphSpec { vertices, edges }
+}
+
+/// A literal as it appears in generated query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LitSpec {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (parses to a `Double`-typed value).
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+impl LitSpec {
+    fn render(&self) -> String {
+        match self {
+            LitSpec::Int(v) => v.to_string(),
+            LitSpec::Float(v) => format!("{v:?}"),
+            LitSpec::Str(s) => format!("'{s}'"),
+            LitSpec::Bool(true) => "TRUE".to_string(),
+            LitSpec::Bool(false) => "FALSE".to_string(),
+            LitSpec::Null => "NULL".to_string(),
+        }
+    }
+}
+
+fn random_literal(rng: &mut Rng) -> LitSpec {
+    match rng.below(8) {
+        0 => LitSpec::Int(rng.below(4) as i64),
+        1 => LitSpec::Int(2015 + rng.below(2) as i64),
+        2 => LitSpec::Int((1i64 << 53) + rng.below(3) as i64),
+        3 => LitSpec::Float(rng.below(4) as f64 + 0.5),
+        4 => LitSpec::Float(rng.below(4) as f64),
+        5 => LitSpec::Str(["a", "b"][rng.below(2)].to_string()),
+        6 => LitSpec::Bool(rng.below(2) == 0),
+        _ => LitSpec::Null,
+    }
+}
+
+/// One node pattern.
+#[derive(Debug, Clone)]
+pub struct NodePat {
+    /// Variable name; `None` renders an anonymous node `(...)`.
+    pub variable: Option<String>,
+    /// `|`-alternated label predicate (empty = unlabeled).
+    pub labels: Vec<String>,
+    /// Inline property map.
+    pub props: Vec<(String, LitSpec)>,
+}
+
+/// Edge direction in the pattern text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `-[..]->`
+    Out,
+    /// `<-[..]-`
+    In,
+    /// `-[..]-`
+    Undirected,
+}
+
+/// One relationship pattern connecting two nodes of the query.
+#[derive(Debug, Clone)]
+pub struct EdgePat {
+    /// Variable name; `None` renders an anonymous relationship.
+    pub variable: Option<String>,
+    /// Index into [`QuerySpec::nodes`] of the left-hand node.
+    pub from: usize,
+    /// Index into [`QuerySpec::nodes`] of the right-hand node.
+    pub to: usize,
+    /// Direction.
+    pub direction: Dir,
+    /// `|`-alternated label predicate (empty = untyped).
+    pub labels: Vec<String>,
+    /// Variable-length range `*lo..hi`; `None` = single hop.
+    pub range: Option<(usize, usize)>,
+    /// Inline property map.
+    pub props: Vec<(String, LitSpec)>,
+}
+
+/// One term of a WHERE comparison.
+#[derive(Debug, Clone)]
+pub enum Term {
+    /// `variable.key`
+    Prop {
+        /// The referenced variable.
+        variable: String,
+        /// The property key.
+        key: String,
+    },
+    /// A literal.
+    Lit(LitSpec),
+}
+
+impl Term {
+    fn render(&self) -> String {
+        match self {
+            Term::Prop { variable, key } => format!("{variable}.{key}"),
+            Term::Lit(lit) => lit.render(),
+        }
+    }
+}
+
+/// A WHERE expression tree.
+#[derive(Debug, Clone)]
+pub enum Cond {
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation (the three-valued-logic stress test).
+    Not(Box<Cond>),
+    /// `left <op> right`.
+    Cmp {
+        /// Left term.
+        left: Term,
+        /// Operator text (`=`, `<>`, `<`, `<=`, `>`, `>=`).
+        op: &'static str,
+        /// Right term.
+        right: Term,
+    },
+    /// `variable.key IS [NOT] NULL`.
+    IsNull {
+        /// The referenced variable.
+        variable: String,
+        /// The property key.
+        key: String,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+}
+
+impl Cond {
+    fn render(&self) -> String {
+        match self {
+            Cond::And(a, b) => format!("({} AND {})", a.render(), b.render()),
+            Cond::Or(a, b) => format!("({} OR {})", a.render(), b.render()),
+            Cond::Not(inner) => format!("(NOT {})", inner.render()),
+            Cond::Cmp { left, op, right } => {
+                format!("{} {op} {}", left.render(), right.render())
+            }
+            Cond::IsNull {
+                variable,
+                key,
+                negated,
+            } => {
+                if *negated {
+                    format!("{variable}.{key} IS NOT NULL")
+                } else {
+                    format!("{variable}.{key} IS NULL")
+                }
+            }
+        }
+    }
+
+    /// Direct subtrees, for the shrinker (a failing `AND`/`OR`/`NOT` often
+    /// reproduces with one of its children alone).
+    pub fn children(&self) -> Vec<&Cond> {
+        match self {
+            Cond::And(a, b) | Cond::Or(a, b) => vec![a, b],
+            Cond::Not(inner) => vec![inner],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A generated query, kept structured so the shrinker can edit it.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The node patterns.
+    pub nodes: Vec<NodePat>,
+    /// The relationship patterns.
+    pub edges: Vec<EdgePat>,
+    /// The WHERE tree, if any.
+    pub where_tree: Option<Cond>,
+}
+
+impl QuerySpec {
+    /// Renders the spec as Cypher text (`MATCH ... [WHERE ...] RETURN *`).
+    ///
+    /// Each relationship becomes its own comma-separated path pattern; a
+    /// node's labels and property map are printed only at its first
+    /// occurrence (repeating them is redundant and some dialects reject
+    /// it).
+    pub fn render(&self) -> String {
+        let mut printed = vec![false; self.nodes.len()];
+        let node_text = |index: usize, printed: &mut Vec<bool>| -> String {
+            let node = &self.nodes[index];
+            let first = !printed[index];
+            printed[index] = true;
+            let mut out = String::from("(");
+            if let Some(variable) = &node.variable {
+                out.push_str(variable);
+            }
+            if first {
+                if !node.labels.is_empty() {
+                    out.push(':');
+                    out.push_str(&node.labels.join("|"));
+                }
+                if !node.props.is_empty() {
+                    let entries: Vec<String> = node
+                        .props
+                        .iter()
+                        .map(|(key, lit)| format!("{key}: {}", lit.render()))
+                        .collect();
+                    out.push_str(&format!(" {{{}}}", entries.join(", ")));
+                }
+            }
+            out.push(')');
+            out
+        };
+
+        let mut patterns: Vec<String> = Vec::new();
+        for edge in &self.edges {
+            let left = node_text(edge.from, &mut printed);
+            let right = node_text(edge.to, &mut printed);
+            let mut rel = String::from("[");
+            if let Some(variable) = &edge.variable {
+                rel.push_str(variable);
+            }
+            if !edge.labels.is_empty() {
+                rel.push(':');
+                rel.push_str(&edge.labels.join("|"));
+            }
+            if let Some((lower, upper)) = edge.range {
+                rel.push_str(&format!("*{lower}..{upper}"));
+            }
+            if !edge.props.is_empty() {
+                let entries: Vec<String> = edge
+                    .props
+                    .iter()
+                    .map(|(key, lit)| format!("{key}: {}", lit.render()))
+                    .collect();
+                rel.push_str(&format!(" {{{}}}", entries.join(", ")));
+            }
+            rel.push(']');
+            patterns.push(match edge.direction {
+                Dir::Out => format!("{left}-{rel}->{right}"),
+                Dir::In => format!("{left}<-{rel}-{right}"),
+                Dir::Undirected => format!("{left}-{rel}-{right}"),
+            });
+        }
+        for index in 0..self.nodes.len() {
+            if !printed[index] {
+                patterns.push(node_text(index, &mut printed));
+            }
+        }
+
+        let mut text = format!("MATCH {}", patterns.join(", "));
+        if let Some(tree) = &self.where_tree {
+            text.push_str(&format!(" WHERE {}", tree.render()));
+        }
+        text.push_str(" RETURN *");
+        text
+    }
+
+    /// Variables eligible as WHERE operands: named nodes plus named
+    /// single-hop edges (variable-length path variables bind paths, not
+    /// elements, so property predicates on them are out of scope).
+    pub fn predicate_variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.variable.clone())
+            .collect();
+        out.extend(
+            self.edges
+                .iter()
+                .filter(|e| e.range.is_none())
+                .filter_map(|e| e.variable.clone()),
+        );
+        out
+    }
+}
+
+const CMP_OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+
+fn random_term(rng: &mut Rng, variables: &[String]) -> Term {
+    if !variables.is_empty() && rng.chance(60) {
+        Term::Prop {
+            variable: rng.pick(variables).clone(),
+            key: rng.pick(&PROPERTY_KEYS).to_string(),
+        }
+    } else {
+        Term::Lit(random_literal(rng))
+    }
+}
+
+fn random_cond(rng: &mut Rng, variables: &[String], depth: usize) -> Cond {
+    if depth > 0 && rng.chance(45) {
+        return match rng.below(3) {
+            0 => Cond::And(
+                Box::new(random_cond(rng, variables, depth - 1)),
+                Box::new(random_cond(rng, variables, depth - 1)),
+            ),
+            1 => Cond::Or(
+                Box::new(random_cond(rng, variables, depth - 1)),
+                Box::new(random_cond(rng, variables, depth - 1)),
+            ),
+            _ => Cond::Not(Box::new(random_cond(rng, variables, depth - 1))),
+        };
+    }
+    if !variables.is_empty() && rng.chance(25) {
+        return Cond::IsNull {
+            variable: rng.pick(variables).clone(),
+            key: rng.pick(&PROPERTY_KEYS).to_string(),
+            negated: rng.chance(50),
+        };
+    }
+    Cond::Cmp {
+        left: random_term(rng, variables),
+        op: CMP_OPS[rng.below(CMP_OPS.len())],
+        right: random_term(rng, variables),
+    }
+}
+
+/// Generates a random query over 1–4 nodes and 0–3 relationships.
+pub fn random_query(rng: &mut Rng) -> QuerySpec {
+    let node_count = 1 + rng.below(4);
+    let edge_count = if node_count == 1 {
+        0
+    } else {
+        rng.below(4).min(node_count)
+    };
+
+    // Count endpoint uses first: only nodes used at most once may be
+    // anonymous (an anonymous node cannot be referenced again).
+    let endpoints: Vec<(usize, usize)> = (0..edge_count)
+        .map(|_| (rng.below(node_count), rng.below(node_count)))
+        .collect();
+    let mut uses = vec![0usize; node_count];
+    for &(from, to) in &endpoints {
+        uses[from] += 1;
+        uses[to] += 1;
+    }
+
+    let nodes: Vec<NodePat> = (0..node_count)
+        .map(|i| NodePat {
+            variable: if uses[i] <= 1 && rng.chance(20) {
+                None
+            } else {
+                Some(format!("n{i}"))
+            },
+            labels: match rng.below(4) {
+                0 => Vec::new(),
+                1 => vec![VERTEX_LABELS[0].to_string(), VERTEX_LABELS[1].to_string()],
+                _ => vec![rng.pick(&VERTEX_LABELS).to_string()],
+            },
+            props: if rng.chance(20) {
+                vec![(rng.pick(&PROPERTY_KEYS).to_string(), random_literal(rng))]
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+
+    let edges: Vec<EdgePat> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, &(from, to))| {
+            let range = if rng.chance(25) {
+                let lower = rng.below(3);
+                Some((lower, lower + 1 + rng.below(2)))
+            } else {
+                None
+            };
+            EdgePat {
+                variable: if rng.chance(20) {
+                    None
+                } else {
+                    Some(format!("e{i}"))
+                },
+                from,
+                to,
+                // The reference matcher and engine agree on undirected
+                // single hops; variable-length stays directed (engine
+                // expansion is directed per hop).
+                direction: if range.is_none() && rng.chance(25) {
+                    Dir::Undirected
+                } else if rng.chance(50) {
+                    Dir::Out
+                } else {
+                    Dir::In
+                },
+                labels: match rng.below(4) {
+                    0 => Vec::new(),
+                    1 => vec![EDGE_LABELS[0].to_string(), EDGE_LABELS[1].to_string()],
+                    _ => vec![rng.pick(&EDGE_LABELS).to_string()],
+                },
+                range,
+                props: if range.is_none() && rng.chance(15) {
+                    vec![(rng.pick(&PROPERTY_KEYS).to_string(), random_literal(rng))]
+                } else {
+                    Vec::new()
+                },
+            }
+        })
+        .collect();
+
+    let mut spec = QuerySpec {
+        nodes,
+        edges,
+        where_tree: None,
+    };
+    if rng.chance(70) {
+        let variables = spec.predicate_variables();
+        spec.where_tree = Some(random_cond(rng, &variables, 2));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..20 {
+            assert_eq!(random_query(&mut a).render(), random_query(&mut b).render());
+            let ga = random_graph(&mut a);
+            let gb = random_graph(&mut b);
+            assert_eq!(ga.vertices.len(), gb.vertices.len());
+            assert_eq!(ga.edges.len(), gb.edges.len());
+        }
+    }
+
+    #[test]
+    fn generated_queries_parse() {
+        let mut rng = Rng::new(7);
+        for _ in 0..200 {
+            let spec = random_query(&mut rng);
+            let text = spec.render();
+            gradoop_cypher::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Differential execution of one conformance case: the real engine, across
+//! its whole configuration matrix, against the single-machine reference
+//! matcher, result-for-result.
+
+use std::collections::{BTreeMap, HashMap};
+
+use gradoop_core::{
+    reference_match, CypherEngine, Entry, MatchingConfig, MorphismType, QueryResult,
+};
+use gradoop_cypher::{parse, QueryGraph};
+use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+use gradoop_epgm::GraphStatistics;
+
+use super::gen::{GraphSpec, QuerySpec, Rng};
+use crate::harness::uniform_statistics;
+
+/// Canonical form of one match: variable → printable entry, order-free.
+pub type Canonical = BTreeMap<String, String>;
+
+/// One point of the engine configuration matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Strip label statistics (the planner ablation) — exercises the
+    /// alternative join orders the greedy planner picks without them.
+    pub uniform_stats: bool,
+    /// FORWARD shuffle elision and loop-invariant caching on/off.
+    pub partition_aware: bool,
+    /// Morsel-driven work stealing on/off.
+    pub work_stealing: bool,
+}
+
+impl EngineConfig {
+    /// The full 8-point matrix.
+    pub fn matrix() -> Vec<EngineConfig> {
+        let mut out = Vec::new();
+        for uniform_stats in [false, true] {
+            for partition_aware in [false, true] {
+                for work_stealing in [false, true] {
+                    out.push(EngineConfig {
+                        uniform_stats,
+                        partition_aware,
+                        work_stealing,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact label for reports, e.g. `stats+ partition- stealing+`.
+    pub fn label(&self) -> String {
+        format!(
+            "stats{} partition{} stealing{}",
+            if self.uniform_stats { "-" } else { "+" },
+            if self.partition_aware { "+" } else { "-" },
+            if self.work_stealing { "+" } else { "-" },
+        )
+    }
+}
+
+/// One generated conformance case.
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    /// The data graph.
+    pub graph: GraphSpec,
+    /// The query.
+    pub query: QuerySpec,
+    /// Vertex/edge morphism semantics for this case.
+    pub matching: MatchingConfig,
+    /// Run against the label-indexed graph representation.
+    pub indexed: bool,
+    /// Simulated worker count.
+    pub workers: usize,
+}
+
+/// The four morphism combinations (paper Definition 2.4).
+pub const MORPHISMS: [MatchingConfig; 4] = [
+    MatchingConfig {
+        vertices: MorphismType::Homomorphism,
+        edges: MorphismType::Homomorphism,
+    },
+    MatchingConfig {
+        vertices: MorphismType::Homomorphism,
+        edges: MorphismType::Isomorphism,
+    },
+    MatchingConfig {
+        vertices: MorphismType::Isomorphism,
+        edges: MorphismType::Homomorphism,
+    },
+    MatchingConfig {
+        vertices: MorphismType::Isomorphism,
+        edges: MorphismType::Isomorphism,
+    },
+];
+
+/// Draws a complete random case.
+pub fn random_case(rng: &mut Rng) -> CaseSpec {
+    CaseSpec {
+        graph: super::gen::random_graph(rng),
+        query: super::gen::random_query(rng),
+        matching: MORPHISMS[rng.below(MORPHISMS.len())],
+        indexed: rng.chance(50),
+        workers: 1 + rng.below(3),
+    }
+}
+
+/// A confirmed engine-vs-reference divergence on one configuration.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// The engine configuration that diverged.
+    pub config: EngineConfig,
+    /// The query text that diverged.
+    pub query_text: String,
+    /// Engine rows (or the classified error it returned).
+    pub engine: Result<Vec<Canonical>, String>,
+    /// Reference rows.
+    pub reference: Vec<Canonical>,
+}
+
+/// Outcome of running one case through the full matrix.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// All configurations agreed with the reference.
+    Passed {
+        /// Engine executions performed (one per matrix point).
+        executions: usize,
+        /// Matches the reference found.
+        reference_matches: usize,
+    },
+    /// The query was rejected at parse or query-graph construction — a
+    /// generator artifact (e.g. an inverted range), not a conformance
+    /// verdict. Counted separately so reports surface generator drift.
+    Rejected {
+        /// The rejection message.
+        reason: String,
+    },
+    /// At least one configuration diverged from the reference.
+    Mismatch(Box<Mismatch>),
+}
+
+fn free_env(workers: usize) -> ExecutionEnvironment {
+    ExecutionEnvironment::new(ExecutionConfig::with_workers(workers).cost_model(CostModel::free()))
+}
+
+fn canonical_entry(entry: &Entry) -> String {
+    match entry {
+        Entry::Id(id) => format!("#{id}"),
+        Entry::Path(ids) => format!("{ids:?}"),
+    }
+}
+
+fn canonicalize(result: &QueryResult) -> Result<Vec<Canonical>, String> {
+    let variables: Vec<String> = result.query.variables().map(str::to_string).collect();
+    let mut out = Vec::new();
+    for embedding in result.embeddings.collect().iter() {
+        let mut row = Canonical::new();
+        for variable in &variables {
+            let column = result
+                .meta
+                .column(variable)
+                .ok_or_else(|| format!("variable `{variable}` unbound in engine result"))?;
+            row.insert(variable.clone(), canonical_entry(&embedding.entry(column)));
+        }
+        out.push(row);
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Reference (ground-truth) rows for `case`, canonicalized. Returns `Err`
+/// with the rejection message when the query does not build.
+pub fn reference_rows(case: &CaseSpec, query: &QueryGraph) -> Vec<Canonical> {
+    let env = free_env(case.workers);
+    let graph = case.graph.build(&env);
+    let mut out: Vec<Canonical> = reference_match(&graph, query, &case.matching)
+        .iter()
+        .map(|m| {
+            m.iter()
+                .map(|(variable, entry)| (variable.clone(), canonical_entry(entry)))
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Runs `case` under one engine configuration and returns its canonical
+/// rows (or the error the engine classified).
+pub fn engine_rows(
+    case: &CaseSpec,
+    query_text: &str,
+    config: &EngineConfig,
+) -> Result<Vec<Canonical>, String> {
+    let env = ExecutionEnvironment::new(
+        ExecutionConfig::with_workers(case.workers)
+            .cost_model(CostModel::free())
+            .partition_aware(config.partition_aware)
+            .work_stealing(config.work_stealing),
+    );
+    let graph = case.graph.build(&env);
+    let statistics = if config.uniform_stats {
+        uniform_statistics(&GraphStatistics::of(&graph))
+    } else {
+        GraphStatistics::of(&graph)
+    };
+    let engine = CypherEngine::with_statistics(statistics);
+    let result = if case.indexed {
+        engine.execute(
+            &graph.to_indexed(),
+            query_text,
+            &HashMap::new(),
+            case.matching,
+        )
+    } else {
+        engine.execute(&graph, query_text, &HashMap::new(), case.matching)
+    };
+    match result {
+        Ok(result) => canonicalize(&result),
+        Err(error) => Err(error.to_string()),
+    }
+}
+
+/// Runs `case` through the full configuration matrix against the
+/// reference. Stops at the first diverging configuration.
+pub fn run_case(case: &CaseSpec) -> CaseOutcome {
+    let query_text = case.query.render();
+    let query = match parse(&query_text)
+        .map_err(|e| e.to_string())
+        .and_then(|ast| QueryGraph::from_query(&ast).map_err(|e| e.to_string()))
+    {
+        Ok(query) => query,
+        Err(reason) => return CaseOutcome::Rejected { reason },
+    };
+    let reference = reference_rows(case, &query);
+    let mut executions = 0;
+    for config in EngineConfig::matrix() {
+        executions += 1;
+        let engine = engine_rows(case, &query_text, &config);
+        if engine.as_ref().ok() != Some(&reference) {
+            return CaseOutcome::Mismatch(Box::new(Mismatch {
+                config,
+                query_text,
+                engine,
+                reference,
+            }));
+        }
+    }
+    CaseOutcome::Passed {
+        executions,
+        reference_matches: reference.len(),
+    }
+}
+
+/// Re-checks whether `case` still diverges under `config` (the shrinker's
+/// probe): `Some` with the fresh divergence when it does.
+pub fn still_fails(case: &CaseSpec, config: &EngineConfig) -> Option<Mismatch> {
+    let query_text = case.query.render();
+    let query = QueryGraph::from_query(&parse(&query_text).ok()?).ok()?;
+    let reference = reference_rows(case, &query);
+    let engine = engine_rows(case, &query_text, config);
+    if engine.as_ref().ok() != Some(&reference) {
+        Some(Mismatch {
+            config: *config,
+            query_text,
+            engine,
+            reference,
+        })
+    } else {
+        None
+    }
+}

@@ -1,0 +1,158 @@
+//! Greedy shrinker: reduces a failing `(graph, query)` pair to a (locally)
+//! minimal reproduction that still diverges on the configuration that first
+//! failed.
+//!
+//! Classic delta-debugging loop: propose one structural reduction at a
+//! time — drop a graph edge, drop a vertex with its incident edges, drop a
+//! property, drop a query relationship, drop a label or inline property
+//! map, replace the WHERE tree by one of its subtrees, drop WHERE — and
+//! keep any reduction under which the divergence reproduces. Each probe
+//! re-runs the engine and the reference, so probes are capped.
+
+use super::gen::{Cond, GraphSpec, QuerySpec};
+use super::runner::{still_fails, CaseSpec, EngineConfig, Mismatch};
+
+/// Upper bound on shrink probes (each probe is a full engine + reference
+/// run on a small case).
+const MAX_PROBES: usize = 400;
+
+fn graph_reductions(graph: &GraphSpec) -> Vec<GraphSpec> {
+    let mut out = Vec::new();
+    for index in 0..graph.edges.len() {
+        let mut candidate = graph.clone();
+        candidate.edges.remove(index);
+        out.push(candidate);
+    }
+    for index in 0..graph.vertices.len() {
+        out.push(graph.without_vertex(index));
+    }
+    for (index, vertex) in graph.vertices.iter().enumerate() {
+        for slot in 0..vertex.properties.len() {
+            let mut candidate = graph.clone();
+            candidate.vertices[index].properties.remove(slot);
+            out.push(candidate);
+        }
+    }
+    for (index, edge) in graph.edges.iter().enumerate() {
+        for slot in 0..edge.properties.len() {
+            let mut candidate = graph.clone();
+            candidate.edges[index].properties.remove(slot);
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+fn where_reductions(tree: &Cond) -> Vec<Option<Cond>> {
+    let mut out: Vec<Option<Cond>> = vec![None];
+    for child in tree.children() {
+        out.push(Some(child.clone()));
+    }
+    out
+}
+
+fn query_reductions(query: &QuerySpec) -> Vec<QuerySpec> {
+    let mut out = Vec::new();
+    // Drop one relationship (nodes it referenced stay; they become
+    // standalone patterns, which the renderer handles).
+    for index in 0..query.edges.len() {
+        let mut candidate = query.clone();
+        candidate.edges.remove(index);
+        out.push(candidate);
+    }
+    // Drop a node that no relationship references.
+    for index in 0..query.nodes.len() {
+        if query.edges.iter().any(|e| e.from == index || e.to == index) {
+            continue;
+        }
+        if query.nodes.len() == 1 {
+            continue; // MATCH needs at least one pattern
+        }
+        let mut candidate = query.clone();
+        candidate.nodes.remove(index);
+        for edge in &mut candidate.edges {
+            if edge.from > index {
+                edge.from -= 1;
+            }
+            if edge.to > index {
+                edge.to -= 1;
+            }
+        }
+        out.push(candidate);
+    }
+    // Drop labels and inline property maps.
+    for index in 0..query.nodes.len() {
+        if !query.nodes[index].labels.is_empty() {
+            let mut candidate = query.clone();
+            candidate.nodes[index].labels.clear();
+            out.push(candidate);
+        }
+        if !query.nodes[index].props.is_empty() {
+            let mut candidate = query.clone();
+            candidate.nodes[index].props.clear();
+            out.push(candidate);
+        }
+    }
+    for index in 0..query.edges.len() {
+        if !query.edges[index].labels.is_empty() {
+            let mut candidate = query.clone();
+            candidate.edges[index].labels.clear();
+            out.push(candidate);
+        }
+        if !query.edges[index].props.is_empty() {
+            let mut candidate = query.clone();
+            candidate.edges[index].props.clear();
+            out.push(candidate);
+        }
+    }
+    // Simplify the WHERE tree.
+    if let Some(tree) = &query.where_tree {
+        for reduced in where_reductions(tree) {
+            let mut candidate = query.clone();
+            candidate.where_tree = reduced;
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Shrinks `case` against the configuration that failed, returning the
+/// smallest reproducing case found and its (fresh) divergence.
+pub fn shrink(
+    case: &CaseSpec,
+    config: &EngineConfig,
+    seed_mismatch: Mismatch,
+) -> (CaseSpec, Mismatch) {
+    let mut best = case.clone();
+    let mut mismatch = seed_mismatch;
+    let mut probes = 0;
+    loop {
+        let mut improved = false;
+        let mut candidates: Vec<CaseSpec> = Vec::new();
+        for graph in graph_reductions(&best.graph) {
+            let mut candidate = best.clone();
+            candidate.graph = graph;
+            candidates.push(candidate);
+        }
+        for query in query_reductions(&best.query) {
+            let mut candidate = best.clone();
+            candidate.query = query;
+            candidates.push(candidate);
+        }
+        for candidate in candidates {
+            if probes >= MAX_PROBES {
+                return (best, mismatch);
+            }
+            probes += 1;
+            if let Some(found) = still_fails(&candidate, config) {
+                best = candidate;
+                mismatch = found;
+                improved = true;
+                break; // restart reductions from the smaller case
+            }
+        }
+        if !improved {
+            return (best, mismatch);
+        }
+    }
+}

@@ -136,7 +136,8 @@ pub struct Measurement {
 pub fn result_digest(result: &QueryResult) -> u64 {
     use std::collections::hash_map::DefaultHasher;
     use std::hash::{Hash, Hasher};
-    let mut rendered: Vec<String> = result.rows().iter().map(|row| format!("{row:?}")).collect();
+    let rows = result.rows().expect("result rows materialize");
+    let mut rendered: Vec<String> = rows.iter().map(|row| format!("{row:?}")).collect();
     rendered.sort_unstable();
     let mut hasher = DefaultHasher::new();
     rendered.hash(&mut hasher);

@@ -24,6 +24,7 @@
 //! core is also reported.
 
 pub mod figure1;
+pub mod fuzz;
 pub mod harness;
 pub mod report;
 

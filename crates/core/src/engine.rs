@@ -112,11 +112,13 @@ impl CypherEngine {
         // environment, so this execution is judged on its own faults.
         let _ = source.env().take_execution_failure();
         let mut result = execute_plan(&plan.root, &query, source, &matching);
-        if let Some(failure) = source.env().take_execution_failure() {
-            return Err(CypherError::Execution(failure));
-        }
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
+        }
+        // Checked after DISTINCT projection so malformed-plan failures
+        // recorded there are surfaced too.
+        if let Some(failure) = source.env().take_execution_failure() {
+            return Err(CypherError::Execution(failure));
         }
         Ok(QueryResult {
             embeddings: result.data,
@@ -166,11 +168,11 @@ impl CypherEngine {
         let metrics_before = env.metrics();
         let started = std::time::Instant::now();
         let (mut result, root) = execute_plan_profiled(&plan, &query, source, &matching);
-        if let Some(failure) = env.take_execution_failure() {
-            return Err(CypherError::Execution(failure));
-        }
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
+        }
+        if let Some(failure) = env.take_execution_failure() {
+            return Err(CypherError::Execution(failure));
         }
         let metrics = env.metrics();
         Ok(Profile {
@@ -192,6 +194,8 @@ impl CypherEngine {
 /// deduplicates (a distributed `distinct` over the projected rows). The
 /// resulting embeddings bind only the returned variables, so match graphs
 /// derived from a DISTINCT result contain only the returned elements.
+/// A returned binding the plan never materialized poisons the environment
+/// (classified `CypherError::Execution`) instead of panicking.
 fn distinct_by_return_items(
     input: &crate::operators::EmbeddingSet,
     query: &QueryGraph,
@@ -215,22 +219,32 @@ fn distinct_by_return_items(
         match item {
             ReturnItem::Variable(variable) => {
                 if meta.column(variable).is_none() {
-                    let column = input
-                        .meta
-                        .column(variable)
-                        .unwrap_or_else(|| panic!("returned variable `{variable}` unbound"));
+                    let Some(column) = input.meta.column(variable) else {
+                        return crate::operators::malformed_plan(
+                            input,
+                            "distinct_by_return_items",
+                            format!("returned variable `{variable}` unbound"),
+                        );
+                    };
+                    let Some(entry_type) = input.meta.entry_type(variable) else {
+                        return crate::operators::malformed_plan(
+                            input,
+                            "distinct_by_return_items",
+                            format!("returned variable `{variable}` has no entry type"),
+                        );
+                    };
                     entry_sources.push(column);
-                    meta.add_entry(
-                        variable,
-                        input.meta.entry_type(variable).expect("typed column"),
-                    );
+                    meta.add_entry(variable, entry_type);
                 }
             }
             ReturnItem::Property { variable, key, .. } => {
-                let index = input
-                    .meta
-                    .property_index(variable, key)
-                    .unwrap_or_else(|| panic!("returned property `{variable}.{key}` unbound"));
+                let Some(index) = input.meta.property_index(variable, key) else {
+                    return crate::operators::malformed_plan(
+                        input,
+                        "distinct_by_return_items",
+                        format!("returned property `{variable}.{key}` unbound"),
+                    );
+                };
                 property_sources.push(index);
                 meta.add_property(variable, key);
             }
@@ -280,7 +294,7 @@ impl CypherOperator for LogicalGraph {
     ) -> Result<GraphCollection, CypherError> {
         let engine = CypherEngine::for_graph(self);
         let result = engine.execute(self, query, &HashMap::new(), matching)?;
-        Ok(result.to_graph_collection(self))
+        result.to_graph_collection(self)
     }
 }
 
@@ -352,6 +366,7 @@ mod tests {
         assert_eq!(result.count(), 2);
         let mut names: Vec<String> = result
             .rows_as_maps()
+            .expect("rows")
             .into_iter()
             .map(|row| match &row["p1.name"] {
                 ResultValue::Property(PropertyValue::String(s)) => s.clone(),
@@ -374,7 +389,7 @@ mod tests {
                 MatchingConfig::cypher_default(),
             )
             .unwrap();
-        let rows = result.rows();
+        let rows = result.rows().expect("rows");
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].values[0].1, ResultValue::Count(2));
     }
@@ -431,6 +446,54 @@ mod tests {
             engine.execute(&graph, "MATCH (p) RETURN q.name", &no_params, config),
             Err(CypherError::QueryGraph(_))
         ));
+    }
+
+    #[test]
+    fn unbound_distinct_return_variable_is_classified_not_a_panic() {
+        use crate::embedding::EmbeddingMetaData;
+        use crate::operators::EmbeddingSet;
+        use gradoop_cypher::{parse, QueryGraph};
+
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        // An embedding set that binds nothing, paired with a DISTINCT
+        // query returning `n`: the projection cannot find the column. The
+        // old code panicked; now it poisons the environment so `execute`
+        // surfaces a classified execution error.
+        let input = EmbeddingSet {
+            data: env.from_collection(vec![crate::embedding::Embedding::new()]),
+            meta: EmbeddingMetaData::new(),
+        };
+        let query = QueryGraph::from_query(&parse("MATCH (n) RETURN DISTINCT n").unwrap()).unwrap();
+        let projected = distinct_by_return_items(&input, &query);
+        assert_eq!(projected.data.count(), 0);
+        let failure = env.take_execution_failure().expect("poisoned");
+        assert!(failure.message.contains("`n` unbound"));
+        assert!(failure.site.contains("distinct_by_return_items"));
+    }
+
+    #[test]
+    fn unbound_return_item_yields_classified_result_error() {
+        // A hand-assembled result whose embeddings never bound the returned
+        // variable: materialization reports a classified error, not a panic.
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let mut result = engine
+            .execute(
+                &graph,
+                "MATCH (p:Person) RETURN p",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .expect("query executes");
+        result.meta = crate::embedding::EmbeddingMetaData::new();
+        match result.rows() {
+            Err(CypherError::Execution(failure)) => {
+                assert!(failure.message.contains("`p` unbound"));
+            }
+            other => panic!("expected classified execution error, got {other:?}"),
+        }
     }
 
     #[test]

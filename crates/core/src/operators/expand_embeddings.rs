@@ -25,7 +25,7 @@ use gradoop_dataflow::{
 
 use crate::embedding::{Embedding, EntryType};
 use crate::matching::{satisfies_morphism, MatchingConfig, MorphismType};
-use crate::operators::{observe_operator, EmbeddingSet};
+use crate::operators::{malformed_plan, observe_operator, EmbeddingSet};
 
 /// A candidate edge, projected to `(source, edge, target)` identifiers.
 pub type EdgeTriple = (u64, u64, u64);
@@ -58,10 +58,15 @@ pub fn expand_embeddings(
     candidates: &Dataset<EdgeTriple>,
     config: &ExpandConfig,
 ) -> EmbeddingSet {
-    let source_column = input
-        .meta
-        .column(&config.source_variable)
-        .unwrap_or_else(|| panic!("expand source `{}` unbound", config.source_variable));
+    let Some(source_column) = input.meta.column(&config.source_variable) else {
+        // A malformed plan, not a data fault: record a classified failure
+        // and degrade to an empty result instead of panicking.
+        return malformed_plan(
+            input,
+            "expand_embeddings",
+            format!("expand source `{}` unbound", config.source_variable),
+        );
+    };
     let close_column = input.meta.column(&config.target_variable);
 
     // Output layout: input columns + path column (+ target column unless

@@ -21,7 +21,7 @@ use gradoop_dataflow::{JoinStrategy, PartitionKey};
 
 use crate::embedding::{Embedding, EmbeddingBindings};
 use crate::matching::{MatchingConfig, MorphismCheck};
-use crate::operators::{observe_operator, EmbeddingSet};
+use crate::operators::{malformed_plan, observe_operator, EmbeddingSet};
 
 /// A join key extracted from one or two id columns hashes inline; only
 /// wider keys (rare in practice — most joins share one or two variables)
@@ -62,9 +62,11 @@ pub fn embedding_join_key(variables: &[String]) -> PartitionKey {
 
 /// Joins `left` and `right` on the columns bound to `join_variables`.
 ///
-/// Panics if a join variable is unbound on either side or bound to a path
-/// column (paths carry no single identifier to join on) — the planner never
-/// produces such plans.
+/// A join variable that is unbound on either side makes the plan malformed
+/// — the planner never produces such plans. Rather than panicking, the
+/// operator records a classified execution failure on the environment and
+/// returns an empty embedding set; the engine surfaces the failure as
+/// `CypherError::Execution` after the run.
 pub fn join_embeddings(
     left: &EmbeddingSet,
     right: &EmbeddingSet,
@@ -88,33 +90,45 @@ pub fn join_embeddings_filtered(
     strategy: JoinStrategy,
     residual_clauses: &[CnfClause],
 ) -> EmbeddingSet {
-    assert!(
-        !join_variables.is_empty(),
-        "join requires at least one shared variable"
-    );
-    let right_columns: Vec<usize> = join_variables
-        .iter()
-        .map(|v| {
-            right
-                .meta
-                .column(v)
-                .unwrap_or_else(|| panic!("join variable `{v}` unbound on right side"))
-        })
-        .collect();
+    if join_variables.is_empty() {
+        return malformed_plan(
+            left,
+            "join_embeddings",
+            "join requires at least one shared variable".to_string(),
+        );
+    }
+    let mut right_columns: Vec<usize> = Vec::with_capacity(join_variables.len());
+    for v in join_variables {
+        match right.meta.column(v) {
+            Some(column) => right_columns.push(column),
+            None => {
+                return malformed_plan(
+                    right,
+                    "join_embeddings",
+                    format!("join variable `{v}` unbound on right side"),
+                )
+            }
+        }
+    }
 
     // Key extraction follows the *sorted* variable order on both sides, so
     // the same variable set always hashes identically — the precondition
     // for the named [`PartitionKey`] below to elide repeated shuffles.
     let mut canonical: Vec<String> = join_variables.to_vec();
     canonical.sort_unstable();
-    let left_key_columns: Vec<usize> = canonical
-        .iter()
-        .map(|v| {
-            left.meta
-                .column(v)
-                .unwrap_or_else(|| panic!("join variable `{v}` unbound on left side"))
-        })
-        .collect();
+    let mut left_key_columns: Vec<usize> = Vec::with_capacity(canonical.len());
+    for v in &canonical {
+        match left.meta.column(v) {
+            Some(column) => left_key_columns.push(column),
+            None => {
+                return malformed_plan(
+                    left,
+                    "join_embeddings",
+                    format!("join variable `{v}` unbound on left side"),
+                )
+            }
+        }
+    }
     let right_key_columns: Vec<usize> = canonical
         .iter()
         .map(|v| right.meta.column(v).expect("checked above"))
@@ -372,17 +386,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unbound")]
-    fn unknown_join_variable_panics() {
+    fn unknown_join_variable_poisons_environment() {
         let env = env();
         let left = edge_set(&env, &[(1, 10, 2)], ["a", "e1", "b"]);
         let right = edge_set(&env, &[(2, 20, 3)], ["b", "e2", "c"]);
-        let _ = join_embeddings(
+        let joined = join_embeddings(
             &left,
             &right,
             &["nope".to_string()],
             &MatchingConfig::homomorphism(),
             JoinStrategy::RepartitionHash,
         );
+        // No panic: an empty result plus a recorded execution failure.
+        assert_eq!(joined.data.count(), 0);
+        let failure = env.take_execution_failure().expect("poisoned");
+        assert!(failure.message.contains("`nope` unbound"));
+        assert!(failure.site.contains("join_embeddings"));
+        // The failure is drained exactly once.
+        assert!(env.take_execution_failure().is_none());
     }
 }

@@ -36,7 +36,7 @@ pub use project_embeddings::project_embeddings;
 pub use value_join::value_join_embeddings;
 
 use crate::embedding::{Embedding, EmbeddingMetaData};
-use gradoop_dataflow::{Data, Dataset, SpanRecord};
+use gradoop_dataflow::{Data, Dataset, ExecutionFailure, SpanRecord};
 
 /// An embedding dataset together with its (plan-time) layout.
 #[derive(Clone, Debug)]
@@ -45,6 +45,24 @@ pub struct EmbeddingSet {
     pub data: Dataset<Embedding>,
     /// Their shared layout.
     pub meta: EmbeddingMetaData,
+}
+
+/// Records a malformed-plan failure on `set`'s environment and returns a
+/// degenerate empty embedding set so downstream operators keep flowing
+/// instead of panicking. The engine drains the recorded failure after the
+/// run and surfaces it as a classified `CypherError::Execution` (the same
+/// never-panic contract the fault paths follow).
+pub(crate) fn malformed_plan(set: &EmbeddingSet, site: &str, message: String) -> EmbeddingSet {
+    let env = set.data.env();
+    env.record_execution_failure(ExecutionFailure {
+        site: format!("operator `{site}`"),
+        attempts: 0,
+        message,
+    });
+    EmbeddingSet {
+        data: env.from_collection(Vec::<Embedding>::new()),
+        meta: EmbeddingMetaData::new(),
+    }
 }
 
 /// Total serialized bytes of a result's embeddings.

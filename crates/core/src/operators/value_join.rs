@@ -9,7 +9,7 @@
 //! followed by a filter.
 
 use crate::matching::{satisfies_morphism, MatchingConfig};
-use crate::operators::{observe_operator, EmbeddingSet};
+use crate::operators::{malformed_plan, observe_operator, EmbeddingSet};
 use gradoop_dataflow::JoinStrategy;
 
 /// Joins `left` and `right` where the given property slots are equal.
@@ -17,6 +17,9 @@ use gradoop_dataflow::JoinStrategy;
 /// Rows whose join property is `NULL` (or missing) never match — Cypher
 /// equality semantics. The output binds the union of both sides' columns
 /// and property slots (nothing is skipped: the sides share no variables).
+/// An unbound join property means a malformed plan: the operator records a
+/// classified execution failure instead of panicking and returns an empty
+/// set.
 pub fn value_join_embeddings(
     left: &EmbeddingSet,
     right: &EmbeddingSet,
@@ -25,24 +28,29 @@ pub fn value_join_embeddings(
     config: &MatchingConfig,
     strategy: JoinStrategy,
 ) -> EmbeddingSet {
-    let left_index = left
-        .meta
-        .property_index(&left_property.0, &left_property.1)
-        .unwrap_or_else(|| {
-            panic!(
+    let Some(left_index) = left.meta.property_index(&left_property.0, &left_property.1) else {
+        return malformed_plan(
+            left,
+            "value_join_embeddings",
+            format!(
                 "value-join property `{}.{}` unbound on left side",
                 left_property.0, left_property.1
-            )
-        });
-    let right_index = right
+            ),
+        );
+    };
+    let Some(right_index) = right
         .meta
         .property_index(&right_property.0, &right_property.1)
-        .unwrap_or_else(|| {
-            panic!(
+    else {
+        return malformed_plan(
+            right,
+            "value_join_embeddings",
+            format!(
                 "value-join property `{}.{}` unbound on right side",
                 right_property.0, right_property.1
-            )
-        });
+            ),
+        );
+    };
 
     let meta = left.meta.merge(&right.meta, &[]);
     let merged_meta = meta.clone();
@@ -191,12 +199,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unbound")]
-    fn unknown_property_panics() {
+    fn unknown_property_poisons_environment() {
         let env = env();
         let left = side(&env, "a", "k", &[(1, Some("x"))]);
         let right = side(&env, "b", "k", &[(2, Some("x"))]);
-        let _ = value_join_embeddings(
+        let joined = value_join_embeddings(
             &left,
             &right,
             &("a".to_string(), "nope".to_string()),
@@ -204,5 +211,9 @@ mod tests {
             &MatchingConfig::cypher_default(),
             JoinStrategy::RepartitionHash,
         );
+        assert_eq!(joined.data.count(), 0);
+        let failure = env.take_execution_failure().expect("poisoned");
+        assert!(failure.message.contains("`a.nope` unbound"));
+        assert!(failure.site.contains("value_join_embeddings"));
     }
 }

@@ -236,6 +236,11 @@ impl<'a> Estimator<'a> {
                 }
             }
             Atom::Comparison { left, op, right } => {
+                // Distinct-value buckets come from `GraphStatistics`, whose
+                // dedup uses `PropertyValue` equality — which coerces across
+                // numeric types exactly like runtime filtering does, so an
+                // `Int`-typed literal probing a `Double`-typed property hits
+                // the same bucket the filter matches.
                 let key = match (left, right) {
                     (Operand::Property { key, .. }, Operand::Literal(_))
                     | (Operand::Literal(_), Operand::Property { key, .. }) => Some(key),

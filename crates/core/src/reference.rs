@@ -1,17 +1,29 @@
 //! Single-machine reference matcher.
 //!
 //! A naive backtracking pattern matcher with exactly the engine's semantics
-//! (two-valued predicates, user-selected morphisms, paths with alternating
-//! `via` identifiers). It serves two purposes:
+//! (three-valued Kleene predicates, user-selected morphisms, paths with
+//! alternating `via` identifiers). It serves two purposes:
 //!
-//! * a correctness **oracle** — property tests compare the distributed
-//!   engine's result set against it on random graphs and queries;
+//! * a correctness **oracle** — property tests and the conformance fuzzer
+//!   compare the distributed engine's result set against it on random
+//!   graphs and queries;
 //! * the single-machine **baseline** of the benchmark suite (the role a
 //!   graph database like Neo4j plays in the paper's motivation).
+//!
+//! To stay independent of the engine's CNF machinery, the matcher
+//! additionally re-evaluates the query's retained `WHERE` expression tree
+//! ([`QueryGraph::where_expression`]) with the direct Kleene evaluator
+//! [`eval_expression`] on every candidate match. The per-element CNF
+//! predicates still prune the backtracking (they are semantics-preserving),
+//! but a match is only emitted when the original expression is exactly
+//! `true` — so an NNF/CNF/split bug that makes the engine *admit* a row
+//! Cypher would filter shows up as a divergence from this matcher.
 
 use std::collections::HashMap;
 
-use gradoop_cypher::predicates::eval::{eval_clause, eval_predicate, Bindings, SingleElement};
+use gradoop_cypher::predicates::eval::{
+    eval_clause, eval_expression, eval_predicate, Bindings, SingleElement,
+};
 use gradoop_cypher::{QueryEdge, QueryGraph};
 use gradoop_epgm::{Edge, Label, LogicalGraph, PropertyValue, Vertex};
 
@@ -360,6 +372,13 @@ impl Matcher<'_> {
         };
         for (clause, _) in &self.query.cross_clauses {
             if !eval_clause(clause, &bindings) {
+                return;
+            }
+        }
+        // Ground truth: the retained WHERE expression, evaluated directly
+        // under Kleene logic, must be exactly true.
+        if let Some(expression) = &self.query.where_expression {
+            if eval_expression(expression, &bindings) != Some(true) {
                 return;
             }
         }

@@ -11,7 +11,21 @@ use gradoop_epgm::{
 };
 
 use crate::embedding::{Embedding, EmbeddingMetaData, Entry};
+use crate::engine::CypherError;
 use crate::planner::QueryPlan;
+use gradoop_dataflow::ExecutionFailure;
+
+/// Classifies an unbound RETURN item as an execution failure: the plan
+/// failed to materialize a binding the query returns. Surfaced as
+/// [`CypherError::Execution`] instead of a panic (the engine's never-panic
+/// contract covers planner bugs, not just fault paths).
+fn unbound(message: String) -> CypherError {
+    CypherError::Execution(ExecutionFailure {
+        site: "result materialization".to_string(),
+        attempts: 0,
+        message,
+    })
+}
 
 /// A value of one result cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,62 +69,73 @@ impl QueryResult {
 
     /// Materializes the tabular view (Table 2): one row per embedding with
     /// one column per RETURN item. For `RETURN count(*)` a single row with
-    /// the match count is produced.
-    pub fn rows(&self) -> Vec<ResultRow> {
+    /// the match count is produced. A RETURN item the embeddings do not
+    /// bind (a malformed plan) yields a classified
+    /// [`CypherError::Execution`] instead of panicking.
+    pub fn rows(&self) -> Result<Vec<ResultRow>, CypherError> {
         if self
             .query
             .return_items
             .iter()
             .any(|item| matches!(item, ReturnItem::CountStar))
         {
-            return vec![ResultRow {
+            return Ok(vec![ResultRow {
                 values: vec![(
                     "count(*)".to_string(),
                     ResultValue::Count(self.count() as u64),
                 )],
-            }];
+            }]);
         }
         let embeddings = self.embeddings.collect();
         embeddings
             .iter()
-            .map(|embedding| ResultRow {
-                values: self
-                    .query
-                    .return_items
-                    .iter()
-                    .map(|item| self.cell(embedding, item))
-                    .collect(),
+            .map(|embedding| {
+                Ok(ResultRow {
+                    values: self
+                        .query
+                        .return_items
+                        .iter()
+                        .map(|item| self.cell(embedding, item))
+                        .collect::<Result<Vec<_>, _>>()?,
+                })
             })
             .collect()
     }
 
-    fn cell(&self, embedding: &Embedding, item: &ReturnItem) -> (String, ResultValue) {
+    fn cell(
+        &self,
+        embedding: &Embedding,
+        item: &ReturnItem,
+    ) -> Result<(String, ResultValue), CypherError> {
         match item {
             ReturnItem::Variable(variable) => {
                 let column = self
                     .meta
                     .column(variable)
-                    .unwrap_or_else(|| panic!("returned variable `{variable}` unbound"));
+                    .ok_or_else(|| unbound(format!("returned variable `{variable}` unbound")))?;
                 let value = match embedding.entry(column) {
                     Entry::Id(id) => ResultValue::Id(id),
                     Entry::Path(ids) => ResultValue::Path(ids),
                 };
-                (variable.clone(), value)
+                Ok((variable.clone(), value))
             }
             ReturnItem::Property {
                 variable,
                 key,
                 alias,
             } => {
-                let index = self
-                    .meta
-                    .property_index(variable, key)
-                    .unwrap_or_else(|| panic!("returned property `{variable}.{key}` unbound"));
+                let index = self.meta.property_index(variable, key).ok_or_else(|| {
+                    unbound(format!("returned property `{variable}.{key}` unbound"))
+                })?;
                 let name = alias.clone().unwrap_or_else(|| format!("{variable}.{key}"));
-                (name, ResultValue::Property(embedding.property(index)))
+                Ok((name, ResultValue::Property(embedding.property(index))))
             }
-            ReturnItem::CountStar => ("count(*)".to_string(), ResultValue::Count(0)),
-            ReturnItem::All => unreachable!("RETURN * is expanded during query-graph construction"),
+            ReturnItem::CountStar => Ok(("count(*)".to_string(), ResultValue::Count(0))),
+            // The builder expands `RETURN *`; seeing it here means the
+            // query graph was constructed by hand and is malformed.
+            ReturnItem::All => Err(unbound(
+                "RETURN * not expanded during query-graph construction".to_string(),
+            )),
         }
     }
 
@@ -119,7 +144,10 @@ impl QueryResult {
     /// contents expanded). Variable bindings and returned property values
     /// are attached as graph-head properties, so arbitrary downstream
     /// operators can post-process the collection.
-    pub fn to_graph_collection(&self, data_graph: &LogicalGraph) -> GraphCollection {
+    pub fn to_graph_collection(
+        &self,
+        data_graph: &LogicalGraph,
+    ) -> Result<GraphCollection, CypherError> {
         let env = data_graph.env().clone();
         let embeddings = self.embeddings.collect();
 
@@ -138,7 +166,7 @@ impl QueryResult {
                 match item {
                     ReturnItem::CountStar => continue,
                     item => {
-                        let (name, value) = self.cell(embedding, item);
+                        let (name, value) = self.cell(embedding, item)?;
                         let property = match value {
                             ResultValue::Id(id) => PropertyValue::Long(id as i64),
                             ResultValue::Path(ids) => PropertyValue::List(
@@ -212,14 +240,15 @@ impl QueryResult {
             },
         );
 
-        GraphCollection::new(heads, vertices, edges)
+        Ok(GraphCollection::new(heads, vertices, edges))
     }
 
     /// Convenience: result rows keyed by column name, for assertions.
-    pub fn rows_as_maps(&self) -> Vec<HashMap<String, ResultValue>> {
-        self.rows()
+    pub fn rows_as_maps(&self) -> Result<Vec<HashMap<String, ResultValue>>, CypherError> {
+        Ok(self
+            .rows()?
             .into_iter()
             .map(|row| row.values.into_iter().collect())
-            .collect()
+            .collect())
     }
 }

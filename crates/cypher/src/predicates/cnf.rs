@@ -249,10 +249,13 @@ impl std::fmt::Display for CnfPredicate {
 ///
 /// The transformation is the textbook one: negations are pushed down to the
 /// atoms (folding them into comparison operators / label-test flags), then
-/// disjunctions are distributed over conjunctions. Note this engine uses
-/// two-valued logic — comparisons involving `NULL` evaluate to `false` —
-/// which makes the negation fold exact (documented deviation from Cypher's
-/// ternary logic; see DESIGN.md).
+/// disjunctions are distributed over conjunctions. Atoms evaluate under
+/// Cypher's three-valued (Kleene) logic — see `predicates::eval` — and
+/// Kleene logic is distributive and obeys De Morgan's laws, so both steps
+/// preserve the truth value exactly: `NOT (a.x > 5)` folds to `a.x <= 5`
+/// because each comparator and its [`CmpOp::negated`] partner map the same
+/// operand pairs to *unknown* (NULL or incomparable operands) and are
+/// complementary everywhere else.
 pub fn to_cnf(expression: &Expression) -> CnfPredicate {
     let nnf = to_nnf(expression, false);
     let clauses = distribute(&nnf);
@@ -326,7 +329,17 @@ fn to_nnf(expression: &Expression, negated: bool) -> Nnf {
         Expression::Literal(Literal::Boolean(value)) => {
             Nnf::Atom(Atom::Constant(*value != negated))
         }
-        Expression::Literal(Literal::Null) => Nnf::Atom(Atom::Constant(false)),
+        Expression::Literal(Literal::Null) => {
+            // `NULL` in boolean position is *unknown*, not false: under
+            // `NOT` it must stay unknown rather than flip to true. Encode
+            // it as a comparison with a NULL operand, which evaluates to
+            // unknown regardless of polarity.
+            Nnf::Atom(Atom::Comparison {
+                left: Operand::Literal(Literal::Null),
+                op: if negated { CmpOp::Neq } else { CmpOp::Eq },
+                right: Operand::Literal(Literal::Boolean(true)),
+            })
+        }
         other => {
             // A bare variable/property/parameter in boolean position: treat
             // as `x = TRUE`, Cypher style.

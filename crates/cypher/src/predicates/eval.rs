@@ -1,14 +1,24 @@
 //! Predicate evaluation against variable bindings.
 //!
-//! Evaluation is **two-valued**: a comparison whose operands are
-//! incomparable (different types, or either side `NULL`/missing) is `false`.
-//! This deviates from Cypher's ternary logic but is applied consistently by
-//! the distributed engine and the reference matcher (see DESIGN.md).
+//! Evaluation follows Cypher's **three-valued (Kleene) logic** as pinned
+//! down by *Formal Semantics of the Language Cypher* (Francis et al.):
+//! atoms evaluate to `Some(true)`, `Some(false)` or `None` (*unknown*), a
+//! comparison involving `NULL` (or a missing property) is unknown, ordering
+//! two values of incompatible types is unknown, cross-type `=` is false and
+//! cross-type `<>` is true. A row is kept only when the whole predicate
+//! evaluates to exactly `true` — unknown filters the row, and, crucially,
+//! stays unknown under `NOT` instead of flipping to `true`.
+//!
+//! Kleene logic is distributive and obeys De Morgan's laws, so the CNF
+//! pipeline in [`crate::predicates::cnf`] (negation pushdown into atoms,
+//! OR-over-AND distribution, per-variable clause splitting) preserves these
+//! semantics exactly: a CNF predicate is true iff every clause contains an
+//! atom that is `Some(true)`.
 
 use gradoop_epgm::{Label, Properties, PropertyValue};
 
 use crate::predicates::cnf::{Atom, CnfClause, CnfPredicate, Operand};
-use crate::predicates::expr::CmpOp;
+use crate::predicates::expr::{CmpOp, Expression};
 
 /// Read access to the bindings of query variables.
 pub trait Bindings {
@@ -60,73 +70,142 @@ fn resolve(operand: &Operand, bindings: &impl Bindings) -> Option<PropertyValue>
     }
 }
 
-/// Evaluates one atom. Missing bindings and incomparable values yield
-/// `false`.
-pub fn eval_atom(atom: &Atom, bindings: &impl Bindings) -> bool {
+/// Kleene comparison of two resolved values. `None` operands (missing
+/// property / unbound variable) are treated as `NULL`, and any comparison
+/// involving `NULL` is unknown. For non-null operands, `=`/`<>` are total
+/// (cross-type `=` is false, cross-type `<>` is true) while the ordering
+/// operators are unknown when the values are incomparable.
+fn compare_values(l: Option<PropertyValue>, op: CmpOp, r: Option<PropertyValue>) -> Option<bool> {
+    let (l, r) = (l?, r?);
+    if l.is_null() || r.is_null() {
+        return None;
+    }
+    match op {
+        CmpOp::Eq => Some(l == r),
+        CmpOp::Neq => Some(l != r),
+        CmpOp::Lt => Some(l.compare(&r)? == std::cmp::Ordering::Less),
+        CmpOp::Gt => Some(l.compare(&r)? == std::cmp::Ordering::Greater),
+        CmpOp::Lte => Some(l.compare(&r)? != std::cmp::Ordering::Greater),
+        CmpOp::Gte => Some(l.compare(&r)? != std::cmp::Ordering::Less),
+    }
+}
+
+/// Evaluates one atom to a Kleene truth value: `None` means *unknown*.
+pub fn eval_atom(atom: &Atom, bindings: &impl Bindings) -> Option<bool> {
     match atom {
-        Atom::Constant(value) => *value,
+        Atom::Constant(value) => Some(*value),
         Atom::IsNull { operand, negated } => {
+            // `IS [NOT] NULL` is the one predicate that is always
+            // two-valued: null-ness of a value is known even when the value
+            // is unknown.
             let is_null = match resolve(operand, bindings) {
                 None => true,
                 Some(value) => value.is_null(),
             };
-            is_null != *negated
+            Some(is_null != *negated)
         }
         Atom::HasLabel {
             variable,
             labels,
             negated,
         } => {
-            let Some(label) = bindings.label(variable) else {
-                return false;
-            };
+            // An unbound variable has no label: unknown, like a label test
+            // on NULL in Cypher.
+            let label = bindings.label(variable)?;
             let has = labels.iter().any(|l| label == l.as_str());
-            has != *negated
+            Some(has != *negated)
         }
         Atom::Comparison { left, op, right } => {
-            let (Some(l), Some(r)) = (resolve(left, bindings), resolve(right, bindings)) else {
-                return false;
-            };
-            if l.is_null() || r.is_null() {
-                return false;
-            }
-            match op {
-                CmpOp::Eq => l == r,
-                CmpOp::Neq => {
-                    // `<>` is only true for *comparable* unequal values;
-                    // comparing a string to a number is false, like in
-                    // Cypher where it would be `null`.
-                    match l.compare(&r) {
-                        Some(ordering) => ordering != std::cmp::Ordering::Equal,
-                        None => false,
-                    }
-                }
-                CmpOp::Lt => l.compare(&r) == Some(std::cmp::Ordering::Less),
-                CmpOp::Gt => l.compare(&r) == Some(std::cmp::Ordering::Greater),
-                CmpOp::Lte => matches!(
-                    l.compare(&r),
-                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
-                ),
-                CmpOp::Gte => matches!(
-                    l.compare(&r),
-                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
-                ),
-            }
+            compare_values(resolve(left, bindings), *op, resolve(right, bindings))
         }
     }
 }
 
-/// Evaluates a clause: true when any atom holds.
+/// Evaluates a clause (a disjunction): `true` when some atom is exactly
+/// true. Under Kleene OR the clause is true iff any disjunct is true, so
+/// unknown atoms never satisfy a clause.
 pub fn eval_clause(clause: &CnfClause, bindings: &impl Bindings) -> bool {
-    clause.atoms.iter().any(|atom| eval_atom(atom, bindings))
+    clause
+        .atoms
+        .iter()
+        .any(|atom| eval_atom(atom, bindings) == Some(true))
 }
 
-/// Evaluates a predicate: true when every clause holds.
+/// Evaluates a predicate (a conjunction of clauses): `true` when every
+/// clause holds. Rows whose predicate is false *or unknown* are filtered,
+/// per Cypher's `WHERE` semantics.
 pub fn eval_predicate(predicate: &CnfPredicate, bindings: &impl Bindings) -> bool {
     predicate
         .clauses
         .iter()
         .all(|clause| eval_clause(clause, bindings))
+}
+
+fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Resolves an [`Expression`] leaf to a value. Missing properties, unbound
+/// variables and unsubstituted parameters all resolve to `NULL`.
+fn eval_value(expr: &Expression, bindings: &impl Bindings) -> PropertyValue {
+    match expr {
+        Expression::Literal(literal) => literal.to_property_value(),
+        Expression::Property { variable, key } => bindings
+            .property(variable, key)
+            .unwrap_or(PropertyValue::Null),
+        Expression::Variable(variable) => bindings
+            .element_id(variable)
+            .map(|id| PropertyValue::Long(id as i64))
+            .unwrap_or(PropertyValue::Null),
+        _ => PropertyValue::Null,
+    }
+}
+
+/// Direct Kleene evaluation of a `WHERE` expression tree, independent of
+/// the CNF pipeline.
+///
+/// This is the ground-truth evaluator used by the reference matcher (and
+/// the conformance harness): it recurses over the original [`Expression`]
+/// with explicit Kleene `AND`/`OR`/`NOT`, so a bug anywhere in the NNF/CNF
+/// transformation or the clause-splitting machinery shows up as a
+/// divergence from this function.
+pub fn eval_expression(expr: &Expression, bindings: &impl Bindings) -> Option<bool> {
+    match expr {
+        Expression::And(a, b) => {
+            kleene_and(eval_expression(a, bindings), eval_expression(b, bindings))
+        }
+        Expression::Or(a, b) => {
+            kleene_or(eval_expression(a, bindings), eval_expression(b, bindings))
+        }
+        // Kleene NOT: unknown stays unknown.
+        Expression::Not(inner) => eval_expression(inner, bindings).map(|v| !v),
+        Expression::Comparison { left, op, right } => compare_values(
+            Some(eval_value(left, bindings)),
+            *op,
+            Some(eval_value(right, bindings)),
+        ),
+        Expression::IsNull { operand, negated } => {
+            Some(eval_value(operand, bindings).is_null() != *negated)
+        }
+        // A bare value in boolean position: `x = TRUE`, mirroring to_nnf.
+        other => compare_values(
+            Some(eval_value(other, bindings)),
+            CmpOp::Eq,
+            Some(PropertyValue::Boolean(true)),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -152,18 +231,25 @@ mod tests {
         }
     }
 
-    fn check(expr_text_op: CmpOp, key: &str, literal: Literal, expected: bool) {
-        let (label, props) = person();
-        let expr = Expression::Comparison {
+    fn prop_cmp(key: &str, op: CmpOp, literal: Literal) -> Expression {
+        Expression::Comparison {
             left: Box::new(Expression::Property {
                 variable: "p".into(),
                 key: key.into(),
             }),
-            op: expr_text_op,
+            op,
             right: Box::new(Expression::Literal(literal)),
-        };
+        }
+    }
+
+    fn check(expr_text_op: CmpOp, key: &str, literal: Literal, expected: bool) {
+        let (label, props) = person();
+        let expr = prop_cmp(key, expr_text_op, literal);
         let cnf = to_cnf(&expr);
-        assert_eq!(eval_predicate(&cnf, &bindings(&label, &props)), expected);
+        let b = bindings(&label, &props);
+        assert_eq!(eval_predicate(&cnf, &b), expected);
+        // The CNF pipeline and the direct expression evaluator must agree.
+        assert_eq!(eval_expression(&expr, &b) == Some(true), expected);
     }
 
     #[test]
@@ -177,53 +263,145 @@ mod tests {
     }
 
     #[test]
-    fn missing_property_is_false_even_negated() {
+    fn missing_property_is_unknown_even_negated() {
         check(CmpOp::Eq, "nonexistent", Literal::Integer(1), false);
         check(CmpOp::Neq, "nonexistent", Literal::Integer(1), false);
+        // NOT (unknown) is still unknown, so the row stays filtered.
+        let (label, props) = person();
+        let expr = Expression::Not(Box::new(prop_cmp(
+            "nonexistent",
+            CmpOp::Eq,
+            Literal::Integer(1),
+        )));
+        let b = bindings(&label, &props);
+        assert!(!eval_predicate(&to_cnf(&expr), &b));
+        assert_eq!(eval_expression(&expr, &b), None);
     }
 
     #[test]
-    fn cross_type_comparisons_are_false() {
+    fn cross_type_equality_is_false_so_inequality_is_true() {
+        // Comparing a number to a string: `=` is false, `<>` is true
+        // (Cypher's cross-type rule), ordering is unknown.
         check(CmpOp::Eq, "yob", Literal::String("1984".into()), false);
-        check(CmpOp::Neq, "yob", Literal::String("1984".into()), false);
+        check(CmpOp::Neq, "yob", Literal::String("1984".into()), true);
         check(CmpOp::Lt, "name", Literal::Integer(0), false);
+        check(CmpOp::Gt, "name", Literal::Integer(0), false);
+        // NOT (a.yob = '1984') is therefore true, not unknown.
+        let (label, props) = person();
+        let expr = Expression::Not(Box::new(prop_cmp(
+            "yob",
+            CmpOp::Eq,
+            Literal::String("1984".into()),
+        )));
+        let b = bindings(&label, &props);
+        assert!(eval_predicate(&to_cnf(&expr), &b));
+        assert_eq!(eval_expression(&expr, &b), Some(true));
     }
 
     #[test]
-    fn null_literal_comparisons_are_false() {
+    fn null_literal_comparisons_are_unknown() {
         check(CmpOp::Eq, "name", Literal::Null, false);
         check(CmpOp::Neq, "name", Literal::Null, false);
+        // ... and stay unknown (row filtered) under negation.
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        for op in [CmpOp::Eq, CmpOp::Neq] {
+            let expr = Expression::Not(Box::new(prop_cmp("name", op, Literal::Null)));
+            assert!(!eval_predicate(&to_cnf(&expr), &b));
+            assert_eq!(eval_expression(&expr, &b), None);
+        }
+    }
+
+    #[test]
+    fn null_literal_in_boolean_position_is_unknown() {
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        let null = Expression::Literal(Literal::Null);
+        assert_eq!(eval_expression(&null, &b), None);
+        assert!(!eval_predicate(&to_cnf(&null), &b));
+        // NOT NULL is unknown too — it must not collapse to true.
+        let not_null = Expression::Not(Box::new(Expression::Literal(Literal::Null)));
+        assert_eq!(eval_expression(&not_null, &b), None);
+        assert!(!eval_predicate(&to_cnf(&not_null), &b));
+    }
+
+    #[test]
+    fn kleene_or_recovers_truth_from_unknown() {
+        // unknown OR true = true: `p.nonexistent = 1 OR p.yob = 1984`.
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        let expr = Expression::Or(
+            Box::new(prop_cmp("nonexistent", CmpOp::Eq, Literal::Integer(1))),
+            Box::new(prop_cmp("yob", CmpOp::Eq, Literal::Integer(1984))),
+        );
+        assert!(eval_predicate(&to_cnf(&expr), &b));
+        assert_eq!(eval_expression(&expr, &b), Some(true));
+        // unknown AND false = false, so its negation is true.
+        let and = Expression::And(
+            Box::new(prop_cmp("nonexistent", CmpOp::Eq, Literal::Integer(1))),
+            Box::new(prop_cmp("yob", CmpOp::Eq, Literal::Integer(0))),
+        );
+        assert_eq!(eval_expression(&and, &b), Some(false));
+        let not_and = Expression::Not(Box::new(and));
+        assert!(eval_predicate(&to_cnf(&not_and), &b));
+        assert_eq!(eval_expression(&not_and, &b), Some(true));
+    }
+
+    #[test]
+    fn is_null_is_two_valued() {
+        let (label, props) = person();
+        let b = bindings(&label, &props);
+        for (negated, expected) in [(false, true), (true, false)] {
+            let expr = Expression::IsNull {
+                operand: Box::new(Expression::Property {
+                    variable: "p".into(),
+                    key: "nonexistent".into(),
+                }),
+                negated,
+            };
+            assert_eq!(eval_predicate(&to_cnf(&expr), &b), expected);
+            assert_eq!(eval_expression(&expr, &b), Some(expected));
+        }
     }
 
     #[test]
     fn label_atom() {
         let (label, props) = person();
         let b = bindings(&label, &props);
-        assert!(eval_atom(
-            &Atom::HasLabel {
-                variable: "p".into(),
-                labels: vec!["Comment".into(), "Person".into()],
-                negated: false,
-            },
-            &b
-        ));
-        assert!(!eval_atom(
-            &Atom::HasLabel {
-                variable: "p".into(),
-                labels: vec!["Person".into()],
-                negated: true,
-            },
-            &b
-        ));
-        // Unbound variable: false.
-        assert!(!eval_atom(
-            &Atom::HasLabel {
-                variable: "q".into(),
-                labels: vec!["Person".into()],
-                negated: false,
-            },
-            &b
-        ));
+        assert_eq!(
+            eval_atom(
+                &Atom::HasLabel {
+                    variable: "p".into(),
+                    labels: vec!["Comment".into(), "Person".into()],
+                    negated: false,
+                },
+                &b
+            ),
+            Some(true)
+        );
+        assert_eq!(
+            eval_atom(
+                &Atom::HasLabel {
+                    variable: "p".into(),
+                    labels: vec!["Person".into()],
+                    negated: true,
+                },
+                &b
+            ),
+            Some(false)
+        );
+        // Unbound variable: unknown.
+        assert_eq!(
+            eval_atom(
+                &Atom::HasLabel {
+                    variable: "q".into(),
+                    labels: vec!["Person".into()],
+                    negated: false,
+                },
+                &b
+            ),
+            None
+        );
     }
 
     #[test]
@@ -235,7 +413,7 @@ mod tests {
             op: CmpOp::Eq,
             right: Operand::Literal(Literal::Integer(42)),
         };
-        assert!(eval_atom(&atom, &b));
+        assert_eq!(eval_atom(&atom, &b), Some(true));
     }
 
     #[test]

@@ -74,8 +74,10 @@ impl CmpOp {
         }
     }
 
-    /// The logical negation (`NOT (a < b)` ⇔ `a >= b` under the engine's
-    /// two-valued semantics; see `predicates::eval`).
+    /// The logical negation (`NOT (a < b)` ⇔ `a >= b`). Exact under
+    /// Cypher's three-valued logic: an operator and its negation map the
+    /// same operand pairs to *unknown* (NULL or incomparable operands) and
+    /// are complementary on all comparable pairs; see `predicates::eval`.
     pub fn negated(self) -> CmpOp {
         match self {
             CmpOp::Eq => CmpOp::Neq,

@@ -12,7 +12,7 @@ use gradoop_epgm::Label;
 use crate::ast::{Direction, Query, ReturnItem};
 use crate::error::QueryGraphError;
 use crate::predicates::cnf::{to_cnf, Atom, CnfClause, CnfPredicate, Operand};
-use crate::predicates::expr::{CmpOp, Literal};
+use crate::predicates::expr::{CmpOp, Expression, Literal};
 use crate::predicates::split::split_predicates;
 
 /// A query vertex with its element-centric predicate.
@@ -72,6 +72,13 @@ pub struct QueryGraph {
     pub edges: Vec<QueryEdge>,
     /// Clauses spanning multiple variables, with the variables they need.
     pub cross_clauses: Vec<(CnfClause, Vec<String>)>,
+    /// The original (parameter-substituted) `WHERE` expression, minus
+    /// top-level conjuncts that reference variable-length edge variables
+    /// (those apply per path edge and are enforced through the edge's
+    /// element-centric predicates). The reference matcher re-evaluates this
+    /// tree directly under Kleene logic as ground truth for the whole
+    /// NNF/CNF/split pipeline.
+    pub where_expression: Option<Expression>,
     /// Normalized RETURN items (`*` expanded to all named variables).
     pub return_items: Vec<ReturnItem>,
     /// `RETURN DISTINCT` — deduplicate result rows.
@@ -168,6 +175,7 @@ impl Builder {
 
         // --- WHERE ----------------------------------------------------------
         let mut cross_clauses = Vec::new();
+        let mut where_expression = None;
         if let Some(where_clause) = &query.where_clause {
             let mut expression = where_clause.clone();
             expression
@@ -178,6 +186,7 @@ impl Builder {
             for variable in &referenced {
                 self.check_known(variable)?;
             }
+            where_expression = self.retained_where_expression(&expression);
             let cnf = to_cnf(&expression);
             let split = split_predicates(&cnf);
             for (variable, predicate) in split.by_variable {
@@ -241,9 +250,45 @@ impl Builder {
             vertices: self.vertices,
             edges: self.edges,
             cross_clauses,
+            where_expression,
             return_items,
             distinct: query.return_clause.distinct,
         })
+    }
+
+    /// The part of the substituted `WHERE` expression the reference matcher
+    /// can evaluate over a complete match: the conjunction of top-level
+    /// conjuncts that do not mention a variable-length edge variable.
+    /// (Those conjuncts quantify over every edge of the matched path and
+    /// are enforced through the edge's shared element-centric predicates
+    /// instead; the builder rejects cross-variable ones outright.)
+    fn retained_where_expression(&self, expression: &Expression) -> Option<Expression> {
+        fn flatten<'a>(expr: &'a Expression, out: &mut Vec<&'a Expression>) {
+            match expr {
+                Expression::And(a, b) => {
+                    flatten(a, out);
+                    flatten(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let path_variables: BTreeSet<String> = self
+            .edges
+            .iter()
+            .filter(|e| e.is_variable_length())
+            .map(|e| e.variable.clone())
+            .collect();
+        let mut conjuncts = Vec::new();
+        flatten(expression, &mut conjuncts);
+        conjuncts
+            .into_iter()
+            .filter(|conjunct| {
+                let mut used = BTreeSet::new();
+                conjunct.collect_variables(&mut used);
+                used.is_disjoint(&path_variables)
+            })
+            .cloned()
+            .reduce(|a, b| Expression::And(Box::new(a), Box::new(b)))
     }
 
     fn fresh_variable(&mut self, prefix: &str) -> String {

@@ -101,6 +101,10 @@ struct EnvInner {
     metrics: Mutex<ExecutionMetrics>,
     trace: Mutex<Option<Arc<dyn TraceSink>>>,
     fault: Mutex<Option<FaultInjector>>,
+    /// Terminal failure recorded outside the fault-injection machinery
+    /// (e.g. an operator detecting a malformed plan). First failure wins;
+    /// drained by [`ExecutionEnvironment::take_execution_failure`].
+    poison: Mutex<Option<ExecutionFailure>>,
 }
 
 /// Handle to a simulated cluster. Cheap to clone; all clones share the same
@@ -120,6 +124,7 @@ impl ExecutionEnvironment {
                 metrics: Mutex::new(ExecutionMetrics::default()),
                 trace: Mutex::new(None),
                 fault: Mutex::new(injector),
+                poison: Mutex::new(None),
             }),
         }
     }
@@ -258,23 +263,31 @@ impl ExecutionEnvironment {
 
     /// Records a terminal execution failure (first one wins), poisoning the
     /// environment until [`ExecutionEnvironment::take_execution_failure`]
-    /// is called. No-op without an installed injector.
+    /// is called. Works with or without an installed fault injector, so
+    /// operators can surface malformed-plan errors on fault-free
+    /// environments too.
     pub fn record_execution_failure(&self, failure: ExecutionFailure) {
         if let Some(injector) = self.inner.fault.lock().unwrap().as_mut() {
             injector.record_failure(failure);
+            return;
         }
+        self.inner.poison.lock().unwrap().get_or_insert(failure);
     }
 
     /// Removes and returns the recorded execution failure, if any. The
     /// query engine calls this after running a plan; a `Some` means retries
-    /// were exhausted and the computed datasets must be discarded.
+    /// were exhausted (or an operator hit a terminal error) and the
+    /// computed datasets must be discarded. Injector-recorded failures take
+    /// precedence over the plain poison slot.
     pub fn take_execution_failure(&self) -> Option<ExecutionFailure> {
-        self.inner
+        let injected = self
+            .inner
             .fault
             .lock()
             .unwrap()
             .as_mut()
-            .and_then(FaultInjector::take_failure)
+            .and_then(FaultInjector::take_failure);
+        injected.or_else(|| self.inner.poison.lock().unwrap().take())
     }
 
     /// Installs (or, with `None`, removes) the environment's trace sink.

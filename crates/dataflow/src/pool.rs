@@ -172,8 +172,15 @@ where
                 if error.lock().unwrap().is_some() {
                     return;
                 }
-                // Own work first (LIFO: newest morsel, hottest cache).
-                let task_id = deques[w].lock().unwrap().pop_back().or_else(|| {
+                // Own work first (LIFO: newest morsel, hottest cache). The
+                // guard must drop before stealing: chaining `.or_else` onto
+                // `.lock().unwrap().pop_back()` keeps the temporary guard
+                // alive for the whole statement, so two workers stealing
+                // from each other would each hold their own deque while
+                // waiting for the other's — an ABBA deadlock (found by the
+                // conformance fuzzer, which hung here intermittently).
+                let own = deques[w].lock().unwrap().pop_back();
+                let task_id = own.or_else(|| {
                     // Steal oldest morsel from the first non-empty victim,
                     // scanning upward from our own index.
                     (1..workers)
@@ -353,6 +360,24 @@ mod tests {
         let panic = result.expect_err("panicking morsel must be reported");
         assert_eq!(panic.worker, 1);
         assert!(panic.message.contains("morsel died"));
+    }
+
+    /// Regression: workers that run dry and steal from each other must not
+    /// deadlock. Before the fix, the own-deque guard was still held while
+    /// scanning victims, so two mutually-stealing workers could block
+    /// forever; many tiny contended rounds make the interleaving likely.
+    #[test]
+    fn concurrent_stealing_does_not_deadlock() {
+        for round in 0..200 {
+            // Skewed lengths force the light partitions to steal from the
+            // heavy one (and occasionally from each other) every round.
+            let lengths = vec![32usize, 1 + round % 3, 1, 2];
+            let out = try_run_morsels(&lengths, 2, |p, range| {
+                range.map(|i| (p, i)).collect::<Vec<_>>()
+            })
+            .unwrap();
+            assert_eq!(out[0].iter().flatten().count(), 32);
+        }
     }
 
     #[test]

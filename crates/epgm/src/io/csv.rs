@@ -136,6 +136,10 @@ fn encode_value(value: &PropertyValue, out: &mut String) {
         PropertyValue::Long(v) => {
             let _ = write!(out, "l:{v}");
         }
+        PropertyValue::Float(v) => {
+            // {:?} prints enough digits to round-trip f32.
+            let _ = write!(out, "f:{v:?}");
+        }
         PropertyValue::Double(v) => {
             // {:?} prints enough digits to round-trip f64.
             let _ = write!(out, "d:{v:?}");
@@ -170,6 +174,10 @@ fn decode_value(text: &str) -> Result<PropertyValue, String> {
         "l" => payload
             .parse::<i64>()
             .map(PropertyValue::Long)
+            .map_err(|e| e.to_string()),
+        "f" => payload
+            .parse::<f32>()
+            .map(PropertyValue::Float)
             .map_err(|e| e.to_string()),
         "d" => payload
             .parse::<f64>()

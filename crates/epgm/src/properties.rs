@@ -22,6 +22,8 @@ pub enum PropertyValue {
     Int(i32),
     /// 64-bit signed integer.
     Long(i64),
+    /// 32-bit float.
+    Float(f32),
     /// 64-bit float.
     Double(f64),
     /// UTF-8 string.
@@ -39,6 +41,35 @@ mod tag {
     pub const DOUBLE: u8 = 4;
     pub const STRING: u8 = 5;
     pub const LIST: u8 = 6;
+    pub const FLOAT: u8 = 7;
+}
+
+/// Exact three-way comparison of an `i64` against an `f64`.
+///
+/// Both `x as f64` and `y as i64` lose precision beyond 2^53, which is how
+/// `Long(2^53 + 1)` used to compare `Equal` to `Long(2^53)`. Instead we
+/// compare against `floor(y)`, which is exactly representable as `i64`
+/// whenever `y` is within the `i64` range, and break ties on the fractional
+/// part.
+fn cmp_i64_f64(x: i64, y: f64) -> Option<Ordering> {
+    if y.is_nan() {
+        return None;
+    }
+    // `i64::MAX as f64` rounds up to 2^63, so `y >= 2^63` here: y exceeds
+    // every i64. Symmetrically `i64::MIN as f64` is exactly -2^63.
+    if y >= i64::MAX as f64 {
+        return Some(Ordering::Less);
+    }
+    if y < i64::MIN as f64 {
+        return Some(Ordering::Greater);
+    }
+    let floor = y.floor();
+    let ifloor = floor as i64; // exact: -2^63 <= floor < 2^63
+    Some(x.cmp(&ifloor).then(if y > floor {
+        Ordering::Less
+    } else {
+        Ordering::Equal
+    }))
 }
 
 /// Error raised when deserializing malformed property bytes.
@@ -64,6 +95,7 @@ impl PropertyValue {
         match self {
             PropertyValue::Int(v) => Some(*v as f64),
             PropertyValue::Long(v) => Some(*v as f64),
+            PropertyValue::Float(v) => Some(*v as f64),
             PropertyValue::Double(v) => Some(*v),
             _ => None,
         }
@@ -95,8 +127,13 @@ impl PropertyValue {
     }
 
     /// Three-way comparison with Cypher semantics: numbers compare across
-    /// numeric types, strings/booleans compare within their type, anything
+    /// numeric types by value (`Int`/`Long`/`Float`/`Double`, e.g.
+    /// `2015 < 2015.5`), strings/booleans compare within their type, anything
     /// else (including any comparison involving `Null`) is incomparable.
+    ///
+    /// Integer comparisons are exact: a pair of integers never rounds
+    /// through `f64`, and integer-vs-float pairs go through [`cmp_i64_f64`]
+    /// so 64-bit values beyond 2^53 keep their full precision.
     pub fn compare(&self, other: &PropertyValue) -> Option<Ordering> {
         use PropertyValue::*;
         match (self, other) {
@@ -112,10 +149,15 @@ impl PropertyValue {
                 }
                 Some(a.len().cmp(&b.len()))
             }
-            _ => {
-                let (a, b) = (self.as_f64()?, other.as_f64()?);
-                a.partial_cmp(&b)
-            }
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => Some(a.cmp(&b)),
+                (Some(a), None) => cmp_i64_f64(a, other.as_f64()?),
+                (None, Some(b)) => cmp_i64_f64(b, self.as_f64()?).map(Ordering::reverse),
+                (None, None) => {
+                    let (a, b) = (self.as_f64()?, other.as_f64()?);
+                    a.partial_cmp(&b)
+                }
+            },
         }
     }
 
@@ -140,6 +182,10 @@ impl PropertyValue {
             }
             PropertyValue::Long(v) => {
                 out.push(tag::LONG);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            PropertyValue::Float(v) => {
+                out.push(tag::FLOAT);
                 out.extend_from_slice(&v.to_le_bytes());
             }
             PropertyValue::Double(v) => {
@@ -191,6 +237,11 @@ impl PropertyValue {
                 need(rest, 8)?;
                 let v = i64::from_le_bytes(rest[..8].try_into().unwrap());
                 Ok((PropertyValue::Long(v), 9))
+            }
+            tag::FLOAT => {
+                need(rest, 4)?;
+                let v = f32::from_le_bytes(rest[..4].try_into().unwrap());
+                Ok((PropertyValue::Float(v), 5))
             }
             tag::DOUBLE => {
                 need(rest, 8)?;
@@ -244,15 +295,23 @@ impl PartialEq for PropertyValue {
             (List(a), List(b)) => a == b,
             // Numbers compare across numeric types, like Cypher's `=`.
             // NaN equals NaN here so Eq/Hash stay consistent for `distinct`.
-            (Int(_) | Long(_) | Double(_), Int(_) | Long(_) | Double(_)) => {
-                match (self, other) {
-                    (Double(a), Double(b)) => a.to_bits() == b.to_bits() || a == b,
-                    _ => {
-                        // At least one side is an integer: compare exactly.
-                        match (self.as_i64(), other.as_i64()) {
-                            (Some(a), Some(b)) => a == b,
-                            _ => self.as_f64() == other.as_f64(),
-                        }
+            (Int(_) | Long(_) | Float(_) | Double(_), Int(_) | Long(_) | Float(_) | Double(_)) => {
+                match (self.as_i64(), other.as_i64()) {
+                    // Integer pairs and integer-vs-float pairs compare exactly;
+                    // rounding through f64 would equate Long(2^53+1) with 2^53.
+                    (Some(a), Some(b)) => a == b,
+                    (Some(a), None) => {
+                        cmp_i64_f64(a, other.as_f64().expect("numeric")) == Some(Ordering::Equal)
+                    }
+                    (None, Some(b)) => {
+                        cmp_i64_f64(b, self.as_f64().expect("numeric")) == Some(Ordering::Equal)
+                    }
+                    (None, None) => {
+                        let (a, b) = (
+                            self.as_f64().expect("numeric"),
+                            other.as_f64().expect("numeric"),
+                        );
+                        a.to_bits() == b.to_bits() || a == b
                     }
                 }
             }
@@ -273,9 +332,11 @@ impl std::hash::Hash for PropertyValue {
                 b.hash(state);
             }
             // All numeric values hash through their f64 image so that
-            // Int(1), Long(1) and Double(1.0) — which compare equal — hash
-            // equally too.
-            Int(_) | Long(_) | Double(_) => {
+            // Int(1), Long(1), Float(1.0) and Double(1.0) — which compare
+            // equal — hash equally too. (Equal values always have equal f64
+            // images: exact cross-type equality implies the integer side is
+            // f64-representable.)
+            Int(_) | Long(_) | Float(_) | Double(_) => {
                 state.write_u8(2);
                 let v = self.as_f64().expect("numeric");
                 if v == v.trunc() && v.abs() < 9.0e15 {
@@ -305,6 +366,7 @@ impl std::fmt::Display for PropertyValue {
             PropertyValue::Boolean(b) => write!(f, "{b}"),
             PropertyValue::Int(v) => write!(f, "{v}"),
             PropertyValue::Long(v) => write!(f, "{v}"),
+            PropertyValue::Float(v) => write!(f, "{v}"),
             PropertyValue::Double(v) => write!(f, "{v}"),
             PropertyValue::String(s) => write!(f, "{s}"),
             PropertyValue::List(items) => {
@@ -326,7 +388,7 @@ impl Data for PropertyValue {
         match self {
             PropertyValue::Null => 1,
             PropertyValue::Boolean(_) => 2,
-            PropertyValue::Int(_) => 5,
+            PropertyValue::Int(_) | PropertyValue::Float(_) => 5,
             PropertyValue::Long(_) | PropertyValue::Double(_) => 9,
             PropertyValue::String(s) => 5 + s.len(),
             PropertyValue::List(items) => 5 + items.iter().map(Data::byte_size).sum::<usize>(),
@@ -347,6 +409,11 @@ impl From<i32> for PropertyValue {
 impl From<i64> for PropertyValue {
     fn from(v: i64) -> Self {
         PropertyValue::Long(v)
+    }
+}
+impl From<f32> for PropertyValue {
+    fn from(v: f32) -> Self {
+        PropertyValue::Float(v)
     }
 }
 impl From<f64> for PropertyValue {
@@ -508,6 +575,58 @@ mod tests {
         assert_eq!(int.compare(&long), Some(Equal));
         assert_eq!(int.compare(&double), Some(Less));
         assert_eq!(double.compare(&int), Some(Greater));
+    }
+
+    #[test]
+    fn float_values_roundtrip_and_compare() {
+        use std::cmp::Ordering::*;
+        roundtrip(PropertyValue::Float(2015.5));
+        assert_eq!(
+            PropertyValue::Int(2015).compare(&PropertyValue::Float(2015.5)),
+            Some(Less)
+        );
+        assert_eq!(
+            PropertyValue::Float(2.5).compare(&PropertyValue::Double(2.5)),
+            Some(Equal)
+        );
+        assert_eq!(PropertyValue::Float(1.5), PropertyValue::Double(1.5));
+        assert_eq!(PropertyValue::Float(7.0), PropertyValue::Long(7));
+        assert_eq!(PropertyValue::from(1.5f32).byte_size(), 5);
+    }
+
+    /// Minimal repro from the conformance fuzzer: comparing 64-bit integers
+    /// through `f64` loses precision beyond 2^53, so `2^53 + 1 > 2^53`
+    /// evaluated to false (and the two values compared `Equal`).
+    #[test]
+    fn long_comparison_is_exact_beyond_f64_precision() {
+        use std::cmp::Ordering::*;
+        let big = (1i64 << 53) + 1;
+        let base = 1i64 << 53;
+        assert_eq!(
+            PropertyValue::Long(big).compare(&PropertyValue::Long(base)),
+            Some(Greater)
+        );
+        assert_ne!(PropertyValue::Long(big), PropertyValue::Long(base));
+        // Integer-vs-float pairs are exact too: 2^53 + 1 is strictly greater
+        // than the f64 2^53 even though `(2^53 + 1) as f64 == 2^53`.
+        assert_eq!(
+            PropertyValue::Long(big).compare(&PropertyValue::Double(base as f64)),
+            Some(Greater)
+        );
+        assert_ne!(PropertyValue::Long(big), PropertyValue::Double(base as f64));
+        // Floats beyond the i64 range sort outside every integer.
+        assert_eq!(
+            PropertyValue::Long(i64::MAX).compare(&PropertyValue::Double(1e19)),
+            Some(Less)
+        );
+        assert_eq!(
+            PropertyValue::Long(i64::MIN).compare(&PropertyValue::Double(-1e19)),
+            Some(Greater)
+        );
+        assert_eq!(
+            PropertyValue::Long(3).compare(&PropertyValue::Double(f64::NAN)),
+            None
+        );
     }
 
     #[test]

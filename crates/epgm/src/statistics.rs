@@ -229,4 +229,38 @@ mod tests {
         assert_eq!(stats.distinct_vertex_values(&person, "name"), Some(2));
         assert_eq!(stats.distinct_vertex_values(&person, "missing"), None);
     }
+
+    #[test]
+    fn distinct_values_coalesce_cross_type_numerics() {
+        // Distinct-value buckets must agree with runtime comparison
+        // semantics: `Int(5)`, `Long(5)` and `Double(5.0)` all satisfy the
+        // same equality predicate, so they are one bucket, not three.
+        // (Regression for the conformance-fuzzer finding where the
+        // estimator saw 3 buckets while the filter matched all rows.)
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        use crate::properties::PropertyValue;
+        let v = |id: u64, value: PropertyValue| {
+            let mut props = Properties::new();
+            props.set("n", value);
+            Vertex::new(GradoopId(id), "Num", props)
+        };
+        let graph = LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(100), "g", Properties::new()),
+            vec![
+                v(1, PropertyValue::Int(5)),
+                v(2, PropertyValue::Long(5)),
+                v(3, PropertyValue::Double(5.0)),
+                v(4, PropertyValue::Double(6.5)),
+            ],
+            vec![],
+        );
+        let stats = GraphStatistics::of(&graph);
+        assert_eq!(
+            stats.distinct_vertex_values(&Label::new("Num"), "n"),
+            Some(2)
+        );
+    }
 }

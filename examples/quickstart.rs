@@ -103,7 +103,7 @@ fn main() {
         .expect("query executes");
     println!("query plan:\n{}", result.plan.describe(&result.query));
     println!("{} match(es):", result.count());
-    for row in result.rows() {
+    for row in result.rows().expect("rows materialize") {
         let cells: Vec<String> = row
             .values
             .iter()

@@ -1,0 +1,44 @@
+//! Differential conformance: a pinned-seed batch of random `(graph, query)`
+//! cases runs through every engine configuration and must agree with the
+//! single-machine reference matcher result-for-result.
+//!
+//! This is the always-on slice of the fuzzing subsystem
+//! (`gradoop_bench::fuzz`); the larger campaign runs in the CI
+//! `conformance` lane and via `repro --conformance`. Override the universe
+//! with `GRADOOP_TEST_SEED=<n>` to explore or to reproduce a reported
+//! failure; mismatches shrink themselves and archive a JSON repro under
+//! `target/conformance/`.
+
+mod common;
+
+use common::{test_seed, ReproHint};
+use gradoop_bench::fuzz::{run_conformance, FuzzConfig};
+
+/// Case budget for the in-suite batch: large enough to exercise every
+/// generator feature (WHERE trees, NOT, IS NULL, var-length paths,
+/// cross-type literals), small enough for `cargo test -q`.
+const CASES: usize = 150;
+
+#[test]
+fn engine_matches_reference_on_random_cases() {
+    let seed = test_seed();
+    let _hint = ReproHint::new(
+        "--test conformance_property engine_matches_reference_on_random_cases",
+        seed,
+    );
+    let report = run_conformance(&FuzzConfig::new(seed, CASES));
+    assert!(
+        report.is_clean(),
+        "conformance mismatches found:\n{}",
+        report.summary()
+    );
+    // The batch must actually exercise the engine: every configuration of
+    // every accepted case executed, and the reference produced matches
+    // (otherwise the generator drifted into a corner of empty results).
+    assert!(report.executions >= 8 * (CASES - report.rejected) / 2);
+    assert!(report.reference_matches > 0);
+    assert!(report.features.where_clause > 0);
+    assert!(report.features.negation > 0);
+    assert!(report.features.var_length > 0);
+    assert!(report.features.is_null > 0);
+}

@@ -78,6 +78,7 @@ fn tabular_result_matches_table_2a() {
         .unwrap();
     let mut rows: Vec<(String, String)> = result
         .rows_as_maps()
+        .expect("rows")
         .into_iter()
         .map(|row| {
             let name = |v: &ResultValue| match v {

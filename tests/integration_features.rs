@@ -74,7 +74,7 @@ fn is_null_finds_missing_properties() {
         "MATCH (p:Person) WHERE p.city IS NULL RETURN p.name",
     );
     assert_eq!(result.count(), 1);
-    let rows = result.rows_as_maps();
+    let rows = result.rows_as_maps().expect("rows");
     assert_eq!(
         rows[0]["p.name"],
         ResultValue::Property(PropertyValue::String("Bob".into()))
@@ -134,6 +134,7 @@ fn return_distinct_rows_are_usable() {
     );
     let mut names: Vec<String> = result
         .rows_as_maps()
+        .expect("rows")
         .into_iter()
         .map(|row| match &row["b.name"] {
             ResultValue::Property(PropertyValue::String(s)) => s.clone(),
@@ -153,7 +154,10 @@ fn distinct_count_star_counts_matches() {
         &graph,
         "MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(*)",
     );
-    assert_eq!(result.rows()[0].values[0].1, ResultValue::Count(3));
+    assert_eq!(
+        result.rows().expect("rows")[0].values[0].1,
+        ResultValue::Count(3)
+    );
 }
 
 #[test]
@@ -164,7 +168,7 @@ fn aliases_rename_result_columns() {
         &graph,
         "MATCH (p:Person {name: 'Alice'}) RETURN p.name AS who",
     );
-    let rows = result.rows_as_maps();
+    let rows = result.rows_as_maps().expect("rows");
     assert!(rows[0].contains_key("who"));
     assert!(!rows[0].contains_key("p.name"));
 }
