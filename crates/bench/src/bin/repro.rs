@@ -17,13 +17,16 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use gradoop_bench::figure1::{figure1_graph, FIGURE1_QUERIES};
+use gradoop_bench::gate::{compare, BenchReport, Direction};
 use gradoop_bench::harness::{self, Measurement, ScaleFactor};
 use gradoop_bench::report::{bytes, seconds, speedup, Table};
 use gradoop_core::{
-    CypherEngine, Embedding, EmbeddingMetaData, EntryType, MatchingConfig, MorphismCheck,
+    CypherEngine, Embedding, EmbeddingMetaData, EntryType, JsonlQueryLog, MatchingConfig,
+    MorphismCheck,
 };
 use gradoop_dataflow::{
-    CostModel, Dataset, ExecutionConfig, ExecutionEnvironment, FailureSchedule, FaultConfig,
+    chrome_trace_json, CollectingSink, CostModel, Dataset, ExecutionConfig, ExecutionEnvironment,
+    FailureSchedule, FaultConfig, MetricsRegistry,
 };
 use gradoop_epgm::PropertyValue;
 use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
@@ -881,9 +884,249 @@ fn bench_pr4() {
     println!("wrote BENCH_pr4.json\n");
 }
 
+/// Emits `BENCH_pr6.json` — the standardized perf-gate report: Figure 1
+/// query makespans, operator throughput, kernel/query allocation counts and
+/// the morsel-stealing skewed-stage makespan, each with its regression
+/// threshold. With `check_baseline`, diffs the fresh report against the
+/// committed `BENCH_pr6_baseline.json` and exits non-zero on regression.
+fn bench_pr6(check_baseline: bool) {
+    println!("== BENCH_pr6: telemetry perf-regression gate ==\n");
+    let mut report = BenchReport::new();
+
+    // -- Figure 1 query makespans (simulated seconds: fully deterministic,
+    // so the gate can be tight).
+    let mut table = Table::new(["metric", "value", "gate"]);
+    for (index, query) in FIGURE1_QUERIES.iter().enumerate() {
+        let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+        let graph = figure1_graph(&env);
+        let engine = CypherEngine::for_graph(&graph);
+        env.reset_metrics();
+        let query_allocs_before = allocations();
+        engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        let query_allocs = allocations() - query_allocs_before;
+        let metrics = env.metrics();
+        let name = format!("figure1.q{}.simulated_seconds", index + 1);
+        table.row([
+            name.clone(),
+            format!("{:.6}", metrics.simulated_seconds),
+            "1.25x lower".into(),
+        ]);
+        report.add(
+            name,
+            metrics.simulated_seconds,
+            1.25,
+            Direction::LowerIsBetter,
+        );
+        // Allocation counts vary with thread scheduling: generous gate.
+        let name = format!("figure1.q{}.allocations", index + 1);
+        table.row([name.clone(), query_allocs.to_string(), "2.00x lower".into()]);
+        report.add(name, query_allocs as f64, 2.0, Direction::LowerIsBetter);
+    }
+
+    // -- Operator throughput from PROFILE (rows per simulated second over
+    // the whole plan tree; deterministic).
+    {
+        let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+        let graph = figure1_graph(&env);
+        let engine = CypherEngine::for_graph(&graph);
+        let profile = engine
+            .profile(
+                &graph,
+                FIGURE1_QUERIES[0],
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .expect("profile runs");
+        let rows: u64 = profile
+            .root
+            .operator_rows()
+            .iter()
+            .map(|(_, rows)| rows)
+            .sum();
+        let throughput = rows as f64 / profile.simulated_seconds.max(1e-9);
+        table.row([
+            "operators.rows_per_simulated_second".into(),
+            format!("{throughput:.3}"),
+            "1.25x higher".into(),
+        ]);
+        report.add(
+            "operators.rows_per_simulated_second",
+            throughput,
+            1.25,
+            Direction::HigherIsBetter,
+        );
+    }
+
+    // -- Join-kernel allocation budget (single-threaded and deterministic:
+    // the PR-4 fused merge kernel must stay at <= 1 allocation per output).
+    {
+        let mut left = Embedding::new();
+        left.push_id(1);
+        left.push_id(2);
+        let mut right = Embedding::new();
+        right.push_id(1);
+        right.push_id(3);
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("a", EntryType::Vertex);
+        meta.add_entry("b", EntryType::Vertex);
+        meta.add_entry("c", EntryType::Vertex);
+        let check = MorphismCheck::new(&meta, &MatchingConfig::isomorphism());
+        let mut scratch = Embedding::new();
+        let mut ids = Vec::new();
+        left.merge_into(&right, &[0], &mut scratch);
+        assert!(check.check(&scratch, &mut ids));
+        const PAIRS: u64 = 10_000;
+        let start = allocations();
+        for _ in 0..PAIRS {
+            left.merge_into(&right, &[0], &mut scratch);
+            assert!(check.check(&scratch, &mut ids));
+            std::hint::black_box(scratch.clone());
+        }
+        let allocs_per_pair = (allocations() - start) as f64 / PAIRS as f64;
+        table.row([
+            "kernel.allocs_per_pair".into(),
+            format!("{allocs_per_pair:.2}"),
+            "1.50x lower".into(),
+        ]);
+        report.add(
+            "kernel.allocs_per_pair",
+            allocs_per_pair,
+            1.5,
+            Direction::LowerIsBetter,
+        );
+    }
+
+    // -- Morsel stealing on the skewed 64/16/16/16 stage (simulated
+    // makespan, deterministic schedule).
+    {
+        let skewed: Vec<Vec<u64>> = vec![
+            (0..64).collect(),
+            (64..80).collect(),
+            (80..96).collect(),
+            (96..112).collect(),
+        ];
+        let run_skew = |stealing: bool| -> f64 {
+            let config = ExecutionConfig::with_workers(4).cost_model(CostModel {
+                cpu_seconds_per_record: 1.0,
+                stage_overhead_seconds: 0.0,
+                ..CostModel::free()
+            });
+            let config = if stealing {
+                config.work_stealing(true).morsel_size(4)
+            } else {
+                config
+            };
+            let env = ExecutionEnvironment::new(config);
+            let mapped = Dataset::from_partitions(env.clone(), skewed.clone()).map(|x| x * 3);
+            std::hint::black_box(mapped.collect());
+            env.simulated_seconds()
+        };
+        let static_seconds = run_skew(false);
+        let stolen_seconds = run_skew(true);
+        table.row([
+            "morsel.skewed_static_seconds".into(),
+            format!("{static_seconds:.6}"),
+            "1.25x lower".into(),
+        ]);
+        table.row([
+            "morsel.skewed_stolen_seconds".into(),
+            format!("{stolen_seconds:.6}"),
+            "1.25x lower".into(),
+        ]);
+        report.add(
+            "morsel.skewed_static_seconds",
+            static_seconds,
+            1.25,
+            Direction::LowerIsBetter,
+        );
+        report.add(
+            "morsel.skewed_stolen_seconds",
+            stolen_seconds,
+            1.25,
+            Direction::LowerIsBetter,
+        );
+    }
+
+    println!("{table}");
+    std::fs::write("BENCH_pr6.json", report.to_json()).expect("write BENCH_pr6.json");
+    println!("wrote BENCH_pr6.json");
+    println!(
+        "-- metrics registry snapshot:\n{}\n",
+        MetricsRegistry::global().snapshot().to_json()
+    );
+
+    if check_baseline {
+        let baseline_text = std::fs::read_to_string("BENCH_pr6_baseline.json")
+            .expect("read BENCH_pr6_baseline.json (run from the repo root)");
+        let baseline = BenchReport::parse(&baseline_text).expect("parse baseline");
+        let outcome = compare(&baseline, &report);
+        println!("-- gate vs committed baseline:");
+        print!("{}", outcome.summary());
+        if !outcome.is_pass() {
+            println!("bench gate FAILED");
+            std::process::exit(1);
+        }
+        println!("bench gate OK");
+    }
+}
+
+/// Runs the Figure 1 queries with a collecting trace sink and writes the
+/// Chrome trace-event timeline (`chrome://tracing` / Perfetto loadable) to
+/// `path`. With `query_log_path`, the engine's query log additionally
+/// streams one JSONL record per query to that file.
+fn trace_out(path: &str, query_log_path: Option<&str>) {
+    use std::sync::Arc;
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+    let sink = Arc::new(CollectingSink::new());
+    env.set_trace_sink(Some(sink.clone()));
+    let graph = figure1_graph(&env);
+    let mut engine = CypherEngine::for_graph(&graph);
+    if let Some(log_path) = query_log_path {
+        let log = JsonlQueryLog::create(std::path::Path::new(log_path))
+            .unwrap_or_else(|e| panic!("open {log_path}: {e}"));
+        engine = engine.with_query_log(Arc::new(log));
+    }
+    for query in FIGURE1_QUERIES {
+        engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+    }
+    let trace = sink.snapshot();
+    std::fs::write(path, chrome_trace_json(&trace)).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "wrote Chrome trace-event timeline to {path} ({} stages, {} spans)",
+        trace.stages.len(),
+        trace.spans.len()
+    );
+    if let Some(log_path) = query_log_path {
+        println!(
+            "wrote query log to {log_path} ({} queries)",
+            FIGURE1_QUERIES.len()
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
     if has("--smoke") {
         // CI smoke run: exercise the harness end to end (generation,
         // planning, execution, PROFILE, the shuffle-avoidance ablation) on
@@ -929,7 +1172,10 @@ fn main() {
             && !has("--ablations")
             && !has("--plans")
             && !has("--profiles")
-            && !has("--bench-pr4"));
+            && !has("--bench-pr4")
+            && !has("--bench-pr6")
+            && !has("--check-baseline")
+            && !has("--trace-out"));
     let scale = if has("--quick") { 0.2 } else { 1.0 };
     let mut memo = Memo::new(scale);
 
@@ -967,5 +1213,11 @@ fn main() {
     }
     if all || has("--bench-pr4") {
         bench_pr4();
+    }
+    if all || has("--bench-pr6") || has("--check-baseline") {
+        bench_pr6(has("--check-baseline"));
+    }
+    if let Some(path) = value_of("--trace-out") {
+        trace_out(&path, value_of("--query-log").as_deref());
     }
 }

@@ -1,0 +1,425 @@
+//! The perf-regression gate: standardized benchmark reports plus a
+//! comparator that diffs a fresh run against a committed baseline.
+//!
+//! A [`BenchReport`] is a flat map of named metrics, each carrying its
+//! measured value, the **direction** in which bigger numbers are worse or
+//! better, and a per-metric regression **threshold** (a multiplicative
+//! tolerance). The report serializes to the schema-stable
+//! `BENCH_pr6.json` document:
+//!
+//! ```json
+//! {"schema": "bench-pr6/v1",
+//!  "metrics": {"figure1.q1.simulated_seconds":
+//!                {"value": 1.25, "threshold": 1.25, "direction": "lower"}}}
+//! ```
+//!
+//! [`compare`] diffs a current report against a baseline: a lower-is-better
+//! metric regresses when `current > baseline * threshold`, a
+//! higher-is-better one when `current < baseline / threshold`. Thresholds
+//! are read from the **baseline**, so loosening a gate is a reviewable
+//! change to the committed file. Metrics present in the baseline but
+//! missing from the current run fail the gate too — schema drift is a
+//! regression, not a free pass. `repro --bench-pr6 --check-baseline` wires
+//! this into CI.
+
+use std::collections::BTreeMap;
+
+use gradoop_dataflow::JsonValue;
+
+/// Identifier of the report schema this module reads and writes.
+pub const BENCH_SCHEMA: &str = "bench-pr6/v1";
+
+/// Whether smaller or larger values of a metric are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (makespans, allocation counts).
+    LowerIsBetter,
+    /// Larger is better (throughput).
+    HigherIsBetter,
+}
+
+impl Direction {
+    /// Stable name used in JSON (`"lower"` / `"higher"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower",
+            Direction::HigherIsBetter => "higher",
+        }
+    }
+
+    /// Parses [`Direction::name`] output.
+    pub fn parse(name: &str) -> Option<Direction> {
+        match name {
+            "lower" => Some(Direction::LowerIsBetter),
+            "higher" => Some(Direction::HigherIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One benchmark metric: measured value, tolerance, and direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMetric {
+    /// The measured value.
+    pub value: f64,
+    /// Multiplicative tolerance before the gate fails: a lower-is-better
+    /// metric may grow to `value * threshold`, a higher-is-better one may
+    /// shrink to `value / threshold`. Deterministic simulated metrics get
+    /// tight thresholds (~1.25); allocation counts, which vary with thread
+    /// scheduling, get generous ones (~2.0).
+    pub threshold: f64,
+    /// Which way regressions point.
+    pub direction: Direction,
+}
+
+/// A named set of benchmark metrics — the content of `BENCH_pr6.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Metrics by name, ordered for stable serialization.
+    pub metrics: BTreeMap<String, BenchMetric>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        BenchReport::default()
+    }
+
+    /// Adds (or replaces) a metric.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        threshold: f64,
+        direction: Direction,
+    ) {
+        self.metrics.insert(
+            name.into(),
+            BenchMetric {
+                value,
+                threshold,
+                direction,
+            },
+        );
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema", JsonValue::string(BENCH_SCHEMA)),
+            (
+                "metrics",
+                JsonValue::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(name, metric)| {
+                            (
+                                name.clone(),
+                                JsonValue::object(vec![
+                                    ("value", JsonValue::Number(metric.value)),
+                                    ("threshold", JsonValue::Number(metric.threshold)),
+                                    ("direction", JsonValue::string(metric.direction.name())),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The report as compact JSON text (one trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = self.to_json_value().to_json();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a report written by [`BenchReport::to_json`]. Rejects
+    /// unknown schema identifiers and malformed metrics.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let value = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let schema = value
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (expected {BENCH_SCHEMA:?})"
+            ));
+        }
+        let JsonValue::Object(metrics) = value.get("metrics").ok_or("missing \"metrics\"")? else {
+            return Err("\"metrics\" is not an object".into());
+        };
+        let mut report = BenchReport::new();
+        for (name, metric) in metrics {
+            let value = metric
+                .get("value")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("metric {name:?}: missing \"value\""))?;
+            let threshold = metric
+                .get("threshold")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("metric {name:?}: missing \"threshold\""))?;
+            // Written to also reject a NaN threshold.
+            if threshold < 1.0 || threshold.is_nan() {
+                return Err(format!(
+                    "metric {name:?}: threshold {threshold} must be >= 1"
+                ));
+            }
+            let direction = metric
+                .get("direction")
+                .and_then(JsonValue::as_str)
+                .and_then(Direction::parse)
+                .ok_or_else(|| format!("metric {name:?}: bad \"direction\""))?;
+            report.add(name.clone(), value, threshold, direction);
+        }
+        Ok(report)
+    }
+}
+
+/// One comparator verdict for a single metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateFinding {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (NaN when the metric is missing from the current run).
+    pub current: f64,
+    /// `current / baseline` (NaN when missing).
+    pub ratio: f64,
+    /// The tolerance that was applied.
+    pub threshold: f64,
+    /// True when this finding fails the gate.
+    pub regressed: bool,
+}
+
+/// The comparator's full verdict.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// One finding per baseline metric, in name order.
+    pub findings: Vec<GateFinding>,
+    /// Metrics present in the current run but absent from the baseline
+    /// (informational: they gate nothing until the baseline is updated).
+    pub new_metrics: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no baseline metric regressed or went missing.
+    pub fn is_pass(&self) -> bool {
+        self.findings.iter().all(|f| !f.regressed)
+    }
+
+    /// The findings that fail the gate.
+    pub fn regressions(&self) -> Vec<&GateFinding> {
+        self.findings.iter().filter(|f| f.regressed).collect()
+    }
+
+    /// Human-readable multi-line summary (one line per baseline metric).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            let verdict = if finding.regressed { "FAIL" } else { "ok" };
+            if finding.current.is_nan() {
+                out.push_str(&format!(
+                    "{verdict:>4}  {}  baseline {:.6}  current MISSING\n",
+                    finding.name, finding.baseline
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{verdict:>4}  {}  baseline {:.6}  current {:.6}  ratio {:.3} (allowed {:.2}x)\n",
+                    finding.name,
+                    finding.baseline,
+                    finding.current,
+                    finding.ratio,
+                    finding.threshold
+                ));
+            }
+        }
+        for name in &self.new_metrics {
+            out.push_str(&format!("note  {name}  new metric (not in baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`. Thresholds and directions come from
+/// the baseline; see the module docs for the regression rule.
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    for (name, base) in &baseline.metrics {
+        let Some(cur) = current.metrics.get(name) else {
+            outcome.findings.push(GateFinding {
+                name: name.clone(),
+                baseline: base.value,
+                current: f64::NAN,
+                ratio: f64::NAN,
+                threshold: base.threshold,
+                regressed: true,
+            });
+            continue;
+        };
+        let ratio = if base.value.abs() > f64::EPSILON {
+            cur.value / base.value
+        } else if cur.value.abs() <= f64::EPSILON {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        let regressed = match base.direction {
+            Direction::LowerIsBetter => ratio > base.threshold,
+            Direction::HigherIsBetter => ratio < 1.0 / base.threshold,
+        };
+        outcome.findings.push(GateFinding {
+            name: name.clone(),
+            baseline: base.value,
+            current: cur.value,
+            ratio,
+            threshold: base.threshold,
+            regressed,
+        });
+    }
+    for name in current.metrics.keys() {
+        if !baseline.metrics.contains_key(name) {
+            outcome.new_metrics.push(name.clone());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut report = BenchReport::new();
+        report.add(
+            "figure1.q1.simulated_seconds",
+            1.5,
+            1.25,
+            Direction::LowerIsBetter,
+        );
+        report.add(
+            "operators.rows_per_simulated_second",
+            4000.0,
+            1.5,
+            Direction::HigherIsBetter,
+        );
+        report.add("kernel.allocs_per_pair", 1.0, 2.0, Direction::LowerIsBetter);
+        report
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = sample_report();
+        let parsed = BenchReport::parse(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        assert!(report
+            .to_json_value()
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|s| s == BENCH_SCHEMA));
+    }
+
+    #[test]
+    fn parser_rejects_foreign_schemas_and_bad_metrics() {
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse(r#"{"schema": "bench-pr5/v1", "metrics": {}}"#).is_err());
+        assert!(BenchReport::parse(
+            r#"{"schema": "bench-pr6/v1", "metrics": {"m": {"value": 1}}}"#
+        )
+        .is_err());
+        // Threshold below 1 would make the gate fail on identical runs.
+        assert!(BenchReport::parse(
+            r#"{"schema": "bench-pr6/v1",
+                "metrics": {"m": {"value": 1, "threshold": 0.5, "direction": "lower"}}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let report = sample_report();
+        let outcome = compare(&report, &report);
+        assert!(outcome.is_pass(), "{}", outcome.summary());
+        assert!(outcome.regressions().is_empty());
+    }
+
+    #[test]
+    fn a_2x_makespan_regression_fails_the_gate() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current
+            .metrics
+            .get_mut("figure1.q1.simulated_seconds")
+            .unwrap()
+            .value = 3.0; // 2x the baseline's 1.5s — past the 1.25x gate.
+        let outcome = compare(&baseline, &current);
+        assert!(!outcome.is_pass());
+        let regressions = outcome.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "figure1.q1.simulated_seconds");
+        assert!((regressions[0].ratio - 2.0).abs() < 1e-9);
+        assert!(outcome.summary().contains("FAIL"));
+    }
+
+    #[test]
+    fn throughput_drops_fail_and_gains_pass() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current
+            .metrics
+            .get_mut("operators.rows_per_simulated_second")
+            .unwrap()
+            .value = 2000.0; // halved throughput against a 1.5x gate
+        assert!(!compare(&baseline, &current).is_pass());
+        current
+            .metrics
+            .get_mut("operators.rows_per_simulated_second")
+            .unwrap()
+            .value = 9000.0; // improvement never fails
+        assert!(compare(&baseline, &current).is_pass());
+    }
+
+    #[test]
+    fn small_drift_within_threshold_passes() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current
+            .metrics
+            .get_mut("figure1.q1.simulated_seconds")
+            .unwrap()
+            .value = 1.8; // ratio 1.2 < 1.25
+        assert!(compare(&baseline, &current).is_pass());
+    }
+
+    #[test]
+    fn missing_metric_fails_the_gate_and_new_metrics_are_noted() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.metrics.remove("kernel.allocs_per_pair");
+        current.add("brand.new", 1.0, 1.25, Direction::LowerIsBetter);
+        let outcome = compare(&baseline, &current);
+        assert!(!outcome.is_pass());
+        assert!(outcome
+            .regressions()
+            .iter()
+            .any(|f| f.name == "kernel.allocs_per_pair" && f.current.is_nan()));
+        assert_eq!(outcome.new_metrics, vec!["brand.new".to_string()]);
+        assert!(outcome.summary().contains("MISSING"));
+        assert!(outcome.summary().contains("new metric"));
+    }
+
+    #[test]
+    fn zero_baselines_compare_sanely() {
+        let mut baseline = BenchReport::new();
+        baseline.add("steals", 0.0, 1.25, Direction::LowerIsBetter);
+        let mut same = BenchReport::new();
+        same.add("steals", 0.0, 1.25, Direction::LowerIsBetter);
+        assert!(compare(&baseline, &same).is_pass());
+        let mut worse = BenchReport::new();
+        worse.add("steals", 5.0, 1.25, Direction::LowerIsBetter);
+        assert!(!compare(&baseline, &worse).is_pass());
+    }
+}

@@ -25,9 +25,11 @@
 
 pub mod figure1;
 pub mod fuzz;
+pub mod gate;
 pub mod harness;
 pub mod report;
 
+pub use gate::{compare, BenchMetric, BenchReport, Direction, GateFinding, GateOutcome};
 pub use harness::{
     dataset, profile_query, profile_query_faulted, result_digest, run_query, run_query_faulted,
     Measurement, ScaleFactor,

@@ -1,0 +1,99 @@
+//! End-to-end telemetry tests: the Figure 1 timeline export must be valid
+//! Chrome trace JSON with one lane event per operator stage per worker, the
+//! query log must record every query, and the committed bench baseline must
+//! parse and pass the regression gate against itself.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use gradoop_bench::figure1::{figure1_graph, FIGURE1_QUERIES};
+use gradoop_bench::gate::{compare, BenchReport};
+use gradoop_core::{CypherEngine, MatchingConfig, MemoryQueryLog, QueryOutcome};
+use gradoop_dataflow::{
+    chrome_trace_json, CollectingSink, ExecutionConfig, ExecutionEnvironment, JsonValue,
+};
+
+const WORKERS: usize = 4;
+
+/// Runs every Figure 1 query with a collecting trace sink and a memory
+/// query log, returning the captured trace and the log.
+fn run_figure1() -> (gradoop_dataflow::CollectedTrace, Arc<MemoryQueryLog>) {
+    let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(WORKERS));
+    let sink = Arc::new(CollectingSink::new());
+    env.set_trace_sink(Some(sink.clone()));
+    let graph = figure1_graph(&env);
+    let log = Arc::new(MemoryQueryLog::new());
+    let engine = CypherEngine::for_graph(&graph).with_query_log(log.clone());
+    for query in FIGURE1_QUERIES {
+        engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+    }
+    (sink.snapshot(), log)
+}
+
+#[test]
+fn figure1_timeline_is_valid_chrome_trace_with_one_event_per_stage_per_worker() {
+    let (trace, _log) = run_figure1();
+    assert!(!trace.stages.is_empty(), "queries must produce stages");
+    let exported = chrome_trace_json(&trace);
+    let value = JsonValue::parse(&exported).expect("timeline parses as JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    // One complete ("ph":"X") lane event per stage per worker on pid 0.
+    let stage_events: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(JsonValue::as_str) == Some("stage"))
+        .collect();
+    assert_eq!(
+        stage_events.len(),
+        trace.stages.len() * WORKERS,
+        "one span per operator stage per worker"
+    );
+    let lanes: BTreeSet<i64> = stage_events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(JsonValue::as_f64))
+        .map(|tid| tid as i64)
+        .collect();
+    assert_eq!(lanes, (0..WORKERS as i64).collect::<BTreeSet<i64>>());
+    for event in &stage_events {
+        assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+        let dur = event.get("dur").and_then(JsonValue::as_f64).unwrap();
+        assert!(dur >= 0.0, "durations are non-negative microseconds");
+    }
+}
+
+#[test]
+fn figure1_queries_all_land_in_the_query_log_as_ok() {
+    let (_trace, log) = run_figure1();
+    let records = log.snapshot();
+    assert_eq!(records.len(), FIGURE1_QUERIES.len());
+    for record in &records {
+        assert_eq!(record.outcome, QueryOutcome::Ok);
+        assert_eq!(record.fingerprint.len(), 16);
+        assert_eq!(record.plan_digest.len(), 16);
+        assert!(!record.operators.is_empty());
+        assert!(record.simulated_seconds > 0.0);
+    }
+    // The four queries have four distinct shapes.
+    let shapes: BTreeSet<&str> = records.iter().map(|r| r.fingerprint.as_str()).collect();
+    assert_eq!(shapes.len(), FIGURE1_QUERIES.len());
+}
+
+#[test]
+fn committed_baseline_parses_and_passes_the_gate_against_itself() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6_baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_pr6_baseline.json exists");
+    let baseline = BenchReport::parse(&text).expect("baseline parses under bench-pr6/v1 schema");
+    assert!(!baseline.metrics.is_empty());
+    let outcome = compare(&baseline, &baseline);
+    assert!(outcome.is_pass(), "baseline vs itself must pass the gate");
+    assert!(outcome.regressions().is_empty());
+}

@@ -7,10 +7,16 @@ use gradoop_cypher::{parse, Literal, ParseError, QueryGraph, QueryGraphError};
 use gradoop_dataflow::ExecutionFailure;
 use gradoop_epgm::{GraphCollection, GraphStatistics, LogicalGraph};
 
+use std::sync::Arc;
+
 use crate::executor::{execute_plan, execute_plan_profiled};
 use crate::matching::MatchingConfig;
-use crate::observe::{Explain, Profile};
+use crate::observe::{q_error, Explain, Profile};
 use crate::planner::{plan_query, Estimator, PlanError, QueryPlan};
+use crate::querylog::{
+    global_query_log, normalize_query_shape, record_from_profile, stable_digest, OperatorLogEntry,
+    QueryLogRecord, QueryLogSink, QueryOutcome, TeeSink,
+};
 use crate::result::QueryResult;
 use crate::source::GraphSource;
 
@@ -66,15 +72,39 @@ impl From<ExecutionFailure> for CypherError {
 
 /// The Cypher query engine. Holds the graph statistics used by the greedy
 /// planner; create it once per data graph and reuse it across queries.
-#[derive(Debug, Clone)]
+///
+/// Every run — successful or not — appends one [`QueryLogRecord`] to the
+/// engine's query log sink (the process-wide [`global_query_log`] by
+/// default; see [`with_query_log`](CypherEngine::with_query_log)).
+#[derive(Clone)]
 pub struct CypherEngine {
     statistics: GraphStatistics,
+    query_log: Arc<dyn QueryLogSink>,
+}
+
+impl std::fmt::Debug for CypherEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CypherEngine")
+            .field("statistics", &self.statistics)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CypherEngine {
     /// Creates an engine with pre-computed statistics.
     pub fn with_statistics(statistics: GraphStatistics) -> Self {
-        CypherEngine { statistics }
+        CypherEngine {
+            statistics,
+            query_log: global_query_log(),
+        }
+    }
+
+    /// Replaces the query log sink (the process-wide in-memory log by
+    /// default) — e.g. with a
+    /// [`JsonlQueryLog`](crate::querylog::JsonlQueryLog) file sink.
+    pub fn with_query_log(mut self, sink: Arc<dyn QueryLogSink>) -> Self {
+        self.query_log = sink;
+        self
     }
 
     /// Creates an engine, computing statistics from the data graph.
@@ -107,19 +137,92 @@ impl CypherEngine {
         params: &HashMap<String, Literal>,
         matching: MatchingConfig,
     ) -> Result<QueryResult, CypherError> {
-        let (query, plan) = self.plan(query_text, params)?;
+        let started = std::time::Instant::now();
+        let shape = normalize_query_shape(query_text);
+        let fingerprint = stable_digest(&shape);
+        let (query, plan) = match self.plan(query_text, params) {
+            Ok(planned) => planned,
+            Err(error) => {
+                self.query_log.log(&QueryLogRecord {
+                    query: query_text.to_string(),
+                    shape,
+                    fingerprint,
+                    plan_digest: String::new(),
+                    outcome: QueryOutcome::Error,
+                    error: Some(error.to_string()),
+                    matches: 0,
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                    simulated_seconds: 0.0,
+                    operators: vec![],
+                    max_q_error: 1.0,
+                    recovery_attempts: 0,
+                    stolen_morsels: 0,
+                    peak_memory_bytes: 0,
+                });
+                return Err(error);
+            }
+        };
+        let plan_digest = stable_digest(&plan.explain.to_text());
+        let env = source.env();
+        let metrics_before = env.metrics();
+        // Tee stage reports into a collector so the query log sees
+        // per-stage rows/bytes without clobbering a user-installed sink.
+        let collector = std::sync::Arc::new(gradoop_dataflow::CollectingSink::new());
+        let downstream = env.trace_sink();
+        env.set_trace_sink(Some(Arc::new(TeeSink::new(
+            downstream.clone(),
+            collector.clone(),
+        ))));
         // Drop any stale poison from a previous failed run on this
         // environment, so this execution is judged on its own faults.
-        let _ = source.env().take_execution_failure();
+        let _ = env.take_execution_failure();
         let mut result = execute_plan(&plan.root, &query, source, &matching);
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
         }
+        env.set_trace_sink(downstream);
+        let stages = collector.drain().stages;
+        let metrics = env.metrics();
+        let mut record = QueryLogRecord {
+            query: query_text.to_string(),
+            shape,
+            fingerprint,
+            plan_digest,
+            outcome: QueryOutcome::Ok,
+            error: None,
+            matches: 0,
+            wall_seconds: 0.0,
+            simulated_seconds: metrics.simulated_seconds - metrics_before.simulated_seconds,
+            operators: stages
+                .iter()
+                .map(|s| OperatorLogEntry {
+                    name: s.name.clone(),
+                    rows_out: s.records_out,
+                    bytes: s.bytes_shuffled,
+                })
+                .collect(),
+            max_q_error: 1.0,
+            recovery_attempts: stages.iter().map(|s| s.attempts.saturating_sub(1)).sum(),
+            stolen_morsels: stages.iter().map(|s| s.stolen_morsels).sum(),
+            peak_memory_bytes: stages
+                .iter()
+                .map(|s| s.peak_memory_bytes)
+                .max()
+                .unwrap_or(0),
+        };
         // Checked after DISTINCT projection so malformed-plan failures
         // recorded there are surfaced too.
-        if let Some(failure) = source.env().take_execution_failure() {
+        if let Some(failure) = env.take_execution_failure() {
+            record.outcome = QueryOutcome::Faulted;
+            record.error = Some(failure.to_string());
+            record.wall_seconds = started.elapsed().as_secs_f64();
+            self.query_log.log(&record);
             return Err(CypherError::Execution(failure));
         }
+        record.matches = result.data.len_untracked() as u64;
+        record.max_q_error = q_error(plan.estimated_cardinality, record.matches);
+        record.wall_seconds = started.elapsed().as_secs_f64();
+        self.query_log.log(&record);
         Ok(QueryResult {
             embeddings: result.data,
             meta: result.meta,
@@ -175,7 +278,7 @@ impl CypherEngine {
             return Err(CypherError::Execution(failure));
         }
         let metrics = env.metrics();
-        Ok(Profile {
+        let profile = Profile {
             query: query_text.to_string(),
             root,
             planner: plan.planner,
@@ -186,7 +289,16 @@ impl CypherEngine {
             recovery_seconds: metrics.recovery_seconds - metrics_before.recovery_seconds,
             checkpoint_bytes: metrics.checkpoint_bytes - metrics_before.checkpoint_bytes,
             restored_bytes: metrics.restored_bytes - metrics_before.restored_bytes,
-        })
+            peak_memory_bytes: metrics.peak_memory_bytes,
+            scratch_allocations: metrics.scratch_allocations - metrics_before.scratch_allocations,
+        };
+        self.query_log.log(&record_from_profile(
+            query_text,
+            stable_digest(&plan.explain.to_text()),
+            &profile,
+            metrics.stolen_morsels - metrics_before.stolen_morsels,
+        ));
+        Ok(profile)
     }
 }
 
@@ -375,6 +487,103 @@ mod tests {
             .collect();
         names.sort();
         assert_eq!(names, vec!["Alice", "Eve"]);
+    }
+
+    #[test]
+    fn every_run_lands_in_the_query_log() {
+        use crate::querylog::MemoryQueryLog;
+        let graph = sample_graph();
+        let log = Arc::new(MemoryQueryLog::new());
+        let engine = CypherEngine::for_graph(&graph).with_query_log(log.clone());
+
+        // A successful run logs `ok` with operator rows and a plan digest.
+        let query = "MATCH (p1:Person)-[s:studyAt]->(u:University) RETURN p1.name";
+        engine
+            .execute(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        // A parse error logs `error` with no digest.
+        let bad = engine.execute(
+            &graph,
+            "MATCH (p:Person RETURN p",
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        );
+        assert!(bad.is_err());
+
+        let records = log.snapshot();
+        assert_eq!(records.len(), 2);
+        let ok = &records[0];
+        assert_eq!(ok.outcome, QueryOutcome::Ok);
+        assert_eq!(ok.matches, 2);
+        assert!(ok.error.is_none());
+        assert_eq!(ok.fingerprint.len(), 16);
+        assert_eq!(ok.plan_digest.len(), 16);
+        assert!(!ok.operators.is_empty());
+        assert!(ok.operators.iter().any(|op| op.rows_out > 0));
+        // The sample graph runs on CostModel::free(): zero simulated cost.
+        assert!(ok.simulated_seconds >= 0.0);
+        assert!(ok.max_q_error >= 1.0 && ok.max_q_error.is_finite());
+        let err = &records[1];
+        assert_eq!(err.outcome, QueryOutcome::Error);
+        assert!(err.error.is_some());
+        assert!(err.plan_digest.is_empty());
+
+        // The same shape with different literals fingerprints identically.
+        let with_filter = |year: i64| {
+            format!(
+                "MATCH (p1:Person)-[s:studyAt]->(u:University) \
+                 WHERE s.classYear > {year} RETURN p1.name"
+            )
+        };
+        engine
+            .execute(
+                &graph,
+                &with_filter(2014),
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        engine
+            .execute(
+                &graph,
+                &with_filter(2015),
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        let records = log.snapshot();
+        assert_eq!(records[2].fingerprint, records[3].fingerprint);
+        assert_ne!(records[2].query, records[3].query);
+    }
+
+    #[test]
+    fn profile_runs_are_logged_with_per_operator_entries() {
+        use crate::querylog::MemoryQueryLog;
+        let graph = sample_graph();
+        let log = Arc::new(MemoryQueryLog::new());
+        let engine = CypherEngine::for_graph(&graph).with_query_log(log.clone());
+        let profile = engine
+            .profile(
+                &graph,
+                "MATCH (p1:Person)-[s:studyAt]->(u:University) RETURN p1.name",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        let records = log.snapshot();
+        assert_eq!(records.len(), 1);
+        let record = &records[0];
+        assert_eq!(record.outcome, QueryOutcome::Ok);
+        assert_eq!(record.matches, profile.matches);
+        // One entry per plan operator, names matching the profile tree.
+        assert_eq!(record.operators.len(), profile.root.operator_rows().len());
+        assert_eq!(record.operators[0].name, profile.root.operator);
+        assert!(record.max_q_error >= 1.0);
     }
 
     #[test]

@@ -403,6 +403,13 @@ fn profile_node<S: GraphSource + ?Sized>(
         recovery_seconds: drained.recovery_seconds(),
         checkpoint_bytes: drained.stages.iter().map(|s| s.checkpoint_bytes).sum(),
         restored_bytes: drained.stages.iter().map(|s| s.restored_bytes).sum(),
+        peak_memory_bytes: drained
+            .stages
+            .iter()
+            .map(|s| s.peak_memory_bytes)
+            .max()
+            .unwrap_or(0),
+        scratch_allocations: drained.stages.iter().map(|s| s.scratch_allocations).sum(),
         iterations,
         children,
     };

@@ -47,6 +47,7 @@ pub mod matching;
 pub mod observe;
 pub mod operators;
 pub mod planner;
+pub mod querylog;
 pub mod reference;
 pub mod result;
 pub mod source;
@@ -63,6 +64,10 @@ pub use observe::{
     PlannerTrace, Profile, ProfileNode, ShipStrategy,
 };
 pub use planner::{plan_query, Estimator, PlanError, PlanNode, QueryPlan};
+pub use querylog::{
+    global_query_log, normalize_query_shape, stable_digest, JsonlQueryLog, MemoryQueryLog,
+    OperatorLogEntry, QueryLogRecord, QueryLogSink, QueryOutcome, TeeSink,
+};
 pub use reference::{reference_match, ReferenceMatch};
 pub use result::{QueryResult, ResultRow, ResultValue};
 pub use source::GraphSource;

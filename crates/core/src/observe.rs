@@ -88,13 +88,26 @@ pub fn ship_pair_name(pair: [ShipStrategy; 2]) -> String {
     format!("{},{}", ship_name(pair[0]), ship_name(pair[1]))
 }
 
+/// Ceiling for [`q_error`]: estimates that are non-finite (NaN, ±∞) or
+/// astronomically wrong report this sentinel instead of propagating `inf`
+/// or `NaN` into PROFILE text/JSON (where non-finite numbers render as
+/// `null` and break downstream consumers).
+pub const Q_ERROR_CAP: f64 = 1.0e12;
+
 /// The estimate-vs-actual q-error: `max(est/act, act/est)`, with both sides
 /// clamped to 1 so empty results do not divide by zero. 1.0 is a perfect
 /// estimate; 10 means one order of magnitude off in either direction.
+/// Non-finite estimates (and ratios beyond [`Q_ERROR_CAP`]) are clamped to
+/// the cap, so the result is always a finite value in `[1, Q_ERROR_CAP]`.
 pub fn q_error(estimated: f64, actual: u64) -> f64 {
+    if !estimated.is_finite() {
+        return Q_ERROR_CAP;
+    }
     let estimated = estimated.max(1.0);
     let actual = (actual as f64).max(1.0);
-    (estimated / actual).max(actual / estimated)
+    (estimated / actual)
+        .max(actual / estimated)
+        .min(Q_ERROR_CAP)
 }
 
 /// One operator of the annotated plan tree produced by the planner.
@@ -413,6 +426,12 @@ pub struct ProfileNode {
     pub checkpoint_bytes: u64,
     /// Bytes re-read from durable storage while recovering.
     pub restored_bytes: u64,
+    /// Peak transient bytes (join build sides, sort runs) held by the most
+    /// loaded worker across this operator's stages.
+    pub peak_memory_bytes: u64,
+    /// Scratch buffers (hash tables, sort runs) allocated by this
+    /// operator's stages, summed over workers.
+    pub scratch_allocations: u64,
     /// Per-iteration counters (variable-length expansion only).
     pub iterations: Vec<ExpandIteration>,
     /// Profiled inputs.
@@ -451,6 +470,12 @@ impl ProfileNode {
             out.push_str(&format!(
                 "  morsels={} stolen={}",
                 self.morsels, self.stolen_morsels
+            ));
+        }
+        if self.peak_memory_bytes > 0 || self.scratch_allocations > 0 {
+            out.push_str(&format!(
+                "  mem_peak={}B allocs={}",
+                self.peak_memory_bytes, self.scratch_allocations
             ));
         }
         if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
@@ -501,6 +526,14 @@ impl ProfileNode {
             ("wall_seconds", JsonValue::Number(self.wall_seconds)),
             ("stages", JsonValue::Number(self.stages as f64)),
             ("estimate_error", JsonValue::Number(self.estimate_error)),
+            (
+                "peak_memory_bytes",
+                JsonValue::Number(self.peak_memory_bytes as f64),
+            ),
+            (
+                "scratch_allocations",
+                JsonValue::Number(self.scratch_allocations as f64),
+            ),
         ];
         if let Some(strategy) = self.estimated_strategy {
             pairs.push((
@@ -617,6 +650,10 @@ pub struct Profile {
     pub checkpoint_bytes: u64,
     /// Total bytes re-read from durable storage during recovery.
     pub restored_bytes: u64,
+    /// Peak transient bytes held by the most loaded worker across the run.
+    pub peak_memory_bytes: u64,
+    /// Scratch buffers allocated across the run, summed over workers.
+    pub scratch_allocations: u64,
 }
 
 impl Profile {
@@ -629,6 +666,12 @@ impl Profile {
             "matches: {}   simulated: {:.4}s   wall: {:.4}s\n",
             self.matches, self.simulated_seconds, self.wall_seconds
         ));
+        if self.peak_memory_bytes > 0 || self.scratch_allocations > 0 {
+            out.push_str(&format!(
+                "memory: peak={}B   scratch allocations={}\n",
+                self.peak_memory_bytes, self.scratch_allocations
+            ));
+        }
         if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
             out.push_str(&format!(
                 "recovery: attempts={}   simulated: {:.4}s   checkpoints: {}B   restored: {}B\n",
@@ -667,6 +710,14 @@ impl Profile {
             (
                 "restored_bytes",
                 JsonValue::Number(self.restored_bytes as f64),
+            ),
+            (
+                "peak_memory_bytes",
+                JsonValue::Number(self.peak_memory_bytes as f64),
+            ),
+            (
+                "scratch_allocations",
+                JsonValue::Number(self.scratch_allocations as f64),
             ),
             ("plan", self.root.to_json_value()),
             ("planner", self.planner.to_json_value()),
@@ -736,6 +787,8 @@ mod tests {
             recovery_seconds: 0.0,
             checkpoint_bytes: 0,
             restored_bytes: 0,
+            peak_memory_bytes: 0,
+            scratch_allocations: 0,
             iterations: vec![],
             children: vec![],
         };
@@ -759,6 +812,8 @@ mod tests {
             recovery_seconds: 0.25,
             checkpoint_bytes: 128,
             restored_bytes: 64,
+            peak_memory_bytes: 2048,
+            scratch_allocations: 3,
             iterations: vec![
                 ExpandIteration {
                     iteration: 1,
@@ -797,6 +852,8 @@ mod tests {
             recovery_seconds: 0.25,
             checkpoint_bytes: 128,
             restored_bytes: 64,
+            peak_memory_bytes: 2048,
+            scratch_allocations: 3,
         }
     }
 
@@ -808,6 +865,26 @@ mod tests {
         // Empty actuals clamp to 1 instead of dividing by zero.
         assert_eq!(q_error(5.0, 0), 5.0);
         assert_eq!(q_error(0.0, 0), 1.0);
+        // Negative estimates clamp to 1, never flipping the ratio's sign.
+        assert_eq!(q_error(-12.0, 5), 5.0);
+    }
+
+    #[test]
+    fn q_error_never_emits_non_finite_values() {
+        // A runaway (or overflowed) estimate caps at the sentinel instead
+        // of rendering as `inf` (→ `null` in JSON).
+        assert_eq!(q_error(f64::INFINITY, 3), Q_ERROR_CAP);
+        assert_eq!(q_error(f64::NEG_INFINITY, 3), Q_ERROR_CAP);
+        assert_eq!(q_error(f64::NAN, 3), Q_ERROR_CAP);
+        assert_eq!(q_error(1.0e300, 1), Q_ERROR_CAP);
+        for value in [
+            q_error(f64::INFINITY, 0),
+            q_error(f64::NAN, u64::MAX),
+            q_error(f64::MAX, 1),
+        ] {
+            assert!(value.is_finite());
+            assert!((1.0..=Q_ERROR_CAP).contains(&value));
+        }
     }
 
     #[test]
@@ -892,6 +969,11 @@ mod tests {
         );
         assert!(
             text.contains("recovery: attempts=1   simulated: 0.2500s"),
+            "{text}"
+        );
+        assert!(text.contains("mem_peak=2048B allocs=3"), "{text}");
+        assert!(
+            text.contains("memory: peak=2048B   scratch allocations=3"),
             "{text}"
         );
     }

@@ -79,7 +79,7 @@ impl Default for CostModel {
 }
 
 /// Per-stage cost report, one entry per executed transformation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StageReport {
     /// Operator name, e.g. `"join(repartition-hash)"`.
     pub name: String,
@@ -118,6 +118,17 @@ pub struct StageReport {
     pub morsels: u64,
     /// Morsels executed by a worker other than their owning partition's.
     pub stolen_morsels: u64,
+    /// Simulated busy seconds per worker, in worker order (excluding the
+    /// fixed stage overhead). `max_worker_seconds`/`mean_worker_seconds`
+    /// are the max/mean of this vector; timeline exports lay one lane per
+    /// worker from it.
+    pub worker_seconds: Vec<f64>,
+    /// Peak bytes of transient operator state (hash-join build tables,
+    /// sort scratch) resident on the most loaded worker.
+    pub peak_memory_bytes: u64,
+    /// Scratch buffers (tables, sort copies) this stage allocated, summed
+    /// over workers.
+    pub scratch_allocations: u64,
 }
 
 impl StageReport {
@@ -129,6 +140,70 @@ impl StageReport {
         } else {
             1.0
         }
+    }
+
+    /// The report as a JSON document (used by trace snapshots and the
+    /// timeline exporter).
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        JsonValue::object(vec![
+            ("name", JsonValue::string(self.name.clone())),
+            ("records_in", JsonValue::Number(self.records_in as f64)),
+            ("records_out", JsonValue::Number(self.records_out as f64)),
+            (
+                "bytes_shuffled",
+                JsonValue::Number(self.bytes_shuffled as f64),
+            ),
+            (
+                "bytes_spilled",
+                JsonValue::Number(self.bytes_spilled as f64),
+            ),
+            ("seconds", JsonValue::Number(self.seconds)),
+            (
+                "max_worker_seconds",
+                JsonValue::Number(self.max_worker_seconds),
+            ),
+            (
+                "mean_worker_seconds",
+                JsonValue::Number(self.mean_worker_seconds),
+            ),
+            (
+                "busiest_worker_records",
+                JsonValue::Number(self.busiest_worker_records as f64),
+            ),
+            ("attempts", JsonValue::Number(self.attempts as f64)),
+            ("recovery_seconds", JsonValue::Number(self.recovery_seconds)),
+            (
+                "checkpoint_bytes",
+                JsonValue::Number(self.checkpoint_bytes as f64),
+            ),
+            (
+                "restored_bytes",
+                JsonValue::Number(self.restored_bytes as f64),
+            ),
+            ("morsels", JsonValue::Number(self.morsels as f64)),
+            (
+                "stolen_morsels",
+                JsonValue::Number(self.stolen_morsels as f64),
+            ),
+            (
+                "worker_seconds",
+                JsonValue::Array(
+                    self.worker_seconds
+                        .iter()
+                        .map(|s| JsonValue::Number(*s))
+                        .collect(),
+                ),
+            ),
+            (
+                "peak_memory_bytes",
+                JsonValue::Number(self.peak_memory_bytes as f64),
+            ),
+            (
+                "scratch_allocations",
+                JsonValue::Number(self.scratch_allocations as f64),
+            ),
+        ])
     }
 }
 
@@ -161,6 +236,12 @@ pub struct ExecutionMetrics {
     pub morsels: u64,
     /// Total morsels that were stolen (executed off their owner worker).
     pub stolen_morsels: u64,
+    /// Largest transient operator state (build tables, sort scratch) any
+    /// single stage kept resident on one worker — the high-water mark of
+    /// per-worker memory pressure.
+    pub peak_memory_bytes: u64,
+    /// Total scratch buffers allocated by operator stages.
+    pub scratch_allocations: u64,
 }
 
 /// Costs charged to a single worker within one stage.
@@ -183,6 +264,13 @@ pub struct WorkerCost {
     /// Bytes this worker re-read from durable storage (and re-shipped)
     /// while restoring lost state.
     pub bytes_restored: u64,
+    /// Peak bytes of transient operator state (hash-join build table, sort
+    /// scratch) this worker kept resident. Does not contribute to the
+    /// simulated clock — memory pressure is charged through
+    /// [`WorkerCost::bytes_spilled`]; this is the observability view.
+    pub peak_memory_bytes: u64,
+    /// Scratch buffers (tables, sort copies) this worker allocated.
+    pub scratch_allocations: u64,
 }
 
 impl WorkerCost {
@@ -293,6 +381,14 @@ impl StageCosts {
             restored_bytes: self.workers.iter().map(|w| w.bytes_restored).sum(),
             morsels: self.morsels,
             stolen_morsels: self.stolen_morsels,
+            peak_memory_bytes: self
+                .workers
+                .iter()
+                .map(|w| w.peak_memory_bytes)
+                .max()
+                .unwrap_or(0),
+            scratch_allocations: self.workers.iter().map(|w| w.scratch_allocations).sum(),
+            worker_seconds: seconds,
         }
     }
 }
@@ -314,6 +410,8 @@ impl ExecutionMetrics {
         self.restored_bytes += report.restored_bytes;
         self.morsels += report.morsels;
         self.stolen_morsels += report.stolen_morsels;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(report.peak_memory_bytes);
+        self.scratch_allocations += report.scratch_allocations;
     }
 }
 
@@ -381,6 +479,9 @@ mod tests {
             restored_bytes: 16,
             morsels: 12,
             stolen_morsels: 4,
+            worker_seconds: vec![1.5, 0.5],
+            peak_memory_bytes: 4096,
+            scratch_allocations: 3,
         };
         metrics.record(&report);
         metrics.record(&report);
@@ -393,6 +494,55 @@ mod tests {
         assert_eq!(metrics.restored_bytes, 32);
         assert_eq!(metrics.morsels, 24);
         assert_eq!(metrics.stolen_morsels, 8);
+        // Peak memory takes the max over stages; allocations accumulate.
+        assert_eq!(metrics.peak_memory_bytes, 4096);
+        assert_eq!(metrics.scratch_allocations, 6);
+    }
+
+    #[test]
+    fn finish_records_per_worker_seconds_and_memory_peaks() {
+        let model = CostModel {
+            cpu_seconds_per_record: 1.0,
+            stage_overhead_seconds: 0.0,
+            ..CostModel::free()
+        };
+        let mut stage = StageCosts::new("test", 3);
+        stage.worker(0).records_in = 2;
+        stage.worker(1).records_in = 5;
+        stage.worker(0).peak_memory_bytes = 100;
+        stage.worker(1).peak_memory_bytes = 900;
+        stage.worker(0).scratch_allocations = 1;
+        stage.worker(1).scratch_allocations = 2;
+        let report = stage.finish(&model);
+        assert_eq!(report.worker_seconds, vec![2.0, 5.0, 0.0]);
+        assert_eq!(report.peak_memory_bytes, 900);
+        assert_eq!(report.scratch_allocations, 3);
+    }
+
+    #[test]
+    fn stage_report_json_round_trips() {
+        let model = CostModel {
+            cpu_seconds_per_record: 0.5,
+            ..CostModel::free()
+        };
+        let mut stage = StageCosts::new("join(repartition-hash)", 2);
+        stage.worker(0).records_in = 4;
+        stage.worker(1).records_in = 2;
+        stage.worker(1).peak_memory_bytes = 64;
+        let report = stage.finish(&model);
+        let json = report.to_json_value();
+        let parsed = crate::json::JsonValue::parse(&json.to_json()).expect("report JSON parses");
+        assert!(parsed.semantically_eq(&json));
+        assert_eq!(
+            parsed.get("name").and_then(crate::json::JsonValue::as_str),
+            Some("join(repartition-hash)")
+        );
+        let lanes = parsed
+            .get("worker_seconds")
+            .and_then(crate::json::JsonValue::as_array)
+            .expect("worker_seconds array");
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].as_f64(), Some(2.0));
     }
 
     #[test]

@@ -575,11 +575,32 @@ pub(crate) fn finish_stage_with_faults(
         let stretch = report.max_worker_seconds * (straggler - 1.0);
         report.seconds += stretch;
         report.max_worker_seconds += stretch;
+        // Keep the per-worker lane profile consistent: the straggler is the
+        // slowest worker, so its lane absorbs the stretch.
+        if let Some(slowest) = report
+            .worker_seconds
+            .iter_mut()
+            .max_by(|a, b| a.total_cmp(b))
+        {
+            *slowest += stretch;
+        }
     }
     report.attempts = u64::from(failures) + 1;
     report.recovery_seconds = recovery;
     report.restored_bytes += restored_bytes;
     report.seconds += recovery;
+
+    let registry = crate::telemetry::MetricsRegistry::global();
+    for event in events {
+        match &event.kind {
+            FaultKind::WorkerCrash => registry.counter("fault.worker_crashes").add(1),
+            FaultKind::LostPartition => registry.counter("fault.lost_partitions").add(1),
+            FaultKind::Straggler { .. } => registry.counter("fault.stragglers").add(1),
+        }
+    }
+    if recovery > 0.0 {
+        registry.gauge("fault.recovery_seconds_total").add(recovery);
+    }
 
     let failure = exhausted.then(|| ExecutionFailure {
         site: format!("stage `{}`", report.name),

@@ -312,6 +312,8 @@ impl<T: Data> Dataset<T> {
                 let w = stage.worker(i);
                 w.records_in += build_records + schedule.records_in[i];
                 w.records_out += schedule.records_out[i];
+                w.peak_memory_bytes = w.peak_memory_bytes.max(build_bytes);
+                w.scratch_allocations += 1;
                 if build_bytes as usize > memory {
                     w.bytes_spilled += build_bytes - memory as u64;
                 }
@@ -417,6 +419,8 @@ impl<T: Data> Dataset<T> {
             let w = stage.worker(i);
             w.records_in += left.len() as u64 + right_records;
             w.records_out += out.len() as u64;
+            w.peak_memory_bytes = w.peak_memory_bytes.max(build_bytes);
+            w.scratch_allocations += 1;
             if build_bytes as usize > memory {
                 w.bytes_spilled += build_bytes - memory as u64;
             }
@@ -471,6 +475,11 @@ impl<T: Data> Dataset<T> {
             w.records_in += (l.len() + r.len()) as u64;
             w.records_out += out.len() as u64;
             w.extra_cpu_seconds += sort_cpu;
+            // Both sides are copied into sorted scratch runs.
+            let scratch_bytes: u64 = l.iter().map(|e| e.byte_size() as u64).sum::<u64>()
+                + r.iter().map(|e| e.byte_size() as u64).sum::<u64>();
+            w.peak_memory_bytes = w.peak_memory_bytes.max(scratch_bytes);
+            w.scratch_allocations += 2;
         }
         env.finish_stage(stage);
         let stamp = key_id.map(|key| Partitioning {
@@ -633,6 +642,8 @@ fn charge_local_join<L: Data, R: Data, O: Data>(
         let w = stage.worker(i);
         w.records_in += (l.len() + r.len()) as u64;
         w.records_out += out.len() as u64;
+        w.peak_memory_bytes = w.peak_memory_bytes.max(build_bytes);
+        w.scratch_allocations += 1;
         if build_bytes as usize > memory {
             // Grace-hash-style spill: the overflow fraction of the build side
             // is written out and re-read.

@@ -30,6 +30,7 @@
 //! assert!(env.metrics().simulated_seconds > 0.0);
 //! ```
 
+pub mod chrome;
 pub mod cost;
 pub mod data;
 pub mod dataset;
@@ -44,8 +45,10 @@ pub mod outer_join;
 pub mod partition;
 pub mod pool;
 pub mod reduce;
+pub mod telemetry;
 pub mod trace;
 
+pub use chrome::{chrome_trace, chrome_trace_json};
 pub use cost::{CostModel, ExecutionMetrics, StageReport};
 pub use data::Data;
 pub use dataset::Dataset;
@@ -59,4 +62,5 @@ pub use join::JoinStrategy;
 pub use json::JsonValue;
 pub use morsel::{morsel_ranges, simulate_steal_schedule, StealSchedule, DEFAULT_MORSEL_SIZE};
 pub use partition::{partition_for, PartitionKey, Partitioning};
+pub use telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use trace::{CollectedTrace, CollectingSink, SpanRecord, TraceSink};

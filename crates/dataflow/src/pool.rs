@@ -160,6 +160,11 @@ where
     };
     let slots: Vec<Mutex<Option<Vec<O>>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     let error: Mutex<Option<WorkerPanic>> = Mutex::new(None);
+    // Real (thread-level) steals observed this stage: a morsel executed by
+    // a thread other than its partition's owner. Unlike the deterministic
+    // simulated schedule, this reflects actual scheduling and feeds the
+    // process-wide metrics registry.
+    let stolen = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for w in 0..workers {
@@ -167,6 +172,7 @@ where
             let slots = &slots;
             let tasks = &tasks;
             let error = &error;
+            let stolen = &stolen;
             let f = &f;
             scope.spawn(move || loop {
                 if error.lock().unwrap().is_some() {
@@ -189,6 +195,9 @@ where
                 });
                 let Some(task_id) = task_id else { return };
                 let (p, _, range) = &tasks[task_id];
+                if *p != w {
+                    stolen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     f(*p, range.clone())
                 })) {
@@ -207,6 +216,11 @@ where
             });
         }
     });
+
+    let pool = crate::telemetry::pool_telemetry();
+    pool.tasks.add(tasks.len() as u64);
+    pool.steals
+        .add(stolen.load(std::sync::atomic::Ordering::Relaxed));
 
     if let Some(panic) = error.lock().unwrap().take() {
         return Err(panic);

@@ -46,6 +46,28 @@ impl SpanRecord {
             .find(|(key, _)| key == name)
             .map(|(_, value)| *value)
     }
+
+    /// The span as a JSON document.
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        JsonValue::object(vec![
+            ("name", JsonValue::string(self.name.clone())),
+            ("wall_seconds", JsonValue::Number(self.wall_seconds)),
+            (
+                "simulated_seconds",
+                JsonValue::Number(self.simulated_seconds),
+            ),
+            (
+                "counters",
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(key, value)| (key.clone(), JsonValue::Number(*value)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Receiver for trace events. Implementations must be thread-safe: stages
@@ -88,6 +110,23 @@ impl CollectedTrace {
     /// Total simulated seconds the collected stages spent on recovery.
     pub fn recovery_seconds(&self) -> f64 {
         self.stages.iter().map(|s| s.recovery_seconds).sum()
+    }
+
+    /// The whole trace as a JSON document:
+    /// `{"stages": [..], "spans": [..]}`. The input of
+    /// [`chrome_trace`](crate::chrome::chrome_trace) in archivable form.
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        JsonValue::object(vec![
+            (
+                "stages",
+                JsonValue::Array(self.stages.iter().map(|s| s.to_json_value()).collect()),
+            ),
+            (
+                "spans",
+                JsonValue::Array(self.spans.iter().map(|s| s.to_json_value()).collect()),
+            ),
+        ])
     }
 }
 
@@ -217,6 +256,50 @@ mod tests {
         assert_eq!(map_stage.attempts, 2);
         assert_eq!(trace.recovery_attempts(), 1);
         assert!(env.take_execution_failure().is_none());
+    }
+
+    #[test]
+    fn collected_trace_json_round_trips() {
+        use crate::json::JsonValue;
+        let (env, sink) = traced_env(2);
+        env.span("load", || {
+            env.from_collection(0u64..10).map(|x| x + 1).count()
+        });
+        env.emit_span(SpanRecord {
+            name: "expand/iteration".into(),
+            wall_seconds: 0.0,
+            simulated_seconds: 0.0,
+            counters: vec![("iteration".into(), 1.0), ("rows_out".into(), 4.0)],
+        });
+        let trace = sink.snapshot();
+        let json = trace.to_json_value();
+        let parsed = JsonValue::parse(&json.to_json()).expect("trace JSON parses");
+        assert!(parsed.semantically_eq(&json));
+        let stages = parsed.get("stages").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(
+            stages[0].get("name").and_then(JsonValue::as_str),
+            Some("map")
+        );
+        assert_eq!(
+            stages[0]
+                .get("worker_seconds")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+        let spans = parsed.get("spans").and_then(JsonValue::as_array).unwrap();
+        let iteration = spans
+            .iter()
+            .find(|s| s.get("name").and_then(JsonValue::as_str) == Some("expand/iteration"))
+            .expect("iteration span");
+        assert_eq!(
+            iteration
+                .get("counters")
+                .and_then(|c| c.get("rows_out"))
+                .and_then(JsonValue::as_f64),
+            Some(4.0)
+        );
     }
 
     #[test]
