@@ -28,7 +28,9 @@ use gradoop_dataflow::{
     chrome_trace_json, CollectingSink, CostModel, Dataset, ExecutionConfig, ExecutionEnvironment,
     FailureSchedule, FaultConfig, MetricsRegistry,
 };
-use gradoop_epgm::PropertyValue;
+use gradoop_epgm::{
+    properties, GradoopId, GraphHead, LogicalGraph, Properties, PropertyValue, Vertex,
+};
 use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
 
 /// Counts heap allocations so `--bench-pr4` can report the before/after
@@ -889,6 +891,66 @@ fn bench_pr4() {
 /// the morsel-stealing skewed-stage makespan, each with its regression
 /// threshold. With `check_baseline`, diffs the fresh report against the
 /// committed `BENCH_pr6_baseline.json` and exits non-zero on regression.
+/// ORDER BY paging micro-benchmark: a LIMIT-bearing ORDER BY runs as
+/// per-partition top-k + k-way merge instead of a full distributed sort.
+/// Prints simulated seconds, wall time, and the sort operator EXPLAIN
+/// chose, over a single-label scan of `n` vertices.
+fn orderby_micro(n: u64) {
+    println!("== ORDER BY paging: per-partition top-k + merge vs full sort ({n} rows) ==\n");
+    let build = |env: &ExecutionEnvironment| -> LogicalGraph {
+        let vertices: Vec<Vertex> = (0..n)
+            .map(|i| {
+                // Fibonacci-hash the index so the sort sees shuffled keys.
+                let p = (i.wrapping_mul(2_654_435_761) % 10_007) as i64;
+                Vertex::new(GradoopId(i + 1), "N", properties! {"p" => p})
+            })
+            .collect();
+        LogicalGraph::from_data(
+            env,
+            GraphHead::new(GradoopId(0), "orderby", Properties::new()),
+            vertices,
+            Vec::new(),
+        )
+    };
+    let mut table = Table::new(["query", "simulated_s", "wall_ms", "sort operator"]);
+    for (name, query) in [
+        ("ORDER BY", "MATCH (a:N) RETURN a.p ORDER BY a.p"),
+        (
+            "ORDER BY LIMIT 10",
+            "MATCH (a:N) RETURN a.p ORDER BY a.p LIMIT 10",
+        ),
+        (
+            "ORDER BY SKIP 20 LIMIT 10",
+            "MATCH (a:N) RETURN a.p ORDER BY a.p SKIP 20 LIMIT 10",
+        ),
+    ] {
+        let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+        let graph = build(&env);
+        let engine = CypherEngine::for_graph(&graph);
+        let explain = engine.explain(query).expect("explain").root.to_text();
+        let operator = explain
+            .lines()
+            .map(str::trim)
+            .find(|line| line.contains("order_by"))
+            .unwrap_or("?")
+            .to_string();
+        env.reset_metrics();
+        let start = std::time::Instant::now();
+        let result = engine
+            .run(&graph, query, &HashMap::new(), MatchingConfig::cypher_default())
+            .unwrap_or_else(|e| panic!("{query}: {e}"));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&result.rows);
+        table.row([
+            name.into(),
+            format!("{:.6}", env.metrics().simulated_seconds),
+            format!("{wall_ms:.1}"),
+            operator,
+        ]);
+    }
+    println!("{table}");
+}
+
 fn bench_pr6(check_baseline: bool) {
     println!("== BENCH_pr6: telemetry perf-regression gate ==\n");
     let mut report = BenchReport::new();
@@ -1054,6 +1116,43 @@ fn bench_pr6(check_baseline: bool) {
         );
     }
 
+    // -- Aggregation-pipeline makespan: WITH aggregation barrier +
+    // OPTIONAL MATCH + top-k ORDER BY through the multi-clause executor
+    // (simulated seconds, deterministic).
+    {
+        let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+        let graph = figure1_graph(&env);
+        let engine = CypherEngine::for_graph(&graph);
+        env.reset_metrics();
+        let result = engine
+            .run(
+                &graph,
+                "MATCH (a:Person)-[e:knows]->(b:Person) \
+                 WITH a, count(*) AS degree \
+                 OPTIONAL MATCH (a)-[s:studyAt]->(u:University) \
+                 RETURN a.name, degree ORDER BY degree DESC, a.name LIMIT 3",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .expect("aggregation pipeline runs");
+        assert!(
+            !result.rows.is_empty(),
+            "aggregation pipeline produced no rows"
+        );
+        let seconds = env.metrics().simulated_seconds;
+        table.row([
+            "pipeline.aggregation_simulated_seconds".into(),
+            format!("{seconds:.6}"),
+            "1.25x lower".into(),
+        ]);
+        report.add(
+            "pipeline.aggregation_simulated_seconds",
+            seconds,
+            1.25,
+            Direction::LowerIsBetter,
+        );
+    }
+
     println!("{table}");
     std::fs::write("BENCH_pr6.json", report.to_json()).expect("write BENCH_pr6.json");
     println!("wrote BENCH_pr6.json");
@@ -1137,6 +1236,12 @@ fn main() {
         table3(scale);
         fig5(&mut memo);
         println!("smoke OK");
+        return;
+    }
+    if has("--orderby") {
+        // ORDER BY paging micro-benchmark: top-k + merge vs full sort.
+        let rows = value_of("--rows").and_then(|n| n.parse().ok()).unwrap_or(20_000);
+        orderby_micro(rows);
         return;
     }
     if has("--conformance") {

@@ -361,6 +361,166 @@ impl Cond {
     }
 }
 
+/// One aggregate call in a generated tail projection.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Function name (`count`, `collect`, `sum`, `min`, `max`, `avg`).
+    pub func: &'static str,
+    /// Renders a `DISTINCT` argument (generated for `count` only).
+    pub distinct: bool,
+    /// `variable.key` argument; `None` renders `count(*)`.
+    pub arg: Option<(String, String)>,
+}
+
+impl AggSpec {
+    fn render(&self, alias_index: usize) -> String {
+        let arg = match &self.arg {
+            None => "*".to_string(),
+            Some((variable, key)) => format!("{variable}.{key}"),
+        };
+        let distinct = if self.distinct { "DISTINCT " } else { "" };
+        format!("{}({distinct}{arg}) AS a{alias_index}", self.func)
+    }
+}
+
+/// A pipeline tail appended after the base `MATCH ... [WHERE ...]` part,
+/// replacing the plain `RETURN *` — the grammar productions for the
+/// multi-clause read surface (`WITH`, `OPTIONAL MATCH`, aggregation,
+/// `ORDER BY`/`SKIP`/`LIMIT`, `UNWIND`).
+#[derive(Debug, Clone)]
+pub enum TailSpec {
+    /// `RETURN [DISTINCT] * [ORDER BY ...] [SKIP n] [LIMIT n]`.
+    OrderLimit {
+        /// Deduplicate the projected rows.
+        distinct: bool,
+        /// Sort keys as `(variable, property key, descending)`.
+        keys: Vec<(String, String, bool)>,
+        /// `SKIP` row count.
+        skip: Option<usize>,
+        /// `LIMIT` row count.
+        limit: Option<usize>,
+    },
+    /// `RETURN v.k AS g0, ..., agg(...) AS a0, ...` — grouped (or, with no
+    /// group keys, global) aggregation.
+    Aggregate {
+        /// Grouping keys as `(variable, property key)`.
+        group: Vec<(String, String)>,
+        /// Aggregate calls (at least one).
+        aggs: Vec<AggSpec>,
+    },
+    /// `WITH vars MATCH (anchor)-[f0]->(m0) RETURN *` — a projection
+    /// barrier feeding a second MATCH stage joined on `anchor`.
+    WithMatch {
+        /// Variables the WITH carries through (the anchor is first).
+        keep: Vec<String>,
+        /// The kept node variable the second MATCH expands from.
+        anchor: String,
+        /// Label constraint on the new relationship.
+        edge_label: Option<String>,
+        /// Label constraint on the new node.
+        node_label: Option<String>,
+    },
+    /// `OPTIONAL MATCH (anchor)-[o0]->(m0) RETURN *` — left outer join
+    /// with NULL padding for anchors without the extension.
+    OptionalTail {
+        /// The bound node variable the optional pattern hangs off.
+        anchor: String,
+        /// Direction of the optional relationship.
+        direction: Dir,
+        /// Label constraint on the optional relationship.
+        edge_label: Option<String>,
+        /// Label constraint on the optional node.
+        node_label: Option<String>,
+    },
+    /// `UNWIND [items] AS u0 RETURN *` (an empty list produces zero rows;
+    /// `NULL` items exercise the NULL-element path).
+    Unwind {
+        /// The list literal's elements.
+        items: Vec<LitSpec>,
+    },
+}
+
+fn label_text(label: &Option<String>) -> String {
+    label.as_ref().map(|l| format!(":{l}")).unwrap_or_default()
+}
+
+impl TailSpec {
+    fn render(&self) -> String {
+        match self {
+            TailSpec::OrderLimit {
+                distinct,
+                keys,
+                skip,
+                limit,
+            } => {
+                let mut out = String::from(" RETURN ");
+                if *distinct {
+                    out.push_str("DISTINCT ");
+                }
+                out.push('*');
+                if !keys.is_empty() {
+                    let rendered: Vec<String> = keys
+                        .iter()
+                        .map(|(variable, key, descending)| {
+                            format!(
+                                "{variable}.{key}{}",
+                                if *descending { " DESC" } else { "" }
+                            )
+                        })
+                        .collect();
+                    out.push_str(&format!(" ORDER BY {}", rendered.join(", ")));
+                }
+                if let Some(skip) = skip {
+                    out.push_str(&format!(" SKIP {skip}"));
+                }
+                if let Some(limit) = limit {
+                    out.push_str(&format!(" LIMIT {limit}"));
+                }
+                out
+            }
+            TailSpec::Aggregate { group, aggs } => {
+                let mut items: Vec<String> = group
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (variable, key))| format!("{variable}.{key} AS g{i}"))
+                    .collect();
+                items.extend(aggs.iter().enumerate().map(|(i, agg)| agg.render(i)));
+                format!(" RETURN {}", items.join(", "))
+            }
+            TailSpec::WithMatch {
+                keep,
+                anchor,
+                edge_label,
+                node_label,
+            } => format!(
+                " WITH {} MATCH ({anchor})-[f0{}]->(m0{}) RETURN *",
+                keep.join(", "),
+                label_text(edge_label),
+                label_text(node_label),
+            ),
+            TailSpec::OptionalTail {
+                anchor,
+                direction,
+                edge_label,
+                node_label,
+            } => {
+                let edge = label_text(edge_label);
+                let node = label_text(node_label);
+                let pattern = match direction {
+                    Dir::Out => format!("({anchor})-[o0{edge}]->(m0{node})"),
+                    Dir::In => format!("({anchor})<-[o0{edge}]-(m0{node})"),
+                    Dir::Undirected => format!("({anchor})-[o0{edge}]-(m0{node})"),
+                };
+                format!(" OPTIONAL MATCH {pattern} RETURN *")
+            }
+            TailSpec::Unwind { items } => {
+                let rendered: Vec<String> = items.iter().map(LitSpec::render).collect();
+                format!(" UNWIND [{}] AS u0 RETURN *", rendered.join(", "))
+            }
+        }
+    }
+}
+
 /// A generated query, kept structured so the shrinker can edit it.
 #[derive(Debug, Clone)]
 pub struct QuerySpec {
@@ -370,10 +530,13 @@ pub struct QuerySpec {
     pub edges: Vec<EdgePat>,
     /// The WHERE tree, if any.
     pub where_tree: Option<Cond>,
+    /// The pipeline tail replacing the plain `RETURN *`, if any.
+    pub tail: Option<TailSpec>,
 }
 
 impl QuerySpec {
-    /// Renders the spec as Cypher text (`MATCH ... [WHERE ...] RETURN *`).
+    /// Renders the spec as Cypher text: `MATCH ... [WHERE ...]` followed by
+    /// the tail's clauses (plain `RETURN *` when there is no tail).
     ///
     /// Each relationship becomes its own comma-separated path pattern; a
     /// node's labels and property map are printed only at its first
@@ -447,7 +610,10 @@ impl QuerySpec {
         if let Some(tree) = &self.where_tree {
             text.push_str(&format!(" WHERE {}", tree.render()));
         }
-        text.push_str(" RETURN *");
+        match &self.tail {
+            None => text.push_str(" RETURN *"),
+            Some(tail) => text.push_str(&tail.render()),
+        }
         text
     }
 
@@ -508,6 +674,147 @@ fn random_cond(rng: &mut Rng, variables: &[String], depth: usize) -> Cond {
         left: random_term(rng, variables),
         op: CMP_OPS[rng.below(CMP_OPS.len())],
         right: random_term(rng, variables),
+    }
+}
+
+fn maybe_label(rng: &mut Rng, pool: &[&str]) -> Option<String> {
+    rng.chance(60).then(|| rng.pick(pool).to_string())
+}
+
+fn random_agg(rng: &mut Rng, prop_vars: &[String]) -> AggSpec {
+    if prop_vars.is_empty() || rng.chance(30) {
+        return AggSpec {
+            func: "count",
+            distinct: false,
+            arg: None,
+        };
+    }
+    let arg = Some((
+        rng.pick(prop_vars).clone(),
+        rng.pick(&PROPERTY_KEYS).to_string(),
+    ));
+    match rng.below(6) {
+        0 => AggSpec {
+            func: "count",
+            distinct: rng.chance(50),
+            arg,
+        },
+        1 => AggSpec {
+            func: "collect",
+            distinct: false,
+            arg,
+        },
+        2 => AggSpec {
+            func: "sum",
+            distinct: false,
+            arg,
+        },
+        3 => AggSpec {
+            func: "min",
+            distinct: false,
+            arg,
+        },
+        4 => AggSpec {
+            func: "max",
+            distinct: false,
+            arg,
+        },
+        _ => AggSpec {
+            func: "avg",
+            distinct: false,
+            arg,
+        },
+    }
+}
+
+/// Draws a pipeline tail for a query whose named node variables are
+/// `node_vars` and whose property-addressable variables are `prop_vars`.
+/// Returns `None` when the drawn production has no usable operands (e.g.
+/// an all-anonymous pattern cannot anchor a second MATCH).
+fn random_tail(rng: &mut Rng, node_vars: &[String], prop_vars: &[String]) -> Option<TailSpec> {
+    match rng.below(5) {
+        0 => {
+            let mut keys = Vec::new();
+            if !prop_vars.is_empty() && rng.chance(80) {
+                for _ in 0..1 + rng.below(2) {
+                    keys.push((
+                        rng.pick(prop_vars).clone(),
+                        rng.pick(&PROPERTY_KEYS).to_string(),
+                        rng.chance(40),
+                    ));
+                }
+            }
+            let skip = rng.chance(40).then(|| rng.below(3));
+            let limit = rng.chance(60).then(|| rng.below(5));
+            if keys.is_empty() && skip.is_none() && limit.is_none() {
+                return None;
+            }
+            Some(TailSpec::OrderLimit {
+                distinct: rng.chance(25),
+                keys,
+                skip,
+                limit,
+            })
+        }
+        1 => {
+            let group: Vec<(String, String)> = if !prop_vars.is_empty() && rng.chance(70) {
+                (0..1 + rng.below(2))
+                    .map(|_| {
+                        (
+                            rng.pick(prop_vars).clone(),
+                            rng.pick(&PROPERTY_KEYS).to_string(),
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let aggs: Vec<AggSpec> = (0..1 + rng.below(2))
+                .map(|_| random_agg(rng, prop_vars))
+                .collect();
+            Some(TailSpec::Aggregate { group, aggs })
+        }
+        2 => {
+            if node_vars.is_empty() {
+                return None;
+            }
+            let anchor = rng.pick(node_vars).clone();
+            let mut keep = vec![anchor.clone()];
+            for variable in node_vars {
+                if *variable != anchor && rng.chance(50) {
+                    keep.push(variable.clone());
+                }
+            }
+            Some(TailSpec::WithMatch {
+                keep,
+                anchor,
+                edge_label: maybe_label(rng, &EDGE_LABELS),
+                node_label: maybe_label(rng, &VERTEX_LABELS),
+            })
+        }
+        3 => {
+            if node_vars.is_empty() {
+                return None;
+            }
+            Some(TailSpec::OptionalTail {
+                anchor: rng.pick(node_vars).clone(),
+                direction: if rng.chance(25) {
+                    Dir::Undirected
+                } else if rng.chance(50) {
+                    Dir::Out
+                } else {
+                    Dir::In
+                },
+                edge_label: maybe_label(rng, &EDGE_LABELS),
+                node_label: maybe_label(rng, &VERTEX_LABELS),
+            })
+        }
+        _ => {
+            let items: Vec<LitSpec> = (0..rng.below(4))
+                .map(|_| random_literal(rng))
+                .collect();
+            Some(TailSpec::Unwind { items })
+        }
     }
 }
 
@@ -598,10 +905,20 @@ pub fn random_query(rng: &mut Rng) -> QuerySpec {
         nodes,
         edges,
         where_tree: None,
+        tail: None,
     };
     if rng.chance(70) {
         let variables = spec.predicate_variables();
         spec.where_tree = Some(random_cond(rng, &variables, 2));
+    }
+    if rng.chance(45) {
+        let node_vars: Vec<String> = spec
+            .nodes
+            .iter()
+            .filter_map(|n| n.variable.clone())
+            .collect();
+        let prop_vars = spec.predicate_variables();
+        spec.tail = random_tail(rng, &node_vars, &prop_vars);
     }
     spec
 }
@@ -629,7 +946,30 @@ mod tests {
         for _ in 0..200 {
             let spec = random_query(&mut rng);
             let text = spec.render();
-            gradoop_cypher::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            gradoop_cypher::parse_pipeline(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            if spec.tail.is_none() {
+                gradoop_cypher::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            }
         }
+    }
+
+    #[test]
+    fn generator_produces_every_tail_production() {
+        let mut rng = Rng::new(11);
+        let (mut order, mut agg, mut with, mut opt, mut unwind) = (0, 0, 0, 0, 0);
+        for _ in 0..500 {
+            match random_query(&mut rng).tail {
+                Some(TailSpec::OrderLimit { .. }) => order += 1,
+                Some(TailSpec::Aggregate { .. }) => agg += 1,
+                Some(TailSpec::WithMatch { .. }) => with += 1,
+                Some(TailSpec::OptionalTail { .. }) => opt += 1,
+                Some(TailSpec::Unwind { .. }) => unwind += 1,
+                None => {}
+            }
+        }
+        assert!(
+            order > 0 && agg > 0 && with > 0 && opt > 0 && unwind > 0,
+            "tail coverage: order={order} agg={agg} with={with} opt={opt} unwind={unwind}"
+        );
     }
 }

@@ -20,7 +20,13 @@
 //! * `IS [NOT] NULL` (always two-valued) against both explicit `NULL`s and
 //!   absent keys;
 //! * variable-length paths, zero-hop ranges, undirected edges, anonymous
-//!   variables, label disjunctions and property-to-property comparisons.
+//!   variables, label disjunctions and property-to-property comparisons;
+//! * multi-clause pipeline tails — `ORDER BY`/`SKIP`/`LIMIT` (with
+//!   `DISTINCT`), grouped aggregation, `WITH … MATCH` barriers,
+//!   `OPTIONAL MATCH` NULL padding, and `UNWIND` over lists that include
+//!   `NULL` elements. Tail cases compare `CypherEngine::run` tables
+//!   against `reference_pipeline` (ordered results positionally,
+//!   unordered as sorted multisets).
 //!
 //! Everything is reproducible: `GRADOOP_TEST_SEED` pins the universe, and
 //! each archived repro names the seed and case index it came from.
@@ -30,12 +36,12 @@ mod runner;
 mod shrink;
 
 pub use gen::{
-    random_graph, random_query, Cond, Dir, EdgePat, EdgeSpec, GraphSpec, LitSpec, NodePat,
-    QuerySpec, Rng, Term, VertexSpec,
+    random_graph, random_query, AggSpec, Cond, Dir, EdgePat, EdgeSpec, GraphSpec, LitSpec,
+    NodePat, QuerySpec, Rng, TailSpec, Term, VertexSpec,
 };
 pub use runner::{
-    engine_rows, random_case, reference_rows, run_case, still_fails, Canonical, CaseOutcome,
-    CaseSpec, EngineConfig, Mismatch, MORPHISMS,
+    engine_rows, pipeline_engine_rows, random_case, reference_rows, run_case, still_fails,
+    Canonical, CaseOutcome, CaseSpec, EngineConfig, Mismatch, MORPHISMS,
 };
 pub use shrink::shrink;
 
@@ -84,6 +90,20 @@ pub struct FeatureCounts {
     pub anonymous: usize,
     /// Cases with a `NULL` literal in the query text.
     pub null_literal: usize,
+    /// Cases whose projection has an `ORDER BY`.
+    pub order_by: usize,
+    /// Cases with `SKIP` and/or `LIMIT`.
+    pub skip_limit: usize,
+    /// Cases with a `DISTINCT` projection.
+    pub distinct: usize,
+    /// Cases with an aggregating projection (`count`, `collect`, ...).
+    pub aggregate: usize,
+    /// Cases with a `WITH` barrier feeding a second `MATCH`.
+    pub with_clause: usize,
+    /// Cases with an `OPTIONAL MATCH` stage.
+    pub optional_match: usize,
+    /// Cases with an `UNWIND` stage.
+    pub unwind: usize,
 }
 
 fn cond_has(tree: &Cond, what: fn(&Cond) -> bool) -> bool {
@@ -127,6 +147,29 @@ impl FeatureCounts {
             || query.edges.iter().any(|e| e.variable.is_none())
         {
             self.anonymous += 1;
+        }
+        match &query.tail {
+            Some(TailSpec::OrderLimit {
+                distinct,
+                keys,
+                skip,
+                limit,
+            }) => {
+                if !keys.is_empty() {
+                    self.order_by += 1;
+                }
+                if skip.is_some() || limit.is_some() {
+                    self.skip_limit += 1;
+                }
+                if *distinct {
+                    self.distinct += 1;
+                }
+            }
+            Some(TailSpec::Aggregate { .. }) => self.aggregate += 1,
+            Some(TailSpec::WithMatch { .. }) => self.with_clause += 1,
+            Some(TailSpec::OptionalTail { .. }) => self.optional_match += 1,
+            Some(TailSpec::Unwind { .. }) => self.unwind += 1,
+            None => {}
         }
     }
 }
@@ -208,6 +251,17 @@ impl FuzzReport {
             f.undirected,
             f.anonymous,
             f.null_literal,
+        ));
+        out.push_str(&format!(
+            "pipeline: ORDER BY {} | SKIP/LIMIT {} | DISTINCT {} | aggregate {} \
+             | WITH+MATCH {} | OPTIONAL MATCH {} | UNWIND {}\n",
+            f.order_by,
+            f.skip_limit,
+            f.distinct,
+            f.aggregate,
+            f.with_clause,
+            f.optional_match,
+            f.unwind,
         ));
         for report in &self.mismatches {
             out.push_str(&format!(

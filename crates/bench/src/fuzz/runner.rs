@@ -5,9 +5,11 @@
 use std::collections::{BTreeMap, HashMap};
 
 use gradoop_core::{
-    reference_match, CypherEngine, Entry, MatchingConfig, MorphismType, QueryResult,
+    canonical_row, reference_match, reference_pipeline, CypherEngine, Entry, MatchingConfig,
+    MorphismType, QueryResult, Row,
 };
-use gradoop_cypher::{parse, QueryGraph};
+use gradoop_cypher::ast::Pipeline;
+use gradoop_cypher::{parse, parse_pipeline, QueryGraph};
 use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
 use gradoop_epgm::GraphStatistics;
 
@@ -220,10 +222,126 @@ pub fn engine_rows(
     }
 }
 
+/// Canonical form of a pipeline table: a header entry recording the column
+/// list and orderedness, then one entry per result row — position-keyed
+/// when row order is part of the result, sorted otherwise. Reusing the
+/// simple-path `Canonical` row shape keeps `Mismatch` and the JSON archive
+/// format uniform across both comparison routes.
+fn canonical_table(columns: &[String], rows: &[Row], ordered: bool) -> Vec<Canonical> {
+    let mut out = Vec::new();
+    let mut header = Canonical::new();
+    header.insert("#columns".to_string(), columns.join(","));
+    header.insert("#ordered".to_string(), ordered.to_string());
+    out.push(header);
+    let mut rendered: Vec<String> = rows.iter().map(|row| canonical_row(row)).collect();
+    if ordered {
+        for (position, row) in rendered.into_iter().enumerate() {
+            let mut entry = Canonical::new();
+            entry.insert("#pos".to_string(), format!("{position:06}"));
+            entry.insert("row".to_string(), row);
+            out.push(entry);
+        }
+    } else {
+        rendered.sort();
+        for row in rendered {
+            let mut entry = Canonical::new();
+            entry.insert("row".to_string(), row);
+            out.push(entry);
+        }
+    }
+    out
+}
+
+/// Reference (ground-truth) table for a pipeline case, canonicalized, plus
+/// its row count. `Err` carries the reference's rejection message.
+fn pipeline_reference(case: &CaseSpec, pipeline: &Pipeline) -> Result<(Vec<Canonical>, usize), String> {
+    let env = free_env(case.workers);
+    let graph = case.graph.build(&env);
+    let table = reference_pipeline(&graph, pipeline, &case.matching)?;
+    let matches = table.rows.len();
+    Ok((
+        canonical_table(&table.columns, &table.rows, table.ordered),
+        matches,
+    ))
+}
+
+/// Runs a pipeline case (one with a tail) under one engine configuration
+/// through `CypherEngine::run`, canonicalized.
+pub fn pipeline_engine_rows(
+    case: &CaseSpec,
+    query_text: &str,
+    config: &EngineConfig,
+) -> Result<Vec<Canonical>, String> {
+    let env = ExecutionEnvironment::new(
+        ExecutionConfig::with_workers(case.workers)
+            .cost_model(CostModel::free())
+            .partition_aware(config.partition_aware)
+            .work_stealing(config.work_stealing),
+    );
+    let graph = case.graph.build(&env);
+    let statistics = if config.uniform_stats {
+        uniform_statistics(&GraphStatistics::of(&graph))
+    } else {
+        GraphStatistics::of(&graph)
+    };
+    let engine = CypherEngine::with_statistics(statistics);
+    let result = if case.indexed {
+        engine.run(
+            &graph.to_indexed(),
+            query_text,
+            &HashMap::new(),
+            case.matching,
+        )
+    } else {
+        engine.run(&graph, query_text, &HashMap::new(), case.matching)
+    };
+    match result {
+        Ok(table) => Ok(canonical_table(&table.columns, &table.rows, table.ordered)),
+        Err(error) => Err(error.to_string()),
+    }
+}
+
+/// Runs a tail-bearing case through the full configuration matrix: the
+/// engine's `run` table against the reference pipeline interpreter's.
+fn run_pipeline_case(case: &CaseSpec, query_text: &str) -> CaseOutcome {
+    let pipeline = match parse_pipeline(query_text) {
+        Ok(pipeline) => pipeline,
+        Err(error) => {
+            return CaseOutcome::Rejected {
+                reason: error.to_string(),
+            }
+        }
+    };
+    let (reference, reference_matches) = match pipeline_reference(case, &pipeline) {
+        Ok(reference) => reference,
+        Err(reason) => return CaseOutcome::Rejected { reason },
+    };
+    let mut executions = 0;
+    for config in EngineConfig::matrix() {
+        executions += 1;
+        let engine = pipeline_engine_rows(case, query_text, &config);
+        if engine.as_ref().ok() != Some(&reference) {
+            return CaseOutcome::Mismatch(Box::new(Mismatch {
+                config,
+                query_text: query_text.to_string(),
+                engine,
+                reference,
+            }));
+        }
+    }
+    CaseOutcome::Passed {
+        executions,
+        reference_matches,
+    }
+}
+
 /// Runs `case` through the full configuration matrix against the
 /// reference. Stops at the first diverging configuration.
 pub fn run_case(case: &CaseSpec) -> CaseOutcome {
     let query_text = case.query.render();
+    if case.query.tail.is_some() {
+        return run_pipeline_case(case, &query_text);
+    }
     let query = match parse(&query_text)
         .map_err(|e| e.to_string())
         .and_then(|ast| QueryGraph::from_query(&ast).map_err(|e| e.to_string()))
@@ -255,6 +373,20 @@ pub fn run_case(case: &CaseSpec) -> CaseOutcome {
 /// probe): `Some` with the fresh divergence when it does.
 pub fn still_fails(case: &CaseSpec, config: &EngineConfig) -> Option<Mismatch> {
     let query_text = case.query.render();
+    if case.query.tail.is_some() {
+        let pipeline = parse_pipeline(&query_text).ok()?;
+        let (reference, _) = pipeline_reference(case, &pipeline).ok()?;
+        let engine = pipeline_engine_rows(case, &query_text, config);
+        if engine.as_ref().ok() != Some(&reference) {
+            return Some(Mismatch {
+                config: *config,
+                query_text,
+                engine,
+                reference,
+            });
+        }
+        return None;
+    }
     let query = QueryGraph::from_query(&parse(&query_text).ok()?).ok()?;
     let reference = reference_rows(case, &query);
     let engine = engine_rows(case, &query_text, config);

@@ -9,7 +9,7 @@
 //! keep any reduction under which the divergence reproduces. Each probe
 //! re-runs the engine and the reference, so probes are capped.
 
-use super::gen::{Cond, GraphSpec, QuerySpec};
+use super::gen::{Cond, GraphSpec, QuerySpec, TailSpec};
 use super::runner::{still_fails, CaseSpec, EngineConfig, Mismatch};
 
 /// Upper bound on shrink probes (each probe is a full engine + reference
@@ -111,6 +111,156 @@ fn query_reductions(query: &QuerySpec) -> Vec<QuerySpec> {
             let mut candidate = query.clone();
             candidate.where_tree = reduced;
             out.push(candidate);
+        }
+    }
+    // Drop or simplify the pipeline tail. Dropping it entirely comes
+    // first: it reduces the case to the simple-query comparison route,
+    // which localizes the bug to either the base match or the tail.
+    if let Some(tail) = &query.tail {
+        let mut candidate = query.clone();
+        candidate.tail = None;
+        out.push(candidate);
+        for reduced in tail_reductions(tail) {
+            let mut candidate = query.clone();
+            candidate.tail = Some(reduced);
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+fn tail_reductions(tail: &TailSpec) -> Vec<TailSpec> {
+    let mut out = Vec::new();
+    match tail {
+        TailSpec::OrderLimit {
+            distinct,
+            keys,
+            skip,
+            limit,
+        } => {
+            for index in 0..keys.len() {
+                // Keep at least one of {keys, skip, limit} so the tail
+                // stays a valid production.
+                if keys.len() == 1 && skip.is_none() && limit.is_none() {
+                    break;
+                }
+                let mut reduced = keys.clone();
+                reduced.remove(index);
+                out.push(TailSpec::OrderLimit {
+                    distinct: *distinct,
+                    keys: reduced,
+                    skip: *skip,
+                    limit: *limit,
+                });
+            }
+            if skip.is_some() && (!keys.is_empty() || limit.is_some()) {
+                out.push(TailSpec::OrderLimit {
+                    distinct: *distinct,
+                    keys: keys.clone(),
+                    skip: None,
+                    limit: *limit,
+                });
+            }
+            if limit.is_some() && (!keys.is_empty() || skip.is_some()) {
+                out.push(TailSpec::OrderLimit {
+                    distinct: *distinct,
+                    keys: keys.clone(),
+                    skip: *skip,
+                    limit: None,
+                });
+            }
+            if *distinct {
+                out.push(TailSpec::OrderLimit {
+                    distinct: false,
+                    keys: keys.clone(),
+                    skip: *skip,
+                    limit: *limit,
+                });
+            }
+        }
+        TailSpec::Aggregate { group, aggs } => {
+            for index in 0..group.len() {
+                let mut reduced = group.clone();
+                reduced.remove(index);
+                out.push(TailSpec::Aggregate {
+                    group: reduced,
+                    aggs: aggs.clone(),
+                });
+            }
+            if aggs.len() > 1 {
+                for index in 0..aggs.len() {
+                    let mut reduced = aggs.clone();
+                    reduced.remove(index);
+                    out.push(TailSpec::Aggregate {
+                        group: group.clone(),
+                        aggs: reduced,
+                    });
+                }
+            }
+        }
+        TailSpec::WithMatch {
+            keep,
+            anchor,
+            edge_label,
+            node_label,
+        } => {
+            // Drop carried variables (the anchor at index 0 must stay).
+            for index in 1..keep.len() {
+                let mut reduced = keep.clone();
+                reduced.remove(index);
+                out.push(TailSpec::WithMatch {
+                    keep: reduced,
+                    anchor: anchor.clone(),
+                    edge_label: edge_label.clone(),
+                    node_label: node_label.clone(),
+                });
+            }
+            if edge_label.is_some() {
+                out.push(TailSpec::WithMatch {
+                    keep: keep.clone(),
+                    anchor: anchor.clone(),
+                    edge_label: None,
+                    node_label: node_label.clone(),
+                });
+            }
+            if node_label.is_some() {
+                out.push(TailSpec::WithMatch {
+                    keep: keep.clone(),
+                    anchor: anchor.clone(),
+                    edge_label: edge_label.clone(),
+                    node_label: None,
+                });
+            }
+        }
+        TailSpec::OptionalTail {
+            anchor,
+            direction,
+            edge_label,
+            node_label,
+        } => {
+            if edge_label.is_some() {
+                out.push(TailSpec::OptionalTail {
+                    anchor: anchor.clone(),
+                    direction: *direction,
+                    edge_label: None,
+                    node_label: node_label.clone(),
+                });
+            }
+            if node_label.is_some() {
+                out.push(TailSpec::OptionalTail {
+                    anchor: anchor.clone(),
+                    direction: *direction,
+                    edge_label: edge_label.clone(),
+                    node_label: None,
+                });
+            }
+        }
+        TailSpec::Unwind { items } => {
+            for index in 0..items.len() {
+                let mut reduced = items.clone();
+                reduced.remove(index);
+                out.push(TailSpec::Unwind { items: reduced });
+            }
         }
     }
     out

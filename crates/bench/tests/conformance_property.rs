@@ -1,0 +1,231 @@
+//! Pinned-seed conformance properties for the multi-clause read surface.
+//!
+//! Two layers of defence: a deterministic fuzzing campaign that must
+//! exercise every clause production (`WITH`, `OPTIONAL MATCH`,
+//! aggregation, `ORDER BY`/`SKIP`/`LIMIT`, `UNWIND`) and finish without a
+//! single engine-vs-reference divergence, plus hand-pinned corner cases
+//! for the semantics that are easiest to get wrong — NULL padding on
+//! outer joins, the one-row global aggregate over an empty match,
+//! `UNWIND` of NULL elements and empty lists, and `LIMIT 0`.
+
+use gradoop_bench::fuzz::{
+    run_case, run_conformance, AggSpec, CaseOutcome, CaseSpec, Dir, EdgeSpec, FuzzConfig,
+    GraphSpec, LitSpec, NodePat, QuerySpec, TailSpec, VertexSpec, MORPHISMS,
+};
+use gradoop_epgm::PropertyValue;
+
+fn vertex(id: u64, label: &str, p: i32) -> VertexSpec {
+    VertexSpec {
+        id,
+        label: label.to_string(),
+        properties: vec![("p".to_string(), PropertyValue::Int(p))],
+    }
+}
+
+fn edge(id: u64, label: &str, source: u64, target: u64) -> EdgeSpec {
+    EdgeSpec {
+        id,
+        label: label.to_string(),
+        source,
+        target,
+        properties: Vec::new(),
+    }
+}
+
+/// A two-vertex graph with a single `x` edge 1 → 2.
+fn pair_graph() -> GraphSpec {
+    GraphSpec {
+        vertices: vec![vertex(1, "A", 10), vertex(2, "A", 20)],
+        edges: vec![edge(1000, "x", 1, 2)],
+    }
+}
+
+/// `MATCH (n0[:label])` with the given tail.
+fn single_node_case(label: &str, tail: TailSpec) -> CaseSpec {
+    let labels = if label.is_empty() {
+        Vec::new()
+    } else {
+        vec![label.to_string()]
+    };
+    CaseSpec {
+        graph: pair_graph(),
+        query: QuerySpec {
+            nodes: vec![NodePat {
+                variable: Some("n0".to_string()),
+                labels,
+                props: Vec::new(),
+            }],
+            edges: Vec::new(),
+            where_tree: None,
+            tail: Some(tail),
+        },
+        matching: MORPHISMS[3], // ISO/ISO, the strictest combination
+        indexed: false,
+        workers: 2,
+    }
+}
+
+fn assert_passes(case: &CaseSpec, expected_rows: usize) {
+    match run_case(case) {
+        CaseOutcome::Passed {
+            reference_matches, ..
+        } => assert_eq!(
+            reference_matches,
+            expected_rows,
+            "wrong row count for {}",
+            case.query.render()
+        ),
+        other => panic!("{}: {other:?}", case.query.render()),
+    }
+}
+
+#[test]
+fn pinned_campaign_covers_every_clause_and_stays_clean() {
+    let report = run_conformance(&FuzzConfig {
+        seed: 0xC0FFEE,
+        cases: 300,
+        archive: false,
+    });
+    assert!(report.is_clean(), "{}", report.summary());
+    let f = &report.features;
+    for (name, count) in [
+        ("ORDER BY", f.order_by),
+        ("SKIP/LIMIT", f.skip_limit),
+        ("aggregate", f.aggregate),
+        ("WITH+MATCH", f.with_clause),
+        ("OPTIONAL MATCH", f.optional_match),
+        ("UNWIND", f.unwind),
+    ] {
+        assert!(count > 0, "{name} never generated:\n{}", report.summary());
+    }
+}
+
+#[test]
+fn global_aggregate_over_an_empty_match_yields_one_row() {
+    // No vertex carries label B, so the match is empty — but a projection
+    // of only aggregates must still produce exactly one row (count 0).
+    let case = single_node_case(
+        "B",
+        TailSpec::Aggregate {
+            group: Vec::new(),
+            aggs: vec![
+                AggSpec {
+                    func: "count",
+                    distinct: false,
+                    arg: None,
+                },
+                AggSpec {
+                    func: "sum",
+                    distinct: false,
+                    arg: Some(("n0".to_string(), "p".to_string())),
+                },
+            ],
+        },
+    );
+    assert_passes(&case, 1);
+}
+
+#[test]
+fn grouped_aggregates_agree_under_every_morphism() {
+    for matching in MORPHISMS {
+        let mut case = single_node_case(
+            "A",
+            TailSpec::Aggregate {
+                group: vec![("n0".to_string(), "p".to_string())],
+                aggs: vec![AggSpec {
+                    func: "count",
+                    distinct: true,
+                    arg: Some(("n0".to_string(), "p".to_string())),
+                }],
+            },
+        );
+        case.matching = matching;
+        assert_passes(&case, 2); // two distinct p values → two groups
+    }
+}
+
+#[test]
+fn optional_match_pads_anchors_without_the_extension() {
+    // Vertex 1 has an outgoing x edge, vertex 2 does not: two result
+    // rows, one NULL-padded.
+    let case = single_node_case(
+        "A",
+        TailSpec::OptionalTail {
+            anchor: "n0".to_string(),
+            direction: Dir::Out,
+            edge_label: Some("x".to_string()),
+            node_label: None,
+        },
+    );
+    assert_passes(&case, 2);
+}
+
+#[test]
+fn with_barrier_feeds_a_second_match() {
+    let case = single_node_case(
+        "A",
+        TailSpec::WithMatch {
+            keep: vec!["n0".to_string()],
+            anchor: "n0".to_string(),
+            edge_label: Some("x".to_string()),
+            node_label: None,
+        },
+    );
+    assert_passes(&case, 1); // only vertex 1 extends over x
+}
+
+#[test]
+fn unwind_keeps_null_elements_and_empty_lists_produce_no_rows() {
+    // A NULL *element* of a list still yields a row (only an overall-NULL
+    // source produces zero rows).
+    let case = single_node_case(
+        "A",
+        TailSpec::Unwind {
+            items: vec![LitSpec::Int(1), LitSpec::Null, LitSpec::Str("a".to_string())],
+        },
+    );
+    assert_passes(&case, 6); // 2 anchors × 3 list elements
+
+    let empty = single_node_case("A", TailSpec::Unwind { items: Vec::new() });
+    assert_passes(&empty, 0);
+}
+
+#[test]
+fn order_by_with_paging_agrees_including_limit_zero() {
+    let case = single_node_case(
+        "A",
+        TailSpec::OrderLimit {
+            distinct: false,
+            keys: vec![("n0".to_string(), "p".to_string(), true)],
+            skip: Some(1),
+            limit: Some(3),
+        },
+    );
+    assert_passes(&case, 1); // two rows, one skipped
+
+    let zero = single_node_case(
+        "A",
+        TailSpec::OrderLimit {
+            distinct: false,
+            keys: vec![("n0".to_string(), "p".to_string(), false)],
+            skip: None,
+            limit: Some(0),
+        },
+    );
+    assert_passes(&zero, 0);
+}
+
+#[test]
+fn indexed_graphs_take_the_same_pipeline_route() {
+    let mut case = single_node_case(
+        "A",
+        TailSpec::OrderLimit {
+            distinct: true,
+            keys: vec![("n0".to_string(), "p".to_string(), false)],
+            skip: None,
+            limit: Some(1),
+        },
+    );
+    case.indexed = true;
+    assert_passes(&case, 1);
+}

@@ -3,15 +3,20 @@
 
 use std::collections::HashMap;
 
-use gradoop_cypher::{parse, Literal, ParseError, QueryGraph, QueryGraphError};
-use gradoop_dataflow::ExecutionFailure;
+use gradoop_cypher::ast::{Pipeline, Projection, ProjectionExpr, Stage};
+use gradoop_cypher::{parse, parse_pipeline, Literal, ParseError, QueryGraph, QueryGraphError};
+use gradoop_dataflow::{CollectingSink, ExecutionFailure, StageReport};
 use gradoop_epgm::{GraphCollection, GraphStatistics, LogicalGraph};
 
 use std::sync::Arc;
 
 use crate::executor::{execute_plan, execute_plan_profiled};
 use crate::matching::MatchingConfig;
-use crate::observe::{q_error, Explain, Profile};
+use crate::observe::{q_error, Explain, ExplainNode, PlannerTrace, Profile, ProfileNode};
+use crate::pipeline::{
+    check_open_range_caps, execute_pipeline, plan_match_stage, probe_open_ranges,
+    table_from_query_result, TableResult,
+};
 use crate::planner::{plan_query, Estimator, PlanError, QueryPlan};
 use crate::querylog::{
     global_query_log, normalize_query_shape, record_from_profile, stable_digest, OperatorLogEntry,
@@ -176,7 +181,12 @@ impl CypherEngine {
         // Drop any stale poison from a previous failed run on this
         // environment, so this execution is judged on its own faults.
         let _ = env.take_execution_failure();
-        let mut result = execute_plan(&plan.root, &query, source, &matching);
+        // Open-ended variable-length ranges (`*`, `*2..`) execute with one
+        // probe hop beyond their substituted cap; anything found there
+        // means the cap would silently truncate, and the run fails with a
+        // classified error instead (checked below).
+        let (probe, caps) = probe_open_ranges(&query);
+        let mut result = execute_plan(&plan.root, &probe, source, &matching);
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
         }
@@ -219,6 +229,13 @@ impl CypherEngine {
             self.query_log.log(&record);
             return Err(CypherError::Execution(failure));
         }
+        if let Err(error) = check_open_range_caps(&result, &caps) {
+            record.outcome = QueryOutcome::Error;
+            record.error = Some(error.to_string());
+            record.wall_seconds = started.elapsed().as_secs_f64();
+            self.query_log.log(&record);
+            return Err(error);
+        }
         record.matches = result.data.len_untracked() as u64;
         record.max_q_error = q_error(plan.estimated_cardinality, record.matches);
         record.wall_seconds = started.elapsed().as_secs_f64();
@@ -244,12 +261,67 @@ impl CypherEngine {
         query_text: &str,
         params: &HashMap<String, Literal>,
     ) -> Result<Explain, CypherError> {
+        let pipeline = parse_pipeline(query_text)?;
+        if pipeline.as_simple().is_none() {
+            return self.pipeline_explain(&pipeline, query_text, params);
+        }
         let (_, plan) = self.plan(query_text, params)?;
         Ok(Explain {
             query: query_text.to_string(),
             root: plan.explain,
             planner: plan.planner,
             estimated_cardinality: plan.estimated_cardinality,
+        })
+    }
+
+    /// EXPLAIN for a multi-clause pipeline: one child per clause. `MATCH`
+    /// stages embed their greedy plan subtree; projection stages list their
+    /// steps, with a `LIMIT`-bearing sort shown as
+    /// `order_by(top-k skip=.. limit=..)` and an unbounded one as
+    /// `order_by(full-sort)`.
+    fn pipeline_explain(
+        &self,
+        pipeline: &Pipeline,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+    ) -> Result<Explain, CypherError> {
+        let mut children: Vec<ExplainNode> = Vec::new();
+        let mut estimated = 1.0f64;
+        for stage in &pipeline.stages {
+            match stage {
+                Stage::Match(inner) | Stage::OptionalMatch(inner) => {
+                    let optional = matches!(stage, Stage::OptionalMatch(_));
+                    let (_, plan) = plan_match_stage(inner, params, &self.statistics)?;
+                    estimated = (estimated * plan.estimated_cardinality).max(1.0);
+                    children.push(ExplainNode::inner(
+                        if optional {
+                            "optional_match(left-outer-join)"
+                        } else {
+                            "match(join)"
+                        },
+                        estimated,
+                        vec![plan.explain],
+                    ));
+                }
+                Stage::With(projection) => {
+                    estimated = projection_estimate(projection, estimated);
+                    children.push(projection_explain("with", projection, estimated));
+                }
+                Stage::Unwind(unwind) => {
+                    children.push(ExplainNode::leaf(
+                        format!("unwind({})", unwind.alias),
+                        estimated,
+                    ));
+                }
+            }
+        }
+        estimated = projection_estimate(&pipeline.ret, estimated);
+        children.push(projection_explain("return", &pipeline.ret, estimated));
+        Ok(Explain {
+            query: query_text.to_string(),
+            root: ExplainNode::inner("pipeline", estimated, children),
+            planner: PlannerTrace::default(),
+            estimated_cardinality: estimated,
         })
     }
 
@@ -265,18 +337,24 @@ impl CypherEngine {
         params: &HashMap<String, Literal>,
         matching: MatchingConfig,
     ) -> Result<Profile, CypherError> {
+        let pipeline = parse_pipeline(query_text)?;
+        if pipeline.as_simple().is_none() {
+            return self.pipeline_profile(source, &pipeline, query_text, params, &matching);
+        }
         let (query, plan) = self.plan(query_text, params)?;
         let env = source.env();
         let _ = env.take_execution_failure();
         let metrics_before = env.metrics();
         let started = std::time::Instant::now();
-        let (mut result, root) = execute_plan_profiled(&plan, &query, source, &matching);
+        let (probe, caps) = probe_open_ranges(&query);
+        let (mut result, root) = execute_plan_profiled(&plan, &probe, source, &matching);
         if query.distinct {
             result = distinct_by_return_items(&result, &query);
         }
         if let Some(failure) = env.take_execution_failure() {
             return Err(CypherError::Execution(failure));
         }
+        check_open_range_caps(&result, &caps)?;
         let metrics = env.metrics();
         let profile = Profile {
             query: query_text.to_string(),
@@ -299,6 +377,281 @@ impl CypherEngine {
             metrics.stolen_morsels - metrics_before.stolen_morsels,
         ));
         Ok(profile)
+    }
+
+    /// PROFILE for a multi-clause pipeline: the run's dataflow stage
+    /// reports become one profile leaf each under a `pipeline` root, so
+    /// top-k vs full-sort choices, outer-join padding counts and
+    /// group-reduce sizes are all visible post-hoc.
+    fn pipeline_profile<S: GraphSource + ?Sized>(
+        &self,
+        source: &S,
+        pipeline: &Pipeline,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+        matching: &MatchingConfig,
+    ) -> Result<Profile, CypherError> {
+        let explain = self.pipeline_explain(pipeline, query_text, params)?;
+        let env = source.env();
+        let _ = env.take_execution_failure();
+        let metrics_before = env.metrics();
+        let started = std::time::Instant::now();
+        let collector = Arc::new(CollectingSink::new());
+        let downstream = env.trace_sink();
+        env.set_trace_sink(Some(Arc::new(TeeSink::new(
+            downstream.clone(),
+            collector.clone(),
+        ))));
+        let outcome = execute_pipeline(pipeline, params, &self.statistics, source, matching);
+        env.set_trace_sink(downstream);
+        let stages = collector.drain().stages;
+        let table = outcome?;
+        if let Some(failure) = env.take_execution_failure() {
+            return Err(CypherError::Execution(failure));
+        }
+        let metrics = env.metrics();
+        let matches = table.rows.len() as u64;
+        let root = ProfileNode {
+            operator: "pipeline".to_string(),
+            estimated_cardinality: explain.estimated_cardinality,
+            estimated_strategy: None,
+            actual_strategy: None,
+            actual_ship: None,
+            rows_in: stages.first().map(|s| s.records_in).unwrap_or(0),
+            rows_out: matches,
+            selectivity: 1.0,
+            embedding_bytes: 0,
+            simulated_seconds: metrics.simulated_seconds - metrics_before.simulated_seconds,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            stages: stages.len() as u64,
+            morsels: stages.iter().map(|s| s.morsels).sum(),
+            stolen_morsels: stages.iter().map(|s| s.stolen_morsels).sum(),
+            estimate_error: q_error(explain.estimated_cardinality, matches),
+            recovery_attempts: stages.iter().map(|s| s.attempts.saturating_sub(1)).sum(),
+            recovery_seconds: stages.iter().map(|s| s.recovery_seconds).sum(),
+            checkpoint_bytes: stages.iter().map(|s| s.checkpoint_bytes).sum(),
+            restored_bytes: stages.iter().map(|s| s.restored_bytes).sum(),
+            peak_memory_bytes: stages.iter().map(|s| s.peak_memory_bytes).max().unwrap_or(0),
+            scratch_allocations: stages.iter().map(|s| s.scratch_allocations).sum(),
+            iterations: vec![],
+            children: stages.iter().map(profile_stage_node).collect(),
+        };
+        let profile = Profile {
+            query: query_text.to_string(),
+            root,
+            planner: PlannerTrace::default(),
+            matches,
+            simulated_seconds: metrics.simulated_seconds - metrics_before.simulated_seconds,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            recovery_attempts: metrics.recovery_attempts - metrics_before.recovery_attempts,
+            recovery_seconds: metrics.recovery_seconds - metrics_before.recovery_seconds,
+            checkpoint_bytes: metrics.checkpoint_bytes - metrics_before.checkpoint_bytes,
+            restored_bytes: metrics.restored_bytes - metrics_before.restored_bytes,
+            peak_memory_bytes: metrics.peak_memory_bytes,
+            scratch_allocations: metrics.scratch_allocations - metrics_before.scratch_allocations,
+        };
+        self.query_log.log(&record_from_profile(
+            query_text,
+            stable_digest(&explain.root.to_text()),
+            &profile,
+            metrics.stolen_morsels - metrics_before.stolen_morsels,
+        ));
+        Ok(profile)
+    }
+
+    /// Runs the full read-only clause surface — `MATCH`, `OPTIONAL MATCH`,
+    /// `WITH`, `UNWIND`, aggregation, `ORDER BY`/`SKIP`/`LIMIT` — and
+    /// returns a tabular [`TableResult`].
+    ///
+    /// A query that is a single plain `MATCH … RETURN` delegates to the
+    /// classic embedding path ([`execute`](CypherEngine::execute), which
+    /// merges all patterns into one query graph and applies **query-wide**
+    /// morphism uniqueness); everything else runs clause by clause with
+    /// openCypher's per-`MATCH` uniqueness scope. Either way the run lands
+    /// in the query log.
+    pub fn run<S: GraphSource + ?Sized>(
+        &self,
+        source: &S,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+        matching: MatchingConfig,
+    ) -> Result<TableResult, CypherError> {
+        let pipeline = parse_pipeline(query_text)?;
+        if pipeline.as_simple().is_some() {
+            return table_from_query_result(&self.execute(source, query_text, params, matching)?);
+        }
+        let started = std::time::Instant::now();
+        let shape = normalize_query_shape(query_text);
+        let fingerprint = stable_digest(&shape);
+        let explain = match self.pipeline_explain(&pipeline, query_text, params) {
+            Ok(explain) => explain,
+            Err(error) => {
+                self.query_log.log(&QueryLogRecord {
+                    query: query_text.to_string(),
+                    shape,
+                    fingerprint,
+                    plan_digest: String::new(),
+                    outcome: QueryOutcome::Error,
+                    error: Some(error.to_string()),
+                    matches: 0,
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                    simulated_seconds: 0.0,
+                    operators: vec![],
+                    max_q_error: 1.0,
+                    recovery_attempts: 0,
+                    stolen_morsels: 0,
+                    peak_memory_bytes: 0,
+                });
+                return Err(error);
+            }
+        };
+        let plan_digest = stable_digest(&explain.root.to_text());
+        let env = source.env();
+        let metrics_before = env.metrics();
+        let collector = Arc::new(CollectingSink::new());
+        let downstream = env.trace_sink();
+        env.set_trace_sink(Some(Arc::new(TeeSink::new(
+            downstream.clone(),
+            collector.clone(),
+        ))));
+        let _ = env.take_execution_failure();
+        let outcome = execute_pipeline(&pipeline, params, &self.statistics, source, &matching);
+        env.set_trace_sink(downstream);
+        let stages = collector.drain().stages;
+        let metrics = env.metrics();
+        let mut record = QueryLogRecord {
+            query: query_text.to_string(),
+            shape,
+            fingerprint,
+            plan_digest,
+            outcome: QueryOutcome::Ok,
+            error: None,
+            matches: 0,
+            wall_seconds: 0.0,
+            simulated_seconds: metrics.simulated_seconds - metrics_before.simulated_seconds,
+            operators: stages
+                .iter()
+                .map(|s| OperatorLogEntry {
+                    name: s.name.clone(),
+                    rows_out: s.records_out,
+                    bytes: s.bytes_shuffled,
+                })
+                .collect(),
+            max_q_error: 1.0,
+            recovery_attempts: stages.iter().map(|s| s.attempts.saturating_sub(1)).sum(),
+            stolen_morsels: stages.iter().map(|s| s.stolen_morsels).sum(),
+            peak_memory_bytes: stages
+                .iter()
+                .map(|s| s.peak_memory_bytes)
+                .max()
+                .unwrap_or(0),
+        };
+        let table = match outcome {
+            Ok(table) => table,
+            Err(error) => {
+                record.outcome = match &error {
+                    CypherError::Execution(_) => QueryOutcome::Faulted,
+                    _ => QueryOutcome::Error,
+                };
+                record.error = Some(error.to_string());
+                record.wall_seconds = started.elapsed().as_secs_f64();
+                self.query_log.log(&record);
+                return Err(error);
+            }
+        };
+        if let Some(failure) = env.take_execution_failure() {
+            record.outcome = QueryOutcome::Faulted;
+            record.error = Some(failure.to_string());
+            record.wall_seconds = started.elapsed().as_secs_f64();
+            self.query_log.log(&record);
+            return Err(CypherError::Execution(failure));
+        }
+        record.matches = table.rows.len() as u64;
+        record.max_q_error = q_error(explain.estimated_cardinality, record.matches);
+        record.wall_seconds = started.elapsed().as_secs_f64();
+        self.query_log.log(&record);
+        Ok(table)
+    }
+}
+
+/// Output-cardinality estimate of one projection stage: aggregation
+/// collapses toward the group count (modeled as a square root), `LIMIT`
+/// caps the estimate outright.
+fn projection_estimate(projection: &Projection, input: f64) -> f64 {
+    let mut estimated = input;
+    if projection
+        .items
+        .iter()
+        .any(|i| matches!(i.expr, ProjectionExpr::Aggregate(_)))
+    {
+        estimated = estimated.sqrt().max(1.0);
+    }
+    if let Some(limit) = projection.limit {
+        estimated = estimated.min(limit as f64).max(0.0);
+    }
+    estimated.max(1.0)
+}
+
+/// EXPLAIN node for a `WITH`/`RETURN` stage, one step leaf per applied
+/// sub-operation in evaluation order.
+fn projection_explain(name: &str, projection: &Projection, estimated: f64) -> ExplainNode {
+    let mut steps: Vec<ExplainNode> = Vec::new();
+    if projection
+        .items
+        .iter()
+        .any(|i| matches!(i.expr, ProjectionExpr::Aggregate(_)))
+    {
+        steps.push(ExplainNode::leaf("aggregate(group_reduce)", estimated));
+    }
+    if projection.distinct {
+        steps.push(ExplainNode::leaf("distinct(group_reduce)", estimated));
+    }
+    if !projection.order_by.is_empty() || projection.skip.is_some() || projection.limit.is_some() {
+        let operator = match projection.limit {
+            Some(limit) => format!(
+                "order_by(top-k skip={} limit={limit})",
+                projection.skip.unwrap_or(0)
+            ),
+            None => "order_by(full-sort)".to_string(),
+        };
+        steps.push(ExplainNode::leaf(operator, estimated));
+    }
+    if projection.where_clause.is_some() {
+        steps.push(ExplainNode::leaf("filter(where)", estimated));
+    }
+    ExplainNode::inner(name, estimated, steps)
+}
+
+/// One profile leaf per executed dataflow stage of a pipeline run.
+fn profile_stage_node(report: &StageReport) -> ProfileNode {
+    ProfileNode {
+        operator: report.name.clone(),
+        estimated_cardinality: report.records_out as f64,
+        estimated_strategy: None,
+        actual_strategy: None,
+        actual_ship: None,
+        rows_in: report.records_in,
+        rows_out: report.records_out,
+        selectivity: if report.records_in > 0 {
+            report.records_out as f64 / report.records_in as f64
+        } else {
+            1.0
+        },
+        embedding_bytes: 0,
+        simulated_seconds: report.seconds,
+        wall_seconds: 0.0,
+        stages: 1,
+        morsels: report.morsels,
+        stolen_morsels: report.stolen_morsels,
+        estimate_error: 1.0,
+        recovery_attempts: report.attempts.saturating_sub(1),
+        recovery_seconds: report.recovery_seconds,
+        checkpoint_bytes: report.checkpoint_bytes,
+        restored_bytes: report.restored_bytes,
+        peak_memory_bytes: report.peak_memory_bytes,
+        scratch_allocations: report.scratch_allocations,
+        iterations: vec![],
+        children: vec![],
     }
 }
 
@@ -776,6 +1129,230 @@ mod tests {
         assert_eq!(profile.recovery_attempts, 2);
         assert!(profile.recovery_seconds >= 0.0);
         assert!(profile.to_text().contains("recovery: attempts=2"));
+    }
+
+    #[test]
+    fn run_delegates_simple_queries_to_the_classic_path() {
+        use crate::values::Value;
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let table = engine
+            .run(
+                &graph,
+                "MATCH (p:Person) RETURN p.name",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(table.columns, vec!["p.name"]);
+        let mut names: Vec<String> = table
+            .rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Str(s) => s.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Alice", "Eve"]);
+
+        let counted = engine
+            .run(
+                &graph,
+                "MATCH (p:Person) RETURN count(*)",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(counted.columns, vec!["count(*)"]);
+        assert_eq!(counted.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn run_executes_with_aggregation_pipelines() {
+        use crate::values::Value;
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let table = engine
+            .run(
+                &graph,
+                "MATCH (p:Person)-[s:studyAt]->(u:University) \
+                 WITH u, count(*) AS n RETURN u.name, n",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(table.columns, vec!["u.name", "n"]);
+        assert_eq!(
+            table.rows,
+            vec![vec![Value::Str("Uni Leipzig".to_string()), Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn run_pads_optional_match_and_reports_the_pad_count() {
+        use crate::querylog::MemoryQueryLog;
+        use crate::values::Value;
+        let graph = sample_graph();
+        let log = Arc::new(MemoryQueryLog::new());
+        let engine = CypherEngine::for_graph(&graph).with_query_log(log.clone());
+        let table = engine
+            .run(
+                &graph,
+                "MATCH (p:Person) OPTIONAL MATCH (p)-[k:knows]->(q:Person) \
+                 RETURN p.name, q.name ORDER BY p.name",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert!(table.ordered);
+        assert_eq!(
+            table.rows,
+            vec![
+                vec![
+                    Value::Str("Alice".to_string()),
+                    Value::Str("Eve".to_string())
+                ],
+                // Eve knows nobody: the outer join NULL-pads her row.
+                vec![Value::Str("Eve".to_string()), Value::Null],
+            ]
+        );
+        let records = log.snapshot();
+        let record = records.last().expect("run was logged");
+        assert_eq!(record.outcome, QueryOutcome::Ok);
+        assert_eq!(record.matches, 2);
+        let pad = record
+            .operators
+            .iter()
+            .find(|op| op.name == "optional_match(pad)")
+            .expect("pad telemetry operator");
+        assert_eq!(pad.rows_out, 1);
+        assert!(record
+            .operators
+            .iter()
+            .any(|op| op.name == "join(left-outer-hash)"));
+    }
+
+    #[test]
+    fn run_unwinds_lists_and_orders_descending() {
+        use crate::values::Value;
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let table = engine
+            .run(
+                &graph,
+                "UNWIND [1, 2, 3] AS x RETURN x ORDER BY x DESC LIMIT 2",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(table.columns, vec!["x"]);
+        assert_eq!(table.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn explain_and_profile_show_top_k_for_limit_bearing_order_by() {
+        let graph = sample_graph();
+        let engine = CypherEngine::for_graph(&graph);
+        let with_limit = engine
+            .explain("MATCH (p:Person) RETURN p.name ORDER BY p.name LIMIT 1")
+            .unwrap();
+        assert!(with_limit
+            .root
+            .to_text()
+            .contains("order_by(top-k skip=0 limit=1)"));
+        let unbounded = engine
+            .explain("MATCH (p:Person) RETURN p.name ORDER BY p.name")
+            .unwrap();
+        assert!(unbounded.root.to_text().contains("order_by(full-sort)"));
+
+        let profile = engine
+            .profile(
+                &graph,
+                "MATCH (p:Person) RETURN p.name ORDER BY p.name LIMIT 1",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(profile.matches, 1);
+        let stage_names: Vec<&str> = profile
+            .root
+            .children
+            .iter()
+            .map(|c| c.operator.as_str())
+            .collect();
+        assert!(stage_names.contains(&"order_by(top-k)"));
+        assert!(!stage_names.contains(&"order_by(full-sort)"));
+    }
+
+    fn chain_graph(hops: u64) -> LogicalGraph {
+        let env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let vertices = (1..=hops + 1)
+            .map(|id| Vertex::new(GradoopId(id), "Node", Properties::new()))
+            .collect();
+        let edges = (1..=hops)
+            .map(|i| {
+                Edge::new(
+                    GradoopId(100 + i),
+                    "next",
+                    GradoopId(i),
+                    GradoopId(i + 1),
+                    Properties::new(),
+                )
+            })
+            .collect();
+        LogicalGraph::from_data(
+            &env,
+            GraphHead::new(GradoopId(1000), "chain", Properties::new()),
+            vertices,
+            edges,
+        )
+    }
+
+    #[test]
+    fn open_range_beyond_the_default_cap_is_a_classified_error() {
+        // A 12-hop chain holds paths longer than DEFAULT_MAX_HOPS (10):
+        // the old behaviour silently returned the truncated result set.
+        let graph = chain_graph(12);
+        let engine = CypherEngine::for_graph(&graph);
+        let result = engine.execute(
+            &graph,
+            "MATCH (a)-[*]->(b) RETURN count(*)",
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        );
+        match result {
+            Err(CypherError::Execution(failure)) => {
+                assert!(failure.message.contains("cap of 10 hops"), "{failure}");
+                assert!(failure.site.contains("open-range path expansion"));
+            }
+            other => panic!("expected classified truncation error, got {other:?}"),
+        }
+        // An explicit upper bound opts into the deeper expansion: every
+        // path of 1..=12 hops in the chain, 12+11+…+1 = 78 of them.
+        let bounded = engine
+            .execute(
+                &graph,
+                "MATCH (a)-[*1..12]->(b) RETURN count(*)",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(bounded.count(), 78);
+        // A graph whose longest path sits at the cap is untouched.
+        let short = chain_graph(10);
+        let engine = CypherEngine::for_graph(&short);
+        let ok = engine
+            .execute(
+                &short,
+                "MATCH (a)-[*]->(b) RETURN count(*)",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(ok.count(), 55);
     }
 
     #[test]

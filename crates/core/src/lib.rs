@@ -46,11 +46,13 @@ pub mod executor;
 pub mod matching;
 pub mod observe;
 pub mod operators;
+pub mod pipeline;
 pub mod planner;
 pub mod querylog;
 pub mod reference;
 pub mod result;
 pub mod source;
+pub mod values;
 
 pub use embedding::{Embedding, EmbeddingMetaData, Entry, EntryType};
 pub use engine::{CypherEngine, CypherError, CypherOperator};
@@ -63,11 +65,16 @@ pub use observe::{
     ship_strategies, ExpandIteration, Explain, ExplainNode, PlannerCandidate, PlannerRound,
     PlannerTrace, Profile, ProfileNode, ShipStrategy,
 };
+pub use pipeline::{check_open_range_caps, execute_pipeline, probe_open_ranges, TableResult};
 pub use planner::{plan_query, Estimator, PlanError, PlanNode, QueryPlan};
 pub use querylog::{
     global_query_log, normalize_query_shape, stable_digest, JsonlQueryLog, MemoryQueryLog,
     OperatorLogEntry, QueryLogRecord, QueryLogSink, QueryOutcome, TeeSink,
 };
-pub use reference::{reference_match, ReferenceMatch};
+pub use reference::{reference_match, reference_pipeline, RefTable, ReferenceMatch};
 pub use result::{QueryResult, ResultRow, ResultValue};
 pub use source::GraphSource;
+pub use values::{
+    canonical_row, canonical_string, cmp_rows, cmp_values, compare_rows_by_keys, fold_aggregate,
+    property_to_value, value_to_property, Row, RowScope, Snapshot, Value,
+};

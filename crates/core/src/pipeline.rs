@@ -1,0 +1,699 @@
+//! Dataflow lowering of multi-clause Cypher pipelines.
+//!
+//! [`execute_pipeline`] runs the full read-only clause surface — `MATCH`,
+//! `OPTIONAL MATCH`, `WITH`, `UNWIND`, aggregation, `DISTINCT`,
+//! `ORDER BY`/`SKIP`/`LIMIT` — clause by clause over a working table of
+//! [`Row`]s, mirroring [`reference_pipeline`](crate::reference_pipeline)
+//! operator for operator:
+//!
+//! * each `MATCH` stage is planned and executed by the classic embedding
+//!   engine under its **own** morphism-uniqueness scope (openCypher's
+//!   per-`MATCH` uniqueness), then hash-joined onto the working table on
+//!   the canonical string key of the shared variables;
+//! * `OPTIONAL MATCH` lowers onto
+//!   [`join_left_outer_filtered`](gradoop_dataflow::Dataset::join_left_outer_filtered):
+//!   the stage `WHERE` participates in the match decision, and a left row
+//!   whose candidates all fail is NULL-padded. Pad counts surface as a
+//!   synthetic `optional_match(pad)` stage report so PROFILE and the query
+//!   log can show them;
+//! * `WITH`/`RETURN` apply projection → aggregation
+//!   ([`group_reduce`](gradoop_dataflow::Dataset::group_reduce) keyed on
+//!   the canonical grouping row) → `DISTINCT` → `ORDER BY` →
+//!   `SKIP`/`LIMIT` → trailing `WHERE`. A `LIMIT`-bearing sort runs as
+//!   per-partition top-k ([`ordered_top_k`](gradoop_dataflow::Dataset::ordered_top_k));
+//!   without a limit the full sort is used, and `SKIP`/`LIMIT` without
+//!   `ORDER BY` first sorts by the canonical full-row order so the cut is
+//!   deterministic;
+//! * `UNWIND` is a flat-map: `NULL` produces no rows, a list one row per
+//!   element, a scalar a single row.
+//!
+//! The module also hosts the open-range probe ([`probe_open_ranges`] /
+//! [`check_open_range_caps`]): unbounded variable-length patterns (`*`,
+//! `*2..`) carry a parser-substituted hop cap, and instead of silently
+//! truncating results at the cap the executor expands one hop further and
+//! raises a classified [`CypherError::Execution`] when anything is found
+//! beyond it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use gradoop_cypher::ast::{
+    MatchStage, Pipeline, Projection, ProjectionExpr, ProjectionItem, Query, ReturnClause,
+    ReturnItem, Stage, UnwindSource, UnwindStage,
+};
+use gradoop_cypher::predicates::eval::eval_expression;
+use gradoop_cypher::{Expression, Literal, QueryGraph};
+use gradoop_dataflow::{Dataset, ExecutionFailure, JoinStrategy, StageReport};
+use gradoop_epgm::GraphStatistics;
+
+use crate::embedding::{Entry, EntryType};
+use crate::engine::CypherError;
+use crate::executor::execute_plan;
+use crate::matching::MatchingConfig;
+use crate::operators::EmbeddingSet;
+use crate::planner::{plan_query, Estimator, PlanError, QueryPlan};
+use crate::result::QueryResult;
+use crate::source::GraphSource;
+use crate::values::{
+    agg_arg_value, canonical_row, canonical_string, cmp_rows, compare_rows_by_keys, fold_aggregate,
+    property_to_value, Row, RowScope, Snapshot, Value,
+};
+
+/// The tabular result of a pipeline execution: named columns over value
+/// rows. `ordered` is set when the final `RETURN` carried an `ORDER BY`,
+/// in which case row order is part of the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableResult {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Whether row order is significant.
+    pub ordered: bool,
+}
+
+// --- open-range probe --------------------------------------------------------
+
+/// Returns a probe copy of `query` whose open-ended variable-length ranges
+/// (`*`, `*2..`) expand one hop beyond their substituted cap, plus the
+/// `(edge variable, user-visible cap)` pairs [`check_open_range_caps`]
+/// inspects after execution. Plans stay unchanged — `EXPLAIN` shows the
+/// cap the user would hit, and the executor reads ranges from the query
+/// graph it is handed at runtime.
+pub fn probe_open_ranges(query: &QueryGraph) -> (QueryGraph, Vec<(String, usize)>) {
+    let mut probe = query.clone();
+    let mut caps = Vec::new();
+    for edge in &mut probe.edges {
+        if edge.open_range {
+            if let Some((lower, upper)) = edge.range {
+                edge.range = Some((lower, upper.saturating_add(1)));
+                caps.push((edge.variable.clone(), upper));
+            }
+        }
+    }
+    (probe, caps)
+}
+
+/// Scans an executed embedding set for paths that crossed an open range's
+/// substituted hop cap. Finding one means the cap would have silently
+/// truncated the result set, so a classified execution error is returned
+/// instead of a partial answer.
+pub fn check_open_range_caps(
+    set: &EmbeddingSet,
+    caps: &[(String, usize)],
+) -> Result<(), CypherError> {
+    for (variable, cap) in caps {
+        let Some(column) = set.meta.column(variable) else {
+            continue;
+        };
+        for embedding in set.data.partitions().iter().flatten() {
+            let hops = match embedding.entry(column) {
+                Entry::Path(via) => (via.len() + 1) / 2,
+                Entry::Id(_) => 1,
+            };
+            if hops > *cap {
+                return Err(CypherError::Execution(ExecutionFailure {
+                    site: format!("open-range path expansion `{variable}`"),
+                    attempts: 0,
+                    message: format!(
+                        "unbounded variable-length path reaches beyond the default cap of \
+                         {cap} hops; the result would be silently truncated — give the \
+                         pattern an explicit upper bound (e.g. `*1..{wider}`)",
+                        wider = cap.saturating_add(1),
+                    ),
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
+// --- pipeline execution ------------------------------------------------------
+
+/// Executes a multi-clause pipeline against `source`, returning the final
+/// tabular result. Semantics match
+/// [`reference_pipeline`](crate::reference_pipeline) exactly — the
+/// conformance fuzzer holds the two against each other.
+pub fn execute_pipeline<S: GraphSource + ?Sized>(
+    pipeline: &Pipeline,
+    params: &HashMap<String, Literal>,
+    statistics: &GraphStatistics,
+    source: &S,
+    matching: &MatchingConfig,
+) -> Result<TableResult, CypherError> {
+    let snapshot = Snapshot::of(source);
+    let mut columns: Vec<String> = Vec::new();
+    // One empty seed row: the first MATCH cross-joins against it on the
+    // empty shared-variable key, so no clause needs a special first case.
+    let mut data: Dataset<Row> = source.env().from_collection(vec![Row::new()]);
+    for stage in &pipeline.stages {
+        match stage {
+            Stage::Match(stage) => apply_match(
+                &snapshot,
+                &mut columns,
+                &mut data,
+                stage,
+                params,
+                statistics,
+                source,
+                matching,
+                false,
+            )?,
+            Stage::OptionalMatch(stage) => apply_match(
+                &snapshot,
+                &mut columns,
+                &mut data,
+                stage,
+                params,
+                statistics,
+                source,
+                matching,
+                true,
+            )?,
+            Stage::With(projection) => {
+                apply_projection(&snapshot, &mut columns, &mut data, projection, params)?;
+            }
+            Stage::Unwind(unwind) => apply_unwind(&snapshot, &mut columns, &mut data, unwind)?,
+        }
+    }
+    apply_projection(&snapshot, &mut columns, &mut data, &pipeline.ret, params)?;
+    Ok(TableResult {
+        columns,
+        // `collect` concatenates partitions in order; ordered datasets hold
+        // their merged run in partition 0, so sorted order survives.
+        rows: data.collect(),
+        ordered: !pipeline.ret.order_by.is_empty(),
+    })
+}
+
+/// Plans one `MATCH` stage in isolation (patterns only — the stage `WHERE`
+/// is evaluated row-wise over the combined table so it can see earlier
+/// columns).
+pub(crate) fn plan_match_stage(
+    stage: &MatchStage,
+    params: &HashMap<String, Literal>,
+    statistics: &GraphStatistics,
+) -> Result<(QueryGraph, QueryPlan), CypherError> {
+    let query = Query {
+        patterns: stage.patterns.clone(),
+        where_clause: None,
+        return_clause: ReturnClause {
+            items: vec![ReturnItem::All],
+            distinct: false,
+        },
+    };
+    let query_graph = QueryGraph::from_query_with_params(&query, params)?;
+    let plan = plan_query(&query_graph, &Estimator::new(statistics))?;
+    Ok((query_graph, plan))
+}
+
+/// Executes one `MATCH` stage and converts its embeddings to rows. Columns
+/// are the named variables, vertices first then edges, in query-graph
+/// order — the same layout as the reference interpreter's stage table.
+fn stage_rows<S: GraphSource + ?Sized>(
+    stage: &MatchStage,
+    params: &HashMap<String, Literal>,
+    statistics: &GraphStatistics,
+    source: &S,
+    matching: &MatchingConfig,
+) -> Result<(Vec<String>, Dataset<Row>), CypherError> {
+    let (query_graph, plan) = plan_match_stage(stage, params, statistics)?;
+    let (probe, caps) = probe_open_ranges(&query_graph);
+    let set = execute_plan(&plan.root, &probe, source, matching);
+    if let Some(failure) = source.env().take_execution_failure() {
+        return Err(CypherError::Execution(failure));
+    }
+    check_open_range_caps(&set, &caps)?;
+    let mut names: Vec<String> = Vec::new();
+    let mut vertex_count = 0usize;
+    for vertex in &query_graph.vertices {
+        if vertex.named {
+            names.push(vertex.variable.clone());
+            vertex_count += 1;
+        }
+    }
+    for edge in &query_graph.edges {
+        if edge.named {
+            names.push(edge.variable.clone());
+        }
+    }
+    let mut sources: Vec<usize> = Vec::with_capacity(names.len());
+    for name in &names {
+        let Some(column) = set.meta.column(name) else {
+            return Err(CypherError::Plan(PlanError(format!(
+                "pattern variable `{name}` was not materialized by the stage plan"
+            ))));
+        };
+        sources.push(column);
+    }
+    let rows = set.data.map(move |embedding| {
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, &column)| match embedding.entry(column) {
+                Entry::Id(id) if i < vertex_count => Value::Vertex(id),
+                Entry::Id(id) => Value::Edge(id),
+                Entry::Path(via) => Value::Path(via),
+            })
+            .collect::<Row>()
+    });
+    Ok((names, rows))
+}
+
+/// Substitutes `$parameters`, classifying an unbound name as a plan error.
+fn bind_params(
+    expr: &Expression,
+    params: &HashMap<String, Literal>,
+) -> Result<Expression, CypherError> {
+    let mut bound = expr.clone();
+    bound
+        .substitute_parameters(params)
+        .map_err(|name| CypherError::Plan(PlanError(format!("parameter ${name} is not bound"))))?;
+    Ok(bound)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_match<S: GraphSource + ?Sized>(
+    snapshot: &Snapshot,
+    columns: &mut Vec<String>,
+    data: &mut Dataset<Row>,
+    stage: &MatchStage,
+    params: &HashMap<String, Literal>,
+    statistics: &GraphStatistics,
+    source: &S,
+    matching: &MatchingConfig,
+    optional: bool,
+) -> Result<(), CypherError> {
+    let (match_columns, match_rows) = stage_rows(stage, params, statistics, source, matching)?;
+    let shared: Vec<(usize, usize)> = match_columns
+        .iter()
+        .enumerate()
+        .filter_map(|(mi, name)| columns.iter().position(|c| c == name).map(|li| (li, mi)))
+        .collect();
+    let new_columns: Vec<usize> = (0..match_columns.len())
+        .filter(|mi| !shared.iter().any(|&(_, smi)| smi == *mi))
+        .collect();
+    let mut out_columns = columns.clone();
+    out_columns.extend(new_columns.iter().map(|&mi| match_columns[mi].clone()));
+    let predicate = match &stage.where_clause {
+        Some(expr) => Some(bind_params(expr, params)?),
+        None => None,
+    };
+
+    // NULL never joins: `canonical_string(Null)` can only meet an
+    // element-valued right side, so a NULL-bound shared variable finds no
+    // partner — the row drops (inner) or re-pads (optional).
+    let left_shared = shared.clone();
+    let left_key = move |row: &Row| -> String {
+        left_shared
+            .iter()
+            .map(|&(li, _)| canonical_string(&row[li]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let right_shared = shared.clone();
+    let right_key = move |row: &Row| -> String {
+        right_shared
+            .iter()
+            .map(|&(_, mi)| canonical_string(&row[mi]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let combine = |left: &Row, right: &Row| -> Row {
+        let mut combined = left.clone();
+        combined.extend(new_columns.iter().map(|&mi| right[mi].clone()));
+        combined
+    };
+    let accepts = |combined: &Row| -> bool {
+        match &predicate {
+            Some(expr) => {
+                let scope = RowScope {
+                    columns: &out_columns,
+                    row: combined,
+                    snapshot,
+                };
+                eval_expression(expr, &scope) == Some(true)
+            }
+            None => true,
+        }
+    };
+
+    let joined = if optional {
+        let padded = AtomicU64::new(0);
+        let result = data.join_left_outer_filtered(
+            &match_rows,
+            left_key,
+            right_key,
+            |left, right| accepts(&combine(left, right)),
+            |left, right| match right {
+                Some(right) => Some(combine(left, right)),
+                None => {
+                    padded.fetch_add(1, AtomicOrdering::Relaxed);
+                    let mut row = left.clone();
+                    row.extend(new_columns.iter().map(|_| Value::Null));
+                    Some(row)
+                }
+            },
+        );
+        // Surface the padding count as a stage report so PROFILE and the
+        // query log show how many rows the outer join NULL-padded.
+        if let Some(sink) = source.env().trace_sink() {
+            sink.on_stage(&StageReport {
+                name: "optional_match(pad)".to_string(),
+                records_out: padded.load(AtomicOrdering::Relaxed),
+                ..StageReport::default()
+            });
+        }
+        result
+    } else {
+        data.join(
+            &match_rows,
+            left_key,
+            right_key,
+            JoinStrategy::RepartitionHash,
+            |left, right| {
+                let combined = combine(left, right);
+                accepts(&combined).then_some(combined)
+            },
+        )
+    };
+    *columns = out_columns;
+    *data = joined;
+    Ok(())
+}
+
+fn apply_unwind(
+    snapshot: &Snapshot,
+    columns: &mut Vec<String>,
+    data: &mut Dataset<Row>,
+    unwind: &UnwindStage,
+) -> Result<(), CypherError> {
+    if columns.contains(&unwind.alias) {
+        return Err(CypherError::Plan(PlanError(format!(
+            "UNWIND alias `{}` is already bound",
+            unwind.alias
+        ))));
+    }
+    let in_columns = &*columns;
+    let unwound = data.flat_map(|row: &Row, out: &mut Vec<Row>| {
+        let scope = RowScope {
+            columns: in_columns,
+            row,
+            snapshot,
+        };
+        let source = match &unwind.source {
+            UnwindSource::List(items) => Value::List(
+                items
+                    .iter()
+                    .map(|l| property_to_value(&l.to_property_value()))
+                    .collect(),
+            ),
+            UnwindSource::Variable(variable) => scope.get(variable).cloned().unwrap_or(Value::Null),
+            UnwindSource::Property { variable, key } => scope.property_value(variable, key),
+        };
+        match source {
+            // UNWIND NULL produces no rows; a non-list scalar one row.
+            Value::Null => {}
+            Value::List(items) => {
+                for item in items {
+                    let mut extended = row.clone();
+                    extended.push(item);
+                    out.push(extended);
+                }
+            }
+            scalar => {
+                let mut extended = row.clone();
+                extended.push(scalar);
+                out.push(extended);
+            }
+        }
+    });
+    columns.push(unwind.alias.clone());
+    *data = unwound;
+    Ok(())
+}
+
+fn eval_projection_item(item: &ProjectionExpr, scope: &RowScope<'_>) -> Value {
+    match item {
+        ProjectionExpr::Variable(variable) => scope.get(variable).cloned().unwrap_or(Value::Null),
+        ProjectionExpr::Property { variable, key } => scope.property_value(variable, key),
+        ProjectionExpr::Aggregate(_) => unreachable!("aggregates are folded per group"),
+    }
+}
+
+fn apply_projection(
+    snapshot: &Snapshot,
+    columns: &mut Vec<String>,
+    data: &mut Dataset<Row>,
+    projection: &Projection,
+    params: &HashMap<String, Literal>,
+) -> Result<(), CypherError> {
+    let items: Vec<ProjectionItem> = if projection.star {
+        columns
+            .iter()
+            .map(|c| ProjectionItem {
+                expr: ProjectionExpr::Variable(c.clone()),
+                alias: None,
+            })
+            .collect()
+    } else {
+        projection.items.clone()
+    };
+    let out_columns: Vec<String> = items.iter().map(|i| i.name()).collect();
+    let has_aggregate = items
+        .iter()
+        .any(|i| matches!(i.expr, ProjectionExpr::Aggregate(_)));
+    let trailing_where = match &projection.where_clause {
+        Some(expr) => Some(bind_params(expr, params)?),
+        None => None,
+    };
+    let in_columns = columns.clone();
+
+    let mut result: Dataset<Row> = if has_aggregate {
+        // Group by the non-aggregate items on the canonical key row; each
+        // group folds its members in canonical row order (so `collect`
+        // agrees with the reference interpreter).
+        let key_values = |row: &Row| -> Vec<Value> {
+            let scope = RowScope {
+                columns: &in_columns,
+                row,
+                snapshot,
+            };
+            items
+                .iter()
+                .filter(|i| !matches!(i.expr, ProjectionExpr::Aggregate(_)))
+                .map(|i| eval_projection_item(&i.expr, &scope))
+                .collect()
+        };
+        let grouped = data.group_reduce(
+            |row| canonical_row(&key_values(row)),
+            |_key, members| {
+                let mut members: Vec<Row> = members.to_vec();
+                members.sort_by(|a, b| cmp_rows(a, b));
+                let mut key_iter = key_values(&members[0]).into_iter();
+                items
+                    .iter()
+                    .map(|item| match &item.expr {
+                        ProjectionExpr::Aggregate(call) => {
+                            let args: Vec<Value> = members
+                                .iter()
+                                .map(|member| {
+                                    let scope = RowScope {
+                                        columns: &in_columns,
+                                        row: member,
+                                        snapshot,
+                                    };
+                                    agg_arg_value(&call.arg, &scope)
+                                })
+                                .collect();
+                            fold_aggregate(call.func, call.distinct, &args)
+                        }
+                        _ => key_iter.next().expect("grouping key"),
+                    })
+                    .collect::<Row>()
+            },
+        );
+        let all_aggregates = items
+            .iter()
+            .all(|i| matches!(i.expr, ProjectionExpr::Aggregate(_)));
+        if all_aggregates && grouped.len_untracked() == 0 {
+            // A global aggregate over no rows still emits one row.
+            let empty_folds: Row = items
+                .iter()
+                .map(|item| match &item.expr {
+                    ProjectionExpr::Aggregate(call) => {
+                        fold_aggregate(call.func, call.distinct, &[])
+                    }
+                    _ => unreachable!("all items are aggregates"),
+                })
+                .collect();
+            data.env().from_collection(vec![empty_folds])
+        } else {
+            grouped
+        }
+    } else {
+        data.map(|row| {
+            let scope = RowScope {
+                columns: &in_columns,
+                row,
+                snapshot,
+            };
+            items
+                .iter()
+                .map(|item| eval_projection_item(&item.expr, &scope))
+                .collect::<Row>()
+        })
+    };
+
+    if projection.distinct {
+        result = result.group_reduce(
+            |row| canonical_row(row),
+            |_key, members| {
+                members
+                    .iter()
+                    .min_by(|a, b| cmp_rows(a, b))
+                    .expect("group is non-empty")
+                    .clone()
+            },
+        );
+    }
+    if !projection.order_by.is_empty() || projection.skip.is_some() || projection.limit.is_some() {
+        // With no explicit sort keys `compare_rows_by_keys` falls through
+        // to the canonical full-row order, making a bare SKIP/LIMIT cut
+        // deterministic. A LIMIT runs as per-partition top-k + merge; only
+        // an unbounded sort pays for the full order.
+        let cmp = |a: &Row, b: &Row| {
+            compare_rows_by_keys(&projection.order_by, &out_columns, snapshot, a, b)
+        };
+        let skip = projection.skip.unwrap_or(0);
+        result = match projection.limit {
+            Some(limit) => result.ordered_top_k(cmp, skip, limit),
+            None => result.ordered_full(cmp, skip),
+        };
+    }
+    if let Some(expr) = &trailing_where {
+        result = result.filter(|row| {
+            let scope = RowScope {
+                columns: &out_columns,
+                row,
+                snapshot,
+            };
+            eval_expression(expr, &scope) == Some(true)
+        });
+    }
+    *columns = out_columns;
+    *data = result;
+    Ok(())
+}
+
+// --- classic-result conversion -----------------------------------------------
+
+/// Converts a classic [`QueryResult`] (single merged `MATCH` + `RETURN`)
+/// into the tabular pipeline shape, so
+/// [`CypherEngine::run`](crate::CypherEngine::run) returns one result type
+/// for both paths. Column naming matches the reference interpreter:
+/// variables keep their name, properties use the alias or `var.key`, and a
+/// bare `count(*)` yields the single-row count table.
+pub(crate) fn table_from_query_result(result: &QueryResult) -> Result<TableResult, CypherError> {
+    if result
+        .query
+        .return_items
+        .iter()
+        .any(|item| matches!(item, ReturnItem::CountStar))
+    {
+        return Ok(TableResult {
+            columns: vec!["count(*)".to_string()],
+            rows: vec![vec![Value::Int(result.embeddings.len_untracked() as i64)]],
+            ordered: false,
+        });
+    }
+    let mut items: Vec<ReturnItem> = Vec::new();
+    for item in &result.query.return_items {
+        match item {
+            ReturnItem::All => {
+                for vertex in &result.query.vertices {
+                    if vertex.named {
+                        items.push(ReturnItem::Variable(vertex.variable.clone()));
+                    }
+                }
+                for edge in &result.query.edges {
+                    if edge.named {
+                        items.push(ReturnItem::Variable(edge.variable.clone()));
+                    }
+                }
+            }
+            other => items.push(other.clone()),
+        }
+    }
+    enum Source {
+        Entry(usize, EntryType),
+        Property(usize),
+    }
+    let unbound = |what: String| {
+        CypherError::Execution(ExecutionFailure {
+            site: "result projection".to_string(),
+            attempts: 0,
+            message: what,
+        })
+    };
+    let mut columns: Vec<String> = Vec::new();
+    let mut sources: Vec<Source> = Vec::new();
+    for item in &items {
+        match item {
+            ReturnItem::Variable(variable) => {
+                let column = result
+                    .meta
+                    .column(variable)
+                    .ok_or_else(|| unbound(format!("returned variable `{variable}` unbound")))?;
+                let entry_type = result.meta.entry_type(variable).ok_or_else(|| {
+                    unbound(format!("returned variable `{variable}` has no entry type"))
+                })?;
+                columns.push(variable.clone());
+                sources.push(Source::Entry(column, entry_type));
+            }
+            ReturnItem::Property {
+                variable,
+                key,
+                alias,
+            } => {
+                let index = result.meta.property_index(variable, key).ok_or_else(|| {
+                    unbound(format!("returned property `{variable}.{key}` unbound"))
+                })?;
+                columns.push(
+                    alias
+                        .clone()
+                        .unwrap_or_else(|| format!("{variable}.{key}")),
+                );
+                sources.push(Source::Property(index));
+            }
+            ReturnItem::All | ReturnItem::CountStar => unreachable!("expanded above"),
+        }
+    }
+    let rows = result
+        .embeddings
+        .partitions()
+        .iter()
+        .flatten()
+        .map(|embedding| {
+            sources
+                .iter()
+                .map(|source| match source {
+                    Source::Entry(column, entry_type) => match embedding.entry(*column) {
+                        Entry::Path(via) => Value::Path(via),
+                        Entry::Id(id) => match entry_type {
+                            EntryType::Vertex => Value::Vertex(id),
+                            EntryType::Edge => Value::Edge(id),
+                            EntryType::Path => Value::Path(vec![id]),
+                        },
+                    },
+                    Source::Property(index) => property_to_value(&embedding.property(*index)),
+                })
+                .collect::<Row>()
+        })
+        .collect();
+    Ok(TableResult {
+        columns,
+        rows,
+        ordered: false,
+    })
+}

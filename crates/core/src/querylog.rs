@@ -336,6 +336,16 @@ pub fn normalize_query_shape(query: &str) -> String {
             _ => out.push(c),
         }
     }
+    // Collapse normalized literal lists (`[?, ?, ?]` from `[1, 2, 3]`)
+    // to a single placeholder, so `UNWIND [1, 2]` and `UNWIND [7, 8, 9]`
+    // share one fingerprint regardless of list length.
+    loop {
+        let collapsed = out.replace("?, ?", "?").replace("?,?", "?");
+        if collapsed == out {
+            break;
+        }
+        out = collapsed;
+    }
     out
 }
 
@@ -420,6 +430,29 @@ mod tests {
         assert_eq!(
             normalize_query_shape(r#"MATCH (a {s: "x\"y"}) RETURN a"#),
             "MATCH (a {s: ?}) RETURN a"
+        );
+    }
+
+    #[test]
+    fn shapes_collapse_literal_lists_and_paging_literals() {
+        // List literals of different lengths share one fingerprint…
+        assert_eq!(
+            normalize_query_shape("UNWIND [1, 2, 3] AS x RETURN x"),
+            normalize_query_shape("UNWIND [70,80] AS x RETURN x"),
+        );
+        assert_eq!(
+            normalize_query_shape("UNWIND [1, 2, 3] AS x RETURN x"),
+            "UNWIND [?] AS x RETURN x"
+        );
+        // …as do SKIP/LIMIT with different cut-offs.
+        assert_eq!(
+            normalize_query_shape("MATCH (a) RETURN a ORDER BY a.name SKIP 10 LIMIT 5"),
+            normalize_query_shape("MATCH (a) RETURN a ORDER BY a.name SKIP 2 LIMIT 700"),
+        );
+        // Property-map placeholders keep their keys: no over-collapsing.
+        assert_eq!(
+            normalize_query_shape("MATCH (p {name: 'Al', age: 4}) RETURN p"),
+            "MATCH (p {name: ?, age: ?}) RETURN p"
         );
     }
 

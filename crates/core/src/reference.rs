@@ -21,6 +21,10 @@
 
 use std::collections::HashMap;
 
+use gradoop_cypher::ast::{
+    MatchStage, Pipeline, Projection, ProjectionExpr, ProjectionItem, Query, ReturnClause,
+    ReturnItem, Stage, UnwindSource, UnwindStage,
+};
 use gradoop_cypher::predicates::eval::{
     eval_clause, eval_expression, eval_predicate, Bindings, SingleElement,
 };
@@ -29,6 +33,10 @@ use gradoop_epgm::{Edge, Label, LogicalGraph, PropertyValue, Vertex};
 
 use crate::embedding::Entry;
 use crate::matching::{MatchingConfig, MorphismType};
+use crate::values::{
+    agg_arg_value, canonical_row, canonical_string, cmp_rows, compare_rows_by_keys, fold_aggregate,
+    property_to_value, Row, RowScope, Snapshot, Value,
+};
 
 /// One match found by the reference matcher: variable → entry.
 pub type ReferenceMatch = HashMap<String, Entry>;
@@ -437,6 +445,366 @@ impl Bindings for ReferenceBindings<'_> {
     }
 }
 
+// --- pipeline reference interpreter ------------------------------------------
+
+/// The result table of [`reference_pipeline`]: named columns over value
+/// rows. `ordered` is set when the final `RETURN` carried an `ORDER BY`, in
+/// which case row order is significant.
+#[derive(Debug, Clone)]
+pub struct RefTable {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Whether row order is part of the result.
+    pub ordered: bool,
+}
+
+/// Interprets a multi-clause pipeline (`MATCH` / `OPTIONAL MATCH` / `WITH`
+/// / `UNWIND` / final `RETURN`) clause by clause over an in-memory table —
+/// the oracle the conformance fuzzer holds the dataflow lowering against.
+///
+/// Clause semantics:
+/// * each `MATCH` stage is matched by [`reference_match`] under its **own**
+///   morphism-uniqueness scope (openCypher's per-`MATCH` uniqueness), then
+///   joined onto the working table on the shared variables;
+/// * the stage `WHERE` is evaluated row-wise under Kleene logic over the
+///   combined row — for `OPTIONAL MATCH` it participates in the match
+///   decision, so a row whose candidates all fail is NULL-padded;
+/// * a later `MATCH` referencing a NULL-bound variable finds no join
+///   partner: the row is dropped (or re-padded when optional);
+/// * `WITH` / `RETURN` apply projection → aggregation → `DISTINCT` →
+///   `ORDER BY` → `SKIP`/`LIMIT` → trailing `WHERE`, in that order;
+/// * `SKIP`/`LIMIT` without `ORDER BY` cut after the canonical full-row
+///   sort, so the selection is deterministic and engine-reproducible.
+pub fn reference_pipeline(
+    graph: &LogicalGraph,
+    pipeline: &Pipeline,
+    config: &MatchingConfig,
+) -> Result<RefTable, String> {
+    let snapshot = Snapshot::of(graph);
+    let mut columns: Vec<String> = Vec::new();
+    let mut rows: Vec<Row> = vec![Vec::new()];
+    for stage in &pipeline.stages {
+        match stage {
+            Stage::Match(stage) => {
+                apply_match(graph, &snapshot, &mut columns, &mut rows, stage, config, false)?;
+            }
+            Stage::OptionalMatch(stage) => {
+                apply_match(graph, &snapshot, &mut columns, &mut rows, stage, config, true)?;
+            }
+            Stage::With(projection) => {
+                apply_projection(&snapshot, &mut columns, &mut rows, projection)?;
+            }
+            Stage::Unwind(unwind) => apply_unwind(&snapshot, &mut columns, &mut rows, unwind)?,
+        }
+    }
+    apply_projection(&snapshot, &mut columns, &mut rows, &pipeline.ret)?;
+    Ok(RefTable {
+        columns,
+        rows,
+        ordered: !pipeline.ret.order_by.is_empty(),
+    })
+}
+
+/// Matches one `MATCH` stage in isolation: named variables become columns
+/// (vertices first, then edges, in query-graph order).
+fn match_stage_table(
+    graph: &LogicalGraph,
+    stage: &MatchStage,
+    config: &MatchingConfig,
+) -> Result<(Vec<String>, Vec<Row>), String> {
+    let query = Query {
+        patterns: stage.patterns.clone(),
+        // The stage WHERE is evaluated row-wise over the combined table so
+        // it can see earlier columns; the query graph gets patterns only.
+        where_clause: None,
+        return_clause: ReturnClause {
+            items: vec![ReturnItem::All],
+            distinct: false,
+        },
+    };
+    let query_graph = QueryGraph::from_query(&query).map_err(|e| e.to_string())?;
+    let mut columns: Vec<String> = Vec::new();
+    let mut vertex_columns = 0usize;
+    for vertex in &query_graph.vertices {
+        if vertex.named {
+            columns.push(vertex.variable.clone());
+            vertex_columns += 1;
+        }
+    }
+    for edge in &query_graph.edges {
+        if edge.named {
+            columns.push(edge.variable.clone());
+        }
+    }
+    let matches = reference_match(graph, &query_graph, config);
+    let rows = matches
+        .into_iter()
+        .map(|found| {
+            columns
+                .iter()
+                .enumerate()
+                .map(|(i, variable)| match &found[variable] {
+                    Entry::Id(id) if i < vertex_columns => Value::Vertex(*id),
+                    Entry::Id(id) => Value::Edge(*id),
+                    Entry::Path(via) => Value::Path(via.clone()),
+                })
+                .collect()
+        })
+        .collect();
+    Ok((columns, rows))
+}
+
+/// Join equality for shared variables: canonical equality with NULL joining
+/// nothing — exactly the engine's canonical-key hash join.
+fn join_equal(a: &Value, b: &Value) -> bool {
+    !matches!(a, Value::Null)
+        && !matches!(b, Value::Null)
+        && canonical_string(a) == canonical_string(b)
+}
+
+fn apply_match(
+    graph: &LogicalGraph,
+    snapshot: &Snapshot,
+    columns: &mut Vec<String>,
+    rows: &mut Vec<Row>,
+    stage: &MatchStage,
+    config: &MatchingConfig,
+    optional: bool,
+) -> Result<(), String> {
+    let (match_columns, match_rows) = match_stage_table(graph, stage, config)?;
+    let shared: Vec<(usize, usize)> = match_columns
+        .iter()
+        .enumerate()
+        .filter_map(|(mi, name)| columns.iter().position(|c| c == name).map(|li| (li, mi)))
+        .collect();
+    let new_columns: Vec<usize> = (0..match_columns.len())
+        .filter(|mi| !shared.iter().any(|&(_, smi)| smi == *mi))
+        .collect();
+    let mut out_columns = columns.clone();
+    out_columns.extend(new_columns.iter().map(|&mi| match_columns[mi].clone()));
+    let mut out: Vec<Row> = Vec::new();
+    for row in rows.iter() {
+        let mut matched = false;
+        for match_row in &match_rows {
+            if !shared
+                .iter()
+                .all(|&(li, mi)| join_equal(&row[li], &match_row[mi]))
+            {
+                continue;
+            }
+            let mut combined = row.clone();
+            combined.extend(new_columns.iter().map(|&mi| match_row[mi].clone()));
+            if let Some(expr) = &stage.where_clause {
+                let scope = RowScope {
+                    columns: &out_columns,
+                    row: &combined,
+                    snapshot,
+                };
+                if eval_expression(expr, &scope) != Some(true) {
+                    continue;
+                }
+            }
+            matched = true;
+            out.push(combined);
+        }
+        if optional && !matched {
+            let mut padded = row.clone();
+            padded.extend(new_columns.iter().map(|_| Value::Null));
+            out.push(padded);
+        }
+    }
+    *columns = out_columns;
+    *rows = out;
+    Ok(())
+}
+
+fn apply_unwind(
+    snapshot: &Snapshot,
+    columns: &mut Vec<String>,
+    rows: &mut Vec<Row>,
+    unwind: &UnwindStage,
+) -> Result<(), String> {
+    if columns.contains(&unwind.alias) {
+        return Err(format!(
+            "UNWIND alias `{}` is already bound",
+            unwind.alias
+        ));
+    }
+    let mut out: Vec<Row> = Vec::new();
+    for row in rows.iter() {
+        let scope = RowScope {
+            columns,
+            row,
+            snapshot,
+        };
+        let source = match &unwind.source {
+            UnwindSource::List(items) => Value::List(
+                items
+                    .iter()
+                    .map(|l| property_to_value(&l.to_property_value()))
+                    .collect(),
+            ),
+            UnwindSource::Variable(variable) => {
+                scope.get(variable).cloned().unwrap_or(Value::Null)
+            }
+            UnwindSource::Property { variable, key } => scope.property_value(variable, key),
+        };
+        match source {
+            // UNWIND NULL produces no rows; a non-list scalar one row.
+            Value::Null => {}
+            Value::List(items) => {
+                for item in items {
+                    let mut extended = row.clone();
+                    extended.push(item);
+                    out.push(extended);
+                }
+            }
+            scalar => {
+                let mut extended = row.clone();
+                extended.push(scalar);
+                out.push(extended);
+            }
+        }
+    }
+    columns.push(unwind.alias.clone());
+    *rows = out;
+    Ok(())
+}
+
+fn eval_projection_item(item: &ProjectionExpr, scope: &RowScope<'_>) -> Value {
+    match item {
+        ProjectionExpr::Variable(variable) => {
+            scope.get(variable).cloned().unwrap_or(Value::Null)
+        }
+        ProjectionExpr::Property { variable, key } => scope.property_value(variable, key),
+        ProjectionExpr::Aggregate(_) => unreachable!("aggregates are folded per group"),
+    }
+}
+
+fn apply_projection(
+    snapshot: &Snapshot,
+    columns: &mut Vec<String>,
+    rows: &mut Vec<Row>,
+    projection: &Projection,
+) -> Result<(), String> {
+    let items: Vec<ProjectionItem> = if projection.star {
+        columns
+            .iter()
+            .map(|c| ProjectionItem {
+                expr: ProjectionExpr::Variable(c.clone()),
+                alias: None,
+            })
+            .collect()
+    } else {
+        projection.items.clone()
+    };
+    let out_columns: Vec<String> = items.iter().map(|i| i.name()).collect();
+    let has_aggregate = items
+        .iter()
+        .any(|i| matches!(i.expr, ProjectionExpr::Aggregate(_)));
+
+    let mut out_rows: Vec<Row> = if has_aggregate {
+        // Group by the non-aggregate items; each group folds its members in
+        // canonical row order (so `collect` agrees with the engine).
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, (Vec<Value>, Vec<Row>)> = HashMap::new();
+        for row in rows.iter() {
+            let scope = RowScope {
+                columns,
+                row,
+                snapshot,
+            };
+            let key_values: Vec<Value> = items
+                .iter()
+                .filter(|i| !matches!(i.expr, ProjectionExpr::Aggregate(_)))
+                .map(|i| eval_projection_item(&i.expr, &scope))
+                .collect();
+            let key = canonical_row(&key_values);
+            let group = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (key_values, Vec::new())
+            });
+            group.1.push(row.clone());
+        }
+        if groups.is_empty() && items.iter().all(|i| matches!(i.expr, ProjectionExpr::Aggregate(_))) {
+            // A global aggregate over no rows still emits one row.
+            order.push(String::new());
+            groups.insert(String::new(), (Vec::new(), Vec::new()));
+        }
+        order
+            .iter()
+            .map(|key| {
+                let (key_values, members) = &groups[key];
+                let mut members = members.clone();
+                members.sort_by(|a, b| cmp_rows(a, b));
+                let mut key_iter = key_values.iter();
+                items
+                    .iter()
+                    .map(|item| match &item.expr {
+                        ProjectionExpr::Aggregate(call) => {
+                            let args: Vec<Value> = members
+                                .iter()
+                                .map(|member| {
+                                    let scope = RowScope {
+                                        columns,
+                                        row: member,
+                                        snapshot,
+                                    };
+                                    agg_arg_value(&call.arg, &scope)
+                                })
+                                .collect();
+                            fold_aggregate(call.func, call.distinct, &args)
+                        }
+                        _ => key_iter.next().expect("grouping key").clone(),
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        rows.iter()
+            .map(|row| {
+                let scope = RowScope {
+                    columns,
+                    row,
+                    snapshot,
+                };
+                items
+                    .iter()
+                    .map(|item| eval_projection_item(&item.expr, &scope))
+                    .collect()
+            })
+            .collect()
+    };
+
+    if projection.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|row| seen.insert(canonical_row(row)));
+    }
+    if !projection.order_by.is_empty() || projection.skip.is_some() || projection.limit.is_some() {
+        out_rows.sort_by(|a, b| {
+            compare_rows_by_keys(&projection.order_by, &out_columns, snapshot, a, b)
+        });
+        let skip = projection.skip.unwrap_or(0);
+        let limit = projection.limit.unwrap_or(usize::MAX);
+        out_rows = out_rows.into_iter().skip(skip).take(limit).collect();
+    }
+    if let Some(expr) = &projection.where_clause {
+        out_rows.retain(|row| {
+            let scope = RowScope {
+                columns: &out_columns,
+                row,
+                snapshot,
+            };
+            eval_expression(expr, &scope) == Some(true)
+        });
+    }
+    *columns = out_columns;
+    *rows = out_rows;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,5 +927,129 @@ mod tests {
             MatchingConfig::isomorphism(),
         );
         assert_eq!(found.len(), 6);
+    }
+
+    // --- pipeline interpreter ------------------------------------------------
+
+    fn pipeline(text: &str) -> RefTable {
+        let pipeline = gradoop_cypher::parse_pipeline(text).unwrap();
+        reference_pipeline(&graph(), &pipeline, &MatchingConfig::cypher_default()).unwrap()
+    }
+
+    fn sorted_rows(table: &RefTable) -> Vec<Row> {
+        let mut rows = table.rows.clone();
+        rows.sort_by(|a, b| cmp_rows(a, b));
+        rows
+    }
+
+    #[test]
+    fn with_aggregation_groups_by_nonaggregate_items() {
+        let table = pipeline(
+            "MATCH (a:Person)-[e:knows]->(b) WITH a, count(b) AS n RETURN a, n",
+        );
+        assert_eq!(table.columns, vec!["a", "n"]);
+        assert_eq!(
+            sorted_rows(&table),
+            vec![
+                vec![Value::Vertex(1), Value::Int(2)],
+                vec![Value::Vertex(2), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn optional_match_pads_with_null_when_where_rejects() {
+        let table = pipeline(
+            "MATCH (a:Person) OPTIONAL MATCH (a)-[e:knows]->(b) \
+             WHERE b.name = 'Eve' RETURN a, b",
+        );
+        assert_eq!(
+            sorted_rows(&table),
+            vec![
+                vec![Value::Vertex(1), Value::Vertex(2)],
+                vec![Value::Vertex(2), Value::Null],
+                vec![Value::Vertex(3), Value::Null],
+            ]
+        );
+    }
+
+    #[test]
+    fn match_after_optional_drops_null_bound_rows() {
+        // b is NULL for Bob (3, no outgoing edges); the second MATCH can't
+        // join a NULL, so only rows with a real b survive.
+        let table = pipeline(
+            "MATCH (a:Person) OPTIONAL MATCH (a)-[e:knows]->(b) \
+             MATCH (b)-[f:knows]->(c) RETURN a, c",
+        );
+        assert_eq!(
+            sorted_rows(&table),
+            vec![
+                vec![Value::Vertex(1), Value::Vertex(3)], // a=1 via b=2
+            ]
+        );
+    }
+
+    #[test]
+    fn order_by_skip_limit_slices_deterministically() {
+        let table = pipeline(
+            "MATCH (a:Person) RETURN a.name AS name ORDER BY name DESC SKIP 1 LIMIT 1",
+        );
+        assert!(table.ordered);
+        assert_eq!(table.rows, vec![vec![Value::Str("Bob".into())]]);
+    }
+
+    #[test]
+    fn with_where_applies_after_paging() {
+        let table = pipeline(
+            "MATCH (a:Person) WITH a.name AS name ORDER BY name LIMIT 2 \
+             WHERE name <> 'Alice' RETURN name",
+        );
+        assert_eq!(table.rows, vec![vec![Value::Str("Bob".into())]]);
+    }
+
+    #[test]
+    fn unwind_expands_lists_and_distinct_dedups() {
+        let table = pipeline("UNWIND [1, 2, 2] AS x RETURN DISTINCT x");
+        assert_eq!(
+            sorted_rows(&table),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn global_aggregates_on_empty_input_emit_one_row() {
+        let table = pipeline(
+            "MATCH (a:Person) WHERE a.name = 'Zed' \
+             RETURN count(a) AS n, min(a.name) AS m, collect(a.name) AS c",
+        );
+        assert_eq!(
+            table.rows,
+            vec![vec![Value::Int(0), Value::Null, Value::List(vec![])]]
+        );
+    }
+
+    #[test]
+    fn count_distinct_counts_unique_sources() {
+        let table = pipeline(
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(DISTINCT a) AS n",
+        );
+        assert_eq!(table.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn collect_folds_in_canonical_member_order() {
+        let table = pipeline(
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN collect(b.name) AS names",
+        );
+        // Members sort canonically by full input row before folding:
+        // rows keyed by (a, e, b) → edges 10 (1→2), 11 (2→3), 12 (1→3).
+        assert_eq!(
+            table.rows,
+            vec![vec![Value::List(vec![
+                Value::Str("Eve".into()),
+                Value::Str("Bob".into()),
+                Value::Str("Bob".into()),
+            ])]]
+        );
     }
 }

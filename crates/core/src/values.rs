@@ -1,0 +1,680 @@
+//! The row value domain of pipeline queries.
+//!
+//! Multi-clause queries (`WITH`, `OPTIONAL MATCH`, aggregates, `UNWIND`)
+//! carry **tables** between stages rather than embeddings: each row is a
+//! `Vec<Value>` under a schema of column names. This module defines that
+//! value domain plus every row-level primitive the two executors share —
+//! expression evaluation ([`RowScope`]), the total order used by `ORDER BY`
+//! ([`cmp_values`]), the injective rendering used for grouping and
+//! `DISTINCT` ([`canonical_string`]), and the aggregate folds
+//! ([`fold_aggregate`]).
+//!
+//! The reference interpreter ([`crate::reference::reference_pipeline`]) and
+//! the dataflow lowering use **exactly these functions**, so the
+//! conformance fuzzer compares the two matchers' clause orchestration, not
+//! two re-implementations of value semantics.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use gradoop_cypher::ast::{AggArg, AggFunc, SortKey, SortRef};
+use gradoop_cypher::predicates::eval::{compare_values, eval_expression, Bindings};
+use gradoop_cypher::{CmpOp, Expression};
+use gradoop_dataflow::Data;
+use gradoop_epgm::{Label, Properties, PropertyValue};
+
+use crate::source::GraphSource;
+
+/// A value bound to one column of a pipeline row.
+///
+/// Vertices and edges stay references (their id) — properties are resolved
+/// against the query's [`Snapshot`] on demand, mirroring the embedding
+/// layout of the classic path. `Vertex` and `Edge` are distinct variants
+/// because the two id spaces may overlap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL/Cypher NULL (also the padding of `OPTIONAL MATCH`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (all EPGM integer widths widen to this).
+    Int(i64),
+    /// Float (both EPGM float widths widen to this).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// A vertex reference.
+    Vertex(u64),
+    /// An edge reference.
+    Edge(u64),
+    /// A variable-length path: alternating edge/vertex ids, as in
+    /// [`crate::embedding::Entry::Path`].
+    Path(Vec<u64>),
+    /// A list (from `collect(..)` or a list property).
+    List(Vec<Value>),
+}
+
+impl Data for Value {
+    fn byte_size(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Vertex(_) | Value::Edge(_) => 8,
+            Value::Str(s) => 8 + s.len(),
+            Value::Path(via) => 8 + 8 * via.len(),
+            Value::List(items) => 8 + items.iter().map(Value::byte_size).sum::<usize>(),
+        }
+    }
+}
+
+/// One pipeline row.
+pub type Row = Vec<Value>;
+
+/// Widens an EPGM property value into the row domain.
+pub fn property_to_value(value: &PropertyValue) -> Value {
+    match value {
+        PropertyValue::Null => Value::Null,
+        PropertyValue::Boolean(b) => Value::Bool(*b),
+        PropertyValue::Int(i) => Value::Int(*i as i64),
+        PropertyValue::Long(l) => Value::Int(*l),
+        PropertyValue::Float(f) => Value::Float(*f as f64),
+        PropertyValue::Double(d) => Value::Float(*d),
+        PropertyValue::String(s) => Value::Str(s.clone()),
+        PropertyValue::List(items) => Value::List(items.iter().map(property_to_value).collect()),
+    }
+}
+
+/// Projects a row value back into the property domain for predicate
+/// evaluation. Elements become their id as a `Long` (matching the classic
+/// evaluator's identity comparisons); paths have no property-domain
+/// equivalent and compare as `NULL`.
+pub fn value_to_property(value: &Value) -> PropertyValue {
+    match value {
+        Value::Null => PropertyValue::Null,
+        Value::Bool(b) => PropertyValue::Boolean(*b),
+        Value::Int(i) => PropertyValue::Long(*i),
+        Value::Float(f) => PropertyValue::Double(*f),
+        Value::Str(s) => PropertyValue::String(s.clone()),
+        Value::Vertex(id) | Value::Edge(id) => PropertyValue::Long(*id as i64),
+        Value::Path(_) => PropertyValue::Null,
+        Value::List(items) => PropertyValue::List(items.iter().map(value_to_property).collect()),
+    }
+}
+
+/// A float that denotes an integer collapses to that integer (`2.0` → `2`),
+/// so equality, grouping keys and the canonical rendering agree with
+/// numeric comparison. `NaN` and non-integral floats stay floats.
+fn canon(value: &Value) -> Value {
+    match value {
+        Value::Float(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+            Value::Int(*f as i64)
+        }
+        Value::List(items) => Value::List(items.iter().map(canon).collect()),
+        other => other.clone(),
+    }
+}
+
+fn type_rank(value: &Value) -> u8 {
+    match value {
+        Value::Bool(_) => 0,
+        Value::Int(_) | Value::Float(_) => 1,
+        Value::Str(_) => 2,
+        Value::Vertex(_) => 3,
+        Value::Edge(_) => 4,
+        Value::Path(_) => 5,
+        Value::List(_) => 6,
+        // NULL sorts greatest: last under ASC, first under DESC — Cypher's
+        // null placement.
+        Value::Null => 7,
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    // NaN is equal to itself and greater than every other number, so the
+    // order stays total and deterministic.
+    match a.partial_cmp(&b) {
+        Some(ordering) => ordering,
+        None => match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!("partial_cmp only fails on NaN"),
+        },
+    }
+}
+
+/// Total, deterministic order over the whole value domain: used by
+/// `ORDER BY`, min/max aggregates and the canonical row tiebreak. Values of
+/// different types order by type rank (booleans < numbers < strings <
+/// vertices < edges < paths < lists < NULL); numbers compare numerically
+/// across `Int`/`Float`.
+pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    let (ra, rb) = (type_rank(a), type_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Int(x), Value::Float(y)) => cmp_f64(*x as f64, *y),
+        (Value::Float(x), Value::Int(y)) => cmp_f64(*x, *y as f64),
+        (Value::Float(x), Value::Float(y)) => cmp_f64(*x, *y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Vertex(x), Value::Vertex(y)) | (Value::Edge(x), Value::Edge(y)) => x.cmp(y),
+        (Value::Path(x), Value::Path(y)) => x.cmp(y),
+        (Value::List(x), Value::List(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                let ordering = cmp_values(xi, yi);
+                if ordering != Ordering::Equal {
+                    return ordering;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Null, Value::Null) => Ordering::Equal,
+        _ => unreachable!("equal type ranks"),
+    }
+}
+
+/// Lexicographic row order under [`cmp_values`] — the deterministic
+/// tiebreak behind `ORDER BY` and the fold order of group members.
+pub fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ordering = cmp_values(x, y);
+        if ordering != Ordering::Equal {
+            return ordering;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Injective rendering of a value, stable across runs: the grouping /
+/// `DISTINCT` key and the conformance harness's row encoding. Two values
+/// render equal iff [`cmp_values`] says `Equal` (floats collapse via
+/// [`canon`]; string content is length-prefixed so list renderings stay
+/// unambiguous).
+pub fn canonical_string(value: &Value) -> String {
+    fn render(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push('0'),
+            Value::Bool(b) => out.push_str(if *b { "b:1" } else { "b:0" }),
+            Value::Int(i) => {
+                out.push_str("i:");
+                out.push_str(&i.to_string());
+            }
+            Value::Float(f) => {
+                out.push_str("f:");
+                out.push_str(&format!("{f:?}"));
+            }
+            Value::Str(s) => {
+                out.push_str("s:");
+                out.push_str(&s.len().to_string());
+                out.push(':');
+                out.push_str(s);
+            }
+            Value::Vertex(id) => {
+                out.push_str("v:");
+                out.push_str(&id.to_string());
+            }
+            Value::Edge(id) => {
+                out.push_str("e:");
+                out.push_str(&id.to_string());
+            }
+            Value::Path(via) => {
+                out.push_str("p:[");
+                for (i, id) in via.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&id.to_string());
+                }
+                out.push(']');
+            }
+            Value::List(items) => {
+                out.push_str("l:[");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+        }
+    }
+    let mut out = String::new();
+    render(&canon(value), &mut out);
+    out
+}
+
+/// Canonical rendering of a whole row (`|`-joined canonical values — still
+/// injective thanks to the length prefixes).
+pub fn canonical_row(row: &[Value]) -> String {
+    let mut out = String::new();
+    for (i, value) in row.iter().enumerate() {
+        if i > 0 {
+            out.push('|');
+        }
+        out.push_str(&canonical_string(value));
+    }
+    out
+}
+
+// --- graph snapshot ----------------------------------------------------------
+
+/// Label and properties of one element.
+#[derive(Debug, Clone)]
+pub struct ElementData {
+    /// The element's label.
+    pub label: Label,
+    /// The element's properties.
+    pub properties: Properties,
+}
+
+/// Materialized label/property lookup for every element of the queried
+/// graph, built once per pipeline query. Rows store element ids; every
+/// property access (projections, predicates, sort keys) resolves here.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Vertex id → element data.
+    pub vertices: HashMap<u64, ElementData>,
+    /// Edge id → element data.
+    pub edges: HashMap<u64, ElementData>,
+}
+
+impl Snapshot {
+    /// Collects the full graph from a source.
+    pub fn of<S: GraphSource + ?Sized>(source: &S) -> Snapshot {
+        let vertices = source
+            .vertices_for_labels(&[])
+            .collect()
+            .into_iter()
+            .map(|v| {
+                (
+                    v.id.0,
+                    ElementData {
+                        label: v.label,
+                        properties: v.properties,
+                    },
+                )
+            })
+            .collect();
+        let edges = source
+            .edges_for_labels(&[])
+            .collect()
+            .into_iter()
+            .map(|e| {
+                (
+                    e.id.0,
+                    ElementData {
+                        label: e.label,
+                        properties: e.properties,
+                    },
+                )
+            })
+            .collect();
+        Snapshot { vertices, edges }
+    }
+
+    fn element(&self, value: &Value) -> Option<&ElementData> {
+        match value {
+            Value::Vertex(id) => self.vertices.get(id),
+            Value::Edge(id) => self.edges.get(id),
+            _ => None,
+        }
+    }
+}
+
+// --- row-scoped evaluation ---------------------------------------------------
+
+/// [`Bindings`] over one pipeline row: columns are visible by name, element
+/// columns resolve labels/properties through the snapshot, and scalar
+/// columns surface through [`Bindings::value`].
+pub struct RowScope<'a> {
+    /// Column names, parallel to `row`.
+    pub columns: &'a [String],
+    /// The row under evaluation.
+    pub row: &'a [Value],
+    /// Element lookup.
+    pub snapshot: &'a Snapshot,
+}
+
+impl RowScope<'_> {
+    /// The value bound to a column, if the column exists.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(|i| &self.row[i])
+    }
+
+    /// Property access in the row domain: NULL for missing columns,
+    /// non-elements, NULL-padded elements and absent keys.
+    pub fn property_value(&self, variable: &str, key: &str) -> Value {
+        self.get(variable)
+            .and_then(|v| self.snapshot.element(v))
+            .and_then(|e| e.properties.get(key))
+            .map(property_to_value)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl Bindings for RowScope<'_> {
+    fn property(&self, variable: &str, key: &str) -> Option<PropertyValue> {
+        match self.property_value(variable, key) {
+            Value::Null => None,
+            value => Some(value_to_property(&value)),
+        }
+    }
+
+    fn label(&self, variable: &str) -> Option<Label> {
+        self.get(variable)
+            .and_then(|v| self.snapshot.element(v))
+            .map(|e| e.label.clone())
+    }
+
+    fn element_id(&self, variable: &str) -> Option<u64> {
+        match self.get(variable) {
+            Some(Value::Vertex(id)) | Some(Value::Edge(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    fn value(&self, variable: &str) -> Option<PropertyValue> {
+        match self.get(variable) {
+            None | Some(Value::Null) | Some(Value::Path(_)) => None,
+            Some(scalar) => Some(value_to_property(scalar)),
+        }
+    }
+}
+
+/// Kleene evaluation of a `WHERE` expression over a row — delegates to the
+/// shared ground-truth evaluator with row-scoped bindings.
+pub fn eval_row_expression(expr: &Expression, scope: &RowScope<'_>) -> Option<bool> {
+    eval_expression(expr, scope)
+}
+
+/// Row-domain equality under Cypher's comparison rules (`Some(true)` /
+/// `Some(false)` / unknown), via the shared [`compare_values`].
+pub fn values_equal(a: &Value, b: &Value) -> Option<bool> {
+    compare_values(
+        Some(value_to_property(a)),
+        CmpOp::Eq,
+        Some(value_to_property(b)),
+    )
+}
+
+// --- sorting -----------------------------------------------------------------
+
+/// Resolves one `ORDER BY` key against a row.
+fn sort_value(key: &SortRef, scope: &RowScope<'_>) -> Value {
+    match key {
+        SortRef::Name(name) => scope.get(name).cloned().unwrap_or(Value::Null),
+        SortRef::Property { variable, key } => scope.property_value(variable, key),
+    }
+}
+
+/// The total `ORDER BY` comparator: explicit sort keys first (descending
+/// keys reversed, which also flips NULL placement exactly as Cypher does),
+/// then the canonical full-row order as tiebreak so `SKIP`/`LIMIT` cut
+/// deterministically even across tied keys. With no keys this is the plain
+/// canonical row order (used for `SKIP`/`LIMIT` without `ORDER BY`).
+pub fn compare_rows_by_keys(
+    keys: &[SortKey],
+    columns: &[String],
+    snapshot: &Snapshot,
+    a: &[Value],
+    b: &[Value],
+) -> Ordering {
+    for key in keys {
+        let scope_a = RowScope {
+            columns,
+            row: a,
+            snapshot,
+        };
+        let scope_b = RowScope {
+            columns,
+            row: b,
+            snapshot,
+        };
+        let (va, vb) = (sort_value(&key.expr, &scope_a), sort_value(&key.expr, &scope_b));
+        let ordering = cmp_values(&va, &vb);
+        let ordering = if key.descending {
+            ordering.reverse()
+        } else {
+            ordering
+        };
+        if ordering != Ordering::Equal {
+            return ordering;
+        }
+    }
+    cmp_rows(a, b)
+}
+
+// --- aggregation -------------------------------------------------------------
+
+/// Resolves an aggregate argument against a row (`None` arg = `count(*)`,
+/// which counts rows and resolves to a non-NULL marker).
+pub fn agg_arg_value(arg: &Option<AggArg>, scope: &RowScope<'_>) -> Value {
+    match arg {
+        None => Value::Int(1), // count(*): every row counts
+        Some(AggArg::Variable(v)) => scope.get(v).cloned().unwrap_or(Value::Null),
+        Some(AggArg::Property { variable, key }) => scope.property_value(variable, key),
+    }
+}
+
+/// Folds one aggregate over the argument values of a group, in member
+/// order. NULLs are skipped (except that `count(*)` arguments are never
+/// NULL). `DISTINCT` dedups by canonical rendering, keeping first
+/// occurrences.
+pub fn fold_aggregate(func: AggFunc, distinct: bool, values: &[Value]) -> Value {
+    let non_null: Vec<&Value> = values.iter().filter(|v| !matches!(v, Value::Null)).collect();
+    let deduped: Vec<&Value> = if distinct {
+        let mut seen = std::collections::HashSet::new();
+        non_null
+            .into_iter()
+            .filter(|v| seen.insert(canonical_string(v)))
+            .collect()
+    } else {
+        non_null
+    };
+    match func {
+        AggFunc::Count => Value::Int(deduped.len() as i64),
+        AggFunc::Collect => Value::List(deduped.into_iter().cloned().collect()),
+        AggFunc::Min => deduped
+            .into_iter()
+            .min_by(|a, b| cmp_values(a, b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Max => deduped
+            .into_iter()
+            .max_by(|a, b| cmp_values(a, b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Sum => {
+            // Non-numeric values are skipped (shared by both executors, so
+            // the conformance harness never sees a one-sided error).
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut saw_float = false;
+            for value in &deduped {
+                match value {
+                    Value::Int(i) => int_sum = int_sum.wrapping_add(*i),
+                    Value::Float(f) => {
+                        saw_float = true;
+                        float_sum += f;
+                    }
+                    _ => {}
+                }
+            }
+            if saw_float {
+                Value::Float(float_sum + int_sum as f64)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        AggFunc::Avg => {
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for value in &deduped {
+                match value {
+                    Value::Int(i) => {
+                        sum += *i as f64;
+                        count += 1;
+                    }
+                    Value::Float(f) => {
+                        sum += f;
+                        count += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if count == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / count as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradoop_cypher::ast::SortKey;
+
+    #[test]
+    fn canonical_string_collapses_numeric_types() {
+        assert_eq!(canonical_string(&Value::Int(2)), "i:2");
+        assert_eq!(canonical_string(&Value::Float(2.0)), "i:2");
+        assert_eq!(canonical_string(&Value::Float(2.5)), "f:2.5");
+        assert_ne!(
+            canonical_string(&Value::Vertex(5)),
+            canonical_string(&Value::Edge(5))
+        );
+        // Length prefixes keep list renderings unambiguous.
+        let a = Value::List(vec![Value::Str("a,b".into()), Value::Str("c".into())]);
+        let b = Value::List(vec![Value::Str("a".into()), Value::Str("b,c".into())]);
+        assert_ne!(canonical_string(&a), canonical_string(&b));
+    }
+
+    #[test]
+    fn cmp_values_is_total_and_matches_canonical_equality() {
+        let values = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Int(2),
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Str("a".into()),
+            Value::Vertex(1),
+            Value::Edge(1),
+            Value::Path(vec![1, 2, 3]),
+            Value::List(vec![Value::Int(1)]),
+        ];
+        for a in &values {
+            for b in &values {
+                let ordering = cmp_values(a, b);
+                assert_eq!(ordering.reverse(), cmp_values(b, a), "{a:?} vs {b:?}");
+                assert_eq!(
+                    ordering == Ordering::Equal,
+                    canonical_string(a) == canonical_string(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+        // Numeric coercion: Int(2) == Float(2.0).
+        assert_eq!(cmp_values(&Value::Int(2), &Value::Float(2.0)), Ordering::Equal);
+        // NULL sorts last.
+        assert_eq!(cmp_values(&Value::Null, &Value::Str("z".into())), Ordering::Greater);
+    }
+
+    #[test]
+    fn aggregates_fold_as_specified() {
+        let vals = vec![
+            Value::Int(3),
+            Value::Null,
+            Value::Int(1),
+            Value::Int(3),
+            Value::Float(0.5),
+        ];
+        assert_eq!(fold_aggregate(AggFunc::Count, false, &vals), Value::Int(4));
+        assert_eq!(fold_aggregate(AggFunc::Count, true, &vals), Value::Int(3));
+        assert_eq!(fold_aggregate(AggFunc::Sum, false, &vals), Value::Float(7.5));
+        assert_eq!(fold_aggregate(AggFunc::Min, false, &vals), Value::Float(0.5));
+        assert_eq!(fold_aggregate(AggFunc::Max, false, &vals), Value::Int(3));
+        assert_eq!(
+            fold_aggregate(AggFunc::Collect, true, &vals),
+            Value::List(vec![Value::Int(3), Value::Int(1), Value::Float(0.5)])
+        );
+        assert_eq!(fold_aggregate(AggFunc::Avg, false, &vals), Value::Float(7.5 / 4.0));
+        // Empty input: count 0, sum 0, collect [], min/max/avg NULL.
+        assert_eq!(fold_aggregate(AggFunc::Count, false, &[]), Value::Int(0));
+        assert_eq!(fold_aggregate(AggFunc::Sum, false, &[]), Value::Int(0));
+        assert_eq!(fold_aggregate(AggFunc::Collect, false, &[]), Value::List(vec![]));
+        assert_eq!(fold_aggregate(AggFunc::Min, false, &[]), Value::Null);
+        assert_eq!(fold_aggregate(AggFunc::Avg, false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn sort_comparator_orders_keys_then_tiebreaks() {
+        let columns = vec!["x".to_string(), "y".to_string()];
+        let snapshot = Snapshot::default();
+        let keys = vec![SortKey {
+            expr: SortRef::Name("x".into()),
+            descending: true,
+        }];
+        let a = vec![Value::Int(1), Value::Str("a".into())];
+        let b = vec![Value::Int(2), Value::Str("b".into())];
+        assert_eq!(
+            compare_rows_by_keys(&keys, &columns, &snapshot, &a, &b),
+            Ordering::Greater
+        );
+        // Tied key → canonical full-row tiebreak on y.
+        let c = vec![Value::Int(1), Value::Str("b".into())];
+        assert_eq!(
+            compare_rows_by_keys(&keys, &columns, &snapshot, &a, &c),
+            Ordering::Less
+        );
+        // DESC puts NULL first.
+        let n = vec![Value::Null, Value::Str("n".into())];
+        assert_eq!(
+            compare_rows_by_keys(&keys, &columns, &snapshot, &n, &a),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn row_scope_resolves_scalars_and_nulls() {
+        let columns = vec!["p".to_string()];
+        let snapshot = Snapshot::default();
+        let row = vec![Value::Int(7)];
+        let scope = RowScope {
+            columns: &columns,
+            row: &row,
+            snapshot: &snapshot,
+        };
+        // `p > 0` with a scalar column resolves through Bindings::value.
+        let expr = Expression::Comparison {
+            left: Box::new(Expression::Variable("p".into())),
+            op: CmpOp::Gt,
+            right: Box::new(Expression::Literal(gradoop_cypher::Literal::Integer(0))),
+        };
+        assert_eq!(eval_row_expression(&expr, &scope), Some(true));
+        // NULL-padded column: comparison unknown, IS NULL true.
+        let row = vec![Value::Null];
+        let scope = RowScope {
+            columns: &columns,
+            row: &row,
+            snapshot: &snapshot,
+        };
+        assert_eq!(eval_row_expression(&expr, &scope), None);
+        let is_null = Expression::IsNull {
+            operand: Box::new(Expression::Variable("p".into())),
+            negated: false,
+        };
+        assert_eq!(eval_row_expression(&is_null, &scope), Some(true));
+    }
+}

@@ -28,9 +28,13 @@ pub mod predicates;
 pub mod query_graph;
 pub mod token;
 
-pub use ast::{Direction, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnItem};
+pub use ast::{
+    AggArg, AggFunc, AggregateCall, Direction, MatchStage, NodePattern, PathPattern, PathRange,
+    Pipeline, Projection, ProjectionExpr, ProjectionItem, Query, RelPattern, ReturnItem, SortKey,
+    SortRef, Stage, UnwindSource, UnwindStage,
+};
 pub use error::{ParseError, QueryGraphError};
-pub use parser::{parse, DEFAULT_MAX_HOPS};
+pub use parser::{parse, parse_pipeline, DEFAULT_MAX_HOPS};
 pub use predicates::{
     Atom, Bindings, CmpOp, CnfClause, CnfPredicate, Expression, Literal, Operand,
 };

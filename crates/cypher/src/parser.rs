@@ -9,7 +9,9 @@
 //! (`*`, variables, property accesses, `count(*)`).
 
 use crate::ast::{
-    Direction, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnClause, ReturnItem,
+    AggArg, AggFunc, AggregateCall, Direction, MatchStage, NodePattern, PathPattern, PathRange,
+    Pipeline, Projection, ProjectionExpr, ProjectionItem, Query, RelPattern, ReturnClause,
+    ReturnItem, SortKey, SortRef, Stage, UnwindSource, UnwindStage,
 };
 use crate::error::{ParseError, Position};
 use crate::lexer::lex;
@@ -26,6 +28,14 @@ pub const DEFAULT_MAX_HOPS: usize = 10;
 pub fn parse(input: &str) -> Result<Query, ParseError> {
     let tokens = lex(input)?;
     Parser { tokens, index: 0 }.query()
+}
+
+/// Parses a multi-clause read query (`MATCH` / `OPTIONAL MATCH` / `WITH` /
+/// `UNWIND` stages followed by `RETURN` with optional `ORDER BY` / `SKIP` /
+/// `LIMIT`) into a [`Pipeline`].
+pub fn parse_pipeline(input: &str) -> Result<Pipeline, ParseError> {
+    let tokens = lex(input)?;
+    Parser { tokens, index: 0 }.pipeline()
 }
 
 struct Parser {
@@ -269,22 +279,25 @@ impl Parser {
                 _ => None,
             };
             let lower = lower.unwrap_or(1);
-            let upper = upper.unwrap_or(DEFAULT_MAX_HOPS);
-            if lower > upper {
-                return Err(self.error(format!(
-                    "path lower bound {lower} exceeds upper bound {upper}"
-                )));
+            match upper {
+                Some(upper) => {
+                    if lower > upper {
+                        return Err(self.error(format!(
+                            "path lower bound {lower} exceeds upper bound {upper}"
+                        )));
+                    }
+                    Ok(PathRange::closed(lower, upper))
+                }
+                // `*l..` — open-ended; capped at DEFAULT_MAX_HOPS, and the
+                // executor errors if the cap would silently truncate.
+                None => Ok(PathRange::open(lower, DEFAULT_MAX_HOPS.max(lower))),
             }
-            Ok(PathRange { lower, upper })
         } else {
             match lower {
                 // `*n` — exactly n hops.
-                Some(n) => Ok(PathRange { lower: n, upper: n }),
-                // bare `*` — at least one hop.
-                None => Ok(PathRange {
-                    lower: 1,
-                    upper: DEFAULT_MAX_HOPS,
-                }),
+                Some(n) => Ok(PathRange::closed(n, n)),
+                // bare `*` — at least one hop, open-ended.
+                None => Ok(PathRange::open(1, DEFAULT_MAX_HOPS)),
             }
         }
     }
@@ -333,6 +346,266 @@ impl Parser {
             }
         }
         Ok(ReturnClause { items, distinct })
+    }
+
+    // --- pipeline queries ------------------------------------------------------
+
+    fn pipeline(&mut self) -> Result<Pipeline, ParseError> {
+        let mut stages = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::Match) => {
+                    self.bump();
+                    stages.push(Stage::Match(self.match_stage()?));
+                }
+                TokenKind::Keyword(Keyword::Optional) => {
+                    self.bump();
+                    self.expect_keyword(Keyword::Match)?;
+                    stages.push(Stage::OptionalMatch(self.match_stage()?));
+                }
+                TokenKind::Keyword(Keyword::With) => {
+                    self.bump();
+                    stages.push(Stage::With(self.projection(true)?));
+                }
+                TokenKind::Keyword(Keyword::Unwind) => {
+                    self.bump();
+                    stages.push(Stage::Unwind(self.unwind_stage()?));
+                }
+                _ => break,
+            }
+        }
+        if stages.is_empty() {
+            return Err(self.error(format!(
+                "expected MATCH, OPTIONAL MATCH, WITH or UNWIND, found {}",
+                self.peek()
+            )));
+        }
+        if let Some(Stage::OptionalMatch(_)) = stages.first() {
+            return Err(self.error("a query cannot start with OPTIONAL MATCH"));
+        }
+        self.expect_keyword(Keyword::Return)?;
+        let ret = self.projection(false)?;
+        self.expect(&TokenKind::Eof)?;
+        Ok(Pipeline { stages, ret })
+    }
+
+    fn match_stage(&mut self) -> Result<MatchStage, ParseError> {
+        // Unlike the single-clause grammar, each MATCH keyword opens its own
+        // stage (its own morphism-uniqueness scope); only commas extend it.
+        let mut patterns = vec![self.path_pattern()?];
+        while self.eat(&TokenKind::Comma) {
+            patterns.push(self.path_pattern()?);
+        }
+        let where_clause = if self.eat(&TokenKind::Keyword(Keyword::Where)) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        Ok(MatchStage {
+            patterns,
+            where_clause,
+        })
+    }
+
+    fn unwind_stage(&mut self) -> Result<UnwindStage, ParseError> {
+        let source = match self.peek().clone() {
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !matches!(self.peek(), TokenKind::RBracket) {
+                    loop {
+                        items.push(self.literal()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                UnwindSource::List(items)
+            }
+            TokenKind::Ident(variable) => {
+                self.bump();
+                if self.eat(&TokenKind::Dot) {
+                    let key = self.ident("property key")?;
+                    UnwindSource::Property { variable, key }
+                } else {
+                    UnwindSource::Variable(variable)
+                }
+            }
+            other => {
+                return Err(
+                    self.error(format!("expected list or variable after UNWIND, found {other}"))
+                )
+            }
+        };
+        self.expect_keyword(Keyword::As)?;
+        let alias = self.ident("UNWIND alias")?;
+        Ok(UnwindStage { source, alias })
+    }
+
+    fn projection(&mut self, is_with: bool) -> Result<Projection, ParseError> {
+        let clause = if is_with { "WITH" } else { "RETURN" };
+        let distinct = self.eat(&TokenKind::Keyword(Keyword::Distinct));
+        let mut star = false;
+        let mut items = Vec::new();
+        if self.eat(&TokenKind::Star) {
+            star = true;
+        } else {
+            loop {
+                let item = self.projection_item()?;
+                // openCypher requires WITH items that are not bare variables
+                // to be aliased so downstream clauses have a column name.
+                if is_with
+                    && item.alias.is_none()
+                    && !matches!(item.expr, ProjectionExpr::Variable(_))
+                {
+                    return Err(self.error(format!(
+                        "{clause} item `{item}` must be aliased (`... AS name`)"
+                    )));
+                }
+                items.push(item);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat(&TokenKind::Keyword(Keyword::Order)) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                order_by.push(self.sort_key()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let skip = if self.eat(&TokenKind::Keyword(Keyword::Skip)) {
+            Some(self.row_count("SKIP")?)
+        } else {
+            None
+        };
+        let limit = if self.eat(&TokenKind::Keyword(Keyword::Limit)) {
+            Some(self.row_count("LIMIT")?)
+        } else {
+            None
+        };
+        let where_clause = if is_with && self.eat(&TokenKind::Keyword(Keyword::Where)) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        Ok(Projection {
+            star,
+            items,
+            distinct,
+            order_by,
+            skip,
+            limit,
+            where_clause,
+        })
+    }
+
+    fn row_count(&mut self, clause: &str) -> Result<usize, ParseError> {
+        match self.peek() {
+            TokenKind::Integer(value) => {
+                let value = *value;
+                if value < 0 {
+                    return Err(self.error(format!("{clause} must be non-negative")));
+                }
+                self.bump();
+                Ok(value as usize)
+            }
+            other => Err(self.error(format!("expected integer after {clause}, found {other}"))),
+        }
+    }
+
+    fn agg_func(keyword: Keyword) -> Option<AggFunc> {
+        match keyword {
+            Keyword::Count => Some(AggFunc::Count),
+            Keyword::Collect => Some(AggFunc::Collect),
+            Keyword::Sum => Some(AggFunc::Sum),
+            Keyword::Min => Some(AggFunc::Min),
+            Keyword::Max => Some(AggFunc::Max),
+            Keyword::Avg => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    fn projection_item(&mut self) -> Result<ProjectionItem, ParseError> {
+        let expr = match self.peek().clone() {
+            TokenKind::Keyword(k) if Self::agg_func(k).is_some() => {
+                let func = Self::agg_func(k).expect("guard checked");
+                self.bump();
+                ProjectionExpr::Aggregate(self.aggregate_call(func)?)
+            }
+            TokenKind::Ident(variable) => {
+                self.bump();
+                if self.eat(&TokenKind::Dot) {
+                    let key = self.ident("property key")?;
+                    ProjectionExpr::Property { variable, key }
+                } else {
+                    ProjectionExpr::Variable(variable)
+                }
+            }
+            other => return Err(self.error(format!("expected projection item, found {other}"))),
+        };
+        let alias = if self.eat(&TokenKind::Keyword(Keyword::As)) {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(ProjectionItem { expr, alias })
+    }
+
+    fn aggregate_call(&mut self, func: AggFunc) -> Result<AggregateCall, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let distinct = self.eat(&TokenKind::Keyword(Keyword::Distinct));
+        let arg = if self.eat(&TokenKind::Star) {
+            if func != AggFunc::Count {
+                return Err(self.error(format!(
+                    "`*` is only valid in count(*), not {}(*)",
+                    func.as_str()
+                )));
+            }
+            if distinct {
+                return Err(self.error("count(DISTINCT *) is not supported"));
+            }
+            None
+        } else {
+            let variable = self.ident("aggregate argument")?;
+            if self.eat(&TokenKind::Dot) {
+                let key = self.ident("property key")?;
+                Some(AggArg::Property { variable, key })
+            } else {
+                Some(AggArg::Variable(variable))
+            }
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(AggregateCall {
+            func,
+            distinct,
+            arg,
+        })
+    }
+
+    fn sort_key(&mut self) -> Result<SortKey, ParseError> {
+        let name = self.ident("ORDER BY key")?;
+        let expr = if self.eat(&TokenKind::Dot) {
+            let key = self.ident("property key")?;
+            SortRef::Property {
+                variable: name,
+                key,
+            }
+        } else {
+            SortRef::Name(name)
+        };
+        let descending = if self.eat(&TokenKind::Keyword(Keyword::Desc)) {
+            true
+        } else {
+            self.eat(&TokenKind::Keyword(Keyword::Asc));
+            false
+        };
+        Ok(SortKey { expr, descending })
     }
 
     // --- expressions -------------------------------------------------------------
@@ -468,7 +741,7 @@ mod tests {
         assert_eq!(query.patterns.len(), 3);
         let (rel, _) = &query.patterns[2].steps[0];
         assert_eq!(rel.variable.as_deref(), Some("e"));
-        assert_eq!(rel.range, Some(PathRange { lower: 1, upper: 3 }));
+        assert_eq!(rel.range, Some(PathRange::closed(1, 3)));
         assert!(query.where_clause.is_some());
         assert_eq!(query.return_clause.items, vec![ReturnItem::All]);
     }
@@ -539,30 +812,14 @@ mod tests {
                 .0
                 .range
         };
-        assert_eq!(range("*1..3"), Some(PathRange { lower: 1, upper: 3 }));
-        assert_eq!(
-            range("*0..10"),
-            Some(PathRange {
-                lower: 0,
-                upper: 10
-            })
-        );
-        assert_eq!(range("*2"), Some(PathRange { lower: 2, upper: 2 }));
-        assert_eq!(
-            range("*"),
-            Some(PathRange {
-                lower: 1,
-                upper: DEFAULT_MAX_HOPS
-            })
-        );
-        assert_eq!(
-            range("*3.."),
-            Some(PathRange {
-                lower: 3,
-                upper: DEFAULT_MAX_HOPS
-            })
-        );
-        assert_eq!(range("*..4"), Some(PathRange { lower: 1, upper: 4 }));
+        assert_eq!(range("*1..3"), Some(PathRange::closed(1, 3)));
+        assert_eq!(range("*0..10"), Some(PathRange::closed(0, 10)));
+        assert_eq!(range("*2"), Some(PathRange::closed(2, 2)));
+        assert_eq!(range("*"), Some(PathRange::open(1, DEFAULT_MAX_HOPS)));
+        assert_eq!(range("*3.."), Some(PathRange::open(3, DEFAULT_MAX_HOPS)));
+        // An open lower bound beyond the default cap raises the cap with it.
+        assert_eq!(range("*15.."), Some(PathRange::open(15, 15)));
+        assert_eq!(range("*..4"), Some(PathRange::closed(1, 4)));
         assert_eq!(range(""), None);
     }
 
@@ -667,6 +924,147 @@ mod tests {
         assert!(parse("RETURN *").is_err());
         assert!(parse("MATCH (p) WHERE RETURN *").is_err());
         assert!(parse("MATCH (p)-[e]->(q) WHERE e. RETURN *").is_err());
+    }
+
+    #[test]
+    fn parses_pipeline_with_all_clauses() {
+        let p = parse_pipeline(
+            "MATCH (a:Person)-[:knows]->(b:Person) \
+             WHERE a.age > 18 \
+             OPTIONAL MATCH (b)-[:studyAt]->(u:University) \
+             WITH a, u, count(*) AS n \
+             UNWIND [1, 2] AS x \
+             RETURN a.name, n, x ORDER BY n DESC, x SKIP 1 LIMIT 5",
+        )
+        .expect("parse");
+        assert_eq!(p.stages.len(), 4);
+        assert!(matches!(p.stages[0], Stage::Match(_)));
+        assert!(matches!(p.stages[1], Stage::OptionalMatch(_)));
+        assert!(matches!(p.stages[2], Stage::With(_)));
+        assert!(matches!(p.stages[3], Stage::Unwind(_)));
+        assert_eq!(p.ret.items.len(), 3);
+        assert_eq!(p.ret.order_by.len(), 2);
+        assert!(p.ret.order_by[0].descending);
+        assert!(!p.ret.order_by[1].descending);
+        assert_eq!(p.ret.skip, Some(1));
+        assert_eq!(p.ret.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let p = parse_pipeline(
+            "MATCH (a) RETURN count(*), count(DISTINCT a), collect(a.p) AS ps, \
+             sum(a.p) AS s, min(a.p) AS lo, max(a.p) AS hi, avg(a.p) AS mean",
+        )
+        .expect("parse");
+        assert_eq!(p.ret.items.len(), 7);
+        let call = |i: usize| match &p.ret.items[i].expr {
+            ProjectionExpr::Aggregate(c) => c.clone(),
+            other => panic!("expected aggregate, got {other:?}"),
+        };
+        assert_eq!(call(0).func, AggFunc::Count);
+        assert_eq!(call(0).arg, None);
+        assert!(call(1).distinct);
+        assert_eq!(call(1).arg, Some(AggArg::Variable("a".into())));
+        assert_eq!(call(2).func, AggFunc::Collect);
+        assert_eq!(call(6).func, AggFunc::Avg);
+        // Non-count aggregates reject `*`.
+        assert!(parse_pipeline("MATCH (a) RETURN sum(*)").is_err());
+        assert!(parse_pipeline("MATCH (a) RETURN count(DISTINCT *)").is_err());
+    }
+
+    #[test]
+    fn with_items_require_aliases() {
+        assert!(parse_pipeline("MATCH (a) WITH a RETURN a").is_ok());
+        assert!(parse_pipeline("MATCH (a) WITH a.p AS p RETURN p").is_ok());
+        assert!(parse_pipeline("MATCH (a) WITH a.p RETURN *").is_err());
+        assert!(parse_pipeline("MATCH (a) WITH count(*) RETURN *").is_err());
+    }
+
+    #[test]
+    fn with_where_comes_after_paging() {
+        let p = parse_pipeline(
+            "MATCH (a) WITH a ORDER BY a.p SKIP 1 LIMIT 3 WHERE a.p > 0 RETURN a",
+        )
+        .expect("parse");
+        let Stage::With(w) = &p.stages[1] else {
+            panic!("expected WITH stage");
+        };
+        assert!(w.where_clause.is_some());
+        assert_eq!(w.skip, Some(1));
+        assert_eq!(w.limit, Some(3));
+        // RETURN has no trailing WHERE.
+        assert!(parse_pipeline("MATCH (a) RETURN a WHERE a.p > 0").is_err());
+    }
+
+    #[test]
+    fn parses_unwind_sources() {
+        let p = parse_pipeline("UNWIND [1, 'x', null] AS v RETURN v").expect("parse");
+        let Stage::Unwind(u) = &p.stages[0] else {
+            panic!("expected UNWIND stage");
+        };
+        assert_eq!(
+            u.source,
+            UnwindSource::List(vec![
+                Literal::Integer(1),
+                Literal::String("x".into()),
+                Literal::Null,
+            ])
+        );
+        assert_eq!(u.alias, "v");
+        let p = parse_pipeline("MATCH (a) WITH collect(a) AS xs UNWIND xs AS x RETURN x")
+            .expect("parse");
+        assert!(matches!(
+            &p.stages[2],
+            Stage::Unwind(UnwindStage {
+                source: UnwindSource::Variable(v),
+                ..
+            }) if v == "xs"
+        ));
+        assert!(parse_pipeline("UNWIND a.tags AS t RETURN t").is_ok());
+        assert!(parse_pipeline("UNWIND 5 AS t RETURN t").is_err());
+    }
+
+    #[test]
+    fn pipeline_rejects_leading_optional_match() {
+        assert!(parse_pipeline("OPTIONAL MATCH (a) RETURN a").is_err());
+        assert!(parse_pipeline("RETURN *").is_err());
+    }
+
+    #[test]
+    fn as_simple_recognizes_classic_queries() {
+        let simple = |text: &str| parse_pipeline(text).expect("parse").as_simple();
+        let classic = simple("MATCH (a)-[e]->(b) WHERE a.p = 1 RETURN DISTINCT a.p, b").unwrap();
+        assert_eq!(classic, parse("MATCH (a)-[e]->(b) WHERE a.p = 1 RETURN DISTINCT a.p, b").unwrap());
+        assert_eq!(
+            simple("MATCH (a) RETURN count(*)").unwrap().return_clause.items,
+            vec![ReturnItem::CountStar]
+        );
+        assert!(simple("MATCH (a) RETURN a ORDER BY a.p").is_none());
+        assert!(simple("MATCH (a) RETURN a LIMIT 2").is_none());
+        assert!(simple("MATCH (a) RETURN count(*) AS n").is_none());
+        assert!(simple("MATCH (a) OPTIONAL MATCH (a)-[e]->(b) RETURN *").is_none());
+        assert!(simple("MATCH (a) MATCH (b) RETURN *").is_none());
+        assert!(simple("UNWIND [1] AS x RETURN x").is_none());
+    }
+
+    #[test]
+    fn pipeline_roundtrips_through_pretty_printer() {
+        let texts = [
+            "MATCH (a:Person)-[:knows]->(b) WHERE a.p > 1 OPTIONAL MATCH (b)-[:x]->(c) RETURN a, c",
+            "MATCH (a) WITH DISTINCT a ORDER BY a.p DESC SKIP 2 LIMIT 9 WHERE a.p > 0 RETURN a",
+            "MATCH (a) WITH a, count(*) AS n MATCH (b) RETURN n, b ORDER BY n, b.q DESC LIMIT 3",
+            "UNWIND [1, 2.5, 'x', true, null] AS v RETURN v",
+            "MATCH (a) RETURN count(DISTINCT a), collect(a.p) AS ps, sum(a.p) AS s",
+            "MATCH (a)-[e:x*2..]->(b) RETURN *",
+        ];
+        for text in texts {
+            let first = parse_pipeline(text).expect("first parse");
+            let printed = first.to_string();
+            let second =
+                parse_pipeline(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            assert_eq!(first, second, "{printed}");
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub trait Bindings {
     /// Identity of the element bound to `variable` (for `a = b` on
     /// variables).
     fn element_id(&self, variable: &str) -> Option<u64>;
+    /// Scalar value bound to `variable`, for bindings that can hold
+    /// non-element columns (`WITH a.p AS p WHERE p > 0`). Consulted only
+    /// when `element_id` has no answer; element-only bindings keep the
+    /// default.
+    fn value(&self, _variable: &str) -> Option<PropertyValue> {
+        None
+    }
 }
 
 /// Bindings of a single element under one variable name — used by the
@@ -75,7 +82,11 @@ fn resolve(operand: &Operand, bindings: &impl Bindings) -> Option<PropertyValue>
 /// involving `NULL` is unknown. For non-null operands, `=`/`<>` are total
 /// (cross-type `=` is false, cross-type `<>` is true) while the ordering
 /// operators are unknown when the values are incomparable.
-fn compare_values(l: Option<PropertyValue>, op: CmpOp, r: Option<PropertyValue>) -> Option<bool> {
+pub fn compare_values(
+    l: Option<PropertyValue>,
+    op: CmpOp,
+    r: Option<PropertyValue>,
+) -> Option<bool> {
     let (l, r) = (l?, r?);
     if l.is_null() || r.is_null() {
         return None;
@@ -168,6 +179,7 @@ fn eval_value(expr: &Expression, bindings: &impl Bindings) -> PropertyValue {
         Expression::Variable(variable) => bindings
             .element_id(variable)
             .map(|id| PropertyValue::Long(id as i64))
+            .or_else(|| bindings.value(variable))
             .unwrap_or(PropertyValue::Null),
         _ => PropertyValue::Null,
     }

@@ -7,6 +7,6 @@ pub mod expr;
 pub mod split;
 
 pub use cnf::{Atom, CnfClause, CnfPredicate, Operand};
-pub use eval::{Bindings, SingleElement};
+pub use eval::{compare_values, Bindings, SingleElement};
 pub use expr::{CmpOp, Expression, Literal};
 pub use split::SplitPredicates;

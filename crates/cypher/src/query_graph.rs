@@ -52,6 +52,11 @@ pub struct QueryEdge {
     pub undirected: bool,
     /// Variable-length bounds `(lower, upper)`; `None` for a plain edge.
     pub range: Option<(usize, usize)>,
+    /// `true` when the query left the upper bound open (`*`, `*2..`) and
+    /// `range.1` is the engine's substituted cap. The executor probes one
+    /// hop beyond the cap and raises a classified error instead of silently
+    /// truncating results.
+    pub open_range: bool,
     /// `true` if the variable was written by the user.
     pub named: bool,
 }
@@ -387,6 +392,7 @@ impl Builder {
             source,
             target,
             undirected: rel.direction == Direction::Undirected,
+            open_range: range.is_some() && rel.range.is_some_and(|r| r.open),
             range,
             named,
         });

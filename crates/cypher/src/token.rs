@@ -31,6 +31,34 @@ pub enum Keyword {
     Is,
     /// `DISTINCT`
     Distinct,
+    /// `WITH`
+    With,
+    /// `OPTIONAL` (in `OPTIONAL MATCH`)
+    Optional,
+    /// `UNWIND`
+    Unwind,
+    /// `ORDER` (in `ORDER BY`)
+    Order,
+    /// `BY` (in `ORDER BY`)
+    By,
+    /// `SKIP`
+    Skip,
+    /// `LIMIT`
+    Limit,
+    /// `ASC` / `ASCENDING`
+    Asc,
+    /// `DESC` / `DESCENDING`
+    Desc,
+    /// `collect(..)` aggregate
+    Collect,
+    /// `sum(..)` aggregate
+    Sum,
+    /// `min(..)` aggregate
+    Min,
+    /// `max(..)` aggregate
+    Max,
+    /// `avg(..)` aggregate
+    Avg,
 }
 
 impl Keyword {
@@ -50,6 +78,20 @@ impl Keyword {
             "COUNT" => Some(Keyword::Count),
             "IS" => Some(Keyword::Is),
             "DISTINCT" => Some(Keyword::Distinct),
+            "WITH" => Some(Keyword::With),
+            "OPTIONAL" => Some(Keyword::Optional),
+            "UNWIND" => Some(Keyword::Unwind),
+            "ORDER" => Some(Keyword::Order),
+            "BY" => Some(Keyword::By),
+            "SKIP" => Some(Keyword::Skip),
+            "LIMIT" => Some(Keyword::Limit),
+            "ASC" | "ASCENDING" => Some(Keyword::Asc),
+            "DESC" | "DESCENDING" => Some(Keyword::Desc),
+            "COLLECT" => Some(Keyword::Collect),
+            "SUM" => Some(Keyword::Sum),
+            "MIN" => Some(Keyword::Min),
+            "MAX" => Some(Keyword::Max),
+            "AVG" => Some(Keyword::Avg),
             _ => None,
         }
     }

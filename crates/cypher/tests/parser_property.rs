@@ -75,10 +75,13 @@ fn path_range() -> impl Strategy<Value = Option<PathRange>> {
     // but must still roundtrip through the printer.
     prop_oneof![
         Just(None),
-        (0usize..3, 0usize..4).prop_map(|(lower, extra)| Some(PathRange {
+        (0usize..3, 0usize..4)
+            .prop_map(|(lower, extra)| Some(PathRange::closed(lower, lower + extra))),
+        // Open ranges print as `*l..` and reparse with the default cap.
+        (0usize..3).prop_map(|lower| Some(PathRange::open(
             lower,
-            upper: lower + extra,
-        })),
+            gradoop_cypher::DEFAULT_MAX_HOPS
+        ))),
     ]
 }
 

@@ -46,6 +46,7 @@ pub mod partition;
 pub mod pool;
 pub mod reduce;
 pub mod telemetry;
+pub mod topk;
 pub mod trace;
 
 pub use chrome::{chrome_trace, chrome_trace_json};

@@ -71,6 +71,72 @@ impl<T: Data> Dataset<T> {
         Dataset::from_partitions(env, outputs)
     }
 
+    /// Left outer equi-join with a match predicate: a right element with an
+    /// equal key only counts as a partner when `accept` holds for the pair.
+    /// A left element whose key-equal candidates **all** fail `accept` is
+    /// treated as unmatched and emitted once with `None` — the behaviour
+    /// `OPTIONAL MATCH ... WHERE` needs, where the predicate is part of the
+    /// match decision rather than a post-filter (a post-filter would drop
+    /// the row instead of NULL-padding it).
+    pub fn join_left_outer_filtered<R, K, O, KL, KR, P, F>(
+        &self,
+        right: &Dataset<R>,
+        left_key: KL,
+        right_key: KR,
+        accept: P,
+        join_fn: F,
+    ) -> Dataset<O>
+    where
+        R: Data,
+        O: Data,
+        K: Hash + Eq + Clone + Send + Sync,
+        KL: Fn(&T) -> K + Sync,
+        KR: Fn(&R) -> K + Sync,
+        P: Fn(&T, &R) -> bool + Sync,
+        F: Fn(&T, Option<&R>) -> Option<O> + Sync,
+    {
+        let env = self.env().clone();
+        let mut stage = env.stage("join(left-outer-hash)");
+        let left_parts = shuffle_by_key(self.partitions(), &left_key, &mut stage);
+        let right_parts = shuffle_by_key(right.partitions(), &right_key, &mut stage);
+
+        let outputs: Vec<Vec<O>> = map_partition_pairs(&left_parts, &right_parts, |_, l, r| {
+            let mut table: HashMap<K, Vec<&R>> = HashMap::with_capacity(r.len());
+            for item in r {
+                table.entry(right_key(item)).or_default().push(item);
+            }
+            let mut out = Vec::new();
+            for item in l {
+                let mut matched = false;
+                if let Some(candidates) = table.get(&left_key(item)) {
+                    for candidate in candidates {
+                        if accept(item, candidate) {
+                            matched = true;
+                            out.extend(join_fn(item, Some(candidate)));
+                        }
+                    }
+                }
+                if !matched {
+                    out.extend(join_fn(item, None));
+                }
+            }
+            out
+        });
+
+        for (i, ((l, r), out)) in left_parts
+            .iter()
+            .zip(&right_parts)
+            .zip(&outputs)
+            .enumerate()
+        {
+            let w = stage.worker(i);
+            w.records_in += (l.len() + r.len()) as u64;
+            w.records_out += out.len() as u64;
+        }
+        env.finish_stage(stage);
+        Dataset::from_partitions(env, outputs)
+    }
+
     /// Anti join: keeps the left elements whose key has **no** partner on
     /// the right side.
     pub fn anti_join<R, K, KL, KR>(
@@ -180,6 +246,26 @@ mod tests {
         let mut rows = joined.collect();
         rows.sort_unstable();
         assert_eq!(rows, vec![10, 20]);
+    }
+
+    #[test]
+    fn filtered_outer_join_pads_when_all_candidates_fail() {
+        let env = env(3);
+        let left = env.from_collection(vec![1u64, 2, 3]);
+        // Key 2 has two candidates: one accepted, one rejected. Key 3 has
+        // one candidate that the predicate rejects — it must still be
+        // padded, not dropped.
+        let right = env.from_collection(vec![(2u64, 10u64), (2, 99), (3, 99)]);
+        let joined = left.join_left_outer_filtered(
+            &right,
+            |l| *l,
+            |(k, _)| *k,
+            |_, (_, v)| *v != 99,
+            |l, matched| Some((*l, matched.map(|(_, v)| *v))),
+        );
+        let mut rows = joined.collect();
+        rows.sort();
+        assert_eq!(rows, vec![(1, None), (2, Some(10)), (3, None)]);
     }
 
     #[test]

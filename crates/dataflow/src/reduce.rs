@@ -11,6 +11,11 @@ impl<T: Data> Dataset<T> {
     /// Groups elements by key (shuffling equal keys to one worker) and
     /// reduces every group with `reduce`, which sees the key and all group
     /// members. Equivalent to Flink's `groupBy(...).reduceGroup(...)`.
+    ///
+    /// Groups are emitted in first-seen key order within each partition, so
+    /// repeated runs over the same input produce byte-identical output —
+    /// `HashMap` iteration order must never leak into partition contents
+    /// (the fault-tolerance and work-stealing tests compare result digests).
     pub fn group_reduce<K, O, KF, RF>(&self, key: KF, reduce: RF) -> Dataset<O>
     where
         K: Data + Hash + Eq,
@@ -22,11 +27,19 @@ impl<T: Data> Dataset<T> {
         let env = self.env().clone();
         let mut stage = env.stage("group_reduce");
         let outputs: Vec<Vec<O>> = map_partitions(shuffled.partitions(), |_, part| {
-            let mut groups: HashMap<K, Vec<T>> = HashMap::new();
+            let mut order: Vec<(K, Vec<T>)> = Vec::new();
+            let mut index: HashMap<K, usize> = HashMap::new();
             for item in part {
-                groups.entry(key(item)).or_default().push(item.clone());
+                let k = key(item);
+                match index.get(&k) {
+                    Some(&at) => order[at].1.push(item.clone()),
+                    None => {
+                        index.insert(k.clone(), order.len());
+                        order.push((k, vec![item.clone()]));
+                    }
+                }
             }
-            groups
+            order
                 .iter()
                 .map(|(k, members)| reduce(k, members))
                 .collect()
@@ -125,6 +138,43 @@ mod tests {
         result.sort();
         let expect = |m: u64| (0..100).filter(|i| i % 3 == m).sum::<u64>();
         assert_eq!(result, vec![(0, expect(0)), (1, expect(1)), (2, expect(2))]);
+    }
+
+    #[test]
+    fn group_reduce_output_order_is_deterministic() {
+        // Many distinct keys so a HashMap iteration leak would almost
+        // surely reorder something between runs (and across key types whose
+        // hashes collide differently). Identical runs must produce
+        // identical partition contents, and the order must be the
+        // first-seen order of keys within each partition.
+        let input: Vec<(u64, u64)> = (0u64..500).map(|i| ((i * 37) % 101, i)).collect();
+        let reference: Vec<Vec<(u64, u64)>> = {
+            let env = env(4);
+            let ds = env.from_collection(input.clone());
+            let reduced = ds.group_reduce(
+                |(k, _)| *k,
+                |k, members| (*k, members.iter().map(|(_, v)| *v).sum::<u64>()),
+            );
+            reduced.partitions().to_vec()
+        };
+        for _ in 0..5 {
+            let env = env(4);
+            let ds = env.from_collection(input.clone());
+            let reduced = ds.group_reduce(
+                |(k, _)| *k,
+                |k, members| (*k, members.iter().map(|(_, v)| *v).sum::<u64>()),
+            );
+            assert_eq!(reduced.partitions().to_vec(), reference);
+        }
+        // First-seen order: a single-worker run over a known sequence must
+        // emit groups in the order their keys first appear.
+        let env = env(1);
+        let ds = env.from_collection(vec![(3u64, 1u64), (1, 10), (3, 2), (2, 5), (1, 20)]);
+        let reduced = ds.group_reduce(
+            |(k, _)| *k,
+            |k, members| (*k, members.iter().map(|(_, v)| *v).sum::<u64>()),
+        );
+        assert_eq!(reduced.collect(), vec![(3, 3), (1, 30), (2, 5)]);
     }
 
     #[test]
