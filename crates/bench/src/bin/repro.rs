@@ -22,14 +22,14 @@ use gradoop_bench::harness::{self, Measurement, ScaleFactor};
 use gradoop_bench::report::{bytes, seconds, speedup, Table};
 use gradoop_core::{
     CypherEngine, Embedding, EmbeddingMetaData, EntryType, JsonlQueryLog, MatchingConfig,
-    MorphismCheck,
+    MorphismCheck, PlanMode, ProfileNode,
 };
 use gradoop_dataflow::{
     chrome_trace_json, CollectingSink, CostModel, Dataset, ExecutionConfig, ExecutionEnvironment,
     FailureSchedule, FaultConfig, MetricsRegistry,
 };
 use gradoop_epgm::{
-    properties, GradoopId, GraphHead, LogicalGraph, Properties, PropertyValue, Vertex,
+    properties, Edge, GradoopId, GraphHead, LogicalGraph, Properties, PropertyValue, Vertex,
 };
 use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
 
@@ -937,7 +937,12 @@ fn orderby_micro(n: u64) {
         env.reset_metrics();
         let start = std::time::Instant::now();
         let result = engine
-            .run(&graph, query, &HashMap::new(), MatchingConfig::cypher_default())
+            .run(
+                &graph,
+                query,
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
             .unwrap_or_else(|e| panic!("{query}: {e}"));
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(&result.rows);
@@ -1176,6 +1181,176 @@ fn bench_pr6(check_baseline: bool) {
     }
 }
 
+/// Builds the cyclic-pattern benchmark graph: a directed ring of `n`
+/// `Person` vertices where every vertex additionally has forward chords to
+/// `i+2` and `i+3` (out-degree 3). The chords close 3·n directed wedges
+/// `a → b → c, a → c`, so cyclic queries have real matches while binary
+/// plans must materialize every open 2-path first.
+fn cyclic_graph(env: &ExecutionEnvironment, n: u64) -> LogicalGraph {
+    let vertices: Vec<Vertex> = (0..n)
+        .map(|i| Vertex::new(GradoopId(i + 1), "Person", properties! {"vid" => i as i64}))
+        .collect();
+    let mut edges = Vec::new();
+    let mut id = 10_000;
+    for i in 0..n {
+        for hop in [1, 2, 3] {
+            let j = (i + hop) % n;
+            edges.push(Edge::new(
+                GradoopId(id),
+                "knows",
+                GradoopId(i + 1),
+                GradoopId(j + 1),
+                Properties::new(),
+            ));
+            id += 1;
+        }
+    }
+    LogicalGraph::from_data(
+        env,
+        GraphHead::new(GradoopId(0), "cyclic", Properties::new()),
+        vertices,
+        edges,
+    )
+}
+
+/// The largest intermediate result any plan node below the root
+/// materialized — the quantity worst-case-optimal joins exist to bound.
+/// The root's own output is the final result, not an intermediate.
+fn max_intermediate_rows(root: &ProfileNode) -> u64 {
+    fn walk(node: &ProfileNode, out: &mut u64) {
+        for child in &node.children {
+            *out = (*out).max(child.rows_out);
+            walk(child, out);
+        }
+    }
+    let mut out = 0;
+    walk(root, &mut out);
+    out
+}
+
+/// Emits `BENCH_pr8.json` — the cyclic-pattern perf gate: triangle and
+/// diamond queries under forced-binary vs forced-WCO planning, reporting
+/// each plan's largest materialized intermediate and simulated makespan.
+/// The triangle's intermediate-row reduction is hard-asserted at ≥ 2×.
+/// With `check_baseline`, diffs against `BENCH_pr8_baseline.json` and
+/// exits non-zero on regression.
+fn bench_pr8(check_baseline: bool) {
+    println!("== BENCH_pr8: worst-case-optimal joins on cyclic patterns ==\n");
+    let mut report = BenchReport::new();
+    let n = 60u64;
+    let mut table = Table::new([
+        "pattern",
+        "plan",
+        "max intermediate rows",
+        "simulated_s",
+        "matches",
+    ]);
+    for (pattern, query) in [
+        (
+            "triangle",
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person), \
+             (a)-[e3:knows]->(c) RETURN *",
+        ),
+        (
+            "diamond",
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person), \
+             (c)-[e3:knows]->(d:Person), (a)-[e4:knows]->(d), (a)-[e5:knows]->(c) RETURN *",
+        ),
+    ] {
+        let mut measured = Vec::new();
+        for (mode_name, mode) in [
+            ("binary", PlanMode::ForceBinary),
+            ("wco", PlanMode::ForceWco),
+        ] {
+            let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+            let graph = cyclic_graph(&env, n);
+            let engine = CypherEngine::for_graph(&graph).with_plan_mode(mode);
+            let explain = engine.explain(query).expect("explain").root.to_text();
+            match mode {
+                PlanMode::ForceWco => assert!(
+                    explain.contains("wco intersect"),
+                    "{pattern}: forced-WCO plan has no intersect:\n{explain}"
+                ),
+                _ => assert!(
+                    !explain.contains("wco intersect"),
+                    "{pattern}: forced-binary plan contains an intersect:\n{explain}"
+                ),
+            }
+            env.reset_metrics();
+            let profile = engine
+                .profile(
+                    &graph,
+                    query,
+                    &HashMap::new(),
+                    MatchingConfig::cypher_default(),
+                )
+                .unwrap_or_else(|e| panic!("{query}: {e}"));
+            let rows = max_intermediate_rows(&profile.root);
+            let seconds = env.metrics().simulated_seconds;
+            assert!(profile.matches > 0, "{pattern}: no matches");
+            table.row([
+                pattern.into(),
+                mode_name.into(),
+                rows.to_string(),
+                format!("{seconds:.6}"),
+                profile.matches.to_string(),
+            ]);
+            report.add(
+                format!("wco.{pattern}.{mode_name}.max_intermediate_rows"),
+                rows as f64,
+                1.25,
+                Direction::LowerIsBetter,
+            );
+            report.add(
+                format!("wco.{pattern}.{mode_name}.simulated_seconds"),
+                seconds,
+                1.25,
+                Direction::LowerIsBetter,
+            );
+            measured.push((rows, profile.matches));
+        }
+        let (binary, wco) = (measured[0], measured[1]);
+        assert_eq!(
+            binary.1, wco.1,
+            "{pattern}: binary and WCO plans disagree on the match count"
+        );
+        let reduction = binary.0 as f64 / wco.0 as f64;
+        println!(
+            "{pattern}: intermediate-row reduction {reduction:.2}x (binary {} → wco {})\n",
+            binary.0, wco.0
+        );
+        report.add(
+            format!("wco.{pattern}.intermediate_reduction"),
+            reduction,
+            1.25,
+            Direction::HigherIsBetter,
+        );
+        if pattern == "triangle" {
+            assert!(
+                reduction >= 2.0,
+                "triangle intermediate-row reduction {reduction:.2}x below the required 2x"
+            );
+        }
+    }
+    println!("{table}");
+    std::fs::write("BENCH_pr8.json", report.to_json()).expect("write BENCH_pr8.json");
+    println!("wrote BENCH_pr8.json");
+
+    if check_baseline {
+        let baseline_text = std::fs::read_to_string("BENCH_pr8_baseline.json")
+            .expect("read BENCH_pr8_baseline.json (run from the repo root)");
+        let baseline = BenchReport::parse(&baseline_text).expect("parse baseline");
+        let outcome = compare(&baseline, &report);
+        println!("-- gate vs committed baseline:");
+        print!("{}", outcome.summary());
+        if !outcome.is_pass() {
+            println!("bench gate FAILED");
+            std::process::exit(1);
+        }
+        println!("bench gate OK");
+    }
+}
+
 /// Runs the Figure 1 queries with a collecting trace sink and writes the
 /// Chrome trace-event timeline (`chrome://tracing` / Perfetto loadable) to
 /// `path`. With `query_log_path`, the engine's query log additionally
@@ -1240,8 +1415,17 @@ fn main() {
     }
     if has("--orderby") {
         // ORDER BY paging micro-benchmark: top-k + merge vs full sort.
-        let rows = value_of("--rows").and_then(|n| n.parse().ok()).unwrap_or(20_000);
+        let rows = value_of("--rows")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(20_000);
         orderby_micro(rows);
+        return;
+    }
+    if has("--cyclic") {
+        // Cyclic-pattern perf gate: worst-case-optimal vs binary plans on
+        // triangle and diamond queries, with the committed
+        // BENCH_pr8_baseline.json as the regression reference.
+        bench_pr8(has("--check-baseline"));
         return;
     }
     if has("--conformance") {

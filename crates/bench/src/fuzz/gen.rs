@@ -462,10 +462,7 @@ impl TailSpec {
                     let rendered: Vec<String> = keys
                         .iter()
                         .map(|(variable, key, descending)| {
-                            format!(
-                                "{variable}.{key}{}",
-                                if *descending { " DESC" } else { "" }
-                            )
+                            format!("{variable}.{key}{}", if *descending { " DESC" } else { "" })
                         })
                         .collect();
                     out.push_str(&format!(" ORDER BY {}", rendered.join(", ")));
@@ -633,6 +630,42 @@ impl QuerySpec {
                 .filter_map(|e| e.variable.clone()),
         );
         out
+    }
+
+    /// True when some connected component over the plain (single-hop)
+    /// relationships has at least as many relationships as nodes — the
+    /// pattern closes a cycle, so the planner's worst-case-optimal
+    /// `ExpandIntersect` path is in play. Variable-length relationships are
+    /// ignored: they are never intersection-eligible.
+    pub fn is_cyclic(&self) -> bool {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let n = self.nodes.len();
+        if n == 0 {
+            return false;
+        }
+        let mut parent: Vec<usize> = (0..n).collect();
+        for edge in self.edges.iter().filter(|e| e.range.is_none()) {
+            let a = find(&mut parent, edge.from);
+            let b = find(&mut parent, edge.to);
+            parent[a] = b;
+        }
+        let mut vertex_count = vec![0usize; n];
+        let mut edge_count = vec![0usize; n];
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            vertex_count[root] += 1;
+        }
+        for edge in self.edges.iter().filter(|e| e.range.is_none()) {
+            let root = find(&mut parent, edge.from);
+            edge_count[root] += 1;
+        }
+        (0..n).any(|root| edge_count[root] > 0 && edge_count[root] >= vertex_count[root])
     }
 }
 
@@ -810,16 +843,125 @@ fn random_tail(rng: &mut Rng, node_vars: &[String], prop_vars: &[String]) -> Opt
             })
         }
         _ => {
-            let items: Vec<LitSpec> = (0..rng.below(4))
-                .map(|_| random_literal(rng))
-                .collect();
+            let items: Vec<LitSpec> = (0..rng.below(4)).map(|_| random_literal(rng)).collect();
             Some(TailSpec::Unwind { items })
         }
     }
 }
 
-/// Generates a random query over 1–4 nodes and 0–3 relationships.
+/// Draws the shared WHERE (70%) and pipeline-tail (45%) suffix onto a
+/// freshly generated pattern. Both the general and the cyclic productions
+/// go through here so cyclic cases stress the same predicate and tail
+/// corners as everything else.
+fn attach_where_and_tail(rng: &mut Rng, spec: &mut QuerySpec) {
+    if rng.chance(70) {
+        let variables = spec.predicate_variables();
+        spec.where_tree = Some(random_cond(rng, &variables, 2));
+    }
+    if rng.chance(45) {
+        let node_vars: Vec<String> = spec
+            .nodes
+            .iter()
+            .filter_map(|n| n.variable.clone())
+            .collect();
+        let prop_vars = spec.predicate_variables();
+        spec.tail = random_tail(rng, &node_vars, &prop_vars);
+    }
+}
+
+/// Generates a cycle-closing pattern: a directed triangle, a diamond (a
+/// 4-cycle plus a chord), a 4-clique, or an undirected cycle of length 3–4.
+///
+/// These are the shapes where binary join plans materialize open-path
+/// intermediates that the worst-case-optimal `ExpandIntersect` avoids, so
+/// the conformance harness must cover them heavily. All nodes are named
+/// (the closing relationships re-reference them) and all relationships are
+/// plain single hops (variable-length edges are never
+/// intersection-eligible). Directed shapes randomize each arrow's
+/// orientation — flipping an arrow rotates the cycle but keeps the
+/// component cyclic.
+pub fn random_cyclic_query(rng: &mut Rng) -> QuerySpec {
+    let (node_count, endpoints, undirected): (usize, Vec<(usize, usize)>, bool) = match rng.below(4)
+    {
+        0 => (3, vec![(0, 1), (1, 2), (2, 0)], false),
+        1 => (4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], false),
+        2 => (
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            false,
+        ),
+        _ => {
+            let len = 3 + rng.below(2);
+            (len, (0..len).map(|i| (i, (i + 1) % len)).collect(), true)
+        }
+    };
+
+    let nodes: Vec<NodePat> = (0..node_count)
+        .map(|i| NodePat {
+            variable: Some(format!("n{i}")),
+            labels: match rng.below(4) {
+                0 => Vec::new(),
+                1 => vec![VERTEX_LABELS[0].to_string(), VERTEX_LABELS[1].to_string()],
+                _ => vec![rng.pick(&VERTEX_LABELS).to_string()],
+            },
+            // Inline property maps become required keys on the vertex,
+            // which disqualifies it as an intersection target; a light
+            // sprinkle keeps the cost-based fallback honest without
+            // starving the WCO path.
+            props: if rng.chance(10) {
+                vec![(rng.pick(&PROPERTY_KEYS).to_string(), random_literal(rng))]
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+
+    let edges: Vec<EdgePat> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, &(from, to))| EdgePat {
+            variable: if rng.chance(20) {
+                None
+            } else {
+                Some(format!("e{i}"))
+            },
+            from,
+            to,
+            direction: if undirected {
+                Dir::Undirected
+            } else if rng.chance(50) {
+                Dir::Out
+            } else {
+                Dir::In
+            },
+            labels: match rng.below(4) {
+                0 => Vec::new(),
+                1 => vec![EDGE_LABELS[0].to_string(), EDGE_LABELS[1].to_string()],
+                _ => vec![rng.pick(&EDGE_LABELS).to_string()],
+            },
+            range: None,
+            props: Vec::new(),
+        })
+        .collect();
+
+    let mut spec = QuerySpec {
+        nodes,
+        edges,
+        where_tree: None,
+        tail: None,
+    };
+    attach_where_and_tail(rng, &mut spec);
+    spec
+}
+
+/// Generates a random query over 1–4 nodes and 0–3 relationships. Roughly
+/// 30% of draws divert to [`random_cyclic_query`] so every campaign
+/// exercises the worst-case-optimal join path alongside the general
+/// grammar.
 pub fn random_query(rng: &mut Rng) -> QuerySpec {
+    if rng.chance(30) {
+        return random_cyclic_query(rng);
+    }
     let node_count = 1 + rng.below(4);
     let edge_count = if node_count == 1 {
         0
@@ -907,19 +1049,7 @@ pub fn random_query(rng: &mut Rng) -> QuerySpec {
         where_tree: None,
         tail: None,
     };
-    if rng.chance(70) {
-        let variables = spec.predicate_variables();
-        spec.where_tree = Some(random_cond(rng, &variables, 2));
-    }
-    if rng.chance(45) {
-        let node_vars: Vec<String> = spec
-            .nodes
-            .iter()
-            .filter_map(|n| n.variable.clone())
-            .collect();
-        let prop_vars = spec.predicate_variables();
-        spec.tail = random_tail(rng, &node_vars, &prop_vars);
-    }
+    attach_where_and_tail(rng, &mut spec);
     spec
 }
 
@@ -951,6 +1081,103 @@ mod tests {
                 gradoop_cypher::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn cyclic_production_covers_every_shape_and_classifies() {
+        let mut rng = Rng::new(99);
+        let (mut triangle, mut diamond, mut clique, mut undirected_cycle) = (0, 0, 0, 0);
+        for _ in 0..200 {
+            let spec = random_cyclic_query(&mut rng);
+            assert!(
+                spec.is_cyclic(),
+                "cyclic production not cyclic: {}",
+                spec.render()
+            );
+            let text = spec.render();
+            gradoop_cypher::parse_pipeline(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let undirected = spec.edges.iter().all(|e| e.direction == Dir::Undirected);
+            match (spec.nodes.len(), spec.edges.len()) {
+                (3, 3) if undirected => undirected_cycle += 1,
+                (4, 4) if undirected => undirected_cycle += 1,
+                (3, 3) => triangle += 1,
+                (4, 5) => diamond += 1,
+                (4, 6) => clique += 1,
+                other => panic!("unexpected cyclic shape {other:?}: {text}"),
+            }
+        }
+        assert!(
+            triangle > 0 && diamond > 0 && clique > 0 && undirected_cycle > 0,
+            "shape coverage: triangle={triangle} diamond={diamond} \
+             clique={clique} undirected={undirected_cycle}"
+        );
+    }
+
+    #[test]
+    fn is_cyclic_ignores_open_paths_and_var_length_closures() {
+        let mut rng = Rng::new(5);
+        // A plain two-hop chain is acyclic.
+        let chain = QuerySpec {
+            nodes: (0..3)
+                .map(|i| NodePat {
+                    variable: Some(format!("n{i}")),
+                    labels: Vec::new(),
+                    props: Vec::new(),
+                })
+                .collect(),
+            edges: [(0usize, 1usize), (1, 2)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(from, to))| EdgePat {
+                    variable: Some(format!("e{i}")),
+                    from,
+                    to,
+                    direction: Dir::Out,
+                    labels: Vec::new(),
+                    range: None,
+                    props: Vec::new(),
+                })
+                .collect(),
+            where_tree: None,
+            tail: None,
+        };
+        assert!(!chain.is_cyclic());
+
+        // Closing the chain with a variable-length edge does not make it
+        // WCO-cyclic: ranged relationships are never intersected.
+        let mut var_closed = chain.clone();
+        var_closed.edges.push(EdgePat {
+            variable: Some("e2".to_string()),
+            from: 2,
+            to: 0,
+            direction: Dir::Out,
+            labels: Vec::new(),
+            range: Some((1, 2)),
+            props: Vec::new(),
+        });
+        assert!(!var_closed.is_cyclic());
+
+        // Closing it with a plain edge does.
+        let mut closed = chain.clone();
+        closed.edges.push(EdgePat {
+            variable: Some("e2".to_string()),
+            from: 2,
+            to: 0,
+            direction: Dir::Out,
+            labels: Vec::new(),
+            range: None,
+            props: Vec::new(),
+        });
+        assert!(closed.is_cyclic());
+
+        // The diverted general production keeps emitting cyclic cases.
+        let cyclic_share = (0..300)
+            .filter(|_| random_query(&mut rng).is_cyclic())
+            .count();
+        assert!(
+            cyclic_share >= 45,
+            "expected ≥15% cyclic cases from random_query, got {cyclic_share}/300"
+        );
     }
 
     #[test]

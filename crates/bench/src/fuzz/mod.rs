@@ -36,8 +36,8 @@ mod runner;
 mod shrink;
 
 pub use gen::{
-    random_graph, random_query, AggSpec, Cond, Dir, EdgePat, EdgeSpec, GraphSpec, LitSpec,
-    NodePat, QuerySpec, Rng, TailSpec, Term, VertexSpec,
+    random_cyclic_query, random_graph, random_query, AggSpec, Cond, Dir, EdgePat, EdgeSpec,
+    GraphSpec, LitSpec, NodePat, QuerySpec, Rng, TailSpec, Term, VertexSpec,
 };
 pub use runner::{
     engine_rows, pipeline_engine_rows, random_case, reference_rows, run_case, still_fails,
@@ -104,6 +104,10 @@ pub struct FeatureCounts {
     pub optional_match: usize,
     /// Cases with an `UNWIND` stage.
     pub unwind: usize,
+    /// Cases whose pattern closes a cycle over plain relationships — the
+    /// shapes where the planner's worst-case-optimal `ExpandIntersect`
+    /// competes with binary joins.
+    pub cyclic: usize,
 }
 
 fn cond_has(tree: &Cond, what: fn(&Cond) -> bool) -> bool {
@@ -147,6 +151,9 @@ impl FeatureCounts {
             || query.edges.iter().any(|e| e.variable.is_none())
         {
             self.anonymous += 1;
+        }
+        if query.is_cyclic() {
+            self.cyclic += 1;
         }
         match &query.tail {
             Some(TailSpec::OrderLimit {
@@ -242,7 +249,7 @@ impl FuzzReport {
         let f = &self.features;
         out.push_str(&format!(
             "features: WHERE {} | NOT {} | OR {} | IS NULL {} | var-length {} \
-             | undirected {} | anonymous {} | NULL literal {}\n",
+             | undirected {} | anonymous {} | NULL literal {} | cyclic {}\n",
             f.where_clause,
             f.negation,
             f.disjunction,
@@ -251,6 +258,7 @@ impl FuzzReport {
             f.undirected,
             f.anonymous,
             f.null_literal,
+            f.cyclic,
         ));
         out.push_str(&format!(
             "pipeline: ORDER BY {} | SKIP/LIMIT {} | DISTINCT {} | aggregate {} \

@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use gradoop_core::{
     canonical_row, reference_match, reference_pipeline, CypherEngine, Entry, MatchingConfig,
-    MorphismType, QueryResult, Row,
+    MorphismType, PlanMode, QueryResult, Row,
 };
 use gradoop_cypher::ast::Pipeline;
 use gradoop_cypher::{parse, parse_pipeline, QueryGraph};
@@ -29,10 +29,16 @@ pub struct EngineConfig {
     pub partition_aware: bool,
     /// Morsel-driven work stealing on/off.
     pub work_stealing: bool,
+    /// Planner mode — cyclic tail-free cases additionally sweep
+    /// [`PlanMode::ForceBinary`] and [`PlanMode::ForceWco`] so the
+    /// worst-case-optimal and binary plans are compared result-for-result
+    /// on every matrix point.
+    pub plan_mode: PlanMode,
 }
 
 impl EngineConfig {
-    /// The full 8-point matrix.
+    /// The full 8-point matrix (cost-based planning; forced plan modes are
+    /// layered on per case by [`run_case`]).
     pub fn matrix() -> Vec<EngineConfig> {
         let mut out = Vec::new();
         for uniform_stats in [false, true] {
@@ -42,6 +48,7 @@ impl EngineConfig {
                         uniform_stats,
                         partition_aware,
                         work_stealing,
+                        plan_mode: PlanMode::CostBased,
                     });
                 }
             }
@@ -49,10 +56,21 @@ impl EngineConfig {
         out
     }
 
-    /// Compact label for reports, e.g. `stats+ partition- stealing+`.
+    /// This configuration with its planner forced to `mode`.
+    pub fn with_mode(mut self, mode: PlanMode) -> EngineConfig {
+        self.plan_mode = mode;
+        self
+    }
+
+    /// Compact label for reports, e.g. `stats+ partition- stealing+ wco!`.
     pub fn label(&self) -> String {
+        let mode = match self.plan_mode {
+            PlanMode::CostBased => "",
+            PlanMode::ForceBinary => " binary!",
+            PlanMode::ForceWco => " wco!",
+        };
         format!(
-            "stats{} partition{} stealing{}",
+            "stats{} partition{} stealing{}{mode}",
             if self.uniform_stats { "-" } else { "+" },
             if self.partition_aware { "+" } else { "-" },
             if self.work_stealing { "+" } else { "-" },
@@ -205,7 +223,7 @@ pub fn engine_rows(
     } else {
         GraphStatistics::of(&graph)
     };
-    let engine = CypherEngine::with_statistics(statistics);
+    let engine = CypherEngine::with_statistics(statistics).with_plan_mode(config.plan_mode);
     let result = if case.indexed {
         engine.execute(
             &graph.to_indexed(),
@@ -254,7 +272,10 @@ fn canonical_table(columns: &[String], rows: &[Row], ordered: bool) -> Vec<Canon
 
 /// Reference (ground-truth) table for a pipeline case, canonicalized, plus
 /// its row count. `Err` carries the reference's rejection message.
-fn pipeline_reference(case: &CaseSpec, pipeline: &Pipeline) -> Result<(Vec<Canonical>, usize), String> {
+fn pipeline_reference(
+    case: &CaseSpec,
+    pipeline: &Pipeline,
+) -> Result<(Vec<Canonical>, usize), String> {
     let env = free_env(case.workers);
     let graph = case.graph.build(&env);
     let table = reference_pipeline(&graph, pipeline, &case.matching)?;
@@ -350,17 +371,33 @@ pub fn run_case(case: &CaseSpec) -> CaseOutcome {
         Err(reason) => return CaseOutcome::Rejected { reason },
     };
     let reference = reference_rows(case, &query);
+    // Cyclic patterns are where worst-case-optimal and binary plans
+    // genuinely differ, so those cases additionally sweep both forced
+    // planner modes: every matrix point must agree with the reference
+    // under whichever plan shape the mode selects.
+    let modes: &[PlanMode] = if case.query.is_cyclic() {
+        &[
+            PlanMode::CostBased,
+            PlanMode::ForceBinary,
+            PlanMode::ForceWco,
+        ]
+    } else {
+        &[PlanMode::CostBased]
+    };
     let mut executions = 0;
     for config in EngineConfig::matrix() {
-        executions += 1;
-        let engine = engine_rows(case, &query_text, &config);
-        if engine.as_ref().ok() != Some(&reference) {
-            return CaseOutcome::Mismatch(Box::new(Mismatch {
-                config,
-                query_text,
-                engine,
-                reference,
-            }));
+        for &mode in modes {
+            let config = config.with_mode(mode);
+            executions += 1;
+            let engine = engine_rows(case, &query_text, &config);
+            if engine.as_ref().ok() != Some(&reference) {
+                return CaseOutcome::Mismatch(Box::new(Mismatch {
+                    config,
+                    query_text,
+                    engine,
+                    reference,
+                }));
+            }
         }
     }
     CaseOutcome::Passed {

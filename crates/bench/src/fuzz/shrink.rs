@@ -53,23 +53,33 @@ fn where_reductions(tree: &Cond) -> Vec<Option<Cond>> {
 
 fn query_reductions(query: &QuerySpec) -> Vec<QuerySpec> {
     let mut out = Vec::new();
+    // Reductions that break a cyclic pattern open are still offered (the
+    // divergence may not be intersection-specific), but only after every
+    // cyclicity-preserving candidate: a repro that keeps closing a cycle
+    // keeps the worst-case-optimal plan shape in play while it shrinks.
+    let was_cyclic = query.is_cyclic();
+    let mut breaks_cycle = Vec::new();
     // Drop one relationship (nodes it referenced stay; they become
-    // standalone patterns, which the renderer handles).
+    // standalone patterns, which the renderer handles). On a diamond this
+    // is the chord-dropping reduction that leaves a plain 4-cycle.
     for index in 0..query.edges.len() {
         let mut candidate = query.clone();
         candidate.edges.remove(index);
-        out.push(candidate);
-    }
-    // Drop a node that no relationship references.
-    for index in 0..query.nodes.len() {
-        if query.edges.iter().any(|e| e.from == index || e.to == index) {
-            continue;
+        if was_cyclic && !candidate.is_cyclic() {
+            breaks_cycle.push(candidate);
+        } else {
+            out.push(candidate);
         }
+    }
+    // Drop a node together with its incident relationships — the reduction
+    // that takes a 4-clique to a triangle without opening the cycle.
+    for index in 0..query.nodes.len() {
         if query.nodes.len() == 1 {
-            continue; // MATCH needs at least one pattern
+            break; // MATCH needs at least one pattern
         }
         let mut candidate = query.clone();
         candidate.nodes.remove(index);
+        candidate.edges.retain(|e| e.from != index && e.to != index);
         for edge in &mut candidate.edges {
             if edge.from > index {
                 edge.from -= 1;
@@ -78,7 +88,11 @@ fn query_reductions(query: &QuerySpec) -> Vec<QuerySpec> {
                 edge.to -= 1;
             }
         }
-        out.push(candidate);
+        if was_cyclic && !candidate.is_cyclic() {
+            breaks_cycle.push(candidate);
+        } else {
+            out.push(candidate);
+        }
     }
     // Drop labels and inline property maps.
     for index in 0..query.nodes.len() {
@@ -126,6 +140,7 @@ fn query_reductions(query: &QuerySpec) -> Vec<QuerySpec> {
             out.push(candidate);
         }
     }
+    out.extend(breaks_cycle);
     out
 }
 
@@ -304,5 +319,62 @@ pub fn shrink(
         if !improved {
             return (best, mismatch);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen::{Dir, EdgePat, NodePat};
+    use super::*;
+
+    fn diamond() -> QuerySpec {
+        let endpoints = [(0usize, 1usize), (1, 2), (2, 3), (3, 0), (0, 2)];
+        QuerySpec {
+            nodes: (0..4)
+                .map(|i| NodePat {
+                    variable: Some(format!("n{i}")),
+                    labels: Vec::new(),
+                    props: Vec::new(),
+                })
+                .collect(),
+            edges: endpoints
+                .iter()
+                .enumerate()
+                .map(|(i, &(from, to))| EdgePat {
+                    variable: Some(format!("e{i}")),
+                    from,
+                    to,
+                    direction: Dir::Out,
+                    labels: Vec::new(),
+                    range: None,
+                    props: Vec::new(),
+                })
+                .collect(),
+            where_tree: None,
+            tail: None,
+        }
+    }
+
+    #[test]
+    fn cyclic_reductions_come_before_cycle_breaking_ones() {
+        let reductions = query_reductions(&diamond());
+        // Dropping a chord-endpoint node shrinks the diamond straight to a
+        // triangle; it must appear among the cyclicity-preserving
+        // candidates.
+        let first_triangle = reductions
+            .iter()
+            .position(|q| q.nodes.len() == 3 && q.edges.len() == 3 && q.is_cyclic())
+            .expect("diamond must offer a triangle reduction");
+        // Dropping a node on the 4-cycle's rim (both chord endpoints stay)
+        // breaks the cycle open; those candidates are deferred to the end.
+        let first_acyclic = reductions
+            .iter()
+            .position(|q| !q.is_cyclic())
+            .expect("cycle-breaking reductions are still offered");
+        assert!(
+            first_triangle < first_acyclic,
+            "triangle at {first_triangle}, first acyclic at {first_acyclic}"
+        );
+        assert!(reductions[..first_acyclic].iter().all(|q| q.is_cyclic()));
     }
 }

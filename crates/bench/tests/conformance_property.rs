@@ -8,11 +8,17 @@
 //! outer joins, the one-row global aggregate over an empty match,
 //! `UNWIND` of NULL elements and empty lists, and `LIMIT 0`.
 
+use std::collections::HashMap;
+
 use gradoop_bench::fuzz::{
-    run_case, run_conformance, AggSpec, CaseOutcome, CaseSpec, Dir, EdgeSpec, FuzzConfig,
-    GraphSpec, LitSpec, NodePat, QuerySpec, TailSpec, VertexSpec, MORPHISMS,
+    random_cyclic_query, random_graph, run_case, run_conformance, AggSpec, CaseOutcome, CaseSpec,
+    Dir, EdgePat, EdgeSpec, FuzzConfig, GraphSpec, LitSpec, NodePat, QuerySpec, Rng, TailSpec,
+    VertexSpec, MORPHISMS,
 };
-use gradoop_epgm::PropertyValue;
+use gradoop_core::{plan_query_with_mode, CypherEngine, Estimator, PlanMode};
+use gradoop_cypher::{parse, QueryGraph};
+use gradoop_dataflow::ExecutionEnvironment;
+use gradoop_epgm::{GraphStatistics, PropertyValue};
 
 fn vertex(id: u64, label: &str, p: i32) -> VertexSpec {
     VertexSpec {
@@ -98,6 +104,170 @@ fn pinned_campaign_covers_every_clause_and_stays_clean() {
     ] {
         assert!(count > 0, "{name} never generated:\n{}", report.summary());
     }
+    // The cyclic productions must make up a healthy share of the campaign
+    // (~30% of draws divert to them) so every campaign pits the
+    // worst-case-optimal plan against binary joins and the reference.
+    assert!(
+        f.cyclic >= report.cases / 10,
+        "only {} of {} cases cyclic:\n{}",
+        f.cyclic,
+        report.cases,
+        report.summary()
+    );
+}
+
+/// `MATCH (n0:A)-[e0:x]->(n1:A), (n1)-[e1:x]->(n2:A), (n2)-[e2:x]->(n0)`
+/// as a structured spec.
+fn triangle_query() -> QuerySpec {
+    QuerySpec {
+        nodes: (0..3)
+            .map(|i| NodePat {
+                variable: Some(format!("n{i}")),
+                labels: vec!["A".to_string()],
+                props: Vec::new(),
+            })
+            .collect(),
+        edges: [(0usize, 1usize), (1, 2), (2, 0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(from, to))| EdgePat {
+                variable: Some(format!("e{i}")),
+                from,
+                to,
+                direction: Dir::Out,
+                labels: vec!["x".to_string()],
+                range: None,
+                props: Vec::new(),
+            })
+            .collect(),
+        where_tree: None,
+        tail: None,
+    }
+}
+
+/// A directed triangle 1 → 2 → 3 → 1 plus a distractor spoke 1 → 4.
+fn triangle_graph() -> GraphSpec {
+    GraphSpec {
+        vertices: vec![
+            vertex(1, "A", 10),
+            vertex(2, "A", 20),
+            vertex(3, "A", 30),
+            vertex(4, "B", 40),
+        ],
+        edges: vec![
+            edge(1000, "x", 1, 2),
+            edge(1001, "x", 2, 3),
+            edge(1002, "x", 3, 1),
+            edge(1003, "x", 1, 4),
+        ],
+    }
+}
+
+#[test]
+fn pinned_triangle_agrees_across_modes_morphisms_and_workers() {
+    // run_case sweeps CostBased, ForceBinary and ForceWco on every matrix
+    // point for cyclic tail-free cases — 8 configs × 3 modes = 24
+    // executions, each compared row-for-row against the reference.
+    for matching in MORPHISMS {
+        for workers in 1..=3 {
+            for indexed in [false, true] {
+                let case = CaseSpec {
+                    graph: triangle_graph(),
+                    query: triangle_query(),
+                    matching,
+                    indexed,
+                    workers,
+                };
+                match run_case(&case) {
+                    CaseOutcome::Passed {
+                        executions,
+                        reference_matches,
+                    } => {
+                        assert_eq!(
+                            executions, 24,
+                            "cyclic sweep must cover 8 configs × 3 modes"
+                        );
+                        assert_eq!(reference_matches, 3, "three rotations of the triangle");
+                    }
+                    other => panic!("{}: {other:?}", case.query.render()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pinned_seed_cyclic_cases_agree_across_all_plan_modes() {
+    // Dedicated cyclic sweep at a pinned seed: random graphs against
+    // random cycle-closing patterns (triangles, diamonds, 4-cliques,
+    // undirected cycles), each run under all three planner modes on the
+    // full engine matrix. Tails are stripped — the forced-mode sweep only
+    // applies to the single-MATCH route.
+    let mut rng = Rng::new(0xC0FFEE);
+    let mut swept = 0usize;
+    let mut attempts = 0usize;
+    while swept < 12 {
+        attempts += 1;
+        assert!(attempts < 100, "generator kept producing rejected cases");
+        let graph = random_graph(&mut rng);
+        let mut query = random_cyclic_query(&mut rng);
+        query.tail = None;
+        let case = CaseSpec {
+            graph,
+            query,
+            matching: MORPHISMS[swept % MORPHISMS.len()],
+            indexed: swept.is_multiple_of(2),
+            workers: 1 + swept % 3,
+        };
+        match run_case(&case) {
+            CaseOutcome::Passed { executions, .. } => {
+                assert_eq!(executions, 24, "{}", case.query.render());
+                swept += 1;
+            }
+            CaseOutcome::Rejected { .. } => continue,
+            CaseOutcome::Mismatch(mismatch) => panic!(
+                "{} [{}]: engine {:?} vs reference {:?}",
+                mismatch.query_text,
+                mismatch.config.label(),
+                mismatch.engine,
+                mismatch.reference
+            ),
+        }
+    }
+}
+
+#[test]
+fn forced_wco_plans_the_intersect_and_forced_binary_never_does() {
+    let env = ExecutionEnvironment::with_workers(2);
+    let graph = triangle_graph().build(&env);
+    let stats = GraphStatistics::of(&graph);
+    let query_text = triangle_query().render();
+    let query = QueryGraph::from_query(&parse(&query_text).unwrap()).unwrap();
+
+    let wco = plan_query_with_mode(&query, &Estimator::new(&stats), PlanMode::ForceWco).unwrap();
+    assert!(
+        wco.describe(&query).contains("wco intersect"),
+        "forced-WCO triangle plan has no intersect:\n{}",
+        wco.describe(&query)
+    );
+    let binary =
+        plan_query_with_mode(&query, &Estimator::new(&stats), PlanMode::ForceBinary).unwrap();
+    assert!(
+        !binary.describe(&query).contains("wco intersect"),
+        "forced-binary plan contains an intersect:\n{}",
+        binary.describe(&query)
+    );
+
+    // And the WCO execution reports its intersection work through PROFILE.
+    let engine = CypherEngine::with_statistics(stats).with_plan_mode(PlanMode::ForceWco);
+    let profile = engine
+        .profile(&graph, &query_text, &HashMap::new(), MORPHISMS[3])
+        .unwrap();
+    let text = profile.to_text();
+    assert!(
+        text.contains("wco: intersected="),
+        "PROFILE missing intersection counters:\n{text}"
+    );
 }
 
 #[test]
@@ -181,7 +351,11 @@ fn unwind_keeps_null_elements_and_empty_lists_produce_no_rows() {
     let case = single_node_case(
         "A",
         TailSpec::Unwind {
-            items: vec![LitSpec::Int(1), LitSpec::Null, LitSpec::Str("a".to_string())],
+            items: vec![
+                LitSpec::Int(1),
+                LitSpec::Null,
+                LitSpec::Str("a".to_string()),
+            ],
         },
     );
     assert_passes(&case, 6); // 2 anchors × 3 list elements

@@ -17,7 +17,7 @@ use crate::pipeline::{
     check_open_range_caps, execute_pipeline, plan_match_stage, probe_open_ranges,
     table_from_query_result, TableResult,
 };
-use crate::planner::{plan_query, Estimator, PlanError, QueryPlan};
+use crate::planner::{plan_query_with_mode, Estimator, PlanError, PlanMode, QueryPlan};
 use crate::querylog::{
     global_query_log, normalize_query_shape, record_from_profile, stable_digest, OperatorLogEntry,
     QueryLogRecord, QueryLogSink, QueryOutcome, TeeSink,
@@ -85,6 +85,7 @@ impl From<ExecutionFailure> for CypherError {
 pub struct CypherEngine {
     statistics: GraphStatistics,
     query_log: Arc<dyn QueryLogSink>,
+    plan_mode: PlanMode,
 }
 
 impl std::fmt::Debug for CypherEngine {
@@ -101,7 +102,17 @@ impl CypherEngine {
         CypherEngine {
             statistics,
             query_log: global_query_log(),
+            plan_mode: PlanMode::CostBased,
         }
+    }
+
+    /// Overrides how the planner treats worst-case-optimal intersection
+    /// candidates for cyclic patterns: cost-based (default), never
+    /// (`ForceBinary`) or whenever eligible (`ForceWco`). Used by the
+    /// conformance harness to sweep all strategies over the same queries.
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
+        self
     }
 
     /// Replaces the query log sink (the process-wide in-memory log by
@@ -130,7 +141,7 @@ impl CypherEngine {
     ) -> Result<(QueryGraph, QueryPlan), CypherError> {
         let ast = parse(query_text)?;
         let query = QueryGraph::from_query_with_params(&ast, params)?;
-        let plan = plan_query(&query, &Estimator::new(&self.statistics))?;
+        let plan = plan_query_with_mode(&query, &Estimator::new(&self.statistics), self.plan_mode)?;
         Ok((query, plan))
     }
 
@@ -431,9 +442,14 @@ impl CypherEngine {
             recovery_seconds: stages.iter().map(|s| s.recovery_seconds).sum(),
             checkpoint_bytes: stages.iter().map(|s| s.checkpoint_bytes).sum(),
             restored_bytes: stages.iter().map(|s| s.restored_bytes).sum(),
-            peak_memory_bytes: stages.iter().map(|s| s.peak_memory_bytes).max().unwrap_or(0),
+            peak_memory_bytes: stages
+                .iter()
+                .map(|s| s.peak_memory_bytes)
+                .max()
+                .unwrap_or(0),
             scratch_allocations: stages.iter().map(|s| s.scratch_allocations).sum(),
             iterations: vec![],
+            rows_intersected: 0,
             children: stages.iter().map(profile_stage_node).collect(),
         };
         let profile = Profile {
@@ -651,6 +667,7 @@ fn profile_stage_node(report: &StageReport) -> ProfileNode {
         peak_memory_bytes: report.peak_memory_bytes,
         scratch_allocations: report.scratch_allocations,
         iterations: vec![],
+        rows_intersected: 0,
         children: vec![],
     }
 }

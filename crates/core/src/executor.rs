@@ -18,7 +18,7 @@ use crate::observe::{
     q_error, ship_strategies, ExpandIteration, ExplainNode, ProfileNode, ShipStrategy,
 };
 use crate::operators::{
-    cartesian_embeddings, edge_triples, embedding_join_key, expand_embeddings,
+    cartesian_embeddings, edge_triples, embedding_join_key, expand_embeddings, expand_intersect,
     filter_and_project_edges, filter_and_project_vertices, filter_embeddings, join_embeddings,
     join_embeddings_filtered, value_join_embeddings, EmbeddingSet, ExpandConfig,
 };
@@ -73,6 +73,14 @@ pub fn execute_plan<S: GraphSource + ?Sized>(
                 matching: *matching,
             };
             expand_embeddings(&input_set, &candidates, &config)
+        }
+        PlanNode::ExpandIntersect {
+            input,
+            vertex,
+            edges,
+        } => {
+            let input_set = execute_plan(input, query, source, matching);
+            expand_intersect(&input_set, query, source, *vertex, edges, matching)
         }
         PlanNode::Filter { input, clauses } => {
             let clause_list: Vec<_> = clauses
@@ -260,7 +268,9 @@ fn profile_node<S: GraphSource + ?Sized>(
         PlanNode::Join { left, right, .. }
         | PlanNode::Cartesian { left, right }
         | PlanNode::ValueJoin { left, right, .. } => vec![left, right],
-        PlanNode::Expand { input, .. } | PlanNode::Filter { input, .. } => vec![input],
+        PlanNode::Expand { input, .. }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::ExpandIntersect { input, .. } => vec![input],
         PlanNode::ScanVertices { .. } | PlanNode::ScanEdges { .. } => Vec::new(),
     };
     let mut child_sets = Vec::new();
@@ -323,6 +333,9 @@ fn profile_node<S: GraphSource + ?Sized>(
             };
             expand_embeddings(&child_sets[0], &candidates, &config)
         }
+        PlanNode::ExpandIntersect { vertex, edges, .. } => {
+            expand_intersect(&child_sets[0], query, source, *vertex, edges, matching)
+        }
         PlanNode::Filter { clauses, .. } => {
             let clause_list: Vec<_> = clauses
                 .iter()
@@ -370,6 +383,12 @@ fn profile_node<S: GraphSource + ?Sized>(
                 as u64,
         })
         .collect();
+    let rows_intersected: u64 = drained
+        .spans
+        .iter()
+        .filter(|span| span.name == "expand_intersect/intersect")
+        .map(|span| span.counter("rows_intersected").unwrap_or(0.0) as u64)
+        .sum();
     let rows_out = result.data.len_untracked() as u64;
     let embedding_bytes: u64 = result
         .data
@@ -411,6 +430,7 @@ fn profile_node<S: GraphSource + ?Sized>(
             .unwrap_or(0),
         scratch_allocations: drained.stages.iter().map(|s| s.scratch_allocations).sum(),
         iterations,
+        rows_intersected,
         children,
     };
     (result, profile)

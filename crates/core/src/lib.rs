@@ -66,7 +66,9 @@ pub use observe::{
     PlannerTrace, Profile, ProfileNode, ShipStrategy,
 };
 pub use pipeline::{check_open_range_caps, execute_pipeline, probe_open_ranges, TableResult};
-pub use planner::{plan_query, Estimator, PlanError, PlanNode, QueryPlan};
+pub use planner::{
+    plan_query, plan_query_with_mode, Estimator, PlanError, PlanMode, PlanNode, QueryPlan,
+};
 pub use querylog::{
     global_query_log, normalize_query_shape, stable_digest, JsonlQueryLog, MemoryQueryLog,
     OperatorLogEntry, QueryLogRecord, QueryLogSink, QueryOutcome, TeeSink,

@@ -434,6 +434,10 @@ pub struct ProfileNode {
     pub scratch_allocations: u64,
     /// Per-iteration counters (variable-length expansion only).
     pub iterations: Vec<ExpandIteration>,
+    /// Adjacency candidate-list entries fetched by worst-case-optimal
+    /// intersection (`ExpandIntersect` only) — the rows a binary plan would
+    /// have materialized as open-path intermediates.
+    pub rows_intersected: u64,
     /// Profiled inputs.
     pub children: Vec<ProfileNode>,
 }
@@ -477,6 +481,9 @@ impl ProfileNode {
                 "  mem_peak={}B allocs={}",
                 self.peak_memory_bytes, self.scratch_allocations
             ));
+        }
+        if self.rows_intersected > 0 {
+            out.push_str(&format!("  wco: intersected={}", self.rows_intersected));
         }
         if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
             out.push_str(&format!(
@@ -570,6 +577,12 @@ impl ProfileNode {
             pairs.push((
                 "restored_bytes",
                 JsonValue::Number(self.restored_bytes as f64),
+            ));
+        }
+        if self.rows_intersected > 0 {
+            pairs.push((
+                "rows_intersected",
+                JsonValue::Number(self.rows_intersected as f64),
             ));
         }
         if !self.iterations.is_empty() {
@@ -790,6 +803,7 @@ mod tests {
             peak_memory_bytes: 0,
             scratch_allocations: 0,
             iterations: vec![],
+            rows_intersected: 0,
             children: vec![],
         };
         let expand = ProfileNode {
@@ -830,6 +844,7 @@ mod tests {
                     candidate_shuffled_bytes: 0,
                 },
             ],
+            rows_intersected: 0,
             children: vec![scan],
         };
         Profile {

@@ -19,6 +19,7 @@
 
 mod cartesian;
 mod expand_embeddings;
+mod expand_intersect;
 mod filter_embeddings;
 mod filter_project_edges;
 mod filter_project_vertices;
@@ -28,6 +29,7 @@ mod value_join;
 
 pub use cartesian::cartesian_embeddings;
 pub use expand_embeddings::{expand_embeddings, EdgeTriple, ExpandConfig};
+pub use expand_intersect::expand_intersect;
 pub use filter_embeddings::filter_embeddings;
 pub use filter_project_edges::{edge_triples, filter_and_project_edges};
 pub use filter_project_vertices::filter_and_project_vertices;

@@ -108,7 +108,7 @@ pub fn check_open_range_caps(
         };
         for embedding in set.data.partitions().iter().flatten() {
             let hops = match embedding.entry(column) {
-                Entry::Path(via) => (via.len() + 1) / 2,
+                Entry::Path(via) => via.len().div_ceil(2),
                 Entry::Id(_) => 1,
             };
             if hops > *cap {
@@ -659,11 +659,7 @@ pub(crate) fn table_from_query_result(result: &QueryResult) -> Result<TableResul
                 let index = result.meta.property_index(variable, key).ok_or_else(|| {
                     unbound(format!("returned property `{variable}.{key}` unbound"))
                 })?;
-                columns.push(
-                    alias
-                        .clone()
-                        .unwrap_or_else(|| format!("{variable}.{key}")),
-                );
+                columns.push(alias.clone().unwrap_or_else(|| format!("{variable}.{key}")));
                 sources.push(Source::Property(index));
             }
             ReturnItem::All | ReturnItem::CountStar => unreachable!("expanded above"),

@@ -18,6 +18,24 @@ use crate::observe::{ship_strategies, ExplainNode, PlannerCandidate, PlannerRoun
 use crate::planner::estimation::Estimator;
 use crate::planner::plan::{node_label, PlanNode, QueryPlan};
 
+/// Which physical alternatives the planner may choose from. Forced modes
+/// exist for the conformance harness (and ablation benchmarks): the same
+/// query planned under [`PlanMode::ForceWco`] and [`PlanMode::ForceBinary`]
+/// must produce byte-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Cost-based: binary joins and WCO intersections compete on estimated
+    /// cardinality (the default).
+    #[default]
+    CostBased,
+    /// Never emit [`PlanNode::ExpandIntersect`] — the pre-WCO planner.
+    ForceBinary,
+    /// Prefer WCO: whenever a round offers any intersection candidate, the
+    /// choice is restricted to intersections. Acyclic (sub)queries still
+    /// plan with binary joins — there is nothing to intersect.
+    ForceWco,
+}
+
 /// Planning failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanError(pub String);
@@ -64,8 +82,29 @@ fn explain_for(
     ExplainNode::inner(node_label(node, query), cardinality, children)
 }
 
-/// Plans `query` over a graph described by `estimator`'s statistics.
+/// One alternative evaluated in a greedy round: the partials it would
+/// consume, the merged partial it would produce, and the query edges it
+/// covers (one for binary joins/expansions, ≥ 2 for WCO intersections).
+struct Candidate {
+    consumed: Vec<usize>,
+    partial: Partial,
+    covered_edges: Vec<usize>,
+    label: String,
+    wco: bool,
+}
+
+/// Plans `query` over a graph described by `estimator`'s statistics, with
+/// binary joins and WCO intersections competing cost-based.
 pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan, PlanError> {
+    plan_query_with_mode(query, estimator, PlanMode::CostBased)
+}
+
+/// Plans `query` under an explicit [`PlanMode`].
+pub fn plan_query_with_mode(
+    query: &QueryGraph,
+    estimator: &Estimator,
+    mode: PlanMode,
+) -> Result<QueryPlan, PlanError> {
     if query.vertices.is_empty() {
         return Err(PlanError("query graph has no vertices".into()));
     }
@@ -110,34 +149,54 @@ pub fn plan_query(query: &QueryGraph, estimator: &Estimator) -> Result<QueryPlan
     let mut planner = PlannerTrace::default();
 
     while !remaining_edges.is_empty() {
-        // Evaluate every uncovered edge and keep the cheapest alternative.
-        let mut best: Option<(usize, Partial, Vec<usize>)> = None;
-        let mut candidates = Vec::new();
+        // Evaluate every uncovered edge — plus every WCO intersection that
+        // could bind a new vertex through ≥ 2 uncovered edges — and keep
+        // the cheapest alternative.
+        let mut alternatives: Vec<Candidate> = Vec::new();
         for &edge_index in &remaining_edges {
-            let candidate = build_candidate(query, estimator, &partials, edge_index)?;
-            candidates.push(PlannerCandidate {
-                edge_variable: query.edges[edge_index].variable.clone(),
-                estimated_cardinality: candidate.1.cardinality,
+            let (consumed, partial) = build_candidate(query, estimator, &partials, edge_index)?;
+            alternatives.push(Candidate {
+                consumed,
+                label: query.edges[edge_index].variable.clone(),
+                covered_edges: vec![edge_index],
+                wco: false,
+                partial,
             });
-            if best
-                .as_ref()
-                .map(|(_, b, _)| candidate.1.cardinality < b.cardinality)
-                .unwrap_or(true)
-            {
-                best = Some((edge_index, candidate.1, candidate.0));
-            }
         }
-        let (edge_index, mut merged, consumed) =
-            best.ok_or_else(|| PlanError("no joinable edge found".into()))?;
+        if mode != PlanMode::ForceBinary {
+            build_wco_candidates(
+                query,
+                estimator,
+                &partials,
+                &remaining_edges,
+                &mut alternatives,
+            );
+        }
+        let candidates: Vec<PlannerCandidate> = alternatives
+            .iter()
+            .map(|c| PlannerCandidate {
+                edge_variable: c.label.clone(),
+                estimated_cardinality: c.partial.cardinality,
+            })
+            .collect();
+        let restrict_to_wco = mode == PlanMode::ForceWco && alternatives.iter().any(|c| c.wco);
+        let best = alternatives
+            .into_iter()
+            .filter(|c| !restrict_to_wco || c.wco)
+            .min_by(|a, b| a.partial.cardinality.total_cmp(&b.partial.cardinality))
+            .ok_or_else(|| PlanError("no joinable edge found".into()))?;
+        let mut merged = best.partial;
         planner.rounds.push(PlannerRound {
             candidates,
-            chosen_edge: query.edges[edge_index].variable.clone(),
+            chosen_edge: best.label,
             chosen_cardinality: merged.cardinality,
         });
-        remaining_edges.remove(&edge_index);
+        for edge_index in &best.covered_edges {
+            remaining_edges.remove(edge_index);
+        }
 
         // Replace the consumed partials (descending index order).
-        let mut consumed = consumed;
+        let mut consumed = best.consumed;
         consumed.sort_unstable_by(|a, b| b.cmp(a));
         for index in consumed {
             partials.remove(index);
@@ -289,6 +348,155 @@ fn build_candidate(
             source_partial,
             target_partial,
         )
+    }
+}
+
+/// Expected candidate neighbors per bound endpoint of a closing edge,
+/// oriented by which endpoint the intersection probes from. Undirected
+/// edges combine both orientations (their cardinality and distinct-source
+/// estimates already count both).
+fn oriented_fanout(query: &QueryGraph, estimator: &Estimator, edge_index: usize, w: usize) -> f64 {
+    let edge = &query.edges[edge_index];
+    let cardinality = estimator.edge_cardinality(query, edge_index);
+    let bound_sources = edge.undirected || edge.target == w;
+    let denominator = if bound_sources {
+        estimator.edge_distinct_sources(query, edge_index)
+    } else {
+        estimator.edge_distinct_targets(query, edge_index)
+    };
+    cardinality / denominator.max(1.0)
+}
+
+/// Enumerates worst-case-optimal intersection candidates: for each partial
+/// `p` and each vertex `w` not bound by `p` that is reachable through ≥ 2
+/// uncovered plain edges whose other endpoints `p` binds, an
+/// [`PlanNode::ExpandIntersect`] closing all those edges at once.
+///
+/// Eligibility mirrors what the operator can execute: plain edges only (no
+/// variable length), no self-loops on `w`, and neither `w` nor the closing
+/// edges may require projected properties — the intersection emits bare
+/// ids. `w`'s own labels and predicates are enforced by the operator, so a
+/// leaf scan partial for `w` is consumed without embedding its node.
+fn build_wco_candidates(
+    query: &QueryGraph,
+    estimator: &Estimator,
+    partials: &[Partial],
+    remaining_edges: &BTreeSet<usize>,
+    out: &mut Vec<Candidate>,
+) {
+    let vertex_count = (estimator.stats().vertex_count as f64).max(1.0);
+    for (p_index, partial) in partials.iter().enumerate() {
+        // Group eligible closing edges by the new vertex they would bind.
+        let mut by_vertex: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &edge_index in remaining_edges {
+            let edge = &query.edges[edge_index];
+            if edge.range.is_some() || !edge.required_keys.is_empty() || edge.source == edge.target
+            {
+                continue;
+            }
+            let source_bound = partial
+                .variables
+                .contains(&query.vertices[edge.source].variable);
+            let target_bound = partial
+                .variables
+                .contains(&query.vertices[edge.target].variable);
+            let w = match (source_bound, target_bound) {
+                (true, false) => edge.target,
+                (false, true) => edge.source,
+                _ => continue,
+            };
+            if !query.vertices[w].required_keys.is_empty() {
+                continue;
+            }
+            by_vertex.entry(w).or_default().push(edge_index);
+        }
+        let mut closures: Vec<(usize, Vec<usize>)> = by_vertex.into_iter().collect();
+        closures.sort_unstable();
+        for (w, edges) in closures {
+            if edges.len() < 2 {
+                continue;
+            }
+            let w_variable = &query.vertices[w].variable;
+            // `w` may exist as its own leaf scan partial (labels/predicates
+            // but no covered edges): consume it, the operator re-applies
+            // its constraints. Any other partial binding `w` blocks WCO.
+            let mut consumed = vec![p_index];
+            let mut blocked = false;
+            for (i, other) in partials.iter().enumerate() {
+                if i == p_index || !other.variables.contains(w_variable) {
+                    continue;
+                }
+                if other.edges.is_empty() && other.variables.len() == 1 {
+                    consumed.push(i);
+                } else {
+                    blocked = true;
+                }
+            }
+            if blocked {
+                continue;
+            }
+
+            // Each closing edge offers `fanout` candidates per probe row;
+            // a neighbor survives every further intersection with
+            // probability `fanout_i / |V|`, and must satisfy `w`'s own
+            // labels/predicates on top.
+            let w_cardinality = estimator.vertex_cardinality(query, w);
+            let mut per_row = w_cardinality / vertex_count;
+            for &edge_index in &edges {
+                per_row *= oriented_fanout(query, estimator, edge_index, w);
+            }
+            per_row /= vertex_count.powi(edges.len() as i32 - 1);
+            let cardinality = partial.cardinality * per_row;
+
+            let mut variables = partial.variables.clone();
+            variables.insert(w_variable.clone());
+            let mut distinct = partial.distinct.clone();
+            distinct.insert(w_variable.clone(), vertex_count.min(cardinality.max(1.0)));
+            for &edge_index in &edges {
+                variables.insert(query.edges[edge_index].variable.clone());
+                distinct.insert(
+                    query.edges[edge_index].variable.clone(),
+                    cardinality.max(1.0),
+                );
+            }
+            let node = PlanNode::ExpandIntersect {
+                input: Box::new(partial.node.clone()),
+                vertex: w,
+                edges: edges.clone(),
+            };
+            let explain = explain_for(query, &node, cardinality, vec![partial.explain.clone()]);
+            let label = edges
+                .iter()
+                .map(|&e| query.edges[e].variable.as_str())
+                .collect::<Vec<_>>()
+                .join("∩");
+            out.push(Candidate {
+                consumed,
+                partial: Partial {
+                    node,
+                    vertices: {
+                        let mut v = partial.vertices.clone();
+                        v.insert(w);
+                        v
+                    },
+                    edges: {
+                        let mut e = partial.edges.clone();
+                        e.extend(edges.iter().copied());
+                        e
+                    },
+                    variables,
+                    cardinality,
+                    distinct,
+                    // The probe extends rows in place; the input's placement
+                    // survives but no named partitioning fact describes it.
+                    partitioned_by: None,
+                    explain,
+                },
+                covered_edges: edges,
+                label,
+                wco: true,
+            });
+        }
     }
 }
 
@@ -691,16 +899,21 @@ mod tests {
     }
 
     fn plan(text: &str) -> (QueryGraph, QueryPlan) {
+        plan_with_mode(text, PlanMode::CostBased)
+    }
+
+    fn plan_with_mode(text: &str, mode: PlanMode) -> (QueryGraph, QueryPlan) {
         let query = QueryGraph::from_query(&parse(text).unwrap()).unwrap();
         let stats = stats();
         let estimator = Estimator::new(&stats);
-        let plan = plan_query(&query, &estimator).expect("plan");
+        let plan = plan_query_with_mode(&query, &estimator, mode).expect("plan");
         (query, plan)
     }
 
     fn collect_edges(node: &PlanNode, out: &mut Vec<usize>) {
         match node {
             PlanNode::ScanEdges { edge } | PlanNode::Expand { edge, .. } => out.push(*edge),
+            PlanNode::ExpandIntersect { edges, .. } => out.extend(edges.iter().copied()),
             PlanNode::Join { left, right, .. }
             | PlanNode::Cartesian { left, right }
             | PlanNode::ValueJoin { left, right, .. } => {
@@ -710,7 +923,7 @@ mod tests {
             PlanNode::Filter { input, .. } => collect_edges(input, out),
             PlanNode::ScanVertices { .. } => {}
         }
-        if let PlanNode::Expand { input, .. } = node {
+        if let PlanNode::Expand { input, .. } | PlanNode::ExpandIntersect { input, .. } = node {
             collect_edges(input, out);
         }
     }
@@ -744,23 +957,101 @@ mod tests {
         assert!(text.contains("ScanVertices(u:University)"));
     }
 
+    const TRIANGLE: &str = "MATCH (p1:Person)-[:knows]->(p2:Person), \
+                                  (p2)-[:knows]->(p3:Person), \
+                                  (p1)-[:knows]->(p3) RETURN *";
+
     #[test]
     fn triangle_query_plans_all_three_edges() {
-        let (query, plan) = plan(
-            "MATCH (p1:Person)-[:knows]->(p2:Person), \
-                   (p2)-[:knows]->(p3:Person), \
-                   (p1)-[:knows]->(p3) RETURN *",
-        );
+        let (query, plan) = plan(TRIANGLE);
         let mut edges = Vec::new();
         collect_edges(&plan.root, &mut edges);
-        assert_eq!(edges.len(), 3);
-        // The last edge closes the triangle: its join binds two variables.
+        edges.sort_unstable();
+        assert_eq!(edges, vec![0, 1, 2]);
+        // Cost-based planning closes the triangle with a WCO intersection:
+        // per open (p1, p2) pair the estimate is knows-fanout² / |V| · the
+        // Person selectivity of p3 (≈ 0.02 rows) versus the thousands of
+        // open 2-paths the binary closing join would materialize.
         let text = plan.describe(&query);
+        assert!(text.contains("wco intersect p3"), "{text}");
+        assert!(!text.contains("JoinEmbeddings(on p1, p3)"), "{text}");
+    }
+
+    #[test]
+    fn forced_binary_triangle_closes_with_a_two_variable_join() {
+        let (query, plan) = plan_with_mode(TRIANGLE, PlanMode::ForceBinary);
+        let mut edges = Vec::new();
+        collect_edges(&plan.root, &mut edges);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![0, 1, 2]);
+        let text = plan.describe(&query);
+        assert!(!text.contains("wco intersect"), "{text}");
         assert!(
             text.contains("JoinEmbeddings(on p1, p3)")
                 || text.contains("JoinEmbeddings(on p3, p1)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn wco_estimate_beats_binary_on_the_triangle() {
+        let (_, wco) = plan_with_mode(TRIANGLE, PlanMode::ForceWco);
+        let (_, binary) = plan_with_mode(TRIANGLE, PlanMode::ForceBinary);
+        assert!(
+            wco.estimated_cardinality < binary.estimated_cardinality,
+            "wco {} vs binary {}",
+            wco.estimated_cardinality,
+            binary.estimated_cardinality
+        );
+    }
+
+    #[test]
+    fn four_clique_intersects_three_edges_at_once() {
+        let (query, plan) = plan_with_mode(
+            "MATCH (a:Person)-[:knows]->(b:Person), (a)-[:knows]->(c:Person), \
+                   (a)-[:knows]->(d:Person), (b)-[:knows]->(c), \
+                   (b)-[:knows]->(d), (c)-[:knows]->(d) RETURN *",
+            PlanMode::ForceWco,
+        );
+        let mut edges = Vec::new();
+        collect_edges(&plan.root, &mut edges);
+        edges.sort_unstable();
+        assert_eq!(edges, (0..6).collect::<Vec<_>>());
+        let text = plan.describe(&query);
+        // The last vertex is bound by intersecting all three of its edges.
+        assert!(
+            text.lines()
+                .any(|l| l.contains("wco intersect") && l.matches('∩').count() == 2),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn forced_wco_falls_back_to_binary_on_acyclic_queries() {
+        let (query, plan) = plan_with_mode(
+            "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN *",
+            PlanMode::ForceWco,
+        );
+        let text = plan.describe(&query);
+        assert!(!text.contains("wco intersect"), "{text}");
+        let mut edges = Vec::new();
+        collect_edges(&plan.root, &mut edges);
+        assert_eq!(edges, vec![0]);
+    }
+
+    #[test]
+    fn undirected_cycle_is_wco_eligible() {
+        let (query, plan) = plan_with_mode(
+            "MATCH (a:Person)-[:knows]-(b:Person), (b)-[:knows]-(c:Person), \
+                   (a)-[:knows]-(c) RETURN *",
+            PlanMode::ForceWco,
+        );
+        let text = plan.describe(&query);
+        assert!(text.contains("wco intersect"), "{text}");
+        let mut edges = Vec::new();
+        collect_edges(&plan.root, &mut edges);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![0, 1, 2]);
     }
 
     #[test]

@@ -12,5 +12,5 @@ mod greedy;
 mod plan;
 
 pub use estimation::Estimator;
-pub use greedy::{plan_query, PlanError};
+pub use greedy::{plan_query, plan_query_with_mode, PlanError, PlanMode};
 pub use plan::{PlanNode, QueryPlan};

@@ -34,6 +34,19 @@ pub enum PlanNode {
         /// Query edge index (must be variable-length).
         edge: usize,
     },
+    /// `ExpandIntersect`: worst-case-optimal closure of a cycle. Binds one
+    /// new vertex by intersecting the sorted adjacency lists of every
+    /// already-bound endpoint of the closing edges — the intermediate a
+    /// binary join would materialize for the open path never exists.
+    ExpandIntersect {
+        /// Input providing the bound endpoints.
+        input: Box<PlanNode>,
+        /// Query vertex index bound by the intersection.
+        vertex: usize,
+        /// Closing query edge indices (≥ 2), all incident to `vertex` with
+        /// their other endpoint bound by `input`.
+        edges: Vec<usize>,
+    },
     /// `FilterEmbeddings` applying cross-variable clauses.
     Filter {
         /// Input.
@@ -124,6 +137,18 @@ pub(crate) fn node_label(node: &PlanNode, query: &QueryGraph) -> String {
             let (lower, upper) = e.range.unwrap_or((1, 1));
             format!("ExpandEmbeddings({} *{}..{})", e.variable, lower, upper)
         }
+        PlanNode::ExpandIntersect { vertex, edges, .. } => {
+            let v = &query.vertices[*vertex];
+            let edge_vars: Vec<&str> = edges
+                .iter()
+                .map(|&e| query.edges[e].variable.as_str())
+                .collect();
+            format!(
+                "ExpandIntersect(wco intersect {} = {})",
+                v.variable,
+                edge_vars.join("∩")
+            )
+        }
         PlanNode::Filter { clauses, .. } => {
             let texts: Vec<String> = clauses
                 .iter()
@@ -153,7 +178,9 @@ fn describe_node(node: &PlanNode, query: &QueryGraph, depth: usize, out: &mut St
             describe_node(left, query, depth + 1, out);
             describe_node(right, query, depth + 1, out);
         }
-        PlanNode::Expand { input, .. } | PlanNode::Filter { input, .. } => {
+        PlanNode::Expand { input, .. }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::ExpandIntersect { input, .. } => {
             describe_node(input, query, depth + 1, out);
         }
         PlanNode::ScanVertices { .. } | PlanNode::ScanEdges { .. } => {}

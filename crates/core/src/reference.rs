@@ -488,10 +488,26 @@ pub fn reference_pipeline(
     for stage in &pipeline.stages {
         match stage {
             Stage::Match(stage) => {
-                apply_match(graph, &snapshot, &mut columns, &mut rows, stage, config, false)?;
+                apply_match(
+                    graph,
+                    &snapshot,
+                    &mut columns,
+                    &mut rows,
+                    stage,
+                    config,
+                    false,
+                )?;
             }
             Stage::OptionalMatch(stage) => {
-                apply_match(graph, &snapshot, &mut columns, &mut rows, stage, config, true)?;
+                apply_match(
+                    graph,
+                    &snapshot,
+                    &mut columns,
+                    &mut rows,
+                    stage,
+                    config,
+                    true,
+                )?;
             }
             Stage::With(projection) => {
                 apply_projection(&snapshot, &mut columns, &mut rows, projection)?;
@@ -627,10 +643,7 @@ fn apply_unwind(
     unwind: &UnwindStage,
 ) -> Result<(), String> {
     if columns.contains(&unwind.alias) {
-        return Err(format!(
-            "UNWIND alias `{}` is already bound",
-            unwind.alias
-        ));
+        return Err(format!("UNWIND alias `{}` is already bound", unwind.alias));
     }
     let mut out: Vec<Row> = Vec::new();
     for row in rows.iter() {
@@ -646,9 +659,7 @@ fn apply_unwind(
                     .map(|l| property_to_value(&l.to_property_value()))
                     .collect(),
             ),
-            UnwindSource::Variable(variable) => {
-                scope.get(variable).cloned().unwrap_or(Value::Null)
-            }
+            UnwindSource::Variable(variable) => scope.get(variable).cloned().unwrap_or(Value::Null),
             UnwindSource::Property { variable, key } => scope.property_value(variable, key),
         };
         match source {
@@ -675,9 +686,7 @@ fn apply_unwind(
 
 fn eval_projection_item(item: &ProjectionExpr, scope: &RowScope<'_>) -> Value {
     match item {
-        ProjectionExpr::Variable(variable) => {
-            scope.get(variable).cloned().unwrap_or(Value::Null)
-        }
+        ProjectionExpr::Variable(variable) => scope.get(variable).cloned().unwrap_or(Value::Null),
         ProjectionExpr::Property { variable, key } => scope.property_value(variable, key),
         ProjectionExpr::Aggregate(_) => unreachable!("aggregates are folded per group"),
     }
@@ -728,7 +737,11 @@ fn apply_projection(
             });
             group.1.push(row.clone());
         }
-        if groups.is_empty() && items.iter().all(|i| matches!(i.expr, ProjectionExpr::Aggregate(_))) {
+        if groups.is_empty()
+            && items
+                .iter()
+                .all(|i| matches!(i.expr, ProjectionExpr::Aggregate(_)))
+        {
             // A global aggregate over no rows still emits one row.
             order.push(String::new());
             groups.insert(String::new(), (Vec::new(), Vec::new()));
@@ -944,9 +957,7 @@ mod tests {
 
     #[test]
     fn with_aggregation_groups_by_nonaggregate_items() {
-        let table = pipeline(
-            "MATCH (a:Person)-[e:knows]->(b) WITH a, count(b) AS n RETURN a, n",
-        );
+        let table = pipeline("MATCH (a:Person)-[e:knows]->(b) WITH a, count(b) AS n RETURN a, n");
         assert_eq!(table.columns, vec!["a", "n"]);
         assert_eq!(
             sorted_rows(&table),
@@ -991,9 +1002,8 @@ mod tests {
 
     #[test]
     fn order_by_skip_limit_slices_deterministically() {
-        let table = pipeline(
-            "MATCH (a:Person) RETURN a.name AS name ORDER BY name DESC SKIP 1 LIMIT 1",
-        );
+        let table =
+            pipeline("MATCH (a:Person) RETURN a.name AS name ORDER BY name DESC SKIP 1 LIMIT 1");
         assert!(table.ordered);
         assert_eq!(table.rows, vec![vec![Value::Str("Bob".into())]]);
     }
@@ -1030,17 +1040,15 @@ mod tests {
 
     #[test]
     fn count_distinct_counts_unique_sources() {
-        let table = pipeline(
-            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(DISTINCT a) AS n",
-        );
+        let table =
+            pipeline("MATCH (a:Person)-[e:knows]->(b:Person) RETURN count(DISTINCT a) AS n");
         assert_eq!(table.rows, vec![vec![Value::Int(2)]]);
     }
 
     #[test]
     fn collect_folds_in_canonical_member_order() {
-        let table = pipeline(
-            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN collect(b.name) AS names",
-        );
+        let table =
+            pipeline("MATCH (a:Person)-[e:knows]->(b:Person) RETURN collect(b.name) AS names");
         // Members sort canonically by full input row before folding:
         // rows keyed by (a, e, b) → edges 10 (1→2), 11 (2→3), 12 (1→3).
         assert_eq!(

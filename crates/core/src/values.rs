@@ -436,7 +436,10 @@ pub fn compare_rows_by_keys(
             row: b,
             snapshot,
         };
-        let (va, vb) = (sort_value(&key.expr, &scope_a), sort_value(&key.expr, &scope_b));
+        let (va, vb) = (
+            sort_value(&key.expr, &scope_a),
+            sort_value(&key.expr, &scope_b),
+        );
         let ordering = cmp_values(&va, &vb);
         let ordering = if key.descending {
             ordering.reverse()
@@ -467,7 +470,10 @@ pub fn agg_arg_value(arg: &Option<AggArg>, scope: &RowScope<'_>) -> Value {
 /// NULL). `DISTINCT` dedups by canonical rendering, keeping first
 /// occurrences.
 pub fn fold_aggregate(func: AggFunc, distinct: bool, values: &[Value]) -> Value {
-    let non_null: Vec<&Value> = values.iter().filter(|v| !matches!(v, Value::Null)).collect();
+    let non_null: Vec<&Value> = values
+        .iter()
+        .filter(|v| !matches!(v, Value::Null))
+        .collect();
     let deduped: Vec<&Value> = if distinct {
         let mut seen = std::collections::HashSet::new();
         non_null
@@ -586,9 +592,15 @@ mod tests {
             }
         }
         // Numeric coercion: Int(2) == Float(2.0).
-        assert_eq!(cmp_values(&Value::Int(2), &Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(
+            cmp_values(&Value::Int(2), &Value::Float(2.0)),
+            Ordering::Equal
+        );
         // NULL sorts last.
-        assert_eq!(cmp_values(&Value::Null, &Value::Str("z".into())), Ordering::Greater);
+        assert_eq!(
+            cmp_values(&Value::Null, &Value::Str("z".into())),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -602,18 +614,30 @@ mod tests {
         ];
         assert_eq!(fold_aggregate(AggFunc::Count, false, &vals), Value::Int(4));
         assert_eq!(fold_aggregate(AggFunc::Count, true, &vals), Value::Int(3));
-        assert_eq!(fold_aggregate(AggFunc::Sum, false, &vals), Value::Float(7.5));
-        assert_eq!(fold_aggregate(AggFunc::Min, false, &vals), Value::Float(0.5));
+        assert_eq!(
+            fold_aggregate(AggFunc::Sum, false, &vals),
+            Value::Float(7.5)
+        );
+        assert_eq!(
+            fold_aggregate(AggFunc::Min, false, &vals),
+            Value::Float(0.5)
+        );
         assert_eq!(fold_aggregate(AggFunc::Max, false, &vals), Value::Int(3));
         assert_eq!(
             fold_aggregate(AggFunc::Collect, true, &vals),
             Value::List(vec![Value::Int(3), Value::Int(1), Value::Float(0.5)])
         );
-        assert_eq!(fold_aggregate(AggFunc::Avg, false, &vals), Value::Float(7.5 / 4.0));
+        assert_eq!(
+            fold_aggregate(AggFunc::Avg, false, &vals),
+            Value::Float(7.5 / 4.0)
+        );
         // Empty input: count 0, sum 0, collect [], min/max/avg NULL.
         assert_eq!(fold_aggregate(AggFunc::Count, false, &[]), Value::Int(0));
         assert_eq!(fold_aggregate(AggFunc::Sum, false, &[]), Value::Int(0));
-        assert_eq!(fold_aggregate(AggFunc::Collect, false, &[]), Value::List(vec![]));
+        assert_eq!(
+            fold_aggregate(AggFunc::Collect, false, &[]),
+            Value::List(vec![])
+        );
         assert_eq!(fold_aggregate(AggFunc::Min, false, &[]), Value::Null);
         assert_eq!(fold_aggregate(AggFunc::Avg, false, &[]), Value::Null);
     }

@@ -1,0 +1,151 @@
+//! Golden-file tests for the worst-case-optimal join's EXPLAIN and PROFILE
+//! surface: a forced-WCO triangle query must render the committed plan
+//! (the `wco intersect` operator with its cardinality estimates) and the
+//! committed profile (the `wco: intersected=` counter line). Regenerate
+//! with `GRADOOP_UPDATE_GOLDEN=1 cargo test -p gradoop-core --test
+//! wco_golden` after deliberate format changes.
+//!
+//! Wall-clock fields are scrubbed before comparison — everything else in
+//! both renderings is deterministic (cost-model simulated times, estimated
+//! and actual cardinalities, intersection counters).
+
+use std::collections::HashMap;
+
+use gradoop_core::{CypherEngine, MatchingConfig, PlanMode};
+use gradoop_dataflow::ExecutionEnvironment;
+use gradoop_epgm::{
+    properties, Edge, GradoopId, GraphHead, GraphStatistics, LogicalGraph, Properties, Vertex,
+};
+
+const EXPLAIN_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/testdata/wco_explain_golden.txt"
+);
+const PROFILE_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/testdata/wco_profile_golden.txt"
+);
+
+const TRIANGLE: &str = "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person), \
+     (c)-[e3:knows]->(a) RETURN *";
+
+/// A directed triangle 1 → 2 → 3 → 1 plus a spoke 1 → 4 the intersection
+/// must reject.
+fn triangle_graph(env: &ExecutionEnvironment) -> LogicalGraph {
+    let vertices = (1..=4)
+        .map(|id| Vertex::new(GradoopId(id), "Person", properties! {"vid" => id as i32}))
+        .collect();
+    let edges = vec![
+        Edge::new(
+            GradoopId(10),
+            "knows",
+            GradoopId(1),
+            GradoopId(2),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(11),
+            "knows",
+            GradoopId(2),
+            GradoopId(3),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(12),
+            "knows",
+            GradoopId(3),
+            GradoopId(1),
+            Properties::new(),
+        ),
+        Edge::new(
+            GradoopId(13),
+            "knows",
+            GradoopId(1),
+            GradoopId(4),
+            Properties::new(),
+        ),
+    ];
+    LogicalGraph::from_data(
+        env,
+        GraphHead::new(GradoopId(100), "triangle", Properties::new()),
+        vertices,
+        edges,
+    )
+}
+
+fn wco_engine(graph: &LogicalGraph) -> CypherEngine {
+    CypherEngine::with_statistics(GraphStatistics::of(graph)).with_plan_mode(PlanMode::ForceWco)
+}
+
+/// Replaces the nondeterministic wall-clock value after `marker` (rendered
+/// as `{:.4}s`) with `<scrubbed>`, keeping the rest of the line — the
+/// `wco: intersected=` segment follows `t_wall=…s` on the same line.
+fn scrub_number_after(line: &str, marker: &str) -> Option<String> {
+    let pos = line.find(marker)?;
+    let rest = &line[pos + marker.len()..];
+    let end = rest.find('s')?;
+    Some(format!(
+        "{}{marker}<scrubbed>{}",
+        &line[..pos],
+        &rest[end + 1..]
+    ))
+}
+
+fn scrub_wall(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        match scrub_number_after(line, "t_wall=").or_else(|| scrub_number_after(line, "wall: ")) {
+            Some(scrubbed) => out.push_str(&scrubbed),
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn compare_golden(path: &str, actual: &str, what: &str) {
+    if std::env::var_os("GRADOOP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file exists (regenerate with GRADOOP_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        actual, golden,
+        "{what} drifted from the committed golden file.\nactual:\n{actual}\ngolden:\n{golden}"
+    );
+}
+
+#[test]
+fn forced_wco_explain_matches_the_committed_golden_file() {
+    let env = ExecutionEnvironment::with_workers(2);
+    let graph = triangle_graph(&env);
+    let explain = wco_engine(&graph).explain(TRIANGLE).unwrap();
+    let actual = explain.to_text();
+    assert!(
+        actual.contains("wco intersect"),
+        "EXPLAIN lost the intersect operator:\n{actual}"
+    );
+    compare_golden(EXPLAIN_GOLDEN, &actual, "EXPLAIN");
+}
+
+#[test]
+fn forced_wco_profile_matches_the_committed_golden_file() {
+    let env = ExecutionEnvironment::with_workers(2);
+    let graph = triangle_graph(&env);
+    let profile = wco_engine(&graph)
+        .profile(
+            &graph,
+            TRIANGLE,
+            &HashMap::new(),
+            MatchingConfig::cypher_default(),
+        )
+        .unwrap();
+    let actual = scrub_wall(&profile.to_text());
+    assert!(
+        actual.contains("wco: intersected="),
+        "PROFILE lost the intersection counter:\n{actual}"
+    );
+    compare_golden(PROFILE_GOLDEN, &actual, "PROFILE");
+}

@@ -433,9 +433,9 @@ impl Parser {
                 }
             }
             other => {
-                return Err(
-                    self.error(format!("expected list or variable after UNWIND, found {other}"))
-                )
+                return Err(self.error(format!(
+                    "expected list or variable after UNWIND, found {other}"
+                )))
             }
         };
         self.expect_keyword(Keyword::As)?;
@@ -983,10 +983,9 @@ mod tests {
 
     #[test]
     fn with_where_comes_after_paging() {
-        let p = parse_pipeline(
-            "MATCH (a) WITH a ORDER BY a.p SKIP 1 LIMIT 3 WHERE a.p > 0 RETURN a",
-        )
-        .expect("parse");
+        let p =
+            parse_pipeline("MATCH (a) WITH a ORDER BY a.p SKIP 1 LIMIT 3 WHERE a.p > 0 RETURN a")
+                .expect("parse");
         let Stage::With(w) = &p.stages[1] else {
             panic!("expected WITH stage");
         };
@@ -1035,9 +1034,15 @@ mod tests {
     fn as_simple_recognizes_classic_queries() {
         let simple = |text: &str| parse_pipeline(text).expect("parse").as_simple();
         let classic = simple("MATCH (a)-[e]->(b) WHERE a.p = 1 RETURN DISTINCT a.p, b").unwrap();
-        assert_eq!(classic, parse("MATCH (a)-[e]->(b) WHERE a.p = 1 RETURN DISTINCT a.p, b").unwrap());
         assert_eq!(
-            simple("MATCH (a) RETURN count(*)").unwrap().return_clause.items,
+            classic,
+            parse("MATCH (a)-[e]->(b) WHERE a.p = 1 RETURN DISTINCT a.p, b").unwrap()
+        );
+        assert_eq!(
+            simple("MATCH (a) RETURN count(*)")
+                .unwrap()
+                .return_clause
+                .items,
             vec![ReturnItem::CountStar]
         );
         assert!(simple("MATCH (a) RETURN a ORDER BY a.p").is_none());

@@ -78,10 +78,8 @@ fn path_range() -> impl Strategy<Value = Option<PathRange>> {
         (0usize..3, 0usize..4)
             .prop_map(|(lower, extra)| Some(PathRange::closed(lower, lower + extra))),
         // Open ranges print as `*l..` and reparse with the default cap.
-        (0usize..3).prop_map(|lower| Some(PathRange::open(
-            lower,
-            gradoop_cypher::DEFAULT_MAX_HOPS
-        ))),
+        (0usize..3)
+            .prop_map(|lower| Some(PathRange::open(lower, gradoop_cypher::DEFAULT_MAX_HOPS))),
     ]
 }
 

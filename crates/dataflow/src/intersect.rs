@@ -1,0 +1,495 @@
+//! Worst-case-optimal intersection kernel for cyclic pattern matching.
+//!
+//! Binary joins close a cycle by materializing every open path first and
+//! filtering afterwards — on a triangle that intermediate is `O(|E|·d)`
+//! rows even when only a handful of triangles exist. The worst-case-optimal
+//! alternative (Ngo/Porat/Ré/Rudra; LeapfrogTriejoin) never builds the open
+//! path: for each partial embedding it *intersects* the sorted adjacency
+//! lists of the already-bound endpoints and emits only vertices present in
+//! all of them.
+//!
+//! Two pieces live here:
+//!
+//! * [`build_adjacency_index`] — a replicated, sorted adjacency index over
+//!   oriented `(key, neighbor, edge_id)` triples. Replication is charged
+//!   like a broadcast join build (every worker ships its fragment to all
+//!   others), and a build larger than the per-worker memory budget spills.
+//! * [`probe_intersect`] — a partition-local probe: for every probe row the
+//!   caller names one adjacency key per closing edge, the kernel leapfrogs
+//!   the candidate lists and hands each surviving `(neighbor, edge ids)`
+//!   combination back to an emit closure. No shuffle runs — probe rows are
+//!   extended in place — and under morsel-driven work stealing the outputs
+//!   are reassembled in (partition, morsel) order so results stay
+//!   byte-identical to the static schedule.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::data::Data;
+use crate::dataset::Dataset;
+use crate::pool::{map_partitions, try_run_morsels};
+
+/// A replicated adjacency index: `key → sorted candidates`, where each
+/// candidate is a `(neighbor, edge_id)` pair sorted by neighbor (then edge
+/// id). Sharing is by [`Arc`], so cloning the index — e.g. to move it into
+/// worker closures — never copies the lists.
+#[derive(Debug, Clone)]
+pub struct AdjacencyIndex {
+    map: Arc<HashMap<u64, Vec<(u64, u64)>>>,
+}
+
+impl AdjacencyIndex {
+    /// The sorted `(neighbor, edge_id)` candidates of `key` (empty when the
+    /// key has no adjacent candidate edges).
+    pub fn candidates(&self, key: u64) -> &[(u64, u64)] {
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Counters of one [`probe_intersect`] run, surfaced through PROFILE as
+/// `wco: intersected=…` next to the ordinary rows-out count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntersectStats {
+    /// Candidate-list entries fetched across all probe rows — the work a
+    /// binary join would have materialized as open-path intermediates.
+    pub rows_intersected: u64,
+    /// Embeddings emitted by the intersection.
+    pub rows_emitted: u64,
+}
+
+/// Builds a replicated sorted adjacency index over oriented
+/// `(key, neighbor, edge_id)` triples.
+///
+/// The simulation charges full replication — every worker sends its
+/// fragment to all peers and receives every other fragment, exactly like a
+/// broadcast-join build — plus the memory pressure of holding the whole
+/// index per worker, spilling the overflow beyond the per-worker budget.
+pub fn build_adjacency_index(
+    triples: &Dataset<(u64, u64, u64)>,
+    name: &'static str,
+) -> AdjacencyIndex {
+    let env = triples.env().clone();
+    let workers = env.workers();
+    let mut stage = env.stage(name);
+
+    let fragment_bytes: Vec<u64> = triples
+        .partitions()
+        .iter()
+        .map(|p| p.iter().map(|e| e.byte_size() as u64).sum())
+        .collect();
+    let total_bytes: u64 = fragment_bytes.iter().sum();
+    let memory = env.cost_model().memory_per_worker;
+    for (i, bytes) in fragment_bytes.iter().enumerate() {
+        let w = stage.worker(i);
+        w.records_in += triples.partitions()[i].len() as u64;
+        w.bytes_sent += bytes * (workers as u64 - 1);
+        w.bytes_received += total_bytes - bytes;
+        w.peak_memory_bytes = w.peak_memory_bytes.max(total_bytes);
+        w.scratch_allocations += 1;
+        if total_bytes as usize > memory {
+            w.bytes_spilled += total_bytes - memory as u64;
+        }
+    }
+
+    let mut map: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    for part in triples.partitions() {
+        for &(key, neighbor, edge_id) in part {
+            map.entry(key).or_default().push((neighbor, edge_id));
+        }
+    }
+    for list in map.values_mut() {
+        list.sort_unstable();
+    }
+    env.finish_stage(stage);
+    AdjacencyIndex { map: Arc::new(map) }
+}
+
+/// Reusable per-morsel scratch for the leapfrog loop, so a whole morsel of
+/// probe rows shares four small allocations.
+#[derive(Default)]
+struct LeapfrogScratch {
+    pos: Vec<usize>,
+    runs: Vec<usize>,
+    odometer: Vec<usize>,
+    edge_ids: Vec<u64>,
+}
+
+/// Leapfrog intersection of `k` sorted candidate lists: repeatedly advance
+/// every cursor to the current maximum head neighbor; when all heads agree
+/// the neighbor is in the intersection, and the cross product of each
+/// list's equal-neighbor run (parallel edges) is emitted.
+fn leapfrog<F: FnMut(u64, &[u64])>(
+    lists: &[&[(u64, u64)]],
+    scratch: &mut LeapfrogScratch,
+    mut emit: F,
+) {
+    let k = lists.len();
+    scratch.pos.clear();
+    scratch.pos.resize(k, 0);
+    'outer: loop {
+        let mut target = 0u64;
+        for (list, &pos) in lists.iter().zip(scratch.pos.iter()) {
+            match list.get(pos) {
+                Some(&(neighbor, _)) => target = target.max(neighbor),
+                None => break 'outer,
+            }
+        }
+        let mut all_equal = true;
+        for (list, pos) in lists.iter().zip(scratch.pos.iter_mut()) {
+            while let Some(&(neighbor, _)) = list.get(*pos) {
+                if neighbor >= target {
+                    break;
+                }
+                *pos += 1;
+            }
+            match list.get(*pos) {
+                Some(&(neighbor, _)) => {
+                    if neighbor != target {
+                        all_equal = false;
+                    }
+                }
+                None => break 'outer,
+            }
+        }
+        if !all_equal {
+            continue;
+        }
+        // All heads sit on `target`: measure each list's run of entries
+        // with that neighbor and emit every edge-id combination.
+        scratch.runs.clear();
+        for i in 0..k {
+            let run = lists[i][scratch.pos[i]..]
+                .iter()
+                .take_while(|(neighbor, _)| *neighbor == target)
+                .count();
+            scratch.runs.push(run);
+        }
+        scratch.odometer.clear();
+        scratch.odometer.resize(k, 0);
+        loop {
+            scratch.edge_ids.clear();
+            for i in 0..k {
+                scratch
+                    .edge_ids
+                    .push(lists[i][scratch.pos[i] + scratch.odometer[i]].1);
+            }
+            emit(target, &scratch.edge_ids);
+            let mut digit = 0;
+            while digit < k {
+                scratch.odometer[digit] += 1;
+                if scratch.odometer[digit] < scratch.runs[digit] {
+                    break;
+                }
+                scratch.odometer[digit] = 0;
+                digit += 1;
+            }
+            if digit == k {
+                break;
+            }
+        }
+        for i in 0..k {
+            scratch.pos[i] += scratch.runs[i];
+        }
+    }
+}
+
+/// Extends every probe row by the intersection of its adjacency candidate
+/// lists.
+///
+/// `keys(row, out)` must push exactly one adjacency key per index in
+/// `indexes` — the data id of the already-bound endpoint of each closing
+/// edge. For every neighbor present in *all* candidate lists (and every
+/// combination of parallel edge ids), `emit(row, neighbor, edge_ids, out)`
+/// decides what to produce — morphism checks and vertex admissibility live
+/// in the caller, which may emit nothing.
+///
+/// The probe is partition-local: no shuffle runs and the output inherits
+/// the probe rows' placement. Under work stealing the probe scan is
+/// morselized with outputs reassembled in (partition, morsel) order, so
+/// results are byte-identical to the static schedule; `rows_intersected`
+/// accumulates through a commutative relaxed atomic and is equally
+/// schedule-independent.
+pub fn probe_intersect<T, O, KF, EF>(
+    probe: &Dataset<T>,
+    indexes: &[AdjacencyIndex],
+    keys: KF,
+    emit: EF,
+) -> (Dataset<O>, IntersectStats)
+where
+    T: Data,
+    O: Data,
+    KF: Fn(&T, &mut Vec<u64>) + Sync,
+    EF: Fn(&T, u64, &[u64], &mut Vec<O>) + Sync,
+{
+    let env = probe.env().clone();
+    let mut stage = env.stage("expand(wco-intersect)");
+    let parts = probe.partitions();
+    let rows_intersected = AtomicU64::new(0);
+
+    let process = |rows: &[T]| -> Vec<O> {
+        let mut out = Vec::new();
+        let mut key_scratch = Vec::new();
+        let mut lists: Vec<&[(u64, u64)]> = Vec::new();
+        let mut scratch = LeapfrogScratch::default();
+        let mut fetched = 0u64;
+        for row in rows {
+            key_scratch.clear();
+            keys(row, &mut key_scratch);
+            debug_assert_eq!(
+                key_scratch.len(),
+                indexes.len(),
+                "one adjacency key per closing edge"
+            );
+            lists.clear();
+            let mut viable = true;
+            for (index, &key) in indexes.iter().zip(&key_scratch) {
+                let list = index.candidates(key);
+                fetched += list.len() as u64;
+                if list.is_empty() {
+                    viable = false;
+                }
+                lists.push(list);
+            }
+            if !viable || lists.is_empty() {
+                continue;
+            }
+            leapfrog(&lists, &mut scratch, |neighbor, edge_ids| {
+                emit(row, neighbor, edge_ids, &mut out);
+            });
+        }
+        rows_intersected.fetch_add(fetched, Ordering::Relaxed);
+        out
+    };
+
+    let outputs: Vec<Vec<O>> = if env.work_stealing() && env.workers() > 1 {
+        let probe_lengths: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let morsel_size = env.morsel_size();
+        let by_morsel = try_run_morsels(&probe_lengths, morsel_size, |p, range| {
+            process(&parts[p][range])
+        })
+        .unwrap_or_else(|p| panic!("partition worker {} panicked: {}", p.worker, p.message));
+        let traffic: Vec<Vec<(u64, u64)>> = by_morsel
+            .iter()
+            .enumerate()
+            .map(|(p, morsels)| {
+                crate::morsel::morsel_ranges(probe_lengths[p], morsel_size)
+                    .into_iter()
+                    .zip(morsels)
+                    .map(|(range, out)| (range.len() as u64, out.len() as u64))
+                    .collect()
+            })
+            .collect();
+        let schedule = crate::morsel::simulate_steal_schedule(&traffic);
+        for i in 0..stage.worker_count() {
+            let w = stage.worker(i);
+            w.records_in += schedule.records_in[i];
+            w.records_out += schedule.records_out[i];
+        }
+        stage.record_steals(schedule.morsels, schedule.stolen);
+        by_morsel
+            .into_iter()
+            .map(|morsels| morsels.into_iter().flatten().collect())
+            .collect()
+    } else {
+        let outputs = map_partitions(parts, |_, rows| process(rows));
+        for (i, (rows, out)) in parts.iter().zip(&outputs).enumerate() {
+            let w = stage.worker(i);
+            w.records_in += rows.len() as u64;
+            w.records_out += out.len() as u64;
+        }
+        outputs
+    };
+    env.finish_stage(stage);
+
+    let stats = IntersectStats {
+        rows_intersected: rows_intersected.load(Ordering::Relaxed),
+        rows_emitted: outputs.iter().map(|p| p.len() as u64).sum(),
+    };
+    (Dataset::from_partitions(env, outputs), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::env::{ExecutionConfig, ExecutionEnvironment};
+
+    fn env(workers: usize) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(workers).cost_model(CostModel::free()),
+        )
+    }
+
+    /// A small directed graph: 0→{1,2,3}, 1→{2,3}, 2→{3}.
+    fn forward_edges() -> Vec<(u64, u64, u64)> {
+        // (key = source, neighbor = target, edge_id)
+        vec![
+            (0, 1, 100),
+            (0, 2, 101),
+            (0, 3, 102),
+            (1, 2, 103),
+            (1, 3, 104),
+            (2, 3, 105),
+        ]
+    }
+
+    #[test]
+    fn candidates_are_sorted_by_neighbor() {
+        let env = env(2);
+        let triples = env.from_collection(vec![(7u64, 9u64, 1u64), (7, 3, 2), (7, 5, 0)]);
+        let index = build_adjacency_index(&triples, "wco(test-index)");
+        assert_eq!(index.candidates(7), &[(3, 2), (5, 0), (9, 1)]);
+        assert!(index.candidates(42).is_empty());
+    }
+
+    #[test]
+    fn triangle_intersection_finds_common_neighbors() {
+        let env = env(2);
+        let triples = env.from_collection(forward_edges());
+        let index = build_adjacency_index(&triples, "wco(test-index)");
+        // Probe rows are (a, b) pairs of a bound edge a→b; intersect
+        // out(a) ∩ out(b) to close the triangle a→w, b→w.
+        let pairs = env.from_collection(vec![(0u64, 1u64), (0, 2), (1, 2)]);
+        let (closed, stats) = probe_intersect(
+            &pairs,
+            &[index.clone(), index],
+            |&(a, b), keys| keys.extend([a, b]),
+            |&(a, b), w, edge_ids, out| out.push((a, b, w, edge_ids[0], edge_ids[1])),
+        );
+        let mut rows = closed.collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                (0, 1, 2, 101, 103),
+                (0, 1, 3, 102, 104),
+                (0, 2, 3, 102, 105),
+                (1, 2, 3, 104, 105)
+            ]
+        );
+        assert_eq!(stats.rows_emitted, 4);
+        // out(0)=3, out(1)=2, out(2)=1 entries: (3+2)+(3+1)+(2+1) = 12.
+        assert_eq!(stats.rows_intersected, 12);
+    }
+
+    #[test]
+    fn parallel_edges_emit_the_cross_product_of_edge_ids() {
+        let env = env(1);
+        // Two parallel edges 0→2 and two 1→2: intersecting out(0) ∩ out(1)
+        // at w=2 must emit all four edge-id combinations.
+        let triples = env.from_collection(vec![
+            (0u64, 2u64, 10u64),
+            (0, 2, 11),
+            (1, 2, 20),
+            (1, 2, 21),
+        ]);
+        let index = build_adjacency_index(&triples, "wco(test-index)");
+        let pairs = env.from_collection(vec![(0u64, 1u64)]);
+        let (closed, stats) = probe_intersect(
+            &pairs,
+            &[index.clone(), index],
+            |&(a, b), keys| keys.extend([a, b]),
+            |_, w, edge_ids, out| out.push((w, edge_ids[0], edge_ids[1])),
+        );
+        let mut rows = closed.collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![(2, 10, 20), (2, 10, 21), (2, 11, 20), (2, 11, 21)]
+        );
+        assert_eq!(stats.rows_emitted, 4);
+    }
+
+    #[test]
+    fn empty_intersection_emits_nothing() {
+        let env = env(2);
+        let triples = env.from_collection(vec![(0u64, 1u64, 5u64), (2, 3, 6)]);
+        let index = build_adjacency_index(&triples, "wco(test-index)");
+        let pairs = env.from_collection(vec![(0u64, 2u64), (7, 8)]);
+        let (closed, stats) = probe_intersect(
+            &pairs,
+            &[index.clone(), index],
+            |&(a, b), keys| keys.extend([a, b]),
+            |_, w, _, out| out.push(w),
+        );
+        assert_eq!(closed.collect(), Vec::<u64>::new());
+        assert_eq!(stats.rows_emitted, 0);
+    }
+
+    #[test]
+    fn work_stealing_probe_matches_static_output_and_stats() {
+        let triples: Vec<(u64, u64, u64)> = (0..64u64)
+            .flat_map(|a| (0..8u64).map(move |j| (a, (a + j) % 64, a * 100 + j)))
+            .collect();
+        // Skewed probe: `from_collection` round-robins rows, so making every
+        // fourth row hot concentrates all the intersection work on the
+        // worker owning partition 0 — the rest probe absent keys for free.
+        let probe: Vec<(u64, u64)> = (0..320u64)
+            .map(|i| if i % 4 == 0 { (3, 4) } else { (1000 + i, 2000) })
+            .collect();
+        let run = |stealing: bool| {
+            let env = ExecutionEnvironment::new(
+                ExecutionConfig::with_workers(4)
+                    .cost_model(CostModel::free())
+                    .work_stealing(stealing)
+                    .morsel_size(16),
+            );
+            let index =
+                build_adjacency_index(&env.from_collection(triples.clone()), "wco(test-index)");
+            let pairs = env.from_collection(probe.clone());
+            env.reset_metrics();
+            let (closed, stats) = probe_intersect(
+                &pairs,
+                &[index.clone(), index],
+                |&(a, b), keys| keys.extend([a, b]),
+                |&(a, b), w, ids, out| out.push((a, b, w, ids[0], ids[1])),
+            );
+            (closed.partitions().to_vec(), stats, env.metrics())
+        };
+        let (static_out, static_stats, static_metrics) = run(false);
+        let (stolen_out, stolen_stats, stolen_metrics) = run(true);
+        assert_eq!(static_out, stolen_out, "stealing must not change results");
+        assert_eq!(
+            static_stats, stolen_stats,
+            "counters must be schedule-independent"
+        );
+        assert_eq!(static_metrics.records_in, stolen_metrics.records_in);
+        assert!(stolen_metrics.stolen_morsels > 0, "probe morsels must move");
+    }
+
+    #[test]
+    fn index_build_charges_broadcast_replication() {
+        let env = ExecutionEnvironment::new(ExecutionConfig::with_workers(4));
+        let triples = env.from_collection((0..100u64).map(|i| (i, i + 1, i)).collect::<Vec<_>>());
+        env.reset_metrics();
+        let _ = build_adjacency_index(&triples, "wco(test-index)");
+        assert!(
+            env.metrics().bytes_shuffled > 0,
+            "replication must be charged"
+        );
+    }
+
+    #[test]
+    fn oversized_index_build_spills() {
+        let config = ExecutionConfig::with_workers(1).cost_model(CostModel {
+            memory_per_worker: 16,
+            ..CostModel::free()
+        });
+        let env = ExecutionEnvironment::new(config);
+        let triples = env.from_collection((0..100u64).map(|i| (i, i + 1, i)).collect::<Vec<_>>());
+        env.reset_metrics();
+        let _ = build_adjacency_index(&triples, "wco(test-index)");
+        assert!(env.metrics().bytes_spilled > 0);
+    }
+}

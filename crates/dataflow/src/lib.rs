@@ -37,6 +37,7 @@ pub mod dataset;
 pub mod env;
 pub mod fault;
 pub mod index;
+pub mod intersect;
 pub mod iterate;
 pub mod join;
 pub mod json;
@@ -58,6 +59,7 @@ pub use fault::{
     ExecutionFailure, FailureSchedule, FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultSite,
 };
 pub use index::PartitionedIndex;
+pub use intersect::{build_adjacency_index, probe_intersect, AdjacencyIndex, IntersectStats};
 pub use iterate::{bulk_iterate, bulk_iterate_with_invariant_index, bulk_iterate_with_results};
 pub use join::JoinStrategy;
 pub use json::JsonValue;

@@ -174,8 +174,7 @@ mod tests {
             let top = ds.ordered_top_k(|a, b| a.cmp(b), skip, limit).collect();
             let mut expected: Vec<u64> = values.clone();
             expected.sort_unstable();
-            let expected: Vec<u64> =
-                expected.into_iter().skip(skip).take(limit).collect();
+            let expected: Vec<u64> = expected.into_iter().skip(skip).take(limit).collect();
             assert_eq!(top, expected, "skip={skip} limit={limit}");
         }
     }
