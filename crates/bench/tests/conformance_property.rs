@@ -12,8 +12,8 @@ use std::collections::HashMap;
 
 use gradoop_bench::fuzz::{
     random_cyclic_query, random_graph, run_case, run_conformance, AggSpec, CaseOutcome, CaseSpec,
-    Dir, EdgePat, EdgeSpec, FuzzConfig, GraphSpec, LitSpec, NodePat, QuerySpec, Rng, TailSpec,
-    VertexSpec, MORPHISMS,
+    Cond, Dir, EdgePat, EdgeSpec, EngineConfig, FuzzConfig, GraphSpec, LitSpec, NodePat, QuerySpec,
+    Rng, TailSpec, Term, VertexSpec, MORPHISMS,
 };
 use gradoop_core::{plan_query_with_mode, CypherEngine, Estimator, PlanMode};
 use gradoop_cypher::{parse, QueryGraph};
@@ -166,8 +166,9 @@ fn triangle_graph() -> GraphSpec {
 #[test]
 fn pinned_triangle_agrees_across_modes_morphisms_and_workers() {
     // run_case sweeps CostBased, ForceBinary and ForceWco on every matrix
-    // point for cyclic tail-free cases — 8 configs × 3 modes = 24
-    // executions, each compared row-for-row against the reference.
+    // point for cyclic tail-free cases — 16 configs (including the
+    // vectorized axis) × 3 modes = 48 executions, each compared
+    // row-for-row against the reference.
     for matching in MORPHISMS {
         for workers in 1..=3 {
             for indexed in [false, true] {
@@ -184,14 +185,174 @@ fn pinned_triangle_agrees_across_modes_morphisms_and_workers() {
                         reference_matches,
                     } => {
                         assert_eq!(
-                            executions, 24,
-                            "cyclic sweep must cover 8 configs × 3 modes"
+                            executions, 48,
+                            "cyclic sweep must cover 16 configs × 3 modes"
                         );
                         assert_eq!(reference_matches, 3, "three rotations of the triangle");
                     }
                     other => panic!("{}: {other:?}", case.query.render()),
                 }
             }
+        }
+    }
+}
+
+/// `variable.key` as a WHERE term.
+fn prop(variable: &str, key: &str) -> Term {
+    Term::Prop {
+        variable: variable.to_string(),
+        key: key.to_string(),
+    }
+}
+
+/// A graph whose `age` property covers the three states three-valued logic
+/// must keep apart — present (1, 4), explicitly `NULL` (2), and absent
+/// entirely (3) — wired into a cycle so patterns bind every combination.
+fn kleene_graph() -> GraphSpec {
+    let with_age = |id: u64, age: PropertyValue| VertexSpec {
+        id,
+        label: "A".to_string(),
+        properties: vec![("age".to_string(), age)],
+    };
+    GraphSpec {
+        vertices: vec![
+            with_age(1, PropertyValue::Int(30)),
+            with_age(2, PropertyValue::Null),
+            VertexSpec {
+                id: 3,
+                label: "A".to_string(),
+                properties: Vec::new(),
+            },
+            with_age(4, PropertyValue::Int(17)),
+        ],
+        edges: vec![
+            edge(1000, "x", 1, 2),
+            edge(1001, "x", 2, 3),
+            edge(1002, "x", 3, 4),
+            edge(1003, "x", 4, 1),
+            edge(1004, "x", 1, 3),
+        ],
+    }
+}
+
+#[test]
+fn pinned_kleene_predicates_agree_on_the_vectorized_matrix() {
+    // The vectorized axis doubled the configuration sweep: 16 points, half
+    // with the batched kernels on, and the label names the axis so archived
+    // repros say which side diverged.
+    let matrix = EngineConfig::matrix();
+    assert_eq!(matrix.len(), 16, "matrix must cover the vectorized axis");
+    assert_eq!(matrix.iter().filter(|c| c.vectorized).count(), 8);
+    for config in &matrix {
+        let tag = if config.vectorized { "vec+" } else { "vec-" };
+        assert!(
+            config.label().contains(tag),
+            "label {:?} does not name the vectorized axis",
+            config.label()
+        );
+    }
+
+    // Hand-pinned NULL/missing-property predicates — the Kleene corners the
+    // compiled truth tables must get right: unknown under NOT, unknown
+    // absorbed by OR, two-valued IS [NOT] NULL over both NULL and absent
+    // keys, comparisons against a NULL literal (never true), and
+    // property-to-property comparisons where either side may be missing.
+    let trees: Vec<Cond> = vec![
+        // NOT (a.age < 21): unknown must stay unknown, not flip to true.
+        Cond::Not(Box::new(Cond::Cmp {
+            left: prop("a", "age"),
+            op: "<",
+            right: Term::Lit(LitSpec::Int(21)),
+        })),
+        // a.age = b.age OR a.age IS NULL: OR over unknown and true.
+        Cond::Or(
+            Box::new(Cond::Cmp {
+                left: prop("a", "age"),
+                op: "=",
+                right: prop("b", "age"),
+            }),
+            Box::new(Cond::IsNull {
+                variable: "a".to_string(),
+                key: "age".to_string(),
+                negated: false,
+            }),
+        ),
+        // NOT (a.age IS NOT NULL AND a.age >= 18): negation over a
+        // conjunction mixing two-valued and three-valued atoms.
+        Cond::Not(Box::new(Cond::And(
+            Box::new(Cond::IsNull {
+                variable: "a".to_string(),
+                key: "age".to_string(),
+                negated: true,
+            }),
+            Box::new(Cond::Cmp {
+                left: prop("a", "age"),
+                op: ">=",
+                right: Term::Lit(LitSpec::Int(18)),
+            }),
+        ))),
+        // a.age <> NULL: comparisons against NULL are never true.
+        Cond::Cmp {
+            left: prop("a", "age"),
+            op: "<>",
+            right: Term::Lit(LitSpec::Null),
+        },
+        // b.age IS NULL OR NOT (b.age > a.age): missing keys on either
+        // side of a cross-slot comparison under negation.
+        Cond::Or(
+            Box::new(Cond::IsNull {
+                variable: "b".to_string(),
+                key: "age".to_string(),
+                negated: false,
+            }),
+            Box::new(Cond::Not(Box::new(Cond::Cmp {
+                left: prop("b", "age"),
+                op: ">",
+                right: prop("a", "age"),
+            }))),
+        ),
+    ];
+    for (index, tree) in trees.into_iter().enumerate() {
+        let case = CaseSpec {
+            graph: kleene_graph(),
+            query: QuerySpec {
+                nodes: vec![
+                    NodePat {
+                        variable: Some("a".to_string()),
+                        labels: vec!["A".to_string()],
+                        props: Vec::new(),
+                    },
+                    NodePat {
+                        variable: Some("b".to_string()),
+                        labels: Vec::new(),
+                        props: Vec::new(),
+                    },
+                ],
+                edges: vec![EdgePat {
+                    variable: Some("e".to_string()),
+                    from: 0,
+                    to: 1,
+                    direction: Dir::Out,
+                    labels: vec!["x".to_string()],
+                    range: None,
+                    props: Vec::new(),
+                }],
+                where_tree: Some(tree),
+                tail: None,
+            },
+            matching: MORPHISMS[index % MORPHISMS.len()],
+            indexed: index % 2 == 0,
+            workers: 1 + index % 3,
+        };
+        let query_text = case.query.render();
+        match run_case(&case) {
+            CaseOutcome::Passed { executions, .. } => {
+                assert_eq!(
+                    executions, 16,
+                    "{query_text}: one execution per matrix point"
+                );
+            }
+            other => panic!("{query_text}: {other:?}"),
         }
     }
 }
@@ -221,7 +382,7 @@ fn pinned_seed_cyclic_cases_agree_across_all_plan_modes() {
         };
         match run_case(&case) {
             CaseOutcome::Passed { executions, .. } => {
-                assert_eq!(executions, 24, "{}", case.query.render());
+                assert_eq!(executions, 48, "{}", case.query.render());
                 swept += 1;
             }
             CaseOutcome::Rejected { .. } => continue,

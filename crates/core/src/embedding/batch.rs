@@ -1,0 +1,333 @@
+//! Column-major batches of embeddings with selection vectors.
+//!
+//! An [`EmbeddingBatch`] is the vectorized view of one morsel of row
+//! embeddings: identifier columns are gathered into contiguous `u64`
+//! slices, property slots are dictionary-encoded (one `u32` code per row
+//! into a batch-local dictionary of decoded values), and a **selection
+//! vector** of row indices replaces materialized intermediate rows —
+//! filters narrow the selection instead of copying survivors. Kernels
+//! (`operators::vectorized`) therefore run as tight loops over primitive
+//! slices the compiler can auto-vectorize, and only the rows still selected
+//! at the end of an operator are materialized, by cloning the *original*
+//! row embeddings. That late materialization is what makes the batched path
+//! byte-identical to row-at-a-time execution by construction.
+//!
+//! Columns are materialized lazily: a kernel first *compiles* which columns
+//! and property slots it touches, then asks the batch to gather exactly
+//! those. Path columns have no `u64` representation ([`EmbeddingBatch::ids`]
+//! returns `None` for them); kernels fall back to row access there.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use gradoop_epgm::PropertyValue;
+
+use crate::embedding::{Embedding, EmbeddingMetaData, EntryType};
+
+/// FNV-1a for the batch dictionary. Dictionary keys are raw property
+/// encodings — a handful of bytes — where FNV's one-multiply-per-byte loop
+/// beats SipHash by a wide margin, and the dictionary build is the batched
+/// filter's dominant cost. Hash-flooding resistance is irrelevant here:
+/// the map lives for one morsel and holds at most one entry per distinct
+/// property value in it.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = hash;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A column-major view over one morsel of embeddings.
+pub struct EmbeddingBatch<'a> {
+    rows: &'a [Embedding],
+    /// Per column: does it hold a path (no `u64` column representation)?
+    path_column: Vec<bool>,
+    /// Per column: the gathered identifiers, `None` until materialized (or
+    /// forever, for path columns).
+    id_columns: Vec<Option<Vec<u64>>>,
+    /// Per property slot: one dictionary code per row, `None` until
+    /// materialized.
+    codes: Vec<Option<Vec<u32>>>,
+    /// Dictionary: decoded value per code. Shared across all property
+    /// slots; keyed on the raw encoded bytes, so each distinct value is
+    /// decoded exactly once per batch.
+    dict_values: Vec<PropertyValue>,
+    dict_index: HashMap<&'a [u8], u32, BuildHasherDefault<FnvHasher>>,
+    /// Indices of the rows still selected, in ascending row order.
+    selection: Vec<u32>,
+}
+
+impl<'a> EmbeddingBatch<'a> {
+    /// Wraps `rows` (one morsel) in a batch with an identity selection.
+    /// Nothing is gathered yet — see [`EmbeddingBatch::ensure_ids`] and
+    /// [`EmbeddingBatch::ensure_codes`].
+    pub fn new(rows: &'a [Embedding], meta: &EmbeddingMetaData) -> Self {
+        let path_column: Vec<bool> = meta
+            .entries()
+            .map(|(_, entry_type)| entry_type == EntryType::Path)
+            .collect();
+        EmbeddingBatch {
+            rows,
+            id_columns: vec![None; path_column.len()],
+            path_column,
+            codes: vec![None; meta.property_count()],
+            dict_values: Vec::new(),
+            dict_index: HashMap::default(),
+            selection: (0..rows.len() as u32).collect(),
+        }
+    }
+
+    /// The underlying row embeddings (all of them, selected or not).
+    pub fn rows(&self) -> &'a [Embedding] {
+        self.rows
+    }
+
+    /// Number of rows in the batch, selected or not.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of rows still selected.
+    pub fn selected_count(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// `true` when no row is selected (including the empty batch).
+    pub fn is_empty(&self) -> bool {
+        self.selection.is_empty()
+    }
+
+    /// The selection vector: indices of the surviving rows, ascending.
+    pub fn selection(&self) -> &[u32] {
+        &self.selection
+    }
+
+    /// Gathers `column`'s identifiers into a contiguous `u64` column.
+    /// Returns `false` for path columns, which have no `u64` representation.
+    pub fn ensure_ids(&mut self, column: usize) -> bool {
+        if self.path_column[column] {
+            return false;
+        }
+        if self.id_columns[column].is_none() {
+            self.id_columns[column] = Some(self.rows.iter().map(|row| row.id(column)).collect());
+        }
+        true
+    }
+
+    /// The gathered identifier column, indexed by row. `None` for path
+    /// columns or columns not yet materialized.
+    pub fn ids(&self, column: usize) -> Option<&[u64]> {
+        self.id_columns[column].as_deref()
+    }
+
+    /// Dictionary-encodes property `slot`: one `u32` code per row into the
+    /// batch-shared dictionary. Codes are assigned by first appearance of
+    /// the raw encoded bytes, and each distinct encoding is decoded once.
+    pub fn ensure_codes(&mut self, slot: usize) {
+        if self.codes[slot].is_some() {
+            return;
+        }
+        let mut column = Vec::with_capacity(self.rows.len());
+        for row in self.rows {
+            let raw = row.raw_property(slot);
+            let code = match self.dict_index.get(raw) {
+                Some(&code) => code,
+                None => {
+                    let code = self.dict_values.len() as u32;
+                    self.dict_values.push(
+                        PropertyValue::from_bytes(&raw[4..])
+                            .expect("embedding property bytes are well-formed"),
+                    );
+                    self.dict_index.insert(raw, code);
+                    code
+                }
+            };
+            column.push(code);
+        }
+        self.codes[slot] = Some(column);
+    }
+
+    /// The code column of property `slot` (must be materialized), indexed
+    /// by row.
+    pub fn codes(&self, slot: usize) -> &[u32] {
+        self.codes[slot]
+            .as_deref()
+            .expect("property slot not dictionary-encoded; call ensure_codes first")
+    }
+
+    /// The dictionary: decoded value per code.
+    pub fn dict_values(&self) -> &[PropertyValue] {
+        &self.dict_values
+    }
+
+    /// The decoded value behind `code`.
+    pub fn dict_value(&self, code: u32) -> &PropertyValue {
+        &self.dict_values[code as usize]
+    }
+
+    /// Narrows the selection to the rows `keep` accepts. `keep` sees row
+    /// indices (usable to index materialized columns) in ascending order.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        self.selection.retain(|&row| keep(row));
+    }
+
+    /// Replaces the selection wholesale. Indices must be ascending row
+    /// indices into the batch; used by kernels that compute a selection in
+    /// one pass (e.g. a gather after a join probe).
+    pub fn set_selection(&mut self, selection: Vec<u32>) {
+        debug_assert!(selection.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(selection
+            .iter()
+            .all(|&row| (row as usize) < self.rows.len()));
+        self.selection = selection;
+    }
+
+    /// Iterates the selected row embeddings in row order.
+    pub fn selected_rows(&self) -> impl Iterator<Item = &'a Embedding> + '_ {
+        self.selection.iter().map(|&row| &self.rows[row as usize])
+    }
+
+    /// Materializes the surviving rows by cloning the original embeddings —
+    /// the late-materialization step that keeps batched output
+    /// byte-identical to the row-at-a-time path.
+    pub fn emit_selected(&self, out: &mut Vec<Embedding>) {
+        out.reserve(self.selection.len());
+        out.extend(self.selected_rows().cloned());
+    }
+
+    /// This batch's contribution to the stage's batch statistics.
+    pub fn stats(&self) -> gradoop_dataflow::BatchStats {
+        gradoop_dataflow::BatchStats::one(self.rows.len() as u64, self.selection.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::EntryType;
+
+    fn meta() -> EmbeddingMetaData {
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("a", EntryType::Vertex);
+        meta.add_entry("p", EntryType::Path);
+        meta.add_entry("b", EntryType::Vertex);
+        meta.add_property("a", "name");
+        meta.add_property("b", "age");
+        meta
+    }
+
+    fn row(a: u64, via: &[u64], b: u64, name: &str, age: Option<i64>) -> Embedding {
+        let mut e = Embedding::new();
+        e.push_id(a);
+        e.push_path(via);
+        e.push_id(b);
+        e.push_property(&PropertyValue::String(name.into()));
+        e.push_property(&age.map(PropertyValue::Long).unwrap_or(PropertyValue::Null));
+        e
+    }
+
+    #[test]
+    fn id_columns_gather_contiguously_and_paths_opt_out() {
+        let rows = vec![row(1, &[10], 2, "x", Some(5)), row(3, &[], 4, "y", Some(6))];
+        let mut batch = EmbeddingBatch::new(&rows, &meta());
+        assert!(batch.ensure_ids(0));
+        assert!(batch.ensure_ids(2));
+        assert!(!batch.ensure_ids(1), "path column has no u64 column");
+        assert_eq!(batch.ids(0), Some(&[1, 3][..]));
+        assert_eq!(batch.ids(2), Some(&[2, 4][..]));
+        assert_eq!(batch.ids(1), None);
+    }
+
+    #[test]
+    fn dictionary_dedups_across_rows_and_slots() {
+        // "x" appears in both slots and in multiple rows; Null too.
+        let rows = vec![
+            row(1, &[], 2, "x", None),
+            row(3, &[], 4, "x", Some(7)),
+            row(5, &[], 6, "y", None),
+        ];
+        let mut batch = EmbeddingBatch::new(&rows, &meta());
+        batch.ensure_codes(0);
+        batch.ensure_codes(1);
+        // Codes: slot 0 = [x, x, y], slot 1 = [Null, 7, Null].
+        let c0 = batch.codes(0).to_vec();
+        let c1 = batch.codes(1).to_vec();
+        assert_eq!(c0[0], c0[1]);
+        assert_ne!(c0[0], c0[2]);
+        assert_eq!(c1[0], c1[2]);
+        // 4 distinct encodings: "x", "y", Null, 7.
+        assert_eq!(batch.dict_values().len(), 4);
+        assert_eq!(batch.dict_value(c0[2]), &PropertyValue::String("y".into()));
+        assert!(batch.dict_value(c1[0]).is_null());
+    }
+
+    #[test]
+    fn selection_narrows_and_emits_original_rows() {
+        let rows = vec![
+            row(1, &[10], 2, "x", Some(5)),
+            row(3, &[], 4, "y", Some(6)),
+            row(5, &[7, 8], 6, "z", None),
+        ];
+        let mut batch = EmbeddingBatch::new(&rows, &meta());
+        assert_eq!(batch.selection(), &[0, 1, 2]);
+        batch.retain(|row| row != 1);
+        assert_eq!(batch.selection(), &[0, 2]);
+        assert_eq!(batch.selected_count(), 2);
+        let mut out = Vec::new();
+        batch.emit_selected(&mut out);
+        // Byte-identical clones of the original rows, paths intact.
+        assert_eq!(out, vec![rows[0].clone(), rows[2].clone()]);
+        let stats = batch.stats();
+        assert_eq!(
+            (stats.batches, stats.rows_scanned, stats.rows_selected),
+            (1, 3, 2)
+        );
+    }
+
+    #[test]
+    fn empty_and_fully_filtered_batches() {
+        let rows: Vec<Embedding> = Vec::new();
+        let mut batch = EmbeddingBatch::new(&rows, &meta());
+        assert!(batch.is_empty());
+        assert_eq!(batch.row_count(), 0);
+        batch.ensure_codes(0); // must not panic on zero rows
+        assert!(batch.codes(0).is_empty());
+        let mut out = Vec::new();
+        batch.emit_selected(&mut out);
+        assert!(out.is_empty());
+
+        let rows = vec![row(1, &[], 2, "x", Some(5))];
+        let mut batch = EmbeddingBatch::new(&rows, &meta());
+        batch.retain(|_| false);
+        assert!(batch.is_empty());
+        assert_eq!(batch.row_count(), 1);
+        batch.emit_selected(&mut out);
+        assert!(out.is_empty());
+        let stats = batch.stats();
+        assert_eq!((stats.rows_scanned, stats.rows_selected), (1, 0));
+    }
+
+    #[test]
+    fn set_selection_replaces_wholesale() {
+        let rows = vec![row(1, &[], 2, "x", Some(5)), row(3, &[], 4, "y", Some(6))];
+        let mut batch = EmbeddingBatch::new(&rows, &meta());
+        batch.set_selection(vec![1]);
+        assert_eq!(batch.selected_rows().collect::<Vec<_>>(), vec![&rows[1]]);
+    }
+}

@@ -437,6 +437,9 @@ impl CypherEngine {
             stages: stages.len() as u64,
             morsels: stages.iter().map(|s| s.morsels).sum(),
             stolen_morsels: stages.iter().map(|s| s.stolen_morsels).sum(),
+            batches: stages.iter().map(|s| s.batches).sum(),
+            batch_rows: stages.iter().map(|s| s.batch_rows).sum(),
+            batch_rows_selected: stages.iter().map(|s| s.batch_rows_selected).sum(),
             estimate_error: q_error(explain.estimated_cardinality, matches),
             recovery_attempts: stages.iter().map(|s| s.attempts.saturating_sub(1)).sum(),
             recovery_seconds: stages.iter().map(|s| s.recovery_seconds).sum(),
@@ -659,6 +662,9 @@ fn profile_stage_node(report: &StageReport) -> ProfileNode {
         stages: 1,
         morsels: report.morsels,
         stolen_morsels: report.stolen_morsels,
+        batches: report.batches,
+        batch_rows: report.batch_rows,
+        batch_rows_selected: report.batch_rows_selected,
         estimate_error: 1.0,
         recovery_attempts: report.attempts.saturating_sub(1),
         recovery_seconds: report.recovery_seconds,
@@ -745,7 +751,11 @@ fn distinct_by_return_items(
                 }
             }
             for &index in &property_sources {
-                projected.push_property(&embedding.property(index));
+                // Re-append the canonical encoded bytes instead of decoding
+                // and re-encoding the value: the raw encoding is what
+                // `distinct` hashes anyway, so the per-row decode (and any
+                // string allocation it implies) is pure waste.
+                projected.push_raw_property(embedding.raw_property(index));
             }
             projected
         })

@@ -417,6 +417,9 @@ fn profile_node<S: GraphSource + ?Sized>(
         stages: drained.stages.len() as u64,
         morsels: drained.stages.iter().map(|s| s.morsels).sum(),
         stolen_morsels: drained.stages.iter().map(|s| s.stolen_morsels).sum(),
+        batches: drained.stages.iter().map(|s| s.batches).sum(),
+        batch_rows: drained.stages.iter().map(|s| s.batch_rows).sum(),
+        batch_rows_selected: drained.stages.iter().map(|s| s.batch_rows_selected).sum(),
         estimate_error: q_error(explain.estimated_cardinality, rows_out),
         recovery_attempts: drained.recovery_attempts(),
         recovery_seconds: drained.recovery_seconds(),

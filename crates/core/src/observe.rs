@@ -412,6 +412,14 @@ pub struct ProfileNode {
     pub morsels: u64,
     /// Morsels that ran on a worker other than their partition's owner.
     pub stolen_morsels: u64,
+    /// Batches processed by this operator's vectorized kernels (zero on the
+    /// row-at-a-time path).
+    pub batches: u64,
+    /// Rows scanned by those batches.
+    pub batch_rows: u64,
+    /// Rows still selected when the batches were materialized;
+    /// `batch_rows_selected / batch_rows` is the mean selection-vector fill.
+    pub batch_rows_selected: u64,
     /// Estimate-vs-actual q-error (see [`q_error`]).
     pub estimate_error: f64,
     /// Recovery attempts consumed by this operator's stages (retries after
@@ -443,6 +451,16 @@ pub struct ProfileNode {
 }
 
 impl ProfileNode {
+    /// Mean selection-vector fill ratio of this operator's batches
+    /// (`batch_rows_selected / batch_rows`; 0 when no batch ran).
+    pub fn batch_fill(&self) -> f64 {
+        if self.batch_rows > 0 {
+            self.batch_rows_selected as f64 / self.batch_rows as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Renders the subtree as indented text, one operator per line.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -474,6 +492,13 @@ impl ProfileNode {
             out.push_str(&format!(
                 "  morsels={} stolen={}",
                 self.morsels, self.stolen_morsels
+            ));
+        }
+        if self.batches > 0 {
+            out.push_str(&format!(
+                "  batches={} sel={:.2}",
+                self.batches,
+                self.batch_fill()
             ));
         }
         if self.peak_memory_bytes > 0 || self.scratch_allocations > 0 {
@@ -562,6 +587,14 @@ impl ProfileNode {
             pairs.push((
                 "stolen_morsels",
                 JsonValue::Number(self.stolen_morsels as f64),
+            ));
+        }
+        if self.batches > 0 {
+            pairs.push(("batches", JsonValue::Number(self.batches as f64)));
+            pairs.push(("batch_rows", JsonValue::Number(self.batch_rows as f64)));
+            pairs.push((
+                "batch_rows_selected",
+                JsonValue::Number(self.batch_rows_selected as f64),
             ));
         }
         if self.recovery_attempts > 0 || self.checkpoint_bytes > 0 || self.restored_bytes > 0 {
@@ -795,6 +828,9 @@ mod tests {
             stages: 2,
             morsels: 0,
             stolen_morsels: 0,
+            batches: 0,
+            batch_rows: 0,
+            batch_rows_selected: 0,
             estimate_error: q_error(10.0, 3),
             recovery_attempts: 0,
             recovery_seconds: 0.0,
@@ -821,6 +857,9 @@ mod tests {
             stages: 5,
             morsels: 8,
             stolen_morsels: 2,
+            batches: 4,
+            batch_rows: 8,
+            batch_rows_selected: 4,
             estimate_error: q_error(4.0, 4),
             recovery_attempts: 1,
             recovery_seconds: 0.25,

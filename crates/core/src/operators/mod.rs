@@ -26,6 +26,7 @@ mod filter_project_vertices;
 mod join_embeddings;
 mod project_embeddings;
 mod value_join;
+pub mod vectorized;
 
 pub use cartesian::cartesian_embeddings;
 pub use expand_embeddings::{expand_embeddings, EdgeTriple, ExpandConfig};
@@ -36,6 +37,9 @@ pub use filter_project_vertices::filter_and_project_vertices;
 pub use join_embeddings::{embedding_join_key, join_embeddings, join_embeddings_filtered};
 pub use project_embeddings::project_embeddings;
 pub use value_join::value_join_embeddings;
+pub use vectorized::{
+    compare_refs, expand_batched, hash_probe_batched, CompiledFilter, IdHashTable, NeighborIndex,
+};
 
 use crate::embedding::{Embedding, EmbeddingMetaData};
 use gradoop_dataflow::{Data, Dataset, ExecutionFailure, SpanRecord};

@@ -36,8 +36,10 @@ pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> Em
     // Zero-decode projection: the id and path sections move as one raw
     // copy, and kept properties are re-appended as their encoded bytes —
     // nothing is deserialized, and each output row is a single allocation.
+    // Both paths do identical byte work; the batched one processes a whole
+    // morsel per call and reports batch fill statistics.
     let indices = kept_indices.clone();
-    let data = input.data.map(move |embedding| {
+    let project_one = move |embedding: &crate::embedding::Embedding| {
         let extra: usize = indices
             .iter()
             .map(|&index| embedding.raw_property(index).len())
@@ -47,7 +49,18 @@ pub fn project_embeddings(input: &EmbeddingSet, keep: &[(String, String)]) -> Em
             projected.push_raw_property(embedding.raw_property(index));
         }
         projected
-    });
+    };
+    let data = if input.data.env().vectorized() {
+        input
+            .data
+            .transform_batched("project_embeddings", false, move |rows, out| {
+                out.reserve(rows.len());
+                out.extend(rows.iter().map(&project_one));
+                gradoop_dataflow::BatchStats::one(rows.len() as u64, rows.len() as u64)
+            })
+    } else {
+        input.data.map(project_one)
+    };
 
     let result = EmbeddingSet { data, meta };
     observe_operator(
@@ -114,6 +127,24 @@ mod tests {
             .collect();
         let projected = project_embeddings(&set, &keep);
         assert_eq!(projected.meta, set.meta);
+    }
+
+    #[test]
+    fn vectorized_projection_is_byte_identical_to_row_path() {
+        let row_env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let vec_env = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2)
+                .vectorized(true)
+                .cost_model(CostModel::free()),
+        );
+        let keep = vec![("a".to_string(), "yob".to_string())];
+        let row_out = project_embeddings(&input(&row_env), &keep);
+        let vec_out = project_embeddings(&input(&vec_env), &keep);
+        assert_eq!(row_out.data.collect(), vec_out.data.collect());
+        assert_eq!(row_out.meta, vec_out.meta);
+        assert!(vec_env.metrics().batches > 0);
     }
 
     #[test]

@@ -1,0 +1,875 @@
+//! Batched (vectorized) operator kernels over [`EmbeddingBatch`]es.
+//!
+//! The row-at-a-time operators interpret predicates per embedding: every
+//! atom re-resolves its operands, decodes property bytes into owned
+//! [`PropertyValue`]s, and walks the three-byte-array layout per row. The
+//! kernels here hoist all of that out of the row loop:
+//!
+//! * [`CompiledFilter`] resolves each CNF atom **once per operator** against
+//!   the embedding layout. Because operand resolution depends only on
+//!   metadata — whether a property slot exists, whether a variable is bound
+//!   to an id or a path column — every atom compiles to a static plan with
+//!   *no* per-row fallback. At batch time, literal comparisons against a
+//!   dictionary-encoded slot become a truth table indexed by dictionary
+//!   code, so the inner loop is `table[codes[row]]` — a tight pass over
+//!   primitive slices the compiler can auto-vectorize.
+//! * [`IdHashTable`] is the batched hash-join probe: an open-addressing
+//!   table over raw `u64` join keys (multiply-shift hashing, linear
+//!   probing) probed with a gathered key column, instead of per-row key
+//!   extraction plus a SipHash `HashMap` lookup.
+//! * [`NeighborIndex`] is the batched expand kernel's adjacency: source
+//!   vertex ids map to `(edge, target)` ranges, probed with a gathered
+//!   source column.
+//!
+//! All kernels are unsafe-free; selections stay in ascending row order, so
+//! batched output is byte-identical to the row path by construction.
+
+use std::cmp::Ordering;
+
+use gradoop_cypher::{Atom, CmpOp, CnfClause, Operand};
+use gradoop_epgm::PropertyValue;
+
+use crate::embedding::{EmbeddingBatch, EmbeddingMetaData, EntryType};
+
+/// Three-valued comparison over borrowed values — the reference-based twin
+/// of `gradoop_cypher::predicates::eval::compare_values`, avoiding the
+/// operand clones the row path pays per evaluation. Semantics are pinned to
+/// the row path (see the parity test below): any `NULL` operand makes the
+/// result unknown, and incomparable types are unknown for orderings.
+pub fn compare_refs(left: &PropertyValue, op: CmpOp, right: &PropertyValue) -> Option<bool> {
+    if left.is_null() || right.is_null() {
+        return None;
+    }
+    match op {
+        CmpOp::Eq => Some(left == right),
+        CmpOp::Neq => Some(left != right),
+        CmpOp::Lt => Some(left.compare(right)? == Ordering::Less),
+        CmpOp::Gt => Some(left.compare(right)? == Ordering::Greater),
+        CmpOp::Lte => Some(left.compare(right)? != Ordering::Greater),
+        CmpOp::Gte => Some(left.compare(right)? != Ordering::Less),
+    }
+}
+
+/// Identifier comparison with `Long` semantics (ids are compared as the
+/// row path compares them: cast to `i64`, never null, totally ordered).
+fn compare_ids(left: i64, op: CmpOp, right: i64) -> bool {
+    match op {
+        CmpOp::Eq => left == right,
+        CmpOp::Neq => left != right,
+        CmpOp::Lt => left < right,
+        CmpOp::Gt => left > right,
+        CmpOp::Lte => left <= right,
+        CmpOp::Gte => left >= right,
+    }
+}
+
+/// A statically resolved operand: what a CNF operand means against one
+/// embedding layout, decided once per operator.
+enum OperandPlan {
+    /// A literal, decoded once.
+    Lit(PropertyValue),
+    /// A property slot index into the embedding's property section.
+    Slot(usize),
+    /// An id column (never a path column — those resolve to [`Missing`]).
+    IdColumn(usize),
+    /// Resolves to *unknown* for every row: an unbound variable, a property
+    /// slot the layout does not carry, or a variable bound to a path column
+    /// (paths have no element identity).
+    Missing,
+}
+
+fn plan_operand(operand: &Operand, meta: &EmbeddingMetaData) -> OperandPlan {
+    match operand {
+        Operand::Literal(literal) => OperandPlan::Lit(literal.to_property_value()),
+        Operand::Property { variable, key } => match meta.property_index(variable, key) {
+            Some(slot) => OperandPlan::Slot(slot),
+            None => OperandPlan::Missing,
+        },
+        Operand::Variable(variable) => match meta.column(variable) {
+            Some(column) if meta.entry_type(variable) != Some(EntryType::Path) => {
+                OperandPlan::IdColumn(column)
+            }
+            _ => OperandPlan::Missing,
+        },
+    }
+}
+
+/// A statically compiled atom. `Const` carries the three-valued verdict for
+/// atoms that evaluate identically on every row — in particular `HasLabel`,
+/// which is always unknown on embeddings (labels are projected away), and
+/// any comparison touching a [`OperandPlan::Missing`] operand.
+enum AtomPlan {
+    Const(Option<bool>),
+    /// `slot op literal` (or swapped): becomes a per-batch truth table
+    /// indexed by dictionary code.
+    CodeLit {
+        slot: usize,
+        op: CmpOp,
+        lit: PropertyValue,
+        lit_left: bool,
+    },
+    /// `slot IS [NOT] NULL`: also a per-batch truth table.
+    CodeIsNull {
+        slot: usize,
+        negated: bool,
+    },
+    /// `slot op slot`: compared through the shared dictionary.
+    CodeCode {
+        left: usize,
+        right: usize,
+        op: CmpOp,
+    },
+    /// `id-column op literal` (or swapped).
+    IdLit {
+        column: usize,
+        op: CmpOp,
+        lit: PropertyValue,
+        lit_left: bool,
+    },
+    /// `id-column op id-column`: a pure primitive-slice comparison.
+    IdId {
+        left: usize,
+        right: usize,
+        op: CmpOp,
+    },
+    /// `id-column op slot` (or swapped when `id_left` is false).
+    IdCode {
+        column: usize,
+        slot: usize,
+        op: CmpOp,
+        id_left: bool,
+    },
+}
+
+fn plan_atom(atom: &Atom, meta: &EmbeddingMetaData) -> AtomPlan {
+    match atom {
+        Atom::Constant(value) => AtomPlan::Const(Some(*value)),
+        // Embeddings never carry labels (`EmbeddingBindings::label` is
+        // `None` for every variable), so a label test is always unknown.
+        Atom::HasLabel { .. } => AtomPlan::Const(None),
+        Atom::IsNull { operand, negated } => match plan_operand(operand, meta) {
+            OperandPlan::Missing => AtomPlan::Const(Some(!*negated)),
+            OperandPlan::Lit(value) => AtomPlan::Const(Some(value.is_null() != *negated)),
+            // Ids resolve to a non-null Long for every row.
+            OperandPlan::IdColumn(_) => AtomPlan::Const(Some(*negated)),
+            OperandPlan::Slot(slot) => AtomPlan::CodeIsNull {
+                slot,
+                negated: *negated,
+            },
+        },
+        Atom::Comparison { left, op, right } => {
+            match (plan_operand(left, meta), plan_operand(right, meta)) {
+                (OperandPlan::Missing, _) | (_, OperandPlan::Missing) => AtomPlan::Const(None),
+                (OperandPlan::Lit(l), OperandPlan::Lit(r)) => {
+                    AtomPlan::Const(compare_refs(&l, *op, &r))
+                }
+                (OperandPlan::Slot(slot), OperandPlan::Lit(lit)) => AtomPlan::CodeLit {
+                    slot,
+                    op: *op,
+                    lit,
+                    lit_left: false,
+                },
+                (OperandPlan::Lit(lit), OperandPlan::Slot(slot)) => AtomPlan::CodeLit {
+                    slot,
+                    op: *op,
+                    lit,
+                    lit_left: true,
+                },
+                (OperandPlan::Slot(left), OperandPlan::Slot(right)) => AtomPlan::CodeCode {
+                    left,
+                    right,
+                    op: *op,
+                },
+                (OperandPlan::IdColumn(column), OperandPlan::Lit(lit)) => AtomPlan::IdLit {
+                    column,
+                    op: *op,
+                    lit,
+                    lit_left: false,
+                },
+                (OperandPlan::Lit(lit), OperandPlan::IdColumn(column)) => AtomPlan::IdLit {
+                    column,
+                    op: *op,
+                    lit,
+                    lit_left: true,
+                },
+                (OperandPlan::IdColumn(left), OperandPlan::IdColumn(right)) => AtomPlan::IdId {
+                    left,
+                    right,
+                    op: *op,
+                },
+                (OperandPlan::IdColumn(column), OperandPlan::Slot(slot)) => AtomPlan::IdCode {
+                    column,
+                    slot,
+                    op: *op,
+                    id_left: true,
+                },
+                (OperandPlan::Slot(slot), OperandPlan::IdColumn(column)) => AtomPlan::IdCode {
+                    column,
+                    slot,
+                    op: *op,
+                    id_left: false,
+                },
+            }
+        }
+    }
+}
+
+/// One compiled disjunction. Constant atoms are folded at compile time: a
+/// clause containing a true constant always passes (and is skipped), atoms
+/// that can never be true (false or unknown constants) are dropped, and a
+/// clause left with no atoms can never pass.
+enum ClausePlan {
+    AlwaysTrue,
+    AlwaysFalse,
+    Atoms(Vec<AtomPlan>),
+}
+
+fn plan_clause(clause: &CnfClause, meta: &EmbeddingMetaData) -> ClausePlan {
+    let mut atoms = Vec::with_capacity(clause.atoms.len());
+    for atom in &clause.atoms {
+        match plan_atom(atom, meta) {
+            AtomPlan::Const(Some(true)) => return ClausePlan::AlwaysTrue,
+            AtomPlan::Const(_) => {} // false or unknown: never satisfies the OR
+            plan => atoms.push(plan),
+        }
+    }
+    if atoms.is_empty() {
+        ClausePlan::AlwaysFalse
+    } else {
+        ClausePlan::Atoms(atoms)
+    }
+}
+
+/// A CNF predicate compiled against one embedding layout, applied to whole
+/// batches by narrowing their selection vectors.
+pub struct CompiledFilter {
+    clauses: Vec<ClausePlan>,
+}
+
+/// An atom bound to one batch's materialized columns. Truth tables are
+/// indexed by dictionary code (`table[codes[row]]`), so string and other
+/// heavyweight comparisons run once per *distinct value*, not once per row.
+enum AtomEval<'f, 'b> {
+    Table {
+        codes: &'b [u32],
+        table: Vec<bool>,
+    },
+    CodeCode {
+        left: &'b [u32],
+        right: &'b [u32],
+        values: &'b [PropertyValue],
+        op: CmpOp,
+    },
+    IdLit {
+        ids: &'b [u64],
+        op: CmpOp,
+        lit: &'f PropertyValue,
+        lit_left: bool,
+    },
+    IdId {
+        left: &'b [u64],
+        right: &'b [u64],
+        op: CmpOp,
+    },
+    IdCode {
+        ids: &'b [u64],
+        codes: &'b [u32],
+        values: &'b [PropertyValue],
+        op: CmpOp,
+        id_left: bool,
+    },
+}
+
+impl<'f, 'b> AtomEval<'f, 'b> {
+    fn bind(plan: &'f AtomPlan, batch: &'b EmbeddingBatch<'_>) -> Self {
+        match plan {
+            AtomPlan::Const(_) => unreachable!("constant atoms are folded at compile time"),
+            AtomPlan::CodeLit {
+                slot,
+                op,
+                lit,
+                lit_left,
+            } => {
+                let table = batch
+                    .dict_values()
+                    .iter()
+                    .map(|value| {
+                        let verdict = if *lit_left {
+                            compare_refs(lit, *op, value)
+                        } else {
+                            compare_refs(value, *op, lit)
+                        };
+                        verdict == Some(true)
+                    })
+                    .collect();
+                AtomEval::Table {
+                    codes: batch.codes(*slot),
+                    table,
+                }
+            }
+            AtomPlan::CodeIsNull { slot, negated } => {
+                let table = batch
+                    .dict_values()
+                    .iter()
+                    .map(|value| value.is_null() != *negated)
+                    .collect();
+                AtomEval::Table {
+                    codes: batch.codes(*slot),
+                    table,
+                }
+            }
+            AtomPlan::CodeCode { left, right, op } => AtomEval::CodeCode {
+                left: batch.codes(*left),
+                right: batch.codes(*right),
+                values: batch.dict_values(),
+                op: *op,
+            },
+            AtomPlan::IdLit {
+                column,
+                op,
+                lit,
+                lit_left,
+            } => AtomEval::IdLit {
+                ids: batch.ids(*column).expect("id column materialized"),
+                op: *op,
+                lit,
+                lit_left: *lit_left,
+            },
+            AtomPlan::IdId { left, right, op } => AtomEval::IdId {
+                left: batch.ids(*left).expect("id column materialized"),
+                right: batch.ids(*right).expect("id column materialized"),
+                op: *op,
+            },
+            AtomPlan::IdCode {
+                column,
+                slot,
+                op,
+                id_left,
+            } => AtomEval::IdCode {
+                ids: batch.ids(*column).expect("id column materialized"),
+                codes: batch.codes(*slot),
+                values: batch.dict_values(),
+                op: *op,
+                id_left: *id_left,
+            },
+        }
+    }
+
+    #[inline]
+    fn eval(&self, row: usize) -> bool {
+        match self {
+            AtomEval::Table { codes, table } => table[codes[row] as usize],
+            AtomEval::CodeCode {
+                left,
+                right,
+                values,
+                op,
+            } => {
+                compare_refs(
+                    &values[left[row] as usize],
+                    *op,
+                    &values[right[row] as usize],
+                ) == Some(true)
+            }
+            AtomEval::IdLit {
+                ids,
+                op,
+                lit,
+                lit_left,
+            } => {
+                let id = PropertyValue::Long(ids[row] as i64);
+                let verdict = if *lit_left {
+                    compare_refs(lit, *op, &id)
+                } else {
+                    compare_refs(&id, *op, lit)
+                };
+                verdict == Some(true)
+            }
+            AtomEval::IdId { left, right, op } => {
+                compare_ids(left[row] as i64, *op, right[row] as i64)
+            }
+            AtomEval::IdCode {
+                ids,
+                codes,
+                values,
+                op,
+                id_left,
+            } => {
+                let id = PropertyValue::Long(ids[row] as i64);
+                let value = &values[codes[row] as usize];
+                let verdict = if *id_left {
+                    compare_refs(&id, *op, value)
+                } else {
+                    compare_refs(value, *op, &id)
+                };
+                verdict == Some(true)
+            }
+        }
+    }
+}
+
+impl CompiledFilter {
+    /// Compiles `clauses` against the layout `meta`. Resolution happens
+    /// exactly once; applying the filter touches no metadata.
+    pub fn compile(clauses: &[CnfClause], meta: &EmbeddingMetaData) -> Self {
+        CompiledFilter {
+            clauses: clauses
+                .iter()
+                .map(|clause| plan_clause(clause, meta))
+                .collect(),
+        }
+    }
+
+    /// `true` when no row can ever pass (e.g. a clause that folded to a
+    /// false constant) — callers may skip scanning entirely.
+    pub fn rejects_everything(&self) -> bool {
+        self.clauses
+            .iter()
+            .any(|clause| matches!(clause, ClausePlan::AlwaysFalse))
+    }
+
+    /// Narrows `batch`'s selection to the rows satisfying every clause.
+    /// Materializes exactly the columns the plan touches, then runs each
+    /// clause as one pass over the current selection.
+    pub fn apply(&self, batch: &mut EmbeddingBatch<'_>) {
+        if batch.is_empty() {
+            return;
+        }
+        for clause in &self.clauses {
+            let ClausePlan::Atoms(atoms) = clause else {
+                continue;
+            };
+            for atom in atoms {
+                match atom {
+                    AtomPlan::Const(_) => {}
+                    AtomPlan::CodeLit { slot, .. } | AtomPlan::CodeIsNull { slot, .. } => {
+                        batch.ensure_codes(*slot);
+                    }
+                    AtomPlan::CodeCode { left, right, .. } => {
+                        batch.ensure_codes(*left);
+                        batch.ensure_codes(*right);
+                    }
+                    AtomPlan::IdLit { column, .. } => {
+                        batch.ensure_ids(*column);
+                    }
+                    AtomPlan::IdId { left, right, .. } => {
+                        batch.ensure_ids(*left);
+                        batch.ensure_ids(*right);
+                    }
+                    AtomPlan::IdCode { column, slot, .. } => {
+                        batch.ensure_ids(*column);
+                        batch.ensure_codes(*slot);
+                    }
+                }
+            }
+        }
+        for clause in &self.clauses {
+            if batch.is_empty() {
+                return;
+            }
+            let atoms = match clause {
+                ClausePlan::AlwaysTrue => continue,
+                ClausePlan::AlwaysFalse => {
+                    batch.set_selection(Vec::new());
+                    return;
+                }
+                ClausePlan::Atoms(atoms) => atoms,
+            };
+            let keep: Vec<u32> = {
+                let evals: Vec<AtomEval> = atoms
+                    .iter()
+                    .map(|atom| AtomEval::bind(atom, batch))
+                    .collect();
+                match evals.as_slice() {
+                    // The dominant shape — one atom per clause — gets the
+                    // tight single-evaluator loop.
+                    [single] => batch
+                        .selection()
+                        .iter()
+                        .copied()
+                        .filter(|&row| single.eval(row as usize))
+                        .collect(),
+                    many => batch
+                        .selection()
+                        .iter()
+                        .copied()
+                        .filter(|&row| many.iter().any(|eval| eval.eval(row as usize)))
+                        .collect(),
+                }
+            };
+            batch.set_selection(keep);
+        }
+    }
+}
+
+/// An open-addressing hash table over raw `u64` join keys — the build side
+/// of the batched hash-join probe. Multiply-shift hashing plus linear
+/// probing keeps the probe loop branch-light; duplicate keys chain through
+/// `next`, so every matching build row is visited.
+pub struct IdHashTable {
+    mask: u64,
+    shift: u32,
+    /// Per hash slot: `1 + index` of the first entry, 0 when empty.
+    heads: Vec<u32>,
+    /// Per entry: `1 + index` of the next entry with the same key.
+    next: Vec<u32>,
+    keys: Vec<u64>,
+}
+
+impl IdHashTable {
+    /// Builds the table over `keys`; entry `i` carries payload `i` (the
+    /// build-side row index).
+    pub fn build(keys: &[u64]) -> Self {
+        let capacity = (keys.len() * 2).next_power_of_two().max(16);
+        let mut table = IdHashTable {
+            mask: capacity as u64 - 1,
+            shift: 64 - capacity.trailing_zeros(),
+            heads: vec![0; capacity],
+            next: vec![0; keys.len()],
+            keys: keys.to_vec(),
+        };
+        for (index, &key) in keys.iter().enumerate() {
+            let mut slot = table.slot(key);
+            // Linear-probe to a slot whose chain holds this key, or to an
+            // empty slot.
+            loop {
+                let head = table.heads[slot as usize];
+                if head == 0 {
+                    table.heads[slot as usize] = index as u32 + 1;
+                    break;
+                }
+                if table.keys[head as usize - 1] == key {
+                    table.next[index] = head;
+                    table.heads[slot as usize] = index as u32 + 1;
+                    break;
+                }
+                slot = (slot + 1) & table.mask;
+            }
+        }
+        table
+    }
+
+    /// Number of build-side entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the build side is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> u64 {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) & self.mask
+    }
+
+    /// Calls `emit` with the build row index of every entry whose key
+    /// equals `key`.
+    #[inline]
+    pub fn probe(&self, key: u64, mut emit: impl FnMut(u32)) {
+        let mut slot = self.slot(key);
+        loop {
+            let head = self.heads[slot as usize];
+            if head == 0 {
+                return;
+            }
+            if self.keys[head as usize - 1] == key {
+                let mut entry = head;
+                while entry != 0 {
+                    emit(entry - 1);
+                    entry = self.next[entry as usize - 1];
+                }
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// Probes `table` with the selected rows of a gathered key column,
+/// appending `(probe_row, build_row)` index pairs. The batched counterpart
+/// of per-row key extraction + `HashMap` lookup in the join kernel.
+pub fn hash_probe_batched(
+    table: &IdHashTable,
+    keys: &[u64],
+    selection: &[u32],
+    out: &mut Vec<(u32, u32)>,
+) {
+    for &row in selection {
+        table.probe(keys[row as usize], |build_row| out.push((row, build_row)));
+    }
+}
+
+/// Adjacency for the batched expand kernel: maps a source vertex id to its
+/// outgoing `(edge, target)` pairs through an [`IdHashTable`].
+pub struct NeighborIndex {
+    table: IdHashTable,
+    edges_targets: Vec<(u64, u64)>,
+}
+
+impl NeighborIndex {
+    /// Builds the index from `(source, edge, target)` triples.
+    pub fn build(triples: &[(u64, u64, u64)]) -> Self {
+        let keys: Vec<u64> = triples.iter().map(|&(source, _, _)| source).collect();
+        NeighborIndex {
+            table: IdHashTable::build(&keys),
+            edges_targets: triples
+                .iter()
+                .map(|&(_, edge, target)| (edge, target))
+                .collect(),
+        }
+    }
+
+    /// Calls `emit` with every `(edge, target)` pair leaving `source`.
+    #[inline]
+    pub fn neighbors(&self, source: u64, mut emit: impl FnMut(u64, u64)) {
+        self.table.probe(source, |index| {
+            let (edge, target) = self.edges_targets[index as usize];
+            emit(edge, target);
+        });
+    }
+}
+
+/// Expands the selected rows of a gathered source-vertex column, appending
+/// `(probe_row, edge, target)` candidates. Morphism and predicate checks
+/// run on the candidates afterwards — this kernel only enumerates.
+pub fn expand_batched(
+    index: &NeighborIndex,
+    sources: &[u64],
+    selection: &[u32],
+    out: &mut Vec<(u32, u64, u64)>,
+) {
+    for &row in selection {
+        index.neighbors(sources[row as usize], |edge, target| {
+            out.push((row, edge, target));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{Embedding, EmbeddingBindings};
+    use gradoop_cypher::predicates::cnf::to_cnf;
+    use gradoop_cypher::predicates::eval::{compare_values, eval_clause};
+    use gradoop_cypher::{parse, Expression};
+
+    fn where_clauses(text: &str) -> Vec<CnfClause> {
+        let query = parse(text).unwrap();
+        let expr: Expression = query.where_clause.unwrap();
+        to_cnf(&expr).clauses
+    }
+
+    fn meta() -> EmbeddingMetaData {
+        let mut meta = EmbeddingMetaData::new();
+        meta.add_entry("a", EntryType::Vertex);
+        meta.add_entry("e", EntryType::Edge);
+        meta.add_entry("b", EntryType::Vertex);
+        meta.add_property("a", "name");
+        meta.add_property("a", "age");
+        meta.add_property("b", "age");
+        meta
+    }
+
+    fn rows() -> Vec<Embedding> {
+        let names = ["alice", "bob", "carol", "alice", "dave"];
+        let a_ages = [Some(30i64), Some(17), None, Some(65), Some(17)];
+        let b_ages = [Some(30i64), None, Some(40), Some(12), Some(17)];
+        (0..5)
+            .map(|i| {
+                let mut emb = Embedding::new();
+                emb.push_id(i as u64);
+                emb.push_id(100 + i as u64);
+                emb.push_id((i as u64) % 3);
+                emb.push_property(&PropertyValue::String(names[i].into()));
+                emb.push_property(
+                    &a_ages[i]
+                        .map(PropertyValue::Long)
+                        .unwrap_or(PropertyValue::Null),
+                );
+                emb.push_property(
+                    &b_ages[i]
+                        .map(PropertyValue::Long)
+                        .unwrap_or(PropertyValue::Null),
+                );
+                emb
+            })
+            .collect()
+    }
+
+    /// The batched filter must select exactly the rows the row-at-a-time
+    /// evaluator keeps, for every predicate shape the compiler handles.
+    #[test]
+    fn compiled_filter_matches_row_evaluation() {
+        let meta = meta();
+        let rows = rows();
+        let queries = [
+            "MATCH (a)-[e]->(b) WHERE a.name = 'alice' RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.age > 18 RETURN *",
+            "MATCH (a)-[e]->(b) WHERE 18 <= a.age RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.age = b.age RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.age IS NULL RETURN *",
+            "MATCH (a)-[e]->(b) WHERE b.age IS NOT NULL RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.name = 'alice' OR a.age < 18 RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.age > 10 AND b.age > 10 RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a = b RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a <> b RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.missing = 1 RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.missing IS NULL RETURN *",
+            "MATCH (a)-[e]->(b) WHERE NOT a.name = 'bob' RETURN *",
+            "MATCH (a)-[e]->(b) WHERE a.age <> b.age OR a.name = 'dave' RETURN *",
+        ];
+        for query in queries {
+            let clauses = where_clauses(query);
+            let expected: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, embedding)| {
+                    let bindings = EmbeddingBindings {
+                        embedding,
+                        meta: &meta,
+                    };
+                    clauses.iter().all(|clause| eval_clause(clause, &bindings))
+                })
+                .map(|(index, _)| index as u32)
+                .collect();
+            let compiled = CompiledFilter::compile(&clauses, &meta);
+            let mut batch = EmbeddingBatch::new(&rows, &meta);
+            compiled.apply(&mut batch);
+            assert_eq!(batch.selection(), &expected[..], "query: {query}");
+        }
+    }
+
+    /// `compare_refs` is the reference-based twin of `compare_values` —
+    /// verify them against each other across a value/operator matrix.
+    #[test]
+    fn compare_refs_agrees_with_compare_values() {
+        let values = [
+            PropertyValue::Null,
+            PropertyValue::Long(1),
+            PropertyValue::Long(2),
+            PropertyValue::Double(1.5),
+            PropertyValue::String("a".into()),
+            PropertyValue::String("b".into()),
+            PropertyValue::Boolean(true),
+        ];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Lte,
+            CmpOp::Gt,
+            CmpOp::Gte,
+        ];
+        for left in &values {
+            for right in &values {
+                for op in ops {
+                    assert_eq!(
+                        compare_refs(left, op, right),
+                        compare_values(Some(left.clone()), op, Some(right.clone())),
+                        "{left:?} {op:?} {right:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_tests_and_contradictions_fold_to_empty() {
+        let meta = meta();
+        let rows = rows();
+        // A label test is unknown on embeddings: the clause can never pass.
+        let clauses = vec![CnfClause {
+            atoms: vec![Atom::HasLabel {
+                variable: "a".to_string(),
+                labels: vec!["Person".to_string()],
+                negated: false,
+            }],
+        }];
+        let compiled = CompiledFilter::compile(&clauses, &meta);
+        assert!(compiled.rejects_everything());
+        let mut batch = EmbeddingBatch::new(&rows, &meta);
+        compiled.apply(&mut batch);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn filter_on_empty_and_fully_filtered_batches() {
+        let meta = meta();
+        let clauses = where_clauses("MATCH (a)-[e]->(b) WHERE a.age > 18 RETURN *");
+        let compiled = CompiledFilter::compile(&clauses, &meta);
+
+        let empty: Vec<Embedding> = Vec::new();
+        let mut batch = EmbeddingBatch::new(&empty, &meta);
+        compiled.apply(&mut batch);
+        assert!(batch.is_empty());
+
+        let rows = rows();
+        let mut batch = EmbeddingBatch::new(&rows, &meta);
+        batch.retain(|_| false); // a prior operator dropped everything
+        compiled.apply(&mut batch);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn id_hash_table_probes_duplicates_and_misses() {
+        let keys = [7u64, 3, 7, 9, 3, 7];
+        let table = IdHashTable::build(&keys);
+        assert_eq!(table.len(), 6);
+        let mut hits = Vec::new();
+        table.probe(7, |row| hits.push(row));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2, 5]);
+        hits.clear();
+        table.probe(3, |row| hits.push(row));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 4]);
+        hits.clear();
+        table.probe(1234, |row| hits.push(row));
+        assert!(hits.is_empty());
+
+        let empty = IdHashTable::build(&[]);
+        assert!(empty.is_empty());
+        empty.probe(0, |_| panic!("no entries"));
+    }
+
+    #[test]
+    fn batched_probe_matches_reference_join() {
+        use std::collections::HashMap;
+        let build: Vec<u64> = (0..100).map(|i| i % 17).collect();
+        let probe: Vec<u64> = (0..64).map(|i| i % 23).collect();
+        let table = IdHashTable::build(&build);
+        let selection: Vec<u32> = (0..probe.len() as u32).collect();
+        let mut batched = Vec::new();
+        hash_probe_batched(&table, &probe, &selection, &mut batched);
+
+        let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (index, &key) in build.iter().enumerate() {
+            reference.entry(key).or_default().push(index as u32);
+        }
+        let mut expected = Vec::new();
+        for (row, &key) in probe.iter().enumerate() {
+            if let Some(matches) = reference.get(&key) {
+                for &build_row in matches {
+                    expected.push((row as u32, build_row));
+                }
+            }
+        }
+        batched.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(batched, expected);
+    }
+
+    #[test]
+    fn neighbor_index_expands_selected_rows() {
+        let triples = [(1u64, 10, 2), (1, 11, 3), (2, 12, 1), (4, 13, 5)];
+        let index = NeighborIndex::build(&triples);
+        let sources = [1u64, 2, 3, 4];
+        let mut out = Vec::new();
+        // Row 1 is deselected: its expansion must not appear.
+        expand_batched(&index, &sources, &[0, 2, 3], &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 10, 2), (0, 11, 3), (3, 13, 5)]);
+    }
+}

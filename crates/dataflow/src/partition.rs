@@ -107,6 +107,58 @@ where
     result
 }
 
+/// [`shuffle_by_key`], but each element's computed key rides along to the
+/// receiving worker so downstream grouping reuses it instead of re-deriving
+/// it per record — group keys can be expensive (rendered group-by rows,
+/// decoded property values). Cost accounting is identical to
+/// [`shuffle_by_key`]: the keys are engine-side scratch (a real system
+/// re-hashes on the receiver), so only `T`'s bytes are charged.
+pub fn shuffle_with_keys<T, K, F>(
+    partitions: &[Vec<T>],
+    key: F,
+    stage: &mut StageCosts,
+) -> Vec<Vec<(K, T)>>
+where
+    T: Data,
+    K: Hash + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    // Per-source routing result: one bucket per target worker, plus the
+    // bytes this source sent off-worker.
+    type Routed<K, T> = Vec<(Vec<Vec<(K, T)>>, u64)>;
+    let workers = partitions.len();
+    let routed: Routed<K, T> = map_partitions(partitions, |index, part| {
+        let mut buckets: Vec<Vec<(K, T)>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut bytes_sent = 0u64;
+        for item in part {
+            let k = key(item);
+            let target = partition_for(&k, workers);
+            if target != index {
+                bytes_sent += item.byte_size() as u64;
+            }
+            buckets[target].push((k, item.clone()));
+        }
+        (buckets, bytes_sent)
+    });
+
+    let mut result: Vec<Vec<(K, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (source, (buckets, bytes_sent)) in routed.into_iter().enumerate() {
+        {
+            let w = stage.worker(source);
+            w.records_in += partitions[source].len() as u64;
+            w.bytes_sent += bytes_sent;
+        }
+        for (target, bucket) in buckets.into_iter().enumerate() {
+            if target != source {
+                let received: u64 = bucket.iter().map(|(_, i)| i.byte_size() as u64).sum();
+                stage.worker(target).bytes_received += received;
+            }
+            result[target].extend(bucket);
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

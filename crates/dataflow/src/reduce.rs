@@ -23,19 +23,25 @@ impl<T: Data> Dataset<T> {
         KF: Fn(&T) -> K + Sync,
         RF: Fn(&K, &[T]) -> O + Sync,
     {
-        let shuffled = self.partition_by_key(&key);
         let env = self.env().clone();
+        // The shuffle computes each record's key exactly once and lets it
+        // ride along to the grouping stage — group keys can be expensive
+        // (rendered group-by rows), so they must not be re-derived per
+        // record after the shuffle.
+        let mut shuffle_stage = env.stage("partition_by_key");
+        let keyed =
+            crate::partition::shuffle_with_keys(self.partitions(), &key, &mut shuffle_stage);
+        env.finish_stage(shuffle_stage);
         let mut stage = env.stage("group_reduce");
-        let outputs: Vec<Vec<O>> = map_partitions(shuffled.partitions(), |_, part| {
+        let outputs: Vec<Vec<O>> = map_partitions(&keyed, |_, part| {
             let mut order: Vec<(K, Vec<T>)> = Vec::new();
-            let mut index: HashMap<K, usize> = HashMap::new();
-            for item in part {
-                let k = key(item);
-                match index.get(&k) {
+            let mut index: HashMap<&K, usize> = HashMap::new();
+            for (k, item) in part {
+                match index.get(k) {
                     Some(&at) => order[at].1.push(item.clone()),
                     None => {
-                        index.insert(k.clone(), order.len());
-                        order.push((k, vec![item.clone()]));
+                        index.insert(k, order.len());
+                        order.push((k.clone(), vec![item.clone()]));
                     }
                 }
             }
@@ -44,7 +50,7 @@ impl<T: Data> Dataset<T> {
                 .map(|(k, members)| reduce(k, members))
                 .collect()
         });
-        for (i, (inp, out)) in shuffled.partitions().iter().zip(&outputs).enumerate() {
+        for (i, (inp, out)) in keyed.iter().zip(&outputs).enumerate() {
             let w = stage.worker(i);
             w.records_in += inp.len() as u64;
             w.records_out += out.len() as u64;
