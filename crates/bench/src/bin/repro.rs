@@ -31,7 +31,9 @@ use gradoop_dataflow::{
 use gradoop_epgm::{
     properties, Edge, GradoopId, GraphHead, LogicalGraph, Properties, PropertyValue, Vertex,
 };
-use gradoop_ldbc::{table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames};
+use gradoop_ldbc::{
+    generate_graph, table3_patterns, BenchmarkQuery, LdbcConfig, Selectivity, SelectivityNames,
+};
 
 /// Counts heap allocations so `--bench-pr4` can report the before/after
 /// allocation budget of the join/merge kernels. The single relaxed
@@ -1647,6 +1649,248 @@ fn bench_pr9(check_baseline: bool) {
     }
 }
 
+/// Emits `BENCH_pr10.json` — the concurrent query-server gate: a mixed
+/// Q1–Q6 workload from 8 client threads over one shared immutable
+/// snapshot. Deterministic gates: results byte-identical to serial
+/// execution, plan-cache hit rate and miss count (misses grow when shape
+/// normalization regresses and distinct literals stop sharing plans),
+/// deadline classification and overload rejection. Wall-clock gates (QPS,
+/// p99 latency) carry generous thresholds — they catch order-of-magnitude
+/// regressions, not noise. With `check_baseline`, diffs against
+/// `BENCH_pr10_baseline.json` and exits non-zero on regression.
+fn bench_pr10(check_baseline: bool) {
+    use gradoop_core::{canonical_row, TableResult};
+    use gradoop_cypher::Literal;
+    use gradoop_server::{GraphSnapshot, QueryServer, ServerConfig, ServerError};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    println!("== BENCH_pr10: concurrent query server — mixed Q1–Q6 workload ==\n");
+    let mut report = BenchReport::new();
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 2;
+    let names = ["Jan", "Maria", "Chen", "Ali"];
+
+    // Order-insensitive digest: equal digests ⇔ byte-identical result sets.
+    fn digest(table: &TableResult) -> String {
+        let mut rows: Vec<String> = table.rows.iter().map(|row| canonical_row(row)).collect();
+        if !table.ordered {
+            rows.sort();
+        }
+        format!("{}|{}", table.columns.join(","), rows.join(";"))
+    }
+
+    let env =
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(4).cost_model(CostModel::free()));
+    let graph = generate_graph(&env, &LdbcConfig::with_persons(200));
+    println!(
+        "snapshot: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    let server = QueryServer::new(
+        GraphSnapshot::of(graph),
+        ServerConfig {
+            max_in_flight: CLIENTS,
+            admission_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    );
+
+    // The mixed workload: operational queries (1–3) parameterized across a
+    // spread of first names, analytical queries (4–6) as-is. The three
+    // operational shapes each collapse to one plan-cache entry regardless
+    // of the bound name.
+    let mut workload: Vec<(String, HashMap<String, Literal>)> = Vec::new();
+    for query in BenchmarkQuery::all() {
+        if query.is_operational() {
+            for name in names {
+                workload.push((
+                    query.parameterized_text(),
+                    HashMap::from([("firstName".to_string(), Literal::String(name.to_string()))]),
+                ));
+            }
+        } else {
+            workload.push((query.text(None), HashMap::new()));
+        }
+    }
+
+    // Serial reference pass: one session, one query at a time. Also warms
+    // the plan cache — every distinct shape misses exactly once here.
+    let reference_session = server.session();
+    let expected: Vec<String> = workload
+        .iter()
+        .map(|(text, params)| {
+            digest(
+                &reference_session
+                    .query(text, params)
+                    .unwrap_or_else(|e| panic!("serial reference: {e}")),
+            )
+        })
+        .collect();
+    let warmup_stats = server.stats().plan_cache;
+    println!(
+        "serial reference: {} queries, {} distinct plan shapes",
+        workload.len(),
+        warmup_stats.misses
+    );
+
+    // Concurrent phase: every client runs the full workload ROUNDS times,
+    // start offsets staggered so clients overlap on different queries.
+    let workload = Arc::new(workload);
+    let expected = Arc::new(expected);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            let workload = Arc::clone(&workload);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let session = server.session();
+                let mut mismatches = 0usize;
+                for round in 0..ROUNDS {
+                    for step in 0..workload.len() {
+                        let index = (step + client * 2 + round) % workload.len();
+                        let (text, params) = &workload[index];
+                        let table = session
+                            .query(text, params)
+                            .unwrap_or_else(|e| panic!("client {client}: {e}"));
+                        if digest(&table) != expected[index] {
+                            mismatches += 1;
+                        }
+                    }
+                }
+                mismatches
+            })
+        })
+        .collect();
+    let mismatches: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let concurrent_wall = started.elapsed().as_secs_f64();
+    let concurrent_queries = CLIENTS * ROUNDS * workload.len();
+    let qps = concurrent_queries as f64 / concurrent_wall;
+    let p99 = server.stats().p99_latency_seconds;
+    let cache = server.stats().plan_cache;
+
+    // Deadline probe: a zero budget must classify, never return rows.
+    let deadline_session = server.session();
+    let deadline_classified = matches!(
+        deadline_session.query_with_deadline(
+            &BenchmarkQuery::Q5.text(None),
+            &HashMap::new(),
+            Some(Duration::ZERO),
+        ),
+        Err(ServerError::DeadlineExceeded(_))
+    );
+
+    // Overload probe: with every slot reserved, an arrival is rejected
+    // after the admission timeout without executing.
+    let slots: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            server
+                .admission()
+                .admit(Duration::ZERO)
+                .expect("reserve idle slot")
+        })
+        .collect();
+    let overload_rejected = matches!(
+        deadline_session.query(&BenchmarkQuery::Q1.text(Some("Jan")), &HashMap::new()),
+        Err(ServerError::Overloaded(_))
+    );
+    drop(slots);
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["clients".to_string(), CLIENTS.to_string()]);
+    table.row([
+        "concurrent queries".to_string(),
+        concurrent_queries.to_string(),
+    ]);
+    table.row(["result mismatches".to_string(), mismatches.to_string()]);
+    table.row([
+        "plan cache hit rate".to_string(),
+        format!("{:.3}", cache.hit_rate()),
+    ]);
+    table.row(["plan cache misses".to_string(), cache.misses.to_string()]);
+    table.row(["QPS (wall)".to_string(), format!("{qps:.0}")]);
+    table.row(["p99 latency".to_string(), seconds(p99)]);
+    table.row([
+        "deadline classified".to_string(),
+        deadline_classified.to_string(),
+    ]);
+    table.row([
+        "overload rejected".to_string(),
+        overload_rejected.to_string(),
+    ]);
+    println!("{}", table.render());
+
+    assert_eq!(
+        mismatches, 0,
+        "concurrent results diverged from serial execution"
+    );
+    assert!(
+        cache.hit_rate() > 0.9,
+        "plan-cache hit rate {:.3} not above 0.9 on the parameterized re-run",
+        cache.hit_rate()
+    );
+    assert!(deadline_classified, "zero-budget query was not classified");
+    assert!(overload_rejected, "full server did not reject the arrival");
+
+    report.add(
+        "pr10.results_identical",
+        if mismatches == 0 { 1.0 } else { 0.0 },
+        1.0,
+        Direction::HigherIsBetter,
+    );
+    report.add(
+        "pr10.cache_hit_rate",
+        cache.hit_rate(),
+        1.02,
+        Direction::HigherIsBetter,
+    );
+    report.add(
+        "pr10.cache_misses",
+        cache.misses as f64,
+        1.0,
+        Direction::LowerIsBetter,
+    );
+    report.add(
+        "pr10.deadline_classified",
+        if deadline_classified { 1.0 } else { 0.0 },
+        1.0,
+        Direction::HigherIsBetter,
+    );
+    report.add(
+        "pr10.overload_rejected",
+        if overload_rejected { 1.0 } else { 0.0 },
+        1.0,
+        Direction::HigherIsBetter,
+    );
+    report.add("pr10.qps", qps, 3.0, Direction::HigherIsBetter);
+    report.add(
+        "pr10.p99_latency_seconds",
+        p99,
+        3.0,
+        Direction::LowerIsBetter,
+    );
+
+    std::fs::write("BENCH_pr10.json", report.to_json()).expect("write BENCH_pr10.json");
+    println!("wrote BENCH_pr10.json");
+
+    if check_baseline {
+        let baseline_text = std::fs::read_to_string("BENCH_pr10_baseline.json")
+            .expect("read BENCH_pr10_baseline.json (run from the repo root)");
+        let baseline = BenchReport::parse(&baseline_text).expect("parse baseline");
+        let outcome = compare(&baseline, &report);
+        println!("-- gate vs committed baseline:");
+        print!("{}", outcome.summary());
+        if !outcome.is_pass() {
+            println!("bench gate FAILED");
+            std::process::exit(1);
+        }
+        println!("bench gate OK");
+    }
+}
+
 /// Runs the Figure 1 queries with a collecting trace sink and writes the
 /// Chrome trace-event timeline (`chrome://tracing` / Perfetto loadable) to
 /// `path`. With `query_log_path`, the engine's query log additionally
@@ -1729,6 +1973,14 @@ fn main() {
         // kernels vs the row-at-a-time path, with the committed
         // BENCH_pr9_baseline.json as the regression reference.
         bench_pr9(has("--check-baseline"));
+        return;
+    }
+    if has("--bench-pr10") {
+        // Concurrent query-server gate: mixed Q1–Q6 workload from 8 client
+        // threads over one shared snapshot — byte-identical results, plan
+        // cache hit rate, deadline/overload classification, QPS and p99
+        // latency vs the committed BENCH_pr10_baseline.json.
+        bench_pr10(has("--check-baseline"));
         return;
     }
     if has("--conformance") {

@@ -17,6 +17,7 @@ use crate::pipeline::{
     check_open_range_caps, execute_pipeline, plan_match_stage, probe_open_ranges,
     table_from_query_result, TableResult,
 };
+use crate::plancache::PlanCache;
 use crate::planner::{plan_query_with_mode, Estimator, PlanError, PlanMode, QueryPlan};
 use crate::querylog::{
     global_query_log, normalize_query_shape, record_from_profile, stable_digest, OperatorLogEntry,
@@ -86,6 +87,7 @@ pub struct CypherEngine {
     statistics: GraphStatistics,
     query_log: Arc<dyn QueryLogSink>,
     plan_mode: PlanMode,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl std::fmt::Debug for CypherEngine {
@@ -103,6 +105,7 @@ impl CypherEngine {
             statistics,
             query_log: global_query_log(),
             plan_mode: PlanMode::CostBased,
+            plan_cache: None,
         }
     }
 
@@ -123,6 +126,22 @@ impl CypherEngine {
         self
     }
 
+    /// Installs a shared [`PlanCache`]: the classic single-`MATCH` path
+    /// then answers repeated query *shapes* from the cache instead of
+    /// re-planning, re-binding each execution's literals and `$param`
+    /// values through its freshly built query graph. Cached plans are
+    /// cost-based against this engine's statistics — share one cache only
+    /// between engines over the same data graph.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The installed plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
     /// Creates an engine, computing statistics from the data graph.
     pub fn for_graph(graph: &LogicalGraph) -> Self {
         CypherEngine::with_statistics(GraphStatistics::of(graph))
@@ -139,10 +158,38 @@ impl CypherEngine {
         query_text: &str,
         params: &HashMap<String, Literal>,
     ) -> Result<(QueryGraph, QueryPlan), CypherError> {
-        let ast = parse(query_text)?;
-        let query = QueryGraph::from_query_with_params(&ast, params)?;
-        let plan = plan_query_with_mode(&query, &Estimator::new(&self.statistics), self.plan_mode)?;
+        let (query, plan, _) = self.plan_cached(query_text, params)?;
         Ok((query, plan))
+    }
+
+    /// [`plan`](CypherEngine::plan) through the installed [`PlanCache`]
+    /// (when any): the AST is answered per exact text, the plan per
+    /// normalized shape + plan mode. The query graph is always rebuilt
+    /// from this call's own parameters, so a cached plan's index-based
+    /// operators resolve against the caller's literal bindings. Returns
+    /// `Some("hit")`/`Some("miss")` for the query log when a cache is
+    /// installed, `None` otherwise.
+    fn plan_cached(
+        &self,
+        query_text: &str,
+        params: &HashMap<String, Literal>,
+    ) -> Result<(QueryGraph, QueryPlan, Option<&'static str>), CypherError> {
+        let Some(cache) = &self.plan_cache else {
+            let ast = parse(query_text)?;
+            let query = QueryGraph::from_query_with_params(&ast, params)?;
+            let plan =
+                plan_query_with_mode(&query, &Estimator::new(&self.statistics), self.plan_mode)?;
+            return Ok((query, plan, None));
+        };
+        let ast = cache.parse(query_text)?;
+        let query = QueryGraph::from_query_with_params(&ast, params)?;
+        let shape = normalize_query_shape(query_text);
+        if let Some(plan) = cache.lookup(&shape, self.plan_mode, &query) {
+            return Ok((query, (*plan).clone(), Some("hit")));
+        }
+        let plan = plan_query_with_mode(&query, &Estimator::new(&self.statistics), self.plan_mode)?;
+        cache.insert(shape, self.plan_mode, &query, Arc::new(plan.clone()));
+        Ok((query, plan, Some("miss")))
     }
 
     /// Parses, plans and executes `query_text` against `source`.
@@ -156,7 +203,7 @@ impl CypherEngine {
         let started = std::time::Instant::now();
         let shape = normalize_query_shape(query_text);
         let fingerprint = stable_digest(&shape);
-        let (query, plan) = match self.plan(query_text, params) {
+        let (query, plan, cache_status) = match self.plan_cached(query_text, params) {
             Ok(planned) => planned,
             Err(error) => {
                 self.query_log.log(&QueryLogRecord {
@@ -164,6 +211,7 @@ impl CypherEngine {
                     shape,
                     fingerprint,
                     plan_digest: String::new(),
+                    plan_cache: None,
                     outcome: QueryOutcome::Error,
                     error: Some(error.to_string()),
                     matches: 0,
@@ -209,6 +257,7 @@ impl CypherEngine {
             shape,
             fingerprint,
             plan_digest,
+            plan_cache: cache_status,
             outcome: QueryOutcome::Ok,
             error: None,
             matches: 0,
@@ -510,6 +559,7 @@ impl CypherEngine {
                     shape,
                     fingerprint,
                     plan_digest: String::new(),
+                    plan_cache: None,
                     outcome: QueryOutcome::Error,
                     error: Some(error.to_string()),
                     matches: 0,
@@ -543,6 +593,10 @@ impl CypherEngine {
             shape,
             fingerprint,
             plan_digest,
+            // The pipeline path plans per stage and is not cached (each
+            // stage's plan depends on the working table); only the classic
+            // single-`MATCH` path reports cache activity.
+            plan_cache: None,
             outcome: QueryOutcome::Ok,
             error: None,
             matches: 0,
@@ -939,6 +993,97 @@ mod tests {
         let records = log.snapshot();
         assert_eq!(records[2].fingerprint, records[3].fingerprint);
         assert_ne!(records[2].query, records[3].query);
+    }
+
+    #[test]
+    fn plan_cache_hits_rebind_parameters_and_match_cold_results() {
+        use crate::querylog::MemoryQueryLog;
+        let graph = sample_graph();
+        let log = Arc::new(MemoryQueryLog::new());
+        let cache = Arc::new(PlanCache::default());
+        let engine = CypherEngine::for_graph(&graph)
+            .with_query_log(log.clone())
+            .with_plan_cache(cache.clone());
+        // A cache-less engine over the same graph provides the cold
+        // reference results.
+        let cold = CypherEngine::for_graph(&graph);
+
+        let rows_of = |result: &crate::result::QueryResult| {
+            let mut rows: Vec<String> = result
+                .rows_as_maps()
+                .expect("rows")
+                .iter()
+                .map(|row| {
+                    let mut cells: Vec<String> =
+                        row.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+                    cells.sort();
+                    cells.join("|")
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+
+        let query = "MATCH (p:Person {name: $who})-[s:studyAt]->(u:University) \
+                     WHERE s.classYear > $year RETURN p.name, u.name";
+        let bind = |who: &str, year: i64| {
+            HashMap::from([
+                ("who".to_string(), Literal::String(who.to_string())),
+                ("year".to_string(), Literal::Integer(year)),
+            ])
+        };
+
+        // Cold: first execution plans and populates the cache.
+        let first = engine
+            .execute(
+                &graph,
+                query,
+                &bind("Alice", 2014),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        // Hit: different parameter values, same shape — the cached plan
+        // must re-bind and return exactly what a cold plan returns.
+        let second = engine
+            .execute(
+                &graph,
+                query,
+                &bind("Eve", 2015),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        let reference = cold
+            .execute(
+                &graph,
+                query,
+                &bind("Eve", 2015),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(first.count(), 1);
+        assert_eq!(second.count(), 1);
+        assert_eq!(rows_of(&second), rows_of(&reference));
+        assert_ne!(rows_of(&first), rows_of(&second), "params must re-bind");
+
+        // An inline-literal spelling of the same shape also hits.
+        let inline = engine
+            .execute(
+                &graph,
+                "MATCH (p:Person {name: 'Eve'})-[s:studyAt]->(u:University) \
+                 WHERE s.classYear > 2015 RETURN p.name, u.name",
+                &HashMap::new(),
+                MatchingConfig::cypher_default(),
+            )
+            .unwrap();
+        assert_eq!(rows_of(&inline), rows_of(&reference));
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        let records = log.snapshot();
+        assert_eq!(records[0].plan_cache, Some("miss"));
+        assert_eq!(records[1].plan_cache, Some("hit"));
+        assert_eq!(records[2].plan_cache, Some("hit"));
+        assert_eq!(records[0].plan_digest, records[1].plan_digest);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod matching;
 pub mod observe;
 pub mod operators;
 pub mod pipeline;
+pub mod plancache;
 pub mod planner;
 pub mod querylog;
 pub mod reference;
@@ -66,6 +67,7 @@ pub use observe::{
     PlannerTrace, Profile, ProfileNode, ShipStrategy,
 };
 pub use pipeline::{check_open_range_caps, execute_pipeline, probe_open_ranges, TableResult};
+pub use plancache::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CAPACITY};
 pub use planner::{
     plan_query, plan_query_with_mode, Estimator, PlanError, PlanMode, PlanNode, QueryPlan,
 };

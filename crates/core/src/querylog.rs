@@ -78,6 +78,11 @@ pub struct QueryLogRecord {
     /// Stable hash of the annotated plan tree, hex. Empty when planning
     /// failed before a plan existed.
     pub plan_digest: String,
+    /// `Some("hit")`/`Some("miss")` when the engine consulted a
+    /// [`PlanCache`](crate::plancache::PlanCache) for this run; `None`
+    /// when no cache was installed (or the run took the pipeline path,
+    /// which plans per stage and is not cached).
+    pub plan_cache: Option<&'static str>,
     /// How the run ended.
     pub outcome: QueryOutcome,
     /// Human-readable error when `outcome != Ok`.
@@ -111,6 +116,9 @@ impl QueryLogRecord {
             ("plan_digest", JsonValue::string(self.plan_digest.clone())),
             ("outcome", JsonValue::string(self.outcome.name())),
         ];
+        if let Some(plan_cache) = self.plan_cache {
+            pairs.push(("plan_cache", JsonValue::string(plan_cache)));
+        }
         if let Some(error) = &self.error {
             pairs.push(("error", JsonValue::string(error.clone())));
         }
@@ -281,10 +289,18 @@ impl TraceSink for TeeSink {
     }
 }
 
-/// Replaces string and numeric literals with `?` and collapses whitespace,
-/// so the same query shape fingerprints identically across
-/// parameterizations: `MATCH (a {age: 42})` and `MATCH (a {age: 7})`
-/// normalize to the same text.
+/// Replaces string, numeric and `$parameter` literals with `?` and
+/// collapses whitespace, so the same query shape fingerprints identically
+/// across parameterizations: `MATCH (a {age: 42})`, `MATCH (a {age: 7})`
+/// and `MATCH (a {age: $a})` all normalize to the same text — the property
+/// a plan cache keyed on the fingerprint needs to hit across users
+/// regardless of whether they inline values or bind parameters.
+///
+/// Numeric literals cover every spelling the lexer accepts: integers,
+/// floats, leading-dot floats (`.5`) and scientific notation with an
+/// optional exponent sign (`1e9`, `1.5E+10`). Range bounds of
+/// variable-length paths normalize one placeholder per bound (`*1..10` →
+/// `*?..?`), never swallowing the `..` operator.
 pub fn normalize_query_shape(query: &str) -> String {
     let mut out = String::with_capacity(query.len());
     let mut chars = query.chars().peekable();
@@ -314,6 +330,21 @@ pub fn normalize_query_shape(query: &str) -> String {
                 }
                 out.push('?');
             }
+            '$' => {
+                // `$name` parameter: one placeholder, same as an inline
+                // literal in that position, so parameterized and literal
+                // spellings of a shape share a fingerprint.
+                let mut consumed = false;
+                while let Some(&next) = chars.peek() {
+                    if next.is_ascii_alphanumeric() || next == '_' {
+                        chars.next();
+                        consumed = true;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(if consumed { '?' } else { c });
+            }
             '0'..='9' => {
                 // Numeric literal (possibly float). Identifier-embedded
                 // digits are kept: only a digit starting a token counts.
@@ -323,28 +354,122 @@ pub fn normalize_query_shape(query: &str) -> String {
                 if in_identifier {
                     out.push(c);
                 } else {
-                    while let Some(&next) = chars.peek() {
-                        if next.is_ascii_digit() || next == '.' {
-                            chars.next();
-                        } else {
-                            break;
-                        }
-                    }
+                    consume_number_tail(&mut chars);
                     out.push('?');
+                }
+            }
+            '.' => {
+                // Leading-dot float (`.5`): a literal only when the dot
+                // starts a token — after an identifier it is property
+                // access, after another dot it is the `..` range operator.
+                let prev = out.chars().last();
+                let starts_token = !matches!(
+                    prev,
+                    Some(p) if p.is_ascii_alphanumeric() || p == '_' || p == '.'
+                );
+                if starts_token && chars.peek().is_some_and(char::is_ascii_digit) {
+                    consume_number_tail(&mut chars);
+                    out.push('?');
+                } else {
+                    out.push(c);
                 }
             }
             _ => out.push(c),
         }
     }
-    // Collapse normalized literal lists (`[?, ?, ?]` from `[1, 2, 3]`)
-    // to a single placeholder, so `UNWIND [1, 2]` and `UNWIND [7, 8, 9]`
-    // share one fingerprint regardless of list length.
-    loop {
-        let collapsed = out.replace("?, ?", "?").replace("?,?", "?");
-        if collapsed == out {
+    collapse_list_literals(&out)
+}
+
+/// Consumes the remainder of a numeric literal whose first character was
+/// already taken: digits, a fractional part, and an optional exponent with
+/// sign. Stops before a `..` so range bounds stay separate tokens.
+fn consume_number_tail(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    let mut seen_dot = false;
+    while let Some(&next) = chars.peek() {
+        if next.is_ascii_digit() {
+            chars.next();
+        } else if next == '.' && !seen_dot {
+            // Peek past the dot without consuming: `1..5` must leave
+            // the range operator intact, so only a `.` followed by a
+            // digit extends the literal.
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek().is_some_and(char::is_ascii_digit) {
+                chars.next();
+                seen_dot = true;
+            } else {
+                break;
+            }
+        } else if next == 'e' || next == 'E' {
+            // Exponent: `e` / `E`, optional sign, at least one digit.
+            // Anything else means the `e` starts an identifier (`1em`
+            // cannot occur in valid Cypher, but stay conservative).
+            let mut ahead = chars.clone();
+            ahead.next();
+            let after = ahead.peek().copied();
+            let signed = matches!(after, Some('+') | Some('-'));
+            if signed {
+                ahead.next();
+            }
+            if ahead.peek().is_some_and(char::is_ascii_digit) {
+                chars.next(); // e
+                if signed {
+                    chars.next(); // sign
+                }
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    chars.next();
+                }
+            }
+            break;
+        } else {
             break;
         }
-        out = collapsed;
+    }
+}
+
+/// Collapses normalized literal *lists* (`[?, ?, ?]` from `[1, 2, 3]`) to a
+/// single `[?]` placeholder, so `UNWIND [1, 2]` and `UNWIND [7, 8, 9]`
+/// share one fingerprint regardless of list length. Only runs inside
+/// square brackets: `RETURN ?, ?` (two projection items) and `RETURN ?`
+/// (one) must keep distinct shapes — the old text-global collapse conflated
+/// them and collided distinct plans in the cache.
+fn collapse_list_literals(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            // Scan ahead: does this bracket hold only `?` placeholders
+            // separated by commas (whitespace allowed)?
+            let mut j = i + 1;
+            let mut placeholders = 0usize;
+            let mut expect_placeholder = true;
+            let mut collapsible = false;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b' ' => {}
+                    b'?' if expect_placeholder => {
+                        placeholders += 1;
+                        expect_placeholder = false;
+                    }
+                    b',' if !expect_placeholder => expect_placeholder = true,
+                    b']' if !expect_placeholder && placeholders > 0 => {
+                        collapsible = true;
+                        break;
+                    }
+                    _ => break,
+                }
+                j += 1;
+            }
+            if collapsible {
+                out.push_str("[?]");
+                i = j + 1;
+                continue;
+            }
+        }
+        let c = text[i..].chars().next().expect("in-bounds char");
+        out.push(c);
+        i += c.len_utf8();
     }
     out
 }
@@ -398,6 +523,7 @@ pub(crate) fn record_from_profile(
         shape,
         fingerprint,
         plan_digest,
+        plan_cache: None,
         outcome: QueryOutcome::Ok,
         error: None,
         matches: profile.matches,
@@ -457,6 +583,89 @@ mod tests {
     }
 
     #[test]
+    fn shapes_do_not_collapse_outside_list_literals() {
+        // Regression: the old text-global `?, ?` collapse conflated a
+        // two-item projection with a one-item projection, colliding
+        // distinct plans under one fingerprint.
+        assert_ne!(
+            normalize_query_shape("RETURN 1, 2"),
+            normalize_query_shape("RETURN 1"),
+        );
+        assert_eq!(normalize_query_shape("RETURN 1, 2"), "RETURN ?, ?");
+        assert_ne!(
+            normalize_query_shape("MATCH (n) RETURN n.a, n.b"),
+            normalize_query_shape("MATCH (n) RETURN n.a"),
+        );
+        // Literal argument lists outside brackets keep their arity too.
+        assert_ne!(
+            normalize_query_shape("MATCH (a) WHERE a.x = 1 OR a.y = 2 RETURN a"),
+            normalize_query_shape("MATCH (a) WHERE a.x = 1 RETURN a"),
+        );
+        // Inside brackets the collapse still applies, but a non-literal
+        // element keeps the list expanded.
+        assert_eq!(
+            normalize_query_shape("UNWIND [1, x, 3] AS y RETURN y"),
+            "UNWIND [?, x, ?] AS y RETURN y"
+        );
+    }
+
+    #[test]
+    fn shapes_normalize_scientific_and_leading_dot_numbers() {
+        // Regression: `1e9` used to normalize to `?e9` — the exponent
+        // leaked into the shape, so equal shapes fingerprinted apart.
+        assert_eq!(
+            normalize_query_shape("MATCH (a) WHERE a.x > 1e9 RETURN a"),
+            normalize_query_shape("MATCH (a) WHERE a.x > 2e10 RETURN a"),
+        );
+        assert_eq!(
+            normalize_query_shape("RETURN 1e9"),
+            normalize_query_shape("RETURN 1.5E+10"),
+        );
+        assert_eq!(normalize_query_shape("RETURN 2e-3"), "RETURN ?");
+        // Regression: leading-dot floats were not normalized at all.
+        assert_eq!(
+            normalize_query_shape("MATCH (a) WHERE a.x > .5 RETURN a"),
+            normalize_query_shape("MATCH (a) WHERE a.x > 0.7 RETURN a"),
+        );
+        // Property access dots are untouched.
+        assert_eq!(normalize_query_shape("RETURN a.b5"), "RETURN a.b5");
+        // Var-length range bounds normalize per bound, keeping `..`.
+        assert_eq!(
+            normalize_query_shape("MATCH (a)-[*0..10]->(b) RETURN a"),
+            "MATCH (a)-[*?..?]->(b) RETURN a"
+        );
+        assert_eq!(
+            normalize_query_shape("MATCH (a)-[*0..10]->(b) RETURN a"),
+            normalize_query_shape("MATCH (a)-[*2..5]->(b) RETURN a"),
+        );
+    }
+
+    #[test]
+    fn shapes_normalize_parameters_like_inline_literals() {
+        // The cache-hit-across-users property: a `$param` spelling and an
+        // inline-literal spelling of the same shape share one entry.
+        assert_eq!(
+            normalize_query_shape("MATCH (p:Person {age: $a}) RETURN p"),
+            normalize_query_shape("MATCH (p:Person {age: 42}) RETURN p"),
+        );
+        assert_eq!(
+            normalize_query_shape("MATCH (p) WHERE p.name = $name RETURN p"),
+            normalize_query_shape("MATCH (p) WHERE p.name = 'Alice' RETURN p"),
+        );
+        assert_eq!(
+            normalize_query_shape("MATCH (p {age: $a}) RETURN p"),
+            "MATCH (p {age: ?}) RETURN p"
+        );
+        // Distinct parameters in distinct positions keep the arity.
+        assert_ne!(
+            normalize_query_shape("RETURN $a, $b"),
+            normalize_query_shape("RETURN $a"),
+        );
+        // A bare `$` that is not a parameter survives unchanged.
+        assert_eq!(normalize_query_shape("RETURN '$'"), "RETURN ?");
+    }
+
+    #[test]
     fn digests_are_stable_and_distinct() {
         assert_eq!(stable_digest("abc"), stable_digest("abc"));
         assert_ne!(stable_digest("abc"), stable_digest("abd"));
@@ -473,6 +682,7 @@ mod tests {
             shape: "RETURN ?".into(),
             fingerprint: stable_digest("RETURN ?"),
             plan_digest: String::new(),
+            plan_cache: None,
             outcome: QueryOutcome::Ok,
             error: None,
             matches: 1,
@@ -500,6 +710,7 @@ mod tests {
             shape: "MATCH (a) RETURN a".into(),
             fingerprint: stable_digest("MATCH (a) RETURN a"),
             plan_digest: stable_digest("ScanVertices(a)"),
+            plan_cache: Some("hit"),
             outcome: QueryOutcome::Faulted,
             error: Some("stage `join` exhausted retries".into()),
             matches: 0,
@@ -524,6 +735,10 @@ mod tests {
             Some("faulted")
         );
         assert_eq!(
+            parsed.get("plan_cache").and_then(JsonValue::as_str),
+            Some("hit")
+        );
+        assert_eq!(
             parsed
                 .get("operators")
                 .and_then(JsonValue::as_array)
@@ -545,6 +760,7 @@ mod tests {
                 shape: "RETURN ?".into(),
                 fingerprint: stable_digest("RETURN ?"),
                 plan_digest: String::new(),
+                plan_cache: None,
                 outcome: QueryOutcome::Ok,
                 error: None,
                 matches: 1,

@@ -25,6 +25,26 @@ pub struct PathPattern {
     pub steps: Vec<(RelPattern, NodePattern)>,
 }
 
+/// A value position inside an inline property map: a literal or a `$param`
+/// placeholder resolved against the caller's parameter bindings when the
+/// query graph is built (same substitution moment as `WHERE` parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapValue {
+    /// An inline literal, e.g. `{age: 42}`.
+    Literal(Literal),
+    /// A named parameter, e.g. `{age: $a}`.
+    Parameter(String),
+}
+
+impl std::fmt::Display for MapValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapValue::Literal(literal) => write!(f, "{literal}"),
+            MapValue::Parameter(name) => write!(f, "${name}"),
+        }
+    }
+}
+
 /// A node pattern `(variable:Label1|Label2 {key: literal, ...})`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NodePattern {
@@ -33,7 +53,7 @@ pub struct NodePattern {
     /// Label alternatives (`|`-separated); empty means "any label".
     pub labels: Vec<String>,
     /// Inline property equality constraints.
-    pub properties: Vec<(String, Literal)>,
+    pub properties: Vec<(String, MapValue)>,
 }
 
 /// Direction of a relationship pattern relative to its textual order.
@@ -88,7 +108,7 @@ pub struct RelPattern {
     /// Label alternatives; empty means "any label".
     pub labels: Vec<String>,
     /// Inline property equality constraints.
-    pub properties: Vec<(String, Literal)>,
+    pub properties: Vec<(String, MapValue)>,
     /// Pattern direction.
     pub direction: Direction,
     /// Variable-length bounds; `None` for a plain 1-hop edge.
@@ -464,7 +484,7 @@ impl std::fmt::Display for PathPattern {
 fn write_labels_and_properties(
     f: &mut std::fmt::Formatter<'_>,
     labels: &[String],
-    properties: &[(String, Literal)],
+    properties: &[(String, MapValue)],
 ) -> std::fmt::Result {
     if !labels.is_empty() {
         write!(f, ":{}", labels.join("|"))?;
@@ -716,7 +736,10 @@ mod tests {
                 start: NodePattern {
                     variable: Some("p".into()),
                     labels: vec!["Person".into()],
-                    properties: vec![("name".into(), Literal::String("Alice".into()))],
+                    properties: vec![(
+                        "name".into(),
+                        MapValue::Literal(Literal::String("Alice".into())),
+                    )],
                 },
                 steps: vec![(
                     RelPattern {

@@ -81,11 +81,15 @@ impl<'a> Lexer<'a> {
                 '=' => self.single(TokenKind::Eq),
                 '.' => {
                     self.bump();
-                    if self.peek() == Some('.') {
-                        self.bump();
-                        TokenKind::DotDot
-                    } else {
-                        TokenKind::Dot
+                    match self.peek() {
+                        Some('.') => {
+                            self.bump();
+                            TokenKind::DotDot
+                        }
+                        // Leading-dot float: `.5` lexes like `0.5` (the
+                        // shape normalizer already treats them alike).
+                        Some(c) if c.is_ascii_digit() => self.fraction()?,
+                        _ => TokenKind::Dot,
                     }
                 }
                 '<' => {
@@ -200,13 +204,7 @@ impl<'a> Lexer<'a> {
         }
         if matches!(self.peek(), Some('e' | 'E')) {
             is_float = true;
-            text.push(self.bump().expect("e"));
-            if matches!(self.peek(), Some('+' | '-')) {
-                text.push(self.bump().expect("sign"));
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                text.push(self.bump().expect("peeked"));
-            }
+            self.exponent(&mut text);
         }
         if is_float {
             text.parse::<f64>()
@@ -216,6 +214,31 @@ impl<'a> Lexer<'a> {
             text.parse::<i64>()
                 .map(TokenKind::Integer)
                 .map_err(|e| self.error(format!("invalid integer literal: {e}")))
+        }
+    }
+
+    /// Continues a float after a consumed leading dot: `.5`, `.5e-3`.
+    fn fraction(&mut self) -> Result<TokenKind, ParseError> {
+        let mut text = String::from("0.");
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked"));
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.exponent(&mut text);
+        }
+        text.parse::<f64>()
+            .map(TokenKind::Float)
+            .map_err(|e| self.error(format!("invalid float literal: {e}")))
+    }
+
+    /// Consumes an exponent suffix (`e9`, `E+10`, `e-3`) onto `text`.
+    fn exponent(&mut self, text: &mut String) {
+        text.push(self.bump().expect("e"));
+        if matches!(self.peek(), Some('+' | '-')) {
+            text.push(self.bump().expect("sign"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked"));
         }
     }
 }
@@ -257,6 +280,23 @@ mod tests {
                 TokenKind::LParen,
                 TokenKind::Ident("q".into()),
                 TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_leading_dot_floats() {
+        assert_eq!(
+            kinds(".5 .25e2 a.b ..."),
+            vec![
+                TokenKind::Float(0.5),
+                TokenKind::Float(25.0),
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::DotDot,
+                TokenKind::Dot,
                 TokenKind::Eof,
             ]
         );

@@ -9,9 +9,9 @@
 //! (`*`, variables, property accesses, `count(*)`).
 
 use crate::ast::{
-    AggArg, AggFunc, AggregateCall, Direction, MatchStage, NodePattern, PathPattern, PathRange,
-    Pipeline, Projection, ProjectionExpr, ProjectionItem, Query, RelPattern, ReturnClause,
-    ReturnItem, SortKey, SortRef, Stage, UnwindSource, UnwindStage,
+    AggArg, AggFunc, AggregateCall, Direction, MapValue, MatchStage, NodePattern, PathPattern,
+    PathRange, Pipeline, Projection, ProjectionExpr, ProjectionItem, Query, RelPattern,
+    ReturnClause, ReturnItem, SortKey, SortRef, Stage, UnwindSource, UnwindStage,
 };
 use crate::error::{ParseError, Position};
 use crate::lexer::lex;
@@ -179,14 +179,24 @@ impl Parser {
         Ok(labels)
     }
 
-    fn property_map(&mut self) -> Result<Vec<(String, Literal)>, ParseError> {
+    fn property_map(&mut self) -> Result<Vec<(String, MapValue)>, ParseError> {
         self.expect(&TokenKind::LBrace)?;
         let mut entries = Vec::new();
         if !matches!(self.peek(), TokenKind::RBrace) {
             loop {
                 let key = self.ident("property key")?;
                 self.expect(&TokenKind::Colon)?;
-                let value = self.literal()?;
+                // A map value is a literal or a `$param` placeholder; the
+                // placeholder is kept in the AST and resolved against the
+                // caller's bindings when the query graph is built.
+                let value = match self.peek() {
+                    TokenKind::Parameter(name) => {
+                        let name = name.clone();
+                        self.bump();
+                        MapValue::Parameter(name)
+                    }
+                    _ => MapValue::Literal(self.literal()?),
+                };
                 entries.push((key, value));
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -848,9 +858,29 @@ mod tests {
         assert_eq!(
             q.patterns[0].start.properties,
             vec![
-                ("name".to_string(), Literal::String("Alice".into())),
-                ("yob".to_string(), Literal::Integer(1984)),
+                (
+                    "name".to_string(),
+                    MapValue::Literal(Literal::String("Alice".into()))
+                ),
+                ("yob".to_string(), MapValue::Literal(Literal::Integer(1984))),
             ]
+        );
+    }
+
+    #[test]
+    fn parses_parameters_in_property_maps() {
+        let q = parse("MATCH (p:Person {name: $n, yob: 1984})-[e {since: $s}]->(b) RETURN p")
+            .expect("parse");
+        assert_eq!(
+            q.patterns[0].start.properties,
+            vec![
+                ("name".to_string(), MapValue::Parameter("n".into())),
+                ("yob".to_string(), MapValue::Literal(Literal::Integer(1984))),
+            ]
+        );
+        assert_eq!(
+            q.patterns[0].steps[0].0.properties,
+            vec![("since".to_string(), MapValue::Parameter("s".into()))]
         );
     }
 

@@ -170,10 +170,10 @@ impl Builder {
     ) -> Result<QueryGraph, QueryGraphError> {
         // --- patterns -------------------------------------------------------
         for pattern in &query.patterns {
-            let mut previous = self.add_node(&pattern.start)?;
+            let mut previous = self.add_node(&pattern.start, params)?;
             for (rel, node) in &pattern.steps {
-                let current = self.add_node(node)?;
-                self.add_edge(rel, previous, current)?;
+                let current = self.add_node(node, params)?;
+                self.add_edge(rel, previous, current, params)?;
                 previous = current;
             }
         }
@@ -302,7 +302,28 @@ impl Builder {
         name
     }
 
-    fn add_node(&mut self, node: &crate::ast::NodePattern) -> Result<usize, QueryGraphError> {
+    /// Resolves a property-map value to the literal it constrains on:
+    /// inline literals pass through, `$param` placeholders are substituted
+    /// from the caller's bindings (unbound names are a classified error,
+    /// mirroring `WHERE` parameter substitution).
+    fn resolve_map_value(
+        value: &crate::ast::MapValue,
+        params: &HashMap<String, Literal>,
+    ) -> Result<Literal, QueryGraphError> {
+        match value {
+            crate::ast::MapValue::Literal(literal) => Ok(literal.clone()),
+            crate::ast::MapValue::Parameter(name) => params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| QueryGraphError(format!("unbound parameter ${name}"))),
+        }
+    }
+
+    fn add_node(
+        &mut self,
+        node: &crate::ast::NodePattern,
+        params: &HashMap<String, Literal>,
+    ) -> Result<usize, QueryGraphError> {
         let (variable, named) = match &node.variable {
             Some(name) => (name.clone(), true),
             None => (self.fresh_variable("v"), false),
@@ -338,10 +359,11 @@ impl Builder {
                 index
             }
         };
-        for (key, literal) in &node.properties {
+        for (key, value) in &node.properties {
+            let literal = Self::resolve_map_value(value, params)?;
             self.vertices[index]
                 .predicates
-                .push(property_equality(&variable, key, literal));
+                .push(property_equality(&variable, key, &literal));
             self.require_key(&variable, key);
         }
         Ok(index)
@@ -352,6 +374,7 @@ impl Builder {
         rel: &crate::ast::RelPattern,
         left: usize,
         right: usize,
+        params: &HashMap<String, Literal>,
     ) -> Result<(), QueryGraphError> {
         let (variable, named) = match &rel.variable {
             Some(name) => (name.clone(), true),
@@ -380,8 +403,9 @@ impl Builder {
         });
         let mut predicates = CnfPredicate::always_true();
         let mut required_keys = Vec::new();
-        for (key, literal) in &rel.properties {
-            predicates.push(property_equality(&variable, key, literal));
+        for (key, value) in &rel.properties {
+            let literal = Self::resolve_map_value(value, params)?;
+            predicates.push(property_equality(&variable, key, &literal));
             required_keys.push(key.clone());
         }
         self.edges.push(QueryEdge {
@@ -504,6 +528,34 @@ mod tests {
             })
             .collect();
         assert_eq!(returned, vec!["p1", "u", "p2", "s", "e"]);
+    }
+
+    #[test]
+    fn map_parameters_substitute_like_inline_literals() {
+        // `{age: $a}` with `$a = 42` builds the same query graph as
+        // `{age: 42}` — the property a plan cache keyed on the normalized
+        // shape relies on.
+        let query =
+            parse("MATCH (p:Person {age: $a})-[e {since: $s}]->(b) RETURN p").expect("parse");
+        let params = HashMap::from([
+            ("a".to_string(), Literal::Integer(42)),
+            ("s".to_string(), Literal::Integer(2014)),
+        ]);
+        let bound = QueryGraph::from_query_with_params(&query, &params).expect("query graph");
+        let inline = graph_of("MATCH (p:Person {age: 42})-[e {since: 2014}]->(b) RETURN p");
+        assert_eq!(
+            bound.vertices[bound.vertex_index("p").unwrap()].predicates,
+            inline.vertices[inline.vertex_index("p").unwrap()].predicates,
+        );
+        assert_eq!(
+            bound.edges[bound.edge_index("e").unwrap()].predicates,
+            inline.edges[inline.edge_index("e").unwrap()].predicates,
+        );
+
+        // Unbound map parameters are a classified error, not a panic.
+        let unbound = QueryGraph::from_query_with_params(&query, &HashMap::new());
+        let message = unbound.expect_err("must be unbound").to_string();
+        assert!(message.contains("unbound parameter $"), "{message}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! two-valued semantics on comparable values.
 
 use gradoop_cypher::ast::{
-    Direction, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnClause, ReturnItem,
+    Direction, MapValue, NodePattern, PathPattern, PathRange, Query, RelPattern, ReturnClause,
+    ReturnItem,
 };
 use gradoop_cypher::predicates::cnf::to_cnf;
 use gradoop_cypher::predicates::eval::{eval_predicate, Bindings};
@@ -45,11 +46,18 @@ fn labels() -> impl Strategy<Value = Vec<String>> {
     })
 }
 
-fn property_map() -> impl Strategy<Value = Vec<(String, Literal)>> {
+fn map_value() -> impl Strategy<Value = MapValue> {
+    prop_oneof![
+        literal().prop_map(MapValue::Literal),
+        prop_oneof![Just("par1"), Just("par2")].prop_map(|n| MapValue::Parameter(n.to_string())),
+    ]
+}
+
+fn property_map() -> impl Strategy<Value = Vec<(String, MapValue)>> {
     proptest::collection::vec(
         (
             prop_oneof![Just("p".to_string()), Just("q".to_string())],
-            literal(),
+            map_value(),
         ),
         0..2,
     )

@@ -109,6 +109,25 @@ impl<T: Data> Dataset<T> {
         self
     }
 
+    /// Re-homes the dataset onto another environment **without copying the
+    /// partitions** — the `Arc`-shared data and the partitioning
+    /// fingerprint carry over, only the owning environment (whose clock,
+    /// metrics, trace sink and poison slot are per-environment) changes.
+    ///
+    /// This is the snapshot-sharing primitive of the concurrent query
+    /// server: one immutable graph snapshot is loaded once, and every
+    /// session re-homes it onto a private environment so concurrent
+    /// queries never race on per-environment state. The target must have
+    /// the same worker count (partition placement is per-worker).
+    pub fn rehomed(&self, env: &ExecutionEnvironment) -> Self {
+        debug_assert_eq!(env.workers(), self.env.workers());
+        Dataset {
+            env: env.clone(),
+            partitions: Arc::clone(&self.partitions),
+            partitioning: self.partitioning,
+        }
+    }
+
     /// Read access to the raw partitions (no cost charged — used by
     /// operators in this crate and by higher layers that implement their
     /// own operators with explicit cost accounting).
@@ -577,6 +596,23 @@ mod tests {
         let mut values = ds.collect();
         values.sort_unstable();
         assert_eq!(values, (0..9).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rehoming_shares_partitions_and_charges_the_new_clock() {
+        let home = env(3);
+        let ds = env(3).from_collection(0u64..30);
+        let moved = ds.rehomed(&home);
+        // Same partition allocations, no copy; fingerprint carries over.
+        assert!(Arc::ptr_eq(&ds.partitions_arc(), &moved.partitions_arc()));
+        assert_eq!(moved.partitioning(), ds.partitioning());
+        assert!(moved.env().same_as(&home));
+        assert!(!moved.env().same_as(ds.env()));
+        // Work on the re-homed dataset charges the new environment only.
+        let before = ds.env().metrics().records_in;
+        assert_eq!(moved.map(|x| x + 1).collect().len(), 30);
+        assert_eq!(ds.env().metrics().records_in, before);
+        assert!(home.metrics().records_in > 0);
     }
 
     #[test]

@@ -153,6 +153,29 @@ impl ExecutionEnvironment {
         self.inner.config.workers
     }
 
+    /// True when `other` is a clone of this environment (shares the same
+    /// clock, metrics, trace sink and poison slot). Distinct environments
+    /// with identical configurations are *not* the same — that distinction
+    /// is what per-query environment isolation relies on.
+    pub fn same_as(&self, other: &ExecutionEnvironment) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The environment's full configuration.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.inner.config
+    }
+
+    /// Creates a *new* environment with the same configuration but its own
+    /// clock, metrics, trace sink and poison slot. This is the per-query
+    /// isolation primitive of the query server: every query runs on a fork
+    /// of the snapshot's environment, so concurrent queries never share
+    /// mutable execution state while the immutable datasets themselves are
+    /// shared via [`Dataset::rehomed`](crate::dataset::Dataset::rehomed).
+    pub fn fork(&self) -> ExecutionEnvironment {
+        ExecutionEnvironment::new(self.inner.config.clone())
+    }
+
     /// The environment's cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.inner.config.cost_model

@@ -90,6 +90,18 @@ impl LogicalGraph {
         self.edges.count()
     }
 
+    /// Re-homes the graph onto another environment without copying any
+    /// element data (see [`Dataset::rehomed`]) — the snapshot-sharing
+    /// primitive that lets concurrent sessions run over one immutable
+    /// graph, each with a private environment.
+    pub fn rehomed(&self, env: &ExecutionEnvironment) -> Self {
+        LogicalGraph {
+            head: self.head.clone(),
+            vertices: self.vertices.rehomed(env),
+            edges: self.edges.rehomed(env),
+        }
+    }
+
     /// Lifts this graph into a collection containing only it.
     pub fn into_collection(self) -> GraphCollection {
         let heads = self.vertices.env().from_collection(vec![self.head.clone()]);

@@ -126,6 +126,30 @@ impl IndexedLogicalGraph {
         result.unwrap_or_else(|| self.env().empty())
     }
 
+    /// Re-homes the indexed graph onto another environment without
+    /// copying any element data or rebuilding the per-label index (see
+    /// [`Dataset::rehomed`]): every label dataset keeps sharing its
+    /// partitions, only the owning environment changes. Building the index
+    /// scans the graph once per label — re-homing it is O(labels) `Arc`
+    /// clones, which is what makes per-query environments affordable.
+    pub fn rehomed(&self, env: &gradoop_dataflow::ExecutionEnvironment) -> Self {
+        IndexedLogicalGraph {
+            head: self.head.clone(),
+            vertices_by_label: self
+                .vertices_by_label
+                .iter()
+                .map(|(label, ds)| (label.clone(), ds.rehomed(env)))
+                .collect(),
+            edges_by_label: self
+                .edges_by_label
+                .iter()
+                .map(|(label, ds)| (label.clone(), ds.rehomed(env)))
+                .collect(),
+            all_vertices: self.all_vertices.rehomed(env),
+            all_edges: self.all_edges.rehomed(env),
+        }
+    }
+
     /// The un-indexed view of this graph.
     pub fn as_logical_graph(&self) -> LogicalGraph {
         LogicalGraph::new(
@@ -213,5 +237,32 @@ mod tests {
         let back = indexed.as_logical_graph();
         assert_eq!(back.vertex_count(), 3);
         assert_eq!(back.edge_count(), 2);
+    }
+
+    #[test]
+    fn rehomed_index_shares_partitions_on_a_new_environment() {
+        let indexed = graph().to_indexed();
+        let fresh = ExecutionEnvironment::new(
+            ExecutionConfig::with_workers(2).cost_model(CostModel::free()),
+        );
+        let moved = indexed.rehomed(&fresh);
+        // Same data, reachable through the new environment…
+        assert_eq!(moved.vertices_for_labels(&[]).count(), 3);
+        assert_eq!(
+            moved.vertices_for_labels(&[Label::new("Person")]).count(),
+            2
+        );
+        assert!(moved.env().same_as(&fresh));
+        assert!(!moved.env().same_as(indexed.env()));
+        // …and no partition data was copied: the label datasets still
+        // point at the very same partition allocations.
+        for label in [Label::new("Person"), Label::new("City")] {
+            let original = indexed.vertices_for_labels(std::slice::from_ref(&label));
+            let shared = moved.vertices_for_labels(std::slice::from_ref(&label));
+            assert!(std::sync::Arc::ptr_eq(
+                &original.partitions_arc(),
+                &shared.partitions_arc()
+            ));
+        }
     }
 }

@@ -56,16 +56,33 @@ impl BenchmarkQuery {
     /// parameter value; analytical queries ignore it.
     pub fn text(&self, first_name: Option<&str>) -> String {
         let name = first_name.unwrap_or("Jan");
+        self.render(&format!("'{name}'"))
+    }
+
+    /// The Cypher text with the selectivity predicate written as a
+    /// `$firstName` query parameter instead of an inline literal. The
+    /// normalized query shape is identical to [`BenchmarkQuery::text`]'s
+    /// (both spellings collapse to `?`), so parameterized and inline runs
+    /// share one plan-cache entry while each execution binds its own name.
+    /// Analytical queries (4–6) have no parameter and return the same text
+    /// as [`BenchmarkQuery::text`].
+    pub fn parameterized_text(&self) -> String {
+        self.render("$firstName")
+    }
+
+    /// Renders the query with `name_term` (a quoted literal or a `$param`)
+    /// as the right-hand side of the selectivity predicate.
+    fn render(&self, name_term: &str) -> String {
         match self {
             BenchmarkQuery::Q1 => format!(
                 "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post) \
-                 WHERE person.firstName = '{name}' \
+                 WHERE person.firstName = {name_term} \
                  RETURN message.creationDate, message.content"
             ),
             BenchmarkQuery::Q2 => format!(
                 "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post), \
                        (message)-[:replyOf*0..10]->(post:Post) \
-                 WHERE person.firstName = '{name}' \
+                 WHERE person.firstName = {name_term} \
                  RETURN message.creationDate, message.content, \
                         post.creationDate, post.content"
             ),
@@ -74,7 +91,7 @@ impl BenchmarkQuery {
                        (p2)<-[:hasCreator]-(comment:Comment), \
                        (comment)-[:replyOf*1..10]->(post:Post), \
                        (post)-[:hasCreator]->(p1) \
-                 WHERE p1.firstName = '{name}' \
+                 WHERE p1.firstName = {name_term} \
                  RETURN p1.firstName, p1.lastName, \
                         p2.firstName, p2.lastName, post.content"
             ),
@@ -178,6 +195,26 @@ mod tests {
     fn parameter_is_substituted() {
         let text = BenchmarkQuery::Q1.text(Some("Zelda"));
         assert!(text.contains("'Zelda'"));
+    }
+
+    #[test]
+    fn parameterized_texts_parse_and_bind() {
+        use gradoop_cypher::Literal;
+        let params = std::collections::HashMap::from([(
+            "firstName".to_string(),
+            Literal::String("Jan".to_string()),
+        )]);
+        for query in BenchmarkQuery::all() {
+            let text = query.parameterized_text();
+            if query.is_operational() {
+                assert!(text.contains("$firstName"), "{query}: {text}");
+            } else {
+                assert_eq!(text, query.text(None), "{query}");
+            }
+            let ast = parse(&text).unwrap_or_else(|e| panic!("{query}: {e}"));
+            QueryGraph::from_query_with_params(&ast, &params)
+                .unwrap_or_else(|e| panic!("{query}: {e}"));
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Per-query deadlines wired into the execution-failure machinery.
+//!
+//! A [`DeadlineSink`] is installed as the trace sink of a query's private
+//! environment *before* the engine runs. The engine tees its own stage
+//! collector in front of any installed sink, so every finished dataflow
+//! stage still reaches the deadline sink. The first stage finishing past
+//! the deadline poisons the environment via
+//! [`ExecutionEnvironment::record_execution_failure`]; the engine drains
+//! that poison after execution, discards the computed datasets and returns
+//! a classified [`CypherError::Execution`](gradoop_core::CypherError) — a
+//! timed-out query can never leak partial results.
+//!
+//! Cancellation is cooperative at stage granularity: the stage that trips
+//! the deadline runs to completion (the simulation is synchronous), but its
+//! output — and everything after it — is discarded.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use gradoop_dataflow::{
+    ExecutionEnvironment, ExecutionFailure, SpanRecord, StageReport, TraceSink,
+};
+
+/// The failure site recorded when a deadline trips. The server classifies
+/// execution failures back into deadline errors by matching this site.
+pub const DEADLINE_SITE: &str = "deadline";
+
+/// A [`TraceSink`] that poisons its environment once the wall clock passes
+/// the query's deadline.
+pub struct DeadlineSink {
+    env: ExecutionEnvironment,
+    deadline: Instant,
+    budget_millis: u64,
+    tripped: AtomicBool,
+}
+
+impl DeadlineSink {
+    /// A sink poisoning `env` once `deadline` passes; `budget_millis` is
+    /// only used for the failure message.
+    pub fn new(env: ExecutionEnvironment, deadline: Instant, budget_millis: u64) -> Self {
+        DeadlineSink {
+            env,
+            deadline,
+            budget_millis,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the deadline has tripped.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// The classified failure a tripped deadline records.
+    pub fn failure(budget_millis: u64) -> ExecutionFailure {
+        ExecutionFailure {
+            site: DEADLINE_SITE.to_string(),
+            attempts: 1,
+            message: format!("query exceeded its deadline of {budget_millis} ms"),
+        }
+    }
+
+    fn check(&self) {
+        if Instant::now() < self.deadline {
+            return;
+        }
+        // First trip wins; the poison slot itself also keeps only the
+        // first failure, this just avoids redundant formatting.
+        if self.tripped.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        self.env
+            .record_execution_failure(DeadlineSink::failure(self.budget_millis));
+    }
+}
+
+impl TraceSink for DeadlineSink {
+    fn on_stage(&self, _report: &StageReport) {
+        self.check();
+    }
+
+    fn on_span(&self, _span: &SpanRecord) {
+        self.check();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn expired_deadline_poisons_the_environment_on_the_next_stage() {
+        let env = ExecutionEnvironment::with_workers(2);
+        let sink = Arc::new(DeadlineSink::new(env.clone(), Instant::now(), 0));
+        env.set_trace_sink(Some(sink.clone()));
+        let _ = env.from_collection(0u64..100).map(|x| x + 1).count();
+        assert!(sink.tripped());
+        let failure = env.take_execution_failure().expect("poisoned");
+        assert_eq!(failure.site, DEADLINE_SITE);
+        assert!(failure.message.contains("deadline"));
+        env.set_trace_sink(None);
+    }
+
+    #[test]
+    fn future_deadline_never_trips() {
+        let env = ExecutionEnvironment::with_workers(2);
+        let sink = Arc::new(DeadlineSink::new(
+            env.clone(),
+            Instant::now() + Duration::from_secs(3600),
+            3_600_000,
+        ));
+        env.set_trace_sink(Some(sink.clone()));
+        let _ = env.from_collection(0u64..100).count();
+        assert!(!sink.tripped());
+        assert!(env.take_execution_failure().is_none());
+        env.set_trace_sink(None);
+    }
+}

@@ -1,0 +1,251 @@
+//! End-to-end server tests: concurrent sessions over one snapshot must be
+//! byte-identical to serial execution, re-bind parameters through the plan
+//! cache, reject on overload and classify deadline trips.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gradoop_core::{canonical_row, CypherEngine, CypherError, TableResult};
+use gradoop_cypher::Literal;
+use gradoop_dataflow::{CostModel, ExecutionConfig, ExecutionEnvironment};
+use gradoop_ldbc::{generate_graph, BenchmarkQuery, LdbcConfig};
+use gradoop_server::{
+    DeadlineSink, GraphSnapshot, QueryServer, ServerConfig, ServerError, DEADLINE_SITE,
+};
+
+/// Small LDBC graph on a free cost model — fast, deterministic.
+fn snapshot() -> GraphSnapshot {
+    let env =
+        ExecutionEnvironment::new(ExecutionConfig::with_workers(2).cost_model(CostModel::free()));
+    let graph = generate_graph(&env, &LdbcConfig::with_persons(40));
+    GraphSnapshot::of(graph)
+}
+
+/// Order-insensitive digest of a result table.
+fn digest(table: &TableResult) -> String {
+    let mut rows: Vec<String> = table.rows.iter().map(|row| canonical_row(row)).collect();
+    if !table.ordered {
+        rows.sort();
+    }
+    format!("{}|{}", table.columns.join(","), rows.join(";"))
+}
+
+/// The mixed workload: every benchmark query, operational ones across a
+/// spread of common first names.
+fn workload() -> Vec<(String, HashMap<String, Literal>)> {
+    let names = ["Jan", "Maria", "Chen", "Ali"];
+    let mut queries = Vec::new();
+    for query in BenchmarkQuery::all() {
+        if query.is_operational() {
+            for name in names {
+                queries.push((
+                    query.parameterized_text(),
+                    HashMap::from([("firstName".to_string(), Literal::String(name.to_string()))]),
+                ));
+            }
+        } else {
+            queries.push((query.text(None), HashMap::new()));
+        }
+    }
+    queries
+}
+
+#[test]
+fn concurrent_mixed_workload_is_byte_identical_to_serial_execution() {
+    let server = QueryServer::new(snapshot(), ServerConfig::default());
+    let workload = workload();
+
+    // Serial reference: a cold engine over the same snapshot, no cache.
+    let reference_engine = CypherEngine::with_statistics(server.snapshot().statistics().clone());
+    let expected: Vec<String> = workload
+        .iter()
+        .map(|(text, params)| {
+            let (env, graph) = server.snapshot().attach();
+            let table = reference_engine
+                .run(&graph, text, params, server.config().matching)
+                .expect("serial reference run");
+            drop(env);
+            digest(&table)
+        })
+        .collect();
+
+    // 8 concurrent clients, each running the full mixed workload.
+    let expected = Arc::new(expected);
+    let workload = Arc::new(workload);
+    let handles: Vec<_> = (0..8)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            let workload = Arc::clone(&workload);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let session = server.session();
+                // Stagger starting offsets so clients overlap on
+                // different queries at any given moment.
+                for step in 0..workload.len() {
+                    let index = (step + client * 3) % workload.len();
+                    let (text, params) = &workload[index];
+                    let table = session.query(text, params).expect("concurrent run");
+                    assert_eq!(
+                        digest(&table),
+                        expected[index],
+                        "client {client} query {index} diverged from serial execution"
+                    );
+                }
+                session.stats().queries
+            })
+        })
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    assert_eq!(total, 8 * workload.len() as u64);
+    assert_eq!(server.stats().queries, total);
+    assert_eq!(server.stats().failed, 0);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn parameterized_rerun_exceeds_ninety_percent_cache_hit_rate() {
+    let server = QueryServer::new(snapshot(), ServerConfig::default());
+    let session = server.session();
+    let names = [
+        "Jan", "Maria", "Chen", "Ali", "Anna", "Ivan", "Yang", "Jose", "Nina", "Ahmed",
+    ];
+    for name in names {
+        let params = HashMap::from([("firstName".to_string(), Literal::String(name.to_string()))]);
+        for query in BenchmarkQuery::all() {
+            if !query.is_operational() {
+                continue;
+            }
+            session
+                .query(&query.parameterized_text(), &params)
+                .expect("parameterized run");
+        }
+    }
+    let stats = server.stats().plan_cache;
+    // Three shapes, one miss each; everything after re-binds a cached plan.
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.hits, (names.len() as u64) * 3 - 3);
+    // An inline-literal spelling of the same query shares the cached plan.
+    let inline = session
+        .query(&BenchmarkQuery::Q1.text(Some("Jan")), &HashMap::new())
+        .expect("inline run");
+    let parameterized = session
+        .query(
+            &BenchmarkQuery::Q1.parameterized_text(),
+            &HashMap::from([("firstName".to_string(), Literal::String("Jan".to_string()))]),
+        )
+        .expect("parameterized rerun");
+    assert_eq!(digest(&inline), digest(&parameterized));
+    let stats = server.stats().plan_cache;
+    assert_eq!(stats.misses, 3);
+    assert!(
+        stats.hit_rate() > 0.9,
+        "hit rate {:.3} not above 0.9",
+        stats.hit_rate()
+    );
+    // The query log records the cache interaction per query.
+    let log = server.query_log().snapshot();
+    assert!(log.iter().all(|r| r.plan_cache.is_some()));
+    assert_eq!(
+        log.iter().filter(|r| r.plan_cache == Some("miss")).count(),
+        3
+    );
+}
+
+#[test]
+fn overloaded_server_rejects_without_executing() {
+    let server = QueryServer::new(
+        snapshot(),
+        ServerConfig {
+            max_in_flight: 1,
+            admission_timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    );
+    let session = server.session();
+    let text = BenchmarkQuery::Q5.text(None);
+
+    // Occupy the only slot, then try to query: rejected, nothing ran.
+    let slot = server.admission().admit(Duration::ZERO).expect("reserve");
+    let error = session.query(&text, &HashMap::new()).expect_err("full");
+    match error {
+        ServerError::Overloaded(rejected) => assert_eq!(rejected.limit, 1),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(server.stats().rejected, 1);
+    assert_eq!(server.stats().queries, 0);
+    assert!(server.query_log().is_empty(), "rejected query must not run");
+
+    // Freeing the slot lets the same query through.
+    drop(slot);
+    session.query(&text, &HashMap::new()).expect("slot freed");
+    assert_eq!(server.stats().queries, 1);
+}
+
+#[test]
+fn deadline_exceeded_is_classified_and_returns_no_rows() {
+    let server = QueryServer::new(snapshot(), ServerConfig::default());
+    let session = server.session();
+    let outcome = session.query_with_deadline(
+        &BenchmarkQuery::Q5.text(None),
+        &HashMap::new(),
+        Some(Duration::ZERO),
+    );
+    let error = outcome.expect_err("zero budget must trip");
+    match &error {
+        ServerError::DeadlineExceeded(failure) => {
+            assert_eq!(failure.site, DEADLINE_SITE);
+            assert!(failure.message.contains("deadline"));
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(server.stats().deadline_exceeded, 1);
+    assert_eq!(session.stats().errors, 1);
+}
+
+#[test]
+fn mid_run_deadline_discards_results_through_the_engine() {
+    let server = QueryServer::new(snapshot(), ServerConfig::default());
+    let engine = CypherEngine::with_statistics(server.snapshot().statistics().clone());
+    let (env, graph) = server.snapshot().attach();
+    // Arm an already-expired deadline directly, bypassing the server's
+    // pre-execution check: the first finished stage poisons the run.
+    env.set_trace_sink(Some(Arc::new(DeadlineSink::new(
+        env.clone(),
+        std::time::Instant::now(),
+        0,
+    ))));
+    let error = engine
+        .run(
+            &graph,
+            &BenchmarkQuery::Q1.text(Some("Jan")),
+            &HashMap::new(),
+            server.config().matching,
+        )
+        .expect_err("expired deadline must fail the run");
+    env.set_trace_sink(None);
+    match error {
+        CypherError::Execution(failure) => assert_eq!(failure.site, DEADLINE_SITE),
+        other => panic!("expected Execution failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn sessions_track_their_own_latency() {
+    let server = QueryServer::new(snapshot(), ServerConfig::default());
+    let busy = server.session();
+    let idle = server.session();
+    assert_ne!(busy.id(), idle.id());
+    for _ in 0..3 {
+        busy.query(&BenchmarkQuery::Q1.text(Some("Jan")), &HashMap::new())
+            .expect("run");
+    }
+    let stats = busy.stats();
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.total_latency_seconds > 0.0);
+    assert!(stats.p99_latency_seconds > 0.0);
+    assert_eq!(idle.stats().queries, 0);
+    assert!(server.stats().p99_latency_seconds > 0.0);
+}
